@@ -1,0 +1,52 @@
+// Figure 14: sensitivity to the total LLC capacity, sweeping the pool from
+// 7 to 11 ways (the outer slice an operator might grant). Each bar is the
+// geometric-mean unfairness across the seven four-app mixes, normalized to
+// EQ at the same capacity. Expected shape: CoPart stays well below EQ /
+// CAT-only / MBA-only and comparable to ST at every capacity.
+#include <cstdio>
+#include <vector>
+
+#include "common/stats.h"
+#include "harness/experiment.h"
+#include "harness/mix.h"
+#include "harness/table_printer.h"
+
+int main() {
+  using namespace copart;
+  std::printf(
+      "== Figure 14: sensitivity to the total LLC capacity "
+      "(geomean across mixes, normalized to EQ) ==\n\n");
+
+  const auto policies = StandardPolicies();
+  std::vector<std::string> headers = {"ways"};
+  for (const auto& [name, factory] : policies) {
+    headers.push_back(name);
+  }
+  std::vector<std::vector<std::string>> rows;
+  for (uint32_t ways = 7; ways <= 11; ++ways) {
+    ExperimentConfig config;
+    config.pool =
+        ResourcePool{.first_way = 0, .num_ways = ways, .max_mba_percent = 100};
+    std::vector<std::string> row = {std::to_string(ways)};
+    std::vector<std::vector<double>> per_policy(policies.size());
+    for (MixFamily family : AllMixFamilies()) {
+      const WorkloadMix mix = MakeMix(family, 4);
+      double eq_unfairness = 0.0;
+      for (size_t p = 0; p < policies.size(); ++p) {
+        const ExperimentResult result =
+            RunExperiment(mix, policies[p].second, config);
+        if (policies[p].first == "EQ") {
+          eq_unfairness = std::max(result.unfairness, 1e-4);
+        }
+        per_policy[p].push_back(std::max(result.unfairness, 1e-4) /
+                                eq_unfairness);
+      }
+    }
+    for (size_t p = 0; p < policies.size(); ++p) {
+      row.push_back(FormatFixed(GeoMean(per_policy[p]), 3));
+    }
+    rows.push_back(std::move(row));
+  }
+  PrintTable(headers, rows);
+  return 0;
+}

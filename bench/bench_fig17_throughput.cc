@@ -1,0 +1,48 @@
+// Figure 17: performance (throughput) results — the geometric mean of the
+// per-app IPS under each policy, averaged across the seven mixes at each
+// application count and normalized to EQ. Expected shape: CoPart comparable
+// to or slightly better than the other policies (fairness does not cost
+// throughput).
+#include <cstdio>
+#include <vector>
+
+#include "common/stats.h"
+#include "harness/experiment.h"
+#include "harness/mix.h"
+#include "harness/table_printer.h"
+
+int main() {
+  using namespace copart;
+  std::printf(
+      "== Figure 17: throughput (geomean IPS across mixes, normalized to "
+      "EQ) ==\n\n");
+
+  const auto policies = StandardPolicies();
+  std::vector<std::string> headers = {"apps"};
+  for (const auto& [name, factory] : policies) {
+    headers.push_back(name);
+  }
+  std::vector<std::vector<std::string>> rows;
+  for (size_t count = 3; count <= 6; ++count) {
+    std::vector<std::string> row = {std::to_string(count)};
+    std::vector<std::vector<double>> per_policy(policies.size());
+    for (MixFamily family : AllMixFamilies()) {
+      const WorkloadMix mix = MakeMix(family, count);
+      double eq_throughput = 0.0;
+      for (size_t p = 0; p < policies.size(); ++p) {
+        const ExperimentResult result =
+            RunExperiment(mix, policies[p].second, {});
+        if (policies[p].first == "EQ") {
+          eq_throughput = result.throughput_geomean;
+        }
+        per_policy[p].push_back(result.throughput_geomean / eq_throughput);
+      }
+    }
+    for (size_t p = 0; p < policies.size(); ++p) {
+      row.push_back(FormatFixed(GeoMean(per_policy[p]), 3));
+    }
+    rows.push_back(std::move(row));
+  }
+  PrintTable(headers, rows);
+  return 0;
+}

@@ -1,0 +1,15 @@
+// Figure 1: performance impact of LLC and memory bandwidth partitioning on
+// the LLC-sensitive benchmarks (WN, WS, RT). Expected shape: strong
+// gradient along the ways axis, near-flat along the MBA axis; WN/WS/RT
+// reach 90% of peak at 4/3/2 ways.
+#include <cstdio>
+
+#include "bench/solo_heatmap_util.h"
+
+int main() {
+  std::printf("== Figure 1: LLC-sensitive benchmarks ==\n\n");
+  copart::PrintSoloHeatmap(copart::WaterNsquared());
+  copart::PrintSoloHeatmap(copart::WaterSpatial());
+  copart::PrintSoloHeatmap(copart::Raytrace());
+  return 0;
+}

@@ -1,0 +1,15 @@
+// Figure 2: performance impact of LLC and memory bandwidth partitioning on
+// the memory-bandwidth-sensitive benchmarks (OC, CG, FT). Expected shape:
+// gradient along the MBA axis, near-flat along ways; OC/CG/FT reach 90% of
+// peak at MBA levels 30/20/30.
+#include <cstdio>
+
+#include "bench/solo_heatmap_util.h"
+
+int main() {
+  std::printf("== Figure 2: memory bandwidth-sensitive benchmarks ==\n\n");
+  copart::PrintSoloHeatmap(copart::OceanCp());
+  copart::PrintSoloHeatmap(copart::Cg());
+  copart::PrintSoloHeatmap(copart::Ft());
+  return 0;
+}

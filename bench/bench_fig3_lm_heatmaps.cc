@@ -1,0 +1,21 @@
+// Figure 3: performance impact of LLC and memory bandwidth partitioning on
+// the LLC- and memory-bandwidth-sensitive benchmarks (SP, ON, FMM).
+// Expected shape: gradients along BOTH axes, with multiple (ways, MBA)
+// states giving similar performance (e.g. SP at (8w, 20%) vs (3w, 40%)).
+#include <cstdio>
+
+#include "bench/solo_heatmap_util.h"
+#include "harness/heatmap.h"
+
+int main() {
+  std::printf("== Figure 3: LLC- & memory BW-sensitive benchmarks ==\n\n");
+  copart::PrintSoloHeatmap(copart::Sp());
+  copart::PrintSoloHeatmap(copart::OceanNcp());
+  copart::PrintSoloHeatmap(copart::Fmm());
+
+  const copart::SoloHeatmap sp =
+      copart::SweepSoloPerformance(copart::Sp(), copart::MachineConfig{});
+  std::printf("SP multi-state equivalence: (8w,20%%)=%.3f vs (3w,40%%)=%.3f\n",
+              sp.normalized_ips[7][1], sp.normalized_ips[2][3]);
+  return 0;
+}

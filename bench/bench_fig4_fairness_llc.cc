@@ -1,0 +1,15 @@
+// Figure 4: fairness impact of LLC and memory bandwidth partitioning with
+// the LLC-sensitive workload mix (WN, WS, RT, SW). Expected shape: fairness
+// driven primarily by the LLC split — starving WN (e.g. rows giving it 1-2
+// ways) is unfair — with secondary variation along the MBA axis because
+// cache-starved apps compete for bandwidth.
+#include <cstdio>
+
+#include "bench/fairness_grid_util.h"
+#include "harness/mix.h"
+
+int main() {
+  std::printf("== Figure 4: LLC-sensitive workload mix ==\n\n");
+  copart::PrintFairnessGrid(copart::LlcSensitiveCharacterizationMix());
+  return 0;
+}

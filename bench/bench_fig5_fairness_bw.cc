@@ -1,0 +1,14 @@
+// Figure 5: fairness impact of LLC and memory bandwidth partitioning with
+// the memory bandwidth-sensitive workload mix (OC, CG, FT, SW). Expected
+// shape: fairness driven by the MBA split (throttling OC/CG to 10% is very
+// unfair), with little variation along the LLC axis.
+#include <cstdio>
+
+#include "bench/fairness_grid_util.h"
+#include "harness/mix.h"
+
+int main() {
+  std::printf("== Figure 5: memory bandwidth-sensitive workload mix ==\n\n");
+  copart::PrintFairnessGrid(copart::BwSensitiveCharacterizationMix());
+  return 0;
+}

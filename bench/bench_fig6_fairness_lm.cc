@@ -1,0 +1,14 @@
+// Figure 6: fairness impact of LLC and memory bandwidth partitioning with
+// the LLC- and memory bandwidth-sensitive (LM) workload mix (SP, ON, FMM,
+// SW). Expected shape: fairness depends on BOTH axes — the motivation for
+// coordinated partitioning.
+#include <cstdio>
+
+#include "bench/fairness_grid_util.h"
+#include "harness/mix.h"
+
+int main() {
+  std::printf("== Figure 6: LLC- & memory BW-sensitive workload mix ==\n\n");
+  copart::PrintFairnessGrid(copart::BothSensitiveCharacterizationMix());
+  return 0;
+}

@@ -1,0 +1,91 @@
+// Microbenchmarks of the simulation substrate itself: epoch-solve cost vs
+// app count, the Che MRC solver, the shared-capacity fixed point (via
+// overlapping masks), and the trace-driven cache's access rate. These
+// quantify why the analytic epoch model is the right default (DESIGN.md §4)
+// and guard against performance regressions in the hot paths the paper
+// sweeps hammer.
+#include <benchmark/benchmark.h>
+
+#include "cache/way_partitioned_cache.h"
+#include "common/rng.h"
+#include "common/units.h"
+#include "machine/simulated_machine.h"
+#include "workload/workload.h"
+
+namespace copart {
+namespace {
+
+void BM_MachineEpoch(benchmark::State& state) {
+  const size_t num_apps = static_cast<size_t>(state.range(0));
+  MachineConfig config;
+  config.ips_noise_sigma = 0.0;
+  SimulatedMachine machine(config);
+  const std::vector<WorkloadDescriptor> registry = AllTable2Benchmarks();
+  for (size_t i = 0; i < num_apps; ++i) {
+    Result<AppId> app = machine.LaunchApp(registry[i % registry.size()], 2);
+    CHECK(app.ok());
+    machine.AssignAppToClos(*app, static_cast<uint32_t>(i + 1));
+  }
+  for (auto _ : state) {
+    machine.AdvanceTime(0.5);
+    benchmark::DoNotOptimize(machine.now());
+  }
+}
+BENCHMARK(BM_MachineEpoch)->Arg(2)->Arg(4)->Arg(6)->Unit(
+    benchmark::kMicrosecond);
+
+void BM_MachineEpochOverlappingMasks(benchmark::State& state) {
+  // Full-mask sharing forces the occupancy fixed point to do real work.
+  MachineConfig config;
+  config.ips_noise_sigma = 0.0;
+  SimulatedMachine machine(config);
+  for (const WorkloadDescriptor& descriptor :
+       {Sp(), OceanNcp(), WaterNsquared(), Cg()}) {
+    CHECK(machine.LaunchApp(descriptor, 4).ok());
+  }
+  for (auto _ : state) {
+    machine.AdvanceTime(0.5);
+    benchmark::DoNotOptimize(machine.now());
+  }
+}
+BENCHMARK(BM_MachineEpochOverlappingMasks)->Unit(benchmark::kMicrosecond);
+
+void BM_MissRatioCurve(benchmark::State& state) {
+  const ReuseProfile& profile = Sp().reuse_profile;  // Needs the solver.
+  uint64_t capacity = MiB(2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(profile.MissRatio(capacity));
+    capacity = capacity % MiB(22) + MiB(2);
+  }
+}
+BENCHMARK(BM_MissRatioCurve);
+
+void BM_TraceCacheAccess(benchmark::State& state) {
+  const LlcGeometry geometry{
+      .total_bytes = MiB(22) / 64, .num_ways = 11, .line_bytes = 64};
+  WayPartitionedCache cache(geometry, 2);
+  cache.SetMask(0, WayMask::Contiguous(0, 6));
+  cache.SetMask(1, WayMask::Contiguous(4, 7));
+  Rng rng(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        cache.Access(static_cast<uint32_t>(rng.NextUint64(2)),
+                     rng.NextUint64(MiB(1))));
+  }
+}
+BENCHMARK(BM_TraceCacheAccess);
+
+void BM_SoloFullResourceIps(benchmark::State& state) {
+  MachineConfig config;
+  SimulatedMachine machine(config);
+  const WorkloadDescriptor descriptor = OceanNcp();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(machine.SoloFullResourceIps(descriptor, 4));
+  }
+}
+BENCHMARK(BM_SoloFullResourceIps);
+
+}  // namespace
+}  // namespace copart
+
+BENCHMARK_MAIN();

@@ -1,0 +1,40 @@
+// Shared rendering for the mix-fairness grid benches (Figs. 4-6).
+#ifndef COPART_BENCH_FAIRNESS_GRID_UTIL_H_
+#define COPART_BENCH_FAIRNESS_GRID_UTIL_H_
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "harness/heatmap.h"
+#include "harness/table_printer.h"
+
+namespace copart {
+
+// Sweeps the mix over the default LLC x MBA partitioning grid and prints
+// the unfairness normalized to the unpartitioned run (lower is better).
+inline void PrintFairnessGrid(const WorkloadMix& mix) {
+  const FairnessGrid grid = SweepMixFairness(
+      mix, DefaultLlcConfigs(), DefaultMbaConfigs(), MachineConfig{});
+  std::string apps;
+  for (const std::string& name : grid.app_names) {
+    apps += (apps.empty() ? "" : ", ") + name;
+  }
+  std::vector<std::string> row_labels, col_labels;
+  for (const std::vector<uint32_t>& config : grid.llc_configs) {
+    row_labels.push_back(JoinParen(config));
+  }
+  for (const std::vector<uint32_t>& config : grid.mba_configs) {
+    col_labels.push_back(JoinParen(config));
+  }
+  PrintHeatmap("-- " + grid.mix_name + " mix (" + apps +
+                   "): unfairness normalized to no partitioning --\n"
+                   "   rows = LLC ways per app, cols = MBA level per app",
+               row_labels, col_labels, grid.normalized_unfairness);
+  std::printf("   unpartitioned (raw) unfairness: %.4f\n\n",
+              grid.nopart_unfairness);
+}
+
+}  // namespace copart
+
+#endif  // COPART_BENCH_FAIRNESS_GRID_UTIL_H_

@@ -1,0 +1,36 @@
+// Shared rendering for the solo-performance heatmap benches (Figs. 1-3).
+#ifndef COPART_BENCH_SOLO_HEATMAP_UTIL_H_
+#define COPART_BENCH_SOLO_HEATMAP_UTIL_H_
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "harness/heatmap.h"
+#include "harness/table_printer.h"
+#include "machine/machine_config.h"
+#include "workload/workload.h"
+
+namespace copart {
+
+// Sweeps and prints one benchmark's normalized IPS over (ways, MBA level),
+// plus the 90%-of-peak thresholds the paper quotes in §4.1.
+inline void PrintSoloHeatmap(const WorkloadDescriptor& descriptor) {
+  const SoloHeatmap map = SweepSoloPerformance(descriptor, MachineConfig{});
+  std::vector<std::string> row_labels, col_labels;
+  for (uint32_t ways : map.way_counts) {
+    row_labels.push_back(std::to_string(ways) + "w");
+  }
+  for (uint32_t mba : map.mba_percents) {
+    col_labels.push_back(std::to_string(mba) + "%");
+  }
+  PrintHeatmap("-- " + descriptor.name + " (" + descriptor.short_name +
+                   "): normalized IPS, rows = LLC ways, cols = MBA level --",
+               row_labels, col_labels, map.normalized_ips);
+  std::printf("   90%% of peak at >= %u ways (MBA 100), >= %u%% MBA (11 ways)\n\n",
+              map.MinWaysForFraction(0.9), map.MinMbaForFraction(0.9));
+}
+
+}  // namespace copart
+
+#endif  // COPART_BENCH_SOLO_HEATMAP_UTIL_H_

@@ -1,0 +1,42 @@
+// Geometry of the simulated shared last-level cache.
+//
+// Defaults mirror the paper's evaluation platform (Intel Xeon Gold 6130,
+// Table 1): 22 MB shared L3, 11 ways, 64-byte lines.
+#ifndef COPART_CACHE_LLC_GEOMETRY_H_
+#define COPART_CACHE_LLC_GEOMETRY_H_
+
+#include <cstdint>
+
+#include "common/logging.h"
+#include "common/units.h"
+
+namespace copart {
+
+struct LlcGeometry {
+  uint64_t total_bytes = MiB(22);
+  uint32_t num_ways = 11;
+  uint32_t line_bytes = 64;
+
+  uint64_t WayBytes() const { return total_bytes / num_ways; }
+
+  uint64_t NumSets() const {
+    const uint64_t set_bytes =
+        static_cast<uint64_t>(num_ways) * line_bytes;
+    CHECK_EQ(total_bytes % set_bytes, 0u)
+        << "LLC size must be a whole number of sets";
+    return total_bytes / set_bytes;
+  }
+
+  // Capacity reachable by a CLOS that owns `ways` ways.
+  uint64_t CapacityForWays(uint32_t ways) const {
+    CHECK_LE(ways, num_ways);
+    return WayBytes() * ways;
+  }
+};
+
+// Geometry of the paper's evaluation machine.
+inline LlcGeometry XeonGold6130Llc() { return LlcGeometry{}; }
+
+}  // namespace copart
+
+#endif  // COPART_CACHE_LLC_GEOMETRY_H_

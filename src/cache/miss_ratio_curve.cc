@@ -1,0 +1,113 @@
+#include "cache/miss_ratio_curve.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace copart {
+namespace {
+
+// Cache-line granularity of the occupancy model. All modeled machines in
+// this repository use 64-byte lines (Table 1).
+constexpr double kLineBytes = 64.0;
+
+// Bisection iterations for the characteristic-time solve; 0.5^48 relative
+// precision is far below the model's own accuracy.
+constexpr int kBisectionIterations = 48;
+
+}  // namespace
+
+ReuseProfile::ReuseProfile(std::vector<ReuseComponent> components,
+                           double streaming_weight)
+    : components_(std::move(components)), streaming_weight_(streaming_weight) {
+  CHECK_GE(streaming_weight_, 0.0);
+  double total = streaming_weight_;
+  for (const ReuseComponent& component : components_) {
+    CHECK_GE(component.weight, 0.0);
+    CHECK_GT(component.working_set_bytes, 0u);
+    total += component.weight;
+  }
+  CHECK_LE(total, 1.0 + 1e-9) << "reuse profile weights exceed 1";
+}
+
+ReuseProfile ReuseProfile::Streaming() { return ReuseProfile({}, 1.0); }
+
+double ReuseProfile::MissRatio(uint64_t capacity_bytes) const {
+  // Degenerate capacity: nothing is retained.
+  if (capacity_bytes == 0) {
+    double miss = streaming_weight_;
+    for (const ReuseComponent& component : components_) {
+      miss += component.weight;
+    }
+    return std::clamp(miss, 0.0, 1.0);
+  }
+
+  const double capacity_lines = static_cast<double>(capacity_bytes) / kLineBytes;
+
+  // Per-component line counts and per-line reference rates (time unit:
+  // one LLC access).
+  const size_t n = components_.size();
+  std::vector<double> lines(n), rates(n);
+  double total_lines = 0.0;
+  for (size_t j = 0; j < n; ++j) {
+    lines[j] = std::max(1.0, static_cast<double>(
+                                 components_[j].working_set_bytes) /
+                                 kLineBytes);
+    rates[j] = components_[j].weight / lines[j];
+    total_lines += lines[j];
+  }
+
+  // Everything resident and no stream to pollute: no misses.
+  if (streaming_weight_ <= 0.0 && total_lines <= capacity_lines) {
+    return 0.0;
+  }
+
+  // Occupancy at characteristic time T: resident fraction of each component
+  // plus the streamed lines still aging out (one per stream access, alive
+  // for T accesses).
+  auto occupancy = [&](double t) {
+    double lines_used = streaming_weight_ * t;
+    for (size_t j = 0; j < n; ++j) {
+      lines_used += lines[j] * (1.0 - std::exp(-rates[j] * t));
+    }
+    return lines_used;
+  };
+
+  // Bracket the root of occupancy(T) == capacity_lines. occupancy is
+  // strictly increasing whenever this branch is reached.
+  double t_hi = 1.0;
+  while (occupancy(t_hi) < capacity_lines) {
+    t_hi *= 2.0;
+    if (t_hi > 1e18) {
+      // Numerically everything fits; only the stream misses.
+      return std::clamp(streaming_weight_, 0.0, 1.0);
+    }
+  }
+  double t_lo = 0.0;
+  for (int i = 0; i < kBisectionIterations; ++i) {
+    const double mid = 0.5 * (t_lo + t_hi);
+    if (occupancy(mid) < capacity_lines) {
+      t_lo = mid;
+    } else {
+      t_hi = mid;
+    }
+  }
+  const double t = 0.5 * (t_lo + t_hi);
+
+  double miss = streaming_weight_;
+  for (size_t j = 0; j < n; ++j) {
+    miss += components_[j].weight * std::exp(-rates[j] * t);
+  }
+  return std::clamp(miss, 0.0, 1.0);
+}
+
+uint64_t ReuseProfile::MaxWorkingSetBytes() const {
+  uint64_t max_ws = 0;
+  for (const ReuseComponent& component : components_) {
+    max_ws = std::max(max_ws, component.working_set_bytes);
+  }
+  return max_ws;
+}
+
+}  // namespace copart

@@ -1,0 +1,50 @@
+#include "cache/way_mask.h"
+
+#include <bit>
+#include <cstdio>
+
+#include "common/logging.h"
+
+namespace copart {
+
+WayMask WayMask::Contiguous(uint32_t first_way, uint32_t count) {
+  CHECK_GT(count, 0u);
+  CHECK_LE(first_way + count, 64u);
+  const uint64_t ones =
+      count == 64 ? ~0ULL : ((1ULL << count) - 1ULL);
+  return WayMask(ones << first_way);
+}
+
+Result<WayMask> WayMask::FromBits(uint64_t bits, uint32_t num_ways) {
+  if (bits == 0) {
+    return InvalidArgumentError("CBM must have at least one way set");
+  }
+  if (num_ways < 64 && (bits >> num_ways) != 0) {
+    return InvalidArgumentError("CBM sets ways beyond the cache's way count");
+  }
+  // Contiguity: after shifting out trailing zeros the value must be a run of
+  // ones, i.e. value & (value + 1) == 0.
+  const uint64_t shifted = bits >> std::countr_zero(bits);
+  if ((shifted & (shifted + 1)) != 0) {
+    return InvalidArgumentError("CBM bits must be contiguous");
+  }
+  return WayMask(bits);
+}
+
+uint32_t WayMask::CountWays() const {
+  return static_cast<uint32_t>(std::popcount(bits_));
+}
+
+uint32_t WayMask::FirstWay() const {
+  CHECK(!Empty());
+  return static_cast<uint32_t>(std::countr_zero(bits_));
+}
+
+std::string WayMask::ToHex() const {
+  char buffer[32];
+  std::snprintf(buffer, sizeof(buffer), "%llx",
+                static_cast<unsigned long long>(bits_));
+  return buffer;
+}
+
+}  // namespace copart

@@ -1,0 +1,54 @@
+// Capacity bit masks (CBMs) with Intel CAT semantics.
+//
+// A CBM selects which LLC ways a CLOS may allocate into. Hardware (and the
+// Linux resctrl interface) requires the set bits to be contiguous and at
+// least one bit wide; this type enforces the same rules so the controller
+// code above it is exercised against real constraints.
+#ifndef COPART_CACHE_WAY_MASK_H_
+#define COPART_CACHE_WAY_MASK_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/status.h"
+
+namespace copart {
+
+class WayMask {
+ public:
+  // Empty mask (invalid for hardware; used as a sentinel before assignment).
+  WayMask() = default;
+
+  // Builds a contiguous mask of `count` ways starting at `first_way`
+  // (bit 0 = way 0). CHECK-fails on overflow past 64 ways.
+  static WayMask Contiguous(uint32_t first_way, uint32_t count);
+
+  // Validates an arbitrary bit pattern under CAT rules for a cache with
+  // `num_ways` ways: non-zero, within range, contiguous.
+  static Result<WayMask> FromBits(uint64_t bits, uint32_t num_ways);
+
+  uint64_t bits() const { return bits_; }
+  uint32_t CountWays() const;
+  bool Empty() const { return bits_ == 0; }
+  bool Contains(uint32_t way) const { return (bits_ >> way) & 1u; }
+  bool Overlaps(const WayMask& other) const {
+    return (bits_ & other.bits_) != 0;
+  }
+
+  // Lowest-indexed way in the mask; CHECK-fails on an empty mask.
+  uint32_t FirstWay() const;
+
+  // Hex rendering as resctrl schemata would show it, e.g. "7f".
+  std::string ToHex() const;
+
+  bool operator==(const WayMask& other) const = default;
+
+ private:
+  explicit WayMask(uint64_t bits) : bits_(bits) {}
+
+  uint64_t bits_ = 0;
+};
+
+}  // namespace copart
+
+#endif  // COPART_CACHE_WAY_MASK_H_

@@ -1,0 +1,108 @@
+#include "cache/way_partitioned_cache.h"
+
+#include "common/logging.h"
+
+namespace copart {
+
+WayPartitionedCache::WayPartitionedCache(const LlcGeometry& geometry,
+                                         uint32_t num_clos)
+    : geometry_(geometry), num_sets_(geometry.NumSets()) {
+  CHECK_GT(num_clos, 0u);
+  CHECK_LE(geometry_.num_ways, 64u);
+  lines_.resize(num_sets_ * geometry_.num_ways);
+  // Every CLOS starts with the full mask, as hardware does after reset.
+  masks_.assign(num_clos, WayMask::Contiguous(0, geometry_.num_ways));
+  stats_.resize(num_clos);
+}
+
+void WayPartitionedCache::SetMask(uint32_t clos, const WayMask& mask) {
+  CHECK_LT(clos, masks_.size());
+  if (!mask.Empty()) {
+    CHECK_LE(mask.FirstWay() + mask.CountWays(), geometry_.num_ways);
+  }
+  masks_[clos] = mask;
+}
+
+const WayMask& WayPartitionedCache::mask(uint32_t clos) const {
+  CHECK_LT(clos, masks_.size());
+  return masks_[clos];
+}
+
+bool WayPartitionedCache::Access(uint32_t clos, uint64_t address) {
+  CHECK_LT(clos, masks_.size());
+  const uint64_t line_address = address / geometry_.line_bytes;
+  const uint64_t set = line_address % num_sets_;
+  const uint64_t tag = line_address / num_sets_;
+
+  CacheClosStats& stats = stats_[clos];
+  ++stats.accesses;
+  ++lru_clock_;
+
+  Line* base = SetBase(set);
+
+  // Lookup across ALL ways: CAT only constrains fills, not hits.
+  for (uint32_t way = 0; way < geometry_.num_ways; ++way) {
+    Line& line = base[way];
+    if (line.valid && line.tag == tag) {
+      line.lru_stamp = lru_clock_;
+      ++stats.hits;
+      return true;
+    }
+  }
+
+  ++stats.misses;
+
+  const WayMask& mask = masks_[clos];
+  if (mask.Empty()) {
+    return false;  // No allocation rights; the miss bypasses the cache.
+  }
+
+  // Fill: prefer an invalid allowed way, otherwise evict the LRU allowed way.
+  Line* victim = nullptr;
+  for (uint32_t way = 0; way < geometry_.num_ways; ++way) {
+    if (!mask.Contains(way)) {
+      continue;
+    }
+    Line& line = base[way];
+    if (!line.valid) {
+      victim = &line;
+      break;
+    }
+    if (victim == nullptr || line.lru_stamp < victim->lru_stamp) {
+      victim = &line;
+    }
+  }
+  CHECK_NE(victim, nullptr);
+  if (victim->valid) {
+    ++stats.evictions;
+  }
+  victim->valid = true;
+  victim->tag = tag;
+  victim->owner_clos = clos;
+  victim->lru_stamp = lru_clock_;
+  return false;
+}
+
+const CacheClosStats& WayPartitionedCache::stats(uint32_t clos) const {
+  CHECK_LT(clos, stats_.size());
+  return stats_[clos];
+}
+
+void WayPartitionedCache::ResetStats() {
+  for (CacheClosStats& stats : stats_) {
+    stats = CacheClosStats{};
+  }
+}
+
+uint64_t WayPartitionedCache::OccupancyLines(uint32_t clos) const {
+  CHECK_LT(clos, masks_.size());
+  uint64_t count = 0;
+  for (const Line& line : lines_) {
+    if (line.valid && line.owner_clos == clos) {
+      ++count;
+    }
+  }
+  return count;
+}
+
+}  // namespace copart

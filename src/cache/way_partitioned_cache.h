@@ -1,0 +1,90 @@
+// Trace-driven set-associative LLC with Intel CAT way-partitioning semantics.
+//
+// Semantics reproduced from the CAT specification (paper §2.2):
+//   - Each CLOS owns a capacity bit mask (CBM) over the ways.
+//   - A *fill* (allocation on miss) may only victimize ways in the filling
+//     CLOS's CBM.
+//   - A *lookup* hits on a matching line in ANY way, including ways outside
+//     the CLOS's CBM (lines survive mask shrinks until evicted).
+//   - CBMs of different CLOSes may overlap; overlapping ways are shared.
+//
+// Replacement is LRU restricted to the allowed ways. The model is used for
+// unit/property tests and to validate the analytic miss-ratio curves that the
+// fast epoch simulator uses (see cache/miss_ratio_curve.h).
+#ifndef COPART_CACHE_WAY_PARTITIONED_CACHE_H_
+#define COPART_CACHE_WAY_PARTITIONED_CACHE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "cache/llc_geometry.h"
+#include "cache/way_mask.h"
+
+namespace copart {
+
+// Per-CLOS access statistics.
+struct CacheClosStats {
+  uint64_t accesses = 0;
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  // Misses that had to evict a valid line (vs. filling an invalid way).
+  uint64_t evictions = 0;
+
+  double MissRatio() const {
+    return accesses == 0 ? 0.0
+                         : static_cast<double>(misses) /
+                               static_cast<double>(accesses);
+  }
+};
+
+class WayPartitionedCache {
+ public:
+  WayPartitionedCache(const LlcGeometry& geometry, uint32_t num_clos);
+
+  // Sets the CBM for a CLOS. The mask must be valid for this geometry
+  // (callers go through WayMask::FromBits or WayMask::Contiguous).
+  void SetMask(uint32_t clos, const WayMask& mask);
+  const WayMask& mask(uint32_t clos) const;
+
+  // Performs one access on behalf of `clos` at byte address `address`.
+  // Returns true on hit. On miss, fills into an allowed way (LRU victim).
+  // A CLOS with an empty mask can still hit but its misses do not allocate
+  // (matching hardware behaviour for a zero-CBM CLOS, which resctrl forbids
+  // creating; the simulator tolerates it for testing).
+  bool Access(uint32_t clos, uint64_t address);
+
+  const CacheClosStats& stats(uint32_t clos) const;
+  void ResetStats();
+
+  // Number of valid lines currently owned (filled) by `clos`.
+  uint64_t OccupancyLines(uint32_t clos) const;
+
+  const LlcGeometry& geometry() const { return geometry_; }
+  uint32_t num_clos() const { return static_cast<uint32_t>(masks_.size()); }
+
+ private:
+  struct Line {
+    uint64_t tag = 0;
+    uint64_t lru_stamp = 0;
+    uint32_t owner_clos = 0;
+    bool valid = false;
+  };
+
+  LlcGeometry geometry_;
+  uint64_t num_sets_;
+  uint64_t lru_clock_ = 0;
+  std::vector<Line> lines_;  // num_sets_ * num_ways, row-major by set.
+  std::vector<WayMask> masks_;
+  std::vector<CacheClosStats> stats_;
+
+  Line* SetBase(uint64_t set) {
+    return lines_.data() + set * geometry_.num_ways;
+  }
+  const Line* SetBase(uint64_t set) const {
+    return lines_.data() + set * geometry_.num_ways;
+  }
+};
+
+}  // namespace copart
+
+#endif  // COPART_CACHE_WAY_PARTITIONED_CACHE_H_

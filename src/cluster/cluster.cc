@@ -1,0 +1,227 @@
+#include "cluster/cluster.h"
+
+#include <limits>
+
+#include "common/logging.h"
+#include "harness/whatif.h"
+#include "metrics/fairness.h"
+
+namespace copart {
+
+ClusterNode::ClusterNode(std::string name,
+                         const MachineConfig& machine_config,
+                         const ResourceManagerParams& manager_params,
+                         bool manage)
+    : name_(std::move(name)),
+      manage_(manage),
+      machine_(machine_config),
+      resctrl_(&machine_),
+      monitor_(&machine_),
+      manager_(&resctrl_, &monitor_, manager_params) {}
+
+Result<AppId> ClusterNode::Admit(const WorkloadDescriptor& workload,
+                                 uint32_t cores) {
+  Result<AppId> app = machine_.LaunchApp(workload, cores);
+  if (!app.ok()) {
+    return app.status();
+  }
+  if (!manage_) {
+    return app;  // Unmanaged node: the app shares the default group.
+  }
+  Status added = manager_.AddApp(*app);
+  if (!added.ok()) {
+    Status terminated = machine_.TerminateApp(*app);
+    CHECK(terminated.ok()) << terminated.ToString();
+    return added;
+  }
+  return app;
+}
+
+Status ClusterNode::Evict(AppId app) {
+  if (manage_) {
+    RETURN_IF_ERROR(manager_.RemoveApp(app));
+  }
+  return machine_.TerminateApp(app);
+}
+
+void ClusterNode::Tick(double dt) {
+  machine_.AdvanceTime(dt);
+  if (manage_) {
+    manager_.Tick();
+  }
+}
+
+std::vector<WorkloadDescriptor> ClusterNode::ResidentWorkloads() const {
+  std::vector<WorkloadDescriptor> workloads;
+  for (AppId app : machine_.ListApps()) {
+    WorkloadDescriptor descriptor = machine_.Descriptor(app);
+    // Report the cores actually granted, not the descriptor's default, so
+    // what-if predictions model this node as it really runs.
+    descriptor.num_threads = machine_.AppCores(app);
+    workloads.push_back(std::move(descriptor));
+  }
+  return workloads;
+}
+
+std::vector<double> ClusterNode::CurrentSlowdowns() const {
+  std::vector<double> slowdowns;
+  for (AppId app : machine_.ListApps()) {
+    const double solo = machine_.SoloFullResourceIps(
+        machine_.Descriptor(app), machine_.AppCores(app));
+    const double ips = machine_.LastEpoch(app).ips;
+    if (ips > 0.0) {
+      slowdowns.push_back(Slowdown(solo, ips));
+    }
+  }
+  return slowdowns;
+}
+
+double ClusterNode::CurrentUnfairness() const {
+  const std::vector<double> slowdowns = CurrentSlowdowns();
+  return Unfairness(slowdowns);
+}
+
+const char* PlacementPolicyName(PlacementPolicy policy) {
+  switch (policy) {
+    case PlacementPolicy::kFirstFit:
+      return "first-fit";
+    case PlacementPolicy::kLeastLoaded:
+      return "least-loaded";
+    case PlacementPolicy::kWhatIfBest:
+      return "what-if-best";
+  }
+  return "?";
+}
+
+ClusterNode* Cluster::AddNode(const std::string& name,
+                              const MachineConfig& machine_config,
+                              const ResourceManagerParams& manager_params,
+                              bool manage) {
+  nodes_.push_back(std::make_unique<ClusterNode>(name, machine_config,
+                                                 manager_params, manage));
+  return nodes_.back().get();
+}
+
+ClusterNode* Cluster::PickNode(const WorkloadDescriptor& workload,
+                               uint32_t cores, PlacementPolicy policy) {
+  std::vector<ClusterNode*> feasible;
+  for (const std::unique_ptr<ClusterNode>& node : nodes_) {
+    if (node->FreeCores() >= cores &&
+        node->machine().ListApps().size() + 1 <=
+            node->machine().config().llc.num_ways) {  // One way per app.
+      feasible.push_back(node.get());
+    }
+  }
+  if (feasible.empty()) {
+    return nullptr;
+  }
+  switch (policy) {
+    case PlacementPolicy::kFirstFit:
+      return feasible.front();
+    case PlacementPolicy::kLeastLoaded: {
+      ClusterNode* best = feasible.front();
+      for (ClusterNode* node : feasible) {
+        if (node->FreeCores() > best->FreeCores()) {
+          best = node;
+        }
+      }
+      return best;
+    }
+    case PlacementPolicy::kWhatIfBest: {
+      // Predict the equal-share outcome of each node's resident set plus
+      // the candidate; prefer the lowest (unfairness, mean slowdown) pair.
+      ClusterNode* best = nullptr;
+      double best_score = std::numeric_limits<double>::infinity();
+      for (ClusterNode* node : feasible) {
+        const ResourcePool pool{
+            .first_way = 0,
+            .num_ways = node->machine().config().llc.num_ways,
+            .max_mba_percent = 100};
+        auto total_slowdown = [&](const std::vector<WorkloadDescriptor>&
+                                      workloads) {
+          // Predict under a UCP-optimized split — the node runs CoPart, so
+          // the relevant outcome is post-partitioning, not equal-share.
+          // cores_per_app 0: each job keeps its actual core count.
+          const WhatIfOutcome outcome = PredictUcpOutcome(
+              workloads, pool, node->machine().config(), /*cores_per_app=*/0);
+          double sum = 0.0;
+          for (double slowdown : outcome.slowdowns) {
+            sum += slowdown;
+          }
+          return sum;
+        };
+        // Marginal harm of the placement: how much total slowdown the
+        // newcomer adds (its own + what it inflicts on the residents).
+        // Scoring absolute levels instead would make every job flee the
+        // node that already hosts a slow app even when colocating there is
+        // harmless. A small slack term breaks ties toward emptier nodes so
+        // "free" insensitive jobs do not consume the capacity a future
+        // cache-hungry arrival will need.
+        std::vector<WorkloadDescriptor> with = node->ResidentWorkloads();
+        const double before =
+            with.empty() ? 0.0 : total_slowdown(with);
+        WorkloadDescriptor candidate = workload;
+        candidate.num_threads = cores;
+        with.push_back(std::move(candidate));
+        const double marginal_harm = total_slowdown(with) - before;
+        const double used_fraction_after =
+            1.0 - static_cast<double>(node->FreeCores() - cores) /
+                      static_cast<double>(node->machine().config().num_cores);
+        const double score = marginal_harm + 0.05 * used_fraction_after;
+        if (score < best_score) {
+          best_score = score;
+          best = node;
+        }
+      }
+      return best;
+    }
+  }
+  return nullptr;
+}
+
+Result<Placement> Cluster::Submit(const WorkloadDescriptor& workload,
+                                  uint32_t cores, PlacementPolicy policy) {
+  CHECK(!nodes_.empty()) << "cluster has no nodes";
+  ClusterNode* node = PickNode(workload, cores, policy);
+  if (node == nullptr) {
+    return ResourceExhaustedError("no node can host " + workload.name);
+  }
+  Result<AppId> app = node->Admit(workload, cores);
+  if (!app.ok()) {
+    return app.status();
+  }
+  return Placement{node, *app};
+}
+
+void Cluster::Tick(double dt) {
+  for (const std::unique_ptr<ClusterNode>& node : nodes_) {
+    node->Tick(dt);
+  }
+}
+
+double Cluster::MeanNodeUnfairness() const {
+  if (nodes_.empty()) {
+    return 0.0;
+  }
+  double sum = 0.0;
+  size_t counted = 0;
+  for (const std::unique_ptr<ClusterNode>& node : nodes_) {
+    if (node->NumJobs() >= 2) {
+      sum += node->CurrentUnfairness();
+      ++counted;
+    }
+  }
+  return counted > 0 ? sum / static_cast<double>(counted) : 0.0;
+}
+
+std::vector<double> Cluster::AllSlowdowns() const {
+  std::vector<double> slowdowns;
+  for (const std::unique_ptr<ClusterNode>& node : nodes_) {
+    const std::vector<double> node_slowdowns = node->CurrentSlowdowns();
+    slowdowns.insert(slowdowns.end(), node_slowdowns.begin(),
+                     node_slowdowns.end());
+  }
+  return slowdowns;
+}
+
+}  // namespace copart

@@ -1,0 +1,126 @@
+// Multi-node consolidation: a small cluster of simulated servers, each
+// running its own CoPart instance, with placement policies for incoming
+// jobs.
+//
+// The paper's setting is a single consolidated server; datacenters run
+// fleets of them, and the operator's first decision — *which node gets the
+// job* — determines how much unfairness each node's CoPart has to fix.
+// This module composes the library into that workflow:
+//
+//   ClusterNode  = SimulatedMachine + Resctrl + PerfMonitor +
+//                  ResourceManager, ticked together.
+//   Cluster      = nodes + a placement policy:
+//     kFirstFit    — first node with enough free cores,
+//     kLeastLoaded — most free cores,
+//     kWhatIfBest  — the node where the what-if model (harness/whatif.h)
+//                    predicts the lowest post-placement unfairness.
+//
+// Per-node CoPart then partitions LLC/MBA among whatever landed there.
+// bench_cluster_placement quantifies how much placement quality the
+// what-if model buys on top of per-node CoPart.
+#ifndef COPART_CLUSTER_CLUSTER_H_
+#define COPART_CLUSTER_CLUSTER_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "core/resource_manager.h"
+#include "machine/simulated_machine.h"
+#include "pmc/perf_monitor.h"
+#include "resctrl/resctrl.h"
+#include "workload/workload.h"
+
+namespace copart {
+
+class ClusterNode {
+ public:
+  // manage = false runs the node WITHOUT a partitioning controller (all
+  // apps share the full LLC at MBA 100) — the baseline that isolates how
+  // much damage placement alone can cause or avoid.
+  ClusterNode(std::string name, const MachineConfig& machine_config,
+              const ResourceManagerParams& manager_params,
+              bool manage = true);
+
+  // Launches the job and hands it to this node's CoPart instance.
+  Result<AppId> Admit(const WorkloadDescriptor& workload, uint32_t cores);
+  Status Evict(AppId app);
+
+  // One control period: machine time plus the controller tick.
+  void Tick(double dt);
+
+  const std::string& name() const { return name_; }
+  uint32_t FreeCores() const { return machine_.FreeCores(); }
+  size_t NumJobs() const {
+    return manage_ ? manager_.NumApps() : machine_.ListApps().size();
+  }
+  // Workload descriptors of everything currently resident.
+  std::vector<WorkloadDescriptor> ResidentWorkloads() const;
+
+  // Ground-truth metrics from the machine model.
+  std::vector<double> CurrentSlowdowns() const;
+  double CurrentUnfairness() const;
+
+  SimulatedMachine& machine() { return machine_; }
+  ResourceManager& manager() { return manager_; }
+  bool managed() const { return manage_; }
+
+ private:
+  std::string name_;
+  bool manage_ = true;
+  SimulatedMachine machine_;
+  Resctrl resctrl_;
+  PerfMonitor monitor_;
+  ResourceManager manager_;
+};
+
+enum class PlacementPolicy {
+  kFirstFit,
+  kLeastLoaded,
+  kWhatIfBest,
+};
+
+const char* PlacementPolicyName(PlacementPolicy policy);
+
+struct Placement {
+  ClusterNode* node = nullptr;
+  AppId app;
+};
+
+class Cluster {
+ public:
+  Cluster() = default;
+
+  // Adds a node; returns a stable pointer owned by the cluster.
+  // manage = false disables the per-node CoPart controller.
+  ClusterNode* AddNode(const std::string& name,
+                       const MachineConfig& machine_config = {},
+                       const ResourceManagerParams& manager_params = {},
+                       bool manage = true);
+
+  // Places and admits `workload` per `policy`. kResourceExhausted when no
+  // node has `cores` free.
+  Result<Placement> Submit(const WorkloadDescriptor& workload, uint32_t cores,
+                           PlacementPolicy policy);
+
+  void Tick(double dt);
+
+  size_t NumNodes() const { return nodes_.size(); }
+  ClusterNode* node(size_t index) { return nodes_[index].get(); }
+
+  // Fleet metrics: mean per-node unfairness and geomean of ALL job
+  // slowdowns (cluster-wide fairness of outcome).
+  double MeanNodeUnfairness() const;
+  std::vector<double> AllSlowdowns() const;
+
+ private:
+  ClusterNode* PickNode(const WorkloadDescriptor& workload, uint32_t cores,
+                        PlacementPolicy policy);
+
+  std::vector<std::unique_ptr<ClusterNode>> nodes_;
+};
+
+}  // namespace copart
+
+#endif  // COPART_CLUSTER_CLUSTER_H_

@@ -1,0 +1,61 @@
+#include "common/logging.h"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace copart {
+namespace {
+
+std::atomic<int32_t> g_min_severity{static_cast<int32_t>(LogSeverity::kInfo)};
+
+const char* SeverityName(LogSeverity severity) {
+  switch (severity) {
+    case LogSeverity::kDebug:
+      return "DEBUG";
+    case LogSeverity::kInfo:
+      return "INFO";
+    case LogSeverity::kWarning:
+      return "WARN";
+    case LogSeverity::kError:
+      return "ERROR";
+    case LogSeverity::kFatal:
+      return "FATAL";
+  }
+  return "?";
+}
+
+const char* Basename(const char* path) {
+  const char* slash = std::strrchr(path, '/');
+  return slash != nullptr ? slash + 1 : path;
+}
+
+}  // namespace
+
+LogSeverity MinLogSeverity() {
+  return static_cast<LogSeverity>(g_min_severity.load(std::memory_order_relaxed));
+}
+
+void SetMinLogSeverity(LogSeverity severity) {
+  g_min_severity.store(static_cast<int32_t>(severity), std::memory_order_relaxed);
+}
+
+namespace internal {
+
+LogMessage::LogMessage(LogSeverity severity, const char* file, int line)
+    : severity_(severity), file_(file), line_(line) {}
+
+LogMessage::~LogMessage() {
+  if (severity_ >= MinLogSeverity() || severity_ == LogSeverity::kFatal) {
+    std::fprintf(stderr, "[%s %s:%d] %s\n", SeverityName(severity_),
+                 Basename(file_), line_, stream_.str().c_str());
+    std::fflush(stderr);
+  }
+  if (severity_ == LogSeverity::kFatal) {
+    std::abort();
+  }
+}
+
+}  // namespace internal
+}  // namespace copart

@@ -1,0 +1,103 @@
+// Minimal logging and assertion facilities for the CoPart library.
+//
+// The library is exception-free: unrecoverable programming errors abort via
+// CHECK macros, recoverable errors flow through common/status.h. Log output
+// goes to stderr and can be filtered by severity at runtime.
+#ifndef COPART_COMMON_LOGGING_H_
+#define COPART_COMMON_LOGGING_H_
+
+#include <cstdint>
+#include <sstream>
+#include <string>
+
+namespace copart {
+
+enum class LogSeverity : int32_t {
+  kDebug = 0,
+  kInfo = 1,
+  kWarning = 2,
+  kError = 3,
+  kFatal = 4,
+};
+
+// Returns the current minimum severity that will be emitted.
+LogSeverity MinLogSeverity();
+
+// Sets the minimum severity that will be emitted. Thread-safe.
+void SetMinLogSeverity(LogSeverity severity);
+
+namespace internal {
+
+// Accumulates one log statement and emits it (with file:line prefix) on
+// destruction. A kFatal message aborts the process after emission.
+class LogMessage {
+ public:
+  LogMessage(LogSeverity severity, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  std::ostream& stream() { return stream_; }
+
+ private:
+  LogSeverity severity_;
+  const char* file_;
+  int line_;
+  std::ostringstream stream_;
+};
+
+// Swallows the streamed expression when a log statement is compiled out or
+// filtered; keeps `LOG(...) << x;` well-formed in all configurations.
+class NullStream {
+ public:
+  template <typename T>
+  NullStream& operator<<(const T&) {
+    return *this;
+  }
+};
+
+// Turns a streamed LogMessage expression into void so it can sit on one arm
+// of the CHECK ternary ("voidify" idiom): `&` binds looser than `<<` but
+// tighter than `?:`.
+class LogMessageVoidify {
+ public:
+  void operator&(std::ostream&) {}
+};
+
+}  // namespace internal
+}  // namespace copart
+
+#define COPART_LOG_INTERNAL(severity)                                        \
+  ::copart::internal::LogMessage(severity, __FILE__, __LINE__).stream()
+
+#define LOG_DEBUG COPART_LOG_INTERNAL(::copart::LogSeverity::kDebug)
+#define LOG_INFO COPART_LOG_INTERNAL(::copart::LogSeverity::kInfo)
+#define LOG_WARNING COPART_LOG_INTERNAL(::copart::LogSeverity::kWarning)
+#define LOG_ERROR COPART_LOG_INTERNAL(::copart::LogSeverity::kError)
+#define LOG_FATAL COPART_LOG_INTERNAL(::copart::LogSeverity::kFatal)
+
+// CHECK aborts (after logging) when `condition` is false. Active in all build
+// modes: the simulator's correctness invariants are cheap relative to the
+// epoch solver, and silent corruption is far more expensive than the branch.
+#define CHECK(condition)                                                     \
+  (condition) ? (void)0                                                      \
+              : ::copart::internal::LogMessageVoidify() &                    \
+                    COPART_LOG_INTERNAL(::copart::LogSeverity::kFatal)       \
+                        << "Check failed: " #condition " "
+
+#define CHECK_OP(lhs, rhs, op)                                               \
+  ((lhs)op(rhs)) ? (void)0                                                   \
+                 : ::copart::internal::LogMessageVoidify() &                 \
+                       COPART_LOG_INTERNAL(::copart::LogSeverity::kFatal)    \
+                           << "Check failed: " #lhs " " #op " " #rhs         \
+                           << " (lhs=" << (lhs) << ", rhs=" << (rhs) << ") "
+
+#define CHECK_EQ(lhs, rhs) CHECK_OP(lhs, rhs, ==)
+#define CHECK_NE(lhs, rhs) CHECK_OP(lhs, rhs, !=)
+#define CHECK_LT(lhs, rhs) CHECK_OP(lhs, rhs, <)
+#define CHECK_LE(lhs, rhs) CHECK_OP(lhs, rhs, <=)
+#define CHECK_GT(lhs, rhs) CHECK_OP(lhs, rhs, >)
+#define CHECK_GE(lhs, rhs) CHECK_OP(lhs, rhs, >=)
+
+#endif  // COPART_COMMON_LOGGING_H_

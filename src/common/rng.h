@@ -1,0 +1,50 @@
+// Deterministic pseudo-random number generation.
+//
+// Every stochastic component in the simulator (trace generators, CoPart's
+// neighbor-state perturbation, the ANY-resource tie break in the HR matcher)
+// draws from an explicitly seeded Rng so that experiments replay bit-for-bit.
+#ifndef COPART_COMMON_RNG_H_
+#define COPART_COMMON_RNG_H_
+
+#include <cstdint>
+
+namespace copart {
+
+// SplitMix64-seeded xoshiro256** generator. Small, fast, and good enough for
+// workload synthesis; not cryptographic.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed);
+
+  // Uniform in [0, 2^64).
+  uint64_t NextUint64();
+
+  // Uniform in [0, bound). bound must be > 0.
+  uint64_t NextUint64(uint64_t bound);
+
+  // Uniform in [0, 1).
+  double NextDouble();
+
+  // Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  int64_t NextInt(int64_t lo, int64_t hi);
+
+  // Bernoulli draw with probability p (clamped to [0, 1]).
+  bool NextBool(double p);
+
+  // Exponentially distributed draw with the given mean (> 0).
+  double NextExponential(double mean);
+
+  // Standard normal draw (Box-Muller).
+  double NextGaussian();
+
+  // Derives an independent child generator; used to give each workload its
+  // own stream so adding an app does not shift the draws of the others.
+  Rng Fork();
+
+ private:
+  uint64_t state_[4];
+};
+
+}  // namespace copart
+
+#endif  // COPART_COMMON_RNG_H_

@@ -1,0 +1,51 @@
+// Small statistics helpers used by the metrics module, the experiment
+// harness, and the latency model: mean / stddev / geometric mean, a running
+// accumulator, and a fixed-capacity percentile reservoir.
+#ifndef COPART_COMMON_STATS_H_
+#define COPART_COMMON_STATS_H_
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace copart {
+
+// Arithmetic mean; 0 for an empty span.
+double Mean(std::span<const double> values);
+
+// Population standard deviation; 0 for spans of size < 2.
+double StdDev(std::span<const double> values);
+
+// Geometric mean; requires all values > 0; 0 for an empty span.
+double GeoMean(std::span<const double> values);
+
+// Linear-interpolated percentile, p in [0, 100]. Copies + sorts internally;
+// 0 for an empty span.
+double Percentile(std::span<const double> values, double p);
+
+// Streaming mean/variance (Welford). Used for per-epoch counter summaries
+// where storing every sample would be wasteful.
+class RunningStats {
+ public:
+  void Add(double value);
+  void Reset();
+
+  size_t count() const { return count_; }
+  double mean() const { return count_ > 0 ? mean_ : 0.0; }
+  // Population variance / standard deviation.
+  double variance() const;
+  double stddev() const;
+  double min() const { return count_ > 0 ? min_ : 0.0; }
+  double max() const { return count_ > 0 ? max_ : 0.0; }
+
+ private:
+  size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+}  // namespace copart
+
+#endif  // COPART_COMMON_STATS_H_

@@ -1,0 +1,41 @@
+#include "common/status.h"
+
+namespace copart {
+
+const char* StatusCodeName(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return "kOk";
+    case StatusCode::kInvalidArgument:
+      return "kInvalidArgument";
+    case StatusCode::kNotFound:
+      return "kNotFound";
+    case StatusCode::kAlreadyExists:
+      return "kAlreadyExists";
+    case StatusCode::kOutOfRange:
+      return "kOutOfRange";
+    case StatusCode::kFailedPrecondition:
+      return "kFailedPrecondition";
+    case StatusCode::kResourceExhausted:
+      return "kResourceExhausted";
+    case StatusCode::kUnimplemented:
+      return "kUnimplemented";
+    case StatusCode::kInternal:
+      return "kInternal";
+  }
+  return "?";
+}
+
+std::string Status::ToString() const {
+  if (ok()) {
+    return "OK";
+  }
+  std::string result = StatusCodeName(code_);
+  if (!message_.empty()) {
+    result += ": ";
+    result += message_;
+  }
+  return result;
+}
+
+}  // namespace copart

@@ -1,0 +1,136 @@
+// Exception-free error handling: Status carries an error code + message;
+// Result<T> is a value-or-Status union used by fallible library calls
+// (resctrl schemata validation, workload registry lookups, ...).
+#ifndef COPART_COMMON_STATUS_H_
+#define COPART_COMMON_STATUS_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <variant>
+
+#include "common/logging.h"
+
+namespace copart {
+
+enum class StatusCode : int32_t {
+  kOk = 0,
+  kInvalidArgument = 1,
+  kNotFound = 2,
+  kAlreadyExists = 3,
+  kOutOfRange = 4,
+  kFailedPrecondition = 5,
+  kResourceExhausted = 6,
+  kUnimplemented = 7,
+  kInternal = 8,
+};
+
+// Human-readable name for a status code ("kOk", "kInvalidArgument", ...).
+const char* StatusCodeName(StatusCode code);
+
+class Status {
+ public:
+  // Default constructed Status is OK.
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  // "OK" or "kInvalidArgument: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+inline Status InvalidArgumentError(std::string message) {
+  return Status(StatusCode::kInvalidArgument, std::move(message));
+}
+inline Status NotFoundError(std::string message) {
+  return Status(StatusCode::kNotFound, std::move(message));
+}
+inline Status AlreadyExistsError(std::string message) {
+  return Status(StatusCode::kAlreadyExists, std::move(message));
+}
+inline Status OutOfRangeError(std::string message) {
+  return Status(StatusCode::kOutOfRange, std::move(message));
+}
+inline Status FailedPreconditionError(std::string message) {
+  return Status(StatusCode::kFailedPrecondition, std::move(message));
+}
+inline Status ResourceExhaustedError(std::string message) {
+  return Status(StatusCode::kResourceExhausted, std::move(message));
+}
+inline Status InternalError(std::string message) {
+  return Status(StatusCode::kInternal, std::move(message));
+}
+
+// Value-or-error. Accessing value() on an error Result is a fatal CHECK;
+// callers must test ok() (or use value_or) on fallible paths.
+template <typename T>
+class Result {
+ public:
+  // Implicit conversions make `return value;` / `return SomeError(...);`
+  // read naturally at call sites, mirroring absl::StatusOr.
+  Result(T value) : data_(std::move(value)) {}          // NOLINT
+  Result(Status status) : data_(std::move(status)) {    // NOLINT
+    CHECK(!std::get<Status>(data_).ok())
+        << "Result<T> constructed from OK status without a value";
+  }
+
+  bool ok() const { return std::holds_alternative<T>(data_); }
+
+  const Status& status() const {
+    static const Status kOk;
+    return ok() ? kOk : std::get<Status>(data_);
+  }
+
+  const T& value() const& {
+    CHECK(ok()) << "Result::value() on error: " << status().ToString();
+    return std::get<T>(data_);
+  }
+  T& value() & {
+    CHECK(ok()) << "Result::value() on error: " << status().ToString();
+    return std::get<T>(data_);
+  }
+  T&& value() && {
+    CHECK(ok()) << "Result::value() on error: " << status().ToString();
+    return std::get<T>(std::move(data_));
+  }
+
+  T value_or(T fallback) const {
+    return ok() ? std::get<T>(data_) : std::move(fallback);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  std::variant<T, Status> data_;
+};
+
+}  // namespace copart
+
+// Propagates an error Status from a fallible expression, mirroring
+// absl's RETURN_IF_ERROR.
+#define RETURN_IF_ERROR(expr)                  \
+  do {                                         \
+    ::copart::Status status_ = (expr);         \
+    if (!status_.ok()) {                       \
+      return status_;                          \
+    }                                          \
+  } while (0)
+
+#endif  // COPART_COMMON_STATUS_H_

@@ -1,0 +1,25 @@
+// Unit helpers shared across the simulator: byte quantities, bandwidth, and
+// simulated-time constants. Kept as plain constexpr functions/constants so the
+// call sites (cache geometry, bandwidth arbitration) stay arithmetic-friendly.
+#ifndef COPART_COMMON_UNITS_H_
+#define COPART_COMMON_UNITS_H_
+
+#include <cstdint>
+
+namespace copart {
+
+constexpr uint64_t KiB(uint64_t n) { return n * 1024ULL; }
+constexpr uint64_t MiB(uint64_t n) { return n * 1024ULL * 1024ULL; }
+constexpr uint64_t GiB(uint64_t n) { return n * 1024ULL * 1024ULL * 1024ULL; }
+
+// Bandwidths are carried as bytes/second (double); GBps is decimal GB as in
+// vendor datasheets (the paper's "~28GB/s").
+constexpr double GBps(double n) { return n * 1e9; }
+
+// Simulated time is carried as double seconds.
+constexpr double Milliseconds(double n) { return n * 1e-3; }
+constexpr double Microseconds(double n) { return n * 1e-6; }
+
+}  // namespace copart
+
+#endif  // COPART_COMMON_UNITS_H_

@@ -1,0 +1,118 @@
+#include "core/classifiers.h"
+
+namespace copart {
+
+const char* ResourceClassName(ResourceClass state) {
+  switch (state) {
+    case ResourceClass::kSupply:
+      return "Supply";
+    case ResourceClass::kMaintain:
+      return "Maintain";
+    case ResourceClass::kDemand:
+      return "Demand";
+  }
+  return "?";
+}
+
+LlcClassifierFsm::LlcClassifierFsm(const ClassifierParams& params,
+                                   ResourceClass initial)
+    : params_(params), state_(initial) {}
+
+void LlcClassifierFsm::Reset(ResourceClass initial) { state_ = initial; }
+
+ResourceClass LlcClassifierFsm::Update(const ClassifierInput& input) {
+  const bool cache_useless =
+      input.llc_access_rate < params_.llc_access_rate_floor ||
+      input.llc_miss_ratio < params_.llc_miss_ratio_low;
+  const bool miss_ratio_high =
+      input.llc_miss_ratio > params_.llc_miss_ratio_high;
+  const bool gained_way = input.last_event == ResourceEvent::kGainedLlcWay;
+  const bool lost_way = input.last_event == ResourceEvent::kLostLlcWay;
+  const bool improved = input.perf_delta >= params_.perf_delta;
+  const bool degraded = input.perf_delta <= -params_.perf_delta;
+
+  // Priority 1 — direct evidence beats rate heuristics: a measured
+  // degradation right after losing a way means the way was needed,
+  // whatever the counters suggest.
+  if (lost_way && degraded) {
+    state_ = ResourceClass::kDemand;
+    return state_;
+  }
+  // Priority 2 — an app that barely touches the LLC (below alpha) or
+  // barely misses (below beta) has no use for capacity: Supply.
+  if (cache_useless) {
+    state_ = ResourceClass::kSupply;
+    return state_;
+  }
+  // Priority 3 — state-specific transitions.
+  switch (state_) {
+    case ResourceClass::kDemand:
+      if (gained_way && !improved) {
+        // An additional way bought little: the demand is satisfied.
+        state_ = ResourceClass::kMaintain;
+      }
+      break;
+    case ResourceClass::kMaintain:
+      if (miss_ratio_high) {
+        state_ = ResourceClass::kDemand;
+      }
+      break;
+    case ResourceClass::kSupply:
+      if (miss_ratio_high) {
+        state_ = ResourceClass::kMaintain;
+      }
+      break;
+  }
+  return state_;
+}
+
+MbaClassifierFsm::MbaClassifierFsm(const ClassifierParams& params,
+                                   ResourceClass initial)
+    : params_(params), state_(initial) {}
+
+void MbaClassifierFsm::Reset(ResourceClass initial) { state_ = initial; }
+
+ResourceClass MbaClassifierFsm::Update(const ClassifierInput& input) {
+  const bool traffic_low = input.traffic_ratio < params_.traffic_ratio_low;
+  const bool traffic_high = input.traffic_ratio > params_.traffic_ratio_high;
+  const bool gained_mba = input.last_event == ResourceEvent::kGainedMba;
+  const bool lost_mba = input.last_event == ResourceEvent::kLostMba;
+  const bool gained_llc = input.last_event == ResourceEvent::kGainedLlcWay;
+  const bool improved = input.perf_delta >= params_.perf_delta;
+  const bool degraded = input.perf_delta <= -params_.perf_delta;
+
+  // Priority 1 — direct evidence: the throttle we just tightened hurt.
+  if (lost_mba && degraded) {
+    state_ = ResourceClass::kDemand;
+    return state_;
+  }
+  // Priority 2 — negligible memory traffic relative to STREAM: Supply.
+  if (traffic_low) {
+    state_ = ResourceClass::kSupply;
+    return state_;
+  }
+  // Priority 3 — state-specific transitions.
+  switch (state_) {
+    case ResourceClass::kDemand:
+      if (gained_mba && !improved) {
+        state_ = ResourceClass::kMaintain;
+      } else if (gained_llc && !improved) {
+        // Paper §5.3: a small gain from an LLC way says nothing about
+        // bandwidth sensitivity — remain in Demand.
+      }
+      break;
+    case ResourceClass::kMaintain:
+      if (traffic_high) {
+        state_ = ResourceClass::kDemand;
+      }
+      break;
+    case ResourceClass::kSupply:
+      if (traffic_high) {
+        state_ = ResourceClass::kMaintain;
+      }
+      break;
+  }
+  return state_;
+}
+
+}  // namespace copart

@@ -1,0 +1,97 @@
+// The LLC and memory-bandwidth characteristic classifiers (paper §5.2-5.3).
+//
+// One FSM of each kind is maintained per consolidated application. Each
+// control period the FSMs consume the app's PMC-derived rates, its relative
+// performance change, and the resource event that CoPart last applied to it,
+// and classify the app as a Supply (producer), Maintain, or Demand
+// (consumer) of the resource.
+//
+// The paper's Figures 8 and 9 give the states, the threshold parameters
+// (alpha, beta, Beta, gamma, Gamma, deltaP) and examples of the transitions;
+// the full transition relation below is reconstructed from the figures plus
+// the prose. Both FSMs apply the same priority order:
+//
+//   1. Direct evidence first: losing the FSM's resource last period AND
+//      degrading by > deltaP forces Demand from every state — measured
+//      harm outranks any counter heuristic.
+//   2. Uselessness second: an LLC access rate below alpha or a miss ratio
+//      below beta (resp. a memory traffic ratio below gamma) forces Supply.
+//   3. Otherwise state-specific moves:
+//
+// LLC FSM (Fig. 8):
+//   Demand -> Demand    gaining a way improved performance by >= deltaP.
+//   Demand -> Maintain  gaining a way improved performance by < deltaP.
+//   Maintain -> Demand  miss ratio above Beta.
+//   Supply -> Maintain  miss ratio rose above Beta.
+//
+// MBA FSM (Fig. 9): analogous, keyed on the *memory traffic ratio* — the
+// app's LLC miss rate divided by STREAM's miss rate at the same MBA level
+// (§3.3) — with gamma/Gamma as the low/high thresholds. Per the paper's
+// explicit design note (§5.3), an app in Demand whose performance gain was
+// small *stays* in Demand when the recently allocated resource was an LLC
+// way: the small gain indicates low LLC sensitivity, not satisfied
+// bandwidth demand.
+#ifndef COPART_CORE_CLASSIFIERS_H_
+#define COPART_CORE_CLASSIFIERS_H_
+
+#include "core/copart_params.h"
+
+namespace copart {
+
+enum class ResourceClass {
+  kSupply,
+  kMaintain,
+  kDemand,
+};
+
+const char* ResourceClassName(ResourceClass state);
+
+// What CoPart changed for this app between the previous and current period.
+enum class ResourceEvent {
+  kNone,
+  kGainedLlcWay,
+  kLostLlcWay,
+  kGainedMba,
+  kLostMba,
+};
+
+// Per-period observations for one app.
+struct ClassifierInput {
+  double llc_access_rate = 0.0;   // accesses/s
+  double llc_miss_ratio = 0.0;    // misses/accesses
+  double traffic_ratio = 0.0;     // miss rate / STREAM miss rate @ same level
+  double perf_delta = 0.0;        // (ips_now - ips_prev) / ips_prev
+  ResourceEvent last_event = ResourceEvent::kNone;
+};
+
+class LlcClassifierFsm {
+ public:
+  explicit LlcClassifierFsm(const ClassifierParams& params,
+                            ResourceClass initial = ResourceClass::kMaintain);
+
+  void Reset(ResourceClass initial);
+  ResourceClass Update(const ClassifierInput& input);
+  ResourceClass state() const { return state_; }
+
+ private:
+  ClassifierParams params_;
+  ResourceClass state_;
+};
+
+class MbaClassifierFsm {
+ public:
+  explicit MbaClassifierFsm(const ClassifierParams& params,
+                            ResourceClass initial = ResourceClass::kMaintain);
+
+  void Reset(ResourceClass initial);
+  ResourceClass Update(const ClassifierInput& input);
+  ResourceClass state() const { return state_; }
+
+ private:
+  ClassifierParams params_;
+  ResourceClass state_;
+};
+
+}  // namespace copart
+
+#endif  // COPART_CORE_CLASSIFIERS_H_

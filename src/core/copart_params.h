@@ -1,0 +1,77 @@
+// Design parameters of CoPart (paper §5.2, §5.3, §5.4, Fig. 11).
+//
+// The values are the ones the paper selected through design-space
+// exploration; bench_fig11_param_sensitivity sweeps them.
+#ifndef COPART_CORE_COPART_PARAMS_H_
+#define COPART_CORE_COPART_PARAMS_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+namespace copart {
+
+class SystemState;
+struct MatchAppInfo;
+struct MatchResult;
+class Rng;
+
+// Signature of the allocation step (Algorithm 2). Overridable so ablation
+// studies can swap the HR matcher for alternatives (bench_ablation_matching).
+using MatchFunction = std::function<MatchResult(
+    const SystemState& state, const std::vector<MatchAppInfo>& apps, Rng& rng,
+    bool enable_llc, bool enable_mba)>;
+
+struct ClassifierParams {
+  // alpha: LLC access-rate floor (accesses/s). Below it the app has no use
+  // for cache capacity and supplies its ways.
+  double llc_access_rate_floor = 1.5e6;
+  // beta: "sufficiently low" LLC miss ratio -> the app supplies ways.
+  double llc_miss_ratio_low = 0.01;
+  // Beta (capital): high LLC miss ratio -> the app demands ways.
+  double llc_miss_ratio_high = 0.03;
+  // gamma: memory-traffic ratio (vs. STREAM) below which the app supplies
+  // memory bandwidth.
+  double traffic_ratio_low = 0.10;
+  // Gamma (capital): traffic ratio above which the app demands bandwidth.
+  double traffic_ratio_high = 0.30;
+  // deltaP: relative performance change considered significant.
+  double perf_delta = 0.05;
+};
+
+struct ResourceManagerParams {
+  ClassifierParams classifier;
+
+  // Control period between adaptation steps (Algorithm 1's sleep(period)).
+  double control_period_sec = 0.5;
+
+  // theta: neighbor-state retries before transitioning to the idle phase.
+  int theta = 3;
+
+  // Profiling probes (§5.4.1): l_P ways at 100% MBA, and all ways at M_P.
+  uint32_t profile_ways = 2;
+  uint32_t profile_mba_percent = 20;
+  // Degradation threshold that sets the initial FSM state to Demand.
+  double profile_degradation_threshold = 0.10;
+
+  // Idle phase: relative IPS drift (vs. the value recorded when entering
+  // idle) that re-triggers adaptation, e.g. when an outer server manager
+  // resizes the pool (§5.4.3, §6.3).
+  double idle_ips_drift_threshold = 0.20;
+
+  // Feature gates used to express the paper's baselines: CAT-only freezes
+  // MBA moves, MBA-only freezes LLC moves. CoPart enables both.
+  bool enable_llc_partitioning = true;
+  bool enable_mba_partitioning = true;
+
+  // RNG seed for the randomized pieces (neighbor states, ANY tie-breaks).
+  uint64_t seed = 0xC0'FA'27ULL;
+
+  // Allocation step override; null selects the paper's HR matcher
+  // (GetNextSystemState). Used only by ablation studies.
+  MatchFunction matcher;
+};
+
+}  // namespace copart
+
+#endif  // COPART_CORE_COPART_PARAMS_H_

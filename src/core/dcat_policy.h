@@ -1,0 +1,73 @@
+// dCat-style dynamic cache partitioning baseline.
+//
+// The paper's closest related work ([45], Xu et al., EuroSys'18 "dCat")
+// dynamically resizes LLC partitions from lightweight online feedback,
+// without miss-curve models: each period, classify every app by how its
+// performance responded to its last size change and grow the apps that
+// benefit from cache at the expense of those that do not. This
+// implementation distills that feedback loop:
+//
+//   - Every app keeps a per-way marginal benefit estimate, updated from
+//     the measured IPS delta whenever its allocation changed.
+//   - Each period, the app with the highest positive estimated benefit
+//     takes one way from the app with the lowest estimate (if the transfer
+//     is feasible), with estimates decayed so stale observations fade.
+//   - Memory bandwidth is NOT managed (like dCat and the paper's CAT-only
+//     class): MBA stays at the equal static share.
+//
+// It optimizes throughput via local feedback, giving the comparison a
+// dynamic LLC-only baseline with a genuinely different algorithm from
+// CoPart's classifier + matching approach (CAT-only shares CoPart's
+// machinery; dCat does not).
+#ifndef COPART_CORE_DCAT_POLICY_H_
+#define COPART_CORE_DCAT_POLICY_H_
+
+#include <vector>
+
+#include "core/policies.h"
+#include "core/system_state.h"
+#include "machine/app_id.h"
+#include "pmc/perf_monitor.h"
+#include "resctrl/resctrl.h"
+
+namespace copart {
+
+class DcatPolicy : public ConsolidationPolicy {
+ public:
+  DcatPolicy(Resctrl* resctrl, PerfMonitor* monitor, std::vector<AppId> apps,
+             ResourcePool pool);
+
+  std::string name() const override { return "dCat"; }
+  void Start() override;
+  void Tick() override;
+
+  const SystemState& current_state() const { return state_; }
+
+ private:
+  struct AppState {
+    AppId id;
+    ResctrlGroupId group;
+    double prev_ips = 0.0;
+    // Smoothed estimate of the relative IPS change per way gained.
+    double benefit_estimate = 0.0;
+    int last_delta_ways = 0;  // Allocation change applied last period.
+  };
+
+  void Apply();
+
+  Resctrl* resctrl_;      // Not owned.
+  PerfMonitor* monitor_;  // Not owned.
+  ResourcePool pool_;
+  std::vector<AppState> apps_;
+  SystemState state_;
+  uint64_t tick_ = 0;
+
+  // Exponential smoothing for the benefit estimates and the minimum
+  // estimated benefit that justifies a transfer.
+  static constexpr double kSmoothing = 0.5;
+  static constexpr double kMinBenefit = 0.01;
+};
+
+}  // namespace copart
+
+#endif  // COPART_CORE_DCAT_POLICY_H_

@@ -1,0 +1,59 @@
+// The coordinated allocation step: CoPart's getNextSystemState
+// (paper §5.4.2, Algorithm 2).
+//
+// The resource allocation problem is formulated as a Hospitals/Residents
+// matching: resource types {LLC, MBA, ANY} act as hospitals whose capacity
+// is the number of applications willing to supply that type; applications
+// demanding resources are the residents. Hospitals prefer consumers with
+// HIGHER slowdowns (fairness: feed the most-slowed apps first); when
+// reclaiming, producers with LOWER slowdowns are drafted first. Consumers
+// demanding one specific type prefer the matching hospital over ANY;
+// consumers demanding both randomize which specific type they try first —
+// the paper's randomness that keeps the search from converging to a local
+// optimum. The matching is resolved with an instability-chaining-style
+// displacement pass in O(N_A^2).
+#ifndef COPART_CORE_HR_MATCHING_H_
+#define COPART_CORE_HR_MATCHING_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/classifiers.h"
+#include "core/system_state.h"
+
+namespace copart {
+
+// Per-app matching inputs, index-aligned with the SystemState.
+struct MatchAppInfo {
+  double slowdown = 1.0;
+  ResourceClass llc_class = ResourceClass::kMaintain;
+  ResourceClass mba_class = ResourceClass::kMaintain;
+};
+
+// One resource transfer decided by the matcher (for logging/diagnostics and
+// for deriving the per-app ResourceEvents fed back into the FSMs).
+struct ResourceTransfer {
+  bool is_llc = false;
+  size_t producer = 0;
+  size_t consumer = 0;
+};
+
+struct MatchResult {
+  SystemState next_state;
+  std::vector<ResourceTransfer> transfers;
+};
+
+// Computes the next system state from the current state and the per-app
+// classifications. Gates: `enable_llc` / `enable_mba` restrict which
+// resource types may move (used by the CAT-only / MBA-only baselines).
+// The returned state is always Valid(); it equals `state` when no
+// producer/consumer pair can be matched.
+MatchResult GetNextSystemState(const SystemState& state,
+                               const std::vector<MatchAppInfo>& apps,
+                               Rng& rng, bool enable_llc = true,
+                               bool enable_mba = true);
+
+}  // namespace copart
+
+#endif  // COPART_CORE_HR_MATCHING_H_

@@ -1,0 +1,101 @@
+#include "core/policies.h"
+
+#include "common/logging.h"
+
+namespace copart {
+
+StaticStatePolicy::StaticStatePolicy(Resctrl* resctrl, std::vector<AppId> apps,
+                                     SystemState state, std::string name)
+    : resctrl_(resctrl),
+      apps_(std::move(apps)),
+      state_(std::move(state)),
+      name_(std::move(name)) {
+  CHECK_NE(resctrl, nullptr);
+  CHECK_EQ(apps_.size(), state_.NumApps());
+}
+
+void StaticStatePolicy::Start() {
+  CHECK(state_.Valid());
+  groups_.clear();
+  for (size_t i = 0; i < apps_.size(); ++i) {
+    Result<ResctrlGroupId> group = resctrl_->CreateGroup(
+        name_ + "_app_" + std::to_string(apps_[i].value()));
+    CHECK(group.ok()) << group.status().ToString();
+    groups_.push_back(*group);
+    Status status = resctrl_->AssignApp(*group, apps_[i]);
+    CHECK(status.ok()) << status.ToString();
+    status = resctrl_->SetCacheMask(*group, state_.WayMaskBits(i));
+    CHECK(status.ok()) << status.ToString();
+    status = resctrl_->SetMbaPercent(*group,
+                                     state_.allocation(i).mba_level.percent());
+    CHECK(status.ok()) << status.ToString();
+  }
+}
+
+std::unique_ptr<ConsolidationPolicy> MakeEqualPolicy(
+    Resctrl* resctrl, std::vector<AppId> apps, const ResourcePool& pool) {
+  SystemState state = SystemState::EqualShareThrottled(pool, apps.size());
+  return std::make_unique<StaticStatePolicy>(resctrl, std::move(apps),
+                                             std::move(state), "EQ");
+}
+
+std::unique_ptr<ConsolidationPolicy> MakeStaticOraclePolicy(
+    Resctrl* resctrl, std::vector<AppId> apps, SystemState best_state) {
+  return std::make_unique<StaticStatePolicy>(resctrl, std::move(apps),
+                                             std::move(best_state), "ST");
+}
+
+NoPartitionPolicy::NoPartitionPolicy(Resctrl* resctrl, std::vector<AppId> apps)
+    : resctrl_(resctrl), apps_(std::move(apps)) {
+  CHECK_NE(resctrl, nullptr);
+}
+
+void NoPartitionPolicy::Start() {
+  // Leave every app in the default group: full mask, MBA 100 — exactly how
+  // an unmanaged machine runs.
+  for (AppId app : apps_) {
+    Status status = resctrl_->AssignApp(resctrl_->DefaultGroup(), app);
+    CHECK(status.ok()) << status.ToString();
+  }
+}
+
+CoPartPolicy::CoPartPolicy(Resctrl* resctrl, PerfMonitor* monitor,
+                           std::vector<AppId> apps, const ResourcePool& pool,
+                           ResourceManagerParams params, Mode mode)
+    : apps_(std::move(apps)), pool_(pool), mode_(mode) {
+  switch (mode_) {
+    case Mode::kCoordinated:
+      break;
+    case Mode::kCatOnly:
+      params.enable_mba_partitioning = false;
+      break;
+    case Mode::kMbaOnly:
+      params.enable_llc_partitioning = false;
+      break;
+  }
+  manager_ = std::make_unique<ResourceManager>(resctrl, monitor, params);
+}
+
+std::string CoPartPolicy::name() const {
+  switch (mode_) {
+    case Mode::kCoordinated:
+      return "CoPart";
+    case Mode::kCatOnly:
+      return "CAT-only";
+    case Mode::kMbaOnly:
+      return "MBA-only";
+  }
+  return "?";
+}
+
+void CoPartPolicy::Start() {
+  manager_->SetResourcePool(pool_);
+  for (AppId app : apps_) {
+    Status status = manager_->AddApp(app);
+    CHECK(status.ok()) << status.ToString();
+  }
+}
+
+void CoPartPolicy::Tick() { manager_->Tick(); }
+
+}  // namespace copart

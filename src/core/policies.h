@@ -1,0 +1,105 @@
+// The resource allocation policies evaluated in the paper (§6.1):
+//
+//   EQ        — equal LLC ways and equal MBA share per app, static.
+//   ST        — the best static state found by extensive offline search
+//               (the state is computed by harness/static_oracle.h).
+//   CAT-only  — dynamic LLC partitioning (CoPart machinery restricted to
+//               LLC moves), equal static MBA.
+//   MBA-only  — dynamic MBA partitioning, equal static LLC.
+//   CoPart    — coordinated dynamic partitioning of both resources.
+//   NoPart    — no partitioning at all (every app in a full-mask group at
+//               MBA 100); the normalization baseline of Figs. 4-6.
+//
+// All policies actuate through resctrl only, and share a common driving
+// convention: Start() once after the apps are launched, then Tick() after
+// every control period.
+#ifndef COPART_CORE_POLICIES_H_
+#define COPART_CORE_POLICIES_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/resource_manager.h"
+#include "core/system_state.h"
+#include "machine/app_id.h"
+#include "pmc/perf_monitor.h"
+#include "resctrl/resctrl.h"
+
+namespace copart {
+
+class ConsolidationPolicy {
+ public:
+  virtual ~ConsolidationPolicy() = default;
+
+  virtual std::string name() const = 0;
+  virtual void Start() = 0;
+  virtual void Tick() = 0;
+};
+
+// Applies a fixed SystemState once; used for EQ and ST.
+class StaticStatePolicy : public ConsolidationPolicy {
+ public:
+  StaticStatePolicy(Resctrl* resctrl, std::vector<AppId> apps,
+                    SystemState state, std::string name);
+
+  std::string name() const override { return name_; }
+  void Start() override;
+  void Tick() override {}
+
+ private:
+  Resctrl* resctrl_;
+  std::vector<AppId> apps_;
+  std::vector<ResctrlGroupId> groups_;
+  SystemState state_;
+  std::string name_;
+};
+
+// Builds the EQ baseline: equal ways, MBA level ~= pool_ceiling / num_apps.
+std::unique_ptr<ConsolidationPolicy> MakeEqualPolicy(
+    Resctrl* resctrl, std::vector<AppId> apps, const ResourcePool& pool);
+
+// Builds the ST baseline from a precomputed offline-best state.
+std::unique_ptr<ConsolidationPolicy> MakeStaticOraclePolicy(
+    Resctrl* resctrl, std::vector<AppId> apps, SystemState best_state);
+
+// No partitioning: all apps share the full LLC at MBA 100.
+class NoPartitionPolicy : public ConsolidationPolicy {
+ public:
+  NoPartitionPolicy(Resctrl* resctrl, std::vector<AppId> apps);
+
+  std::string name() const override { return "NoPart"; }
+  void Start() override;
+  void Tick() override {}
+
+ private:
+  Resctrl* resctrl_;
+  std::vector<AppId> apps_;
+};
+
+// CoPart and its single-resource ablations, wrapping ResourceManager.
+class CoPartPolicy : public ConsolidationPolicy {
+ public:
+  enum class Mode { kCoordinated, kCatOnly, kMbaOnly };
+
+  CoPartPolicy(Resctrl* resctrl, PerfMonitor* monitor,
+               std::vector<AppId> apps, const ResourcePool& pool,
+               ResourceManagerParams params, Mode mode = Mode::kCoordinated);
+
+  std::string name() const override;
+  void Start() override;
+  void Tick() override;
+
+  ResourceManager& manager() { return *manager_; }
+  Mode mode() const { return mode_; }
+
+ private:
+  std::vector<AppId> apps_;
+  ResourcePool pool_;
+  Mode mode_;
+  std::unique_ptr<ResourceManager> manager_;
+};
+
+}  // namespace copart
+
+#endif  // COPART_CORE_POLICIES_H_

@@ -1,0 +1,513 @@
+#include "core/resource_manager.h"
+
+#include <algorithm>
+#include <chrono>
+
+#include "common/logging.h"
+#include "membw/mba_throttle_model.h"
+
+namespace copart {
+namespace {
+
+uint64_t ContiguousBits(uint32_t first, uint32_t count) {
+  const uint64_t ones = count == 64 ? ~0ULL : ((1ULL << count) - 1ULL);
+  return ones << first;
+}
+
+}  // namespace
+
+ResourceManager::ResourceManager(Resctrl* resctrl, PerfMonitor* monitor,
+                                 const ResourceManagerParams& params)
+    : resctrl_(resctrl),
+      monitor_(monitor),
+      params_(params),
+      rng_(params.seed) {
+  CHECK_NE(resctrl, nullptr);
+  CHECK_NE(monitor, nullptr);
+  pool_ = ResourcePool{
+      .first_way = 0,
+      .num_ways = resctrl_->machine().config().llc.num_ways,
+      .max_mba_percent = MbaLevel::kMax,
+  };
+  last_seen_generation_ = resctrl_->machine().app_generation();
+}
+
+const char* ResourceManager::PhaseName(Phase phase) {
+  switch (phase) {
+    case Phase::kProfiling:
+      return "profiling";
+    case Phase::kExploration:
+      return "exploration";
+    case Phase::kIdle:
+      return "idle";
+  }
+  return "?";
+}
+
+Status ResourceManager::AddApp(AppId app) {
+  if (!resctrl_->machine().AppExists(app)) {
+    return NotFoundError("no such app");
+  }
+  for (const ManagedApp& managed : apps_) {
+    if (managed.id == app) {
+      return AlreadyExistsError("app already managed");
+    }
+  }
+  if (apps_.size() + 1 > pool_.num_ways) {
+    // CAT needs at least one way per app; admission control, not a crash.
+    return ResourceExhaustedError(
+        "resource pool has fewer ways than managed apps");
+  }
+  Result<ResctrlGroupId> group =
+      resctrl_->CreateGroup("copart_app_" + std::to_string(app.value()));
+  if (!group.ok()) {
+    return group.status();
+  }
+  RETURN_IF_ERROR(resctrl_->AssignApp(*group, app));
+  monitor_->Attach(app);
+
+  ManagedApp managed{.id = app,
+                     .group = *group,
+                     .llc_fsm = LlcClassifierFsm(params_.classifier),
+                     .mba_fsm = MbaClassifierFsm(params_.classifier)};
+  apps_.push_back(std::move(managed));
+  last_seen_generation_ = resctrl_->machine().app_generation();
+  StartAdaptation();
+  return Status::Ok();
+}
+
+Status ResourceManager::RemoveApp(AppId app) {
+  for (size_t i = 0; i < apps_.size(); ++i) {
+    if (apps_[i].id == app) {
+      monitor_->Detach(app);
+      Status status = resctrl_->RemoveGroup(apps_[i].group);
+      CHECK(status.ok()) << status.ToString();
+      apps_.erase(apps_.begin() + static_cast<ptrdiff_t>(i));
+      last_seen_generation_ = resctrl_->machine().app_generation();
+      if (!apps_.empty()) {
+        StartAdaptation();
+      } else {
+        phase_ = Phase::kIdle;
+      }
+      return Status::Ok();
+    }
+  }
+  return NotFoundError("app not managed");
+}
+
+void ResourceManager::SetResourcePool(const ResourcePool& pool) {
+  CHECK_GE(pool.num_ways, 1u);
+  CHECK_LE(pool.first_way + pool.num_ways,
+           resctrl_->machine().config().llc.num_ways);
+  CHECK_GE(pool.max_mba_percent, MbaLevel::kMin);
+  pool_ = pool;
+  if (!apps_.empty()) {
+    StartAdaptation();
+  }
+}
+
+size_t ResourceManager::AppIndex(AppId id) const {
+  for (size_t i = 0; i < apps_.size(); ++i) {
+    if (apps_[i].id == id) {
+      return i;
+    }
+  }
+  LOG_FATAL << "app not managed: " << id.value();
+  __builtin_unreachable();
+}
+
+double ResourceManager::SlowdownEstimate(AppId app) const {
+  const ManagedApp& managed = apps_[AppIndex(app)];
+  if (managed.ips_full <= 0.0 || managed.prev_ips <= 0.0) {
+    return 1.0;
+  }
+  return std::max(1.0, managed.ips_full / managed.prev_ips);
+}
+
+double ResourceManager::StreamMissRateReference(MbaLevel level) const {
+  const MachineConfig& config = resctrl_->machine().config();
+  const MbaThrottleModel throttle(config.mba_cap_exponent);
+  return throttle.CapFraction(level) * config.total_memory_bandwidth /
+         config.llc.line_bytes;
+}
+
+void ResourceManager::StartAdaptation() {
+  CHECK(!apps_.empty());
+  CHECK_GE(pool_.num_ways, apps_.size()) << "more apps than pool ways";
+  ++adaptations_started_;
+  phase_ = Phase::kProfiling;
+  profile_app_ = 0;
+  probe_ = Probe::kFull;
+  retry_count_ = 0;
+  state_ = InitialState();
+  ApplySystemState(state_);  // Baseline for the non-profiled apps.
+  ApplyProbeAllocation();
+  // Restart the sampling windows so the first probe reads a clean period.
+  for (ManagedApp& app : apps_) {
+    monitor_->Attach(app.id);
+    app.prev_ips = 0.0;
+  }
+}
+
+void ResourceManager::ApplyProbeAllocation() {
+  const ManagedApp& app = apps_[profile_app_];
+  const uint64_t full_bits = ContiguousBits(pool_.first_way, pool_.num_ways);
+  const uint32_t max_mba = state_.pool().max_mba_percent;
+  uint64_t mask_bits = full_bits;
+  uint32_t mba_percent = max_mba;
+  switch (probe_) {
+    case Probe::kFull:
+      break;  // All pool ways at the pool's MBA ceiling.
+    case Probe::kFewWays:
+      mask_bits = ContiguousBits(
+          pool_.first_way, std::min(params_.profile_ways, pool_.num_ways));
+      break;
+    case Probe::kLowMba:
+      mba_percent = params_.profile_mba_percent;
+      break;
+  }
+  Status status = resctrl_->SetCacheMask(app.group, mask_bits);
+  CHECK(status.ok()) << status.ToString();
+  status = resctrl_->SetMbaPercent(app.group, mba_percent);
+  CHECK(status.ok()) << status.ToString();
+
+  // Squeeze every co-runner to minimal resources (one shared way at the top
+  // of the pool, MBA floor) so the probe measures the profiled app itself
+  // rather than the co-runners' cache pollution and bandwidth pressure:
+  // IPS_full is the Eq. 1 slowdown reference and must approximate the
+  // full-resource rate. The co-runners pay for one period per probe — the
+  // adaptation transient visible in Fig. 15.
+  const uint64_t squeeze_bits =
+      ContiguousBits(pool_.first_way + pool_.num_ways - 1, 1);
+  for (size_t i = 0; i < apps_.size(); ++i) {
+    if (i == profile_app_) {
+      continue;
+    }
+    status = resctrl_->SetCacheMask(apps_[i].group, squeeze_bits);
+    CHECK(status.ok()) << status.ToString();
+    status = resctrl_->SetMbaPercent(apps_[i].group, MbaLevel::kMin);
+    CHECK(status.ok()) << status.ToString();
+  }
+
+  // Restart the profiled app's sampling window so the next Sample() covers
+  // exactly this probe period (and none of the time it spent squeezed
+  // during the other apps' probes).
+  monitor_->Attach(app.id);
+}
+
+void ResourceManager::TickProfiling() {
+  ManagedApp& app = apps_[profile_app_];
+  const PmcSample sample = monitor_->Sample(app.id);
+  const double ips = sample.Ips();
+
+  switch (probe_) {
+    case Probe::kFull:
+      app.ips_full = std::max(ips, 1.0);
+      break;
+    case Probe::kFewWays: {
+      const double degradation = 1.0 - ips / app.ips_full;
+      if (degradation > params_.profile_degradation_threshold) {
+        app.llc_initial = ResourceClass::kDemand;
+      } else if (sample.LlcAccessesPerSec() <
+                     params_.classifier.llc_access_rate_floor ||
+                 sample.LlcMissRatio() < params_.classifier.llc_miss_ratio_low) {
+        app.llc_initial = ResourceClass::kSupply;
+      } else {
+        app.llc_initial = ResourceClass::kMaintain;
+      }
+      break;
+    }
+    case Probe::kLowMba: {
+      const double degradation = 1.0 - ips / app.ips_full;
+      const MbaLevel probe_level =
+          MbaLevel::FromPercentChecked(params_.profile_mba_percent);
+      const double traffic_ratio =
+          sample.LlcMissesPerSec() / StreamMissRateReference(probe_level);
+      if (degradation > params_.profile_degradation_threshold) {
+        app.mba_initial = ResourceClass::kDemand;
+      } else if (traffic_ratio < params_.classifier.traffic_ratio_low) {
+        app.mba_initial = ResourceClass::kSupply;
+      } else {
+        app.mba_initial = ResourceClass::kMaintain;
+      }
+      break;
+    }
+  }
+
+  // Advance the probe schedule.
+  if (probe_ != Probe::kLowMba) {
+    probe_ = static_cast<Probe>(static_cast<int>(probe_) + 1);
+  } else {
+    // Restore the profiled app's equal share before probing the next one.
+    probe_ = Probe::kFull;
+    ++profile_app_;
+    if (profile_app_ >= apps_.size()) {
+      EnterExploration();
+      return;
+    }
+  }
+  ApplySystemState(state_);
+  ApplyProbeAllocation();
+}
+
+void ResourceManager::EnterExploration() {
+  phase_ = Phase::kExploration;
+  retry_count_ = 0;
+  for (ManagedApp& app : apps_) {
+    app.llc_fsm.Reset(app.llc_initial);
+    app.mba_fsm.Reset(app.mba_initial);
+    app.prev_ips = 0.0;
+    monitor_->Attach(app.id);  // Fresh sampling window.
+  }
+  llc_events_.assign(apps_.size(), ResourceEvent::kNone);
+  mba_events_.assign(apps_.size(), ResourceEvent::kNone);
+  has_best_state_ = false;
+  best_unfairness_ = 0.0;
+  state_ = InitialState();
+  ApplySystemState(state_);
+}
+
+SystemState ResourceManager::InitialState() const {
+  // Exploration starts from equal ways. When MBA partitioning is dynamic the
+  // levels start at the pool ceiling (the hardware reset state): Supply apps
+  // are throttled *down* from there, and a level-up for a consumer is paired
+  // with a level-down at a producer — matching the paper's
+  // producer/consumer formulation. When MBA moves are disabled (the
+  // CAT-only baseline's "equal memory bandwidth partitioning"), the levels
+  // are frozen at the equal static share instead.
+  if (params_.enable_mba_partitioning) {
+    return SystemState::EqualShare(pool_, apps_.size());
+  }
+  return SystemState::EqualShareThrottled(pool_, apps_.size());
+}
+
+void ResourceManager::TickExploration() {
+  const size_t n = apps_.size();
+  std::vector<MatchAppInfo> infos(n);
+  for (size_t i = 0; i < n; ++i) {
+    ManagedApp& app = apps_[i];
+    const PmcSample sample = monitor_->Sample(app.id);
+    const double ips = sample.Ips();
+    const double perf_delta =
+        app.prev_ips > 0.0 ? (ips - app.prev_ips) / app.prev_ips : 0.0;
+    const MbaLevel level = state_.allocation(i).mba_level;
+
+    ClassifierInput llc_input{
+        .llc_access_rate = sample.LlcAccessesPerSec(),
+        .llc_miss_ratio = sample.LlcMissRatio(),
+        .traffic_ratio = 0.0,
+        .perf_delta = perf_delta,
+        .last_event = llc_events_[i],
+    };
+    app.llc_fsm.Update(llc_input);
+
+    ClassifierInput mba_input = llc_input;
+    mba_input.traffic_ratio =
+        sample.LlcMissesPerSec() / StreamMissRateReference(level);
+    mba_input.last_event = mba_events_[i];
+    app.mba_fsm.Update(mba_input);
+
+    app.prev_ips = ips;
+    infos[i] = MatchAppInfo{
+        .slowdown = app.ips_full > 0.0 && ips > 0.0
+                        ? std::max(1.0, app.ips_full / ips)
+                        : 1.0,
+        .llc_class = app.llc_fsm.state(),
+        .mba_class = app.mba_fsm.state(),
+    };
+  }
+
+  // These samples measured `state_` (applied at the end of the previous
+  // tick); remember it if it is the fairest state seen this exploration.
+  {
+    std::vector<double> slowdowns(n);
+    for (size_t i = 0; i < n; ++i) {
+      slowdowns[i] = infos[i].slowdown;
+    }
+    const double mean = Mean(slowdowns);
+    const double unfairness = mean > 0.0 ? StdDev(slowdowns) / mean : 0.0;
+    if (!has_best_state_ || unfairness < best_unfairness_) {
+      has_best_state_ = true;
+      best_unfairness_ = unfairness;
+      best_state_ = state_;
+    }
+  }
+
+  const auto start = std::chrono::steady_clock::now();
+  MatchResult match =
+      params_.matcher
+          ? params_.matcher(state_, infos, rng_,
+                            params_.enable_llc_partitioning,
+                            params_.enable_mba_partitioning)
+          : GetNextSystemState(state_, infos, rng_,
+                               params_.enable_llc_partitioning,
+                               params_.enable_mba_partitioning);
+  const auto end = std::chrono::steady_clock::now();
+  last_exploration_us_ =
+      std::chrono::duration<double, std::micro>(end - start).count();
+  exploration_time_stats_.Add(last_exploration_us_);
+
+  SystemState next = match.next_state;
+  bool used_neighbor = false;
+  if (next == state_) {
+    if (retry_count_ < params_.theta) {
+      next = state_.RandomNeighbor(rng_, params_.enable_llc_partitioning,
+                                   params_.enable_mba_partitioning);
+      used_neighbor = true;
+      ++retry_count_;
+    } else {
+      EnterIdle();
+      return;
+    }
+  }
+
+  // Derive per-app resource events from the state diff; they feed the FSMs
+  // next period.
+  for (size_t i = 0; i < n; ++i) {
+    const AppAllocation& before = state_.allocation(i);
+    const AppAllocation& after = next.allocation(i);
+    if (after.llc_ways > before.llc_ways) {
+      llc_events_[i] = ResourceEvent::kGainedLlcWay;
+    } else if (after.llc_ways < before.llc_ways) {
+      llc_events_[i] = ResourceEvent::kLostLlcWay;
+    } else {
+      llc_events_[i] = ResourceEvent::kNone;
+    }
+    if (after.mba_level > before.mba_level) {
+      mba_events_[i] = ResourceEvent::kGainedMba;
+    } else if (after.mba_level < before.mba_level) {
+      mba_events_[i] = ResourceEvent::kLostMba;
+    } else if (llc_events_[i] == ResourceEvent::kGainedLlcWay) {
+      // The MBA FSM's Demand state treats "gained an LLC way with little
+      // benefit" specially (§5.3).
+      mba_events_[i] = ResourceEvent::kGainedLlcWay;
+    } else {
+      mba_events_[i] = ResourceEvent::kNone;
+    }
+  }
+
+  state_ = next;
+  ApplySystemState(state_);
+
+  if (observer_) {
+    ManagerTickRecord record;
+    record.time = resctrl_->machine().now();
+    record.state = state_;
+    record.exploration_us = last_exploration_us_;
+    record.used_neighbor_state = used_neighbor;
+    for (size_t i = 0; i < n; ++i) {
+      record.slowdown_estimates.push_back(infos[i].slowdown);
+      record.llc_classes.push_back(infos[i].llc_class);
+      record.mba_classes.push_back(infos[i].mba_class);
+    }
+    observer_(record);
+  }
+}
+
+void ResourceManager::EnterIdle() {
+  phase_ = Phase::kIdle;
+  if (has_best_state_ && !(best_state_ == state_)) {
+    state_ = best_state_;
+    ApplySystemState(state_);
+    // The idle IPS baselines are re-read on the first idle tick; prev_ips
+    // still reflects the pre-restore state, so clear the baselines to avoid
+    // a spurious drift trigger.
+    for (ManagedApp& app : apps_) {
+      app.idle_baseline_ips = 0.0;
+    }
+    return;
+  }
+  for (ManagedApp& app : apps_) {
+    app.idle_baseline_ips = app.prev_ips;
+  }
+}
+
+void ResourceManager::TickIdle() {
+  if (apps_.empty()) {
+    return;
+  }
+  // Consolidation change? (New apps are handled synchronously by AddApp;
+  // this catches terminations observed through the machine.)
+  if (resctrl_->machine().app_generation() != last_seen_generation_) {
+    last_seen_generation_ = resctrl_->machine().app_generation();
+    StartAdaptation();
+    return;
+  }
+  // Significant IPS drift, e.g. the outer manager squeezed the batch slice
+  // or a co-runner changed behaviour.
+  for (ManagedApp& app : apps_) {
+    const PmcSample sample = monitor_->Sample(app.id);
+    const double ips = sample.Ips();
+    app.prev_ips = ips;
+    if (app.idle_baseline_ips <= 0.0) {
+      // First idle tick after a best-state restore: adopt this measurement
+      // as the baseline instead of comparing against the pre-restore rate.
+      app.idle_baseline_ips = ips;
+    } else if (app.idle_baseline_ips > 0.0) {
+      const double drift =
+          std::abs(ips - app.idle_baseline_ips) / app.idle_baseline_ips;
+      if (drift > params_.idle_ips_drift_threshold) {
+        StartAdaptation();
+        return;
+      }
+    }
+  }
+}
+
+void ResourceManager::Tick() {
+  ReapDeadApps();
+  if (apps_.empty()) {
+    return;
+  }
+  switch (phase_) {
+    case Phase::kProfiling:
+      TickProfiling();
+      break;
+    case Phase::kExploration:
+      TickExploration();
+      break;
+    case Phase::kIdle:
+      TickIdle();
+      break;
+  }
+}
+
+void ResourceManager::ReapDeadApps() {
+  // Apps can terminate without an explicit RemoveApp (a crashed container,
+  // a batch job finishing). Sampling a dead app would fault, so reap them
+  // first and re-adapt for the survivors — the §5.4.3 "termination of an
+  // application" trigger, made robust.
+  bool removed = false;
+  for (size_t i = apps_.size(); i-- > 0;) {
+    if (!resctrl_->machine().AppExists(apps_[i].id)) {
+      monitor_->Detach(apps_[i].id);
+      Status status = resctrl_->RemoveGroup(apps_[i].group);
+      CHECK(status.ok()) << status.ToString();
+      apps_.erase(apps_.begin() + static_cast<ptrdiff_t>(i));
+      removed = true;
+    }
+  }
+  if (removed) {
+    last_seen_generation_ = resctrl_->machine().app_generation();
+    if (!apps_.empty()) {
+      StartAdaptation();
+    } else {
+      phase_ = Phase::kIdle;
+    }
+  }
+}
+
+void ResourceManager::ApplySystemState(const SystemState& state) {
+  CHECK(state.Valid());
+  CHECK_EQ(state.NumApps(), apps_.size());
+  for (size_t i = 0; i < apps_.size(); ++i) {
+    Status status =
+        resctrl_->SetCacheMask(apps_[i].group, state.WayMaskBits(i));
+    CHECK(status.ok()) << status.ToString();
+    status = resctrl_->SetMbaPercent(apps_[i].group,
+                                     state.allocation(i).mba_level.percent());
+    CHECK(status.ok()) << status.ToString();
+  }
+}
+
+}  // namespace copart

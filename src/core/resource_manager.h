@@ -1,0 +1,177 @@
+// CoPart's resource manager (paper §5.4, Algorithm 1).
+//
+// The manager runs as a user-level control loop over the resctrl interface
+// and the PMC monitor, in three phases:
+//
+//   1. *Application profiling* (§5.4.1): each consolidated app is briefly
+//      run with (a) all pool resources — recording IPS_full, the slowdown
+//      reference of Eq. 1 — then (b) (l_P ways, 100%) and (c) (L, M_P) to
+//      measure its LLC and bandwidth sensitivity. The probe outcomes select
+//      the initial state of the app's two classifier FSMs.
+//   2. *System state space exploration* (Algorithm 1): each control period
+//      the manager samples the PMCs, updates the FSMs, and asks the HR
+//      matcher for the next system state. When the matcher returns the
+//      current state it retries with a random neighbor state up to theta
+//      times, then transitions to idle.
+//   3. *Idle*: no adaptation; the manager watches for consolidation changes
+//      (app launch/termination), resource-pool changes from an outer server
+//      manager, and significant IPS drift — any of which re-trigger
+//      adaptation (§5.4.3).
+//
+// Driving convention: the owner advances the machine by one control period,
+// then calls Tick(). Tick() reads the counters accumulated over that period
+// and installs the allocations for the next one.
+#ifndef COPART_CORE_RESOURCE_MANAGER_H_
+#define COPART_CORE_RESOURCE_MANAGER_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/stats.h"
+#include "common/status.h"
+#include "core/classifiers.h"
+#include "core/copart_params.h"
+#include "core/hr_matching.h"
+#include "core/system_state.h"
+#include "machine/app_id.h"
+#include "pmc/perf_monitor.h"
+#include "resctrl/resctrl.h"
+
+namespace copart {
+
+class ResourceManager;
+
+// Per-control-period diagnostic record. An installed observer receives one
+// after every exploration tick — the hook dashboards and tests use to watch
+// the controller think (see tests/core_telemetry_test.cc).
+struct ManagerTickRecord {
+  double time = 0.0;
+  SystemState state;  // State applied for the NEXT period.
+  std::vector<double> slowdown_estimates;
+  std::vector<ResourceClass> llc_classes;
+  std::vector<ResourceClass> mba_classes;
+  double exploration_us = 0.0;
+  bool used_neighbor_state = false;
+};
+
+using ManagerObserver = std::function<void(const ManagerTickRecord&)>;
+
+class ResourceManager {
+ public:
+  enum class Phase { kProfiling, kExploration, kIdle };
+
+  ResourceManager(Resctrl* resctrl, PerfMonitor* monitor,
+                  const ResourceManagerParams& params);
+
+  // Registers an app to manage; creates its resctrl group and (re)starts
+  // the adaptation process.
+  Status AddApp(AppId app);
+  Status RemoveApp(AppId app);
+  size_t NumApps() const { return apps_.size(); }
+
+  // Installs a new resource slice (from an outer server manager) and
+  // restarts adaptation. The manager repartitions only within this pool.
+  void SetResourcePool(const ResourcePool& pool);
+  const ResourcePool& pool() const { return pool_; }
+
+  // One control period. The machine must have advanced by
+  // params.control_period_sec since the previous Tick().
+  void Tick();
+
+  Phase phase() const { return phase_; }
+  static const char* PhaseName(Phase phase);
+
+  const SystemState& current_state() const { return state_; }
+
+  // Online slowdown estimate (profiled IPS_full / latest IPS); 1.0 before
+  // profiling has finished.
+  double SlowdownEstimate(AppId app) const;
+
+  // Wall-clock cost of the most recent / accumulated getNextSystemState
+  // calls — the paper's overhead metric (Fig. 16).
+  double last_exploration_us() const { return last_exploration_us_; }
+  const RunningStats& exploration_time_stats() const {
+    return exploration_time_stats_;
+  }
+
+  uint64_t adaptations_started() const { return adaptations_started_; }
+
+  // Installs (or clears, with nullptr) the telemetry observer.
+  void SetObserver(ManagerObserver observer) {
+    observer_ = std::move(observer);
+  }
+
+ private:
+  struct ManagedApp {
+    AppId id;
+    ResctrlGroupId group;
+    double ips_full = 0.0;   // Profiled full-resource IPS (Eq. 1 numerator).
+    double prev_ips = 0.0;   // IPS over the previous period.
+    double idle_baseline_ips = 0.0;
+    ResourceClass llc_initial = ResourceClass::kMaintain;
+    ResourceClass mba_initial = ResourceClass::kMaintain;
+    LlcClassifierFsm llc_fsm;
+    MbaClassifierFsm mba_fsm;
+  };
+
+  // Profiling probe schedule: 3 probes per app.
+  enum class Probe { kFull = 0, kFewWays = 1, kLowMba = 2 };
+
+  void StartAdaptation();
+  SystemState InitialState() const;
+  void ReapDeadApps();
+  void ApplyProbeAllocation();
+  void TickProfiling();
+  void TickExploration();
+  void TickIdle();
+  void EnterExploration();
+  void EnterIdle();
+  void ApplySystemState(const SystemState& state);
+  size_t AppIndex(AppId id) const;
+
+  // STREAM's LLC miss rate at the given MBA level — the denominator of the
+  // memory traffic ratio (§5.3). STREAM is bandwidth-bound at every level,
+  // so its miss rate equals the MBA cap divided by the line size; the
+  // closed form stands in for the paper's offline STREAM measurement.
+  double StreamMissRateReference(MbaLevel level) const;
+
+  Resctrl* resctrl_;      // Not owned.
+  PerfMonitor* monitor_;  // Not owned.
+  ResourceManagerParams params_;
+  Rng rng_;
+  ResourcePool pool_;
+
+  Phase phase_ = Phase::kIdle;
+  std::vector<ManagedApp> apps_;
+  SystemState state_;
+
+  // Profiling progress.
+  size_t profile_app_ = 0;
+  Probe probe_ = Probe::kFull;
+
+  // Exploration progress.
+  int retry_count_ = 0;
+  std::vector<ResourceEvent> llc_events_;
+  std::vector<ResourceEvent> mba_events_;
+  // Best state observed during this exploration (lowest unfairness of the
+  // online slowdown estimates). Algorithm 1 ends exploration after theta
+  // unproductive neighbor perturbations; the perturbations themselves were
+  // applied, so on entering the idle phase the manager restores the best
+  // state rather than parking on the last random neighbor.
+  SystemState best_state_;
+  double best_unfairness_ = 0.0;
+  bool has_best_state_ = false;
+
+  uint64_t last_seen_generation_ = 0;
+  uint64_t adaptations_started_ = 0;
+  double last_exploration_us_ = 0.0;
+  RunningStats exploration_time_stats_;
+  ManagerObserver observer_;
+};
+
+}  // namespace copart
+
+#endif  // COPART_CORE_RESOURCE_MANAGER_H_

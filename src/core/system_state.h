@@ -1,0 +1,87 @@
+// Resource allocation state (paper §2.3).
+//
+// The resource allocation state s_i of application i is (l_i, m_i): the
+// number of LLC ways and the MBA level allocated to it. The system state S
+// is the vector of all s_i. CoPart explores system states drawn from a
+// ResourcePool — the contiguous region of ways and the MBA ceiling that an
+// outer server manager has granted to the consolidated (batch) apps; for
+// whole-machine experiments the pool is simply all ways and MBA 100.
+#ifndef COPART_CORE_SYSTEM_STATE_H_
+#define COPART_CORE_SYSTEM_STATE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "membw/mba.h"
+
+namespace copart {
+
+// The slice of machine resources the controller may hand out.
+struct ResourcePool {
+  uint32_t first_way = 0;
+  uint32_t num_ways = 11;
+  uint32_t max_mba_percent = 100;
+
+  bool operator==(const ResourcePool& other) const = default;
+};
+
+// Per-app allocation (s_i).
+struct AppAllocation {
+  uint32_t llc_ways = 1;
+  MbaLevel mba_level;
+
+  bool operator==(const AppAllocation& other) const = default;
+};
+
+class SystemState {
+ public:
+  SystemState() = default;
+  SystemState(ResourcePool pool, std::vector<AppAllocation> allocations);
+
+  // Equal split: ways divided as evenly as possible (earlier apps take the
+  // remainder), every app at the pool's MBA ceiling. CHECK-fails when there
+  // are more apps than ways.
+  static SystemState EqualShare(const ResourcePool& pool, size_t num_apps);
+
+  // Equal ways, MBA level ~= ceiling/num_apps rounded to the platform step
+  // (the EQ baseline's "equal memory bandwidth" interpretation).
+  static SystemState EqualShareThrottled(const ResourcePool& pool,
+                                         size_t num_apps);
+
+  size_t NumApps() const { return allocations_.size(); }
+  const ResourcePool& pool() const { return pool_; }
+  const AppAllocation& allocation(size_t app) const;
+  AppAllocation& allocation(size_t app);
+  const std::vector<AppAllocation>& allocations() const {
+    return allocations_;
+  }
+
+  // Invariants: every app has >= 1 way, way total == pool size, MBA levels
+  // within [10, pool ceiling].
+  bool Valid() const;
+
+  // Uniformly random single-step perturbation (Algorithm 1's
+  // getNeighborState): move one way between two random apps, or step one
+  // random app's MBA level. Returns a valid state differing in one move;
+  // returns *this unchanged if no move is possible.
+  SystemState RandomNeighbor(Rng& rng, bool allow_llc_moves,
+                             bool allow_mba_moves) const;
+
+  // Contiguous way mask bits for app `i`, packing apps left to right in
+  // index order within the pool.
+  uint64_t WayMaskBits(size_t app) const;
+
+  std::string ToString() const;
+
+  bool operator==(const SystemState& other) const = default;
+
+ private:
+  ResourcePool pool_;
+  std::vector<AppAllocation> allocations_;
+};
+
+}  // namespace copart
+
+#endif  // COPART_CORE_SYSTEM_STATE_H_

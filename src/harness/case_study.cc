@@ -1,0 +1,201 @@
+#include "harness/case_study.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+#include "common/stats.h"
+#include "core/resource_manager.h"
+#include "core/system_state.h"
+#include "harness/mix.h"
+#include "machine/simulated_machine.h"
+#include "metrics/fairness.h"
+#include "pmc/perf_monitor.h"
+#include "resctrl/resctrl.h"
+#include "workload/workload.h"
+
+namespace copart {
+namespace {
+
+double LoadAt(const CaseStudyConfig& config, double time) {
+  double load = config.load_steps.front().second;
+  for (const auto& [start, rps] : config.load_steps) {
+    if (time >= start) {
+      load = rps;
+    }
+  }
+  return load;
+}
+
+// Predicted LC service capacity (IPS) with `ways` LLC ways at MBA 100,
+// using the same CPI model as the machine — what a Heracles-style manager
+// would fit from its own profiling.
+double PredictLcCapability(const WorkloadDescriptor& lc, uint32_t lc_cores,
+                           uint32_t ways, const MachineConfig& machine) {
+  const double capacity =
+      static_cast<double>(machine.llc.WayBytes()) * ways;
+  const double miss_ratio =
+      lc.reuse_profile.MissRatio(static_cast<uint64_t>(capacity));
+  const double cpi = lc.cpi_exec + lc.accesses_per_instr * miss_ratio *
+                                       lc.mem_latency_cycles / lc.mlp;
+  return lc_cores * machine.core_freq_hz / cpi;
+}
+
+double P95Ms(const CaseStudyConfig& config, double required_ips,
+             double capability_ips) {
+  double rho = capability_ips > 0.0 ? required_ips / capability_ips : 1.0;
+  rho = std::clamp(rho, 0.0, 0.995);
+  return config.base_p95_ms *
+         (1.0 + config.queueing_shape * rho / (1.0 - rho));
+}
+
+}  // namespace
+
+CaseStudyResult RunCaseStudy(const CaseStudyConfig& config) {
+  SimulatedMachine machine(config.machine);
+  Resctrl resctrl(&machine);
+  PerfMonitor monitor(&machine);
+
+  // Core split: 8 cores for memcached, 4 for each batch job (16 total).
+  const WorkloadDescriptor lc_desc = Memcached();
+  const uint32_t lc_cores = 8;
+  Result<AppId> lc = machine.LaunchApp(lc_desc, lc_cores);
+  CHECK(lc.ok()) << lc.status().ToString();
+  Result<AppId> wc = machine.LaunchApp(WordCount(), 4);
+  CHECK(wc.ok()) << wc.status().ToString();
+  Result<AppId> km = machine.LaunchApp(Kmeans(), 4);
+  CHECK(km.ok()) << km.status().ToString();
+  const std::vector<AppId> batch = {*wc, *km};
+
+  Result<ResctrlGroupId> lc_group = resctrl.CreateGroup("lc");
+  CHECK(lc_group.ok()) << lc_group.status().ToString();
+  Status status = resctrl.AssignApp(*lc_group, *lc);
+  CHECK(status.ok()) << status.ToString();
+
+  // Ground-truth slowdown references for the batch unfairness series.
+  std::vector<double> batch_solo_full;
+  for (AppId app : batch) {
+    batch_solo_full.push_back(machine.SoloFullResourceIps(
+        machine.Descriptor(app), machine.AppCores(app)));
+  }
+
+  ResourceManagerParams params = config.copart_params;
+  params.control_period_sec = config.control_period_sec;
+  ResourceManager manager(&resctrl, &monitor, params);
+
+  // EQ mode: the batch apps keep static groups we resize on pool changes.
+  std::vector<ResctrlGroupId> eq_groups;
+  if (!config.use_copart) {
+    for (AppId app : batch) {
+      Result<ResctrlGroupId> group =
+          resctrl.CreateGroup("eq_" + std::to_string(app.value()));
+      CHECK(group.ok()) << group.status().ToString();
+      status = resctrl.AssignApp(*group, app);
+      CHECK(status.ok()) << status.ToString();
+      eq_groups.push_back(*group);
+    }
+  }
+
+  const uint32_t total_ways = config.machine.llc.num_ways;
+  uint32_t lc_ways = 0;  // Forces an initial pool installation.
+  uint32_t batch_mba = 100;
+  bool copart_started = false;
+
+  auto apply_slices = [&](uint32_t new_lc_ways, uint32_t new_batch_mba) {
+    lc_ways = new_lc_ways;
+    batch_mba = new_batch_mba;
+    status = resctrl.SetCacheMask(*lc_group, (1ULL << lc_ways) - 1ULL);
+    CHECK(status.ok()) << status.ToString();
+    status = resctrl.SetMbaPercent(*lc_group, 100);
+    CHECK(status.ok()) << status.ToString();
+    const ResourcePool pool{.first_way = lc_ways,
+                            .num_ways = total_ways - lc_ways,
+                            .max_mba_percent = batch_mba};
+    if (config.use_copart) {
+      manager.SetResourcePool(pool);
+      if (!copart_started) {
+        copart_started = true;
+        for (AppId app : batch) {
+          Status add = manager.AddApp(app);
+          CHECK(add.ok()) << add.ToString();
+        }
+      }
+    } else {
+      const SystemState eq =
+          SystemState::EqualShareThrottled(pool, batch.size());
+      for (size_t i = 0; i < batch.size(); ++i) {
+        status = resctrl.SetCacheMask(eq_groups[i], eq.WayMaskBits(i));
+        CHECK(status.ok()) << status.ToString();
+        status = resctrl.SetMbaPercent(
+            eq_groups[i], eq.allocation(i).mba_level.percent());
+        CHECK(status.ok()) << status.ToString();
+      }
+    }
+  };
+
+  CaseStudyResult result;
+  RunningStats unfairness_stats;
+  size_t slo_violations = 0;
+  const int periods = static_cast<int>(
+      std::llround(config.duration_sec / config.control_period_sec));
+
+  for (int period = 0; period < periods; ++period) {
+    const double load = LoadAt(config, machine.now());
+    const double required_ips = load * config.instructions_per_request;
+    machine.SetAppRequiredIps(*lc, required_ips);
+
+    // Outer manager: smallest LC slice meeting the utilization target,
+    // leaving at least one way per batch app.
+    const double needed = required_ips / config.target_utilization;
+    uint32_t want_ways = total_ways - static_cast<uint32_t>(batch.size());
+    for (uint32_t ways = 1;
+         ways <= total_ways - static_cast<uint32_t>(batch.size()); ++ways) {
+      if (PredictLcCapability(lc_desc, lc_cores, ways, config.machine) >=
+          needed) {
+        want_ways = ways;
+        break;
+      }
+    }
+    const uint32_t want_mba = load >= config.high_load_rps
+                                  ? config.batch_mba_ceiling_high_load
+                                  : 100;
+    if (want_ways != lc_ways || want_mba != batch_mba) {
+      apply_slices(want_ways, want_mba);
+    }
+
+    machine.AdvanceTime(config.control_period_sec);
+    if (config.use_copart) {
+      manager.Tick();
+    }
+
+    CaseStudySample sample;
+    sample.time = machine.now();
+    sample.load_rps = load;
+    sample.p95_ms =
+        P95Ms(config, required_ips, machine.LastEpoch(*lc).ips_capability);
+    sample.lc_ways = lc_ways;
+    sample.batch_max_mba = batch_mba;
+    std::vector<double> slowdowns;
+    for (size_t i = 0; i < batch.size(); ++i) {
+      slowdowns.push_back(
+          Slowdown(batch_solo_full[i], machine.LastEpoch(batch[i]).ips));
+    }
+    sample.batch_unfairness = Unfairness(slowdowns);
+    sample.copart_phase =
+        config.use_copart ? ResourceManager::PhaseName(manager.phase()) : "eq";
+    unfairness_stats.Add(sample.batch_unfairness);
+    if (sample.p95_ms > config.slo_p95_ms) {
+      ++slo_violations;
+    }
+    result.samples.push_back(std::move(sample));
+  }
+
+  result.mean_batch_unfairness = unfairness_stats.mean();
+  result.slo_violation_fraction =
+      static_cast<double>(slo_violations) / static_cast<double>(periods);
+  result.copart_adaptations =
+      config.use_copart ? manager.adaptations_started() : 0;
+  return result;
+}
+
+}  // namespace copart

@@ -1,0 +1,74 @@
+// Dynamic server consolidation case study (paper §6.3, Fig. 15).
+//
+// A latency-critical memcached surrogate shares the machine with two batch
+// jobs (Word Count and Kmeans surrogates). An outer dynamic server resource
+// manager — in the spirit of Heracles [24] / the paper's [15] — sizes the
+// LC slice each period from the offered load and an M/M/1-style p95 model,
+// and hands the remaining ways plus an MBA ceiling to the batch slice as a
+// ResourcePool. The batch slice is managed either by CoPart (which detects
+// every pool change and re-adapts) or by the EQ baseline.
+//
+// The offered load follows the paper's trace shape: low load initially,
+// a step up at t=99.4 s, and a step back down at t=299.4 s.
+#ifndef COPART_HARNESS_CASE_STUDY_H_
+#define COPART_HARNESS_CASE_STUDY_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/copart_params.h"
+#include "machine/machine_config.h"
+
+namespace copart {
+
+struct CaseStudyConfig {
+  MachineConfig machine;
+  double duration_sec = 400.0;
+  double control_period_sec = 0.5;
+  // (start time, requests/s) steps; Fig. 15's trace.
+  std::vector<std::pair<double, double>> load_steps = {
+      {0.0, 75000.0}, {99.4, 150000.0}, {299.4, 75000.0}};
+  // SLO: 95th percentile latency below 1 ms (§6.3).
+  double slo_p95_ms = 1.0;
+  // Work per memcached request (instructions), converting offered load into
+  // required IPS.
+  double instructions_per_request = 60000.0;
+  // Queueing model: p95 = base * (1 + shape * rho / (1 - rho)).
+  double base_p95_ms = 0.15;
+  double queueing_shape = 0.6;
+  // Target utilization the outer manager provisions the LC slice for.
+  double target_utilization = 0.70;
+  // Offered load above which the outer manager also caps the batch MBA
+  // ceiling to protect the LC app's memory traffic.
+  double high_load_rps = 100000.0;
+  uint32_t batch_mba_ceiling_high_load = 50;
+  // true: CoPart manages the batch slice; false: EQ split of the slice.
+  bool use_copart = true;
+  ResourceManagerParams copart_params;
+};
+
+struct CaseStudySample {
+  double time = 0.0;
+  double load_rps = 0.0;
+  double p95_ms = 0.0;
+  uint32_t lc_ways = 0;
+  uint32_t batch_max_mba = 100;
+  // Instantaneous unfairness across the batch apps (ground-truth slowdowns).
+  double batch_unfairness = 0.0;
+  std::string copart_phase;
+};
+
+struct CaseStudyResult {
+  std::vector<CaseStudySample> samples;
+  double mean_batch_unfairness = 0.0;
+  double slo_violation_fraction = 0.0;
+  uint64_t copart_adaptations = 0;
+};
+
+CaseStudyResult RunCaseStudy(const CaseStudyConfig& config);
+
+}  // namespace copart
+
+#endif  // COPART_HARNESS_CASE_STUDY_H_

@@ -1,0 +1,71 @@
+#include "harness/csv_writer.h"
+
+#include <cerrno>
+#include <cstring>
+
+#include "common/logging.h"
+
+namespace copart {
+
+std::string CsvEscape(const std::string& field) {
+  const bool needs_quotes =
+      field.find_first_of(",\"\n\r") != std::string::npos;
+  if (!needs_quotes) {
+    return field;
+  }
+  std::string escaped = "\"";
+  for (char c : field) {
+    if (c == '"') {
+      escaped += "\"\"";
+    } else {
+      escaped.push_back(c);
+    }
+  }
+  escaped.push_back('"');
+  return escaped;
+}
+
+CsvWriter::CsvWriter(const std::string& path) {
+  file_ = std::fopen(path.c_str(), "w");
+  if (file_ == nullptr) {
+    status_ = InvalidArgumentError("cannot open '" + path +
+                                   "': " + std::strerror(errno));
+  }
+}
+
+CsvWriter::~CsvWriter() {
+  if (file_ != nullptr) {
+    std::fclose(file_);
+  }
+}
+
+void CsvWriter::WriteRow(std::span<const std::string> fields) {
+  CHECK(ok()) << status_.ToString();
+  for (size_t i = 0; i < fields.size(); ++i) {
+    if (i > 0) {
+      std::fputc(',', file_);
+    }
+    const std::string escaped = CsvEscape(fields[i]);
+    std::fwrite(escaped.data(), 1, escaped.size(), file_);
+  }
+  std::fputc('\n', file_);
+  ++rows_written_;
+}
+
+void CsvWriter::WriteRow(std::initializer_list<std::string> fields) {
+  WriteRow(std::span<const std::string>(fields.begin(), fields.size()));
+}
+
+void CsvWriter::WriteNumericRow(const std::string& label,
+                                std::span<const double> values) {
+  std::vector<std::string> fields;
+  fields.push_back(label);
+  for (double value : values) {
+    char buffer[32];
+    std::snprintf(buffer, sizeof(buffer), "%.6g", value);
+    fields.emplace_back(buffer);
+  }
+  WriteRow(fields);
+}
+
+}  // namespace copart

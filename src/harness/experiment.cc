@@ -1,0 +1,141 @@
+#include "harness/experiment.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+#include "core/dcat_policy.h"
+#include "core/ucp_policy.h"
+#include "harness/static_oracle.h"
+#include "metrics/fairness.h"
+
+namespace copart {
+
+ExperimentResult RunExperiment(const WorkloadMix& mix,
+                               const PolicyFactory& factory,
+                               const ExperimentConfig& config) {
+  CHECK(!mix.apps.empty());
+  const uint32_t cores =
+      config.cores_per_app > 0 ? config.cores_per_app
+                               : config.machine.num_cores /
+                                     static_cast<uint32_t>(mix.apps.size());
+  CHECK_GE(cores, 1u);
+
+  SimulatedMachine machine(config.machine);
+  Resctrl resctrl(&machine);
+  PerfMonitor monitor(&machine);
+
+  std::vector<AppId> apps;
+  for (const WorkloadDescriptor& descriptor : mix.apps) {
+    Result<AppId> app = machine.LaunchApp(descriptor, cores);
+    CHECK(app.ok()) << app.status().ToString();
+    apps.push_back(*app);
+  }
+
+  std::unique_ptr<ConsolidationPolicy> policy =
+      factory(&resctrl, &monitor, apps, config.pool);
+  policy->Start();
+
+  const int periods = static_cast<int>(
+      std::llround(config.duration_sec / config.control_period_sec));
+  for (int period = 0; period < periods; ++period) {
+    machine.AdvanceTime(config.control_period_sec);
+    policy->Tick();
+  }
+
+  ExperimentResult result;
+  result.policy_name = policy->name();
+  result.mix_name = mix.name;
+  const double elapsed = machine.now();
+  for (size_t i = 0; i < apps.size(); ++i) {
+    result.app_names.push_back(mix.apps[i].short_name);
+    const double avg_ips = machine.Counters(apps[i]).instructions / elapsed;
+    result.avg_ips.push_back(avg_ips);
+    result.solo_full_ips.push_back(
+        machine.SoloFullResourceIps(mix.apps[i], cores));
+    result.slowdowns.push_back(
+        Slowdown(result.solo_full_ips.back(), avg_ips));
+  }
+  result.unfairness = Unfairness(result.slowdowns);
+  result.throughput_geomean = GeoMeanThroughput(result.avg_ips);
+  if (auto* copart = dynamic_cast<CoPartPolicy*>(policy.get())) {
+    result.avg_exploration_us =
+        copart->manager().exploration_time_stats().mean();
+  }
+  return result;
+}
+
+PolicyFactory EqFactory() {
+  return [](Resctrl* resctrl, PerfMonitor*, std::vector<AppId> apps,
+            const ResourcePool& pool) {
+    return MakeEqualPolicy(resctrl, std::move(apps), pool);
+  };
+}
+
+PolicyFactory NoPartFactory() {
+  return [](Resctrl* resctrl, PerfMonitor*, std::vector<AppId> apps,
+            const ResourcePool&) {
+    return std::make_unique<NoPartitionPolicy>(resctrl, std::move(apps));
+  };
+}
+
+PolicyFactory CoPartFactory(ResourceManagerParams params) {
+  return [params](Resctrl* resctrl, PerfMonitor* monitor,
+                  std::vector<AppId> apps, const ResourcePool& pool) {
+    return std::make_unique<CoPartPolicy>(resctrl, monitor, std::move(apps),
+                                          pool, params,
+                                          CoPartPolicy::Mode::kCoordinated);
+  };
+}
+
+PolicyFactory CatOnlyFactory(ResourceManagerParams params) {
+  return [params](Resctrl* resctrl, PerfMonitor* monitor,
+                  std::vector<AppId> apps, const ResourcePool& pool) {
+    return std::make_unique<CoPartPolicy>(resctrl, monitor, std::move(apps),
+                                          pool, params,
+                                          CoPartPolicy::Mode::kCatOnly);
+  };
+}
+
+PolicyFactory MbaOnlyFactory(ResourceManagerParams params) {
+  return [params](Resctrl* resctrl, PerfMonitor* monitor,
+                  std::vector<AppId> apps, const ResourcePool& pool) {
+    return std::make_unique<CoPartPolicy>(resctrl, monitor, std::move(apps),
+                                          pool, params,
+                                          CoPartPolicy::Mode::kMbaOnly);
+  };
+}
+
+PolicyFactory StaticOracleFactory() {
+  return [](Resctrl* resctrl, PerfMonitor*, std::vector<AppId> apps,
+            const ResourcePool& pool) {
+    StaticOracleResult oracle =
+        FindStaticOracleState(resctrl->machine(), apps, pool);
+    return MakeStaticOraclePolicy(resctrl, std::move(apps),
+                                  std::move(oracle.best_state));
+  };
+}
+
+PolicyFactory UcpFactory() {
+  return [](Resctrl* resctrl, PerfMonitor*, std::vector<AppId> apps,
+            const ResourcePool& pool) {
+    return std::make_unique<UcpPolicy>(resctrl, std::move(apps), pool);
+  };
+}
+
+PolicyFactory DcatFactory() {
+  return [](Resctrl* resctrl, PerfMonitor* monitor, std::vector<AppId> apps,
+            const ResourcePool& pool) {
+    return std::make_unique<DcatPolicy>(resctrl, monitor, std::move(apps),
+                                        pool);
+  };
+}
+
+std::vector<std::pair<std::string, PolicyFactory>> StandardPolicies() {
+  return {{"EQ", EqFactory()},
+          {"ST", StaticOracleFactory()},
+          {"CAT-only", CatOnlyFactory()},
+          {"MBA-only", MbaOnlyFactory()},
+          {"CoPart", CoPartFactory()}};
+}
+
+}  // namespace copart

@@ -1,0 +1,186 @@
+#include "harness/heatmap.h"
+
+#include <algorithm>
+
+#include "cache/way_mask.h"
+#include "common/logging.h"
+#include "machine/simulated_machine.h"
+#include "metrics/fairness.h"
+#include "resctrl/resctrl.h"
+
+namespace copart {
+
+uint32_t SoloHeatmap::MinWaysForFraction(double fraction) const {
+  // Column of MBA 100 (last), peak-normalized values.
+  const size_t mba_full = mba_percents.size() - 1;
+  for (size_t w = 0; w < way_counts.size(); ++w) {
+    if (normalized_ips[w][mba_full] >= fraction) {
+      return way_counts[w];
+    }
+  }
+  return way_counts.back();
+}
+
+uint32_t SoloHeatmap::MinMbaForFraction(double fraction) const {
+  const size_t ways_full = way_counts.size() - 1;
+  for (size_t m = 0; m < mba_percents.size(); ++m) {
+    if (normalized_ips[ways_full][m] >= fraction) {
+      return mba_percents[m];
+    }
+  }
+  return mba_percents.back();
+}
+
+SoloHeatmap SweepSoloPerformance(const WorkloadDescriptor& descriptor,
+                                 const MachineConfig& machine_config,
+                                 uint32_t num_cores) {
+  MachineConfig config = machine_config;
+  config.ips_noise_sigma = 0.0;  // Characterization wants the clean surface.
+
+  SoloHeatmap heatmap;
+  heatmap.workload = descriptor.short_name;
+  for (uint32_t ways = 1; ways <= config.llc.num_ways; ++ways) {
+    heatmap.way_counts.push_back(ways);
+  }
+  for (uint32_t mba = MbaLevel::kMin; mba <= MbaLevel::kMax;
+       mba += MbaLevel::kStep) {
+    heatmap.mba_percents.push_back(mba);
+  }
+
+  SimulatedMachine machine(config);
+  Resctrl resctrl(&machine);
+  Result<AppId> app = machine.LaunchApp(descriptor, num_cores);
+  CHECK(app.ok()) << app.status().ToString();
+  Result<ResctrlGroupId> group = resctrl.CreateGroup("sweep");
+  CHECK(group.ok()) << group.status().ToString();
+  Status status = resctrl.AssignApp(*group, *app);
+  CHECK(status.ok()) << status.ToString();
+
+  double peak = 0.0;
+  heatmap.normalized_ips.assign(
+      heatmap.way_counts.size(),
+      std::vector<double>(heatmap.mba_percents.size(), 0.0));
+  for (size_t w = 0; w < heatmap.way_counts.size(); ++w) {
+    status = resctrl.SetCacheMask(
+        *group, (1ULL << heatmap.way_counts[w]) - 1ULL);
+    CHECK(status.ok()) << status.ToString();
+    for (size_t m = 0; m < heatmap.mba_percents.size(); ++m) {
+      status = resctrl.SetMbaPercent(*group, heatmap.mba_percents[m]);
+      CHECK(status.ok()) << status.ToString();
+      machine.AdvanceTime(0.1);
+      const double ips = machine.LastEpoch(*app).ips;
+      heatmap.normalized_ips[w][m] = ips;
+      peak = std::max(peak, ips);
+    }
+  }
+  CHECK_GT(peak, 0.0);
+  for (std::vector<double>& row : heatmap.normalized_ips) {
+    for (double& value : row) {
+      value /= peak;
+    }
+  }
+  return heatmap;
+}
+
+FairnessGrid SweepMixFairness(
+    const WorkloadMix& mix,
+    const std::vector<std::vector<uint32_t>>& llc_configs,
+    const std::vector<std::vector<uint32_t>>& mba_configs,
+    const MachineConfig& machine_config, uint32_t cores_per_app) {
+  MachineConfig config = machine_config;
+  config.ips_noise_sigma = 0.0;
+
+  SimulatedMachine machine(config);
+  Resctrl resctrl(&machine);
+  std::vector<AppId> apps;
+  std::vector<ResctrlGroupId> groups;
+  std::vector<double> solo_full;
+  for (const WorkloadDescriptor& descriptor : mix.apps) {
+    Result<AppId> app = machine.LaunchApp(descriptor, cores_per_app);
+    CHECK(app.ok()) << app.status().ToString();
+    apps.push_back(*app);
+    Result<ResctrlGroupId> group = resctrl.CreateGroup(
+        "grid_" + std::to_string(app->value()));
+    CHECK(group.ok()) << group.status().ToString();
+    Status status = resctrl.AssignApp(*group, *app);
+    CHECK(status.ok()) << status.ToString();
+    groups.push_back(*group);
+    solo_full.push_back(machine.SoloFullResourceIps(descriptor, cores_per_app));
+  }
+
+  auto evaluate = [&]() {
+    machine.AdvanceTime(0.1);
+    std::vector<double> slowdowns;
+    for (size_t i = 0; i < apps.size(); ++i) {
+      slowdowns.push_back(Slowdown(solo_full[i], machine.LastEpoch(apps[i]).ips));
+    }
+    return Unfairness(slowdowns);
+  };
+
+  FairnessGrid grid;
+  grid.mix_name = mix.name;
+  for (const WorkloadDescriptor& descriptor : mix.apps) {
+    grid.app_names.push_back(descriptor.short_name);
+  }
+  grid.llc_configs = llc_configs;
+  grid.mba_configs = mba_configs;
+
+  // Normalization baseline: no partitioning (full masks, MBA 100).
+  for (size_t i = 0; i < apps.size(); ++i) {
+    Status status = resctrl.SetCacheMask(
+        groups[i], (1ULL << config.llc.num_ways) - 1ULL);
+    CHECK(status.ok()) << status.ToString();
+    status = resctrl.SetMbaPercent(groups[i], 100);
+    CHECK(status.ok()) << status.ToString();
+  }
+  grid.nopart_unfairness = evaluate();
+  CHECK_GT(grid.nopart_unfairness, 0.0)
+      << "degenerate mix: unpartitioned run is perfectly fair";
+
+  grid.normalized_unfairness.assign(
+      llc_configs.size(), std::vector<double>(mba_configs.size(), 0.0));
+  for (size_t l = 0; l < llc_configs.size(); ++l) {
+    const std::vector<uint32_t>& ways = llc_configs[l];
+    CHECK_EQ(ways.size(), apps.size());
+    uint32_t offset = 0;
+    for (size_t i = 0; i < apps.size(); ++i) {
+      CHECK_GE(ways[i], 1u);
+      const uint64_t bits = ((1ULL << ways[i]) - 1ULL) << offset;
+      offset += ways[i];
+      Status status = resctrl.SetCacheMask(groups[i], bits);
+      CHECK(status.ok()) << status.ToString();
+    }
+    CHECK_LE(offset, config.llc.num_ways);
+    for (size_t m = 0; m < mba_configs.size(); ++m) {
+      const std::vector<uint32_t>& levels = mba_configs[m];
+      CHECK_EQ(levels.size(), apps.size());
+      for (size_t i = 0; i < apps.size(); ++i) {
+        Status status = resctrl.SetMbaPercent(groups[i], levels[i]);
+        CHECK(status.ok()) << status.ToString();
+      }
+      grid.normalized_unfairness[l][m] = evaluate() / grid.nopart_unfairness;
+    }
+  }
+  return grid;
+}
+
+std::vector<std::vector<uint32_t>> DefaultLlcConfigs() {
+  // Ways per app for a four-app mix over an 11-way LLC; includes the
+  // configurations the paper calls out ((5,3,2,1), WN at 2 ways, ...).
+  return {
+      {8, 1, 1, 1}, {5, 3, 2, 1}, {4, 4, 2, 1}, {5, 2, 3, 1},
+      {2, 5, 3, 1}, {3, 3, 3, 2}, {2, 3, 2, 4}, {1, 2, 3, 5},
+      {2, 2, 2, 5}, {1, 1, 1, 8},
+  };
+}
+
+std::vector<std::vector<uint32_t>> DefaultMbaConfigs() {
+  return {
+      {100, 100, 100, 100}, {20, 10, 100, 10}, {40, 40, 40, 10},
+      {100, 40, 20, 10},    {10, 100, 40, 20}, {30, 30, 30, 30},
+      {10, 20, 40, 100},    {20, 100, 20, 20}, {10, 10, 10, 100},
+      {10, 10, 10, 10},
+  };
+}
+
+}  // namespace copart

@@ -1,0 +1,67 @@
+// Characterization sweeps (paper §4, Figs. 1-6).
+//
+//   - SweepSoloPerformance: one benchmark alone on the machine, IPS at every
+//     (LLC ways, MBA level) system state, normalized to the best state —
+//     the per-benchmark heatmaps of Figs. 1-3.
+//   - SweepMixFairness: a four-app mix under enumerated static LLC and MBA
+//     partitionings, unfairness normalized to the no-partitioning run —
+//     the fairness heatmaps of Figs. 4-6.
+#ifndef COPART_HARNESS_HEATMAP_H_
+#define COPART_HARNESS_HEATMAP_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "harness/mix.h"
+#include "machine/machine_config.h"
+#include "workload/workload.h"
+
+namespace copart {
+
+struct SoloHeatmap {
+  std::string workload;
+  std::vector<uint32_t> way_counts;    // Rows (1..L).
+  std::vector<uint32_t> mba_percents;  // Columns (10..100).
+  // normalized_ips[w][m]: IPS at (way_counts[w], mba_percents[m]) divided by
+  // the maximum over the whole grid.
+  std::vector<std::vector<double>> normalized_ips;
+
+  // Smallest way count achieving >= `fraction` of peak at MBA 100 —
+  // the "ways for 90% performance" threshold quoted in §4.1.
+  uint32_t MinWaysForFraction(double fraction) const;
+  // Smallest MBA level achieving >= `fraction` of peak at full ways.
+  uint32_t MinMbaForFraction(double fraction) const;
+};
+
+SoloHeatmap SweepSoloPerformance(const WorkloadDescriptor& descriptor,
+                                 const MachineConfig& machine_config,
+                                 uint32_t num_cores = 4);
+
+struct FairnessGrid {
+  std::string mix_name;
+  std::vector<std::string> app_names;
+  // Row/column labels: one ways-per-app (resp. MBA-level-per-app) vector
+  // per grid row/column, e.g. {5,3,2,1}.
+  std::vector<std::vector<uint32_t>> llc_configs;
+  std::vector<std::vector<uint32_t>> mba_configs;
+  // unfairness[l][m], normalized to the unpartitioned run of the same mix.
+  std::vector<std::vector<double>> normalized_unfairness;
+  double nopart_unfairness = 0.0;
+};
+
+FairnessGrid SweepMixFairness(
+    const WorkloadMix& mix,
+    const std::vector<std::vector<uint32_t>>& llc_configs,
+    const std::vector<std::vector<uint32_t>>& mba_configs,
+    const MachineConfig& machine_config, uint32_t cores_per_app = 4);
+
+// Representative partitioning settings for a four-app characterization mix
+// (mirroring the axes of Figs. 4-6, including the paper's called-out
+// configurations such as LLC (5,3,2,1) and MBA (20,10,100,10)).
+std::vector<std::vector<uint32_t>> DefaultLlcConfigs();
+std::vector<std::vector<uint32_t>> DefaultMbaConfigs();
+
+}  // namespace copart
+
+#endif  // COPART_HARNESS_HEATMAP_H_

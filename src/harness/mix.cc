@@ -1,0 +1,114 @@
+#include "harness/mix.h"
+
+#include "common/logging.h"
+
+namespace copart {
+namespace {
+
+std::vector<WorkloadDescriptor> ClassBenchmarks(MixFamily family) {
+  switch (family) {
+    case MixFamily::kHighLlc:
+    case MixFamily::kModerateLlc:
+      return BenchmarksByCategory(WorkloadCategory::kLlcSensitive);
+    case MixFamily::kHighBw:
+    case MixFamily::kModerateBw:
+      return BenchmarksByCategory(WorkloadCategory::kBwSensitive);
+    case MixFamily::kHighBoth:
+    case MixFamily::kModerateBoth:
+      return BenchmarksByCategory(WorkloadCategory::kBothSensitive);
+    case MixFamily::kInsensitive:
+      return BenchmarksByCategory(WorkloadCategory::kInsensitive);
+  }
+  return {};
+}
+
+}  // namespace
+
+const char* MixFamilyName(MixFamily family) {
+  switch (family) {
+    case MixFamily::kHighLlc:
+      return "H-LLC";
+    case MixFamily::kHighBw:
+      return "H-BW";
+    case MixFamily::kHighBoth:
+      return "H-Both";
+    case MixFamily::kModerateLlc:
+      return "M-LLC";
+    case MixFamily::kModerateBw:
+      return "M-BW";
+    case MixFamily::kModerateBoth:
+      return "M-Both";
+    case MixFamily::kInsensitive:
+      return "IS";
+  }
+  return "?";
+}
+
+std::vector<MixFamily> AllMixFamilies() {
+  return {MixFamily::kHighLlc,      MixFamily::kHighBw,
+          MixFamily::kHighBoth,     MixFamily::kModerateLlc,
+          MixFamily::kModerateBw,   MixFamily::kModerateBoth,
+          MixFamily::kInsensitive};
+}
+
+WorkloadMix MakeMix(MixFamily family, size_t app_count) {
+  CHECK_GE(app_count, 2u);
+  const std::vector<WorkloadDescriptor> sensitive = ClassBenchmarks(family);
+  const std::vector<WorkloadDescriptor> insensitive =
+      BenchmarksByCategory(WorkloadCategory::kInsensitive);
+  CHECK(!sensitive.empty());
+  CHECK(!insensitive.empty());
+
+  size_t num_sensitive = 0;
+  switch (family) {
+    case MixFamily::kHighLlc:
+    case MixFamily::kHighBw:
+    case MixFamily::kHighBoth:
+      num_sensitive = app_count - 1;
+      break;
+    case MixFamily::kModerateLlc:
+    case MixFamily::kModerateBw:
+    case MixFamily::kModerateBoth:
+      num_sensitive = app_count / 2;
+      break;
+    case MixFamily::kInsensitive:
+      num_sensitive = 0;
+      break;
+  }
+
+  WorkloadMix mix;
+  mix.name = std::string(MixFamilyName(family)) + "-" +
+             std::to_string(app_count);
+  for (size_t i = 0; i < num_sensitive; ++i) {
+    mix.apps.push_back(sensitive[i % sensitive.size()]);
+  }
+  for (size_t i = mix.apps.size(); i < app_count; ++i) {
+    mix.apps.push_back(insensitive[i % insensitive.size()]);
+  }
+  return mix;
+}
+
+WorkloadMix LlcSensitiveCharacterizationMix() {
+  return WorkloadMix{"LLC-sensitive",
+                     {WaterNsquared(), WaterSpatial(), Raytrace(),
+                      Swaptions()}};
+}
+
+WorkloadMix BwSensitiveCharacterizationMix() {
+  return WorkloadMix{"BW-sensitive", {OceanCp(), Cg(), Ft(), Swaptions()}};
+}
+
+WorkloadMix BothSensitiveCharacterizationMix() {
+  return WorkloadMix{"LM-sensitive", {Sp(), OceanNcp(), Fmm(), Swaptions()}};
+}
+
+uint32_t CoresPerApp(size_t app_count) {
+  CHECK_GT(app_count, 0u);
+  constexpr uint32_t kMachineCores = 16;
+  const uint32_t per_app =
+      kMachineCores / static_cast<uint32_t>(app_count);
+  CHECK_GE(per_app, 1u) << "too many apps for the machine";
+  return per_app;
+}
+
+}  // namespace copart

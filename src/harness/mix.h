@@ -1,0 +1,57 @@
+// Workload mixes (paper §4.2, §6.1, §6.2).
+//
+// The paper evaluates seven mix families built from the Table 2 benchmarks:
+//   H-LLC / H-BW / H-Both : three benchmarks of the named sensitivity class
+//                           plus one insensitive benchmark.
+//   M-LLC / M-BW / M-Both : two of the class plus two insensitive.
+//   IS                    : insensitive benchmarks only.
+// §6.2 sweeps the app count from 3 to 6, generating the mixes "similarly":
+// H-mixes take (count-1) class benchmarks (cycling through the class) plus
+// one insensitive; M-mixes take floor(count/2) class benchmarks and fill
+// with insensitive; IS cycles the insensitive pair.
+#ifndef COPART_HARNESS_MIX_H_
+#define COPART_HARNESS_MIX_H_
+
+#include <string>
+#include <vector>
+
+#include "workload/workload.h"
+
+namespace copart {
+
+enum class MixFamily {
+  kHighLlc,
+  kHighBw,
+  kHighBoth,
+  kModerateLlc,
+  kModerateBw,
+  kModerateBoth,
+  kInsensitive,
+};
+
+const char* MixFamilyName(MixFamily family);
+
+// All seven families in the paper's Fig. 12 order.
+std::vector<MixFamily> AllMixFamilies();
+
+struct WorkloadMix {
+  std::string name;
+  std::vector<WorkloadDescriptor> apps;
+};
+
+// Builds the family's mix at the given app count (3..6 in the paper).
+WorkloadMix MakeMix(MixFamily family, size_t app_count = 4);
+
+// The three characterization mixes of §4.2 (Figs. 4-6): named fixed
+// four-app mixes.
+WorkloadMix LlcSensitiveCharacterizationMix();   // WN, WS, RT, SW
+WorkloadMix BwSensitiveCharacterizationMix();    // OC, CG, FT, SW
+WorkloadMix BothSensitiveCharacterizationMix();  // SP, ON, FMM, SW
+
+// Cores per app when `app_count` apps share the paper's 16-core machine
+// (threads pinned, cores dedicated).
+uint32_t CoresPerApp(size_t app_count);
+
+}  // namespace copart
+
+#endif  // COPART_HARNESS_MIX_H_

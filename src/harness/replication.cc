@@ -1,0 +1,43 @@
+#include "harness/replication.h"
+
+#include "common/logging.h"
+#include "common/stats.h"
+
+namespace copart {
+namespace {
+
+ReplicatedMetric Summarize(const RunningStats& stats) {
+  return ReplicatedMetric{.mean = stats.mean(),
+                          .stddev = stats.stddev(),
+                          .min = stats.min(),
+                          .max = stats.max()};
+}
+
+}  // namespace
+
+ReplicatedResult RunReplicatedExperiment(const WorkloadMix& mix,
+                                         const PolicyFactory& factory,
+                                         const ExperimentConfig& config,
+                                         size_t replicas,
+                                         uint64_t base_seed) {
+  CHECK_GT(replicas, 0u);
+  ReplicatedResult result;
+  result.mix_name = mix.name;
+  result.replicas = replicas;
+  RunningStats unfairness, throughput;
+  for (size_t replica = 0; replica < replicas; ++replica) {
+    ExperimentConfig replica_config = config;
+    // SplitMix-style spread so adjacent replicas get unrelated streams.
+    replica_config.machine.seed =
+        base_seed + replica * 0x9E3779B97F4A7C15ULL;
+    const ExperimentResult run = RunExperiment(mix, factory, replica_config);
+    result.policy_name = run.policy_name;
+    unfairness.Add(run.unfairness);
+    throughput.Add(run.throughput_geomean);
+  }
+  result.unfairness = Summarize(unfairness);
+  result.throughput_geomean = Summarize(throughput);
+  return result;
+}
+
+}  // namespace copart

@@ -1,0 +1,40 @@
+// Replicated experiments: the same (mix, policy) run under R different
+// machine seeds (different measurement noise and, through it, different
+// controller trajectories), summarized as mean / stddev / min / max.
+// Used to put error bars on the headline comparisons
+// (bench_replication, tests/harness_replication_test.cc).
+#ifndef COPART_HARNESS_REPLICATION_H_
+#define COPART_HARNESS_REPLICATION_H_
+
+#include <cstddef>
+
+#include "harness/experiment.h"
+
+namespace copart {
+
+struct ReplicatedMetric {
+  double mean = 0.0;
+  double stddev = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+};
+
+struct ReplicatedResult {
+  std::string policy_name;
+  std::string mix_name;
+  size_t replicas = 0;
+  ReplicatedMetric unfairness;
+  ReplicatedMetric throughput_geomean;
+};
+
+// Runs `replicas` independent experiments, deriving each machine seed from
+// `base_seed` + replica index. Everything else in `config` is shared.
+ReplicatedResult RunReplicatedExperiment(const WorkloadMix& mix,
+                                         const PolicyFactory& factory,
+                                         const ExperimentConfig& config,
+                                         size_t replicas,
+                                         uint64_t base_seed = 0xA5EED);
+
+}  // namespace copart
+
+#endif  // COPART_HARNESS_REPLICATION_H_

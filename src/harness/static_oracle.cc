@@ -1,0 +1,140 @@
+#include "harness/static_oracle.h"
+
+#include <limits>
+
+#include "cache/way_mask.h"
+#include "common/logging.h"
+#include "metrics/fairness.h"
+
+namespace copart {
+namespace {
+
+// Enumerates all compositions of `total` ways into `parts` positive parts.
+void EnumerateCompositions(uint32_t total, size_t parts,
+                           std::vector<uint32_t>& current,
+                           std::vector<std::vector<uint32_t>>& out) {
+  if (parts == 1) {
+    if (total >= 1) {
+      current.push_back(total);
+      out.push_back(current);
+      current.pop_back();
+    }
+    return;
+  }
+  // Leave at least one way for each remaining part.
+  for (uint32_t ways = 1; ways + (parts - 1) <= total; ++ways) {
+    current.push_back(ways);
+    EnumerateCompositions(total - ways, parts - 1, current, out);
+    current.pop_back();
+  }
+}
+
+class Evaluator {
+ public:
+  Evaluator(const SimulatedMachine& machine, const std::vector<AppId>& apps,
+            const ResourcePool& pool)
+      : scratch_(machine), apps_(apps), pool_(pool) {
+    scratch_.SetIpsNoiseSigma(0.0);
+    // One private CLOS per app; CLOS 0 keeps the default full mask but no
+    // app remains in it.
+    for (size_t i = 0; i < apps_.size(); ++i) {
+      const uint32_t clos = static_cast<uint32_t>(i + 1);
+      CHECK_LT(clos, scratch_.config().num_clos);
+      scratch_.AssignAppToClos(apps_[i], clos);
+      solo_full_.push_back(scratch_.SoloFullResourceIps(
+          scratch_.Descriptor(apps_[i]), scratch_.AppCores(apps_[i])));
+    }
+  }
+
+  double Unfairness(const SystemState& state) {
+    ++evaluations_;
+    for (size_t i = 0; i < apps_.size(); ++i) {
+      const uint32_t clos = static_cast<uint32_t>(i + 1);
+      Result<WayMask> mask = WayMask::FromBits(state.WayMaskBits(i),
+                                               scratch_.config().llc.num_ways);
+      CHECK(mask.ok()) << mask.status().ToString();
+      scratch_.SetClosWayMask(clos, *mask);
+      scratch_.SetClosMbaLevel(clos, state.allocation(i).mba_level);
+    }
+    // The analytic model is memoryless epoch-to-epoch: one epoch gives the
+    // steady-state rates for this configuration.
+    scratch_.AdvanceTime(0.1);
+    std::vector<double> slowdowns;
+    slowdowns.reserve(apps_.size());
+    for (size_t i = 0; i < apps_.size(); ++i) {
+      slowdowns.push_back(
+          Slowdown(solo_full_[i], scratch_.LastEpoch(apps_[i]).ips));
+    }
+    return ::copart::Unfairness(slowdowns);
+  }
+
+  size_t evaluations() const { return evaluations_; }
+
+ private:
+  SimulatedMachine scratch_;
+  std::vector<AppId> apps_;
+  ResourcePool pool_;
+  std::vector<double> solo_full_;
+  size_t evaluations_ = 0;
+};
+
+}  // namespace
+
+StaticOracleResult FindStaticOracleState(const SimulatedMachine& machine,
+                                         const std::vector<AppId>& apps,
+                                         const ResourcePool& pool) {
+  CHECK(!apps.empty());
+  CHECK_GE(pool.num_ways, apps.size());
+  Evaluator evaluator(machine, apps, pool);
+
+  std::vector<std::vector<uint32_t>> compositions;
+  std::vector<uint32_t> current;
+  EnumerateCompositions(pool.num_ways, apps.size(), current, compositions);
+  CHECK(!compositions.empty());
+
+  StaticOracleResult result;
+  double best = std::numeric_limits<double>::infinity();
+
+  for (const std::vector<uint32_t>& ways : compositions) {
+    // Start this composition at the pool's MBA ceiling.
+    std::vector<AppAllocation> allocations(apps.size());
+    for (size_t i = 0; i < apps.size(); ++i) {
+      allocations[i].llc_ways = ways[i];
+      allocations[i].mba_level = MbaLevel::FromPercentChecked(
+          pool.max_mba_percent / 10 * 10 >= MbaLevel::kMin
+              ? pool.max_mba_percent / 10 * 10
+              : MbaLevel::kMin);
+    }
+    SystemState state(pool, allocations);
+    double state_best = evaluator.Unfairness(state);
+
+    // Two rounds of per-app coordinate descent over the MBA levels.
+    for (int round = 0; round < 2; ++round) {
+      for (size_t i = 0; i < apps.size(); ++i) {
+        MbaLevel best_level = state.allocation(i).mba_level;
+        for (uint32_t percent = MbaLevel::kMin;
+             percent <= pool.max_mba_percent; percent += MbaLevel::kStep) {
+          state.allocation(i).mba_level =
+              MbaLevel::FromPercentChecked(percent);
+          const double unfairness = evaluator.Unfairness(state);
+          if (unfairness < state_best) {
+            state_best = unfairness;
+            best_level = state.allocation(i).mba_level;
+          }
+        }
+        state.allocation(i).mba_level = best_level;
+      }
+    }
+
+    if (state_best < best) {
+      best = state_best;
+      result.best_state = state;
+      result.best_unfairness = state_best;
+    }
+  }
+  result.states_evaluated = evaluator.evaluations();
+  CHECK(result.best_state.Valid());
+  return result;
+}
+
+}  // namespace copart

@@ -1,0 +1,34 @@
+// Offline search for the ST baseline (paper §6.1).
+//
+// The paper's ST policy "statically employs the system state that exhibits
+// the highest fairness among the system states that are evaluated through
+// extensive offline experiments". We reproduce that with a what-if search
+// against a noise-free clone of the machine: every composition of the
+// pool's ways across the apps is enumerated, and for each composition the
+// per-app MBA levels are optimized with two rounds of coordinate descent.
+// Each candidate is scored by the unfairness (Eq. 2) the analytic epoch
+// model predicts at steady state.
+#ifndef COPART_HARNESS_STATIC_ORACLE_H_
+#define COPART_HARNESS_STATIC_ORACLE_H_
+
+#include <vector>
+
+#include "core/system_state.h"
+#include "machine/app_id.h"
+#include "machine/simulated_machine.h"
+
+namespace copart {
+
+struct StaticOracleResult {
+  SystemState best_state;
+  double best_unfairness = 0.0;
+  size_t states_evaluated = 0;
+};
+
+StaticOracleResult FindStaticOracleState(const SimulatedMachine& machine,
+                                         const std::vector<AppId>& apps,
+                                         const ResourcePool& pool);
+
+}  // namespace copart
+
+#endif  // COPART_HARNESS_STATIC_ORACLE_H_

@@ -1,0 +1,94 @@
+#include "harness/table_printer.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace copart {
+
+std::string FormatFixed(double value, int precision) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.*f", precision, value);
+  return buffer;
+}
+
+std::string FormatSci(double value, int precision) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.*e", precision, value);
+  return buffer;
+}
+
+void PrintTable(const std::vector<std::string>& headers,
+                const std::vector<std::vector<std::string>>& rows,
+                std::FILE* out) {
+  std::vector<size_t> widths(headers.size());
+  for (size_t c = 0; c < headers.size(); ++c) {
+    widths[c] = headers[c].size();
+  }
+  for (const std::vector<std::string>& row : rows) {
+    CHECK_EQ(row.size(), headers.size());
+    for (size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  auto print_row = [&](const std::vector<std::string>& cells) {
+    for (size_t c = 0; c < cells.size(); ++c) {
+      std::fprintf(out, "%s%-*s", c == 0 ? "| " : " | ",
+                   static_cast<int>(widths[c]), cells[c].c_str());
+    }
+    std::fprintf(out, " |\n");
+  };
+  auto print_rule = [&]() {
+    for (size_t c = 0; c < widths.size(); ++c) {
+      std::fprintf(out, "%s", c == 0 ? "|-" : "-|-");
+      for (size_t i = 0; i < widths[c]; ++i) {
+        std::fputc('-', out);
+      }
+    }
+    std::fprintf(out, "-|\n");
+  };
+  print_row(headers);
+  print_rule();
+  for (const std::vector<std::string>& row : rows) {
+    print_row(row);
+  }
+}
+
+void PrintHeatmap(const std::string& caption,
+                  const std::vector<std::string>& row_labels,
+                  const std::vector<std::string>& col_labels,
+                  const std::vector<std::vector<double>>& values,
+                  int precision, std::FILE* out) {
+  CHECK_EQ(values.size(), row_labels.size());
+  std::fprintf(out, "%s\n", caption.c_str());
+  std::vector<std::string> headers;
+  headers.push_back("");
+  for (const std::string& label : col_labels) {
+    headers.push_back(label);
+  }
+  std::vector<std::vector<std::string>> rows;
+  for (size_t r = 0; r < values.size(); ++r) {
+    CHECK_EQ(values[r].size(), col_labels.size());
+    std::vector<std::string> row;
+    row.push_back(row_labels[r]);
+    for (double value : values[r]) {
+      row.push_back(FormatFixed(value, precision));
+    }
+    rows.push_back(std::move(row));
+  }
+  PrintTable(headers, rows, out);
+}
+
+std::string JoinParen(const std::vector<uint32_t>& values) {
+  std::string result = "(";
+  for (size_t i = 0; i < values.size(); ++i) {
+    if (i > 0) {
+      result += ",";
+    }
+    result += std::to_string(values[i]);
+  }
+  result += ")";
+  return result;
+}
+
+}  // namespace copart

@@ -1,0 +1,33 @@
+// Plain-text rendering of result tables and heatmaps, used by the benchmark
+// binaries to print the rows/series each paper table or figure reports.
+#ifndef COPART_HARNESS_TABLE_PRINTER_H_
+#define COPART_HARNESS_TABLE_PRINTER_H_
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace copart {
+
+// Fixed-precision / scientific shorthand formatters.
+std::string FormatFixed(double value, int precision = 3);
+std::string FormatSci(double value, int precision = 2);
+
+// Renders an aligned table to `out` (default stdout).
+void PrintTable(const std::vector<std::string>& headers,
+                const std::vector<std::vector<std::string>>& rows,
+                std::FILE* out = stdout);
+
+// Renders a labeled numeric grid (rows x cols) with a caption.
+void PrintHeatmap(const std::string& caption,
+                  const std::vector<std::string>& row_labels,
+                  const std::vector<std::string>& col_labels,
+                  const std::vector<std::vector<double>>& values,
+                  int precision = 2, std::FILE* out = stdout);
+
+// Joins a uint vector as "(a,b,c)".
+std::string JoinParen(const std::vector<uint32_t>& values);
+
+}  // namespace copart
+
+#endif  // COPART_HARNESS_TABLE_PRINTER_H_

@@ -1,0 +1,83 @@
+#include "harness/whatif.h"
+
+#include "cache/way_mask.h"
+#include "common/logging.h"
+#include "core/ucp_policy.h"
+#include "machine/simulated_machine.h"
+#include "metrics/fairness.h"
+
+namespace copart {
+
+WhatIfOutcome PredictOutcome(const std::vector<WorkloadDescriptor>& workloads,
+                             const SystemState& state,
+                             const MachineConfig& machine_config,
+                             uint32_t cores_per_app) {
+  CHECK(!workloads.empty());
+  CHECK_EQ(state.NumApps(), workloads.size());
+  CHECK(state.Valid()) << state.ToString();
+
+  MachineConfig config = machine_config;
+  config.ips_noise_sigma = 0.0;
+  SimulatedMachine machine(config);
+
+  WhatIfOutcome outcome;
+  std::vector<AppId> apps;
+  for (size_t i = 0; i < workloads.size(); ++i) {
+    const uint32_t cores =
+        cores_per_app > 0 ? cores_per_app : workloads[i].num_threads;
+    Result<AppId> app = machine.LaunchApp(workloads[i], cores);
+    CHECK(app.ok()) << app.status().ToString();
+    apps.push_back(*app);
+    const uint32_t clos = static_cast<uint32_t>(i + 1);
+    machine.AssignAppToClos(*app, clos);
+    Result<WayMask> mask =
+        WayMask::FromBits(state.WayMaskBits(i), config.llc.num_ways);
+    CHECK(mask.ok()) << mask.status().ToString();
+    machine.SetClosWayMask(clos, *mask);
+    machine.SetClosMbaLevel(clos, state.allocation(i).mba_level);
+    outcome.app_names.push_back(workloads[i].short_name);
+    outcome.solo_full_ips.push_back(
+        machine.SoloFullResourceIps(workloads[i], cores));
+  }
+
+  // The analytic model is memoryless: one epoch is the steady state.
+  machine.AdvanceTime(0.1);
+  for (size_t i = 0; i < apps.size(); ++i) {
+    const double ips = machine.LastEpoch(apps[i]).ips;
+    outcome.predicted_ips.push_back(ips);
+    outcome.slowdowns.push_back(Slowdown(outcome.solo_full_ips[i], ips));
+  }
+  outcome.unfairness = Unfairness(outcome.slowdowns);
+  outcome.throughput_geomean = GeoMeanThroughput(outcome.predicted_ips);
+  return outcome;
+}
+
+WhatIfOutcome PredictEqualShareOutcome(
+    const std::vector<WorkloadDescriptor>& workloads,
+    const ResourcePool& pool, const MachineConfig& machine_config,
+    uint32_t cores_per_app) {
+  return PredictOutcome(workloads,
+                        SystemState::EqualShare(pool, workloads.size()),
+                        machine_config, cores_per_app);
+}
+
+WhatIfOutcome PredictUcpOutcome(
+    const std::vector<WorkloadDescriptor>& workloads,
+    const ResourcePool& pool, const MachineConfig& machine_config,
+    uint32_t cores_per_app) {
+  MachineConfig config = machine_config;
+  config.ips_noise_sigma = 0.0;
+  SimulatedMachine machine(config);
+  std::vector<AppId> apps;
+  for (const WorkloadDescriptor& workload : workloads) {
+    const uint32_t cores =
+        cores_per_app > 0 ? cores_per_app : workload.num_threads;
+    Result<AppId> app = machine.LaunchApp(workload, cores);
+    CHECK(app.ok()) << app.status().ToString();
+    apps.push_back(*app);
+  }
+  const SystemState state = ComputeUcpAllocation(machine, apps, pool);
+  return PredictOutcome(workloads, state, machine_config, cores_per_app);
+}
+
+}  // namespace copart

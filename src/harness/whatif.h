@@ -1,0 +1,58 @@
+// What-if analysis: predict the consequences of a candidate allocation for
+// a set of workloads without running a live experiment.
+//
+// A consolidation operator (or an outer scheduler choosing colocations)
+// often wants "if I put these apps together under this partitioning, who
+// slows down and by how much?". PredictOutcome builds a noise-free machine
+// clone, applies the candidate SystemState, solves one epoch, and returns
+// per-app slowdowns plus the unfairness and aggregate throughput — the
+// same evaluator the offline ST search uses internally, exposed as a
+// library surface (and as `copartctl`'s oracle/compare data source).
+#ifndef COPART_HARNESS_WHATIF_H_
+#define COPART_HARNESS_WHATIF_H_
+
+#include <string>
+#include <vector>
+
+#include "core/system_state.h"
+#include "machine/machine_config.h"
+#include "workload/workload.h"
+
+namespace copart {
+
+struct WhatIfOutcome {
+  std::vector<std::string> app_names;
+  std::vector<double> predicted_ips;
+  std::vector<double> solo_full_ips;
+  std::vector<double> slowdowns;
+  double unfairness = 0.0;
+  double throughput_geomean = 0.0;
+};
+
+// Predicts the steady-state outcome of running `workloads` under `state`.
+// The state must cover exactly workloads.size() apps and be Valid().
+// cores_per_app = 0 (the default) gives each app its descriptor's own
+// num_threads; a positive value overrides uniformly.
+WhatIfOutcome PredictOutcome(const std::vector<WorkloadDescriptor>& workloads,
+                             const SystemState& state,
+                             const MachineConfig& machine_config = {},
+                             uint32_t cores_per_app = 0);
+
+// Convenience: the equal-share outcome for a quick colocation sanity check.
+WhatIfOutcome PredictEqualShareOutcome(
+    const std::vector<WorkloadDescriptor>& workloads,
+    const ResourcePool& pool, const MachineConfig& machine_config = {},
+    uint32_t cores_per_app = 0);
+
+// Outcome under a miss-minimizing UCP way split (core/ucp_policy.h) at the
+// pool's MBA ceiling — a cheap proxy for what a converged dynamic
+// partitioner (CoPart) will reach on the node, and therefore the right
+// basis for placement decisions (Cluster's kWhatIfBest).
+WhatIfOutcome PredictUcpOutcome(
+    const std::vector<WorkloadDescriptor>& workloads,
+    const ResourcePool& pool, const MachineConfig& machine_config = {},
+    uint32_t cores_per_app = 0);
+
+}  // namespace copart
+
+#endif  // COPART_HARNESS_WHATIF_H_

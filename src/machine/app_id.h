@@ -1,0 +1,35 @@
+// Opaque identifier for a consolidated application instance.
+#ifndef COPART_MACHINE_APP_ID_H_
+#define COPART_MACHINE_APP_ID_H_
+
+#include <cstdint>
+#include <functional>
+
+namespace copart {
+
+class AppId {
+ public:
+  AppId() = default;
+  explicit AppId(uint32_t value) : value_(value) {}
+
+  uint32_t value() const { return value_; }
+  bool valid() const { return value_ != kInvalid; }
+
+  bool operator==(const AppId& other) const = default;
+  auto operator<=>(const AppId& other) const = default;
+
+ private:
+  static constexpr uint32_t kInvalid = 0xFFFFFFFFu;
+  uint32_t value_ = kInvalid;
+};
+
+}  // namespace copart
+
+template <>
+struct std::hash<copart::AppId> {
+  size_t operator()(const copart::AppId& id) const noexcept {
+    return std::hash<uint32_t>{}(id.value());
+  }
+};
+
+#endif  // COPART_MACHINE_APP_ID_H_

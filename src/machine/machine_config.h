@@ -1,0 +1,40 @@
+// Configuration of the simulated commodity server.
+//
+// Defaults reproduce the paper's evaluation platform (Table 1): a 16-core
+// Xeon Gold 6130 at 2.1 GHz with a 22 MB / 11-way shared LLC and ~28 GB/s of
+// memory bandwidth, Hyper-Threading and Turbo Boost disabled.
+#ifndef COPART_MACHINE_MACHINE_CONFIG_H_
+#define COPART_MACHINE_MACHINE_CONFIG_H_
+
+#include <cstdint>
+
+#include "cache/llc_geometry.h"
+#include "common/units.h"
+
+namespace copart {
+
+struct MachineConfig {
+  uint32_t num_cores = 16;
+  double core_freq_hz = 2.1e9;
+  LlcGeometry llc;
+  double total_memory_bandwidth = GBps(28.0);
+  // CLOS count of the modeled CPU (Xeon Gold 6130 exposes 16 for L3 CAT).
+  uint32_t num_clos = 16;
+  // MBA cap curve exponent (see MbaThrottleModel).
+  double mba_cap_exponent = 0.7;
+  // Memory-controller queueing: effective DRAM latency stretches with
+  // controller utilization rho as Lmem * (1 + factor * rho^2). This is what
+  // makes throttling a bandwidth hog genuinely help latency-bound
+  // co-runners (as on real memory controllers); 0 disables the coupling
+  // (bench_ablation_queueing sweeps it).
+  double queueing_delay_factor = 1.0;
+  // Multiplicative per-epoch IPS noise (sigma of a lognormal-ish
+  // perturbation); models run-to-run variation on real hardware that the
+  // controller's thresholds (deltaP etc.) must tolerate. 0 disables.
+  double ips_noise_sigma = 0.01;
+  uint64_t seed = 0x5EED5EEDULL;
+};
+
+}  // namespace copart
+
+#endif  // COPART_MACHINE_MACHINE_CONFIG_H_

@@ -1,0 +1,146 @@
+#include "machine/shared_cache_validator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+
+#include "cache/way_partitioned_cache.h"
+#include "common/logging.h"
+#include "common/rng.h"
+#include "machine/simulated_machine.h"
+#include "trace/trace_generator.h"
+
+namespace copart {
+namespace {
+
+// Scales a reuse profile's working sets by 1/scale (minimum one line).
+ReuseProfile ScaleProfile(const ReuseProfile& profile, uint32_t scale,
+                          uint32_t line_bytes) {
+  std::vector<ReuseComponent> components;
+  for (const ReuseComponent& component : profile.components()) {
+    components.push_back(
+        {component.weight,
+         std::max<uint64_t>(line_bytes, component.working_set_bytes / scale)});
+  }
+  return ReuseProfile(components, profile.streaming_weight());
+}
+
+}  // namespace
+
+SharedCacheValidationResult ValidateSharedCache(
+    const std::vector<WorkloadDescriptor>& workloads,
+    const std::vector<WayMask>& masks,
+    const SharedCacheValidationConfig& config) {
+  CHECK_EQ(workloads.size(), masks.size());
+  CHECK(!workloads.empty());
+  const size_t n = workloads.size();
+
+  // --- Analytic side: a full-scale machine with the given masks. ---
+  MachineConfig machine_config = config.machine;
+  machine_config.ips_noise_sigma = 0.0;
+  SimulatedMachine machine(machine_config);
+  std::vector<AppId> apps;
+  for (size_t i = 0; i < n; ++i) {
+    // Keep every app at one core so more than four apps fit if needed; the
+    // capacity fixed point scales rates per core uniformly anyway.
+    Result<AppId> app = machine.LaunchApp(workloads[i], 1);
+    CHECK(app.ok()) << app.status().ToString();
+    apps.push_back(*app);
+    machine.AssignAppToClos(*app, static_cast<uint32_t>(i + 1));
+    machine.SetClosWayMask(static_cast<uint32_t>(i + 1), masks[i]);
+  }
+  machine.AdvanceTime(0.1);
+
+  // --- Measured side: scaled trace replay through the real LRU cache. ---
+  const LlcGeometry scaled{
+      .total_bytes = machine_config.llc.total_bytes / config.scale,
+      .num_ways = machine_config.llc.num_ways,
+      .line_bytes = machine_config.llc.line_bytes};
+  WayPartitionedCache cache(scaled, static_cast<uint32_t>(n));
+  Rng rng(config.seed);
+  std::vector<std::unique_ptr<MixtureTraceGenerator>> generators;
+  std::vector<double> weights(n);
+  double total_weight = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    cache.SetMask(static_cast<uint32_t>(i), masks[i]);
+    // Distinct 16 TB address spaces so apps never alias each other's lines.
+    generators.push_back(std::make_unique<MixtureTraceGenerator>(
+        ScaleProfile(workloads[i].reuse_profile, config.scale,
+                     scaled.line_bytes),
+        scaled.line_bytes, rng.Fork(), static_cast<uint64_t>(i + 1) << 44));
+    // Interleave accesses in proportion to nominal LLC access rates (the
+    // same weighting the analytic fixed point uses for its fill rates).
+    weights[i] = workloads[i].accesses_per_instr / workloads[i].cpi_exec;
+    total_weight += weights[i];
+  }
+  std::vector<double> cumulative(n);
+  double acc = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    acc += weights[i] / total_weight;
+    cumulative[i] = acc;
+  }
+  auto pick_app = [&]() {
+    const double draw = rng.NextDouble();
+    for (size_t i = 0; i < n; ++i) {
+      if (draw < cumulative[i]) {
+        return i;
+      }
+    }
+    return n - 1;
+  };
+  for (uint64_t step = 0; step < config.warmup_accesses; ++step) {
+    const size_t i = pick_app();
+    cache.Access(static_cast<uint32_t>(i), generators[i]->Next());
+  }
+  cache.ResetStats();
+  for (uint64_t step = 0; step < config.measured_accesses; ++step) {
+    const size_t i = pick_app();
+    cache.Access(static_cast<uint32_t>(i), generators[i]->Next());
+  }
+
+  // --- Compare. ---
+  SharedCacheValidationResult result;
+  const double total_lines = static_cast<double>(
+      scaled.NumSets() * scaled.num_ways);
+  for (size_t i = 0; i < n; ++i) {
+    AppValidationResult app_result;
+    app_result.name = workloads[i].name;
+    const AppEpochSnapshot& epoch = machine.LastEpoch(apps[i]);
+    app_result.analytic_miss_ratio = epoch.miss_ratio;
+    // The model's effective capacity is the app's *available* share; the
+    // trace measures actual footprint. An app whose components fit inside
+    // its share only occupies its footprint plus however many streamed
+    // lines the measurement window let it park there.
+    double footprint_lines =
+        static_cast<double>(workloads[i].reuse_profile.streaming_weight()) *
+        (weights[i] / total_weight) *
+        static_cast<double>(config.warmup_accesses +
+                            config.measured_accesses);
+    for (const ReuseComponent& component :
+         workloads[i].reuse_profile.components()) {
+      footprint_lines += static_cast<double>(component.working_set_bytes) /
+                         config.scale / scaled.line_bytes;
+    }
+    const double share_lines = epoch.effective_capacity_bytes /
+                               machine_config.llc.total_bytes * total_lines;
+    app_result.analytic_capacity_fraction =
+        std::min(share_lines, footprint_lines) / total_lines;
+    app_result.measured_miss_ratio =
+        cache.stats(static_cast<uint32_t>(i)).MissRatio();
+    app_result.measured_occupancy_fraction =
+        static_cast<double>(cache.OccupancyLines(static_cast<uint32_t>(i))) /
+        total_lines;
+    result.max_miss_ratio_error = std::max(
+        result.max_miss_ratio_error,
+        std::abs(app_result.measured_miss_ratio -
+                 app_result.analytic_miss_ratio));
+    result.max_occupancy_error = std::max(
+        result.max_occupancy_error,
+        std::abs(app_result.measured_occupancy_fraction -
+                 app_result.analytic_capacity_fraction));
+    result.apps.push_back(std::move(app_result));
+  }
+  return result;
+}
+
+}  // namespace copart

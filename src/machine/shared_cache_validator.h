@@ -1,0 +1,66 @@
+// Cross-validation of the epoch model's shared-LLC occupancy solver.
+//
+// SimulatedMachine splits overlapping ways among CLOSes with a
+// fill-intensity fixed point (SolveEffectiveCapacities) and evaluates each
+// app's miss ratio at its effective capacity. This module builds the
+// ground truth for that approximation: it replays an interleaved synthetic
+// access stream (one MixtureTraceGenerator per app, interleaved in
+// proportion to the apps' nominal access rates) through the trace-driven
+// WayPartitionedCache under the same CAT masks, and reports the measured
+// per-app miss ratios and occupancies next to the analytic ones.
+//
+// To keep replay affordable the validation runs on a geometry-scaled cache
+// (default 1/64 of the Xeon LLC) with working sets scaled by the same
+// factor — way-granularity and all sharing effects are preserved.
+//
+// Used by tests/shared_cache_validation_test.cc and
+// bench_ablation_shared_cache.
+#ifndef COPART_MACHINE_SHARED_CACHE_VALIDATOR_H_
+#define COPART_MACHINE_SHARED_CACHE_VALIDATOR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "cache/way_mask.h"
+#include "machine/machine_config.h"
+#include "workload/workload.h"
+
+namespace copart {
+
+struct SharedCacheValidationConfig {
+  MachineConfig machine;
+  // Geometry/working-set scale factor (1/scale of the real LLC).
+  uint32_t scale = 64;
+  // Warmup and measured accesses for the trace replay.
+  uint64_t warmup_accesses = 300000;
+  uint64_t measured_accesses = 600000;
+  uint64_t seed = 20260706;
+};
+
+struct AppValidationResult {
+  std::string name;
+  double analytic_miss_ratio = 0.0;
+  double measured_miss_ratio = 0.0;
+  // Fractions of the total (scaled) cache capacity.
+  double analytic_capacity_fraction = 0.0;
+  double measured_occupancy_fraction = 0.0;
+};
+
+struct SharedCacheValidationResult {
+  std::vector<AppValidationResult> apps;
+  double max_miss_ratio_error = 0.0;
+  double max_occupancy_error = 0.0;
+};
+
+// Runs one validation: `masks[i]` is the CAT mask of `workloads[i]`
+// (masks may overlap arbitrarily). Analytic values come from a
+// SimulatedMachine configured identically (full scale); measured values
+// from the scaled trace replay.
+SharedCacheValidationResult ValidateSharedCache(
+    const std::vector<WorkloadDescriptor>& workloads,
+    const std::vector<WayMask>& masks,
+    const SharedCacheValidationConfig& config = {});
+
+}  // namespace copart
+
+#endif  // COPART_MACHINE_SHARED_CACHE_VALIDATOR_H_

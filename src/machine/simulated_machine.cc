@@ -1,0 +1,361 @@
+#include "machine/simulated_machine.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace copart {
+namespace {
+
+// Below this misses-per-instruction the app is treated as generating no
+// memory traffic (avoids 0/0 in the roofline division).
+constexpr double kNegligibleMpi = 1e-15;
+
+// Fixed-point iterations for the shared-capacity solve. Occupancy converges
+// geometrically; four rounds are plenty for the accuracy the model needs.
+constexpr int kCapacityIterations = 4;
+
+}  // namespace
+
+SimulatedMachine::SimulatedMachine(const MachineConfig& config)
+    : config_(config),
+      throttle_model_(config.mba_cap_exponent),
+      arbiter_(config.total_memory_bandwidth),
+      rng_(config.seed) {
+  CHECK_GT(config_.num_cores, 0u);
+  CHECK_GT(config_.num_clos, 0u);
+  clos_.resize(config_.num_clos);
+  for (ClosState& state : clos_) {
+    state.way_mask = WayMask::Contiguous(0, config_.llc.num_ways);
+    state.mba_level = MbaLevel();  // 100%
+  }
+}
+
+Result<AppId> SimulatedMachine::LaunchApp(const WorkloadDescriptor& descriptor,
+                                          std::optional<uint32_t> num_cores) {
+  const uint32_t cores = num_cores.value_or(descriptor.num_threads);
+  if (cores == 0) {
+    return InvalidArgumentError("app must use at least one core");
+  }
+  if (used_cores_ + cores > config_.num_cores) {
+    return ResourceExhaustedError("not enough free cores for " +
+                                  descriptor.name);
+  }
+  App app;
+  app.id = AppId(next_app_id_++);
+  app.descriptor = descriptor;
+  app.num_cores = cores;
+  app.clos = 0;
+  app.launch_time = now_;
+  used_cores_ += cores;
+  ++app_generation_;
+  apps_.push_back(std::move(app));
+  return apps_.back().id;
+}
+
+Status SimulatedMachine::TerminateApp(AppId id) {
+  for (size_t i = 0; i < apps_.size(); ++i) {
+    if (apps_[i].id == id) {
+      used_cores_ -= apps_[i].num_cores;
+      apps_.erase(apps_.begin() + static_cast<ptrdiff_t>(i));
+      ++app_generation_;
+      return Status::Ok();
+    }
+  }
+  return NotFoundError("no such app");
+}
+
+std::vector<AppId> SimulatedMachine::ListApps() const {
+  std::vector<AppId> ids;
+  ids.reserve(apps_.size());
+  for (const App& app : apps_) {
+    ids.push_back(app.id);
+  }
+  return ids;
+}
+
+bool SimulatedMachine::AppExists(AppId id) const {
+  for (const App& app : apps_) {
+    if (app.id == id) {
+      return true;
+    }
+  }
+  return false;
+}
+
+const SimulatedMachine::App& SimulatedMachine::GetApp(AppId id) const {
+  for (const App& app : apps_) {
+    if (app.id == id) {
+      return app;
+    }
+  }
+  LOG_FATAL << "no such app: " << id.value();
+  __builtin_unreachable();
+}
+
+SimulatedMachine::App& SimulatedMachine::GetApp(AppId id) {
+  return const_cast<App&>(
+      static_cast<const SimulatedMachine*>(this)->GetApp(id));
+}
+
+const WorkloadDescriptor& SimulatedMachine::Descriptor(AppId id) const {
+  return GetApp(id).descriptor;
+}
+
+uint32_t SimulatedMachine::AppCores(AppId id) const {
+  return GetApp(id).num_cores;
+}
+
+void SimulatedMachine::SetClosWayMask(uint32_t clos, const WayMask& mask) {
+  CHECK_LT(clos, clos_.size());
+  CHECK(!mask.Empty()) << "CLOS way mask must keep at least one way";
+  CHECK_LE(mask.FirstWay() + mask.CountWays(), config_.llc.num_ways);
+  clos_[clos].way_mask = mask;
+}
+
+void SimulatedMachine::SetClosMbaLevel(uint32_t clos, MbaLevel level) {
+  CHECK_LT(clos, clos_.size());
+  clos_[clos].mba_level = level;
+}
+
+void SimulatedMachine::AssignAppToClos(AppId id, uint32_t clos) {
+  CHECK_LT(clos, clos_.size());
+  GetApp(id).clos = clos;
+}
+
+const WayMask& SimulatedMachine::ClosWayMask(uint32_t clos) const {
+  CHECK_LT(clos, clos_.size());
+  return clos_[clos].way_mask;
+}
+
+MbaLevel SimulatedMachine::ClosMbaLevel(uint32_t clos) const {
+  CHECK_LT(clos, clos_.size());
+  return clos_[clos].mba_level;
+}
+
+uint32_t SimulatedMachine::AppClos(AppId id) const { return GetApp(id).clos; }
+
+void SimulatedMachine::SetAppRequiredIps(AppId id,
+                                         std::optional<double> required_ips) {
+  if (required_ips.has_value()) {
+    CHECK_GT(*required_ips, 0.0);
+  }
+  GetApp(id).required_ips = required_ips;
+}
+
+double SimulatedMachine::UnconstrainedCpi(const WorkloadDescriptor& d,
+                                          double cpi_exec, double mpi,
+                                          MbaLevel level, double contention) {
+  const double stall_per_miss = contention * d.mem_latency_cycles / d.mlp;
+  const double throttle_stretch =
+      1.0 + d.mba_kappa * (100.0 / level.percent() - 1.0);
+  return cpi_exec + mpi * stall_per_miss * throttle_stretch;
+}
+
+SimulatedMachine::EffectiveParams SimulatedMachine::EffectiveParamsFor(
+    const App& app) const {
+  const WorkloadDescriptor& d = app.descriptor;
+  const WorkloadPhase phase = d.PhaseAt(now_ - app.launch_time);
+  EffectiveParams params;
+  params.accesses_per_instr =
+      d.accesses_per_instr * phase.access_intensity_scale;
+  params.cpi_exec = d.cpi_exec * phase.cpi_exec_scale;
+  if (phase.streaming_scale == 1.0) {
+    params.profile = d.reuse_profile;
+  } else {
+    // Scale the streaming share of the profile, stealing from / returning
+    // to the residual (always-hit) weight so the total never exceeds 1.
+    double component_weight = 0.0;
+    for (const ReuseComponent& component : d.reuse_profile.components()) {
+      component_weight += component.weight;
+    }
+    const double scaled = std::min(
+        d.reuse_profile.streaming_weight() * phase.streaming_scale,
+        1.0 - component_weight);
+    params.profile = ReuseProfile(d.reuse_profile.components(), scaled);
+  }
+  return params;
+}
+
+std::vector<double> SimulatedMachine::SolveEffectiveCapacities(
+    const std::vector<EffectiveParams>& params) const {
+  const size_t n = apps_.size();
+  std::vector<double> capacities(n, 0.0);
+  if (n == 0) {
+    return capacities;
+  }
+  const double way_bytes = static_cast<double>(config_.llc.WayBytes());
+
+  // Fill-intensity weights; initialized equal, refined by the fixed point.
+  std::vector<double> weights(n, 1.0);
+  for (int iteration = 0; iteration <= kCapacityIterations; ++iteration) {
+    // Split each way among the CLOSes that may allocate into it.
+    for (size_t i = 0; i < n; ++i) {
+      capacities[i] = 0.0;
+    }
+    for (uint32_t way = 0; way < config_.llc.num_ways; ++way) {
+      double total_weight = 0.0;
+      for (size_t i = 0; i < n; ++i) {
+        if (clos_[apps_[i].clos].way_mask.Contains(way)) {
+          total_weight += weights[i];
+        }
+      }
+      if (total_weight <= 0.0) {
+        continue;
+      }
+      for (size_t i = 0; i < n; ++i) {
+        if (clos_[apps_[i].clos].way_mask.Contains(way)) {
+          capacities[i] += way_bytes * weights[i] / total_weight;
+        }
+      }
+    }
+    if (iteration == kCapacityIterations) {
+      break;
+    }
+    // Refine weights: occupancy under LRU is proportional to fill (miss)
+    // intensity. Use the nominal (stall-free) instruction rate as the scale.
+    for (size_t i = 0; i < n; ++i) {
+      const double miss_ratio =
+          params[i].profile.MissRatio(static_cast<uint64_t>(capacities[i]));
+      const double nominal_ips =
+          apps_[i].num_cores * config_.core_freq_hz / params[i].cpi_exec;
+      weights[i] =
+          nominal_ips * params[i].accesses_per_instr * miss_ratio + 1e-6;
+    }
+  }
+  return capacities;
+}
+
+void SimulatedMachine::AdvanceTime(double dt) {
+  CHECK_GT(dt, 0.0);
+  const size_t n = apps_.size();
+  now_ += dt;
+  if (n == 0) {
+    return;
+  }
+
+  std::vector<EffectiveParams> params;
+  params.reserve(n);
+  for (const App& app : apps_) {
+    params.push_back(EffectiveParamsFor(app));
+  }
+  const std::vector<double> capacities = SolveEffectiveCapacities(params);
+
+  // Pass 1: contention-free IPS and bandwidth demands.
+  std::vector<double> miss_ratios(n), mpis(n);
+  std::vector<BandwidthRequest> requests(n);
+  for (size_t i = 0; i < n; ++i) {
+    const App& app = apps_[i];
+    const WorkloadDescriptor& d = app.descriptor;
+    const MbaLevel level = clos_[app.clos].mba_level;
+    miss_ratios[i] =
+        params[i].profile.MissRatio(static_cast<uint64_t>(capacities[i]));
+    mpis[i] = params[i].accesses_per_instr * miss_ratios[i];
+    const double cpi = UnconstrainedCpi(d, params[i].cpi_exec, mpis[i], level,
+                                        /*contention=*/1.0);
+    double ips = app.num_cores * config_.core_freq_hz / cpi;
+    if (app.required_ips.has_value()) {
+      ips = std::min(ips, *app.required_ips);
+    }
+    requests[i].demand_bytes_per_sec = ips * mpis[i] * config_.llc.line_bytes;
+    requests[i].cap_bytes_per_sec =
+        throttle_model_.CapFraction(level) * config_.total_memory_bandwidth;
+  }
+
+  const std::vector<double> grants = arbiter_.Arbitrate(requests);
+
+  // Controller utilization -> queueing delay stretch on every miss.
+  double total_grant = 0.0;
+  for (double grant : grants) {
+    total_grant += grant;
+  }
+  const double rho =
+      std::min(1.0, total_grant / config_.total_memory_bandwidth);
+  const double contention =
+      1.0 + config_.queueing_delay_factor * rho * rho;
+
+  // Pass 2: contention-adjusted IPS, bounded by the bandwidth grant.
+  for (size_t i = 0; i < n; ++i) {
+    App& app = apps_[i];
+    const WorkloadDescriptor& d = app.descriptor;
+    const MbaLevel level = clos_[app.clos].mba_level;
+    const double cpi = UnconstrainedCpi(d, params[i].cpi_exec, mpis[i], level,
+                                        contention);
+    double ips = app.num_cores * config_.core_freq_hz / cpi;
+    app.last_epoch.ips_capability = ips;
+    if (app.required_ips.has_value()) {
+      ips = std::min(ips, *app.required_ips);
+    }
+    if (mpis[i] > kNegligibleMpi) {
+      ips = std::min(ips, grants[i] / (mpis[i] * config_.llc.line_bytes));
+    }
+    if (config_.ips_noise_sigma > 0.0) {
+      const double factor =
+          std::max(0.1, 1.0 + config_.ips_noise_sigma * rng_.NextGaussian());
+      ips *= factor;
+    }
+    app.last_epoch.ips = ips;
+    app.last_epoch.llc_accesses_per_sec = ips * params[i].accesses_per_instr;
+    app.last_epoch.llc_misses_per_sec = ips * mpis[i];
+    app.last_epoch.miss_ratio = miss_ratios[i];
+    app.last_epoch.effective_capacity_bytes = capacities[i];
+    app.last_epoch.bandwidth_demand_bytes_per_sec =
+        requests[i].demand_bytes_per_sec;
+    app.last_epoch.bandwidth_grant_bytes_per_sec = grants[i];
+
+    app.counters.instructions += ips * dt;
+    app.counters.llc_accesses += ips * params[i].accesses_per_instr * dt;
+    app.counters.llc_misses += ips * mpis[i] * dt;
+    app.counters.memory_bytes += ips * mpis[i] * config_.llc.line_bytes * dt;
+  }
+}
+
+const AppCounters& SimulatedMachine::Counters(AppId id) const {
+  return GetApp(id).counters;
+}
+
+const AppEpochSnapshot& SimulatedMachine::LastEpoch(AppId id) const {
+  return GetApp(id).last_epoch;
+}
+
+double SimulatedMachine::SoloFullResourceIps(
+    const WorkloadDescriptor& descriptor,
+    std::optional<uint32_t> num_cores) const {
+  const uint32_t cores = num_cores.value_or(descriptor.num_threads);
+  const double capacity = static_cast<double>(config_.llc.total_bytes);
+  const double miss_ratio =
+      descriptor.reuse_profile.MissRatio(static_cast<uint64_t>(capacity));
+  const double mpi = descriptor.accesses_per_instr * miss_ratio;
+  // Mirror AdvanceTime's two-pass scheme exactly: pass 1 computes the
+  // contention-free demand, whose (capped) grant sets the controller
+  // utilization; pass 2 applies the queueing stretch and the grant bound.
+  const double cpi_free = UnconstrainedCpi(descriptor, descriptor.cpi_exec,
+                                           mpi, MbaLevel(),
+                                           /*contention=*/1.0);
+  const double ips_free = cores * config_.core_freq_hz / cpi_free;
+  const double grant =
+      std::min(ips_free * mpi * config_.llc.line_bytes,
+               config_.total_memory_bandwidth);
+  const double rho = grant / config_.total_memory_bandwidth;
+  const double contention =
+      1.0 + config_.queueing_delay_factor * rho * rho;
+  const double cpi = UnconstrainedCpi(descriptor, descriptor.cpi_exec, mpi,
+                                      MbaLevel(), contention);
+  double ips = cores * config_.core_freq_hz / cpi;
+  if (mpi > kNegligibleMpi) {
+    ips = std::min(ips, grant / (mpi * config_.llc.line_bytes));
+  }
+  return ips;
+}
+
+uint32_t SimulatedMachine::FreeCores() const {
+  return config_.num_cores - used_cores_;
+}
+
+void SimulatedMachine::SetIpsNoiseSigma(double sigma) {
+  CHECK_GE(sigma, 0.0);
+  config_.ips_noise_sigma = sigma;
+}
+
+}  // namespace copart

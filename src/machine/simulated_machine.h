@@ -1,0 +1,188 @@
+// The simulated commodity server.
+//
+// SimulatedMachine hosts consolidated applications (each pinned to dedicated
+// cores and bound to a CLOS) and advances simulated time in epochs. Each
+// epoch it solves the coupled performance model:
+//
+//   1. *Effective LLC capacity* per app: ways owned exclusively contribute
+//      fully; ways shared by several CLOSes are split in proportion to each
+//      sharer's fill (miss) intensity, computed as a short fixed point —
+//      the standard occupancy approximation for shared LRU caches.
+//   2. *Miss ratio* from the app's ReuseProfile at that capacity.
+//   3. *Unconstrained IPS* from the CPI model:
+//        CPI = cpi_exec + MPI * (Lmem/mlp) * (1 + kappa*(100/level - 1))
+//      where MPI = accesses_per_instr * miss_ratio; the kappa term is the
+//      per-request MBA throttle delay (see membw/mba_throttle_model.h).
+//   4. *Bandwidth demand* = IPS * MPI * line_bytes, arbitrated max-min
+//      against the MBA caps and the controller's total bandwidth.
+//   5. *Achieved IPS* = min(unconstrained, grant-limited) (roofline), with
+//      optional multiplicative noise modeling run-to-run variation.
+//
+// Per-app counters (instructions, LLC accesses, LLC misses) accumulate each
+// epoch; the pmc module samples them exactly like PAPI would on hardware.
+//
+// Partitioning state (per-CLOS way mask + MBA level) is mutated only through
+// the resctrl module, mirroring the paper's user-level prototype.
+#ifndef COPART_MACHINE_SIMULATED_MACHINE_H_
+#define COPART_MACHINE_SIMULATED_MACHINE_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "cache/way_mask.h"
+#include "common/rng.h"
+#include "common/status.h"
+#include "machine/app_id.h"
+#include "machine/machine_config.h"
+#include "membw/bandwidth_arbiter.h"
+#include "membw/mba.h"
+#include "membw/mba_throttle_model.h"
+#include "workload/workload.h"
+
+namespace copart {
+
+// Cumulative hardware counters for one app (since launch).
+struct AppCounters {
+  double instructions = 0.0;
+  double llc_accesses = 0.0;
+  double llc_misses = 0.0;
+  double memory_bytes = 0.0;
+};
+
+// Model outputs of the most recent epoch for one app.
+struct AppEpochSnapshot {
+  double ips = 0.0;
+  // IPS the app could sustain at its current allocation ignoring the
+  // bandwidth grant and any required-IPS cap; the latency-critical harness
+  // uses it as the service capacity of a queueing model.
+  double ips_capability = 0.0;
+  double llc_accesses_per_sec = 0.0;
+  double llc_misses_per_sec = 0.0;
+  double miss_ratio = 0.0;
+  double effective_capacity_bytes = 0.0;
+  double bandwidth_demand_bytes_per_sec = 0.0;
+  double bandwidth_grant_bytes_per_sec = 0.0;
+};
+
+class SimulatedMachine {
+ public:
+  explicit SimulatedMachine(const MachineConfig& config);
+
+  // --- App lifecycle ---
+
+  // Launches `descriptor` on `num_cores` dedicated cores (defaults to the
+  // descriptor's thread count). Fails if not enough free cores remain.
+  // The app starts in CLOS 0 (the default group, full resources).
+  Result<AppId> LaunchApp(const WorkloadDescriptor& descriptor,
+                          std::optional<uint32_t> num_cores = std::nullopt);
+  Status TerminateApp(AppId id);
+
+  std::vector<AppId> ListApps() const;
+  bool AppExists(AppId id) const;
+  const WorkloadDescriptor& Descriptor(AppId id) const;
+  uint32_t AppCores(AppId id) const;
+
+  // Monotonic counter bumped on every launch/termination; the controller's
+  // idle phase polls it to detect consolidation changes (paper §5.4.3).
+  uint64_t app_generation() const { return app_generation_; }
+
+  // --- Partitioning state (called by the resctrl module) ---
+
+  void SetClosWayMask(uint32_t clos, const WayMask& mask);
+  void SetClosMbaLevel(uint32_t clos, MbaLevel level);
+  void AssignAppToClos(AppId id, uint32_t clos);
+
+  const WayMask& ClosWayMask(uint32_t clos) const;
+  MbaLevel ClosMbaLevel(uint32_t clos) const;
+  uint32_t AppClos(AppId id) const;
+
+  // --- Work limiting (latency-critical apps) ---
+
+  // Caps the app's executed IPS at `required_ips` (open-loop offered load);
+  // nullopt removes the cap. Used by the case-study harness.
+  void SetAppRequiredIps(AppId id, std::optional<double> required_ips);
+
+  // --- Time ---
+
+  // Advances simulated time by `dt` seconds as a single epoch.
+  void AdvanceTime(double dt);
+  double now() const { return now_; }
+
+  // --- Observation ---
+
+  const AppCounters& Counters(AppId id) const;
+  const AppEpochSnapshot& LastEpoch(AppId id) const;
+
+  // IPS the descriptor would achieve running alone with all ways, MBA 100
+  // and an uncontended memory controller — the IPS_full reference of Eq. 1.
+  // Deterministic (no noise).
+  double SoloFullResourceIps(const WorkloadDescriptor& descriptor,
+                             std::optional<uint32_t> num_cores =
+                                 std::nullopt) const;
+
+  const MachineConfig& config() const { return config_; }
+  uint32_t FreeCores() const;
+
+  // Overrides the per-epoch IPS noise, e.g. to make an offline-search clone
+  // of the machine deterministic. SimulatedMachine is copyable precisely to
+  // support such what-if clones (harness/static_oracle.h).
+  void SetIpsNoiseSigma(double sigma);
+
+ private:
+  struct ClosState {
+    WayMask way_mask;
+    MbaLevel mba_level;
+  };
+
+  struct App {
+    AppId id;
+    WorkloadDescriptor descriptor;
+    uint32_t num_cores = 0;
+    uint32_t clos = 0;
+    double launch_time = 0.0;
+    std::optional<double> required_ips;
+    AppCounters counters;
+    AppEpochSnapshot last_epoch;
+  };
+
+  // Phase-adjusted model parameters for one epoch (workload phases scale
+  // the baseline access intensity, streaming traffic and execution CPI).
+  struct EffectiveParams {
+    double accesses_per_instr = 0.0;
+    double cpi_exec = 1.0;
+    ReuseProfile profile{{}, 0.0};
+  };
+
+  const App& GetApp(AppId id) const;
+  App& GetApp(AppId id);
+
+  EffectiveParams EffectiveParamsFor(const App& app) const;
+
+  // Shared-capacity fixed point across the current CLOS masks.
+  std::vector<double> SolveEffectiveCapacities(
+      const std::vector<EffectiveParams>& params) const;
+
+  // CPI at the given miss-per-instruction and MBA level (no grant bound).
+  // cpi_exec is passed separately so phase scaling can adjust it;
+  // `contention` is the queueing-delay stretch on the miss stall.
+  static double UnconstrainedCpi(const WorkloadDescriptor& d, double cpi_exec,
+                                 double mpi, MbaLevel level,
+                                 double contention);
+
+  MachineConfig config_;
+  MbaThrottleModel throttle_model_;
+  BandwidthArbiter arbiter_;
+  Rng rng_;
+  double now_ = 0.0;
+  uint32_t next_app_id_ = 0;
+  uint64_t app_generation_ = 0;
+  uint32_t used_cores_ = 0;
+  std::vector<App> apps_;
+  std::vector<ClosState> clos_;
+};
+
+}  // namespace copart
+
+#endif  // COPART_MACHINE_SIMULATED_MACHINE_H_

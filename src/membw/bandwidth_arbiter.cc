@@ -1,0 +1,62 @@
+#include "membw/bandwidth_arbiter.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace copart {
+
+BandwidthArbiter::BandwidthArbiter(double total_bytes_per_sec)
+    : total_bytes_per_sec_(total_bytes_per_sec) {
+  CHECK_GT(total_bytes_per_sec, 0.0);
+}
+
+std::vector<double> BandwidthArbiter::Arbitrate(
+    const std::vector<BandwidthRequest>& requests) const {
+  const size_t n = requests.size();
+  // Effective demand: MBA throttles injection before the controller sees it.
+  std::vector<double> capped(n);
+  double total_demand = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    CHECK_GE(requests[i].demand_bytes_per_sec, 0.0);
+    CHECK_GE(requests[i].cap_bytes_per_sec, 0.0);
+    capped[i] =
+        std::min(requests[i].demand_bytes_per_sec, requests[i].cap_bytes_per_sec);
+    total_demand += capped[i];
+  }
+  if (total_demand <= total_bytes_per_sec_) {
+    return capped;
+  }
+
+  // Max-min water-filling: repeatedly satisfy every requester below the fair
+  // level, recompute the level over the rest. Terminates in <= n rounds.
+  std::vector<double> grants(n, 0.0);
+  std::vector<bool> satisfied(n, false);
+  double remaining = total_bytes_per_sec_;
+  size_t active = n;
+  while (active > 0) {
+    const double fair_share = remaining / static_cast<double>(active);
+    bool anyone_below = false;
+    for (size_t i = 0; i < n; ++i) {
+      if (!satisfied[i] && capped[i] <= fair_share) {
+        grants[i] = capped[i];
+        remaining -= capped[i];
+        satisfied[i] = true;
+        --active;
+        anyone_below = true;
+      }
+    }
+    if (!anyone_below) {
+      // Everyone left wants more than the fair share: split evenly.
+      for (size_t i = 0; i < n; ++i) {
+        if (!satisfied[i]) {
+          grants[i] = fair_share;
+        }
+      }
+      break;
+    }
+  }
+  return grants;
+}
+
+}  // namespace copart

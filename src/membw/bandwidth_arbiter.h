@@ -1,0 +1,47 @@
+// Shared memory-controller model.
+//
+// Each consolidated application presents a bandwidth *demand* (the traffic it
+// would generate if memory were infinitely fast, derived from its LLC miss
+// rate) and a *cap* (the MBA throttle limit, computed by MbaThrottleModel).
+// The controller grants bandwidth max-min fairly: demands below the fair
+// share are fully satisfied, the remainder is split evenly — reflecting the
+// per-requester fairness of commodity memory controllers under saturation.
+//
+// The grants feed the epoch performance model: an app granted less than its
+// demand becomes bandwidth-bound at grant/(misses_per_instr * line_bytes)
+// instructions per second (roofline).
+#ifndef COPART_MEMBW_BANDWIDTH_ARBITER_H_
+#define COPART_MEMBW_BANDWIDTH_ARBITER_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace copart {
+
+struct BandwidthRequest {
+  double demand_bytes_per_sec = 0.0;
+  // Injection cap from the MBA throttle; use total bandwidth for "no cap".
+  double cap_bytes_per_sec = 0.0;
+};
+
+class BandwidthArbiter {
+ public:
+  explicit BandwidthArbiter(double total_bytes_per_sec);
+
+  // Grants bandwidth to each request. Output has the same size/order as
+  // `requests`. Guarantees:
+  //   - grant_i <= min(demand_i, cap_i)
+  //   - sum(grant) <= total (+ epsilon)
+  //   - max-min fair among the capped demands.
+  std::vector<double> Arbitrate(
+      const std::vector<BandwidthRequest>& requests) const;
+
+  double total_bytes_per_sec() const { return total_bytes_per_sec_; }
+
+ private:
+  double total_bytes_per_sec_;
+};
+
+}  // namespace copart
+
+#endif  // COPART_MEMBW_BANDWIDTH_ARBITER_H_

@@ -1,0 +1,33 @@
+#include "membw/mba.h"
+
+#include "common/logging.h"
+
+namespace copart {
+
+Result<MbaLevel> MbaLevel::FromPercent(uint32_t percent) {
+  if (percent < kMin || percent > kMax) {
+    return OutOfRangeError("MBA level must be in [10, 100]");
+  }
+  if (percent % kStep != 0) {
+    return InvalidArgumentError("MBA level must be a multiple of 10");
+  }
+  return MbaLevel(percent);
+}
+
+MbaLevel MbaLevel::FromPercentChecked(uint32_t percent) {
+  Result<MbaLevel> level = FromPercent(percent);
+  CHECK(level.ok()) << level.status().ToString();
+  return *level;
+}
+
+MbaLevel MbaLevel::Increased() const {
+  CHECK(CanIncrease());
+  return MbaLevel(percent_ + kStep);
+}
+
+MbaLevel MbaLevel::Decreased() const {
+  CHECK(CanDecrease());
+  return MbaLevel(percent_ - kStep);
+}
+
+}  // namespace copart

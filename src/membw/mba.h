@@ -1,0 +1,54 @@
+// Intel MBA (Memory Bandwidth Allocation) level semantics.
+//
+// MBA exposes a per-CLOS throttle on the traffic between the L2 and the LLC,
+// programmable from 100% (no throttling) down to 10% in steps of 10
+// (paper §3.1). MbaLevel validates and manipulates those levels; the actual
+// bandwidth effect is modeled by BandwidthArbiter.
+#ifndef COPART_MEMBW_MBA_H_
+#define COPART_MEMBW_MBA_H_
+
+#include <cstdint>
+
+#include "common/status.h"
+
+namespace copart {
+
+class MbaLevel {
+ public:
+  static constexpr uint32_t kMin = 10;
+  static constexpr uint32_t kMax = 100;
+  static constexpr uint32_t kStep = 10;
+
+  // Defaults to 100% (unthrottled), the hardware reset value.
+  MbaLevel() = default;
+
+  // Validates `percent` as a legal MBA value (10..100, multiple of 10).
+  static Result<MbaLevel> FromPercent(uint32_t percent);
+
+  // CHECK-failing constructor for values known valid at the call site.
+  static MbaLevel FromPercentChecked(uint32_t percent);
+
+  uint32_t percent() const { return percent_; }
+  double Fraction() const { return percent_ / 100.0; }
+
+  bool CanIncrease() const { return percent_ < kMax; }
+  bool CanDecrease() const { return percent_ > kMin; }
+  MbaLevel Increased() const;
+  MbaLevel Decreased() const;
+
+  // Number of discrete steps above the minimum ("resource units" the
+  // controller can move around).
+  uint32_t StepsAboveMin() const { return (percent_ - kMin) / kStep; }
+
+  bool operator==(const MbaLevel& other) const = default;
+  auto operator<=>(const MbaLevel& other) const = default;
+
+ private:
+  explicit MbaLevel(uint32_t percent) : percent_(percent) {}
+
+  uint32_t percent_ = kMax;
+};
+
+}  // namespace copart
+
+#endif  // COPART_MEMBW_MBA_H_

@@ -1,0 +1,36 @@
+#include "metrics/fairness.h"
+
+#include "common/logging.h"
+#include "common/stats.h"
+
+namespace copart {
+
+double Slowdown(double ips_full, double ips_actual) {
+  CHECK_GT(ips_full, 0.0);
+  CHECK_GT(ips_actual, 0.0);
+  return ips_full / ips_actual;
+}
+
+double Unfairness(std::span<const double> slowdowns) {
+  if (slowdowns.size() < 2) {
+    return 0.0;
+  }
+  const double mean = Mean(slowdowns);
+  CHECK_GT(mean, 0.0);
+  return StdDev(slowdowns) / mean;
+}
+
+double UnfairnessFromIps(std::span<const double> ips_full,
+                         std::span<const double> ips_actual) {
+  CHECK_EQ(ips_full.size(), ips_actual.size());
+  std::vector<double> slowdowns;
+  slowdowns.reserve(ips_full.size());
+  for (size_t i = 0; i < ips_full.size(); ++i) {
+    slowdowns.push_back(Slowdown(ips_full[i], ips_actual[i]));
+  }
+  return Unfairness(slowdowns);
+}
+
+double GeoMeanThroughput(std::span<const double> ips) { return GeoMean(ips); }
+
+}  // namespace copart

@@ -1,0 +1,32 @@
+// Fairness and performance metrics from the paper (§2.3).
+//
+//   Slowdown_i = IPS_{i,full} / IPS_{i,s_i}                    (Eq. 1)
+//   Unfairness = sigma(slowdowns) / mean(slowdowns)            (Eq. 2)
+//
+// Lower unfairness is better; 0 means every consolidated app is slowed by
+// exactly the same factor. Throughput is reported as the geometric mean of
+// per-app IPS values normalized to a baseline (Fig. 17).
+#ifndef COPART_METRICS_FAIRNESS_H_
+#define COPART_METRICS_FAIRNESS_H_
+
+#include <span>
+#include <vector>
+
+namespace copart {
+
+// Eq. 1. Both inputs must be positive.
+double Slowdown(double ips_full, double ips_actual);
+
+// Eq. 2 over per-app slowdowns; 0 for fewer than two apps.
+double Unfairness(std::span<const double> slowdowns);
+
+// Convenience: unfairness directly from paired IPS vectors.
+double UnfairnessFromIps(std::span<const double> ips_full,
+                         std::span<const double> ips_actual);
+
+// Geometric-mean throughput of per-app IPS (Fig. 17's metric).
+double GeoMeanThroughput(std::span<const double> ips);
+
+}  // namespace copart
+
+#endif  // COPART_METRICS_FAIRNESS_H_

@@ -1,0 +1,39 @@
+#include "pmc/perf_monitor.h"
+
+#include "common/logging.h"
+
+namespace copart {
+
+PerfMonitor::PerfMonitor(const SimulatedMachine* machine)
+    : machine_(machine) {
+  CHECK_NE(machine, nullptr);
+}
+
+void PerfMonitor::Attach(AppId app) {
+  CHECK(machine_->AppExists(app));
+  baselines_[app] = Baseline{machine_->now(), machine_->Counters(app)};
+}
+
+void PerfMonitor::Detach(AppId app) { baselines_.erase(app); }
+
+bool PerfMonitor::Attached(AppId app) const {
+  return baselines_.contains(app);
+}
+
+PmcSample PerfMonitor::Sample(AppId app) {
+  auto it = baselines_.find(app);
+  CHECK(it != baselines_.end()) << "Sample() on unattached app";
+  const AppCounters& current = machine_->Counters(app);
+  const Baseline& baseline = it->second;
+
+  PmcSample sample;
+  sample.interval_sec = machine_->now() - baseline.time;
+  sample.instructions = current.instructions - baseline.counters.instructions;
+  sample.llc_accesses = current.llc_accesses - baseline.counters.llc_accesses;
+  sample.llc_misses = current.llc_misses - baseline.counters.llc_misses;
+
+  it->second = Baseline{machine_->now(), current};
+  return sample;
+}
+
+}  // namespace copart

@@ -1,0 +1,63 @@
+// PAPI-like sampling of performance monitoring counters.
+//
+// The paper's prototype reads three PMCs per application each control period
+// (dynamically executed instructions, LLC accesses, LLC misses; §3.2) and
+// derives rates from consecutive samples. PerfMonitor reproduces that
+// discipline against SimulatedMachine counters: Sample() returns the deltas
+// since the previous Sample() for the same app, plus derived rates
+// (IPS, accesses/s, misses/s, miss ratio).
+#ifndef COPART_PMC_PERF_MONITOR_H_
+#define COPART_PMC_PERF_MONITOR_H_
+
+#include <unordered_map>
+
+#include "machine/app_id.h"
+#include "machine/simulated_machine.h"
+
+namespace copart {
+
+// Rates over one sampling interval.
+struct PmcSample {
+  double interval_sec = 0.0;
+  double instructions = 0.0;
+  double llc_accesses = 0.0;
+  double llc_misses = 0.0;
+
+  double Ips() const { return interval_sec > 0 ? instructions / interval_sec : 0; }
+  double LlcAccessesPerSec() const {
+    return interval_sec > 0 ? llc_accesses / interval_sec : 0;
+  }
+  double LlcMissesPerSec() const {
+    return interval_sec > 0 ? llc_misses / interval_sec : 0;
+  }
+  double LlcMissRatio() const {
+    return llc_accesses > 0 ? llc_misses / llc_accesses : 0;
+  }
+};
+
+class PerfMonitor {
+ public:
+  explicit PerfMonitor(const SimulatedMachine* machine);
+
+  // Starts (or restarts) tracking `app` from the current counter values.
+  void Attach(AppId app);
+  void Detach(AppId app);
+  bool Attached(AppId app) const;
+
+  // Returns counter deltas since the last Sample()/Attach() for this app
+  // and advances the baseline. CHECK-fails if the app is not attached.
+  PmcSample Sample(AppId app);
+
+ private:
+  struct Baseline {
+    double time = 0.0;
+    AppCounters counters;
+  };
+
+  const SimulatedMachine* machine_;  // Not owned.
+  std::unordered_map<AppId, Baseline> baselines_;
+};
+
+}  // namespace copart
+
+#endif  // COPART_PMC_PERF_MONITOR_H_

@@ -1,0 +1,114 @@
+#include "resctrl/rdt_msr.h"
+
+#include <bit>
+
+#include "common/logging.h"
+
+namespace copart {
+
+RdtMsrBank::RdtMsrBank(const RdtCapabilities& capabilities)
+    : capabilities_(capabilities) {
+  CHECK_GT(capabilities_.num_clos, 0u);
+  CHECK_GT(capabilities_.cbm_bits, 0u);
+  CHECK_LE(capabilities_.cbm_bits, 32u);
+  CHECK_GT(capabilities_.mba_granularity, 0u);
+  // Reset state: every CLOS has the full mask and no throttling; every core
+  // is associated with CLOS 0.
+  const uint64_t full_mask = (1ULL << capabilities_.cbm_bits) - 1ULL;
+  for (uint32_t clos = 0; clos < capabilities_.num_clos; ++clos) {
+    registers_[kMsrIa32L3QosMaskBase + clos] = full_mask;
+    registers_[kMsrIa32MbaThrtlBase + clos] = 0;  // Delay 0 = level 100.
+  }
+  for (uint32_t core = 0; core < capabilities_.num_cores; ++core) {
+    pqr_assoc_[core] = 0;
+  }
+}
+
+bool RdtMsrBank::IsL3MaskMsr(uint32_t msr) const {
+  return msr >= kMsrIa32L3QosMaskBase &&
+         msr < kMsrIa32L3QosMaskBase + capabilities_.num_clos;
+}
+
+bool RdtMsrBank::IsMbaMsr(uint32_t msr) const {
+  return msr >= kMsrIa32MbaThrtlBase &&
+         msr < kMsrIa32MbaThrtlBase + capabilities_.num_clos;
+}
+
+Status RdtMsrBank::Write(uint32_t msr, uint64_t value) {
+  if (IsL3MaskMsr(msr)) {
+    const uint64_t valid_bits = (1ULL << capabilities_.cbm_bits) - 1ULL;
+    if ((value & ~valid_bits) != 0) {
+      return InvalidArgumentError("#GP: reserved CBM bits set");
+    }
+    if (value == 0) {
+      return InvalidArgumentError("#GP: empty CBM");
+    }
+    const uint64_t shifted = value >> std::countr_zero(value);
+    if ((shifted & (shifted + 1)) != 0) {
+      return InvalidArgumentError("#GP: non-contiguous CBM");
+    }
+    registers_[msr] = value;
+    return Status::Ok();
+  }
+  if (IsMbaMsr(msr)) {
+    if (value >= 100) {
+      return InvalidArgumentError("#GP: MBA delay must be < 100");
+    }
+    if (value % capabilities_.mba_granularity != 0) {
+      return InvalidArgumentError("#GP: MBA delay off the granularity");
+    }
+    registers_[msr] = value;
+    return Status::Ok();
+  }
+  if (msr == kMsrIa32PqrAssoc) {
+    return InvalidArgumentError(
+        "PQR_ASSOC is per-core; use WritePqrAssoc(core, clos)");
+  }
+  return NotFoundError("#GP: unimplemented MSR");
+}
+
+Result<uint64_t> RdtMsrBank::Read(uint32_t msr) const {
+  auto it = registers_.find(msr);
+  if (it == registers_.end()) {
+    return NotFoundError("#GP: unimplemented MSR");
+  }
+  return it->second;
+}
+
+Status RdtMsrBank::WritePqrAssoc(uint32_t core, uint32_t clos) {
+  if (core >= capabilities_.num_cores) {
+    return InvalidArgumentError("no such core");
+  }
+  if (clos >= capabilities_.num_clos) {
+    return InvalidArgumentError("#GP: CLOS beyond CPUID-enumerated count");
+  }
+  pqr_assoc_[core] = clos;
+  return Status::Ok();
+}
+
+Result<uint32_t> RdtMsrBank::ReadPqrAssoc(uint32_t core) const {
+  auto it = pqr_assoc_.find(core);
+  if (it == pqr_assoc_.end()) {
+    return InvalidArgumentError("no such core");
+  }
+  return it->second;
+}
+
+uint64_t RdtMsrBank::ClosCacheMask(uint32_t clos) const {
+  CHECK_LT(clos, capabilities_.num_clos);
+  return registers_.at(kMsrIa32L3QosMaskBase + clos);
+}
+
+uint32_t RdtMsrBank::ClosMbaLevel(uint32_t clos) const {
+  CHECK_LT(clos, capabilities_.num_clos);
+  const uint64_t delay = registers_.at(kMsrIa32MbaThrtlBase + clos);
+  return 100 - static_cast<uint32_t>(delay);
+}
+
+uint32_t RdtMsrBank::CoreClos(uint32_t core) const {
+  auto it = pqr_assoc_.find(core);
+  CHECK(it != pqr_assoc_.end()) << "no such core: " << core;
+  return it->second;
+}
+
+}  // namespace copart

@@ -1,0 +1,77 @@
+// MSR-level emulation of Intel RDT allocation registers.
+//
+// On real hardware the Linux resctrl filesystem is a thin veneer over
+// model-specific registers:
+//
+//   IA32_L3_QOS_MASK_n (0xC90 + n)  — the CAT capacity bit mask of CLOS n
+//   IA32_L2_QoS_Ext_BW_Thrtl_n (0xD50 + n) — the MBA delay value of CLOS n
+//   IA32_PQR_ASSOC (0xC8F, per core) — bits [63:32] select the active CLOS
+//
+// RdtMsrBank reproduces that register file with the architectural encoding
+// rules (reserved-bit faults, MBA delay values = 100 - level rounded to the
+// throttle granularity) so the full software stack can be exercised:
+// controller -> resctrl semantics -> register encoding. MsrBackedResctrl
+// (tests) demonstrates driving a SimulatedMachine's partitioning state
+// exclusively through WRMSR-style writes.
+#ifndef COPART_RESCTRL_RDT_MSR_H_
+#define COPART_RESCTRL_RDT_MSR_H_
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "common/status.h"
+
+namespace copart {
+
+// Architectural MSR addresses (Intel SDM vol. 4).
+constexpr uint32_t kMsrIa32PqrAssoc = 0xC8F;
+constexpr uint32_t kMsrIa32L3QosMaskBase = 0xC90;   // + CLOS index.
+constexpr uint32_t kMsrIa32MbaThrtlBase = 0xD50;    // + CLOS index.
+
+struct RdtCapabilities {
+  uint32_t num_clos = 16;
+  uint32_t cbm_bits = 11;        // Valid CBM width (CPUID.0x10.1:EAX).
+  uint32_t num_cores = 16;
+  uint32_t mba_granularity = 10;  // Throttle delay granularity in percent.
+};
+
+class RdtMsrBank {
+ public:
+  explicit RdtMsrBank(const RdtCapabilities& capabilities = {});
+
+  // WRMSR: validates the address and the architectural encoding.
+  //  - L3 mask MSRs: reserved bits above cbm_bits must be zero; the value
+  //    must be a non-empty contiguous run (CAT requirement; hardware
+  //    #GP-faults otherwise).
+  //  - MBA throttle MSRs: the delay value must be < 100 and a multiple of
+  //    the granularity (hardware rounds; we fault to surface bugs).
+  //  - PQR_ASSOC (per core, via WritePqrAssoc): CLOS must exist.
+  Status Write(uint32_t msr, uint64_t value);
+
+  // RDMSR: kNotFound for unimplemented addresses.
+  Result<uint64_t> Read(uint32_t msr) const;
+
+  // Per-core PQR_ASSOC access (the real register is per logical CPU).
+  Status WritePqrAssoc(uint32_t core, uint32_t clos);
+  Result<uint32_t> ReadPqrAssoc(uint32_t core) const;
+
+  // Decoded views.
+  uint64_t ClosCacheMask(uint32_t clos) const;
+  // The MBA *level* (100 - programmed delay), i.e. resctrl's MB percent.
+  uint32_t ClosMbaLevel(uint32_t clos) const;
+  uint32_t CoreClos(uint32_t core) const;
+
+  const RdtCapabilities& capabilities() const { return capabilities_; }
+
+ private:
+  bool IsL3MaskMsr(uint32_t msr) const;
+  bool IsMbaMsr(uint32_t msr) const;
+
+  RdtCapabilities capabilities_;
+  std::unordered_map<uint32_t, uint64_t> registers_;
+  std::unordered_map<uint32_t, uint32_t> pqr_assoc_;  // core -> CLOS.
+};
+
+}  // namespace copart
+
+#endif  // COPART_RESCTRL_RDT_MSR_H_

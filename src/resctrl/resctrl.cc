@@ -1,0 +1,185 @@
+#include "resctrl/resctrl.h"
+
+#include <cstdio>
+
+#include "cache/way_mask.h"
+#include "resctrl/schemata.h"
+#include "common/logging.h"
+
+namespace copart {
+
+Resctrl::Resctrl(SimulatedMachine* machine) : machine_(machine) {
+  CHECK_NE(machine, nullptr);
+  groups_.resize(machine_->config().num_clos);
+  groups_[0] = Group{.name = "", .clos = 0, .active = true};
+}
+
+Result<ResctrlGroupId> Resctrl::CreateGroup(const std::string& name) {
+  if (name.empty()) {
+    return InvalidArgumentError("group name must not be empty");
+  }
+  for (const Group& group : groups_) {
+    if (group.active && group.name == name) {
+      return AlreadyExistsError("group already exists: " + name);
+    }
+  }
+  for (uint32_t clos = 1; clos < groups_.size(); ++clos) {
+    if (!groups_[clos].active) {
+      groups_[clos] = Group{.name = name, .clos = clos, .active = true};
+      // Hardware reset state for a fresh CLOS: full mask, no throttling.
+      machine_->SetClosWayMask(
+          clos, WayMask::Contiguous(0, machine_->config().llc.num_ways));
+      machine_->SetClosMbaLevel(clos, MbaLevel());
+      return ResctrlGroupId(clos);
+    }
+  }
+  return ResourceExhaustedError("out of CLOSes");
+}
+
+Status Resctrl::RemoveGroup(ResctrlGroupId group) {
+  if (group.clos() == 0) {
+    return InvalidArgumentError("cannot remove the default group");
+  }
+  if (group.clos() >= groups_.size() || !groups_[group.clos()].active) {
+    return NotFoundError("no such group");
+  }
+  // Apps bound to the removed CLOS fall back to the default group, like
+  // tasks returning to the resctrl root.
+  for (AppId app : machine_->ListApps()) {
+    if (machine_->AppClos(app) == group.clos()) {
+      machine_->AssignAppToClos(app, 0);
+    }
+  }
+  groups_[group.clos()].active = false;
+  groups_[group.clos()].name.clear();
+  return Status::Ok();
+}
+
+Result<ResctrlGroupId> Resctrl::FindGroup(const std::string& name) const {
+  for (const Group& group : groups_) {
+    if (group.active && group.name == name) {
+      return ResctrlGroupId(group.clos);
+    }
+  }
+  return NotFoundError("no such group: " + name);
+}
+
+std::vector<std::string> Resctrl::GroupNames() const {
+  std::vector<std::string> names;
+  for (const Group& group : groups_) {
+    if (group.active && group.clos != 0) {
+      names.push_back(group.name);
+    }
+  }
+  return names;
+}
+
+bool Resctrl::GroupActive(uint32_t clos) const {
+  return clos < groups_.size() && groups_[clos].active;
+}
+
+Status Resctrl::SetCacheMask(ResctrlGroupId group, uint64_t mask_bits) {
+  if (!GroupActive(group.clos())) {
+    return NotFoundError("no such group");
+  }
+  Result<WayMask> mask =
+      WayMask::FromBits(mask_bits, machine_->config().llc.num_ways);
+  if (!mask.ok()) {
+    return mask.status();
+  }
+  machine_->SetClosWayMask(group.clos(), *mask);
+  return Status::Ok();
+}
+
+Status Resctrl::SetMbaPercent(ResctrlGroupId group, uint32_t percent) {
+  if (!GroupActive(group.clos())) {
+    return NotFoundError("no such group");
+  }
+  Result<MbaLevel> level = MbaLevel::FromPercent(percent);
+  if (!level.ok()) {
+    return level.status();
+  }
+  machine_->SetClosMbaLevel(group.clos(), *level);
+  return Status::Ok();
+}
+
+Status Resctrl::AssignApp(ResctrlGroupId group, AppId app) {
+  if (!GroupActive(group.clos())) {
+    return NotFoundError("no such group");
+  }
+  if (!machine_->AppExists(app)) {
+    return NotFoundError("no such app");
+  }
+  machine_->AssignAppToClos(app, group.clos());
+  return Status::Ok();
+}
+
+Status Resctrl::WriteSchemata(ResctrlGroupId group, const std::string& text) {
+  if (!GroupActive(group.clos())) {
+    return NotFoundError("no such group");
+  }
+  Result<Schemata> schemata = ParseSchemata(text);
+  if (!schemata.ok()) {
+    return schemata.status();
+  }
+  // Validate everything before applying anything.
+  std::optional<WayMask> mask;
+  if (schemata->l3_mask.has_value()) {
+    Result<WayMask> parsed =
+        WayMask::FromBits(*schemata->l3_mask, machine_->config().llc.num_ways);
+    if (!parsed.ok()) {
+      return parsed.status();
+    }
+    mask = *parsed;
+  }
+  std::optional<MbaLevel> level;
+  if (schemata->mb_percent.has_value()) {
+    Result<MbaLevel> parsed = MbaLevel::FromPercent(*schemata->mb_percent);
+    if (!parsed.ok()) {
+      return parsed.status();
+    }
+    level = *parsed;
+  }
+  if (mask.has_value()) {
+    machine_->SetClosWayMask(group.clos(), *mask);
+  }
+  if (level.has_value()) {
+    machine_->SetClosMbaLevel(group.clos(), *level);
+  }
+  return Status::Ok();
+}
+
+double Resctrl::ReadLlcOccupancyBytes(ResctrlGroupId group) const {
+  CHECK(GroupActive(group.clos()));
+  double occupancy = 0.0;
+  for (AppId app : machine_->ListApps()) {
+    if (machine_->AppClos(app) == group.clos()) {
+      occupancy += machine_->LastEpoch(app).effective_capacity_bytes;
+    }
+  }
+  return occupancy;
+}
+
+double Resctrl::ReadMemoryBandwidth(ResctrlGroupId group) const {
+  CHECK(GroupActive(group.clos()));
+  double bytes_per_sec = 0.0;
+  for (AppId app : machine_->ListApps()) {
+    if (machine_->AppClos(app) == group.clos()) {
+      const AppEpochSnapshot& epoch = machine_->LastEpoch(app);
+      bytes_per_sec +=
+          epoch.llc_misses_per_sec * machine_->config().llc.line_bytes;
+    }
+  }
+  return bytes_per_sec;
+}
+
+std::string Resctrl::ReadSchemata(ResctrlGroupId group) const {
+  CHECK(GroupActive(group.clos()));
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "L3:0=%s;MB:0=%u",
+                machine_->ClosWayMask(group.clos()).ToHex().c_str(),
+                machine_->ClosMbaLevel(group.clos()).percent());
+  return buffer;
+}
+
+}  // namespace copart

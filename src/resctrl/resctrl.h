@@ -1,0 +1,109 @@
+// In-process analogue of the Linux resctrl filesystem.
+//
+// The paper's prototype is a user-level runtime that partitions the LLC and
+// memory bandwidth through /sys/fs/resctrl: it creates one resource group
+// per consolidated application, writes the group's schemata (an L3 capacity
+// bit mask and an MB throttle percentage), and binds the application's tasks
+// to the group. This module exposes the same operations with the same
+// validation rules against the SimulatedMachine:
+//
+//   - group count limited by the CPU's CLOS count,
+//   - L3 masks must be non-zero, in-range, and contiguous (kernel rule),
+//   - MB values must be 10..100 in steps of 10 (the platform's granularity),
+//   - the default group (CLOS 0) always exists and cannot be removed.
+//
+// CoPart and all baseline policies actuate exclusively through this
+// interface, exactly as the user-level prototype does on real hardware.
+#ifndef COPART_RESCTRL_RESCTRL_H_
+#define COPART_RESCTRL_RESCTRL_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "machine/app_id.h"
+#include "machine/simulated_machine.h"
+
+namespace copart {
+
+class ResctrlGroupId {
+ public:
+  ResctrlGroupId() = default;
+  explicit ResctrlGroupId(uint32_t clos) : clos_(clos) {}
+
+  uint32_t clos() const { return clos_; }
+  bool operator==(const ResctrlGroupId& other) const = default;
+
+ private:
+  uint32_t clos_ = 0;
+};
+
+class Resctrl {
+ public:
+  explicit Resctrl(SimulatedMachine* machine);
+
+  // The always-present default group (CLOS 0, full resources at reset).
+  ResctrlGroupId DefaultGroup() const { return ResctrlGroupId(0); }
+
+  // Creates a group backed by a free CLOS. Fails with kResourceExhausted
+  // once all CLOSes are in use, and kAlreadyExists on a duplicate name.
+  Result<ResctrlGroupId> CreateGroup(const std::string& name);
+
+  // Removes a group; its apps fall back to the default group. The default
+  // group itself cannot be removed.
+  Status RemoveGroup(ResctrlGroupId group);
+
+  Result<ResctrlGroupId> FindGroup(const std::string& name) const;
+  std::vector<std::string> GroupNames() const;
+
+  // Writes the L3 schemata line: validates CAT rules (non-zero, in-range,
+  // contiguous bits).
+  Status SetCacheMask(ResctrlGroupId group, uint64_t mask_bits);
+
+  // Writes the MB schemata line: validates the 10..100 step-10 range.
+  Status SetMbaPercent(ResctrlGroupId group, uint32_t percent);
+
+  // Binds an app's tasks to a group (like writing PIDs into `tasks`).
+  Status AssignApp(ResctrlGroupId group, AppId app);
+
+  // Reads back the group's schemata, e.g. "L3:0=7ff;MB:0=100".
+  std::string ReadSchemata(ResctrlGroupId group) const;
+
+  // Parses and applies a kernel-format schemata string (resctrl/schemata.h)
+  // transactionally: every present entry is validated against the machine's
+  // geometry before anything is applied, like the kernel's all-or-nothing
+  // schemata write. Entries may update L3 only, MB only, or both.
+  Status WriteSchemata(ResctrlGroupId group, const std::string& text);
+
+  // --- Monitoring (the CMT / MBM analogue of Intel RDT) ---
+  // Real resctrl exposes per-group llc_occupancy and mbm_*_bytes files;
+  // these aggregate over the apps currently bound to the group.
+
+  // Current LLC occupancy attributed to the group's apps, in bytes
+  // (Cache Monitoring Technology).
+  double ReadLlcOccupancyBytes(ResctrlGroupId group) const;
+
+  // Memory traffic of the group over the last epoch, in bytes/second
+  // (Memory Bandwidth Monitoring).
+  double ReadMemoryBandwidth(ResctrlGroupId group) const;
+
+  SimulatedMachine& machine() { return *machine_; }
+  const SimulatedMachine& machine() const { return *machine_; }
+
+ private:
+  struct Group {
+    std::string name;
+    uint32_t clos = 0;
+    bool active = false;
+  };
+
+  bool GroupActive(uint32_t clos) const;
+
+  SimulatedMachine* machine_;  // Not owned.
+  std::vector<Group> groups_;  // Indexed by CLOS; [0] is the default group.
+};
+
+}  // namespace copart
+
+#endif  // COPART_RESCTRL_RESCTRL_H_

@@ -1,0 +1,204 @@
+#include "resctrl/resctrl_fs.h"
+
+#include <cstdio>
+
+#include "common/logging.h"
+
+namespace copart {
+namespace {
+
+// Splits "a/b/c" into components, ignoring leading/trailing slashes.
+std::vector<std::string> SplitPath(const std::string& path) {
+  std::vector<std::string> parts;
+  std::string current;
+  for (char c : path) {
+    if (c == '/') {
+      if (!current.empty()) {
+        parts.push_back(current);
+        current.clear();
+      }
+    } else {
+      current.push_back(c);
+    }
+  }
+  if (!current.empty()) {
+    parts.push_back(current);
+  }
+  return parts;
+}
+
+bool IsInfoPath(const std::vector<std::string>& parts) {
+  return !parts.empty() && parts[0] == "info";
+}
+
+const char* kKnownFiles[] = {"schemata", "tasks"};
+
+bool IsGroupFile(const std::string& name) {
+  for (const char* known : kKnownFiles) {
+    if (name == known) {
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+ResctrlFs::ResctrlFs(Resctrl* resctrl) : resctrl_(resctrl) {
+  CHECK_NE(resctrl, nullptr);
+}
+
+Result<ResctrlFs::ParsedPath> ResctrlFs::Parse(const std::string& path) const {
+  const std::vector<std::string> parts = SplitPath(path);
+  if (parts.empty()) {
+    return ParsedPath{"", ""};
+  }
+  // A leading component that names a group; otherwise the path addresses
+  // the root group's own files.
+  if (IsGroupFile(parts[0]) || parts[0] == "mon_data" || parts[0] == "info") {
+    std::string file = parts[0];
+    for (size_t i = 1; i < parts.size(); ++i) {
+      file += "/" + parts[i];
+    }
+    return ParsedPath{"", file};
+  }
+  std::string file;
+  for (size_t i = 1; i < parts.size(); ++i) {
+    if (i > 1) {
+      file += "/";
+    }
+    file += parts[i];
+  }
+  return ParsedPath{parts[0], file};
+}
+
+Result<ResctrlGroupId> ResctrlFs::GroupFor(const std::string& name) const {
+  if (name.empty()) {
+    return resctrl_->DefaultGroup();
+  }
+  return resctrl_->FindGroup(name);
+}
+
+Status ResctrlFs::Mkdir(const std::string& path) {
+  const std::vector<std::string> parts = SplitPath(path);
+  if (parts.size() != 1) {
+    return InvalidArgumentError(
+        "resctrl supports only one level of group directories");
+  }
+  if (IsGroupFile(parts[0]) || parts[0] == "info" || parts[0] == "mon_data") {
+    return InvalidArgumentError("reserved name: " + parts[0]);
+  }
+  Result<ResctrlGroupId> group = resctrl_->CreateGroup(parts[0]);
+  if (!group.ok()) {
+    return group.status();
+  }
+  return Status::Ok();
+}
+
+Status ResctrlFs::Rmdir(const std::string& path) {
+  const std::vector<std::string> parts = SplitPath(path);
+  if (parts.size() != 1) {
+    return InvalidArgumentError("can only rmdir a group directory");
+  }
+  Result<ResctrlGroupId> group = resctrl_->FindGroup(parts[0]);
+  if (!group.ok()) {
+    return group.status();
+  }
+  return resctrl_->RemoveGroup(*group);
+}
+
+std::vector<std::string> ResctrlFs::ListGroups() const {
+  return resctrl_->GroupNames();
+}
+
+Result<std::string> ResctrlFs::ReadFile(const std::string& path) const {
+  Result<ParsedPath> parsed = Parse(path);
+  if (!parsed.ok()) {
+    return parsed.status();
+  }
+  const std::vector<std::string> file_parts = SplitPath(parsed->file);
+
+  // /info is global, independent of the group prefix.
+  if (IsInfoPath(file_parts)) {
+    const MachineConfig& config = resctrl_->machine().config();
+    if (parsed->file == "info/L3/cbm_mask") {
+      char buffer[32];
+      std::snprintf(buffer, sizeof(buffer), "%llx",
+                    static_cast<unsigned long long>(
+                        (1ULL << config.llc.num_ways) - 1ULL));
+      return std::string(buffer);
+    }
+    if (parsed->file == "info/L3/num_closids") {
+      return std::to_string(config.num_clos);
+    }
+    if (parsed->file == "info/MB/bandwidth_gran") {
+      return std::to_string(MbaLevel::kStep);
+    }
+    if (parsed->file == "info/MB/min_bandwidth") {
+      return std::to_string(MbaLevel::kMin);
+    }
+    return NotFoundError("no such info file: " + parsed->file);
+  }
+
+  Result<ResctrlGroupId> group = GroupFor(parsed->group);
+  if (!group.ok()) {
+    return group.status();
+  }
+  if (parsed->file == "schemata") {
+    // Kernel format: one resource per line.
+    std::string compact = resctrl_->ReadSchemata(*group);
+    for (char& c : compact) {
+      if (c == ';') {
+        c = '\n';
+      }
+    }
+    return compact + "\n";
+  }
+  if (parsed->file == "tasks") {
+    std::string tasks;
+    for (AppId app : resctrl_->machine().ListApps()) {
+      if (resctrl_->machine().AppClos(app) == group->clos()) {
+        tasks += std::to_string(app.value()) + "\n";
+      }
+    }
+    return tasks;
+  }
+  if (parsed->file == "mon_data/mon_L3_00/llc_occupancy") {
+    return std::to_string(static_cast<long long>(
+        resctrl_->ReadLlcOccupancyBytes(*group)));
+  }
+  if (parsed->file == "mon_data/mon_L3_00/mbm_total_bytes") {
+    return std::to_string(static_cast<long long>(
+        resctrl_->ReadMemoryBandwidth(*group)));
+  }
+  return NotFoundError("no such file: " + path);
+}
+
+Status ResctrlFs::WriteFile(const std::string& path, const std::string& data) {
+  Result<ParsedPath> parsed = Parse(path);
+  if (!parsed.ok()) {
+    return parsed.status();
+  }
+  Result<ResctrlGroupId> group = GroupFor(parsed->group);
+  if (!group.ok()) {
+    return group.status();
+  }
+  if (parsed->file == "schemata") {
+    return resctrl_->WriteSchemata(*group, data);
+  }
+  if (parsed->file == "tasks") {
+    // One pid per write, like the kernel.
+    char* end = nullptr;
+    const unsigned long pid = std::strtoul(data.c_str(), &end, 10);
+    if (end == data.c_str()) {
+      return InvalidArgumentError("tasks expects a numeric pid");
+    }
+    return resctrl_->AssignApp(*group, AppId(static_cast<uint32_t>(pid)));
+  }
+  if (SplitPath(parsed->file).empty()) {
+    return InvalidArgumentError("cannot write a directory");
+  }
+  return NotFoundError("no such writable file: " + path);
+}
+
+}  // namespace copart

@@ -1,0 +1,60 @@
+// Filesystem-surface emulation of /sys/fs/resctrl.
+//
+// The paper's prototype talks to the kernel exclusively through file
+// operations: `mkdir /sys/fs/resctrl/<group>`, writes to `schemata` and
+// `tasks`, reads of the monitoring files. ResctrlFs reproduces exactly that
+// surface over the Resctrl layer, with kernel-like path semantics:
+//
+//   mkdir <group>                     -> create a resource group
+//   rmdir <group>                     -> remove it (tasks fall back to root)
+//   write <group>/schemata "L3:0=.." -> apply (transactional, validated)
+//   read  <group>/schemata            -> current allocation
+//   write <group>/tasks "<pid>"       -> bind an app (pid == AppId value)
+//   read  <group>/tasks               -> newline-separated pids
+//   read  <group>/mon_data/mon_L3_00/llc_occupancy   (bytes)
+//   read  <group>/mon_data/mon_L3_00/mbm_total_bytes (bytes/s over epoch)
+//   read  /info/L3/cbm_mask, /info/L3/num_closids, /info/MB/bandwidth_gran
+//
+// The root group is addressed by "" or "/". A controller written against
+// this class is one file-IO shim away from running on a real kernel.
+#ifndef COPART_RESCTRL_RESCTRL_FS_H_
+#define COPART_RESCTRL_RESCTRL_FS_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "resctrl/resctrl.h"
+
+namespace copart {
+
+class ResctrlFs {
+ public:
+  explicit ResctrlFs(Resctrl* resctrl);
+
+  // mkdir/rmdir on group directories. Nested directories are rejected.
+  Status Mkdir(const std::string& path);
+  Status Rmdir(const std::string& path);
+
+  // Group directory names (excluding the root), like `ls /sys/fs/resctrl`.
+  std::vector<std::string> ListGroups() const;
+
+  // read(2)/write(2) on the virtual files described above.
+  Result<std::string> ReadFile(const std::string& path) const;
+  Status WriteFile(const std::string& path, const std::string& data);
+
+ private:
+  struct ParsedPath {
+    std::string group;  // "" = root group.
+    std::string file;   // Remainder after the group component.
+  };
+
+  Result<ParsedPath> Parse(const std::string& path) const;
+  Result<ResctrlGroupId> GroupFor(const std::string& name) const;
+
+  Resctrl* resctrl_;  // Not owned.
+};
+
+}  // namespace copart
+
+#endif  // COPART_RESCTRL_RESCTRL_FS_H_

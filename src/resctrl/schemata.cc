@@ -1,0 +1,155 @@
+#include "resctrl/schemata.h"
+
+#include <cctype>
+#include <cstdio>
+#include <vector>
+
+namespace copart {
+namespace {
+
+std::string Trim(const std::string& text) {
+  size_t begin = 0;
+  size_t end = text.size();
+  while (begin < end && std::isspace(static_cast<unsigned char>(text[begin]))) {
+    ++begin;
+  }
+  while (end > begin && std::isspace(static_cast<unsigned char>(text[end - 1]))) {
+    --end;
+  }
+  return text.substr(begin, end - begin);
+}
+
+std::vector<std::string> SplitLines(const std::string& text) {
+  std::vector<std::string> lines;
+  std::string current;
+  for (char c : text) {
+    if (c == ';' || c == '\n') {
+      lines.push_back(current);
+      current.clear();
+    } else {
+      current.push_back(c);
+    }
+  }
+  lines.push_back(current);
+  return lines;
+}
+
+// Parses "<domain>=<value>" after the resource tag; domain must be 0.
+Status ParseDomainValue(const std::string& body, std::string& value_out) {
+  const size_t eq = body.find('=');
+  if (eq == std::string::npos) {
+    return InvalidArgumentError("missing '=' in schemata entry");
+  }
+  const std::string domain = Trim(body.substr(0, eq));
+  if (domain != "0") {
+    return InvalidArgumentError("unknown cache domain '" + domain +
+                                "' (this machine has domain 0 only)");
+  }
+  value_out = Trim(body.substr(eq + 1));
+  if (value_out.empty()) {
+    return InvalidArgumentError("empty value in schemata entry");
+  }
+  return Status::Ok();
+}
+
+Result<uint64_t> ParseHex(const std::string& text) {
+  std::string digits = text;
+  if (digits.size() > 2 && digits[0] == '0' &&
+      (digits[1] == 'x' || digits[1] == 'X')) {
+    digits = digits.substr(2);
+  }
+  if (digits.empty() || digits.size() > 16) {
+    return InvalidArgumentError("bad CBM value: " + text);
+  }
+  uint64_t value = 0;
+  for (char c : digits) {
+    value <<= 4;
+    if (c >= '0' && c <= '9') {
+      value |= static_cast<uint64_t>(c - '0');
+    } else if (c >= 'a' && c <= 'f') {
+      value |= static_cast<uint64_t>(c - 'a' + 10);
+    } else if (c >= 'A' && c <= 'F') {
+      value |= static_cast<uint64_t>(c - 'A' + 10);
+    } else {
+      return InvalidArgumentError("bad hex digit in CBM value: " + text);
+    }
+  }
+  return value;
+}
+
+Result<uint32_t> ParseDecimal(const std::string& text) {
+  if (text.empty() || text.size() > 9) {
+    return InvalidArgumentError("bad MB value: " + text);
+  }
+  uint32_t value = 0;
+  for (char c : text) {
+    if (c < '0' || c > '9') {
+      return InvalidArgumentError("bad decimal digit in MB value: " + text);
+    }
+    value = value * 10 + static_cast<uint32_t>(c - '0');
+  }
+  return value;
+}
+
+}  // namespace
+
+std::string Schemata::ToString() const {
+  std::string result;
+  if (l3_mask.has_value()) {
+    char buffer[32];
+    std::snprintf(buffer, sizeof(buffer), "L3:0=%llx",
+                  static_cast<unsigned long long>(*l3_mask));
+    result += buffer;
+  }
+  if (mb_percent.has_value()) {
+    if (!result.empty()) {
+      result += ";";
+    }
+    result += "MB:0=" + std::to_string(*mb_percent);
+  }
+  return result;
+}
+
+Result<Schemata> ParseSchemata(const std::string& text) {
+  Schemata schemata;
+  for (const std::string& raw_line : SplitLines(text)) {
+    const std::string line = Trim(raw_line);
+    if (line.empty()) {
+      continue;
+    }
+    const size_t colon = line.find(':');
+    if (colon == std::string::npos) {
+      return InvalidArgumentError("missing ':' in schemata line: " + line);
+    }
+    const std::string resource = Trim(line.substr(0, colon));
+    std::string value;
+    RETURN_IF_ERROR(ParseDomainValue(line.substr(colon + 1), value));
+    if (resource == "L3") {
+      if (schemata.l3_mask.has_value()) {
+        return InvalidArgumentError("duplicate L3 entry");
+      }
+      Result<uint64_t> mask = ParseHex(value);
+      if (!mask.ok()) {
+        return mask.status();
+      }
+      schemata.l3_mask = *mask;
+    } else if (resource == "MB") {
+      if (schemata.mb_percent.has_value()) {
+        return InvalidArgumentError("duplicate MB entry");
+      }
+      Result<uint32_t> percent = ParseDecimal(value);
+      if (!percent.ok()) {
+        return percent.status();
+      }
+      schemata.mb_percent = *percent;
+    } else {
+      return InvalidArgumentError("unknown resource '" + resource + "'");
+    }
+  }
+  if (!schemata.l3_mask.has_value() && !schemata.mb_percent.has_value()) {
+    return InvalidArgumentError("schemata has no entries");
+  }
+  return schemata;
+}
+
+}  // namespace copart

@@ -1,0 +1,45 @@
+// Parsing and serialization of resctrl schemata lines.
+//
+// The kernel interface is textual: a resource group's `schemata` file holds
+// lines like
+//
+//     L3:0=7ff
+//     MB:0=100
+//
+// (one cache-domain entry per line; this single-socket model has exactly
+// domain 0). The paper's user-level prototype reads and writes these
+// strings, so the library speaks the same format: ParseSchemata accepts
+// either the kernel's newline form or the compact "L3:0=7ff;MB:0=100"
+// rendering used by Resctrl::ReadSchemata, validates both resources, and
+// Resctrl::WriteSchemata applies a parsed update transactionally.
+#ifndef COPART_RESCTRL_SCHEMATA_H_
+#define COPART_RESCTRL_SCHEMATA_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "common/status.h"
+
+namespace copart {
+
+struct Schemata {
+  // Either entry may be absent (a write can update just one resource).
+  std::optional<uint64_t> l3_mask;
+  std::optional<uint32_t> mb_percent;
+
+  // Kernel-style rendering ("L3:0=7ff;MB:0=100"); omits absent entries.
+  std::string ToString() const;
+};
+
+// Parses one schemata string. Accepts ';' or '\n' as the line separator,
+// arbitrary surrounding whitespace per line, "L3"/"MB" resource tags with
+// domain 0, and hexadecimal CBM values (with or without 0x). Returns
+// kInvalidArgument on malformed input, unknown resources, domains other
+// than 0, or duplicate entries. Range/contiguity validation of the values
+// themselves happens at apply time against the machine's geometry.
+Result<Schemata> ParseSchemata(const std::string& text);
+
+}  // namespace copart
+
+#endif  // COPART_RESCTRL_SCHEMATA_H_

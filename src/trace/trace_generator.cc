@@ -1,0 +1,77 @@
+#include "trace/trace_generator.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "common/units.h"
+
+namespace copart {
+
+UniformWorkingSetGenerator::UniformWorkingSetGenerator(
+    uint64_t base_address, uint64_t working_set_bytes, uint32_t line_bytes,
+    Rng rng)
+    : base_address_(base_address),
+      num_lines_(std::max<uint64_t>(1, working_set_bytes / line_bytes)),
+      line_bytes_(line_bytes),
+      rng_(rng) {
+  CHECK_GT(line_bytes, 0u);
+}
+
+uint64_t UniformWorkingSetGenerator::Next() {
+  return base_address_ + rng_.NextUint64(num_lines_) * line_bytes_;
+}
+
+StreamingGenerator::StreamingGenerator(uint64_t base_address,
+                                       uint32_t line_bytes)
+    : next_address_(base_address), line_bytes_(line_bytes) {
+  CHECK_GT(line_bytes, 0u);
+}
+
+uint64_t StreamingGenerator::Next() {
+  const uint64_t address = next_address_;
+  next_address_ += line_bytes_;
+  return address;
+}
+
+MixtureTraceGenerator::MixtureTraceGenerator(const ReuseProfile& profile,
+                                             uint32_t line_bytes, Rng rng,
+                                             uint64_t address_space_base)
+    : rng_(rng) {
+  // Lay component ranges out disjointly, leaving a gap after each so the
+  // streaming pointer (placed last, far away) never collides.
+  uint64_t next_base = address_space_base;
+  double cumulative = 0.0;
+
+  for (const ReuseComponent& component : profile.components()) {
+    cumulative += component.weight;
+    sources_.push_back(
+        {cumulative, std::make_unique<UniformWorkingSetGenerator>(
+                         next_base, component.working_set_bytes, line_bytes,
+                         rng_.Fork())});
+    next_base += component.working_set_bytes + GiB(1);
+  }
+  if (profile.streaming_weight() > 0.0) {
+    cumulative += profile.streaming_weight();
+    sources_.push_back({cumulative, std::make_unique<StreamingGenerator>(
+                                        next_base + GiB(64), line_bytes)});
+  }
+  // Residual weight: a single resident line that always hits once warm.
+  if (cumulative < 1.0 - 1e-12) {
+    sources_.push_back(
+        {1.0, std::make_unique<UniformWorkingSetGenerator>(
+                  next_base + GiB(256), line_bytes, line_bytes, rng_.Fork())});
+  }
+  CHECK(!sources_.empty()) << "reuse profile has zero total weight";
+}
+
+uint64_t MixtureTraceGenerator::Next() {
+  const double draw = rng_.NextDouble();
+  for (WeightedSource& source : sources_) {
+    if (draw < source.cumulative_weight) {
+      return source.generator->Next();
+    }
+  }
+  return sources_.back().generator->Next();
+}
+
+}  // namespace copart

@@ -1,0 +1,80 @@
+// Synthetic address-trace generators.
+//
+// These produce LLC-level access streams (i.e. post-L2-filter) that realize a
+// ReuseProfile: uniform-random draws inside each working-set component and a
+// monotonically advancing streaming pointer. They drive the trace-driven
+// WayPartitionedCache in tests and the MRC-validation benchmark, which
+// cross-checks the analytic miss model against actual LRU behaviour.
+#ifndef COPART_TRACE_TRACE_GENERATOR_H_
+#define COPART_TRACE_TRACE_GENERATOR_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "cache/miss_ratio_curve.h"
+#include "common/rng.h"
+
+namespace copart {
+
+// Interface: one byte address per call.
+class TraceGenerator {
+ public:
+  virtual ~TraceGenerator() = default;
+  virtual uint64_t Next() = 0;
+};
+
+// Uniform-random line-aligned accesses over a fixed working set.
+class UniformWorkingSetGenerator : public TraceGenerator {
+ public:
+  UniformWorkingSetGenerator(uint64_t base_address, uint64_t working_set_bytes,
+                             uint32_t line_bytes, Rng rng);
+
+  uint64_t Next() override;
+
+ private:
+  uint64_t base_address_;
+  uint64_t num_lines_;
+  uint32_t line_bytes_;
+  Rng rng_;
+};
+
+// Sequential scan that never revisits a line within any realistic window
+// (models STREAM and other pure-bandwidth scans).
+class StreamingGenerator : public TraceGenerator {
+ public:
+  StreamingGenerator(uint64_t base_address, uint32_t line_bytes);
+
+  uint64_t Next() override;
+
+ private:
+  uint64_t next_address_;
+  uint32_t line_bytes_;
+};
+
+// Realizes a full ReuseProfile: each access picks a component (or the
+// streaming pointer, or an always-hit "resident" line pool) with the
+// profile's weights. Component address ranges are disjoint, and the whole
+// layout starts at `address_space_base` — give every co-running generator
+// a distinct base (e.g. app_index << 44) or their traces alias the same
+// cache lines.
+class MixtureTraceGenerator : public TraceGenerator {
+ public:
+  MixtureTraceGenerator(const ReuseProfile& profile, uint32_t line_bytes,
+                        Rng rng, uint64_t address_space_base = 0);
+
+  uint64_t Next() override;
+
+ private:
+  struct WeightedSource {
+    double cumulative_weight;
+    std::unique_ptr<TraceGenerator> generator;
+  };
+
+  std::vector<WeightedSource> sources_;
+  Rng rng_;
+};
+
+}  // namespace copart
+
+#endif  // COPART_TRACE_TRACE_GENERATOR_H_

@@ -1,0 +1,346 @@
+#include "workload/workload.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+#include "common/units.h"
+
+namespace copart {
+
+const char* WorkloadCategoryName(WorkloadCategory category) {
+  switch (category) {
+    case WorkloadCategory::kLlcSensitive:
+      return "LLC-sensitive";
+    case WorkloadCategory::kBwSensitive:
+      return "Memory bandwidth-sensitive";
+    case WorkloadCategory::kBothSensitive:
+      return "LLC- & memory BW-sensitive";
+    case WorkloadCategory::kInsensitive:
+      return "Insensitive";
+    case WorkloadCategory::kLatencyCritical:
+      return "Latency-critical";
+    case WorkloadCategory::kBatch:
+      return "Batch";
+  }
+  return "?";
+}
+
+// Calibration notes (all validated by tests/workload_calibration_test.cc):
+// every surrogate must land in its Table 2 category under the paper's
+// criteria (>=15% degradation from 11->1 way at MBA 100 for LLC sensitivity;
+// >=15% from MBA 100->10 at 11 ways for BW sensitivity; <1% on both axes for
+// the insensitive apps), and the headline thresholds of §4.1 must hold:
+// WN/WS/RT reach 90% of full performance at 4/3/2 ways, OC/CG/FT at MBA
+// levels 30/20/30.
+
+WorkloadDescriptor WaterNsquared() {
+  WorkloadDescriptor d;
+  d.name = "water_nsquared";
+  d.short_name = "WN";
+  d.category = WorkloadCategory::kLlcSensitive;
+  // High-locality 8.2 MB footprint: needs 4 ways (8 MB) for ~full speed,
+  // degrades drastically below 2 ways; nearly zero residual misses at full
+  // capacity (Table 2: 2.58e4 misses/s vs 6.91e7 accesses/s).
+  d.reuse_profile = ReuseProfile(
+      {{0.98, static_cast<uint64_t>(8.2 * 1024 * 1024)}},
+      /*streaming_weight=*/4.0e-4);
+  d.accesses_per_instr = 8.2e-3;
+  d.cpi_exec = 1.0;
+  d.mem_latency_cycles = 200.0;
+  d.mlp = 1.0;
+  d.mba_kappa = 0.03;
+  return d;
+}
+
+WorkloadDescriptor WaterSpatial() {
+  WorkloadDescriptor d;
+  d.name = "water_spatial";
+  d.short_name = "WS";
+  d.category = WorkloadCategory::kLlcSensitive;
+  // 6.15 MB footprint -> needs 3 ways; larger residual stream than WN
+  // (Table 2: 9.12e5 misses/s).
+  d.reuse_profile = ReuseProfile(
+      {{0.95, static_cast<uint64_t>(6.15 * 1024 * 1024)}},
+      /*streaming_weight=*/0.021);
+  d.accesses_per_instr = 5.1e-3;
+  d.cpi_exec = 1.0;
+  d.mem_latency_cycles = 200.0;
+  d.mlp = 1.0;
+  d.mba_kappa = 0.03;
+  return d;
+}
+
+WorkloadDescriptor Raytrace() {
+  WorkloadDescriptor d;
+  d.name = "raytrace";
+  d.short_name = "RT";
+  d.category = WorkloadCategory::kLlcSensitive;
+  // 4.1 MB scene footprint -> needs 2 ways.
+  d.reuse_profile = ReuseProfile(
+      {{0.95, static_cast<uint64_t>(4.1 * 1024 * 1024)}},
+      /*streaming_weight=*/5.7e-4);
+  d.accesses_per_instr = 4.5e-3;
+  d.cpi_exec = 1.0;
+  d.mem_latency_cycles = 200.0;
+  d.mlp = 1.0;
+  d.mba_kappa = 0.03;
+  return d;
+}
+
+WorkloadDescriptor OceanCp() {
+  WorkloadDescriptor d;
+  d.name = "ocean_cp";
+  d.short_name = "OC";
+  d.category = WorkloadCategory::kBwSensitive;
+  // Grid sweeps with little temporal locality: 94% of LLC accesses stream.
+  // Moderate traffic (~3 GB/s) but latency-exposed (mlp 2), so the MBA
+  // delay (kappa) is what makes it need level 30 for 90% performance.
+  d.reuse_profile =
+      ReuseProfile({{0.05, MiB(3)}}, /*streaming_weight=*/0.94);
+  d.accesses_per_instr = 1.02e-2;
+  d.cpi_exec = 0.8;
+  d.mem_latency_cycles = 200.0;
+  d.mlp = 2.0;
+  d.mba_kappa = 0.07;
+  return d;
+}
+
+WorkloadDescriptor Cg() {
+  WorkloadDescriptor d;
+  d.name = "CG";
+  d.short_name = "CG";
+  d.category = WorkloadCategory::kBwSensitive;
+  // Sparse matrix-vector: the heaviest traffic in Table 2 (~7.5 GB/s) but
+  // high MLP, so it tolerates the MBA delay; its level-10 degradation comes
+  // from the bandwidth cap itself (needs level 20 for 90%).
+  d.reuse_profile = ReuseProfile({{0.55, MiB(1)}},
+                                 /*streaming_weight=*/0.361);
+  d.accesses_per_instr = 4.2e-2;
+  d.cpi_exec = 0.7;
+  d.mem_latency_cycles = 200.0;
+  d.mlp = 8.0;
+  d.mba_kappa = 0.015;
+  return d;
+}
+
+WorkloadDescriptor Ft() {
+  WorkloadDescriptor d;
+  d.name = "FT";
+  d.short_name = "FT";
+  d.category = WorkloadCategory::kBwSensitive;
+  // 3-D FFT transposes: low traffic (~1.3 GB/s) but serial dependent misses
+  // (mlp 1), so MBA delay dominates -> needs level 30.
+  d.reuse_profile = ReuseProfile({{0.10, MiB(4)}}, /*streaming_weight=*/0.80);
+  d.accesses_per_instr = 4.7e-3;
+  d.cpi_exec = 0.9;
+  d.mem_latency_cycles = 200.0;
+  d.mlp = 1.0;
+  d.mba_kappa = 0.08;
+  return d;
+}
+
+WorkloadDescriptor Sp() {
+  WorkloadDescriptor d;
+  d.name = "SP";
+  d.short_name = "SP";
+  d.category = WorkloadCategory::kBothSensitive;
+  // Penta-diagonal solver: 44 MB footprint (twice the LLC) gives a smooth
+  // miss-ratio gradient across every way count, plus a 25% stream -> both
+  // axes matter, and multiple (ways, MBA) states give similar performance.
+  d.reuse_profile = ReuseProfile({{0.55, MiB(44)}}, /*streaming_weight=*/0.25);
+  d.accesses_per_instr = 8.0e-2;
+  d.cpi_exec = 0.7;
+  d.mem_latency_cycles = 200.0;
+  d.mlp = 2.0;
+  d.mba_kappa = 0.06;
+  return d;
+}
+
+WorkloadDescriptor OceanNcp() {
+  WorkloadDescriptor d;
+  d.name = "ocean_ncp";
+  d.short_name = "ON";
+  d.category = WorkloadCategory::kBothSensitive;
+  // Non-contiguous grids: heavy stream plus a 28 MB reusable region.
+  d.reuse_profile = ReuseProfile({{0.35, MiB(8)}}, /*streaming_weight=*/0.64);
+  d.accesses_per_instr = 4.5e-2;
+  d.cpi_exec = 0.8;
+  d.mem_latency_cycles = 200.0;
+  d.mlp = 2.0;
+  d.mba_kappa = 0.05;
+  return d;
+}
+
+WorkloadDescriptor Fmm() {
+  WorkloadDescriptor d;
+  d.name = "FMM";
+  d.short_name = "FMM";
+  d.category = WorkloadCategory::kBothSensitive;
+  // Fast multipole: low access intensity (Table 2: 6.12e6 accesses/s) but
+  // serial pointer-chasing misses (high latency, no MLP) make both resources
+  // matter despite the light traffic.
+  d.reuse_profile = ReuseProfile({{0.45, MiB(10)}}, /*streaming_weight=*/0.42);
+  d.accesses_per_instr = 6.0e-3;
+  d.cpi_exec = 3.0;
+  d.mem_latency_cycles = 450.0;
+  d.mlp = 1.0;
+  d.mba_kappa = 0.10;
+  return d;
+}
+
+WorkloadDescriptor Swaptions() {
+  WorkloadDescriptor d;
+  d.name = "swaptions";
+  d.short_name = "SW";
+  d.category = WorkloadCategory::kInsensitive;
+  // Monte-Carlo pricing: essentially register/L2-resident (Table 2:
+  // 1.08e4 LLC accesses/s).
+  d.reuse_profile = ReuseProfile({}, /*streaming_weight=*/0.07);
+  d.accesses_per_instr = 1.3e-6;
+  d.cpi_exec = 0.55;
+  d.mem_latency_cycles = 200.0;
+  d.mlp = 1.0;
+  d.mba_kappa = 0.0;
+  return d;
+}
+
+WorkloadDescriptor Ep() {
+  WorkloadDescriptor d;
+  d.name = "EP";
+  d.short_name = "EP";
+  d.category = WorkloadCategory::kInsensitive;
+  // Embarrassingly parallel random-number kernel.
+  d.reuse_profile = ReuseProfile({}, /*streaming_weight=*/0.024);
+  d.accesses_per_instr = 8.7e-5;
+  d.cpi_exec = 0.8;
+  d.mem_latency_cycles = 200.0;
+  d.mlp = 1.0;
+  d.mba_kappa = 0.0;
+  return d;
+}
+
+WorkloadDescriptor Stream() {
+  WorkloadDescriptor d;
+  d.name = "STREAM";
+  d.short_name = "STREAM";
+  d.category = WorkloadCategory::kBwSensitive;
+  // Pure streaming with maximal MLP; saturates the memory controller and
+  // serves as the maximum-traffic reference for the memory traffic ratio.
+  d.reuse_profile = ReuseProfile::Streaming();
+  d.accesses_per_instr = 0.5;
+  d.cpi_exec = 0.4;
+  d.mem_latency_cycles = 200.0;
+  d.mlp = 16.0;
+  d.mba_kappa = 0.0;
+  return d;
+}
+
+WorkloadDescriptor Memcached() {
+  WorkloadDescriptor d;
+  d.name = "memcached";
+  d.short_name = "MC";
+  d.category = WorkloadCategory::kLatencyCritical;
+  // In-memory key-value store: hot object set of ~12 MB, light streaming
+  // (logging, connection churn). Latency model lives in the harness.
+  d.reuse_profile = ReuseProfile({{0.90, MiB(12)}}, /*streaming_weight=*/0.02);
+  d.accesses_per_instr = 8.0e-3;
+  d.cpi_exec = 1.2;
+  d.mem_latency_cycles = 200.0;
+  d.mlp = 2.0;
+  d.mba_kappa = 0.10;
+  return d;
+}
+
+WorkloadDescriptor WordCount() {
+  WorkloadDescriptor d;
+  d.name = "word_count";
+  d.short_name = "WC";
+  d.category = WorkloadCategory::kBatch;
+  // Scan-heavy Spark job over a 64 GB dataset: bandwidth-leaning.
+  d.reuse_profile = ReuseProfile({{0.30, MiB(10)}}, /*streaming_weight=*/0.60);
+  d.accesses_per_instr = 3.0e-2;
+  d.cpi_exec = 0.8;
+  d.mem_latency_cycles = 200.0;
+  d.mlp = 4.0;
+  d.mba_kappa = 0.05;
+  return d;
+}
+
+WorkloadDescriptor Kmeans() {
+  WorkloadDescriptor d;
+  d.name = "kmeans";
+  d.short_name = "KM";
+  d.category = WorkloadCategory::kBatch;
+  // Iterative clustering over a 4 GB dataset with a 9 MB hot centroid/point
+  // block: cache-leaning.
+  d.reuse_profile = ReuseProfile({{0.80, MiB(9)}}, /*streaming_weight=*/0.05);
+  d.accesses_per_instr = 1.2e-2;
+  d.cpi_exec = 0.9;
+  d.mem_latency_cycles = 200.0;
+  d.mlp = 1.5;
+  d.mba_kappa = 0.08;
+  return d;
+}
+
+WorkloadPhase WorkloadDescriptor::PhaseAt(double t) const {
+  if (phases.empty()) {
+    return WorkloadPhase{};
+  }
+  double cycle = 0.0;
+  for (const WorkloadPhase& phase : phases) {
+    CHECK_GT(phase.duration_sec, 0.0);
+    cycle += phase.duration_sec;
+  }
+  double offset = std::fmod(std::max(t, 0.0), cycle);
+  for (const WorkloadPhase& phase : phases) {
+    if (offset < phase.duration_sec) {
+      return phase;
+    }
+    offset -= phase.duration_sec;
+  }
+  return phases.back();
+}
+
+WorkloadDescriptor PhasedScanCompute(double period_sec) {
+  WorkloadDescriptor d;
+  d.name = "phased_scan_compute";
+  d.short_name = "PH";
+  d.category = WorkloadCategory::kBothSensitive;
+  // Baseline: a cache-friendly 6 MB kernel with a small stream.
+  d.reuse_profile = ReuseProfile({{0.80, MiB(6)}}, /*streaming_weight=*/0.05);
+  d.accesses_per_instr = 1.0e-2;
+  d.cpi_exec = 0.9;
+  d.mem_latency_cycles = 200.0;
+  d.mlp = 2.0;
+  d.mba_kappa = 0.05;
+  // Phase A: the compute/kernel phase (baseline). Phase B: a scan phase —
+  // 6x the streaming traffic and higher access intensity.
+  d.phases = {
+      WorkloadPhase{.duration_sec = period_sec},
+      WorkloadPhase{.duration_sec = period_sec,
+                    .access_intensity_scale = 2.0,
+                    .streaming_scale = 6.0,
+                    .cpi_exec_scale = 0.9},
+  };
+  return d;
+}
+
+std::vector<WorkloadDescriptor> AllTable2Benchmarks() {
+  return {WaterNsquared(), WaterSpatial(), Raytrace(), OceanCp(),
+          Cg(),            Ft(),           Sp(),       OceanNcp(),
+          Fmm(),           Swaptions(),    Ep()};
+}
+
+std::vector<WorkloadDescriptor> BenchmarksByCategory(
+    WorkloadCategory category) {
+  std::vector<WorkloadDescriptor> result;
+  for (WorkloadDescriptor& d : AllTable2Benchmarks()) {
+    if (d.category == category) {
+      result.push_back(std::move(d));
+    }
+  }
+  return result;
+}
+
+}  // namespace copart

@@ -1,0 +1,98 @@
+#include "cache/miss_ratio_curve.h"
+
+#include <gtest/gtest.h>
+
+#include "common/units.h"
+#include "workload/workload.h"
+
+namespace copart {
+namespace {
+
+TEST(ReuseProfileTest, StreamingAlwaysMisses) {
+  const ReuseProfile profile = ReuseProfile::Streaming();
+  EXPECT_DOUBLE_EQ(profile.MissRatio(0), 1.0);
+  EXPECT_DOUBLE_EQ(profile.MissRatio(GiB(1)), 1.0);
+}
+
+TEST(ReuseProfileTest, SingleComponentClosedForm) {
+  const ReuseProfile profile({{1.0, MiB(8)}}, 0.0);
+  EXPECT_DOUBLE_EQ(profile.MissRatio(0), 1.0);
+  EXPECT_DOUBLE_EQ(profile.MissRatio(MiB(2)), 0.75);
+  EXPECT_DOUBLE_EQ(profile.MissRatio(MiB(4)), 0.5);
+  EXPECT_DOUBLE_EQ(profile.MissRatio(MiB(8)), 0.0);
+  EXPECT_DOUBLE_EQ(profile.MissRatio(MiB(16)), 0.0);
+}
+
+TEST(ReuseProfileTest, ResidualWeightAlwaysHits) {
+  // 0.5 to an 8 MiB set, 0.2 streaming, 0.3 resident.
+  const ReuseProfile profile({{0.5, MiB(8)}}, 0.2);
+  // With ample capacity only the stream misses; the residual 0.3 hits.
+  EXPECT_NEAR(profile.MissRatio(GiB(4)), 0.2, 1e-6);
+  EXPECT_DOUBLE_EQ(profile.MissRatio(0), 0.7);
+  // At exactly the working-set size, stream pollution steals capacity from
+  // the component, so the miss ratio sits strictly between the two bounds.
+  EXPECT_GT(profile.MissRatio(MiB(8)), 0.2);
+  EXPECT_LT(profile.MissRatio(MiB(8)), 0.7);
+}
+
+TEST(ReuseProfileTest, MixtureComponentsCompeteForCapacity) {
+  // Under Che's model, components share capacity: the mixture's miss ratio
+  // at C exceeds the optimistic estimate where each component sees all of C.
+  const ReuseProfile profile({{0.4, MiB(4)}, {0.4, MiB(16)}}, 0.1);
+  const double independent = 0.4 * 0.0 + 0.4 * (1.0 - 4.0 / 16.0) + 0.1;
+  EXPECT_GT(profile.MissRatio(MiB(4)), independent);
+  // And stays below the zero-capacity ceiling.
+  EXPECT_LT(profile.MissRatio(MiB(4)), 0.9);
+}
+
+TEST(ReuseProfileTest, SplittingAComponentIsANoOp) {
+  // Two identical half-weight components over disjoint halves of a working
+  // set have the same per-line reference rate as the merged component, so
+  // Che's model must give identical curves.
+  const ReuseProfile merged({{0.8, MiB(16)}}, 0.1);
+  const ReuseProfile split({{0.4, MiB(8)}, {0.4, MiB(8)}}, 0.1);
+  for (uint64_t capacity : {MiB(2), MiB(6), MiB(12), MiB(20)}) {
+    EXPECT_NEAR(merged.MissRatio(capacity), split.MissRatio(capacity), 1e-9)
+        << capacity;
+  }
+}
+
+TEST(ReuseProfileTest, MaxWorkingSet) {
+  const ReuseProfile profile({{0.4, MiB(4)}, {0.4, MiB(16)}}, 0.1);
+  EXPECT_EQ(profile.MaxWorkingSetBytes(), MiB(16));
+  EXPECT_EQ(ReuseProfile::Streaming().MaxWorkingSetBytes(), 0u);
+}
+
+TEST(ReuseProfileDeathTest, RejectsOverweight) {
+  EXPECT_DEATH(ReuseProfile({{0.9, MiB(1)}}, 0.2), "exceed");
+}
+
+TEST(ReuseProfileDeathTest, RejectsZeroWorkingSet) {
+  EXPECT_DEATH(ReuseProfile({{0.5, 0}}, 0.0), "working_set");
+}
+
+// Property over every Table 2 surrogate: the MRC is monotone non-increasing
+// in capacity and bounded in [0, 1].
+class MrcMonotoneTest : public ::testing::TestWithParam<WorkloadDescriptor> {};
+
+TEST_P(MrcMonotoneTest, MonotoneAndBounded) {
+  const ReuseProfile& profile = GetParam().reuse_profile;
+  double previous = 1.0;
+  for (uint64_t capacity = 0; capacity <= MiB(24); capacity += MiB(1)) {
+    const double miss = profile.MissRatio(capacity);
+    EXPECT_GE(miss, 0.0);
+    EXPECT_LE(miss, 1.0);
+    EXPECT_LE(miss, previous + 1e-12) << "capacity=" << capacity;
+    previous = miss;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllBenchmarks, MrcMonotoneTest,
+    ::testing::ValuesIn(AllTable2Benchmarks()),
+    [](const ::testing::TestParamInfo<WorkloadDescriptor>& info) {
+      return info.param.short_name;
+    });
+
+}  // namespace
+}  // namespace copart

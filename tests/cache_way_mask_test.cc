@@ -1,0 +1,108 @@
+#include "cache/way_mask.h"
+
+#include <gtest/gtest.h>
+
+namespace copart {
+namespace {
+
+TEST(WayMaskTest, DefaultIsEmpty) {
+  WayMask mask;
+  EXPECT_TRUE(mask.Empty());
+  EXPECT_EQ(mask.CountWays(), 0u);
+}
+
+TEST(WayMaskTest, ContiguousBuildsExpectedBits) {
+  EXPECT_EQ(WayMask::Contiguous(0, 3).bits(), 0b111u);
+  EXPECT_EQ(WayMask::Contiguous(2, 2).bits(), 0b1100u);
+  EXPECT_EQ(WayMask::Contiguous(10, 1).bits(), 1ULL << 10);
+}
+
+TEST(WayMaskTest, ContiguousFullWidth) {
+  const WayMask mask = WayMask::Contiguous(0, 64);
+  EXPECT_EQ(mask.bits(), ~0ULL);
+  EXPECT_EQ(mask.CountWays(), 64u);
+}
+
+TEST(WayMaskTest, FromBitsAcceptsValidMasks) {
+  // The kernel's CAT rules: non-zero, in-range, contiguous.
+  for (uint64_t bits : {0x1ULL, 0x7ULL, 0x7FFULL, 0x70ULL, 0x400ULL}) {
+    Result<WayMask> mask = WayMask::FromBits(bits, 11);
+    ASSERT_TRUE(mask.ok()) << "bits=" << bits;
+    EXPECT_EQ(mask->bits(), bits);
+  }
+}
+
+TEST(WayMaskTest, FromBitsRejectsZero) {
+  EXPECT_EQ(WayMask::FromBits(0, 11).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(WayMaskTest, FromBitsRejectsOutOfRange) {
+  EXPECT_FALSE(WayMask::FromBits(1ULL << 11, 11).ok());
+  EXPECT_FALSE(WayMask::FromBits(0xFFFULL, 11).ok());
+  EXPECT_TRUE(WayMask::FromBits(0x7FFULL, 11).ok());
+}
+
+TEST(WayMaskTest, FromBitsRejectsNonContiguous) {
+  for (uint64_t bits : {0b101ULL, 0b1001ULL, 0b1011ULL, 0b1101ULL,
+                        0b110011ULL}) {
+    EXPECT_FALSE(WayMask::FromBits(bits, 11).ok()) << "bits=" << bits;
+  }
+}
+
+TEST(WayMaskTest, ContainsAndFirstWay) {
+  const WayMask mask = WayMask::Contiguous(3, 4);
+  EXPECT_EQ(mask.FirstWay(), 3u);
+  EXPECT_FALSE(mask.Contains(2));
+  EXPECT_TRUE(mask.Contains(3));
+  EXPECT_TRUE(mask.Contains(6));
+  EXPECT_FALSE(mask.Contains(7));
+}
+
+TEST(WayMaskTest, Overlaps) {
+  EXPECT_TRUE(
+      WayMask::Contiguous(0, 4).Overlaps(WayMask::Contiguous(3, 2)));
+  EXPECT_FALSE(
+      WayMask::Contiguous(0, 3).Overlaps(WayMask::Contiguous(3, 2)));
+  EXPECT_FALSE(WayMask().Overlaps(WayMask::Contiguous(0, 11)));
+}
+
+TEST(WayMaskTest, ToHexMatchesResctrlFormat) {
+  EXPECT_EQ(WayMask::Contiguous(0, 11).ToHex(), "7ff");
+  EXPECT_EQ(WayMask::Contiguous(0, 4).ToHex(), "f");
+  EXPECT_EQ(WayMask::Contiguous(4, 4).ToHex(), "f0");
+}
+
+TEST(WayMaskDeathTest, ContiguousRejectsZeroCount) {
+  EXPECT_DEATH(WayMask::Contiguous(0, 0), "count");
+}
+
+TEST(WayMaskDeathTest, FirstWayOnEmptyAborts) {
+  WayMask mask;
+  EXPECT_DEATH(mask.FirstWay(), "Empty");
+}
+
+// Property sweep: every contiguous (first, count) pair round-trips through
+// FromBits validation.
+class WayMaskRoundTripTest
+    : public ::testing::TestWithParam<std::tuple<uint32_t, uint32_t>> {};
+
+TEST_P(WayMaskRoundTripTest, ContiguousMasksValidate) {
+  const auto [first, count] = GetParam();
+  if (first + count > 11) {
+    GTEST_SKIP() << "outside an 11-way cache";
+  }
+  const WayMask mask = WayMask::Contiguous(first, count);
+  Result<WayMask> validated = WayMask::FromBits(mask.bits(), 11);
+  ASSERT_TRUE(validated.ok());
+  EXPECT_EQ(*validated, mask);
+  EXPECT_EQ(mask.CountWays(), count);
+  EXPECT_EQ(mask.FirstWay(), first);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllPositions, WayMaskRoundTripTest,
+    ::testing::Combine(::testing::Range(0u, 11u), ::testing::Range(1u, 12u)));
+
+}  // namespace
+}  // namespace copart

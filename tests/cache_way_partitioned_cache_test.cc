@@ -1,0 +1,200 @@
+// Unit and property tests of the trace-driven way-partitioned LLC — the
+// CAT semantics the whole reproduction rests on.
+#include "cache/way_partitioned_cache.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "common/units.h"
+
+namespace copart {
+namespace {
+
+LlcGeometry SmallGeometry() {
+  // 8 sets x 4 ways x 64B = 2 KiB: small enough to reason about exactly.
+  return LlcGeometry{.total_bytes = 2048, .num_ways = 4, .line_bytes = 64};
+}
+
+TEST(GeometryTest, XeonDefaultsMatchTable1) {
+  const LlcGeometry geometry = XeonGold6130Llc();
+  EXPECT_EQ(geometry.total_bytes, MiB(22));
+  EXPECT_EQ(geometry.num_ways, 11u);
+  EXPECT_EQ(geometry.WayBytes(), MiB(2));
+  EXPECT_EQ(geometry.NumSets(), MiB(22) / (11 * 64));
+}
+
+TEST(GeometryTest, CapacityForWays) {
+  const LlcGeometry geometry = XeonGold6130Llc();
+  EXPECT_EQ(geometry.CapacityForWays(0), 0u);
+  EXPECT_EQ(geometry.CapacityForWays(1), MiB(2));
+  EXPECT_EQ(geometry.CapacityForWays(11), MiB(22));
+}
+
+TEST(CacheTest, ColdMissThenHit) {
+  WayPartitionedCache cache(SmallGeometry(), 1);
+  EXPECT_FALSE(cache.Access(0, 0x1000));
+  EXPECT_TRUE(cache.Access(0, 0x1000));
+  EXPECT_TRUE(cache.Access(0, 0x1000 + 63));  // Same line.
+  EXPECT_FALSE(cache.Access(0, 0x1000 + 64 * 8));  // Same set, new tag.
+  EXPECT_EQ(cache.stats(0).accesses, 4u);
+  EXPECT_EQ(cache.stats(0).hits, 2u);
+  EXPECT_EQ(cache.stats(0).misses, 2u);
+}
+
+TEST(CacheTest, LruEvictionWithinSet) {
+  WayPartitionedCache cache(SmallGeometry(), 1);
+  const uint64_t set_stride = 8 * 64;  // 8 sets.
+  // Fill all 4 ways of set 0.
+  for (uint64_t i = 0; i < 4; ++i) {
+    EXPECT_FALSE(cache.Access(0, i * set_stride));
+  }
+  // Touch line 0 so line 1 becomes LRU, then insert a 5th line.
+  EXPECT_TRUE(cache.Access(0, 0));
+  EXPECT_FALSE(cache.Access(0, 4 * set_stride));
+  // Line 1 must be the victim; the others survive.
+  EXPECT_TRUE(cache.Access(0, 0));
+  EXPECT_FALSE(cache.Access(0, 1 * set_stride));
+  EXPECT_EQ(cache.stats(0).evictions, 2u);
+}
+
+TEST(CacheTest, FillRestrictedToOwnedWays) {
+  WayPartitionedCache cache(SmallGeometry(), 2);
+  cache.SetMask(0, WayMask::Contiguous(0, 2));
+  cache.SetMask(1, WayMask::Contiguous(2, 2));
+  const uint64_t set_stride = 8 * 64;
+  // CLOS 0 streams 8 lines through set 0: with only 2 ways it keeps at most
+  // 2 resident lines.
+  for (uint64_t i = 0; i < 8; ++i) {
+    cache.Access(0, i * set_stride);
+  }
+  EXPECT_EQ(cache.OccupancyLines(0), 2u);
+  EXPECT_EQ(cache.OccupancyLines(1), 0u);
+}
+
+TEST(CacheTest, PartitionIsolation) {
+  // An app with a dedicated partition is completely unaffected by a
+  // streaming co-runner in a disjoint partition — the core CAT guarantee.
+  WayPartitionedCache cache(SmallGeometry(), 2);
+  cache.SetMask(0, WayMask::Contiguous(0, 2));
+  cache.SetMask(1, WayMask::Contiguous(2, 2));
+  const uint64_t set_stride = 8 * 64;
+
+  // CLOS 0 warms two lines per set.
+  for (uint64_t set = 0; set < 8; ++set) {
+    cache.Access(0, set * 64);
+    cache.Access(0, set * 64 + set_stride);
+  }
+  // CLOS 1 streams heavily over everything.
+  for (uint64_t i = 0; i < 10000; ++i) {
+    cache.Access(1, GiB(1) + i * 64);
+  }
+  // CLOS 0's lines all still hit.
+  cache.ResetStats();
+  for (uint64_t set = 0; set < 8; ++set) {
+    EXPECT_TRUE(cache.Access(0, set * 64));
+    EXPECT_TRUE(cache.Access(0, set * 64 + set_stride));
+  }
+  EXPECT_EQ(cache.stats(0).misses, 0u);
+}
+
+TEST(CacheTest, HitsAllowedOutsideOwnMask) {
+  // CAT constrains fills, not lookups: after a mask shrink, lines cached in
+  // now-foreign ways still hit.
+  WayPartitionedCache cache(SmallGeometry(), 1);
+  cache.SetMask(0, WayMask::Contiguous(0, 4));
+  cache.Access(0, 0);  // May fill any way.
+  cache.SetMask(0, WayMask::Contiguous(3, 1));
+  EXPECT_TRUE(cache.Access(0, 0));
+}
+
+TEST(CacheTest, OverlappingMasksShareWays) {
+  WayPartitionedCache cache(SmallGeometry(), 2);
+  cache.SetMask(0, WayMask::Contiguous(0, 3));
+  cache.SetMask(1, WayMask::Contiguous(2, 2));  // Way 2 shared.
+  const uint64_t set_stride = 8 * 64;
+  // Both CLOSes can allocate; combined occupancy never exceeds 4 ways/set.
+  for (uint64_t i = 0; i < 16; ++i) {
+    cache.Access(0, i * set_stride);
+    cache.Access(1, GiB(2) + i * set_stride);
+  }
+  EXPECT_LE(cache.OccupancyLines(0) + cache.OccupancyLines(1), 4u);
+  EXPECT_GT(cache.OccupancyLines(1), 0u);
+}
+
+TEST(CacheTest, EmptyMaskMissesBypass) {
+  WayPartitionedCache cache(SmallGeometry(), 1);
+  cache.SetMask(0, WayMask());
+  EXPECT_FALSE(cache.Access(0, 0));
+  EXPECT_FALSE(cache.Access(0, 0));  // Still a miss: nothing allocated.
+  EXPECT_EQ(cache.OccupancyLines(0), 0u);
+}
+
+TEST(CacheTest, ResetStatsClearsCountsNotContents) {
+  WayPartitionedCache cache(SmallGeometry(), 1);
+  cache.Access(0, 0);
+  cache.ResetStats();
+  EXPECT_EQ(cache.stats(0).accesses, 0u);
+  EXPECT_TRUE(cache.Access(0, 0));  // Line survived the stats reset.
+}
+
+// Property: hits + misses == accesses for every CLOS under random traffic.
+class CacheAccountingTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(CacheAccountingTest, CountsAreConsistent) {
+  WayPartitionedCache cache(SmallGeometry(), 3);
+  cache.SetMask(0, WayMask::Contiguous(0, 2));
+  cache.SetMask(1, WayMask::Contiguous(1, 2));
+  cache.SetMask(2, WayMask::Contiguous(3, 1));
+  Rng rng(GetParam());
+  for (int i = 0; i < 20000; ++i) {
+    const uint32_t clos = static_cast<uint32_t>(rng.NextUint64(3));
+    cache.Access(clos, rng.NextUint64(KiB(64)));
+  }
+  uint64_t total_occupancy = 0;
+  for (uint32_t clos = 0; clos < 3; ++clos) {
+    const CacheClosStats& stats = cache.stats(clos);
+    EXPECT_EQ(stats.hits + stats.misses, stats.accesses);
+    EXPECT_LE(stats.evictions, stats.misses);
+    total_occupancy += cache.OccupancyLines(clos);
+  }
+  // Occupancy can never exceed the cache's line count.
+  EXPECT_LE(total_occupancy, SmallGeometry().NumSets() * 4);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CacheAccountingTest,
+                         ::testing::Values(1, 2, 3, 42, 1234));
+
+// Property: steady-state hit ratio of uniform-random traffic over working
+// set W with capacity C approximates min(1, C/W) — the closed form the
+// analytic MRC uses.
+class CacheHitRatioTest : public ::testing::TestWithParam<uint32_t> {};
+
+TEST_P(CacheHitRatioTest, UniformTrafficHitRatioMatchesCapacityFraction) {
+  const uint32_t ways = GetParam();
+  // 64 sets x 4 ways: capacity = ways * 64 lines.
+  LlcGeometry geometry{
+      .total_bytes = 64 * 4 * 64, .num_ways = 4, .line_bytes = 64};
+  WayPartitionedCache cache(geometry, 1);
+  cache.SetMask(0, WayMask::Contiguous(0, ways));
+  const uint64_t working_set_lines = 512;  // 2x the full cache.
+  Rng rng(99);
+  // Warm up, then measure.
+  for (int i = 0; i < 50000; ++i) {
+    cache.Access(0, rng.NextUint64(working_set_lines) * 64);
+  }
+  cache.ResetStats();
+  for (int i = 0; i < 200000; ++i) {
+    cache.Access(0, rng.NextUint64(working_set_lines) * 64);
+  }
+  const double capacity_lines = 64.0 * ways;
+  const double expected_hit = capacity_lines / working_set_lines;
+  const double measured_hit = 1.0 - cache.stats(0).MissRatio();
+  EXPECT_NEAR(measured_hit, expected_hit, 0.05)
+      << "ways=" << ways;
+}
+
+INSTANTIATE_TEST_SUITE_P(WayCounts, CacheHitRatioTest,
+                         ::testing::Values(1, 2, 3, 4));
+
+}  // namespace
+}  // namespace copart

@@ -1,0 +1,63 @@
+#include "common/logging.h"
+
+#include <gtest/gtest.h>
+
+namespace copart {
+namespace {
+
+class LoggingTest : public ::testing::Test {
+ protected:
+  void TearDown() override { SetMinLogSeverity(LogSeverity::kInfo); }
+};
+
+TEST_F(LoggingTest, SeverityFilterRoundTrips) {
+  SetMinLogSeverity(LogSeverity::kError);
+  EXPECT_EQ(MinLogSeverity(), LogSeverity::kError);
+  SetMinLogSeverity(LogSeverity::kDebug);
+  EXPECT_EQ(MinLogSeverity(), LogSeverity::kDebug);
+}
+
+TEST_F(LoggingTest, LogStatementsCompileAndStream) {
+  // Emission goes to stderr; this exercises the statement forms.
+  SetMinLogSeverity(LogSeverity::kFatal);  // Silence everything non-fatal.
+  LOG_DEBUG << "debug " << 1;
+  LOG_INFO << "info " << 2.5;
+  LOG_WARNING << "warning " << "text";
+  LOG_ERROR << "error " << 'c';
+}
+
+TEST_F(LoggingTest, ChecksPassOnTrueConditions) {
+  CHECK(true) << "unused";
+  CHECK_EQ(1, 1);
+  CHECK_NE(1, 2);
+  CHECK_LT(1, 2);
+  CHECK_LE(2, 2);
+  CHECK_GT(3, 2);
+  CHECK_GE(3, 3);
+}
+
+TEST_F(LoggingTest, CheckEvaluatesConditionOnce) {
+  int calls = 0;
+  auto bump = [&]() {
+    ++calls;
+    return true;
+  };
+  CHECK(bump());
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(LoggingDeathTest, CheckFailureAborts) {
+  EXPECT_DEATH(CHECK(false) << "boom", "Check failed: false boom");
+}
+
+TEST(LoggingDeathTest, CheckOpReportsOperands) {
+  const int lhs = 3, rhs = 4;
+  EXPECT_DEATH(CHECK_EQ(lhs, rhs), "lhs=3, rhs=4");
+}
+
+TEST(LoggingDeathTest, FatalLogAborts) {
+  EXPECT_DEATH(LOG_FATAL << "fatal message", "fatal message");
+}
+
+}  // namespace
+}  // namespace copart

@@ -1,0 +1,131 @@
+#include "common/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace copart {
+namespace {
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.NextUint64(), b.NextUint64());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int differences = 0;
+  for (int i = 0; i < 32; ++i) {
+    if (a.NextUint64() != b.NextUint64()) {
+      ++differences;
+    }
+  }
+  EXPECT_GT(differences, 30);
+}
+
+TEST(RngTest, BoundedDrawsStayInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.NextUint64(17), 17u);
+  }
+}
+
+TEST(RngTest, BoundedDrawsCoverRange) {
+  Rng rng(7);
+  std::vector<int> counts(8, 0);
+  for (int i = 0; i < 8000; ++i) {
+    ++counts[rng.NextUint64(8)];
+  }
+  for (int count : counts) {
+    EXPECT_GT(count, 700);  // ~1000 expected per bucket.
+    EXPECT_LT(count, 1300);
+  }
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(11);
+  double sum = 0.0;
+  for (int i = 0; i < 10000; ++i) {
+    const double value = rng.NextDouble();
+    ASSERT_GE(value, 0.0);
+    ASSERT_LT(value, 1.0);
+    sum += value;
+  }
+  EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(RngTest, NextIntInclusiveBounds) {
+  Rng rng(13);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    const int64_t value = rng.NextInt(-3, 3);
+    ASSERT_GE(value, -3);
+    ASSERT_LE(value, 3);
+    saw_lo |= value == -3;
+    saw_hi |= value == 3;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(RngTest, NextBoolRespectsEdgeProbabilities) {
+  Rng rng(17);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.NextBool(0.0));
+    EXPECT_TRUE(rng.NextBool(1.0));
+  }
+}
+
+TEST(RngTest, NextBoolApproximatesProbability) {
+  Rng rng(19);
+  int trues = 0;
+  for (int i = 0; i < 10000; ++i) {
+    trues += rng.NextBool(0.3) ? 1 : 0;
+  }
+  EXPECT_NEAR(trues / 10000.0, 0.3, 0.03);
+}
+
+TEST(RngTest, ExponentialHasRequestedMean) {
+  Rng rng(23);
+  double sum = 0.0;
+  for (int i = 0; i < 20000; ++i) {
+    const double value = rng.NextExponential(4.0);
+    ASSERT_GE(value, 0.0);
+    sum += value;
+  }
+  EXPECT_NEAR(sum / 20000.0, 4.0, 0.2);
+}
+
+TEST(RngTest, GaussianMoments) {
+  Rng rng(29);
+  double sum = 0.0, sq = 0.0;
+  constexpr int kSamples = 20000;
+  for (int i = 0; i < kSamples; ++i) {
+    const double value = rng.NextGaussian();
+    sum += value;
+    sq += value * value;
+  }
+  EXPECT_NEAR(sum / kSamples, 0.0, 0.05);
+  EXPECT_NEAR(sq / kSamples, 1.0, 0.05);
+}
+
+TEST(RngTest, ForkIsIndependentOfParentContinuation) {
+  Rng parent(31);
+  Rng child = parent.Fork();
+  // The child must be deterministic given the parent's seed and draw point.
+  Rng parent2(31);
+  Rng child2 = parent2.Fork();
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_EQ(child.NextUint64(), child2.NextUint64());
+  }
+}
+
+TEST(RngDeathTest, ZeroBoundAborts) {
+  Rng rng(37);
+  EXPECT_DEATH(rng.NextUint64(0), "bound");
+}
+
+}  // namespace
+}  // namespace copart

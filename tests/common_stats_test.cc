@@ -1,0 +1,92 @@
+#include "common/stats.h"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cmath>
+
+namespace copart {
+namespace {
+
+TEST(StatsTest, MeanOfEmptyIsZero) { EXPECT_EQ(Mean({}), 0.0); }
+
+TEST(StatsTest, MeanOfValues) {
+  const std::array<double, 4> values = {1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(Mean(values), 2.5);
+}
+
+TEST(StatsTest, StdDevOfConstantIsZero) {
+  const std::array<double, 3> values = {5.0, 5.0, 5.0};
+  EXPECT_DOUBLE_EQ(StdDev(values), 0.0);
+}
+
+TEST(StatsTest, StdDevPopulation) {
+  const std::array<double, 4> values = {2.0, 4.0, 4.0, 6.0};
+  // mean 4, squared deviations {4,0,0,4}, population variance 2.
+  EXPECT_DOUBLE_EQ(StdDev(values), std::sqrt(2.0));
+}
+
+TEST(StatsTest, StdDevOfSingletonIsZero) {
+  const std::array<double, 1> values = {3.0};
+  EXPECT_EQ(StdDev(values), 0.0);
+}
+
+TEST(StatsTest, GeoMeanOfValues) {
+  const std::array<double, 3> values = {1.0, 10.0, 100.0};
+  EXPECT_NEAR(GeoMean(values), 10.0, 1e-9);
+}
+
+TEST(StatsTest, GeoMeanEmptyIsZero) { EXPECT_EQ(GeoMean({}), 0.0); }
+
+TEST(StatsDeathTest, GeoMeanRejectsNonPositive) {
+  const std::array<double, 2> values = {1.0, 0.0};
+  EXPECT_DEATH(GeoMean(values), "positive");
+}
+
+TEST(StatsTest, PercentileInterpolates) {
+  const std::array<double, 5> values = {10.0, 20.0, 30.0, 40.0, 50.0};
+  EXPECT_DOUBLE_EQ(Percentile(values, 0.0), 10.0);
+  EXPECT_DOUBLE_EQ(Percentile(values, 100.0), 50.0);
+  EXPECT_DOUBLE_EQ(Percentile(values, 50.0), 30.0);
+  EXPECT_DOUBLE_EQ(Percentile(values, 25.0), 20.0);
+  EXPECT_DOUBLE_EQ(Percentile(values, 12.5), 15.0);
+}
+
+TEST(StatsTest, PercentileUnsortedInput) {
+  const std::array<double, 4> values = {40.0, 10.0, 30.0, 20.0};
+  EXPECT_DOUBLE_EQ(Percentile(values, 100.0), 40.0);
+  EXPECT_DOUBLE_EQ(Percentile(values, 0.0), 10.0);
+}
+
+TEST(RunningStatsTest, EmptyDefaults) {
+  RunningStats stats;
+  EXPECT_EQ(stats.count(), 0u);
+  EXPECT_EQ(stats.mean(), 0.0);
+  EXPECT_EQ(stats.stddev(), 0.0);
+  EXPECT_EQ(stats.min(), 0.0);
+  EXPECT_EQ(stats.max(), 0.0);
+}
+
+TEST(RunningStatsTest, MatchesBatchComputation) {
+  const std::array<double, 6> values = {3.0, 1.0, 4.0, 1.0, 5.0, 9.0};
+  RunningStats stats;
+  for (double value : values) {
+    stats.Add(value);
+  }
+  EXPECT_EQ(stats.count(), values.size());
+  EXPECT_NEAR(stats.mean(), Mean(values), 1e-12);
+  EXPECT_NEAR(stats.stddev(), StdDev(values), 1e-12);
+  EXPECT_EQ(stats.min(), 1.0);
+  EXPECT_EQ(stats.max(), 9.0);
+}
+
+TEST(RunningStatsTest, ResetClears) {
+  RunningStats stats;
+  stats.Add(10.0);
+  stats.Reset();
+  EXPECT_EQ(stats.count(), 0u);
+  EXPECT_EQ(stats.mean(), 0.0);
+}
+
+}  // namespace
+}  // namespace copart

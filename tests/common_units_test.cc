@@ -1,0 +1,32 @@
+#include "common/units.h"
+
+#include <gtest/gtest.h>
+
+namespace copart {
+namespace {
+
+TEST(UnitsTest, ByteQuantities) {
+  EXPECT_EQ(KiB(1), 1024u);
+  EXPECT_EQ(MiB(1), 1024u * 1024u);
+  EXPECT_EQ(GiB(1), 1024ULL * 1024u * 1024u);
+  EXPECT_EQ(MiB(22), 22u * 1024u * 1024u);
+  EXPECT_EQ(KiB(0), 0u);
+}
+
+TEST(UnitsTest, DecimalBandwidth) {
+  EXPECT_DOUBLE_EQ(GBps(28.0), 28e9);
+  EXPECT_DOUBLE_EQ(GBps(0.5), 5e8);
+}
+
+TEST(UnitsTest, TimeHelpers) {
+  EXPECT_DOUBLE_EQ(Milliseconds(500), 0.5);
+  EXPECT_DOUBLE_EQ(Microseconds(250), 2.5e-4);
+}
+
+TEST(UnitsTest, ConstexprUsable) {
+  static_assert(MiB(2) == 2097152, "constexpr evaluation");
+  static_assert(KiB(64) == 65536, "constexpr evaluation");
+}
+
+}  // namespace
+}  // namespace copart

@@ -1,0 +1,168 @@
+// Exhaustive transition-relation checks on the classifier FSMs: for every
+// (state x input-grid) combination the machines must respect the global
+// guarantees the resource manager depends on.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/classifiers.h"
+
+namespace copart {
+namespace {
+
+const ResourceClass kStates[] = {ResourceClass::kSupply,
+                                 ResourceClass::kMaintain,
+                                 ResourceClass::kDemand};
+const ResourceEvent kEvents[] = {
+    ResourceEvent::kNone, ResourceEvent::kGainedLlcWay,
+    ResourceEvent::kLostLlcWay, ResourceEvent::kGainedMba,
+    ResourceEvent::kLostMba};
+
+std::vector<ClassifierInput> InputGrid() {
+  std::vector<ClassifierInput> inputs;
+  for (double access_rate : {1e5, 1e7}) {         // Below / above alpha.
+    for (double miss_ratio : {0.005, 0.02, 0.1}) {  // <beta, mid, >Beta.
+      for (double traffic : {0.05, 0.2, 0.5}) {     // <gamma, mid, >Gamma.
+        for (double delta : {-0.2, -0.01, 0.0, 0.01, 0.2}) {
+          for (ResourceEvent event : kEvents) {
+            inputs.push_back({access_rate, miss_ratio, traffic, delta,
+                              event});
+          }
+        }
+      }
+    }
+  }
+  return inputs;
+}
+
+TEST(LlcFsmPropertyTest, CacheUselessWinsUnlessReclaimJustHurt) {
+  const ClassifierParams params;
+  for (ResourceClass initial : kStates) {
+    for (ClassifierInput input : InputGrid()) {
+      if (input.llc_access_rate >= params.llc_access_rate_floor &&
+          input.llc_miss_ratio >= params.llc_miss_ratio_low) {
+        continue;
+      }
+      LlcClassifierFsm fsm(params, initial);
+      const ResourceClass next = fsm.Update(input);
+      if (input.last_event == ResourceEvent::kLostLlcWay &&
+          input.perf_delta <= -params.perf_delta) {
+        // Direct evidence outranks the uselessness heuristic.
+        EXPECT_EQ(next, ResourceClass::kDemand);
+      } else {
+        EXPECT_EQ(next, ResourceClass::kSupply)
+            << ResourceClassName(initial);
+      }
+    }
+  }
+}
+
+TEST(LlcFsmPropertyTest, NoDemotionToSupplyWhileCacheIsUseful) {
+  // A busy, missing app must never be classified as an LLC supplier.
+  const ClassifierParams params;
+  for (ResourceClass initial : {ResourceClass::kMaintain,
+                                ResourceClass::kDemand}) {
+    for (ClassifierInput input : InputGrid()) {
+      if (input.llc_access_rate < params.llc_access_rate_floor ||
+          input.llc_miss_ratio < params.llc_miss_ratio_low) {
+        continue;
+      }
+      LlcClassifierFsm fsm(params, initial);
+      EXPECT_NE(fsm.Update(input), ResourceClass::kSupply)
+          << ResourceClassName(initial) << " delta=" << input.perf_delta;
+      // (Direct-evidence Demand transitions are allowed; Supply is not.)
+    }
+  }
+}
+
+TEST(LlcFsmPropertyTest, TransitionsOnlyOnRelevantEvidence) {
+  // From Demand, the only exits are Supply (cache useless) or Maintain
+  // (a gained way that did not help).
+  const ClassifierParams params;
+  for (ClassifierInput input : InputGrid()) {
+    LlcClassifierFsm fsm(params, ResourceClass::kDemand);
+    const ResourceClass next = fsm.Update(input);
+    if (next == ResourceClass::kMaintain) {
+      EXPECT_EQ(input.last_event, ResourceEvent::kGainedLlcWay);
+      EXPECT_LT(input.perf_delta, params.perf_delta);
+    }
+  }
+}
+
+TEST(LlcFsmPropertyTest, MbaEventsNeverMoveTheLlcFsm) {
+  const ClassifierParams params;
+  for (ResourceClass initial : kStates) {
+    for (ClassifierInput base : InputGrid()) {
+      if (base.last_event != ResourceEvent::kGainedMba &&
+          base.last_event != ResourceEvent::kLostMba) {
+        continue;
+      }
+      ClassifierInput none = base;
+      none.last_event = ResourceEvent::kNone;
+      LlcClassifierFsm with_event(params, initial);
+      LlcClassifierFsm without_event(params, initial);
+      EXPECT_EQ(with_event.Update(base), without_event.Update(none));
+    }
+  }
+}
+
+TEST(MbaFsmPropertyTest, LowTrafficWinsUnlessThrottleJustHurt) {
+  const ClassifierParams params;
+  for (ResourceClass initial : kStates) {
+    for (ClassifierInput input : InputGrid()) {
+      if (input.traffic_ratio >= params.traffic_ratio_low) {
+        continue;
+      }
+      MbaClassifierFsm fsm(params, initial);
+      const ResourceClass next = fsm.Update(input);
+      if (input.last_event == ResourceEvent::kLostMba &&
+          input.perf_delta <= -params.perf_delta) {
+        EXPECT_EQ(next, ResourceClass::kDemand);
+      } else {
+        EXPECT_EQ(next, ResourceClass::kSupply);
+      }
+    }
+  }
+}
+
+TEST(MbaFsmPropertyTest, HighTrafficNeverEndsInSupply) {
+  const ClassifierParams params;
+  for (ResourceClass initial : kStates) {
+    for (ClassifierInput input : InputGrid()) {
+      if (input.traffic_ratio <= params.traffic_ratio_high) {
+        continue;
+      }
+      MbaClassifierFsm fsm(params, initial);
+      EXPECT_NE(fsm.Update(input), ResourceClass::kSupply)
+          << ResourceClassName(initial);
+    }
+  }
+}
+
+TEST(MbaFsmPropertyTest, LlcGainNeverDemotesDemand) {
+  // The §5.3 interaction rule, across the whole input grid.
+  const ClassifierParams params;
+  for (ClassifierInput input : InputGrid()) {
+    if (input.last_event != ResourceEvent::kGainedLlcWay ||
+        input.traffic_ratio < params.traffic_ratio_low) {
+      continue;
+    }
+    MbaClassifierFsm fsm(params, ResourceClass::kDemand);
+    EXPECT_EQ(fsm.Update(input), ResourceClass::kDemand);
+  }
+}
+
+TEST(FsmPropertyTest, DeterministicGivenSameInputs) {
+  const ClassifierParams params;
+  for (ResourceClass initial : kStates) {
+    for (ClassifierInput input : InputGrid()) {
+      LlcClassifierFsm a(params, initial), b(params, initial);
+      EXPECT_EQ(a.Update(input), b.Update(input));
+      MbaClassifierFsm c(params, initial), d(params, initial);
+      EXPECT_EQ(c.Update(input), d.Update(input));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace copart

@@ -1,0 +1,210 @@
+// The LLC and MBA characteristic classifier FSMs (paper Figs. 8-9).
+#include "core/classifiers.h"
+
+#include <gtest/gtest.h>
+
+namespace copart {
+namespace {
+
+ClassifierParams Params() { return ClassifierParams{}; }
+
+// Inputs representing a cache-hungry app: busy, high miss ratio.
+ClassifierInput CacheHungry() {
+  return ClassifierInput{.llc_access_rate = 5e7,
+                         .llc_miss_ratio = 0.20,
+                         .traffic_ratio = 0.5,
+                         .perf_delta = 0.0,
+                         .last_event = ResourceEvent::kNone};
+}
+
+TEST(LlcFsmTest, LowAccessRateAlwaysSupplies) {
+  for (ResourceClass initial :
+       {ResourceClass::kDemand, ResourceClass::kMaintain,
+        ResourceClass::kSupply}) {
+    LlcClassifierFsm fsm(Params(), initial);
+    ClassifierInput input = CacheHungry();
+    input.llc_access_rate = 1e5;  // Below alpha = 1.5e6.
+    EXPECT_EQ(fsm.Update(input), ResourceClass::kSupply)
+        << ResourceClassName(initial);
+  }
+}
+
+TEST(LlcFsmTest, LowMissRatioSupplies) {
+  LlcClassifierFsm fsm(Params(), ResourceClass::kDemand);
+  ClassifierInput input = CacheHungry();
+  input.llc_miss_ratio = 0.005;  // Below beta = 1%.
+  EXPECT_EQ(fsm.Update(input), ResourceClass::kSupply);
+}
+
+TEST(LlcFsmTest, DemandStaysWhenGainKeepsHelping) {
+  LlcClassifierFsm fsm(Params(), ResourceClass::kDemand);
+  ClassifierInput input = CacheHungry();
+  input.last_event = ResourceEvent::kGainedLlcWay;
+  input.perf_delta = 0.10;  // >= deltaP.
+  EXPECT_EQ(fsm.Update(input), ResourceClass::kDemand);
+}
+
+TEST(LlcFsmTest, DemandToMaintainOnMarginalGain) {
+  LlcClassifierFsm fsm(Params(), ResourceClass::kDemand);
+  ClassifierInput input = CacheHungry();
+  input.last_event = ResourceEvent::kGainedLlcWay;
+  input.perf_delta = 0.01;  // < deltaP = 5%.
+  EXPECT_EQ(fsm.Update(input), ResourceClass::kMaintain);
+}
+
+TEST(LlcFsmTest, DemandUnchangedWithoutEvent) {
+  LlcClassifierFsm fsm(Params(), ResourceClass::kDemand);
+  EXPECT_EQ(fsm.Update(CacheHungry()), ResourceClass::kDemand);
+}
+
+TEST(LlcFsmTest, MaintainToDemandOnHighMissRatio) {
+  LlcClassifierFsm fsm(Params(), ResourceClass::kMaintain);
+  ClassifierInput input = CacheHungry();
+  input.llc_miss_ratio = 0.05;  // Above Beta = 3%.
+  EXPECT_EQ(fsm.Update(input), ResourceClass::kDemand);
+}
+
+TEST(LlcFsmTest, MaintainToDemandWhenLossHurts) {
+  LlcClassifierFsm fsm(Params(), ResourceClass::kMaintain);
+  ClassifierInput input = CacheHungry();
+  input.llc_miss_ratio = 0.02;  // Between beta and Beta: no ratio trigger.
+  input.last_event = ResourceEvent::kLostLlcWay;
+  input.perf_delta = -0.10;
+  EXPECT_EQ(fsm.Update(input), ResourceClass::kDemand);
+}
+
+TEST(LlcFsmTest, MaintainHoldsInComfortZone) {
+  LlcClassifierFsm fsm(Params(), ResourceClass::kMaintain);
+  ClassifierInput input = CacheHungry();
+  input.llc_miss_ratio = 0.02;
+  EXPECT_EQ(fsm.Update(input), ResourceClass::kMaintain);
+}
+
+TEST(LlcFsmTest, SupplyToDemandWhenReclaimHurts) {
+  LlcClassifierFsm fsm(Params(), ResourceClass::kSupply);
+  ClassifierInput input = CacheHungry();
+  input.last_event = ResourceEvent::kLostLlcWay;
+  input.perf_delta = -0.12;
+  EXPECT_EQ(fsm.Update(input), ResourceClass::kDemand);
+}
+
+TEST(LlcFsmTest, SupplyToMaintainWhenMissesRise) {
+  LlcClassifierFsm fsm(Params(), ResourceClass::kSupply);
+  ClassifierInput input = CacheHungry();  // Busy and missing a lot.
+  input.llc_miss_ratio = 0.05;
+  EXPECT_EQ(fsm.Update(input), ResourceClass::kMaintain);
+}
+
+TEST(LlcFsmTest, SupplyStableWhenCacheUseless) {
+  LlcClassifierFsm fsm(Params(), ResourceClass::kSupply);
+  ClassifierInput input = CacheHungry();
+  input.llc_miss_ratio = 0.001;
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_EQ(fsm.Update(input), ResourceClass::kSupply);
+  }
+}
+
+TEST(LlcFsmTest, ResetRestoresInitialState) {
+  LlcClassifierFsm fsm(Params(), ResourceClass::kDemand);
+  ClassifierInput input = CacheHungry();
+  input.llc_access_rate = 0.0;
+  fsm.Update(input);
+  EXPECT_EQ(fsm.state(), ResourceClass::kSupply);
+  fsm.Reset(ResourceClass::kMaintain);
+  EXPECT_EQ(fsm.state(), ResourceClass::kMaintain);
+}
+
+// --- MBA FSM ---
+
+ClassifierInput BwHungry() {
+  return ClassifierInput{.llc_access_rate = 1e8,
+                         .llc_miss_ratio = 0.5,
+                         .traffic_ratio = 0.6,
+                         .perf_delta = 0.0,
+                         .last_event = ResourceEvent::kNone};
+}
+
+TEST(MbaFsmTest, LowTrafficAlwaysSupplies) {
+  for (ResourceClass initial :
+       {ResourceClass::kDemand, ResourceClass::kMaintain,
+        ResourceClass::kSupply}) {
+    MbaClassifierFsm fsm(Params(), initial);
+    ClassifierInput input = BwHungry();
+    input.traffic_ratio = 0.05;  // Below gamma = 10%.
+    EXPECT_EQ(fsm.Update(input), ResourceClass::kSupply)
+        << ResourceClassName(initial);
+  }
+}
+
+TEST(MbaFsmTest, DemandToMaintainOnMarginalMbaGain) {
+  MbaClassifierFsm fsm(Params(), ResourceClass::kDemand);
+  ClassifierInput input = BwHungry();
+  input.last_event = ResourceEvent::kGainedMba;
+  input.perf_delta = 0.01;
+  EXPECT_EQ(fsm.Update(input), ResourceClass::kMaintain);
+}
+
+TEST(MbaFsmTest, DemandStaysOnMarginalLlcGain) {
+  // The paper's §5.3 design note: a small gain from an LLC way must NOT
+  // demote the MBA demand.
+  MbaClassifierFsm fsm(Params(), ResourceClass::kDemand);
+  ClassifierInput input = BwHungry();
+  input.last_event = ResourceEvent::kGainedLlcWay;
+  input.perf_delta = 0.01;
+  EXPECT_EQ(fsm.Update(input), ResourceClass::kDemand);
+}
+
+TEST(MbaFsmTest, DemandStaysWhenMbaKeepsHelping) {
+  MbaClassifierFsm fsm(Params(), ResourceClass::kDemand);
+  ClassifierInput input = BwHungry();
+  input.last_event = ResourceEvent::kGainedMba;
+  input.perf_delta = 0.2;
+  EXPECT_EQ(fsm.Update(input), ResourceClass::kDemand);
+}
+
+TEST(MbaFsmTest, MaintainToDemandOnHighTraffic) {
+  MbaClassifierFsm fsm(Params(), ResourceClass::kMaintain);
+  ClassifierInput input = BwHungry();
+  input.traffic_ratio = 0.4;  // Above Gamma = 30%.
+  EXPECT_EQ(fsm.Update(input), ResourceClass::kDemand);
+}
+
+TEST(MbaFsmTest, MaintainToDemandWhenThrottleHurts) {
+  MbaClassifierFsm fsm(Params(), ResourceClass::kMaintain);
+  ClassifierInput input = BwHungry();
+  input.traffic_ratio = 0.2;  // Between gamma and Gamma.
+  input.last_event = ResourceEvent::kLostMba;
+  input.perf_delta = -0.2;
+  EXPECT_EQ(fsm.Update(input), ResourceClass::kDemand);
+}
+
+TEST(MbaFsmTest, MaintainHoldsInComfortZone) {
+  MbaClassifierFsm fsm(Params(), ResourceClass::kMaintain);
+  ClassifierInput input = BwHungry();
+  input.traffic_ratio = 0.2;
+  EXPECT_EQ(fsm.Update(input), ResourceClass::kMaintain);
+}
+
+TEST(MbaFsmTest, SupplyToDemandWhenReclaimHurts) {
+  MbaClassifierFsm fsm(Params(), ResourceClass::kSupply);
+  ClassifierInput input = BwHungry();
+  input.last_event = ResourceEvent::kLostMba;
+  input.perf_delta = -0.1;
+  EXPECT_EQ(fsm.Update(input), ResourceClass::kDemand);
+}
+
+TEST(MbaFsmTest, SupplyToMaintainOnHighTraffic) {
+  MbaClassifierFsm fsm(Params(), ResourceClass::kSupply);
+  ClassifierInput input = BwHungry();
+  input.traffic_ratio = 0.5;
+  EXPECT_EQ(fsm.Update(input), ResourceClass::kMaintain);
+}
+
+TEST(ClassifierParamsTest, ResourceClassNames) {
+  EXPECT_STREQ(ResourceClassName(ResourceClass::kSupply), "Supply");
+  EXPECT_STREQ(ResourceClassName(ResourceClass::kMaintain), "Maintain");
+  EXPECT_STREQ(ResourceClassName(ResourceClass::kDemand), "Demand");
+}
+
+}  // namespace
+}  // namespace copart

@@ -1,0 +1,108 @@
+// The dCat-style dynamic LLC baseline.
+#include "core/dcat_policy.h"
+
+#include <gtest/gtest.h>
+
+#include "harness/experiment.h"
+#include "harness/mix.h"
+
+namespace copart {
+namespace {
+
+class DcatTest : public ::testing::Test {
+ protected:
+  DcatTest() : machine_(MakeConfig()), resctrl_(&machine_),
+               monitor_(&machine_) {}
+
+  static MachineConfig MakeConfig() {
+    MachineConfig config;
+    config.ips_noise_sigma = 0.005;
+    return config;
+  }
+
+  static ResourcePool FullPool() {
+    return ResourcePool{.first_way = 0, .num_ways = 11,
+                        .max_mba_percent = 100};
+  }
+
+  SimulatedMachine machine_;
+  Resctrl resctrl_;
+  PerfMonitor monitor_;
+};
+
+TEST_F(DcatTest, StartsFromEqualSplitWithFrozenMba) {
+  std::vector<AppId> apps;
+  for (const WorkloadDescriptor& descriptor :
+       {WaterNsquared(), Cg(), Swaptions(), Ep()}) {
+    apps.push_back(*machine_.LaunchApp(descriptor, 4));
+  }
+  DcatPolicy policy(&resctrl_, &monitor_, apps, FullPool());
+  EXPECT_EQ(policy.name(), "dCat");
+  policy.Start();
+  const SystemState& state = policy.current_state();
+  EXPECT_EQ(state.allocation(0).llc_ways, 3u);
+  EXPECT_EQ(state.allocation(3).llc_ways, 2u);
+  for (size_t i = 0; i < apps.size(); ++i) {
+    EXPECT_EQ(state.allocation(i).mba_level.percent(), 30u);
+  }
+}
+
+TEST_F(DcatTest, GrowsTheCacheHungryAppOverTime) {
+  std::vector<AppId> apps;
+  for (const WorkloadDescriptor& descriptor :
+       {WaterNsquared(), Swaptions()}) {
+    apps.push_back(*machine_.LaunchApp(descriptor, 4));
+  }
+  DcatPolicy policy(&resctrl_, &monitor_, apps, FullPool());
+  policy.Start();
+  for (int i = 0; i < 100; ++i) {
+    machine_.AdvanceTime(0.5);
+    policy.Tick();
+  }
+  const SystemState& state = policy.current_state();
+  EXPECT_TRUE(state.Valid());
+  // WN (needs 4 ways) ends with more cache than the insensitive app.
+  EXPECT_GT(state.allocation(0).llc_ways, state.allocation(1).llc_ways);
+  EXPECT_GE(state.allocation(0).llc_ways, 4u);
+  // MBA never moved.
+  EXPECT_EQ(state.allocation(0).mba_level.percent(), 50u);
+}
+
+TEST_F(DcatTest, StateStaysValidUnderLongRuns) {
+  std::vector<AppId> apps;
+  for (const WorkloadDescriptor& descriptor :
+       {Sp(), OceanNcp(), Fmm(), Swaptions()}) {
+    apps.push_back(*machine_.LaunchApp(descriptor, 4));
+  }
+  DcatPolicy policy(&resctrl_, &monitor_, apps, FullPool());
+  policy.Start();
+  for (int i = 0; i < 300; ++i) {
+    machine_.AdvanceTime(0.5);
+    policy.Tick();
+    ASSERT_TRUE(policy.current_state().Valid());
+    uint32_t total = 0;
+    for (size_t a = 0; a < apps.size(); ++a) {
+      total += policy.current_state().allocation(a).llc_ways;
+      ASSERT_GE(policy.current_state().allocation(a).llc_ways, 1u);
+    }
+    ASSERT_EQ(total, 11u);
+  }
+}
+
+TEST(DcatExperimentTest, BeatsEqOnLlcMixButTrailsCoPartOnCoordination) {
+  // As an LLC-only feedback policy, dCat should recover much of the H-LLC
+  // unfairness but cannot address the BW-heavy mixes CoPart coordinates.
+  const WorkloadMix llc_mix = MakeMix(MixFamily::kHighLlc, 4);
+  const ExperimentResult dcat = RunExperiment(llc_mix, DcatFactory(), {});
+  const ExperimentResult eq = RunExperiment(llc_mix, EqFactory(), {});
+  EXPECT_LT(dcat.unfairness, eq.unfairness * 0.8) << "H-LLC";
+
+  const WorkloadMix bw_mix = MakeMix(MixFamily::kHighBw, 4);
+  const ExperimentResult dcat_bw = RunExperiment(bw_mix, DcatFactory(), {});
+  const ExperimentResult copart_bw =
+      RunExperiment(bw_mix, CoPartFactory(), {});
+  EXPECT_GT(dcat_bw.unfairness, copart_bw.unfairness) << "H-BW";
+}
+
+}  // namespace
+}  // namespace copart

@@ -1,0 +1,90 @@
+// Robustness fuzzing of the resource manager: random interleavings of app
+// launches, removals, pool changes and control ticks must never violate the
+// controller's invariants (valid states inside the pool, resctrl schemata
+// in sync, no crashes).
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "core/resource_manager.h"
+#include "pmc/perf_monitor.h"
+#include "resctrl/resctrl.h"
+#include "workload/workload.h"
+
+namespace copart {
+namespace {
+
+class ManagerFuzzTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ManagerFuzzTest, RandomLifecycleSequencesKeepInvariants) {
+  Rng rng(GetParam());
+  MachineConfig config;
+  config.ips_noise_sigma = 0.01;
+  SimulatedMachine machine(config);
+  Resctrl resctrl(&machine);
+  PerfMonitor monitor(&machine);
+  ResourceManagerParams params;
+  params.seed = GetParam();
+  ResourceManager manager(&resctrl, &monitor, params);
+
+  const std::vector<WorkloadDescriptor> registry = AllTable2Benchmarks();
+  std::vector<AppId> managed;
+
+  auto check_invariants = [&]() {
+    if (manager.NumApps() == 0) {
+      return;
+    }
+    const SystemState& state = manager.current_state();
+    ASSERT_TRUE(state.Valid()) << state.ToString();
+    ASSERT_EQ(state.NumApps(), managed.size());
+    const ResourcePool& pool = manager.pool();
+    uint64_t pool_bits = ((1ULL << pool.num_ways) - 1) << pool.first_way;
+    for (size_t i = 0; i < managed.size(); ++i) {
+      // During profiling the manager applies probe masks that legitimately
+      // differ from the system state; outside profiling they must match.
+      if (manager.phase() != ResourceManager::Phase::kProfiling) {
+        EXPECT_EQ(machine.ClosWayMask(machine.AppClos(managed[i])).bits(),
+                  state.WayMaskBits(i));
+        EXPECT_EQ(state.WayMaskBits(i) & ~pool_bits, 0u)
+            << "state uses ways outside the pool";
+      }
+      EXPECT_GE(manager.SlowdownEstimate(managed[i]), 1.0);
+    }
+  };
+
+  for (int step = 0; step < 400; ++step) {
+    const uint64_t action = rng.NextUint64(100);
+    if (action < 6 && managed.size() < 5 && machine.FreeCores() >= 2) {
+      Result<AppId> app = machine.LaunchApp(
+          registry[rng.NextUint64(registry.size())], 2);
+      ASSERT_TRUE(app.ok());
+      ASSERT_TRUE(manager.AddApp(*app).ok());
+      managed.push_back(*app);
+    } else if (action < 9 && managed.size() > 1) {
+      const size_t victim = rng.NextUint64(managed.size());
+      ASSERT_TRUE(manager.RemoveApp(managed[victim]).ok());
+      ASSERT_TRUE(machine.TerminateApp(managed[victim]).ok());
+      managed.erase(managed.begin() + static_cast<ptrdiff_t>(victim));
+    } else if (action < 12 && managed.size() >= 1) {
+      // Random pool resize that still fits every managed app.
+      const uint32_t num_ways =
+          std::max<uint32_t>(static_cast<uint32_t>(managed.size()),
+                             5 + static_cast<uint32_t>(rng.NextUint64(7)));
+      const uint32_t first =
+          static_cast<uint32_t>(rng.NextUint64(11 - num_ways + 1));
+      const uint32_t ceiling =
+          50 + 10 * static_cast<uint32_t>(rng.NextUint64(6));
+      manager.SetResourcePool({first, num_ways, ceiling});
+    } else {
+      machine.AdvanceTime(0.5);
+      manager.Tick();
+    }
+    check_invariants();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ManagerFuzzTest,
+                         ::testing::Values(1001, 2002, 3003, 4004, 5005,
+                                           6006));
+
+}  // namespace
+}  // namespace copart

@@ -1,0 +1,193 @@
+// The CoPart resource manager: phase machine, profiling, exploration
+// convergence, idle-phase change detection (paper §5.4).
+#include "core/resource_manager.h"
+
+#include <gtest/gtest.h>
+
+#include "harness/mix.h"
+#include "workload/workload.h"
+
+namespace copart {
+namespace {
+
+class ResourceManagerTest : public ::testing::Test {
+ protected:
+  ResourceManagerTest()
+      : machine_(MakeConfig()), resctrl_(&machine_), monitor_(&machine_) {}
+
+  static MachineConfig MakeConfig() {
+    MachineConfig config;
+    config.ips_noise_sigma = 0.005;
+    return config;
+  }
+
+  AppId Launch(const WorkloadDescriptor& descriptor, uint32_t cores = 4) {
+    Result<AppId> app = machine_.LaunchApp(descriptor, cores);
+    CHECK(app.ok());
+    return *app;
+  }
+
+  // Drives `manager` for `periods` control periods.
+  void Run(ResourceManager& manager, int periods) {
+    for (int i = 0; i < periods; ++i) {
+      machine_.AdvanceTime(manager_params_.control_period_sec);
+      manager.Tick();
+    }
+  }
+
+  ResourceManagerParams manager_params_;
+  SimulatedMachine machine_;
+  Resctrl resctrl_;
+  PerfMonitor monitor_;
+};
+
+TEST_F(ResourceManagerTest, AddAppStartsProfiling) {
+  ResourceManager manager(&resctrl_, &monitor_, manager_params_);
+  EXPECT_EQ(manager.phase(), ResourceManager::Phase::kIdle);
+  ASSERT_TRUE(manager.AddApp(Launch(WaterNsquared())).ok());
+  EXPECT_EQ(manager.phase(), ResourceManager::Phase::kProfiling);
+  EXPECT_EQ(manager.NumApps(), 1u);
+}
+
+TEST_F(ResourceManagerTest, RejectsUnknownAndDuplicateApps) {
+  ResourceManager manager(&resctrl_, &monitor_, manager_params_);
+  EXPECT_EQ(manager.AddApp(AppId(123)).code(), StatusCode::kNotFound);
+  const AppId app = Launch(Swaptions());
+  ASSERT_TRUE(manager.AddApp(app).ok());
+  EXPECT_EQ(manager.AddApp(app).code(), StatusCode::kAlreadyExists);
+}
+
+TEST_F(ResourceManagerTest, ProfilingTakesThreeProbesPerApp) {
+  ResourceManager manager(&resctrl_, &monitor_, manager_params_);
+  ASSERT_TRUE(manager.AddApp(Launch(WaterNsquared())).ok());
+  ASSERT_TRUE(manager.AddApp(Launch(Cg())).ok());
+  // AddApp restarts profiling; 2 apps x 3 probes = 6 periods.
+  Run(manager, 5);
+  EXPECT_EQ(manager.phase(), ResourceManager::Phase::kProfiling);
+  Run(manager, 1);
+  EXPECT_EQ(manager.phase(), ResourceManager::Phase::kExploration);
+}
+
+TEST_F(ResourceManagerTest, ExplorationConvergesToIdle) {
+  ResourceManager manager(&resctrl_, &monitor_, manager_params_);
+  ASSERT_TRUE(manager.AddApp(Launch(WaterNsquared())).ok());
+  ASSERT_TRUE(manager.AddApp(Launch(Cg())).ok());
+  ASSERT_TRUE(manager.AddApp(Launch(Swaptions())).ok());
+  Run(manager, 120);
+  EXPECT_EQ(manager.phase(), ResourceManager::Phase::kIdle);
+  EXPECT_TRUE(manager.current_state().Valid());
+}
+
+TEST_F(ResourceManagerTest, ConvergedStateFavorsTheSensitiveApps) {
+  ResourceManager manager(&resctrl_, &monitor_, manager_params_);
+  const AppId wn = Launch(WaterNsquared());
+  const AppId cg = Launch(Cg());
+  const AppId sw = Launch(Swaptions());
+  ASSERT_TRUE(manager.AddApp(wn).ok());
+  ASSERT_TRUE(manager.AddApp(cg).ok());
+  ASSERT_TRUE(manager.AddApp(sw).ok());
+  Run(manager, 120);
+  const SystemState& state = manager.current_state();
+  // WN (cache-hungry) ends with more ways than SW (insensitive), which is
+  // index 2 in registration order.
+  EXPECT_GT(state.allocation(0).llc_ways, state.allocation(2).llc_ways);
+  // CG keeps a high MBA level (it demands bandwidth).
+  EXPECT_GE(state.allocation(1).mba_level.percent(), 70u);
+}
+
+TEST_F(ResourceManagerTest, AppliedStateMatchesResctrlSchemata) {
+  ResourceManager manager(&resctrl_, &monitor_, manager_params_);
+  const AppId wn = Launch(WaterNsquared());
+  const AppId sw = Launch(Swaptions());
+  ASSERT_TRUE(manager.AddApp(wn).ok());
+  ASSERT_TRUE(manager.AddApp(sw).ok());
+  Run(manager, 80);
+  const SystemState& state = manager.current_state();
+  EXPECT_EQ(machine_.ClosWayMask(machine_.AppClos(wn)).bits(),
+            state.WayMaskBits(0));
+  EXPECT_EQ(machine_.ClosWayMask(machine_.AppClos(sw)).bits(),
+            state.WayMaskBits(1));
+  EXPECT_EQ(machine_.ClosMbaLevel(machine_.AppClos(wn)),
+            state.allocation(0).mba_level);
+}
+
+TEST_F(ResourceManagerTest, SlowdownEstimatesTrackProfiledReference) {
+  ResourceManager manager(&resctrl_, &monitor_, manager_params_);
+  const AppId wn = Launch(WaterNsquared());
+  const AppId sw = Launch(Swaptions());
+  ASSERT_TRUE(manager.AddApp(wn).ok());
+  ASSERT_TRUE(manager.AddApp(sw).ok());
+  Run(manager, 80);
+  EXPECT_GE(manager.SlowdownEstimate(wn), 1.0);
+  // The insensitive app runs at full speed regardless of allocation.
+  EXPECT_NEAR(manager.SlowdownEstimate(sw), 1.0, 0.05);
+}
+
+TEST_F(ResourceManagerTest, PoolChangeTriggersReAdaptation) {
+  ResourceManager manager(&resctrl_, &monitor_, manager_params_);
+  ASSERT_TRUE(manager.AddApp(Launch(WaterNsquared())).ok());
+  ASSERT_TRUE(manager.AddApp(Launch(Cg())).ok());
+  Run(manager, 120);
+  ASSERT_EQ(manager.phase(), ResourceManager::Phase::kIdle);
+  const uint64_t adaptations = manager.adaptations_started();
+  manager.SetResourcePool(
+      ResourcePool{.first_way = 4, .num_ways = 7, .max_mba_percent = 50});
+  EXPECT_EQ(manager.phase(), ResourceManager::Phase::kProfiling);
+  EXPECT_EQ(manager.adaptations_started(), adaptations + 1);
+  Run(manager, 120);
+  EXPECT_EQ(manager.phase(), ResourceManager::Phase::kIdle);
+  // The converged state must live inside the new pool.
+  const SystemState& state = manager.current_state();
+  EXPECT_EQ(state.pool().first_way, 4u);
+  uint32_t total = 0;
+  for (size_t i = 0; i < state.NumApps(); ++i) {
+    total += state.allocation(i).llc_ways;
+    EXPECT_LE(state.allocation(i).mba_level.percent(), 50u);
+    EXPECT_EQ(state.WayMaskBits(i) & 0xF, 0u) << "uses ways outside pool";
+  }
+  EXPECT_EQ(total, 7u);
+}
+
+TEST_F(ResourceManagerTest, TerminationDetectedInIdle) {
+  ResourceManager manager(&resctrl_, &monitor_, manager_params_);
+  const AppId wn = Launch(WaterNsquared());
+  const AppId cg = Launch(Cg());
+  const AppId sw = Launch(Swaptions());
+  ASSERT_TRUE(manager.AddApp(wn).ok());
+  ASSERT_TRUE(manager.AddApp(cg).ok());
+  ASSERT_TRUE(manager.AddApp(sw).ok());
+  Run(manager, 120);
+  ASSERT_EQ(manager.phase(), ResourceManager::Phase::kIdle);
+  // The workload terminates; the manager must notice and re-adapt for the
+  // remaining two apps.
+  ASSERT_TRUE(manager.RemoveApp(sw).ok());
+  ASSERT_TRUE(machine_.TerminateApp(sw).ok());
+  EXPECT_EQ(manager.phase(), ResourceManager::Phase::kProfiling);
+  Run(manager, 120);
+  EXPECT_EQ(manager.phase(), ResourceManager::Phase::kIdle);
+  EXPECT_EQ(manager.current_state().NumApps(), 2u);
+}
+
+TEST_F(ResourceManagerTest, ExplorationOverheadIsMicroseconds) {
+  ResourceManager manager(&resctrl_, &monitor_, manager_params_);
+  ASSERT_TRUE(manager.AddApp(Launch(Sp())).ok());
+  ASSERT_TRUE(manager.AddApp(Launch(OceanNcp())).ok());
+  ASSERT_TRUE(manager.AddApp(Launch(Fmm())).ok());
+  ASSERT_TRUE(manager.AddApp(Launch(Swaptions())).ok());
+  Run(manager, 60);
+  ASSERT_GT(manager.exploration_time_stats().count(), 0u);
+  EXPECT_LT(manager.exploration_time_stats().mean(), 1000.0);
+}
+
+TEST_F(ResourceManagerTest, PhaseNames) {
+  EXPECT_STREQ(ResourceManager::PhaseName(ResourceManager::Phase::kProfiling),
+               "profiling");
+  EXPECT_STREQ(
+      ResourceManager::PhaseName(ResourceManager::Phase::kExploration),
+      "exploration");
+  EXPECT_STREQ(ResourceManager::PhaseName(ResourceManager::Phase::kIdle),
+               "idle");
+}
+
+}  // namespace
+}  // namespace copart

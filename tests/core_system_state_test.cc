@@ -1,0 +1,160 @@
+// Resource allocation states: equal shares, invariants, neighbor moves,
+// way-mask packing.
+#include "core/system_state.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace copart {
+namespace {
+
+ResourcePool FullPool() {
+  return ResourcePool{.first_way = 0, .num_ways = 11, .max_mba_percent = 100};
+}
+
+TEST(SystemStateTest, EqualShareDistributesRemainderToEarlierApps) {
+  const SystemState state = SystemState::EqualShare(FullPool(), 4);
+  EXPECT_EQ(state.allocation(0).llc_ways, 3u);
+  EXPECT_EQ(state.allocation(1).llc_ways, 3u);
+  EXPECT_EQ(state.allocation(2).llc_ways, 3u);
+  EXPECT_EQ(state.allocation(3).llc_ways, 2u);
+  for (size_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(state.allocation(i).mba_level.percent(), 100u);
+  }
+  EXPECT_TRUE(state.Valid());
+}
+
+TEST(SystemStateTest, EqualShareThrottledDividesMba) {
+  EXPECT_EQ(SystemState::EqualShareThrottled(FullPool(), 4)
+                .allocation(0)
+                .mba_level.percent(),
+            30u);  // round10(100/4 = 25) = 30.
+  EXPECT_EQ(SystemState::EqualShareThrottled(FullPool(), 5)
+                .allocation(0)
+                .mba_level.percent(),
+            20u);
+  EXPECT_EQ(SystemState::EqualShareThrottled(FullPool(), 10)
+                .allocation(0)
+                .mba_level.percent(),
+            10u);
+  // Never below the hardware floor.
+  EXPECT_EQ(SystemState::EqualShareThrottled(FullPool(), 11)
+                .allocation(0)
+                .mba_level.percent(),
+            10u);
+}
+
+TEST(SystemStateTest, EqualShareRespectsPoolCeiling) {
+  const ResourcePool pool{.first_way = 3, .num_ways = 8,
+                          .max_mba_percent = 50};
+  const SystemState state = SystemState::EqualShare(pool, 2);
+  EXPECT_EQ(state.allocation(0).llc_ways, 4u);
+  EXPECT_EQ(state.allocation(0).mba_level.percent(), 50u);
+  EXPECT_TRUE(state.Valid());
+}
+
+TEST(SystemStateDeathTest, MoreAppsThanWaysAborts) {
+  const ResourcePool pool{.first_way = 0, .num_ways = 3,
+                          .max_mba_percent = 100};
+  EXPECT_DEATH(SystemState::EqualShare(pool, 4), "fewer ways");
+}
+
+TEST(SystemStateTest, ValidityChecks) {
+  SystemState state = SystemState::EqualShare(FullPool(), 4);
+  EXPECT_TRUE(state.Valid());
+  // Way total must match the pool.
+  ++state.allocation(0).llc_ways;
+  EXPECT_FALSE(state.Valid());
+  --state.allocation(0).llc_ways;
+  // MBA above the ceiling is invalid.
+  const ResourcePool capped{.first_way = 0, .num_ways = 11,
+                            .max_mba_percent = 40};
+  SystemState capped_state = SystemState::EqualShare(capped, 2);
+  EXPECT_TRUE(capped_state.Valid());
+  capped_state.allocation(0).mba_level = MbaLevel::FromPercentChecked(50);
+  EXPECT_FALSE(capped_state.Valid());
+}
+
+TEST(SystemStateTest, WayMaskBitsPackContiguously) {
+  const SystemState state = SystemState::EqualShare(FullPool(), 4);
+  // (3,3,3,2): masks 0x007, 0x038, 0x1c0, 0x600.
+  EXPECT_EQ(state.WayMaskBits(0), 0x007u);
+  EXPECT_EQ(state.WayMaskBits(1), 0x038u);
+  EXPECT_EQ(state.WayMaskBits(2), 0x1c0u);
+  EXPECT_EQ(state.WayMaskBits(3), 0x600u);
+}
+
+TEST(SystemStateTest, WayMaskBitsHonorPoolOffset) {
+  const ResourcePool pool{.first_way = 4, .num_ways = 6,
+                          .max_mba_percent = 100};
+  const SystemState state = SystemState::EqualShare(pool, 2);
+  EXPECT_EQ(state.WayMaskBits(0), 0x070u);  // Ways 4-6.
+  EXPECT_EQ(state.WayMaskBits(1), 0x380u);  // Ways 7-9.
+}
+
+TEST(SystemStateTest, ToStringReadable) {
+  const SystemState state = SystemState::EqualShare(FullPool(), 2);
+  EXPECT_EQ(state.ToString(), "{(6w,100%), (5w,100%)}");
+}
+
+// Property: RandomNeighbor always returns a valid state at most one move
+// away, and respects the move gates.
+class NeighborTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(NeighborTest, NeighborsAreValidSingleMoves) {
+  Rng rng(GetParam());
+  SystemState state = SystemState::EqualShareThrottled(FullPool(), 4);
+  for (int step = 0; step < 300; ++step) {
+    const SystemState next = state.RandomNeighbor(rng, true, true);
+    ASSERT_TRUE(next.Valid()) << next.ToString();
+    // Count elementary differences.
+    int way_moves = 0, mba_moves = 0;
+    for (size_t i = 0; i < 4; ++i) {
+      way_moves += std::abs(static_cast<int>(next.allocation(i).llc_ways) -
+                            static_cast<int>(state.allocation(i).llc_ways));
+      mba_moves +=
+          std::abs(static_cast<int>(next.allocation(i).mba_level.percent()) -
+                   static_cast<int>(state.allocation(i).mba_level.percent())) /
+          10;
+    }
+    EXPECT_TRUE((way_moves == 2 && mba_moves == 0) ||
+                (way_moves == 0 && mba_moves == 1))
+        << state.ToString() << " -> " << next.ToString();
+    state = next;
+  }
+}
+
+TEST_P(NeighborTest, GatesRestrictMoveTypes) {
+  Rng rng(GetParam());
+  const SystemState state = SystemState::EqualShareThrottled(FullPool(), 4);
+  for (int step = 0; step < 50; ++step) {
+    const SystemState llc_only = state.RandomNeighbor(rng, true, false);
+    for (size_t i = 0; i < 4; ++i) {
+      EXPECT_EQ(llc_only.allocation(i).mba_level,
+                state.allocation(i).mba_level);
+    }
+    const SystemState mba_only = state.RandomNeighbor(rng, false, true);
+    for (size_t i = 0; i < 4; ++i) {
+      EXPECT_EQ(mba_only.allocation(i).llc_ways,
+                state.allocation(i).llc_ways);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, NeighborTest,
+                         ::testing::Values(1, 7, 99, 12345));
+
+TEST(NeighborEdgeTest, NoMovesPossibleReturnsSameState) {
+  const SystemState state = SystemState::EqualShare(FullPool(), 2);
+  Rng rng(5);
+  EXPECT_EQ(state.RandomNeighbor(rng, false, false), state);
+  // Single app with 1-way pool at MBA floor: nothing can move.
+  const ResourcePool tiny{.first_way = 0, .num_ways = 1,
+                          .max_mba_percent = 10};
+  const SystemState pinned = SystemState::EqualShare(tiny, 1);
+  EXPECT_EQ(pinned.RandomNeighbor(rng, true, true), pinned);
+}
+
+}  // namespace
+}  // namespace copart

@@ -1,0 +1,108 @@
+// The ResourceManager's telemetry observer: record contents, cadence, and
+// consistency with the controller's public state.
+#include <gtest/gtest.h>
+
+#include "core/resource_manager.h"
+#include "pmc/perf_monitor.h"
+#include "resctrl/resctrl.h"
+#include "workload/workload.h"
+
+namespace copart {
+namespace {
+
+class TelemetryTest : public ::testing::Test {
+ protected:
+  TelemetryTest() : machine_(MakeConfig()), resctrl_(&machine_),
+                    monitor_(&machine_), manager_(&resctrl_, &monitor_, {}) {}
+
+  static MachineConfig MakeConfig() {
+    MachineConfig config;
+    config.ips_noise_sigma = 0.005;
+    return config;
+  }
+
+  void AddApps() {
+    for (const WorkloadDescriptor& descriptor :
+         {WaterNsquared(), Cg(), Swaptions()}) {
+      Result<AppId> app = machine_.LaunchApp(descriptor, 4);
+      CHECK(app.ok());
+      CHECK(manager_.AddApp(*app).ok());
+    }
+  }
+
+  void Run(int periods) {
+    for (int i = 0; i < periods; ++i) {
+      machine_.AdvanceTime(0.5);
+      manager_.Tick();
+    }
+  }
+
+  SimulatedMachine machine_;
+  Resctrl resctrl_;
+  PerfMonitor monitor_;
+  ResourceManager manager_;
+};
+
+TEST_F(TelemetryTest, RecordsEveryExplorationTick) {
+  std::vector<ManagerTickRecord> records;
+  manager_.SetObserver(
+      [&](const ManagerTickRecord& record) { records.push_back(record); });
+  AddApps();
+  Run(120);
+  ASSERT_FALSE(records.empty());
+  // Records carry one entry per app and a valid state.
+  for (const ManagerTickRecord& record : records) {
+    EXPECT_EQ(record.slowdown_estimates.size(), 3u);
+    EXPECT_EQ(record.llc_classes.size(), 3u);
+    EXPECT_EQ(record.mba_classes.size(), 3u);
+    EXPECT_TRUE(record.state.Valid());
+    EXPECT_GT(record.time, 0.0);
+    EXPECT_GE(record.exploration_us, 0.0);
+    for (double slowdown : record.slowdown_estimates) {
+      EXPECT_GE(slowdown, 1.0);
+    }
+  }
+  // Timestamps strictly increase.
+  for (size_t i = 1; i < records.size(); ++i) {
+    EXPECT_GT(records[i].time, records[i - 1].time);
+  }
+  // Algorithm 1 ends after theta unproductive neighbor steps, so neighbor
+  // perturbations must appear near the end of the exploration.
+  int neighbors = 0;
+  for (const ManagerTickRecord& record : records) {
+    neighbors += record.used_neighbor_state ? 1 : 0;
+  }
+  EXPECT_GE(neighbors, 1);
+}
+
+TEST_F(TelemetryTest, NoRecordsDuringProfilingOrIdle) {
+  std::vector<double> record_times;
+  manager_.SetObserver([&](const ManagerTickRecord& record) {
+    record_times.push_back(record.time);
+  });
+  AddApps();
+  // Profiling: 3 apps x 3 probes = 9 periods with no exploration records.
+  Run(9);
+  EXPECT_TRUE(record_times.empty());
+  // Run to convergence; once idle, no further records arrive.
+  Run(150);
+  ASSERT_EQ(manager_.phase(), ResourceManager::Phase::kIdle);
+  const size_t after_convergence = record_times.size();
+  Run(20);
+  EXPECT_EQ(record_times.size(), after_convergence);
+}
+
+TEST_F(TelemetryTest, ObserverCanBeCleared) {
+  int calls = 0;
+  manager_.SetObserver([&](const ManagerTickRecord&) { ++calls; });
+  AddApps();
+  Run(12);
+  const int before = calls;
+  EXPECT_GT(before, 0);
+  manager_.SetObserver(nullptr);
+  Run(12);
+  EXPECT_EQ(calls, before);
+}
+
+}  // namespace
+}  // namespace copart

@@ -1,0 +1,80 @@
+#include "harness/csv_writer.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace copart {
+namespace {
+
+std::string ReadFile(const std::string& path) {
+  std::ifstream stream(path);
+  std::ostringstream content;
+  content << stream.rdbuf();
+  return content.str();
+}
+
+std::string TempPath(const std::string& name) {
+  return std::string(::testing::TempDir()) + "/" + name;
+}
+
+TEST(CsvEscapeTest, PlainFieldsPassThrough) {
+  EXPECT_EQ(CsvEscape("abc"), "abc");
+  EXPECT_EQ(CsvEscape("1.5"), "1.5");
+  EXPECT_EQ(CsvEscape(""), "");
+}
+
+TEST(CsvEscapeTest, QuotesSpecialFields) {
+  EXPECT_EQ(CsvEscape("a,b"), "\"a,b\"");
+  EXPECT_EQ(CsvEscape("say \"hi\""), "\"say \"\"hi\"\"\"");
+  EXPECT_EQ(CsvEscape("line\nbreak"), "\"line\nbreak\"");
+}
+
+TEST(CsvWriterTest, WritesRows) {
+  const std::string path = TempPath("basic.csv");
+  {
+    CsvWriter writer(path);
+    ASSERT_TRUE(writer.ok()) << writer.status().ToString();
+    writer.WriteRow({"time", "unfairness", "policy"});
+    writer.WriteRow({"0.5", "0.12", "CoPart"});
+    EXPECT_EQ(writer.rows_written(), 2u);
+  }
+  EXPECT_EQ(ReadFile(path), "time,unfairness,policy\n0.5,0.12,CoPart\n");
+}
+
+TEST(CsvWriterTest, EscapesInRows) {
+  const std::string path = TempPath("escaped.csv");
+  {
+    CsvWriter writer(path);
+    ASSERT_TRUE(writer.ok());
+    writer.WriteRow({"a,b", "plain"});
+  }
+  EXPECT_EQ(ReadFile(path), "\"a,b\",plain\n");
+}
+
+TEST(CsvWriterTest, NumericRowFormatting) {
+  const std::string path = TempPath("numeric.csv");
+  {
+    CsvWriter writer(path);
+    ASSERT_TRUE(writer.ok());
+    const double values[] = {1.0, 0.123456789, 2.8e10};
+    writer.WriteNumericRow("row", values);
+  }
+  EXPECT_EQ(ReadFile(path), "row,1,0.123457,2.8e+10\n");
+}
+
+TEST(CsvWriterTest, BadPathReportsStatus) {
+  CsvWriter writer("/nonexistent_dir_zz/file.csv");
+  EXPECT_FALSE(writer.ok());
+  EXPECT_EQ(writer.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(CsvWriterDeathTest, WritingOnBadWriterAborts) {
+  CsvWriter writer("/nonexistent_dir_zz/file.csv");
+  EXPECT_DEATH(writer.WriteRow({"x"}), "Check failed");
+}
+
+}  // namespace
+}  // namespace copart

@@ -1,0 +1,86 @@
+// The experiment runner: metrics plumbing, policy factories, determinism.
+#include "harness/experiment.h"
+
+#include <gtest/gtest.h>
+
+#include "harness/mix.h"
+
+namespace copart {
+namespace {
+
+TEST(ExperimentTest, ResultFieldsPopulated) {
+  const WorkloadMix mix = MakeMix(MixFamily::kHighLlc, 4);
+  const ExperimentResult result = RunExperiment(mix, EqFactory(), {});
+  EXPECT_EQ(result.policy_name, "EQ");
+  EXPECT_EQ(result.mix_name, "H-LLC-4");
+  ASSERT_EQ(result.avg_ips.size(), 4u);
+  ASSERT_EQ(result.slowdowns.size(), 4u);
+  for (size_t i = 0; i < 4; ++i) {
+    EXPECT_GT(result.avg_ips[i], 0.0);
+    EXPECT_GE(result.slowdowns[i], 0.99);
+    EXPECT_NEAR(result.slowdowns[i],
+                result.solo_full_ips[i] / result.avg_ips[i], 1e-9);
+  }
+  EXPECT_GT(result.throughput_geomean, 0.0);
+  EXPECT_EQ(result.avg_exploration_us, 0.0);  // Static policy.
+}
+
+TEST(ExperimentTest, DeterministicAcrossRuns) {
+  const WorkloadMix mix = MakeMix(MixFamily::kHighBoth, 4);
+  const ExperimentResult a = RunExperiment(mix, CoPartFactory(), {});
+  const ExperimentResult b = RunExperiment(mix, CoPartFactory(), {});
+  EXPECT_DOUBLE_EQ(a.unfairness, b.unfairness);
+  for (size_t i = 0; i < a.avg_ips.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.avg_ips[i], b.avg_ips[i]);
+  }
+}
+
+TEST(ExperimentTest, CoresDerivedFromMixSize) {
+  const WorkloadMix mix = MakeMix(MixFamily::kInsensitive, 5);
+  ExperimentConfig config;
+  config.duration_sec = 2.0;
+  // 16/5 = 3 cores per app: solo-full references must use the same count.
+  const ExperimentResult result = RunExperiment(mix, EqFactory(), config);
+  SimulatedMachine machine(config.machine);
+  EXPECT_NEAR(result.solo_full_ips[0],
+              machine.SoloFullResourceIps(mix.apps[0], 3), 1.0);
+}
+
+TEST(ExperimentTest, RestrictedPoolIsHonored) {
+  const WorkloadMix mix = MakeMix(MixFamily::kHighLlc, 4);
+  ExperimentConfig config;
+  config.pool = ResourcePool{.first_way = 0, .num_ways = 7,
+                             .max_mba_percent = 100};
+  config.duration_sec = 10.0;
+  const ExperimentResult full = RunExperiment(mix, EqFactory(), {});
+  const ExperimentResult restricted =
+      RunExperiment(mix, EqFactory(), config);
+  // Less cache -> strictly slower cache-sensitive apps.
+  EXPECT_LT(restricted.avg_ips[0], full.avg_ips[0]);
+}
+
+TEST(ExperimentTest, StandardPoliciesHavePaperNames) {
+  const auto policies = StandardPolicies();
+  ASSERT_EQ(policies.size(), 5u);
+  EXPECT_EQ(policies[0].first, "EQ");
+  EXPECT_EQ(policies[1].first, "ST");
+  EXPECT_EQ(policies[2].first, "CAT-only");
+  EXPECT_EQ(policies[3].first, "MBA-only");
+  EXPECT_EQ(policies[4].first, "CoPart");
+}
+
+TEST(ExperimentTest, CoPartReportsExplorationOverhead) {
+  const ExperimentResult result =
+      RunExperiment(MakeMix(MixFamily::kHighLlc, 4), CoPartFactory(), {});
+  EXPECT_GT(result.avg_exploration_us, 0.0);
+}
+
+TEST(ExperimentTest, NoPartBaselineRuns) {
+  const ExperimentResult result =
+      RunExperiment(MakeMix(MixFamily::kHighLlc, 4), NoPartFactory(), {});
+  EXPECT_EQ(result.policy_name, "NoPart");
+  EXPECT_GT(result.unfairness, 0.0);
+}
+
+}  // namespace
+}  // namespace copart

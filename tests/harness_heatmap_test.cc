@@ -1,0 +1,114 @@
+// Characterization sweeps: solo heatmaps (Figs. 1-3) and mix fairness
+// grids (Figs. 4-6).
+#include "harness/heatmap.h"
+
+#include <gtest/gtest.h>
+
+#include "membw/mba.h"
+#include "workload/workload.h"
+
+namespace copart {
+namespace {
+
+TEST(SoloHeatmapTest, GridShapeAndNormalization) {
+  const SoloHeatmap map = SweepSoloPerformance(WaterNsquared(), {});
+  EXPECT_EQ(map.way_counts.size(), 11u);
+  EXPECT_EQ(map.mba_percents.size(), 10u);
+  double peak = 0.0;
+  for (const std::vector<double>& row : map.normalized_ips) {
+    for (double value : row) {
+      EXPECT_GT(value, 0.0);
+      EXPECT_LE(value, 1.0 + 1e-12);
+      peak = std::max(peak, value);
+    }
+  }
+  EXPECT_NEAR(peak, 1.0, 1e-12);
+}
+
+TEST(SoloHeatmapTest, LlcSensitiveShapeVariesAlongWaysOnly) {
+  const SoloHeatmap map = SweepSoloPerformance(WaterNsquared(), {});
+  // Strong gradient along ways at MBA 100...
+  EXPECT_LT(map.normalized_ips[0][9], 0.6);
+  EXPECT_GT(map.normalized_ips[10][9], 0.99);
+  // ...but nearly flat along MBA at 11 ways.
+  EXPECT_GT(map.normalized_ips[10][0], 0.95);
+}
+
+TEST(SoloHeatmapTest, BwSensitiveShapeVariesAlongMbaOnly) {
+  const SoloHeatmap map = SweepSoloPerformance(Cg(), {});
+  EXPECT_LT(map.normalized_ips[10][0], 0.85);
+  EXPECT_GT(map.normalized_ips[0][9], 0.90);
+}
+
+TEST(SoloHeatmapTest, ThresholdHelpers) {
+  const SoloHeatmap wn = SweepSoloPerformance(WaterNsquared(), {});
+  EXPECT_EQ(wn.MinWaysForFraction(0.9), 4u);
+  EXPECT_EQ(wn.MinMbaForFraction(0.9), 10u);  // BW-insensitive.
+  const SoloHeatmap cg = SweepSoloPerformance(Cg(), {});
+  EXPECT_EQ(cg.MinWaysForFraction(0.9), 1u);  // LLC-insensitive.
+  EXPECT_EQ(cg.MinMbaForFraction(0.9), 20u);
+}
+
+TEST(FairnessGridTest, DefaultConfigsCoverFourApps) {
+  for (const std::vector<uint32_t>& config : DefaultLlcConfigs()) {
+    ASSERT_EQ(config.size(), 4u);
+    uint32_t total = 0;
+    for (uint32_t ways : config) {
+      EXPECT_GE(ways, 1u);
+      total += ways;
+    }
+    EXPECT_EQ(total, 11u);
+  }
+  for (const std::vector<uint32_t>& config : DefaultMbaConfigs()) {
+    ASSERT_EQ(config.size(), 4u);
+    for (uint32_t level : config) {
+      EXPECT_TRUE(MbaLevel::FromPercent(level).ok());
+    }
+  }
+}
+
+TEST(FairnessGridTest, LlcMixFairnessVariesWithLlcPartitioning) {
+  const FairnessGrid grid =
+      SweepMixFairness(LlcSensitiveCharacterizationMix(),
+                       DefaultLlcConfigs(), DefaultMbaConfigs(), {});
+  EXPECT_GT(grid.nopart_unfairness, 0.0);
+  ASSERT_EQ(grid.normalized_unfairness.size(), DefaultLlcConfigs().size());
+  // The paper's observation: the balanced (5,3,2,1) row at permissive MBA
+  // beats starving WN with (1,1,1,8) or (2,2,2,5).
+  const size_t balanced = 1;  // (5,3,2,1)
+  const size_t starved = 9;   // (1,1,1,8)
+  EXPECT_LT(grid.normalized_unfairness[balanced][0],
+            grid.normalized_unfairness[starved][0]);
+}
+
+TEST(FairnessGridTest, BwMixFairnessVariesWithMbaPartitioning) {
+  const FairnessGrid grid =
+      SweepMixFairness(BwSensitiveCharacterizationMix(),
+                       DefaultLlcConfigs(), DefaultMbaConfigs(), {});
+  // For a fixed LLC row, throttling OC/CG to 10% ((10,10,10,100), col 8)
+  // must be much less fair than no MBA partitioning (col 0).
+  const size_t row = 5;  // (3,3,3,2): near-equal LLC.
+  EXPECT_GT(grid.normalized_unfairness[row][8],
+            grid.normalized_unfairness[row][0] * 2.0);
+  // And LLC partitioning barely matters at permissive MBA: compare two rows.
+  EXPECT_NEAR(grid.normalized_unfairness[1][0],
+              grid.normalized_unfairness[8][0],
+              0.35 * std::max(grid.normalized_unfairness[1][0], 0.05));
+}
+
+TEST(FairnessGridTest, GridValuesNormalizedToNoPart) {
+  const FairnessGrid grid =
+      SweepMixFairness(BothSensitiveCharacterizationMix(),
+                       DefaultLlcConfigs(), DefaultMbaConfigs(), {});
+  // At least one partitioned configuration beats no-partitioning...
+  double best = 1e9;
+  for (const std::vector<double>& row : grid.normalized_unfairness) {
+    for (double value : row) {
+      best = std::min(best, value);
+    }
+  }
+  EXPECT_LT(best, 1.0);
+}
+
+}  // namespace
+}  // namespace copart

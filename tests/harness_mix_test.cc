@@ -1,0 +1,99 @@
+// Workload mix construction (paper §4.2, §6.1, §6.2).
+#include "harness/mix.h"
+
+#include <gtest/gtest.h>
+
+namespace copart {
+namespace {
+
+size_t CountCategory(const WorkloadMix& mix, WorkloadCategory category) {
+  size_t count = 0;
+  for (const WorkloadDescriptor& app : mix.apps) {
+    if (app.category == category) {
+      ++count;
+    }
+  }
+  return count;
+}
+
+TEST(MixTest, HighMixesAreThreePlusOne) {
+  const WorkloadMix h_llc = MakeMix(MixFamily::kHighLlc, 4);
+  EXPECT_EQ(h_llc.apps.size(), 4u);
+  EXPECT_EQ(CountCategory(h_llc, WorkloadCategory::kLlcSensitive), 3u);
+  EXPECT_EQ(CountCategory(h_llc, WorkloadCategory::kInsensitive), 1u);
+
+  const WorkloadMix h_bw = MakeMix(MixFamily::kHighBw, 4);
+  EXPECT_EQ(CountCategory(h_bw, WorkloadCategory::kBwSensitive), 3u);
+
+  const WorkloadMix h_both = MakeMix(MixFamily::kHighBoth, 4);
+  EXPECT_EQ(CountCategory(h_both, WorkloadCategory::kBothSensitive), 3u);
+}
+
+TEST(MixTest, ModerateMixesAreTwoPlusTwo) {
+  const WorkloadMix m_llc = MakeMix(MixFamily::kModerateLlc, 4);
+  EXPECT_EQ(CountCategory(m_llc, WorkloadCategory::kLlcSensitive), 2u);
+  EXPECT_EQ(CountCategory(m_llc, WorkloadCategory::kInsensitive), 2u);
+}
+
+TEST(MixTest, InsensitiveMixIsAllInsensitive) {
+  const WorkloadMix is = MakeMix(MixFamily::kInsensitive, 4);
+  EXPECT_EQ(CountCategory(is, WorkloadCategory::kInsensitive), 4u);
+}
+
+TEST(MixTest, AppCountSweepMatchesPaperRule) {
+  for (size_t count = 3; count <= 6; ++count) {
+    const WorkloadMix high = MakeMix(MixFamily::kHighBw, count);
+    EXPECT_EQ(high.apps.size(), count);
+    EXPECT_EQ(CountCategory(high, WorkloadCategory::kBwSensitive),
+              count - 1);
+    const WorkloadMix moderate = MakeMix(MixFamily::kModerateBw, count);
+    EXPECT_EQ(CountCategory(moderate, WorkloadCategory::kBwSensitive),
+              count / 2);
+  }
+}
+
+TEST(MixTest, CyclesClassBenchmarksWhenCountExceedsClassSize) {
+  // 6-app H-LLC: 5 LLC-sensitive slots but only 3 distinct benchmarks.
+  const WorkloadMix mix = MakeMix(MixFamily::kHighLlc, 6);
+  EXPECT_EQ(CountCategory(mix, WorkloadCategory::kLlcSensitive), 5u);
+  EXPECT_EQ(mix.apps[0].short_name, mix.apps[3].short_name);
+}
+
+TEST(MixTest, NamesEncodeFamilyAndCount) {
+  EXPECT_EQ(MakeMix(MixFamily::kHighLlc, 4).name, "H-LLC-4");
+  EXPECT_EQ(MakeMix(MixFamily::kInsensitive, 6).name, "IS-6");
+}
+
+TEST(MixTest, CharacterizationMixesMatchPaper) {
+  const WorkloadMix llc = LlcSensitiveCharacterizationMix();
+  ASSERT_EQ(llc.apps.size(), 4u);
+  EXPECT_EQ(llc.apps[0].short_name, "WN");
+  EXPECT_EQ(llc.apps[1].short_name, "WS");
+  EXPECT_EQ(llc.apps[2].short_name, "RT");
+  EXPECT_EQ(llc.apps[3].short_name, "SW");
+
+  const WorkloadMix bw = BwSensitiveCharacterizationMix();
+  EXPECT_EQ(bw.apps[0].short_name, "OC");
+  EXPECT_EQ(bw.apps[3].short_name, "SW");
+
+  const WorkloadMix both = BothSensitiveCharacterizationMix();
+  EXPECT_EQ(both.apps[0].short_name, "SP");
+  EXPECT_EQ(both.apps[2].short_name, "FMM");
+}
+
+TEST(MixTest, AllFamiliesEnumerated) {
+  EXPECT_EQ(AllMixFamilies().size(), 7u);
+  EXPECT_STREQ(MixFamilyName(AllMixFamilies()[0]), "H-LLC");
+  EXPECT_STREQ(MixFamilyName(AllMixFamilies()[6]), "IS");
+}
+
+TEST(MixTest, CoresPerAppDividesMachine) {
+  EXPECT_EQ(CoresPerApp(3), 5u);
+  EXPECT_EQ(CoresPerApp(4), 4u);
+  EXPECT_EQ(CoresPerApp(5), 3u);
+  EXPECT_EQ(CoresPerApp(6), 2u);
+  EXPECT_EQ(CoresPerApp(16), 1u);
+}
+
+}  // namespace
+}  // namespace copart

@@ -1,0 +1,97 @@
+// The offline ST search: validity, optimality on easy instances, and
+// pool-restricted search.
+#include "harness/static_oracle.h"
+
+#include <gtest/gtest.h>
+
+#include "metrics/fairness.h"
+#include "workload/workload.h"
+
+namespace copart {
+namespace {
+
+MachineConfig QuietConfig() {
+  MachineConfig config;
+  config.ips_noise_sigma = 0.0;
+  return config;
+}
+
+TEST(StaticOracleTest, FindsValidStateAndEvaluatesManyCandidates) {
+  SimulatedMachine machine(QuietConfig());
+  std::vector<AppId> apps;
+  for (const WorkloadDescriptor& descriptor :
+       {WaterNsquared(), Cg(), Swaptions()}) {
+    Result<AppId> app = machine.LaunchApp(descriptor, 4);
+    ASSERT_TRUE(app.ok());
+    apps.push_back(*app);
+  }
+  const ResourcePool pool{.first_way = 0, .num_ways = 11,
+                          .max_mba_percent = 100};
+  const StaticOracleResult result =
+      FindStaticOracleState(machine, apps, pool);
+  EXPECT_TRUE(result.best_state.Valid());
+  EXPECT_GT(result.states_evaluated, 100u);
+  EXPECT_GE(result.best_unfairness, 0.0);
+}
+
+TEST(StaticOracleTest, BeatsEqualSplitOnSkewedMix) {
+  SimulatedMachine machine(QuietConfig());
+  std::vector<AppId> apps;
+  for (const WorkloadDescriptor& descriptor :
+       {WaterNsquared(), WaterSpatial(), Raytrace(), Swaptions()}) {
+    Result<AppId> app = machine.LaunchApp(descriptor, 4);
+    ASSERT_TRUE(app.ok());
+    apps.push_back(*app);
+  }
+  const ResourcePool pool{.first_way = 0, .num_ways = 11,
+                          .max_mba_percent = 100};
+  const StaticOracleResult result =
+      FindStaticOracleState(machine, apps, pool);
+  // The oracle must give the insensitive app (index 3) the minimum and the
+  // demanding WN more than the equal share.
+  EXPECT_EQ(result.best_state.allocation(3).llc_ways, 1u);
+  EXPECT_GE(result.best_state.allocation(0).llc_ways, 4u);
+  EXPECT_LT(result.best_unfairness, 0.05);
+}
+
+TEST(StaticOracleTest, RespectsRestrictedPool) {
+  SimulatedMachine machine(QuietConfig());
+  std::vector<AppId> apps;
+  for (const WorkloadDescriptor& descriptor : {WaterNsquared(), Cg()}) {
+    Result<AppId> app = machine.LaunchApp(descriptor, 4);
+    ASSERT_TRUE(app.ok());
+    apps.push_back(*app);
+  }
+  const ResourcePool pool{.first_way = 5, .num_ways = 6,
+                          .max_mba_percent = 40};
+  const StaticOracleResult result =
+      FindStaticOracleState(machine, apps, pool);
+  EXPECT_TRUE(result.best_state.Valid());
+  EXPECT_EQ(result.best_state.pool().first_way, 5u);
+  uint32_t total_ways = 0;
+  for (size_t i = 0; i < apps.size(); ++i) {
+    total_ways += result.best_state.allocation(i).llc_ways;
+    EXPECT_LE(result.best_state.allocation(i).mba_level.percent(), 40u);
+    EXPECT_EQ(result.best_state.WayMaskBits(i) & 0x1F, 0u);
+  }
+  EXPECT_EQ(total_ways, 6u);
+}
+
+TEST(StaticOracleTest, SearchIsDeterministic) {
+  SimulatedMachine machine(QuietConfig());
+  std::vector<AppId> apps;
+  for (const WorkloadDescriptor& descriptor : {Sp(), OceanNcp()}) {
+    Result<AppId> app = machine.LaunchApp(descriptor, 4);
+    ASSERT_TRUE(app.ok());
+    apps.push_back(*app);
+  }
+  const ResourcePool pool{.first_way = 0, .num_ways = 11,
+                          .max_mba_percent = 100};
+  const StaticOracleResult a = FindStaticOracleState(machine, apps, pool);
+  const StaticOracleResult b = FindStaticOracleState(machine, apps, pool);
+  EXPECT_EQ(a.best_state, b.best_state);
+  EXPECT_DOUBLE_EQ(a.best_unfairness, b.best_unfairness);
+}
+
+}  // namespace
+}  // namespace copart

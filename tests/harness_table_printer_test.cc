@@ -1,0 +1,77 @@
+#include "harness/table_printer.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <functional>
+#include <string>
+
+#include "common/logging.h"
+
+namespace copart {
+namespace {
+
+// Captures PrintTable/PrintHeatmap output through a tmpfile.
+std::string Capture(const std::function<void(std::FILE*)>& body) {
+  std::FILE* file = std::tmpfile();
+  CHECK_NE(file, nullptr);
+  body(file);
+  std::fflush(file);
+  const long size = std::ftell(file);
+  std::string content(static_cast<size_t>(size), '\0');
+  std::rewind(file);
+  const size_t read = std::fread(content.data(), 1, content.size(), file);
+  content.resize(read);
+  std::fclose(file);
+  return content;
+}
+
+TEST(FormatTest, FixedAndScientific) {
+  EXPECT_EQ(FormatFixed(3.14159, 2), "3.14");
+  EXPECT_EQ(FormatFixed(3.14159, 0), "3");
+  EXPECT_EQ(FormatFixed(-1.5, 1), "-1.5");
+  EXPECT_EQ(FormatSci(12345.0, 2), "1.23e+04");
+  EXPECT_EQ(FormatSci(0.00123, 1), "1.2e-03");
+}
+
+TEST(FormatTest, JoinParen) {
+  EXPECT_EQ(JoinParen({5, 3, 2, 1}), "(5,3,2,1)");
+  EXPECT_EQ(JoinParen({7}), "(7)");
+  EXPECT_EQ(JoinParen({}), "()");
+}
+
+TEST(PrintTableTest, AlignsColumns) {
+  const std::string out = Capture([](std::FILE* file) {
+    PrintTable({"name", "v"}, {{"a", "1.0"}, {"long_name", "2"}}, file);
+  });
+  // Header, rule, two rows.
+  EXPECT_NE(out.find("| name      | v   |"), std::string::npos) << out;
+  EXPECT_NE(out.find("| long_name | 2   |"), std::string::npos) << out;
+  EXPECT_NE(out.find("|-"), std::string::npos);
+}
+
+TEST(PrintTableTest, EmptyRows) {
+  const std::string out = Capture([](std::FILE* file) {
+    PrintTable({"a", "b"}, {}, file);
+  });
+  EXPECT_NE(out.find("| a | b |"), std::string::npos);
+}
+
+TEST(PrintHeatmapTest, RendersCaptionLabelsAndValues) {
+  const std::string out = Capture([](std::FILE* file) {
+    PrintHeatmap("caption line", {"r0", "r1"}, {"c0", "c1"},
+                 {{1.0, 0.5}, {0.25, 0.126}}, 2, file);
+  });
+  EXPECT_NE(out.find("caption line"), std::string::npos);
+  EXPECT_NE(out.find("r0"), std::string::npos);
+  EXPECT_NE(out.find("c1"), std::string::npos);
+  EXPECT_NE(out.find("0.50"), std::string::npos);
+  EXPECT_NE(out.find("0.13"), std::string::npos);  // Rounded to precision 2.
+}
+
+TEST(PrintTableDeathTest, RowArityMismatchAborts) {
+  EXPECT_DEATH(PrintTable({"a", "b"}, {{"only one"}}), "Check failed");
+}
+
+}  // namespace
+}  // namespace copart

@@ -1,0 +1,117 @@
+// The what-if prediction API: consistency with live runs and the evaluator
+// semantics downstream schedulers rely on.
+#include "harness/whatif.h"
+
+#include <gtest/gtest.h>
+
+#include "harness/experiment.h"
+#include "harness/mix.h"
+
+namespace copart {
+namespace {
+
+ResourcePool FullPool() {
+  return ResourcePool{.first_way = 0, .num_ways = 11, .max_mba_percent = 100};
+}
+
+TEST(WhatIfTest, OutcomeShapesAreSane) {
+  const std::vector<WorkloadDescriptor> workloads = {WaterNsquared(), Cg()};
+  const WhatIfOutcome outcome =
+      PredictEqualShareOutcome(workloads, FullPool());
+  ASSERT_EQ(outcome.app_names.size(), 2u);
+  EXPECT_EQ(outcome.app_names[0], "WN");
+  for (size_t i = 0; i < 2; ++i) {
+    EXPECT_GT(outcome.predicted_ips[i], 0.0);
+    EXPECT_GE(outcome.slowdowns[i], 1.0 - 1e-9);
+    EXPECT_LE(outcome.predicted_ips[i],
+              outcome.solo_full_ips[i] * (1.0 + 1e-9));
+  }
+  EXPECT_GE(outcome.unfairness, 0.0);
+  EXPECT_GT(outcome.throughput_geomean, 0.0);
+}
+
+TEST(WhatIfTest, MatchesLiveStaticExperiment) {
+  // A noise-free live run under EQ must land exactly where the predictor
+  // says (same model, same allocation).
+  const WorkloadMix mix = MakeMix(MixFamily::kHighBoth, 4);
+  ExperimentConfig config;
+  config.machine.ips_noise_sigma = 0.0;
+  config.duration_sec = 10.0;
+  const ExperimentResult live = RunExperiment(mix, EqFactory(), config);
+
+  const WhatIfOutcome predicted = PredictOutcome(
+      mix.apps, SystemState::EqualShareThrottled(FullPool(), mix.apps.size()),
+      config.machine);
+  ASSERT_EQ(predicted.slowdowns.size(), live.slowdowns.size());
+  for (size_t i = 0; i < live.slowdowns.size(); ++i) {
+    EXPECT_NEAR(predicted.slowdowns[i], live.slowdowns[i], 1e-6) << i;
+  }
+  EXPECT_NEAR(predicted.unfairness, live.unfairness, 1e-6);
+}
+
+TEST(WhatIfTest, DistinguishesGoodFromBadAllocations) {
+  const std::vector<WorkloadDescriptor> workloads = {
+      WaterNsquared(), WaterSpatial(), Raytrace(), Swaptions()};
+  // The known-good split from Fig. 4 vs starving WN.
+  std::vector<AppAllocation> good(4), bad(4);
+  const uint32_t good_ways[] = {5, 3, 2, 1};
+  const uint32_t bad_ways[] = {1, 4, 3, 3};
+  for (size_t i = 0; i < 4; ++i) {
+    good[i] = {.llc_ways = good_ways[i], .mba_level = MbaLevel()};
+    bad[i] = {.llc_ways = bad_ways[i], .mba_level = MbaLevel()};
+  }
+  const WhatIfOutcome good_outcome =
+      PredictOutcome(workloads, SystemState(FullPool(), good));
+  const WhatIfOutcome bad_outcome =
+      PredictOutcome(workloads, SystemState(FullPool(), bad));
+  EXPECT_LT(good_outcome.unfairness, bad_outcome.unfairness * 0.5);
+  // Starving WN shows up in its individual slowdown.
+  EXPECT_GT(bad_outcome.slowdowns[0], good_outcome.slowdowns[0] * 1.2);
+}
+
+TEST(WhatIfTest, UcpOutcomeBeatsEqualShareForSkewedPairs) {
+  // UCP gives WN its working set and strips the insensitive partner, so
+  // the predicted outcome dominates the equal split.
+  const std::vector<WorkloadDescriptor> workloads = {WaterNsquared(),
+                                                     Swaptions()};
+  const WhatIfOutcome equal =
+      PredictEqualShareOutcome(workloads, FullPool());
+  const WhatIfOutcome ucp = PredictUcpOutcome(workloads, FullPool());
+  EXPECT_LE(ucp.slowdowns[0], equal.slowdowns[0] + 1e-9);
+  EXPECT_NEAR(ucp.slowdowns[1], 1.0, 0.01);  // SW unaffected either way.
+  EXPECT_GE(ucp.throughput_geomean, equal.throughput_geomean * 0.999);
+}
+
+TEST(WhatIfTest, ZeroCoresPerAppUsesDescriptorThreads) {
+  // Heterogeneous core counts through num_threads: an 8-core SW and a
+  // 2-core WN must fit the 16-core machine and scale accordingly.
+  WorkloadDescriptor big = Swaptions();
+  big.num_threads = 8;
+  WorkloadDescriptor small = WaterNsquared();
+  small.num_threads = 2;
+  const WhatIfOutcome outcome =
+      PredictEqualShareOutcome({big, small}, FullPool());
+  // SW's IPS scales with its 8 cores (vs the 4-core registry default).
+  SimulatedMachine reference((MachineConfig()));
+  EXPECT_NEAR(outcome.solo_full_ips[0],
+              reference.SoloFullResourceIps(Swaptions(), 8), 1.0);
+  EXPECT_NEAR(outcome.solo_full_ips[1],
+              reference.SoloFullResourceIps(WaterNsquared(), 2), 1.0);
+}
+
+TEST(WhatIfTest, DeterministicAcrossCalls) {
+  const std::vector<WorkloadDescriptor> workloads = {Sp(), OceanNcp()};
+  const WhatIfOutcome a = PredictEqualShareOutcome(workloads, FullPool());
+  const WhatIfOutcome b = PredictEqualShareOutcome(workloads, FullPool());
+  EXPECT_DOUBLE_EQ(a.unfairness, b.unfairness);
+  EXPECT_DOUBLE_EQ(a.predicted_ips[0], b.predicted_ips[0]);
+}
+
+TEST(WhatIfDeathTest, RejectsMismatchedState) {
+  const std::vector<WorkloadDescriptor> workloads = {Sp(), OceanNcp()};
+  const SystemState three_apps = SystemState::EqualShare(FullPool(), 3);
+  EXPECT_DEATH(PredictOutcome(workloads, three_apps), "Check failed");
+}
+
+}  // namespace
+}  // namespace copart

@@ -1,0 +1,65 @@
+// Regression guard for the paper's robustness claims (Figs. 13-14): the
+// policy ordering must hold at every application count and LLC capacity,
+// not just the headline 4-app/11-way point.
+#include <gtest/gtest.h>
+
+#include "harness/experiment.h"
+#include "harness/mix.h"
+
+namespace copart {
+namespace {
+
+class AppCountSweepTest : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(AppCountSweepTest, CoPartBeatsEqOnSensitiveMixes) {
+  const size_t count = GetParam();
+  for (MixFamily family :
+       {MixFamily::kHighLlc, MixFamily::kHighBw, MixFamily::kModerateLlc}) {
+    const WorkloadMix mix = MakeMix(family, count);
+    const double copart =
+        RunExperiment(mix, CoPartFactory(), {}).unfairness;
+    const double eq = RunExperiment(mix, EqFactory(), {}).unfairness;
+    // Never meaningfully worse than EQ; and when EQ leaves substantial
+    // unfairness on the table, CoPart must recover a real share of it.
+    EXPECT_LT(copart, eq * 1.02)
+        << mix.name << ": CoPart " << copart << " vs EQ " << eq;
+    if (eq > 0.05) {
+      EXPECT_LT(copart, eq * 0.95)
+          << mix.name << ": CoPart " << copart << " vs EQ " << eq;
+    }
+  }
+}
+
+TEST_P(AppCountSweepTest, CoPartThroughputAtLeastEq) {
+  const size_t count = GetParam();
+  const WorkloadMix mix = MakeMix(MixFamily::kHighBoth, count);
+  const double copart =
+      RunExperiment(mix, CoPartFactory(), {}).throughput_geomean;
+  const double eq = RunExperiment(mix, EqFactory(), {}).throughput_geomean;
+  EXPECT_GE(copart, eq * 0.98) << mix.name;
+}
+
+INSTANTIATE_TEST_SUITE_P(Counts, AppCountSweepTest,
+                         ::testing::Values(3, 4, 5, 6));
+
+class CapacitySweepTest : public ::testing::TestWithParam<uint32_t> {};
+
+TEST_P(CapacitySweepTest, CoPartBeatsEqAtEveryPoolSize) {
+  ExperimentConfig config;
+  config.pool = ResourcePool{.first_way = 0, .num_ways = GetParam(),
+                             .max_mba_percent = 100};
+  for (MixFamily family : {MixFamily::kHighLlc, MixFamily::kHighBw}) {
+    const WorkloadMix mix = MakeMix(family, 4);
+    const double copart =
+        RunExperiment(mix, CoPartFactory(), config).unfairness;
+    const double eq = RunExperiment(mix, EqFactory(), config).unfairness;
+    EXPECT_LT(copart, eq * 0.95)
+        << mix.name << " @ " << GetParam() << " ways";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Ways, CapacitySweepTest,
+                         ::testing::Values(7, 8, 9, 10, 11));
+
+}  // namespace
+}  // namespace copart

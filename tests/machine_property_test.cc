@@ -1,0 +1,120 @@
+// Randomized invariant checks on the full machine model: for arbitrary
+// partitioning states and workload placements, the epoch solve must respect
+// physical constraints (bandwidth conservation, capacity bounds, positive
+// rates) and the documented monotonicities.
+#include <gtest/gtest.h>
+
+#include "cache/way_mask.h"
+#include "common/rng.h"
+#include "machine/simulated_machine.h"
+#include "workload/workload.h"
+
+namespace copart {
+namespace {
+
+class MachinePropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+WayMask RandomMask(Rng& rng, uint32_t num_ways) {
+  const uint32_t count = 1 + static_cast<uint32_t>(rng.NextUint64(num_ways));
+  const uint32_t first =
+      static_cast<uint32_t>(rng.NextUint64(num_ways - count + 1));
+  return WayMask::Contiguous(first, count);
+}
+
+TEST_P(MachinePropertyTest, PhysicalInvariantsUnderRandomConfigs) {
+  Rng rng(GetParam());
+  MachineConfig config;
+  config.ips_noise_sigma = 0.0;
+  SimulatedMachine machine(config);
+
+  // Random consolidation: 2-4 apps from the full registry.
+  std::vector<WorkloadDescriptor> registry = AllTable2Benchmarks();
+  registry.push_back(Stream());
+  const size_t num_apps = 2 + rng.NextUint64(3);
+  std::vector<AppId> apps;
+  for (size_t i = 0; i < num_apps; ++i) {
+    const WorkloadDescriptor& descriptor =
+        registry[rng.NextUint64(registry.size())];
+    Result<AppId> app = machine.LaunchApp(descriptor, 4);
+    ASSERT_TRUE(app.ok());
+    apps.push_back(*app);
+    machine.AssignAppToClos(*app, static_cast<uint32_t>(i + 1));
+  }
+
+  for (int round = 0; round < 60; ++round) {
+    // Random (possibly overlapping) masks and MBA levels.
+    for (size_t i = 0; i < num_apps; ++i) {
+      machine.SetClosWayMask(static_cast<uint32_t>(i + 1),
+                             RandomMask(rng, config.llc.num_ways));
+      machine.SetClosMbaLevel(
+          static_cast<uint32_t>(i + 1),
+          MbaLevel::FromPercentChecked(
+              10 * (1 + static_cast<uint32_t>(rng.NextUint64(10)))));
+    }
+    machine.AdvanceTime(0.25);
+
+    double total_grant = 0.0;
+    double total_capacity = 0.0;
+    for (AppId app : apps) {
+      const AppEpochSnapshot& epoch = machine.LastEpoch(app);
+      // Rates are finite and non-negative; miss ratio is a probability.
+      EXPECT_GT(epoch.ips, 0.0);
+      EXPECT_GE(epoch.llc_misses_per_sec, 0.0);
+      EXPECT_LE(epoch.llc_misses_per_sec,
+                epoch.llc_accesses_per_sec * (1.0 + 1e-9));
+      EXPECT_GE(epoch.miss_ratio, 0.0);
+      EXPECT_LE(epoch.miss_ratio, 1.0);
+      // Achieved traffic never exceeds the grant; grants never exceed caps.
+      EXPECT_LE(epoch.llc_misses_per_sec * config.llc.line_bytes,
+                epoch.bandwidth_grant_bytes_per_sec + 1.0);
+      EXPECT_LE(epoch.bandwidth_grant_bytes_per_sec,
+                epoch.bandwidth_demand_bytes_per_sec + 1.0);
+      total_grant += epoch.bandwidth_grant_bytes_per_sec;
+      total_capacity += epoch.effective_capacity_bytes;
+      EXPECT_LE(epoch.effective_capacity_bytes,
+                static_cast<double>(config.llc.total_bytes) * (1 + 1e-9));
+    }
+    // Conservation: bandwidth within the controller limit, capacities
+    // within the cache.
+    EXPECT_LE(total_grant,
+              config.total_memory_bandwidth * (1.0 + 1e-9));
+    EXPECT_LE(total_capacity,
+              static_cast<double>(config.llc.total_bytes) * (1.0 + 1e-9));
+  }
+}
+
+TEST_P(MachinePropertyTest, WideningOwnMaskNeverHurts) {
+  Rng rng(GetParam() ^ 0xABCDEF);
+  MachineConfig config;
+  config.ips_noise_sigma = 0.0;
+  SimulatedMachine machine(config);
+  std::vector<WorkloadDescriptor> registry = AllTable2Benchmarks();
+  const WorkloadDescriptor subject =
+      registry[rng.NextUint64(registry.size())];
+  const WorkloadDescriptor neighbor =
+      registry[rng.NextUint64(registry.size())];
+  Result<AppId> a = machine.LaunchApp(subject, 4);
+  Result<AppId> b = machine.LaunchApp(neighbor, 4);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  machine.AssignAppToClos(*a, 1);
+  machine.AssignAppToClos(*b, 2);
+  // Fixed neighbor partition at the top; the subject's mask grows from the
+  // bottom without ever overlapping it.
+  machine.SetClosWayMask(2, WayMask::Contiguous(8, 3));
+  double previous = 0.0;
+  for (uint32_t ways = 1; ways <= 8; ++ways) {
+    machine.SetClosWayMask(1, WayMask::Contiguous(0, ways));
+    machine.AdvanceTime(0.25);
+    const double ips = machine.LastEpoch(*a).ips;
+    EXPECT_GE(ips, previous * (1.0 - 1e-6))
+        << subject.name << " vs " << neighbor.name << " at " << ways;
+    previous = ips;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MachinePropertyTest,
+                         ::testing::Values(11, 22, 33, 44, 55, 66, 77, 88));
+
+}  // namespace
+}  // namespace copart

@@ -1,0 +1,170 @@
+// MBA level semantics and the memory-controller arbitration model.
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "common/rng.h"
+#include "common/units.h"
+#include "membw/bandwidth_arbiter.h"
+#include "membw/mba.h"
+#include "membw/mba_throttle_model.h"
+
+namespace copart {
+namespace {
+
+TEST(MbaLevelTest, DefaultIsUnthrottled) {
+  EXPECT_EQ(MbaLevel().percent(), 100u);
+  EXPECT_DOUBLE_EQ(MbaLevel().Fraction(), 1.0);
+}
+
+TEST(MbaLevelTest, ValidLevels) {
+  for (uint32_t percent = 10; percent <= 100; percent += 10) {
+    Result<MbaLevel> level = MbaLevel::FromPercent(percent);
+    ASSERT_TRUE(level.ok()) << percent;
+    EXPECT_EQ(level->percent(), percent);
+  }
+}
+
+TEST(MbaLevelTest, RejectsOutOfRangeAndOffStep) {
+  EXPECT_FALSE(MbaLevel::FromPercent(0).ok());
+  EXPECT_FALSE(MbaLevel::FromPercent(5).ok());
+  EXPECT_FALSE(MbaLevel::FromPercent(110).ok());
+  EXPECT_FALSE(MbaLevel::FromPercent(25).ok());
+  EXPECT_EQ(MbaLevel::FromPercent(25).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(MbaLevel::FromPercent(110).status().code(),
+            StatusCode::kOutOfRange);
+}
+
+TEST(MbaLevelTest, StepMovement) {
+  MbaLevel level = MbaLevel::FromPercentChecked(50);
+  EXPECT_TRUE(level.CanIncrease());
+  EXPECT_TRUE(level.CanDecrease());
+  EXPECT_EQ(level.Increased().percent(), 60u);
+  EXPECT_EQ(level.Decreased().percent(), 40u);
+  EXPECT_FALSE(MbaLevel::FromPercentChecked(10).CanDecrease());
+  EXPECT_FALSE(MbaLevel::FromPercentChecked(100).CanIncrease());
+  EXPECT_EQ(MbaLevel::FromPercentChecked(10).StepsAboveMin(), 0u);
+  EXPECT_EQ(MbaLevel::FromPercentChecked(100).StepsAboveMin(), 9u);
+}
+
+TEST(MbaLevelDeathTest, SteppingPastBoundsAborts) {
+  EXPECT_DEATH(MbaLevel::FromPercentChecked(100).Increased(), "CanIncrease");
+  EXPECT_DEATH(MbaLevel::FromPercentChecked(10).Decreased(), "CanDecrease");
+}
+
+TEST(MbaThrottleModelTest, EndpointsAndMonotonicity) {
+  const MbaThrottleModel model;
+  EXPECT_DOUBLE_EQ(model.CapFraction(MbaLevel()), 1.0);
+  double previous = 0.0;
+  for (uint32_t percent = 10; percent <= 100; percent += 10) {
+    const double fraction =
+        model.CapFraction(MbaLevel::FromPercentChecked(percent));
+    EXPECT_GT(fraction, previous);
+    previous = fraction;
+  }
+  // Sub-linear exponent -> low levels under-throttle relative to linear.
+  EXPECT_GT(model.CapFraction(MbaLevel::FromPercentChecked(10)), 0.10);
+}
+
+std::vector<BandwidthRequest> MakeRequests(
+    std::initializer_list<std::pair<double, double>> demand_cap) {
+  std::vector<BandwidthRequest> requests;
+  for (const auto& [demand, cap] : demand_cap) {
+    requests.push_back({demand, cap});
+  }
+  return requests;
+}
+
+TEST(ArbiterTest, UncontendedDemandsFullyGranted) {
+  BandwidthArbiter arbiter(GBps(28));
+  const auto grants = arbiter.Arbitrate(
+      MakeRequests({{GBps(3), GBps(28)}, {GBps(5), GBps(28)}}));
+  EXPECT_DOUBLE_EQ(grants[0], GBps(3));
+  EXPECT_DOUBLE_EQ(grants[1], GBps(5));
+}
+
+TEST(ArbiterTest, MbaCapBindsBeforeContention) {
+  BandwidthArbiter arbiter(GBps(28));
+  const auto grants =
+      arbiter.Arbitrate(MakeRequests({{GBps(10), GBps(4)}}));
+  EXPECT_DOUBLE_EQ(grants[0], GBps(4));
+}
+
+TEST(ArbiterTest, SaturationSplitsEvenlyAmongElephants) {
+  BandwidthArbiter arbiter(GBps(28));
+  const auto grants = arbiter.Arbitrate(MakeRequests(
+      {{GBps(20), GBps(28)}, {GBps(20), GBps(28)}, {GBps(20), GBps(28)}}));
+  for (double grant : grants) {
+    EXPECT_NEAR(grant, GBps(28) / 3, 1.0);
+  }
+}
+
+TEST(ArbiterTest, MaxMinProtectsMice) {
+  BandwidthArbiter arbiter(GBps(28));
+  // A 1 GB/s mouse among two elephants keeps its full demand.
+  const auto grants = arbiter.Arbitrate(MakeRequests(
+      {{GBps(1), GBps(28)}, {GBps(30), GBps(28)}, {GBps(30), GBps(28)}}));
+  EXPECT_DOUBLE_EQ(grants[0], GBps(1));
+  EXPECT_NEAR(grants[1], GBps(13.5), 1.0);
+  EXPECT_NEAR(grants[2], GBps(13.5), 1.0);
+}
+
+TEST(ArbiterTest, EmptyRequestVector) {
+  BandwidthArbiter arbiter(GBps(28));
+  EXPECT_TRUE(arbiter.Arbitrate({}).empty());
+}
+
+TEST(ArbiterTest, ZeroDemandGetsZero) {
+  BandwidthArbiter arbiter(GBps(28));
+  const auto grants = arbiter.Arbitrate(
+      MakeRequests({{0.0, GBps(28)}, {GBps(40), GBps(28)}}));
+  EXPECT_DOUBLE_EQ(grants[0], 0.0);
+  EXPECT_NEAR(grants[1], GBps(28), 1.0);
+}
+
+// Properties under randomized loads: grants never exceed demand, cap, or
+// total; max-min fairness holds (an app granted less than min(demand, cap)
+// implies every other app's grant <= its grant + epsilon).
+class ArbiterPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ArbiterPropertyTest, InvariantsHold) {
+  Rng rng(GetParam());
+  BandwidthArbiter arbiter(GBps(28));
+  for (int round = 0; round < 200; ++round) {
+    const size_t n = 1 + rng.NextUint64(8);
+    std::vector<BandwidthRequest> requests(n);
+    for (BandwidthRequest& request : requests) {
+      request.demand_bytes_per_sec = rng.NextDouble() * GBps(15);
+      request.cap_bytes_per_sec = GBps(2.8) + rng.NextDouble() * GBps(25.2);
+    }
+    const std::vector<double> grants = arbiter.Arbitrate(requests);
+    ASSERT_EQ(grants.size(), n);
+    double total = 0.0;
+    constexpr double kEpsilon = 1.0;  // 1 byte/s slack for float error.
+    for (size_t i = 0; i < n; ++i) {
+      EXPECT_LE(grants[i], requests[i].demand_bytes_per_sec + kEpsilon);
+      EXPECT_LE(grants[i], requests[i].cap_bytes_per_sec + kEpsilon);
+      EXPECT_GE(grants[i], -kEpsilon);
+      total += grants[i];
+    }
+    EXPECT_LE(total, GBps(28) + kEpsilon * static_cast<double>(n));
+    for (size_t i = 0; i < n; ++i) {
+      const double want = std::min(requests[i].demand_bytes_per_sec,
+                                   requests[i].cap_bytes_per_sec);
+      if (grants[i] < want - kEpsilon) {
+        // i was rationed: nobody may hold more than i's grant.
+        for (size_t j = 0; j < n; ++j) {
+          EXPECT_LE(grants[j], grants[i] + kEpsilon)
+              << "max-min violated: " << j << " over " << i;
+        }
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ArbiterPropertyTest,
+                         ::testing::Values(101, 202, 303, 404, 505));
+
+}  // namespace
+}  // namespace copart

@@ -1,0 +1,65 @@
+// Slowdown (Eq. 1), unfairness (Eq. 2), throughput metrics.
+#include "metrics/fairness.h"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cmath>
+
+namespace copart {
+namespace {
+
+TEST(SlowdownTest, Ratio) {
+  EXPECT_DOUBLE_EQ(Slowdown(100.0, 50.0), 2.0);
+  EXPECT_DOUBLE_EQ(Slowdown(100.0, 100.0), 1.0);
+}
+
+TEST(SlowdownDeathTest, RejectsNonPositive) {
+  EXPECT_DEATH(Slowdown(0.0, 1.0), "Check failed");
+  EXPECT_DEATH(Slowdown(1.0, 0.0), "Check failed");
+}
+
+TEST(UnfairnessTest, EqualSlowdownsArePerfectlyFair) {
+  const std::array<double, 4> slowdowns = {2.0, 2.0, 2.0, 2.0};
+  EXPECT_DOUBLE_EQ(Unfairness(slowdowns), 0.0);
+}
+
+TEST(UnfairnessTest, CoefficientOfVariation) {
+  const std::array<double, 2> slowdowns = {1.0, 3.0};
+  // mean 2, population stddev 1 -> sigma/mu = 0.5.
+  EXPECT_DOUBLE_EQ(Unfairness(slowdowns), 0.5);
+}
+
+TEST(UnfairnessTest, ScaleInvariant) {
+  const std::array<double, 3> a = {1.0, 2.0, 3.0};
+  const std::array<double, 3> b = {2.0, 4.0, 6.0};
+  EXPECT_NEAR(Unfairness(a), Unfairness(b), 1e-12);
+}
+
+TEST(UnfairnessTest, FewerThanTwoAppsIsZero) {
+  EXPECT_EQ(Unfairness({}), 0.0);
+  const std::array<double, 1> one = {5.0};
+  EXPECT_EQ(Unfairness(one), 0.0);
+}
+
+TEST(UnfairnessTest, MoreSpreadIsLessFair) {
+  const std::array<double, 4> tight = {1.9, 2.0, 2.0, 2.1};
+  const std::array<double, 4> wide = {1.0, 2.0, 2.0, 3.0};
+  EXPECT_LT(Unfairness(tight), Unfairness(wide));
+}
+
+TEST(UnfairnessTest, FromIpsVectors) {
+  const std::array<double, 2> full = {100.0, 200.0};
+  const std::array<double, 2> actual = {50.0, 100.0};  // Both slowed 2x.
+  EXPECT_DOUBLE_EQ(UnfairnessFromIps(full, actual), 0.0);
+  const std::array<double, 2> skewed = {100.0, 50.0};  // 1x vs 4x.
+  EXPECT_GT(UnfairnessFromIps(full, skewed), 0.5);
+}
+
+TEST(ThroughputTest, GeoMean) {
+  const std::array<double, 2> ips = {1e9, 4e9};
+  EXPECT_NEAR(GeoMeanThroughput(ips), 2e9, 1.0);
+}
+
+}  // namespace
+}  // namespace copart

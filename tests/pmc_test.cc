@@ -1,0 +1,101 @@
+// PAPI-like counter sampling: deltas, rates, attach/detach discipline.
+#include "pmc/perf_monitor.h"
+
+#include <gtest/gtest.h>
+
+#include "workload/workload.h"
+
+namespace copart {
+namespace {
+
+class PmcTest : public ::testing::Test {
+ protected:
+  PmcTest() : machine_(QuietConfig()), monitor_(&machine_) {}
+
+  static MachineConfig QuietConfig() {
+    MachineConfig config;
+    config.ips_noise_sigma = 0.0;
+    return config;
+  }
+
+  SimulatedMachine machine_;
+  PerfMonitor monitor_;
+};
+
+TEST_F(PmcTest, SampleReturnsDeltasSinceAttach) {
+  Result<AppId> app = machine_.LaunchApp(Cg(), 4);
+  ASSERT_TRUE(app.ok());
+  machine_.AdvanceTime(1.0);  // Pre-attach activity must be excluded.
+  monitor_.Attach(*app);
+  machine_.AdvanceTime(0.5);
+  const PmcSample sample = monitor_.Sample(*app);
+  EXPECT_NEAR(sample.interval_sec, 0.5, 1e-12);
+  EXPECT_NEAR(sample.instructions, machine_.Counters(*app).instructions / 3,
+              1.0);
+}
+
+TEST_F(PmcTest, ConsecutiveSamplesChainWindows) {
+  Result<AppId> app = machine_.LaunchApp(Swaptions(), 4);
+  ASSERT_TRUE(app.ok());
+  monitor_.Attach(*app);
+  machine_.AdvanceTime(0.5);
+  const PmcSample first = monitor_.Sample(*app);
+  machine_.AdvanceTime(0.5);
+  const PmcSample second = monitor_.Sample(*app);
+  EXPECT_NEAR(first.instructions, second.instructions,
+              first.instructions * 1e-9);
+  EXPECT_NEAR(first.instructions + second.instructions,
+              machine_.Counters(*app).instructions, 1.0);
+}
+
+TEST_F(PmcTest, DerivedRates) {
+  Result<AppId> app = machine_.LaunchApp(OceanCp(), 4);
+  ASSERT_TRUE(app.ok());
+  monitor_.Attach(*app);
+  machine_.AdvanceTime(2.0);
+  const PmcSample sample = monitor_.Sample(*app);
+  const AppEpochSnapshot& epoch = machine_.LastEpoch(*app);
+  EXPECT_NEAR(sample.Ips(), epoch.ips, epoch.ips * 1e-9);
+  EXPECT_NEAR(sample.LlcAccessesPerSec(), epoch.llc_accesses_per_sec, 1.0);
+  EXPECT_NEAR(sample.LlcMissesPerSec(), epoch.llc_misses_per_sec, 1.0);
+  EXPECT_NEAR(sample.LlcMissRatio(), epoch.miss_ratio, 1e-9);
+}
+
+TEST_F(PmcTest, ZeroIntervalSampleIsZero) {
+  Result<AppId> app = machine_.LaunchApp(Swaptions(), 4);
+  ASSERT_TRUE(app.ok());
+  monitor_.Attach(*app);
+  const PmcSample sample = monitor_.Sample(*app);
+  EXPECT_EQ(sample.interval_sec, 0.0);
+  EXPECT_EQ(sample.Ips(), 0.0);
+  EXPECT_EQ(sample.LlcMissRatio(), 0.0);
+}
+
+TEST_F(PmcTest, ReattachResetsBaseline) {
+  Result<AppId> app = machine_.LaunchApp(Swaptions(), 4);
+  ASSERT_TRUE(app.ok());
+  monitor_.Attach(*app);
+  machine_.AdvanceTime(5.0);
+  monitor_.Attach(*app);  // Restart the window.
+  machine_.AdvanceTime(0.5);
+  EXPECT_NEAR(monitor_.Sample(*app).interval_sec, 0.5, 1e-12);
+}
+
+TEST_F(PmcTest, AttachedDetach) {
+  Result<AppId> app = machine_.LaunchApp(Swaptions(), 4);
+  ASSERT_TRUE(app.ok());
+  EXPECT_FALSE(monitor_.Attached(*app));
+  monitor_.Attach(*app);
+  EXPECT_TRUE(monitor_.Attached(*app));
+  monitor_.Detach(*app);
+  EXPECT_FALSE(monitor_.Attached(*app));
+}
+
+TEST_F(PmcTest, SampleOnUnattachedAborts) {
+  Result<AppId> app = machine_.LaunchApp(Swaptions(), 4);
+  ASSERT_TRUE(app.ok());
+  EXPECT_DEATH(monitor_.Sample(*app), "unattached");
+}
+
+}  // namespace
+}  // namespace copart

@@ -1,0 +1,135 @@
+// The /sys/fs/resctrl filesystem surface.
+#include "resctrl/resctrl_fs.h"
+
+#include <gtest/gtest.h>
+
+#include "workload/workload.h"
+
+namespace copart {
+namespace {
+
+class ResctrlFsTest : public ::testing::Test {
+ protected:
+  ResctrlFsTest()
+      : machine_(MakeConfig()), resctrl_(&machine_), fs_(&resctrl_) {}
+
+  static MachineConfig MakeConfig() {
+    MachineConfig config;
+    config.ips_noise_sigma = 0.0;
+    return config;
+  }
+
+  SimulatedMachine machine_;
+  Resctrl resctrl_;
+  ResctrlFs fs_;
+};
+
+TEST_F(ResctrlFsTest, MkdirRmdirLifecycle) {
+  ASSERT_TRUE(fs_.Mkdir("batch0").ok());
+  ASSERT_TRUE(fs_.Mkdir("batch1").ok());
+  EXPECT_EQ(fs_.ListGroups().size(), 2u);
+  EXPECT_EQ(fs_.Mkdir("batch0").code(), StatusCode::kAlreadyExists);
+  ASSERT_TRUE(fs_.Rmdir("batch0").ok());
+  EXPECT_EQ(fs_.ListGroups().size(), 1u);
+  EXPECT_EQ(fs_.Rmdir("batch0").code(), StatusCode::kNotFound);
+}
+
+TEST_F(ResctrlFsTest, RejectsNestedAndReservedDirs) {
+  EXPECT_FALSE(fs_.Mkdir("a/b").ok());
+  EXPECT_FALSE(fs_.Mkdir("tasks").ok());
+  EXPECT_FALSE(fs_.Mkdir("schemata").ok());
+  EXPECT_FALSE(fs_.Mkdir("info").ok());
+  EXPECT_FALSE(fs_.Mkdir("mon_data").ok());
+}
+
+TEST_F(ResctrlFsTest, SchemataReadWrite) {
+  ASSERT_TRUE(fs_.Mkdir("g").ok());
+  Result<std::string> initial = fs_.ReadFile("g/schemata");
+  ASSERT_TRUE(initial.ok());
+  EXPECT_EQ(*initial, "L3:0=7ff\nMB:0=100\n");  // Kernel line format.
+  ASSERT_TRUE(fs_.WriteFile("g/schemata", "L3:0=3f\nMB:0=40\n").ok());
+  EXPECT_EQ(*fs_.ReadFile("g/schemata"), "L3:0=3f\nMB:0=40\n");
+  // Invalid writes fault and change nothing.
+  EXPECT_FALSE(fs_.WriteFile("g/schemata", "L3:0=505").ok());
+  EXPECT_EQ(*fs_.ReadFile("g/schemata"), "L3:0=3f\nMB:0=40\n");
+}
+
+TEST_F(ResctrlFsTest, RootGroupFilesAddressableWithoutPrefix) {
+  Result<std::string> schemata = fs_.ReadFile("schemata");
+  ASSERT_TRUE(schemata.ok());
+  EXPECT_EQ(*schemata, "L3:0=7ff\nMB:0=100\n");
+  EXPECT_TRUE(fs_.ReadFile("/schemata").ok());
+}
+
+TEST_F(ResctrlFsTest, TasksBindApps) {
+  Result<AppId> app = machine_.LaunchApp(Cg(), 4);
+  ASSERT_TRUE(app.ok());
+  ASSERT_TRUE(fs_.Mkdir("g").ok());
+  ASSERT_TRUE(
+      fs_.WriteFile("g/tasks", std::to_string(app->value()) + "\n").ok());
+  Result<std::string> tasks = fs_.ReadFile("g/tasks");
+  ASSERT_TRUE(tasks.ok());
+  EXPECT_EQ(*tasks, std::to_string(app->value()) + "\n");
+  // The root group's tasks list no longer includes the app.
+  EXPECT_EQ(*fs_.ReadFile("tasks"), "");
+  // Bad pids fault.
+  EXPECT_FALSE(fs_.WriteFile("g/tasks", "notanumber").ok());
+  EXPECT_EQ(fs_.WriteFile("g/tasks", "9999").code(), StatusCode::kNotFound);
+}
+
+TEST_F(ResctrlFsTest, MonitoringFiles) {
+  Result<AppId> app = machine_.LaunchApp(Cg(), 4);
+  ASSERT_TRUE(app.ok());
+  ASSERT_TRUE(fs_.Mkdir("g").ok());
+  ASSERT_TRUE(
+      fs_.WriteFile("g/tasks", std::to_string(app->value())).ok());
+  machine_.AdvanceTime(0.5);
+  Result<std::string> occupancy =
+      fs_.ReadFile("g/mon_data/mon_L3_00/llc_occupancy");
+  ASSERT_TRUE(occupancy.ok());
+  EXPECT_GT(std::stoll(*occupancy), 0);
+  Result<std::string> bandwidth =
+      fs_.ReadFile("g/mon_data/mon_L3_00/mbm_total_bytes");
+  ASSERT_TRUE(bandwidth.ok());
+  EXPECT_GT(std::stod(*bandwidth), 1e9);
+}
+
+TEST_F(ResctrlFsTest, InfoFiles) {
+  EXPECT_EQ(*fs_.ReadFile("info/L3/cbm_mask"), "7ff");
+  EXPECT_EQ(*fs_.ReadFile("info/L3/num_closids"), "16");
+  EXPECT_EQ(*fs_.ReadFile("info/MB/bandwidth_gran"), "10");
+  EXPECT_EQ(*fs_.ReadFile("info/MB/min_bandwidth"), "10");
+  EXPECT_FALSE(fs_.ReadFile("info/L3/nope").ok());
+}
+
+TEST_F(ResctrlFsTest, UnknownPathsFail) {
+  EXPECT_FALSE(fs_.ReadFile("g/schemata").ok());  // No such group yet.
+  ASSERT_TRUE(fs_.Mkdir("g").ok());
+  EXPECT_FALSE(fs_.ReadFile("g/unknown_file").ok());
+  EXPECT_FALSE(fs_.WriteFile("g/unknown_file", "x").ok());
+  EXPECT_FALSE(fs_.WriteFile("g", "x").ok());
+}
+
+TEST_F(ResctrlFsTest, EndToEndDriveViaFilesOnly) {
+  // A mini-controller using nothing but file operations, the way the
+  // paper's prototype works.
+  Result<AppId> cache_app = machine_.LaunchApp(WaterNsquared(), 4);
+  Result<AppId> bw_app = machine_.LaunchApp(Cg(), 4);
+  ASSERT_TRUE(cache_app.ok());
+  ASSERT_TRUE(bw_app.ok());
+  ASSERT_TRUE(fs_.Mkdir("cacheapp").ok());
+  ASSERT_TRUE(fs_.Mkdir("bwapp").ok());
+  ASSERT_TRUE(fs_.WriteFile("cacheapp/tasks",
+                            std::to_string(cache_app->value())).ok());
+  ASSERT_TRUE(
+      fs_.WriteFile("bwapp/tasks", std::to_string(bw_app->value())).ok());
+  ASSERT_TRUE(fs_.WriteFile("cacheapp/schemata", "L3:0=1f\nMB:0=100").ok());
+  ASSERT_TRUE(fs_.WriteFile("bwapp/schemata", "L3:0=7e0\nMB:0=50").ok());
+  machine_.AdvanceTime(0.5);
+  EXPECT_EQ(machine_.ClosWayMask(machine_.AppClos(*cache_app)).bits(),
+            0x1Fu);
+  EXPECT_EQ(machine_.ClosMbaLevel(machine_.AppClos(*bw_app)).percent(), 50u);
+}
+
+}  // namespace
+}  // namespace copart

@@ -1,0 +1,121 @@
+// The MSR-level RDT register emulation: architectural encoding rules,
+// fault behaviour, and consistency with the resctrl-level semantics.
+#include "resctrl/rdt_msr.h"
+
+#include <gtest/gtest.h>
+
+#include "cache/way_mask.h"
+#include "membw/mba.h"
+
+namespace copart {
+namespace {
+
+TEST(RdtMsrTest, ResetStateMatchesHardware) {
+  RdtMsrBank bank;
+  for (uint32_t clos = 0; clos < 16; ++clos) {
+    EXPECT_EQ(bank.ClosCacheMask(clos), 0x7FFu) << clos;
+    EXPECT_EQ(bank.ClosMbaLevel(clos), 100u) << clos;
+  }
+  for (uint32_t core = 0; core < 16; ++core) {
+    EXPECT_EQ(bank.CoreClos(core), 0u);
+  }
+}
+
+TEST(RdtMsrTest, L3MaskWriteAndReadBack) {
+  RdtMsrBank bank;
+  ASSERT_TRUE(bank.Write(kMsrIa32L3QosMaskBase + 3, 0x0F0).ok());
+  EXPECT_EQ(bank.ClosCacheMask(3), 0x0F0u);
+  Result<uint64_t> raw = bank.Read(kMsrIa32L3QosMaskBase + 3);
+  ASSERT_TRUE(raw.ok());
+  EXPECT_EQ(*raw, 0x0F0u);
+}
+
+TEST(RdtMsrTest, L3MaskFaults) {
+  RdtMsrBank bank;
+  // Reserved bits (way 11+ on an 11-bit CBM).
+  EXPECT_FALSE(bank.Write(kMsrIa32L3QosMaskBase, 0x800).ok());
+  // Empty mask.
+  EXPECT_FALSE(bank.Write(kMsrIa32L3QosMaskBase, 0x0).ok());
+  // Non-contiguous.
+  EXPECT_FALSE(bank.Write(kMsrIa32L3QosMaskBase, 0x505).ok());
+  // The faulting writes left the register untouched.
+  EXPECT_EQ(bank.ClosCacheMask(0), 0x7FFu);
+}
+
+TEST(RdtMsrTest, MbaDelayEncoding) {
+  RdtMsrBank bank;
+  // resctrl level 40 == delay 60.
+  ASSERT_TRUE(bank.Write(kMsrIa32MbaThrtlBase + 1, 60).ok());
+  EXPECT_EQ(bank.ClosMbaLevel(1), 40u);
+  // Delay 0 == unthrottled.
+  ASSERT_TRUE(bank.Write(kMsrIa32MbaThrtlBase + 1, 0).ok());
+  EXPECT_EQ(bank.ClosMbaLevel(1), 100u);
+}
+
+TEST(RdtMsrTest, MbaDelayFaults) {
+  RdtMsrBank bank;
+  EXPECT_FALSE(bank.Write(kMsrIa32MbaThrtlBase, 100).ok());  // >= 100.
+  EXPECT_FALSE(bank.Write(kMsrIa32MbaThrtlBase, 45).ok());   // Granularity.
+  EXPECT_EQ(bank.ClosMbaLevel(0), 100u);
+}
+
+TEST(RdtMsrTest, UnimplementedMsrsFault) {
+  RdtMsrBank bank;
+  EXPECT_FALSE(bank.Write(0x123, 1).ok());
+  EXPECT_FALSE(bank.Read(0x123).ok());
+  // One past the CLOS range.
+  EXPECT_FALSE(bank.Write(kMsrIa32L3QosMaskBase + 16, 0x1).ok());
+  EXPECT_FALSE(bank.Write(kMsrIa32MbaThrtlBase + 16, 0).ok());
+}
+
+TEST(RdtMsrTest, PqrAssocPerCore) {
+  RdtMsrBank bank;
+  ASSERT_TRUE(bank.WritePqrAssoc(5, 3).ok());
+  EXPECT_EQ(bank.CoreClos(5), 3u);
+  EXPECT_EQ(bank.CoreClos(4), 0u);
+  Result<uint32_t> read = bank.ReadPqrAssoc(5);
+  ASSERT_TRUE(read.ok());
+  EXPECT_EQ(*read, 3u);
+  EXPECT_FALSE(bank.WritePqrAssoc(99, 0).ok());
+  EXPECT_FALSE(bank.WritePqrAssoc(0, 16).ok());
+  EXPECT_FALSE(bank.Write(kMsrIa32PqrAssoc, 0).ok());
+}
+
+TEST(RdtMsrTest, CustomCapabilities) {
+  RdtMsrBank bank(RdtCapabilities{.num_clos = 4,
+                                  .cbm_bits = 20,
+                                  .num_cores = 8,
+                                  .mba_granularity = 20});
+  EXPECT_EQ(bank.ClosCacheMask(3), (1ULL << 20) - 1);
+  EXPECT_TRUE(bank.Write(kMsrIa32L3QosMaskBase, 0xFFFFF).ok());
+  EXPECT_TRUE(bank.Write(kMsrIa32MbaThrtlBase, 80).ok());
+  EXPECT_FALSE(bank.Write(kMsrIa32MbaThrtlBase, 30).ok());  // Granularity 20.
+  EXPECT_FALSE(bank.Write(kMsrIa32L3QosMaskBase + 4, 0x1).ok());
+}
+
+// Consistency bridge: every mask/level the resctrl layer accepts must
+// encode into a fault-free MSR write, and vice versa for rejections.
+TEST(RdtMsrTest, AgreesWithResctrlValidation) {
+  RdtMsrBank bank;
+  for (uint64_t bits = 0; bits <= 0xFFF; ++bits) {
+    const bool resctrl_ok = WayMask::FromBits(bits, 11).ok();
+    const bool msr_ok = bank.Write(kMsrIa32L3QosMaskBase, bits).ok();
+    EXPECT_EQ(resctrl_ok, msr_ok) << "bits=" << bits;
+  }
+  for (uint32_t percent = 0; percent <= 120; ++percent) {
+    const bool resctrl_ok = MbaLevel::FromPercent(percent).ok();
+    // Level -> delay encoding only defined for levels <= 100.
+    const bool msr_ok =
+        percent <= 100 &&
+        bank.Write(kMsrIa32MbaThrtlBase, 100 - percent).ok();
+    // resctrl additionally forbids level < 10 (delay > 90); hardware
+    // accepts any granular delay below 100. The kernel is the stricter
+    // layer, so resctrl-valid must imply MSR-valid.
+    if (resctrl_ok) {
+      EXPECT_TRUE(msr_ok) << percent;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace copart

@@ -1,0 +1,125 @@
+// The kernel-format schemata parser and the transactional WriteSchemata.
+#include "resctrl/schemata.h"
+
+#include <gtest/gtest.h>
+
+#include "resctrl/resctrl.h"
+
+namespace copart {
+namespace {
+
+TEST(SchemataParseTest, CompactForm) {
+  Result<Schemata> schemata = ParseSchemata("L3:0=7ff;MB:0=100");
+  ASSERT_TRUE(schemata.ok());
+  EXPECT_EQ(schemata->l3_mask, 0x7FFu);
+  EXPECT_EQ(schemata->mb_percent, 100u);
+}
+
+TEST(SchemataParseTest, KernelNewlineForm) {
+  Result<Schemata> schemata = ParseSchemata("L3:0=3f\nMB:0=40\n");
+  ASSERT_TRUE(schemata.ok());
+  EXPECT_EQ(schemata->l3_mask, 0x3Fu);
+  EXPECT_EQ(schemata->mb_percent, 40u);
+}
+
+TEST(SchemataParseTest, SingleResourceUpdates) {
+  Result<Schemata> l3_only = ParseSchemata("L3:0=f0");
+  ASSERT_TRUE(l3_only.ok());
+  EXPECT_EQ(l3_only->l3_mask, 0xF0u);
+  EXPECT_FALSE(l3_only->mb_percent.has_value());
+
+  Result<Schemata> mb_only = ParseSchemata("MB:0=30");
+  ASSERT_TRUE(mb_only.ok());
+  EXPECT_FALSE(mb_only->l3_mask.has_value());
+  EXPECT_EQ(mb_only->mb_percent, 30u);
+}
+
+TEST(SchemataParseTest, ToleratesWhitespaceAndHexPrefix) {
+  Result<Schemata> schemata = ParseSchemata("  L3 : 0 = 0x1C \n  MB:0= 50 ");
+  ASSERT_TRUE(schemata.ok());
+  EXPECT_EQ(schemata->l3_mask, 0x1Cu);
+  EXPECT_EQ(schemata->mb_percent, 50u);
+}
+
+TEST(SchemataParseTest, UppercaseHexDigits) {
+  Result<Schemata> schemata = ParseSchemata("L3:0=7FF");
+  ASSERT_TRUE(schemata.ok());
+  EXPECT_EQ(schemata->l3_mask, 0x7FFu);
+}
+
+TEST(SchemataParseTest, RejectsMalformedInput) {
+  for (const char* bad :
+       {"", ";", "L3", "L3:0", "L3:0=", "L3:1=7ff", "L2:0=7ff", "MB:0=abc",
+        "L3:0=xyz", "L3:0=7ff;L3:0=3", "MB:0=40;MB:0=50", "=7ff",
+        "L3=0:7ff", "MB:0=99999999999"}) {
+    Result<Schemata> schemata = ParseSchemata(bad);
+    EXPECT_FALSE(schemata.ok()) << "accepted: '" << bad << "'";
+    EXPECT_EQ(schemata.status().code(), StatusCode::kInvalidArgument);
+  }
+}
+
+TEST(SchemataParseTest, RoundTripsThroughToString) {
+  for (const char* text : {"L3:0=7ff;MB:0=100", "L3:0=1", "MB:0=10"}) {
+    Result<Schemata> schemata = ParseSchemata(text);
+    ASSERT_TRUE(schemata.ok());
+    EXPECT_EQ(schemata->ToString(), text);
+  }
+}
+
+class WriteSchemataTest : public ::testing::Test {
+ protected:
+  WriteSchemataTest() : machine_(MachineConfig{}), resctrl_(&machine_) {
+    Result<ResctrlGroupId> group = resctrl_.CreateGroup("g");
+    CHECK(group.ok());
+    group_ = *group;
+  }
+
+  SimulatedMachine machine_;
+  Resctrl resctrl_;
+  ResctrlGroupId group_;
+};
+
+TEST_F(WriteSchemataTest, AppliesBothResources) {
+  ASSERT_TRUE(resctrl_.WriteSchemata(group_, "L3:0=3f\nMB:0=40").ok());
+  EXPECT_EQ(resctrl_.ReadSchemata(group_), "L3:0=3f;MB:0=40");
+}
+
+TEST_F(WriteSchemataTest, PartialUpdateKeepsOtherResource) {
+  ASSERT_TRUE(resctrl_.WriteSchemata(group_, "L3:0=7;MB:0=40").ok());
+  ASSERT_TRUE(resctrl_.WriteSchemata(group_, "MB:0=90").ok());
+  EXPECT_EQ(resctrl_.ReadSchemata(group_), "L3:0=7;MB:0=90");
+  ASSERT_TRUE(resctrl_.WriteSchemata(group_, "L3:0=70").ok());
+  EXPECT_EQ(resctrl_.ReadSchemata(group_), "L3:0=70;MB:0=90");
+}
+
+TEST_F(WriteSchemataTest, TransactionalOnValidationFailure) {
+  ASSERT_TRUE(resctrl_.WriteSchemata(group_, "L3:0=3f;MB:0=40").ok());
+  // Valid L3 but out-of-range MB: NOTHING may change.
+  EXPECT_FALSE(resctrl_.WriteSchemata(group_, "L3:0=7;MB:0=45").ok());
+  EXPECT_EQ(resctrl_.ReadSchemata(group_), "L3:0=3f;MB:0=40");
+  // Non-contiguous CBM with valid MB: same.
+  EXPECT_FALSE(resctrl_.WriteSchemata(group_, "L3:0=505;MB:0=100").ok());
+  EXPECT_EQ(resctrl_.ReadSchemata(group_), "L3:0=3f;MB:0=40");
+}
+
+TEST_F(WriteSchemataTest, ValidatesAgainstGeometry) {
+  EXPECT_FALSE(resctrl_.WriteSchemata(group_, "L3:0=800").ok());  // Way 11.
+  EXPECT_FALSE(resctrl_.WriteSchemata(group_, "L3:0=0").ok());
+  EXPECT_FALSE(resctrl_.WriteSchemata(group_, "MB:0=0").ok());
+}
+
+TEST_F(WriteSchemataTest, UnknownGroupFails) {
+  EXPECT_EQ(resctrl_.WriteSchemata(ResctrlGroupId(9), "L3:0=1").code(),
+            StatusCode::kNotFound);
+}
+
+TEST_F(WriteSchemataTest, ReadWriteRoundTrip) {
+  // Whatever ReadSchemata renders must be accepted back verbatim.
+  ASSERT_TRUE(resctrl_.WriteSchemata(group_, "L3:0=1c0;MB:0=70").ok());
+  const std::string schemata = resctrl_.ReadSchemata(group_);
+  ASSERT_TRUE(resctrl_.WriteSchemata(group_, schemata).ok());
+  EXPECT_EQ(resctrl_.ReadSchemata(group_), schemata);
+}
+
+}  // namespace
+}  // namespace copart

@@ -1,0 +1,80 @@
+// End-to-end validation of the shared-capacity fixed point against the
+// trace-driven cache, including overlapping CAT masks — the configuration
+// the no-partitioning baseline and profiling probes rely on.
+#include "machine/shared_cache_validator.h"
+
+#include <gtest/gtest.h>
+
+#include "common/units.h"
+
+namespace copart {
+namespace {
+
+SharedCacheValidationConfig FastConfig() {
+  SharedCacheValidationConfig config;
+  config.warmup_accesses = 200000;
+  config.measured_accesses = 400000;
+  return config;
+}
+
+TEST(SharedCacheValidationTest, DisjointPartitionsMatchSoloCurves) {
+  // Two apps in disjoint partitions: sharing plays no role, so both models
+  // must agree closely.
+  const SharedCacheValidationResult result = ValidateSharedCache(
+      {WaterNsquared(), Cg()},
+      {WayMask::Contiguous(0, 6), WayMask::Contiguous(6, 5)}, FastConfig());
+  EXPECT_LT(result.max_miss_ratio_error, 0.06);
+}
+
+TEST(SharedCacheValidationTest, IdenticalAppsSplitSharedCacheEvenly) {
+  // Two identical cache-hungry apps sharing the full mask: the fixed point
+  // predicts a ~50/50 split; the trace-driven cache must agree.
+  const SharedCacheValidationResult result = ValidateSharedCache(
+      {Sp(), Sp()},
+      {WayMask::Contiguous(0, 11), WayMask::Contiguous(0, 11)}, FastConfig());
+  ASSERT_EQ(result.apps.size(), 2u);
+  EXPECT_NEAR(result.apps[0].measured_occupancy_fraction,
+              result.apps[1].measured_occupancy_fraction, 0.08);
+  EXPECT_LT(result.max_miss_ratio_error, 0.08);
+  EXPECT_LT(result.max_occupancy_error, 0.12);
+}
+
+TEST(SharedCacheValidationTest, StreamerVsResidentSharing) {
+  // A streaming app sharing the full cache with a small-working-set app:
+  // the analytic fixed point must track how much capacity the stream
+  // actually steals under LRU.
+  const SharedCacheValidationResult result = ValidateSharedCache(
+      {OceanCp(), Kmeans()},
+      {WayMask::Contiguous(0, 11), WayMask::Contiguous(0, 11)}, FastConfig());
+  EXPECT_LT(result.max_miss_ratio_error, 0.10);
+  // The resident app keeps a meaningful share in both models.
+  EXPECT_GT(result.apps[1].measured_occupancy_fraction, 0.1);
+  EXPECT_GT(result.apps[1].analytic_capacity_fraction, 0.1);
+}
+
+TEST(SharedCacheValidationTest, PartialOverlapThreeApps) {
+  // Mask layout: [0-5], [4-8], [8-10] — pairwise partial overlaps.
+  const SharedCacheValidationResult result = ValidateSharedCache(
+      {WaterNsquared(), OceanNcp(), Raytrace()},
+      {WayMask::Contiguous(0, 6), WayMask::Contiguous(4, 5),
+       WayMask::Contiguous(8, 3)},
+      FastConfig());
+  EXPECT_LT(result.max_miss_ratio_error, 0.12);
+  EXPECT_LT(result.max_occupancy_error, 0.15);
+}
+
+TEST(SharedCacheValidationTest, ResultShapesAreSane) {
+  const SharedCacheValidationResult result = ValidateSharedCache(
+      {Swaptions(), Ft()},
+      {WayMask::Contiguous(0, 11), WayMask::Contiguous(0, 11)}, FastConfig());
+  ASSERT_EQ(result.apps.size(), 2u);
+  for (const AppValidationResult& app : result.apps) {
+    EXPECT_GE(app.measured_miss_ratio, 0.0);
+    EXPECT_LE(app.measured_miss_ratio, 1.0);
+    EXPECT_GE(app.measured_occupancy_fraction, 0.0);
+    EXPECT_LE(app.measured_occupancy_fraction, 1.0);
+  }
+}
+
+}  // namespace
+}  // namespace copart

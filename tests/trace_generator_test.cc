@@ -1,0 +1,114 @@
+#include "trace/trace_generator.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <unordered_map>
+
+#include "common/units.h"
+
+namespace copart {
+namespace {
+
+TEST(UniformWorkingSetGeneratorTest, StaysInRangeAndLineAligned) {
+  UniformWorkingSetGenerator generator(MiB(1), KiB(64), 64, Rng(1));
+  for (int i = 0; i < 10000; ++i) {
+    const uint64_t address = generator.Next();
+    EXPECT_GE(address, MiB(1));
+    EXPECT_LT(address, MiB(1) + KiB(64));
+    EXPECT_EQ((address - MiB(1)) % 64, 0u);
+  }
+}
+
+TEST(UniformWorkingSetGeneratorTest, CoversAllLines) {
+  constexpr uint64_t kLines = 32;
+  UniformWorkingSetGenerator generator(0, kLines * 64, 64, Rng(2));
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 2000; ++i) {
+    seen.insert(generator.Next() / 64);
+  }
+  EXPECT_EQ(seen.size(), kLines);
+}
+
+TEST(UniformWorkingSetGeneratorTest, TinyWorkingSetClampsToOneLine) {
+  UniformWorkingSetGenerator generator(0, 8, 64, Rng(3));
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(generator.Next(), 0u);
+  }
+}
+
+TEST(StreamingGeneratorTest, StrictlyIncreasingByLine) {
+  StreamingGenerator generator(GiB(4), 64);
+  uint64_t previous = generator.Next();
+  EXPECT_EQ(previous, GiB(4));
+  for (int i = 0; i < 1000; ++i) {
+    const uint64_t address = generator.Next();
+    EXPECT_EQ(address, previous + 64);
+    previous = address;
+  }
+}
+
+TEST(MixtureTraceGeneratorTest, RespectsComponentWeights) {
+  // 60% to a 1 MiB set, 40% streaming: classify draws by address region.
+  const ReuseProfile profile({{0.6, MiB(1)}}, 0.4);
+  MixtureTraceGenerator generator(profile, 64, Rng(7));
+  int in_component = 0, streaming = 0;
+  constexpr int kDraws = 50000;
+  for (int i = 0; i < kDraws; ++i) {
+    const uint64_t address = generator.Next();
+    if (address < MiB(1)) {
+      ++in_component;
+    } else {
+      ++streaming;
+    }
+  }
+  EXPECT_NEAR(in_component / static_cast<double>(kDraws), 0.6, 0.02);
+  EXPECT_NEAR(streaming / static_cast<double>(kDraws), 0.4, 0.02);
+}
+
+TEST(MixtureTraceGeneratorTest, ComponentRangesAreDisjoint) {
+  const ReuseProfile profile({{0.4, MiB(2)}, {0.4, MiB(2)}}, 0.2);
+  MixtureTraceGenerator generator(profile, 64, Rng(11));
+  // Draws from the two components and the stream must never collide on the
+  // same cache line.
+  std::unordered_map<uint64_t, int> region_of_line;
+  for (int i = 0; i < 20000; ++i) {
+    const uint64_t address = generator.Next();
+    int region;
+    if (address < MiB(2)) {
+      region = 0;
+    } else if (address < GiB(2)) {
+      region = 1;
+    } else {
+      region = 2;
+    }
+    auto [it, inserted] = region_of_line.try_emplace(address / 64, region);
+    EXPECT_EQ(it->second, region);
+  }
+}
+
+TEST(MixtureTraceGeneratorTest, ResidualWeightDrawsSingleResidentLine) {
+  // 0.5 component + 0.2 stream leaves 0.3 residual -> one hot line.
+  const ReuseProfile profile({{0.5, MiB(1)}}, 0.2);
+  MixtureTraceGenerator generator(profile, 64, Rng(13));
+  std::set<uint64_t> resident_lines;
+  for (int i = 0; i < 30000; ++i) {
+    const uint64_t address = generator.Next();
+    if (address >= GiB(200)) {
+      resident_lines.insert(address / 64);
+    }
+  }
+  EXPECT_EQ(resident_lines.size(), 1u);
+}
+
+TEST(MixtureTraceGeneratorTest, DeterministicForSameSeed) {
+  const ReuseProfile profile({{0.7, MiB(1)}}, 0.3);
+  MixtureTraceGenerator a(profile, 64, Rng(17));
+  MixtureTraceGenerator b(profile, 64, Rng(17));
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_EQ(a.Next(), b.Next());
+  }
+}
+
+}  // namespace
+}  // namespace copart

@@ -1,0 +1,127 @@
+// Multi-phase workloads: phase programs, machine-side scaling, and the
+// controller's drift-triggered re-adaptation (paper §5.4.3).
+#include <gtest/gtest.h>
+
+#include "common/units.h"
+#include "core/resource_manager.h"
+#include "machine/simulated_machine.h"
+#include "pmc/perf_monitor.h"
+#include "resctrl/resctrl.h"
+#include "workload/workload.h"
+
+namespace copart {
+namespace {
+
+TEST(WorkloadPhaseTest, EmptyProgramIsIdentity) {
+  const WorkloadDescriptor d = Cg();
+  const WorkloadPhase phase = d.PhaseAt(123.4);
+  EXPECT_DOUBLE_EQ(phase.access_intensity_scale, 1.0);
+  EXPECT_DOUBLE_EQ(phase.streaming_scale, 1.0);
+  EXPECT_DOUBLE_EQ(phase.cpi_exec_scale, 1.0);
+}
+
+TEST(WorkloadPhaseTest, ProgramCycles) {
+  const WorkloadDescriptor d = PhasedScanCompute(10.0);
+  ASSERT_EQ(d.phases.size(), 2u);
+  // Phase A for t in [0,10), phase B for [10,20), then wrap.
+  EXPECT_DOUBLE_EQ(d.PhaseAt(0.0).streaming_scale, 1.0);
+  EXPECT_DOUBLE_EQ(d.PhaseAt(9.9).streaming_scale, 1.0);
+  EXPECT_GT(d.PhaseAt(10.1).streaming_scale, 1.0);
+  EXPECT_GT(d.PhaseAt(19.9).streaming_scale, 1.0);
+  EXPECT_DOUBLE_EQ(d.PhaseAt(20.1).streaming_scale, 1.0);
+  EXPECT_GT(d.PhaseAt(31.0).streaming_scale, 1.0);
+  // Negative times clamp to the first phase.
+  EXPECT_DOUBLE_EQ(d.PhaseAt(-5.0).streaming_scale, 1.0);
+}
+
+TEST(WorkloadPhaseTest, MachineAppliesPhaseScaling) {
+  MachineConfig config;
+  config.ips_noise_sigma = 0.0;
+  SimulatedMachine machine(config);
+  Result<AppId> app = machine.LaunchApp(PhasedScanCompute(10.0), 4);
+  ASSERT_TRUE(app.ok());
+
+  machine.AdvanceTime(5.0);  // Mid phase A.
+  const AppEpochSnapshot compute_phase = machine.LastEpoch(*app);
+  machine.AdvanceTime(10.0);  // t = 15: mid phase B (scan).
+  const AppEpochSnapshot scan_phase = machine.LastEpoch(*app);
+
+  // The scan phase misses more, pulls more bandwidth, and runs slower.
+  EXPECT_GT(scan_phase.miss_ratio, compute_phase.miss_ratio * 2.0);
+  EXPECT_GT(scan_phase.bandwidth_demand_bytes_per_sec,
+            compute_phase.bandwidth_demand_bytes_per_sec * 2.0);
+  EXPECT_LT(scan_phase.ips, compute_phase.ips);
+
+  machine.AdvanceTime(10.0);  // t = 25: back in phase A.
+  EXPECT_NEAR(machine.LastEpoch(*app).ips, compute_phase.ips,
+              compute_phase.ips * 1e-9);
+}
+
+TEST(WorkloadPhaseTest, PhaseClockStartsAtLaunch) {
+  MachineConfig config;
+  config.ips_noise_sigma = 0.0;
+  SimulatedMachine machine(config);
+  machine.AdvanceTime(7.0);  // Machine time is not app time.
+  Result<AppId> app = machine.LaunchApp(PhasedScanCompute(10.0), 4);
+  ASSERT_TRUE(app.ok());
+  machine.AdvanceTime(5.0);  // App-relative t = 5: still phase A.
+  const double phase_a_miss = machine.LastEpoch(*app).miss_ratio;
+  machine.AdvanceTime(10.0);  // App-relative t = 15: phase B.
+  EXPECT_GT(machine.LastEpoch(*app).miss_ratio, phase_a_miss * 2.0);
+}
+
+TEST(WorkloadPhaseTest, StreamingScaleIsCappedByResidualWeight) {
+  // A profile with components summing to 0.9 and stream 0.05: even a 100x
+  // phase scale must keep total weight <= 1 (stream capped at 0.1).
+  WorkloadDescriptor d;
+  d.name = "capped";
+  d.reuse_profile = ReuseProfile({{0.90, MiB(4)}}, 0.05);
+  d.accesses_per_instr = 0.01;
+  d.phases = {WorkloadPhase{.duration_sec = 1.0, .streaming_scale = 100.0}};
+  MachineConfig config;
+  config.ips_noise_sigma = 0.0;
+  SimulatedMachine machine(config);
+  Result<AppId> app = machine.LaunchApp(d, 4);
+  ASSERT_TRUE(app.ok());
+  machine.AdvanceTime(0.5);  // Must not CHECK-fail in ReuseProfile.
+  EXPECT_LE(machine.LastEpoch(*app).miss_ratio, 1.0);
+}
+
+TEST(WorkloadPhaseTest, ManagerReAdaptsOnPhaseChange) {
+  // A phased app shares the machine with a steady app. After CoPart settles
+  // in idle during the compute phase, the switch to the scan phase drifts
+  // the IPS past the idle threshold and must trigger re-adaptation.
+  MachineConfig config;
+  config.ips_noise_sigma = 0.005;
+  SimulatedMachine machine(config);
+  Resctrl resctrl(&machine);
+  PerfMonitor monitor(&machine);
+  // Long phases so the controller fully converges inside one phase.
+  Result<AppId> phased = machine.LaunchApp(PhasedScanCompute(60.0), 4);
+  Result<AppId> steady = machine.LaunchApp(WaterNsquared(), 4);
+  ASSERT_TRUE(phased.ok());
+  ASSERT_TRUE(steady.ok());
+
+  ResourceManagerParams params;
+  ResourceManager manager(&resctrl, &monitor, params);
+  ASSERT_TRUE(manager.AddApp(*phased).ok());
+  ASSERT_TRUE(manager.AddApp(*steady).ok());
+
+  // Converge within phase A (60 s of 0.5 s periods = phase A entirely).
+  auto run = [&](int periods) {
+    for (int i = 0; i < periods; ++i) {
+      machine.AdvanceTime(params.control_period_sec);
+      manager.Tick();
+    }
+  };
+  run(100);  // t = 50 s, still phase A.
+  ASSERT_EQ(manager.phase(), ResourceManager::Phase::kIdle);
+  const uint64_t adaptations_before = manager.adaptations_started();
+
+  run(40);  // Crosses into phase B at t = 60 s.
+  EXPECT_GT(manager.adaptations_started(), adaptations_before)
+      << "phase change did not re-trigger adaptation";
+}
+
+}  // namespace
+}  // namespace copart

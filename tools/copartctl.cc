@@ -1,0 +1,250 @@
+// copartctl — command-line front end for the CoPart library.
+//
+// Subcommands:
+//   benchmarks                       list the built-in workload surrogates
+//   characterize <bench>             (ways x MBA) sweep + category (§4.1)
+//   run <mix> <policy> [count] [s]   one consolidation experiment
+//   compare <mix> [count]            all policies side by side
+//   oracle <mix> [count]             show the offline ST search result
+//   casestudy [--eq]                 the §6.3 LC + batch scenario
+//
+// Mixes: H-LLC H-BW H-Both M-LLC M-BW M-Both IS
+// Policies: EQ ST CAT-only MBA-only CoPart UCP NoPart
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "harness/case_study.h"
+#include "harness/experiment.h"
+#include "harness/heatmap.h"
+#include "harness/mix.h"
+#include "harness/static_oracle.h"
+#include "harness/table_printer.h"
+#include "machine/simulated_machine.h"
+#include "workload/workload.h"
+
+namespace copart {
+namespace {
+
+int Usage() {
+  std::fprintf(
+      stderr,
+      "usage: copartctl <command> [args]\n"
+      "  benchmarks\n"
+      "  characterize <bench>\n"
+      "  run <mix> <policy> [app_count] [duration_sec]\n"
+      "  compare <mix> [app_count]\n"
+      "  oracle <mix> [app_count]\n"
+      "  casestudy [--eq]\n"
+      "mixes: H-LLC H-BW H-Both M-LLC M-BW M-Both IS\n"
+      "policies: EQ ST CAT-only MBA-only CoPart UCP NoPart\n");
+  return 2;
+}
+
+Result<WorkloadDescriptor> FindBenchmark(const std::string& name) {
+  std::vector<WorkloadDescriptor> all = AllTable2Benchmarks();
+  all.push_back(Stream());
+  all.push_back(Memcached());
+  all.push_back(WordCount());
+  all.push_back(Kmeans());
+  all.push_back(PhasedScanCompute());
+  for (WorkloadDescriptor& descriptor : all) {
+    if (descriptor.name == name || descriptor.short_name == name) {
+      return descriptor;
+    }
+  }
+  return NotFoundError("unknown benchmark: " + name);
+}
+
+Result<MixFamily> FindMix(const std::string& name) {
+  for (MixFamily family : AllMixFamilies()) {
+    if (name == MixFamilyName(family)) {
+      return family;
+    }
+  }
+  return NotFoundError("unknown mix: " + name);
+}
+
+Result<PolicyFactory> FindPolicy(const std::string& name) {
+  for (auto& [policy_name, factory] : StandardPolicies()) {
+    if (name == policy_name) {
+      return factory;
+    }
+  }
+  if (name == "UCP") {
+    return UcpFactory();
+  }
+  if (name == "NoPart") {
+    return NoPartFactory();
+  }
+  return NotFoundError("unknown policy: " + name);
+}
+
+int CmdBenchmarks() {
+  std::vector<std::vector<std::string>> rows;
+  for (const WorkloadDescriptor& d : AllTable2Benchmarks()) {
+    rows.push_back({d.short_name, d.name, WorkloadCategoryName(d.category)});
+  }
+  for (const WorkloadDescriptor& d :
+       {Stream(), Memcached(), WordCount(), Kmeans(), PhasedScanCompute()}) {
+    rows.push_back({d.short_name, d.name, WorkloadCategoryName(d.category)});
+  }
+  PrintTable({"id", "name", "category"}, rows);
+  return 0;
+}
+
+int CmdCharacterize(const std::string& name) {
+  Result<WorkloadDescriptor> descriptor = FindBenchmark(name);
+  if (!descriptor.ok()) {
+    std::fprintf(stderr, "%s\n", descriptor.status().ToString().c_str());
+    return 1;
+  }
+  const SoloHeatmap map = SweepSoloPerformance(*descriptor, MachineConfig{});
+  std::vector<std::string> row_labels, col_labels;
+  for (uint32_t ways : map.way_counts) {
+    row_labels.push_back(std::to_string(ways) + "w");
+  }
+  for (uint32_t mba : map.mba_percents) {
+    col_labels.push_back(std::to_string(mba) + "%");
+  }
+  PrintHeatmap(descriptor->name + ": normalized IPS (rows = ways, cols = MBA)",
+               row_labels, col_labels, map.normalized_ips);
+  std::printf("90%% of peak: >= %u ways (at MBA 100), >= %u%% MBA (at 11 ways)\n",
+              map.MinWaysForFraction(0.9), map.MinMbaForFraction(0.9));
+  return 0;
+}
+
+void PrintExperiment(const ExperimentResult& result) {
+  std::vector<std::vector<std::string>> rows;
+  for (size_t i = 0; i < result.app_names.size(); ++i) {
+    rows.push_back({result.app_names[i], FormatSci(result.avg_ips[i]),
+                    FormatSci(result.solo_full_ips[i]),
+                    FormatFixed(result.slowdowns[i], 3)});
+  }
+  PrintTable({"app", "avg IPS", "solo-full IPS", "slowdown"}, rows);
+  std::printf("unfairness: %.4f   throughput (geomean IPS): %.3e\n",
+              result.unfairness, result.throughput_geomean);
+  if (result.avg_exploration_us > 0.0) {
+    std::printf("mean exploration step: %.2f us\n",
+                result.avg_exploration_us);
+  }
+}
+
+int CmdRun(const std::string& mix_name, const std::string& policy_name,
+           size_t count, double duration) {
+  Result<MixFamily> family = FindMix(mix_name);
+  Result<PolicyFactory> factory = FindPolicy(policy_name);
+  if (!family.ok() || !factory.ok()) {
+    std::fprintf(stderr, "%s\n",
+                 (!family.ok() ? family.status() : factory.status())
+                     .ToString()
+                     .c_str());
+    return 1;
+  }
+  ExperimentConfig config;
+  config.duration_sec = duration;
+  const WorkloadMix mix = MakeMix(*family, count);
+  std::printf("%s on %s (%zu apps, %.0fs):\n", policy_name.c_str(),
+              mix.name.c_str(), mix.apps.size(), duration);
+  PrintExperiment(RunExperiment(mix, *factory, config));
+  return 0;
+}
+
+int CmdCompare(const std::string& mix_name, size_t count) {
+  Result<MixFamily> family = FindMix(mix_name);
+  if (!family.ok()) {
+    std::fprintf(stderr, "%s\n", family.status().ToString().c_str());
+    return 1;
+  }
+  const WorkloadMix mix = MakeMix(*family, count);
+  auto policies = StandardPolicies();
+  policies.emplace_back("UCP", UcpFactory());
+  std::vector<std::vector<std::string>> rows;
+  for (const auto& [name, factory] : policies) {
+    const ExperimentResult result = RunExperiment(mix, factory, {});
+    rows.push_back({name, FormatFixed(result.unfairness, 4),
+                    FormatSci(result.throughput_geomean)});
+  }
+  std::printf("mix %s:\n", mix.name.c_str());
+  PrintTable({"policy", "unfairness", "geomean IPS"}, rows);
+  return 0;
+}
+
+int CmdOracle(const std::string& mix_name, size_t count) {
+  Result<MixFamily> family = FindMix(mix_name);
+  if (!family.ok()) {
+    std::fprintf(stderr, "%s\n", family.status().ToString().c_str());
+    return 1;
+  }
+  const WorkloadMix mix = MakeMix(*family, count);
+  MachineConfig machine_config;
+  machine_config.ips_noise_sigma = 0.0;
+  SimulatedMachine machine(machine_config);
+  std::vector<AppId> apps;
+  for (const WorkloadDescriptor& descriptor : mix.apps) {
+    Result<AppId> app =
+        machine.LaunchApp(descriptor, CoresPerApp(mix.apps.size()));
+    CHECK(app.ok()) << app.status().ToString();
+    apps.push_back(*app);
+  }
+  const ResourcePool pool{.first_way = 0, .num_ways = 11,
+                          .max_mba_percent = 100};
+  const StaticOracleResult oracle =
+      FindStaticOracleState(machine, apps, pool);
+  std::printf("mix %s: best static state %s\n", mix.name.c_str(),
+              oracle.best_state.ToString().c_str());
+  std::printf("predicted unfairness %.4f (%zu states evaluated)\n",
+              oracle.best_unfairness, oracle.states_evaluated);
+  return 0;
+}
+
+int CmdCaseStudy(bool use_eq) {
+  CaseStudyConfig config;
+  config.use_copart = !use_eq;
+  const CaseStudyResult result = RunCaseStudy(config);
+  std::printf("batch manager: %s\n", use_eq ? "EQ" : "CoPart");
+  std::printf("mean batch unfairness: %.4f\n", result.mean_batch_unfairness);
+  std::printf("p95 SLO violations: %.1f%% of samples\n",
+              100.0 * result.slo_violation_fraction);
+  if (!use_eq) {
+    std::printf("re-adaptations: %llu\n",
+                static_cast<unsigned long long>(result.copart_adaptations));
+  }
+  return 0;
+}
+
+int Main(int argc, char** argv) {
+  if (argc < 2) {
+    return Usage();
+  }
+  const std::string command = argv[1];
+  if (command == "benchmarks") {
+    return CmdBenchmarks();
+  }
+  if (command == "characterize" && argc >= 3) {
+    return CmdCharacterize(argv[2]);
+  }
+  if (command == "run" && argc >= 4) {
+    const size_t count = argc >= 5 ? std::strtoul(argv[4], nullptr, 10) : 4;
+    const double duration = argc >= 6 ? std::strtod(argv[5], nullptr) : 50.0;
+    return CmdRun(argv[2], argv[3], count, duration);
+  }
+  if (command == "compare" && argc >= 3) {
+    const size_t count = argc >= 4 ? std::strtoul(argv[3], nullptr, 10) : 4;
+    return CmdCompare(argv[2], count);
+  }
+  if (command == "oracle" && argc >= 3) {
+    const size_t count = argc >= 4 ? std::strtoul(argv[3], nullptr, 10) : 4;
+    return CmdOracle(argv[2], count);
+  }
+  if (command == "casestudy") {
+    return CmdCaseStudy(argc >= 3 && std::strcmp(argv[2], "--eq") == 0);
+  }
+  return Usage();
+}
+
+}  // namespace
+}  // namespace copart
+
+int main(int argc, char** argv) { return copart::Main(argc, argv); }
