@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_cluster_placement.dir/bench_cluster_placement.cc.o"
+  "CMakeFiles/bench_cluster_placement.dir/bench_cluster_placement.cc.o.d"
+  "bench_cluster_placement"
+  "bench_cluster_placement.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_cluster_placement.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

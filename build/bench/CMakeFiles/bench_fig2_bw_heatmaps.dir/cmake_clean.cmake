@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig2_bw_heatmaps.dir/bench_fig2_bw_heatmaps.cc.o"
+  "CMakeFiles/bench_fig2_bw_heatmaps.dir/bench_fig2_bw_heatmaps.cc.o.d"
+  "bench_fig2_bw_heatmaps"
+  "bench_fig2_bw_heatmaps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_bw_heatmaps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_lm_heatmaps.dir/bench_fig3_lm_heatmaps.cc.o"
+  "CMakeFiles/bench_fig3_lm_heatmaps.dir/bench_fig3_lm_heatmaps.cc.o.d"
+  "bench_fig3_lm_heatmaps"
+  "bench_fig3_lm_heatmaps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_lm_heatmaps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_fairness_llc.dir/bench_fig4_fairness_llc.cc.o"
+  "CMakeFiles/bench_fig4_fairness_llc.dir/bench_fig4_fairness_llc.cc.o.d"
+  "bench_fig4_fairness_llc"
+  "bench_fig4_fairness_llc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_fairness_llc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_fairness_lm.dir/bench_fig6_fairness_lm.cc.o"
+  "CMakeFiles/bench_fig6_fairness_lm.dir/bench_fig6_fairness_lm.cc.o.d"
+  "bench_fig6_fairness_lm"
+  "bench_fig6_fairness_lm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_fairness_lm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

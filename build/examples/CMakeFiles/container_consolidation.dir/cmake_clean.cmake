@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/container_consolidation.dir/container_consolidation.cpp.o"
+  "CMakeFiles/container_consolidation.dir/container_consolidation.cpp.o.d"
+  "container_consolidation"
+  "container_consolidation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/container_consolidation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

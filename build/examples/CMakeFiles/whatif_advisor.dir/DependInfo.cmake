@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/whatif_advisor.cpp" "examples/CMakeFiles/whatif_advisor.dir/whatif_advisor.cpp.o" "gcc" "examples/CMakeFiles/whatif_advisor.dir/whatif_advisor.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/copart_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/cache/CMakeFiles/copart_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/container/CMakeFiles/copart_container.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/copart_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/membw/CMakeFiles/copart_membw.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/copart_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/machine/CMakeFiles/copart_machine.dir/DependInfo.cmake"
+  "/root/repo/build/src/resctrl/CMakeFiles/copart_resctrl.dir/DependInfo.cmake"
+  "/root/repo/build/src/pmc/CMakeFiles/copart_pmc.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/copart_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/copart_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/harness/CMakeFiles/copart_harness.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/copart_trace.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

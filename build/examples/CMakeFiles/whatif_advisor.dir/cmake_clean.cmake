@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/whatif_advisor.dir/whatif_advisor.cpp.o"
+  "CMakeFiles/whatif_advisor.dir/whatif_advisor.cpp.o.d"
+  "whatif_advisor"
+  "whatif_advisor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/whatif_advisor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

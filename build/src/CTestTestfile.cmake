@@ -1,0 +1,19 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("cache")
+subdirs("trace")
+subdirs("membw")
+subdirs("workload")
+subdirs("machine")
+subdirs("resctrl")
+subdirs("container")
+subdirs("cluster")
+subdirs("pmc")
+subdirs("metrics")
+subdirs("core")
+subdirs("harness")

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cache/miss_ratio_curve.cc" "src/cache/CMakeFiles/copart_cache.dir/miss_ratio_curve.cc.o" "gcc" "src/cache/CMakeFiles/copart_cache.dir/miss_ratio_curve.cc.o.d"
+  "/root/repo/src/cache/way_mask.cc" "src/cache/CMakeFiles/copart_cache.dir/way_mask.cc.o" "gcc" "src/cache/CMakeFiles/copart_cache.dir/way_mask.cc.o.d"
+  "/root/repo/src/cache/way_partitioned_cache.cc" "src/cache/CMakeFiles/copart_cache.dir/way_partitioned_cache.cc.o" "gcc" "src/cache/CMakeFiles/copart_cache.dir/way_partitioned_cache.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/copart_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

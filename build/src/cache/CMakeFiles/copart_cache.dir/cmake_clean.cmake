@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/copart_cache.dir/miss_ratio_curve.cc.o"
+  "CMakeFiles/copart_cache.dir/miss_ratio_curve.cc.o.d"
+  "CMakeFiles/copart_cache.dir/way_mask.cc.o"
+  "CMakeFiles/copart_cache.dir/way_mask.cc.o.d"
+  "CMakeFiles/copart_cache.dir/way_partitioned_cache.cc.o"
+  "CMakeFiles/copart_cache.dir/way_partitioned_cache.cc.o.d"
+  "libcopart_cache.a"
+  "libcopart_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/copart_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/copart_cluster.dir/cluster.cc.o"
+  "CMakeFiles/copart_cluster.dir/cluster.cc.o.d"
+  "libcopart_cluster.a"
+  "libcopart_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/copart_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

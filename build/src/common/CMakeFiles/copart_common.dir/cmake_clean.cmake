@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/copart_common.dir/logging.cc.o"
+  "CMakeFiles/copart_common.dir/logging.cc.o.d"
+  "CMakeFiles/copart_common.dir/rng.cc.o"
+  "CMakeFiles/copart_common.dir/rng.cc.o.d"
+  "CMakeFiles/copart_common.dir/stats.cc.o"
+  "CMakeFiles/copart_common.dir/stats.cc.o.d"
+  "CMakeFiles/copart_common.dir/status.cc.o"
+  "CMakeFiles/copart_common.dir/status.cc.o.d"
+  "libcopart_common.a"
+  "libcopart_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/copart_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

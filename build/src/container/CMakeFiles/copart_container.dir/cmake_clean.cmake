@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/copart_container.dir/container_runtime.cc.o"
+  "CMakeFiles/copart_container.dir/container_runtime.cc.o.d"
+  "libcopart_container.a"
+  "libcopart_container.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/copart_container.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/classifiers.cc" "src/core/CMakeFiles/copart_core.dir/classifiers.cc.o" "gcc" "src/core/CMakeFiles/copart_core.dir/classifiers.cc.o.d"
+  "/root/repo/src/core/dcat_policy.cc" "src/core/CMakeFiles/copart_core.dir/dcat_policy.cc.o" "gcc" "src/core/CMakeFiles/copart_core.dir/dcat_policy.cc.o.d"
+  "/root/repo/src/core/hr_matching.cc" "src/core/CMakeFiles/copart_core.dir/hr_matching.cc.o" "gcc" "src/core/CMakeFiles/copart_core.dir/hr_matching.cc.o.d"
+  "/root/repo/src/core/policies.cc" "src/core/CMakeFiles/copart_core.dir/policies.cc.o" "gcc" "src/core/CMakeFiles/copart_core.dir/policies.cc.o.d"
+  "/root/repo/src/core/resource_manager.cc" "src/core/CMakeFiles/copart_core.dir/resource_manager.cc.o" "gcc" "src/core/CMakeFiles/copart_core.dir/resource_manager.cc.o.d"
+  "/root/repo/src/core/system_state.cc" "src/core/CMakeFiles/copart_core.dir/system_state.cc.o" "gcc" "src/core/CMakeFiles/copart_core.dir/system_state.cc.o.d"
+  "/root/repo/src/core/ucp_policy.cc" "src/core/CMakeFiles/copart_core.dir/ucp_policy.cc.o" "gcc" "src/core/CMakeFiles/copart_core.dir/ucp_policy.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/copart_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/machine/CMakeFiles/copart_machine.dir/DependInfo.cmake"
+  "/root/repo/build/src/membw/CMakeFiles/copart_membw.dir/DependInfo.cmake"
+  "/root/repo/build/src/pmc/CMakeFiles/copart_pmc.dir/DependInfo.cmake"
+  "/root/repo/build/src/resctrl/CMakeFiles/copart_resctrl.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/copart_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/copart_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/cache/CMakeFiles/copart_cache.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/copart_core.dir/classifiers.cc.o"
+  "CMakeFiles/copart_core.dir/classifiers.cc.o.d"
+  "CMakeFiles/copart_core.dir/dcat_policy.cc.o"
+  "CMakeFiles/copart_core.dir/dcat_policy.cc.o.d"
+  "CMakeFiles/copart_core.dir/hr_matching.cc.o"
+  "CMakeFiles/copart_core.dir/hr_matching.cc.o.d"
+  "CMakeFiles/copart_core.dir/policies.cc.o"
+  "CMakeFiles/copart_core.dir/policies.cc.o.d"
+  "CMakeFiles/copart_core.dir/resource_manager.cc.o"
+  "CMakeFiles/copart_core.dir/resource_manager.cc.o.d"
+  "CMakeFiles/copart_core.dir/system_state.cc.o"
+  "CMakeFiles/copart_core.dir/system_state.cc.o.d"
+  "CMakeFiles/copart_core.dir/ucp_policy.cc.o"
+  "CMakeFiles/copart_core.dir/ucp_policy.cc.o.d"
+  "libcopart_core.a"
+  "libcopart_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/copart_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,37 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/harness/case_study.cc" "src/harness/CMakeFiles/copart_harness.dir/case_study.cc.o" "gcc" "src/harness/CMakeFiles/copart_harness.dir/case_study.cc.o.d"
+  "/root/repo/src/harness/csv_writer.cc" "src/harness/CMakeFiles/copart_harness.dir/csv_writer.cc.o" "gcc" "src/harness/CMakeFiles/copart_harness.dir/csv_writer.cc.o.d"
+  "/root/repo/src/harness/experiment.cc" "src/harness/CMakeFiles/copart_harness.dir/experiment.cc.o" "gcc" "src/harness/CMakeFiles/copart_harness.dir/experiment.cc.o.d"
+  "/root/repo/src/harness/heatmap.cc" "src/harness/CMakeFiles/copart_harness.dir/heatmap.cc.o" "gcc" "src/harness/CMakeFiles/copart_harness.dir/heatmap.cc.o.d"
+  "/root/repo/src/harness/mix.cc" "src/harness/CMakeFiles/copart_harness.dir/mix.cc.o" "gcc" "src/harness/CMakeFiles/copart_harness.dir/mix.cc.o.d"
+  "/root/repo/src/harness/replication.cc" "src/harness/CMakeFiles/copart_harness.dir/replication.cc.o" "gcc" "src/harness/CMakeFiles/copart_harness.dir/replication.cc.o.d"
+  "/root/repo/src/harness/static_oracle.cc" "src/harness/CMakeFiles/copart_harness.dir/static_oracle.cc.o" "gcc" "src/harness/CMakeFiles/copart_harness.dir/static_oracle.cc.o.d"
+  "/root/repo/src/harness/table_printer.cc" "src/harness/CMakeFiles/copart_harness.dir/table_printer.cc.o" "gcc" "src/harness/CMakeFiles/copart_harness.dir/table_printer.cc.o.d"
+  "/root/repo/src/harness/whatif.cc" "src/harness/CMakeFiles/copart_harness.dir/whatif.cc.o" "gcc" "src/harness/CMakeFiles/copart_harness.dir/whatif.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/copart_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/copart_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/machine/CMakeFiles/copart_machine.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/copart_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/resctrl/CMakeFiles/copart_resctrl.dir/DependInfo.cmake"
+  "/root/repo/build/src/pmc/CMakeFiles/copart_pmc.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/copart_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/copart_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/cache/CMakeFiles/copart_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/membw/CMakeFiles/copart_membw.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

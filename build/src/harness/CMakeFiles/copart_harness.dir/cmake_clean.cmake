@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/copart_harness.dir/case_study.cc.o"
+  "CMakeFiles/copart_harness.dir/case_study.cc.o.d"
+  "CMakeFiles/copart_harness.dir/csv_writer.cc.o"
+  "CMakeFiles/copart_harness.dir/csv_writer.cc.o.d"
+  "CMakeFiles/copart_harness.dir/experiment.cc.o"
+  "CMakeFiles/copart_harness.dir/experiment.cc.o.d"
+  "CMakeFiles/copart_harness.dir/heatmap.cc.o"
+  "CMakeFiles/copart_harness.dir/heatmap.cc.o.d"
+  "CMakeFiles/copart_harness.dir/mix.cc.o"
+  "CMakeFiles/copart_harness.dir/mix.cc.o.d"
+  "CMakeFiles/copart_harness.dir/replication.cc.o"
+  "CMakeFiles/copart_harness.dir/replication.cc.o.d"
+  "CMakeFiles/copart_harness.dir/static_oracle.cc.o"
+  "CMakeFiles/copart_harness.dir/static_oracle.cc.o.d"
+  "CMakeFiles/copart_harness.dir/table_printer.cc.o"
+  "CMakeFiles/copart_harness.dir/table_printer.cc.o.d"
+  "CMakeFiles/copart_harness.dir/whatif.cc.o"
+  "CMakeFiles/copart_harness.dir/whatif.cc.o.d"
+  "libcopart_harness.a"
+  "libcopart_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/copart_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libcopart_harness.a"
+)

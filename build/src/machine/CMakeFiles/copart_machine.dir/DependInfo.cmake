@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/machine/shared_cache_validator.cc" "src/machine/CMakeFiles/copart_machine.dir/shared_cache_validator.cc.o" "gcc" "src/machine/CMakeFiles/copart_machine.dir/shared_cache_validator.cc.o.d"
+  "/root/repo/src/machine/simulated_machine.cc" "src/machine/CMakeFiles/copart_machine.dir/simulated_machine.cc.o" "gcc" "src/machine/CMakeFiles/copart_machine.dir/simulated_machine.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/copart_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/cache/CMakeFiles/copart_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/membw/CMakeFiles/copart_membw.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/copart_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/copart_workload.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

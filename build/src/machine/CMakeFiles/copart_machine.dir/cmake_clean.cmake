@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/copart_machine.dir/shared_cache_validator.cc.o"
+  "CMakeFiles/copart_machine.dir/shared_cache_validator.cc.o.d"
+  "CMakeFiles/copart_machine.dir/simulated_machine.cc.o"
+  "CMakeFiles/copart_machine.dir/simulated_machine.cc.o.d"
+  "libcopart_machine.a"
+  "libcopart_machine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/copart_machine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

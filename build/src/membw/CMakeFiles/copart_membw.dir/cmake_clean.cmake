@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/copart_membw.dir/bandwidth_arbiter.cc.o"
+  "CMakeFiles/copart_membw.dir/bandwidth_arbiter.cc.o.d"
+  "CMakeFiles/copart_membw.dir/mba.cc.o"
+  "CMakeFiles/copart_membw.dir/mba.cc.o.d"
+  "libcopart_membw.a"
+  "libcopart_membw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/copart_membw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

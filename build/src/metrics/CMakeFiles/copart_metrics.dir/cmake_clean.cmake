@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/copart_metrics.dir/fairness.cc.o"
+  "CMakeFiles/copart_metrics.dir/fairness.cc.o.d"
+  "libcopart_metrics.a"
+  "libcopart_metrics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/copart_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for copart_metrics.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/copart_pmc.dir/perf_monitor.cc.o"
+  "CMakeFiles/copart_pmc.dir/perf_monitor.cc.o.d"
+  "libcopart_pmc.a"
+  "libcopart_pmc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/copart_pmc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/copart_resctrl.dir/rdt_msr.cc.o"
+  "CMakeFiles/copart_resctrl.dir/rdt_msr.cc.o.d"
+  "CMakeFiles/copart_resctrl.dir/resctrl.cc.o"
+  "CMakeFiles/copart_resctrl.dir/resctrl.cc.o.d"
+  "CMakeFiles/copart_resctrl.dir/resctrl_fs.cc.o"
+  "CMakeFiles/copart_resctrl.dir/resctrl_fs.cc.o.d"
+  "CMakeFiles/copart_resctrl.dir/schemata.cc.o"
+  "CMakeFiles/copart_resctrl.dir/schemata.cc.o.d"
+  "libcopart_resctrl.a"
+  "libcopart_resctrl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/copart_resctrl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for copart_resctrl.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/copart_trace.dir/trace_generator.cc.o"
+  "CMakeFiles/copart_trace.dir/trace_generator.cc.o.d"
+  "libcopart_trace.a"
+  "libcopart_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/copart_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/copart_workload.dir/workload.cc.o"
+  "CMakeFiles/copart_workload.dir/workload.cc.o.d"
+  "libcopart_workload.a"
+  "libcopart_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/copart_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

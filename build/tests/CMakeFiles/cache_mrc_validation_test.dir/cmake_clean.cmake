@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cache_mrc_validation_test.dir/cache_mrc_validation_test.cc.o"
+  "CMakeFiles/cache_mrc_validation_test.dir/cache_mrc_validation_test.cc.o.d"
+  "cache_mrc_validation_test"
+  "cache_mrc_validation_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cache_mrc_validation_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

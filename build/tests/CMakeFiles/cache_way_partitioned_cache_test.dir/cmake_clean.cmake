@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cache_way_partitioned_cache_test.dir/cache_way_partitioned_cache_test.cc.o"
+  "CMakeFiles/cache_way_partitioned_cache_test.dir/cache_way_partitioned_cache_test.cc.o.d"
+  "cache_way_partitioned_cache_test"
+  "cache_way_partitioned_cache_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cache_way_partitioned_cache_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

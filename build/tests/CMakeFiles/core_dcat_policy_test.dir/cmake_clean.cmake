@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_dcat_policy_test.dir/core_dcat_policy_test.cc.o"
+  "CMakeFiles/core_dcat_policy_test.dir/core_dcat_policy_test.cc.o.d"
+  "core_dcat_policy_test"
+  "core_dcat_policy_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_dcat_policy_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

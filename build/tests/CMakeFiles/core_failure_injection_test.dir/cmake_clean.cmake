@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_failure_injection_test.dir/core_failure_injection_test.cc.o"
+  "CMakeFiles/core_failure_injection_test.dir/core_failure_injection_test.cc.o.d"
+  "core_failure_injection_test"
+  "core_failure_injection_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_failure_injection_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_resource_manager_fuzz_test.dir/core_resource_manager_fuzz_test.cc.o"
+  "CMakeFiles/core_resource_manager_fuzz_test.dir/core_resource_manager_fuzz_test.cc.o.d"
+  "core_resource_manager_fuzz_test"
+  "core_resource_manager_fuzz_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_resource_manager_fuzz_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

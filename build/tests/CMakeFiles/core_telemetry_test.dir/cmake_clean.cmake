@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_telemetry_test.dir/core_telemetry_test.cc.o"
+  "CMakeFiles/core_telemetry_test.dir/core_telemetry_test.cc.o.d"
+  "core_telemetry_test"
+  "core_telemetry_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_telemetry_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

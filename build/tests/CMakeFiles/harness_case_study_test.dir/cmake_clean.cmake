@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/harness_case_study_test.dir/harness_case_study_test.cc.o"
+  "CMakeFiles/harness_case_study_test.dir/harness_case_study_test.cc.o.d"
+  "harness_case_study_test"
+  "harness_case_study_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/harness_case_study_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/harness_csv_writer_test.dir/harness_csv_writer_test.cc.o"
+  "CMakeFiles/harness_csv_writer_test.dir/harness_csv_writer_test.cc.o.d"
+  "harness_csv_writer_test"
+  "harness_csv_writer_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/harness_csv_writer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/harness_heatmap_test.dir/harness_heatmap_test.cc.o"
+  "CMakeFiles/harness_heatmap_test.dir/harness_heatmap_test.cc.o.d"
+  "harness_heatmap_test"
+  "harness_heatmap_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/harness_heatmap_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

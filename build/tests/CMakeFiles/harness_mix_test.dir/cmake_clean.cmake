@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/harness_mix_test.dir/harness_mix_test.cc.o"
+  "CMakeFiles/harness_mix_test.dir/harness_mix_test.cc.o.d"
+  "harness_mix_test"
+  "harness_mix_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/harness_mix_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

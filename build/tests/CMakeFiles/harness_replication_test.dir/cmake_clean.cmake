@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/harness_replication_test.dir/harness_replication_test.cc.o"
+  "CMakeFiles/harness_replication_test.dir/harness_replication_test.cc.o.d"
+  "harness_replication_test"
+  "harness_replication_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/harness_replication_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

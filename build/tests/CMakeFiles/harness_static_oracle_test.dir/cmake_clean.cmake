@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/harness_static_oracle_test.dir/harness_static_oracle_test.cc.o"
+  "CMakeFiles/harness_static_oracle_test.dir/harness_static_oracle_test.cc.o.d"
+  "harness_static_oracle_test"
+  "harness_static_oracle_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/harness_static_oracle_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

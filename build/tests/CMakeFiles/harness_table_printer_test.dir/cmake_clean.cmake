@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/harness_table_printer_test.dir/harness_table_printer_test.cc.o"
+  "CMakeFiles/harness_table_printer_test.dir/harness_table_printer_test.cc.o.d"
+  "harness_table_printer_test"
+  "harness_table_printer_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/harness_table_printer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/harness_whatif_test.dir/harness_whatif_test.cc.o"
+  "CMakeFiles/harness_whatif_test.dir/harness_whatif_test.cc.o.d"
+  "harness_whatif_test"
+  "harness_whatif_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/harness_whatif_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/integration_fairness_test.dir/integration_fairness_test.cc.o"
+  "CMakeFiles/integration_fairness_test.dir/integration_fairness_test.cc.o.d"
+  "integration_fairness_test"
+  "integration_fairness_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/integration_fairness_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/membw_test.dir/membw_test.cc.o"
+  "CMakeFiles/membw_test.dir/membw_test.cc.o.d"
+  "membw_test"
+  "membw_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/membw_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

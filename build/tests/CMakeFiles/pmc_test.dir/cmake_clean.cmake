@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pmc_test.dir/pmc_test.cc.o"
+  "CMakeFiles/pmc_test.dir/pmc_test.cc.o.d"
+  "pmc_test"
+  "pmc_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pmc_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/resctrl_fs_test.dir/resctrl_fs_test.cc.o"
+  "CMakeFiles/resctrl_fs_test.dir/resctrl_fs_test.cc.o.d"
+  "resctrl_fs_test"
+  "resctrl_fs_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/resctrl_fs_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/resctrl_rdt_msr_test.dir/resctrl_rdt_msr_test.cc.o"
+  "CMakeFiles/resctrl_rdt_msr_test.dir/resctrl_rdt_msr_test.cc.o.d"
+  "resctrl_rdt_msr_test"
+  "resctrl_rdt_msr_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/resctrl_rdt_msr_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

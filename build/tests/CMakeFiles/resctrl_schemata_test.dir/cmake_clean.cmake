@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/resctrl_schemata_test.dir/resctrl_schemata_test.cc.o"
+  "CMakeFiles/resctrl_schemata_test.dir/resctrl_schemata_test.cc.o.d"
+  "resctrl_schemata_test"
+  "resctrl_schemata_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/resctrl_schemata_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/resctrl_test.dir/resctrl_test.cc.o"
+  "CMakeFiles/resctrl_test.dir/resctrl_test.cc.o.d"
+  "resctrl_test"
+  "resctrl_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/resctrl_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

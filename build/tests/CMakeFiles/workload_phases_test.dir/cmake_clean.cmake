@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/workload_phases_test.dir/workload_phases_test.cc.o"
+  "CMakeFiles/workload_phases_test.dir/workload_phases_test.cc.o.d"
+  "workload_phases_test"
+  "workload_phases_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/workload_phases_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

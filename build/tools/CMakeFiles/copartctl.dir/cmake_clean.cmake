@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/copartctl.dir/copartctl.cc.o"
+  "CMakeFiles/copartctl.dir/copartctl.cc.o.d"
+  "copartctl"
+  "copartctl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/copartctl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
