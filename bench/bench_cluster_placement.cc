@@ -25,7 +25,8 @@ struct FleetOutcome {
   double mean_node_unfairness = 0.0;
 };
 
-FleetOutcome RunFleet(PlacementPolicy policy, bool manage) {
+FleetOutcome RunFleet(PlacementPolicy policy, bool manage,
+                      const ParallelConfig& parallel) {
   // Big insensitive jobs first so core-count balancing and cache-pressure
   // balancing disagree.
   const std::vector<std::pair<WorkloadDescriptor, uint32_t>> arrivals = {
@@ -34,6 +35,7 @@ FleetOutcome RunFleet(PlacementPolicy policy, bool manage) {
       {OceanNcp(), 2},  {Fmm(), 2},           {Ft(), 2},
       {Ep(), 2}};
   Cluster cluster;
+  cluster.set_parallel(parallel);
   cluster.AddNode("n0", {}, {}, manage);
   cluster.AddNode("n1", {}, {}, manage);
   for (const auto& [workload, cores] : arrivals) {
@@ -52,8 +54,9 @@ FleetOutcome RunFleet(PlacementPolicy policy, bool manage) {
 }  // namespace
 }  // namespace copart
 
-int main() {
+int main(int argc, char** argv) {
   using namespace copart;
+  const ParallelConfig parallel = ParseThreadsFlag(argc, argv);
   std::printf(
       "== Extension: placement policy x per-node partitioning "
       "(2 nodes) ==\n\n");
@@ -64,7 +67,7 @@ int main() {
     for (PlacementPolicy policy :
          {PlacementPolicy::kFirstFit, PlacementPolicy::kLeastLoaded,
           PlacementPolicy::kWhatIfBest}) {
-      const FleetOutcome outcome = RunFleet(policy, manage);
+      const FleetOutcome outcome = RunFleet(policy, manage, parallel);
       rows.push_back({PlacementPolicyName(policy),
                       FormatFixed(outcome.mean_slowdown, 3),
                       FormatFixed(outcome.worst_slowdown, 3),

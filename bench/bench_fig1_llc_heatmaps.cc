@@ -6,10 +6,12 @@
 
 #include "bench/solo_heatmap_util.h"
 
-int main() {
+int main(int argc, char** argv) {
+  const copart::ParallelConfig parallel =
+      copart::ParseThreadsFlag(argc, argv);
   std::printf("== Figure 1: LLC-sensitive benchmarks ==\n\n");
-  copart::PrintSoloHeatmap(copart::WaterNsquared());
-  copart::PrintSoloHeatmap(copart::WaterSpatial());
-  copart::PrintSoloHeatmap(copart::Raytrace());
+  copart::PrintSoloHeatmap(copart::WaterNsquared(), parallel);
+  copart::PrintSoloHeatmap(copart::WaterSpatial(), parallel);
+  copart::PrintSoloHeatmap(copart::Raytrace(), parallel);
   return 0;
 }

@@ -6,10 +6,12 @@
 
 #include "bench/solo_heatmap_util.h"
 
-int main() {
+int main(int argc, char** argv) {
+  const copart::ParallelConfig parallel =
+      copart::ParseThreadsFlag(argc, argv);
   std::printf("== Figure 2: memory bandwidth-sensitive benchmarks ==\n\n");
-  copart::PrintSoloHeatmap(copart::OceanCp());
-  copart::PrintSoloHeatmap(copart::Cg());
-  copart::PrintSoloHeatmap(copart::Ft());
+  copart::PrintSoloHeatmap(copart::OceanCp(), parallel);
+  copart::PrintSoloHeatmap(copart::Cg(), parallel);
+  copart::PrintSoloHeatmap(copart::Ft(), parallel);
   return 0;
 }

@@ -7,14 +7,16 @@
 #include "bench/solo_heatmap_util.h"
 #include "harness/heatmap.h"
 
-int main() {
+int main(int argc, char** argv) {
+  const copart::ParallelConfig parallel =
+      copart::ParseThreadsFlag(argc, argv);
   std::printf("== Figure 3: LLC- & memory BW-sensitive benchmarks ==\n\n");
-  copart::PrintSoloHeatmap(copart::Sp());
-  copart::PrintSoloHeatmap(copart::OceanNcp());
-  copart::PrintSoloHeatmap(copart::Fmm());
+  copart::PrintSoloHeatmap(copart::Sp(), parallel);
+  copart::PrintSoloHeatmap(copart::OceanNcp(), parallel);
+  copart::PrintSoloHeatmap(copart::Fmm(), parallel);
 
-  const copart::SoloHeatmap sp =
-      copart::SweepSoloPerformance(copart::Sp(), copart::MachineConfig{});
+  const copart::SoloHeatmap sp = copart::SweepSoloPerformance(
+      copart::Sp(), copart::MachineConfig{}, 4, parallel);
   std::printf("SP multi-state equivalence: (8w,20%%)=%.3f vs (3w,40%%)=%.3f\n",
               sp.normalized_ips[7][1], sp.normalized_ips[2][3]);
   return 0;

@@ -8,8 +8,10 @@
 #include "bench/fairness_grid_util.h"
 #include "harness/mix.h"
 
-int main() {
+int main(int argc, char** argv) {
+  const copart::ParallelConfig parallel =
+      copart::ParseThreadsFlag(argc, argv);
   std::printf("== Figure 4: LLC-sensitive workload mix ==\n\n");
-  copart::PrintFairnessGrid(copart::LlcSensitiveCharacterizationMix());
+  copart::PrintFairnessGrid(copart::LlcSensitiveCharacterizationMix(), parallel);
   return 0;
 }

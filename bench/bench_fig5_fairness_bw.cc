@@ -7,8 +7,10 @@
 #include "bench/fairness_grid_util.h"
 #include "harness/mix.h"
 
-int main() {
+int main(int argc, char** argv) {
+  const copart::ParallelConfig parallel =
+      copart::ParseThreadsFlag(argc, argv);
   std::printf("== Figure 5: memory bandwidth-sensitive workload mix ==\n\n");
-  copart::PrintFairnessGrid(copart::BwSensitiveCharacterizationMix());
+  copart::PrintFairnessGrid(copart::BwSensitiveCharacterizationMix(), parallel);
   return 0;
 }

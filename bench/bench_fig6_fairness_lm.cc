@@ -7,8 +7,10 @@
 #include "bench/fairness_grid_util.h"
 #include "harness/mix.h"
 
-int main() {
+int main(int argc, char** argv) {
+  const copart::ParallelConfig parallel =
+      copart::ParseThreadsFlag(argc, argv);
   std::printf("== Figure 6: LLC- & memory BW-sensitive workload mix ==\n\n");
-  copart::PrintFairnessGrid(copart::BothSensitiveCharacterizationMix());
+  copart::PrintFairnessGrid(copart::BothSensitiveCharacterizationMix(), parallel);
   return 0;
 }

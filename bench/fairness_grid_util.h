@@ -6,6 +6,7 @@
 #include <string>
 #include <vector>
 
+#include "common/parallel.h"
 #include "harness/heatmap.h"
 #include "harness/table_printer.h"
 
@@ -13,9 +14,13 @@ namespace copart {
 
 // Sweeps the mix over the default LLC x MBA partitioning grid and prints
 // the unfairness normalized to the unpartitioned run (lower is better).
-inline void PrintFairnessGrid(const WorkloadMix& mix) {
-  const FairnessGrid grid = SweepMixFairness(
-      mix, DefaultLlcConfigs(), DefaultMbaConfigs(), MachineConfig{});
+// The grid fans out across `parallel` threads (output is
+// thread-count-invariant).
+inline void PrintFairnessGrid(const WorkloadMix& mix,
+                              const ParallelConfig& parallel = {}) {
+  const FairnessGrid grid =
+      SweepMixFairness(mix, DefaultLlcConfigs(), DefaultMbaConfigs(),
+                       MachineConfig{}, 4, parallel);
   std::string apps;
   for (const std::string& name : grid.app_names) {
     apps += (apps.empty() ? "" : ", ") + name;
@@ -31,8 +36,11 @@ inline void PrintFairnessGrid(const WorkloadMix& mix) {
                    "): unfairness normalized to no partitioning --\n"
                    "   rows = LLC ways per app, cols = MBA level per app",
                row_labels, col_labels, grid.normalized_unfairness);
-  std::printf("   unpartitioned (raw) unfairness: %.4f\n\n",
+  std::printf("   unpartitioned (raw) unfairness: %.4f\n",
               grid.nopart_unfairness);
+  std::printf("   sweep: %s\n", grid.stats.Summary().c_str());
+  std::printf("   sweep_stats_json: {\"sweep\": \"fairness/%s\", %s\n\n",
+              grid.mix_name.c_str(), grid.stats.ToJson().substr(1).c_str());
 }
 
 }  // namespace copart

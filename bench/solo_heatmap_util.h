@@ -6,6 +6,7 @@
 #include <string>
 #include <vector>
 
+#include "common/parallel.h"
 #include "harness/heatmap.h"
 #include "harness/table_printer.h"
 #include "machine/machine_config.h"
@@ -14,9 +15,12 @@
 namespace copart {
 
 // Sweeps and prints one benchmark's normalized IPS over (ways, MBA level),
-// plus the 90%-of-peak thresholds the paper quotes in §4.1.
-inline void PrintSoloHeatmap(const WorkloadDescriptor& descriptor) {
-  const SoloHeatmap map = SweepSoloPerformance(descriptor, MachineConfig{});
+// plus the 90%-of-peak thresholds the paper quotes in §4.1. The sweep fans
+// out across `parallel` threads (output is thread-count-invariant).
+inline void PrintSoloHeatmap(const WorkloadDescriptor& descriptor,
+                             const ParallelConfig& parallel = {}) {
+  const SoloHeatmap map =
+      SweepSoloPerformance(descriptor, MachineConfig{}, 4, parallel);
   std::vector<std::string> row_labels, col_labels;
   for (uint32_t ways : map.way_counts) {
     row_labels.push_back(std::to_string(ways) + "w");
@@ -27,8 +31,12 @@ inline void PrintSoloHeatmap(const WorkloadDescriptor& descriptor) {
   PrintHeatmap("-- " + descriptor.name + " (" + descriptor.short_name +
                    "): normalized IPS, rows = LLC ways, cols = MBA level --",
                row_labels, col_labels, map.normalized_ips);
-  std::printf("   90%% of peak at >= %u ways (MBA 100), >= %u%% MBA (11 ways)\n\n",
+  std::printf("   90%% of peak at >= %u ways (MBA 100), >= %u%% MBA (11 ways)\n",
               map.MinWaysForFraction(0.9), map.MinMbaForFraction(0.9));
+  std::printf("   sweep: %s\n", map.stats.Summary().c_str());
+  std::printf("   sweep_stats_json: {\"sweep\": \"solo/%s\", %s\n\n",
+              descriptor.short_name.c_str(),
+              map.stats.ToJson().substr(1).c_str());
 }
 
 }  // namespace copart

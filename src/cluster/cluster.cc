@@ -130,47 +130,61 @@ ClusterNode* Cluster::PickNode(const WorkloadDescriptor& workload,
     case PlacementPolicy::kWhatIfBest: {
       // Predict the equal-share outcome of each node's resident set plus
       // the candidate; prefer the lowest (unfairness, mean slowdown) pair.
+      // One what-if prediction per feasible node, fanned out in parallel:
+      // each score reads only its own node and simulates on private
+      // machine clones inside PredictUcpOutcome.
+      const std::vector<double> scores = ParallelMap<double>(
+          parallel_, feasible.size(),
+          [&](size_t f) {
+            ClusterNode* node = feasible[f];
+            const ResourcePool pool{
+                .first_way = 0,
+                .num_ways = node->machine().config().llc.num_ways,
+                .max_mba_percent = 100};
+            auto total_slowdown = [&](const std::vector<WorkloadDescriptor>&
+                                          workloads) {
+              // Predict under a UCP-optimized split — the node runs CoPart,
+              // so the relevant outcome is post-partitioning, not
+              // equal-share. cores_per_app 0: each job keeps its actual
+              // core count.
+              const WhatIfOutcome outcome =
+                  PredictUcpOutcome(workloads, pool,
+                                    node->machine().config(),
+                                    /*cores_per_app=*/0);
+              double sum = 0.0;
+              for (double slowdown : outcome.slowdowns) {
+                sum += slowdown;
+              }
+              return sum;
+            };
+            // Marginal harm of the placement: how much total slowdown the
+            // newcomer adds (its own + what it inflicts on the residents).
+            // Scoring absolute levels instead would make every job flee
+            // the node that already hosts a slow app even when colocating
+            // there is harmless. A small slack term breaks ties toward
+            // emptier nodes so "free" insensitive jobs do not consume the
+            // capacity a future cache-hungry arrival will need.
+            std::vector<WorkloadDescriptor> with = node->ResidentWorkloads();
+            const double before = with.empty() ? 0.0 : total_slowdown(with);
+            WorkloadDescriptor candidate = workload;
+            candidate.num_threads = cores;
+            with.push_back(std::move(candidate));
+            const double marginal_harm = total_slowdown(with) - before;
+            const double used_fraction_after =
+                1.0 -
+                static_cast<double>(node->FreeCores() - cores) /
+                    static_cast<double>(node->machine().config().num_cores);
+            return marginal_harm + 0.05 * used_fraction_after;
+          },
+          &whatif_stats_);
+      // Reduce in node order: ties keep the earliest feasible node, as the
+      // serial loop always did.
       ClusterNode* best = nullptr;
       double best_score = std::numeric_limits<double>::infinity();
-      for (ClusterNode* node : feasible) {
-        const ResourcePool pool{
-            .first_way = 0,
-            .num_ways = node->machine().config().llc.num_ways,
-            .max_mba_percent = 100};
-        auto total_slowdown = [&](const std::vector<WorkloadDescriptor>&
-                                      workloads) {
-          // Predict under a UCP-optimized split — the node runs CoPart, so
-          // the relevant outcome is post-partitioning, not equal-share.
-          // cores_per_app 0: each job keeps its actual core count.
-          const WhatIfOutcome outcome = PredictUcpOutcome(
-              workloads, pool, node->machine().config(), /*cores_per_app=*/0);
-          double sum = 0.0;
-          for (double slowdown : outcome.slowdowns) {
-            sum += slowdown;
-          }
-          return sum;
-        };
-        // Marginal harm of the placement: how much total slowdown the
-        // newcomer adds (its own + what it inflicts on the residents).
-        // Scoring absolute levels instead would make every job flee the
-        // node that already hosts a slow app even when colocating there is
-        // harmless. A small slack term breaks ties toward emptier nodes so
-        // "free" insensitive jobs do not consume the capacity a future
-        // cache-hungry arrival will need.
-        std::vector<WorkloadDescriptor> with = node->ResidentWorkloads();
-        const double before =
-            with.empty() ? 0.0 : total_slowdown(with);
-        WorkloadDescriptor candidate = workload;
-        candidate.num_threads = cores;
-        with.push_back(std::move(candidate));
-        const double marginal_harm = total_slowdown(with) - before;
-        const double used_fraction_after =
-            1.0 - static_cast<double>(node->FreeCores() - cores) /
-                      static_cast<double>(node->machine().config().num_cores);
-        const double score = marginal_harm + 0.05 * used_fraction_after;
-        if (score < best_score) {
-          best_score = score;
-          best = node;
+      for (size_t f = 0; f < feasible.size(); ++f) {
+        if (scores[f] < best_score) {
+          best_score = scores[f];
+          best = feasible[f];
         }
       }
       return best;

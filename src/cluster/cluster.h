@@ -25,6 +25,7 @@
 #include <string>
 #include <vector>
 
+#include "common/parallel.h"
 #include "common/status.h"
 #include "core/resource_manager.h"
 #include "machine/simulated_machine.h"
@@ -114,11 +115,21 @@ class Cluster {
   double MeanNodeUnfairness() const;
   std::vector<double> AllSlowdowns() const;
 
+  // Fan-out width for what-if placement scoring (one prediction per
+  // feasible node). Scores are reduced in node order, so the chosen node is
+  // identical for every thread count.
+  void set_parallel(const ParallelConfig& parallel) { parallel_ = parallel; }
+
+  // Fan-out accounting for the most recent what-if placement decision.
+  const SweepStats& last_whatif_stats() const { return whatif_stats_; }
+
  private:
   ClusterNode* PickNode(const WorkloadDescriptor& workload, uint32_t cores,
                         PlacementPolicy policy);
 
   std::vector<std::unique_ptr<ClusterNode>> nodes_;
+  ParallelConfig parallel_;
+  SweepStats whatif_stats_;
 };
 
 }  // namespace copart

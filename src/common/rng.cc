@@ -93,4 +93,18 @@ double Rng::NextGaussian() {
 
 Rng Rng::Fork() { return Rng(NextUint64()); }
 
+Rng Rng::Fork(uint64_t stream) const {
+  // Pinned derivation (known-answer tested): chain the four state words and
+  // the stream index through SplitMix64. Distinct streams land in distinct
+  // SplitMix64 trajectories, so child generators are pairwise independent
+  // and unrelated to the parent's own continuation.
+  uint64_t h = 0x9E3779B97F4A7C15ULL ^ stream;
+  for (uint64_t word : state_) {
+    h ^= word;
+    h = SplitMix64(h);
+  }
+  h ^= stream;
+  return Rng(SplitMix64(h));
+}
+
 }  // namespace copart

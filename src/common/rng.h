@@ -39,7 +39,17 @@ class Rng {
 
   // Derives an independent child generator; used to give each workload its
   // own stream so adding an app does not shift the draws of the others.
+  // Advances this generator by one draw.
   Rng Fork();
+
+  // Derives the `stream`-th child generator WITHOUT advancing this one.
+  // The parallel sweep engine seeds every sweep cell with Fork(cell_index)
+  // so results are identical for any thread count and execution order.
+  // The derivation is a pinned algorithm (SplitMix64 folds of the state
+  // words and the stream index — see rng.cc); its outputs are covered by
+  // known-answer tests and must never change, or golden experiment results
+  // shift.
+  Rng Fork(uint64_t stream) const;
 
  private:
   uint64_t state_[4];

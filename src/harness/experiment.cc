@@ -108,8 +108,10 @@ PolicyFactory MbaOnlyFactory(ResourceManagerParams params) {
 PolicyFactory StaticOracleFactory() {
   return [](Resctrl* resctrl, PerfMonitor*, std::vector<AppId> apps,
             const ResourcePool& pool) {
-    StaticOracleResult oracle =
-        FindStaticOracleState(resctrl->machine(), apps, pool);
+    // Serial: the factory can run inside a parallel replication fan-out,
+    // where a nested parallel region is rejected.
+    StaticOracleResult oracle = FindStaticOracleState(
+        resctrl->machine(), apps, pool, ParallelConfig{.num_threads = 1});
     return MakeStaticOraclePolicy(resctrl, std::move(apps),
                                   std::move(oracle.best_state));
   };

@@ -15,6 +15,7 @@
 #include <string>
 #include <vector>
 
+#include "common/parallel.h"
 #include "core/policies.h"
 #include "core/system_state.h"
 #include "harness/mix.h"
@@ -30,6 +31,10 @@ struct ExperimentConfig {
   double control_period_sec = 0.5;
   // Cores per app; 0 = derive from the mix size (16 / count).
   uint32_t cores_per_app = 0;
+  // Fan-out width for sweeps built on top of RunExperiment (the replication
+  // matrix and the figure benches). A single experiment's control loop is
+  // inherently sequential and ignores this.
+  ParallelConfig parallel;
 };
 
 // Creates the policy once machine/apps exist. Receives the resctrl and

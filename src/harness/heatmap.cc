@@ -4,11 +4,97 @@
 
 #include "cache/way_mask.h"
 #include "common/logging.h"
+#include "common/rng.h"
 #include "machine/simulated_machine.h"
 #include "metrics/fairness.h"
 #include "resctrl/resctrl.h"
 
 namespace copart {
+namespace {
+
+// One launched app bound to its own resctrl group — the unit every sweep
+// cell configures. Building a fresh sandbox per cell is what makes cells
+// independent (and therefore parallelizable): the epoch model is memoryless,
+// so a cell evaluated on a fresh machine produces the same steady-state
+// rates as one evaluated mid-way through a serial sweep.
+struct SoloSandbox {
+  SimulatedMachine machine;
+  Resctrl resctrl;
+  AppId app;
+  ResctrlGroupId group;
+
+  SoloSandbox(const MachineConfig& config,
+              const WorkloadDescriptor& descriptor, uint32_t num_cores)
+      : machine(config), resctrl(&machine), app(0), group(0) {
+    Result<AppId> launched = machine.LaunchApp(descriptor, num_cores);
+    CHECK(launched.ok()) << launched.status().ToString();
+    app = *launched;
+    Result<ResctrlGroupId> created = resctrl.CreateGroup("sweep");
+    CHECK(created.ok()) << created.status().ToString();
+    group = *created;
+    Status status = resctrl.AssignApp(group, app);
+    CHECK(status.ok()) << status.ToString();
+  }
+};
+
+struct MixSandbox {
+  SimulatedMachine machine;
+  Resctrl resctrl;
+  std::vector<AppId> apps;
+  std::vector<ResctrlGroupId> groups;
+
+  MixSandbox(const MachineConfig& config, const WorkloadMix& mix,
+             uint32_t cores_per_app)
+      : machine(config), resctrl(&machine) {
+    for (const WorkloadDescriptor& descriptor : mix.apps) {
+      Result<AppId> app = machine.LaunchApp(descriptor, cores_per_app);
+      CHECK(app.ok()) << app.status().ToString();
+      apps.push_back(*app);
+      Result<ResctrlGroupId> group = resctrl.CreateGroup(
+          "grid_" + std::to_string(app->value()));
+      CHECK(group.ok()) << group.status().ToString();
+      Status status = resctrl.AssignApp(*group, *app);
+      CHECK(status.ok()) << status.ToString();
+      groups.push_back(*group);
+    }
+  }
+
+  void SetLlcConfig(const std::vector<uint32_t>& ways) {
+    CHECK_EQ(ways.size(), apps.size());
+    uint32_t offset = 0;
+    for (size_t i = 0; i < apps.size(); ++i) {
+      CHECK_GE(ways[i], 1u);
+      const uint64_t bits = ((1ULL << ways[i]) - 1ULL) << offset;
+      offset += ways[i];
+      Status status = resctrl.SetCacheMask(groups[i], bits);
+      CHECK(status.ok()) << status.ToString();
+    }
+    CHECK_LE(offset, machine.config().llc.num_ways);
+  }
+
+  void SetMbaConfig(const std::vector<uint32_t>& levels) {
+    CHECK_EQ(levels.size(), apps.size());
+    for (size_t i = 0; i < apps.size(); ++i) {
+      Status status = resctrl.SetMbaPercent(groups[i], levels[i]);
+      CHECK(status.ok()) << status.ToString();
+    }
+  }
+
+  // One epoch at the current configuration -> Eq. 2 unfairness against the
+  // given solo-full references.
+  double EvaluateUnfairness(const std::vector<double>& solo_full) {
+    machine.AdvanceTime(0.1);
+    std::vector<double> slowdowns;
+    slowdowns.reserve(apps.size());
+    for (size_t i = 0; i < apps.size(); ++i) {
+      slowdowns.push_back(
+          Slowdown(solo_full[i], machine.LastEpoch(apps[i]).ips));
+    }
+    return Unfairness(slowdowns);
+  }
+};
+
+}  // namespace
 
 uint32_t SoloHeatmap::MinWaysForFraction(double fraction) const {
   // Column of MBA 100 (last), peak-normalized values.
@@ -33,7 +119,8 @@ uint32_t SoloHeatmap::MinMbaForFraction(double fraction) const {
 
 SoloHeatmap SweepSoloPerformance(const WorkloadDescriptor& descriptor,
                                  const MachineConfig& machine_config,
-                                 uint32_t num_cores) {
+                                 uint32_t num_cores,
+                                 const ParallelConfig& parallel) {
   MachineConfig config = machine_config;
   config.ips_noise_sigma = 0.0;  // Characterization wants the clean surface.
 
@@ -47,36 +134,39 @@ SoloHeatmap SweepSoloPerformance(const WorkloadDescriptor& descriptor,
     heatmap.mba_percents.push_back(mba);
   }
 
-  SimulatedMachine machine(config);
-  Resctrl resctrl(&machine);
-  Result<AppId> app = machine.LaunchApp(descriptor, num_cores);
-  CHECK(app.ok()) << app.status().ToString();
-  Result<ResctrlGroupId> group = resctrl.CreateGroup("sweep");
-  CHECK(group.ok()) << group.status().ToString();
-  Status status = resctrl.AssignApp(*group, *app);
-  CHECK(status.ok()) << status.ToString();
+  const size_t num_mba = heatmap.mba_percents.size();
+  const size_t cells = heatmap.way_counts.size() * num_mba;
+  const Rng seeder(config.seed);
+  const std::vector<double> raw_ips = ParallelMap<double>(
+      parallel, cells,
+      [&](size_t cell) {
+        MachineConfig cell_config = config;
+        cell_config.seed = seeder.Fork(cell).NextUint64();
+        SoloSandbox sandbox(cell_config, descriptor, num_cores);
+        const uint32_t ways = heatmap.way_counts[cell / num_mba];
+        const uint32_t mba = heatmap.mba_percents[cell % num_mba];
+        Status status =
+            sandbox.resctrl.SetCacheMask(sandbox.group, (1ULL << ways) - 1ULL);
+        CHECK(status.ok()) << status.ToString();
+        status = sandbox.resctrl.SetMbaPercent(sandbox.group, mba);
+        CHECK(status.ok()) << status.ToString();
+        sandbox.machine.AdvanceTime(0.1);
+        return sandbox.machine.LastEpoch(sandbox.app).ips;
+      },
+      &heatmap.stats);
 
+  // Serial reduction in index order: peak-normalize the surface.
   double peak = 0.0;
+  for (double ips : raw_ips) {
+    peak = std::max(peak, ips);
+  }
+  CHECK_GT(peak, 0.0);
   heatmap.normalized_ips.assign(
       heatmap.way_counts.size(),
       std::vector<double>(heatmap.mba_percents.size(), 0.0));
   for (size_t w = 0; w < heatmap.way_counts.size(); ++w) {
-    status = resctrl.SetCacheMask(
-        *group, (1ULL << heatmap.way_counts[w]) - 1ULL);
-    CHECK(status.ok()) << status.ToString();
-    for (size_t m = 0; m < heatmap.mba_percents.size(); ++m) {
-      status = resctrl.SetMbaPercent(*group, heatmap.mba_percents[m]);
-      CHECK(status.ok()) << status.ToString();
-      machine.AdvanceTime(0.1);
-      const double ips = machine.LastEpoch(*app).ips;
-      heatmap.normalized_ips[w][m] = ips;
-      peak = std::max(peak, ips);
-    }
-  }
-  CHECK_GT(peak, 0.0);
-  for (std::vector<double>& row : heatmap.normalized_ips) {
-    for (double& value : row) {
-      value /= peak;
+    for (size_t m = 0; m < num_mba; ++m) {
+      heatmap.normalized_ips[w][m] = raw_ips[w * num_mba + m] / peak;
     }
   }
   return heatmap;
@@ -86,36 +176,10 @@ FairnessGrid SweepMixFairness(
     const WorkloadMix& mix,
     const std::vector<std::vector<uint32_t>>& llc_configs,
     const std::vector<std::vector<uint32_t>>& mba_configs,
-    const MachineConfig& machine_config, uint32_t cores_per_app) {
+    const MachineConfig& machine_config, uint32_t cores_per_app,
+    const ParallelConfig& parallel) {
   MachineConfig config = machine_config;
   config.ips_noise_sigma = 0.0;
-
-  SimulatedMachine machine(config);
-  Resctrl resctrl(&machine);
-  std::vector<AppId> apps;
-  std::vector<ResctrlGroupId> groups;
-  std::vector<double> solo_full;
-  for (const WorkloadDescriptor& descriptor : mix.apps) {
-    Result<AppId> app = machine.LaunchApp(descriptor, cores_per_app);
-    CHECK(app.ok()) << app.status().ToString();
-    apps.push_back(*app);
-    Result<ResctrlGroupId> group = resctrl.CreateGroup(
-        "grid_" + std::to_string(app->value()));
-    CHECK(group.ok()) << group.status().ToString();
-    Status status = resctrl.AssignApp(*group, *app);
-    CHECK(status.ok()) << status.ToString();
-    groups.push_back(*group);
-    solo_full.push_back(machine.SoloFullResourceIps(descriptor, cores_per_app));
-  }
-
-  auto evaluate = [&]() {
-    machine.AdvanceTime(0.1);
-    std::vector<double> slowdowns;
-    for (size_t i = 0; i < apps.size(); ++i) {
-      slowdowns.push_back(Slowdown(solo_full[i], machine.LastEpoch(apps[i]).ips));
-    }
-    return Unfairness(slowdowns);
-  };
 
   FairnessGrid grid;
   grid.mix_name = mix.name;
@@ -125,40 +189,53 @@ FairnessGrid SweepMixFairness(
   grid.llc_configs = llc_configs;
   grid.mba_configs = mba_configs;
 
-  // Normalization baseline: no partitioning (full masks, MBA 100).
-  for (size_t i = 0; i < apps.size(); ++i) {
-    Status status = resctrl.SetCacheMask(
-        groups[i], (1ULL << config.llc.num_ways) - 1ULL);
-    CHECK(status.ok()) << status.ToString();
-    status = resctrl.SetMbaPercent(groups[i], 100);
-    CHECK(status.ok()) << status.ToString();
+  // The Eq. 1 references are allocation-independent; compute them once.
+  std::vector<double> solo_full;
+  {
+    SimulatedMachine reference(config);
+    for (const WorkloadDescriptor& descriptor : mix.apps) {
+      solo_full.push_back(
+          reference.SoloFullResourceIps(descriptor, cores_per_app));
+    }
   }
-  grid.nopart_unfairness = evaluate();
+
+  // Normalization baseline: no partitioning (full masks, MBA 100).
+  {
+    MixSandbox baseline(config, mix, cores_per_app);
+    // Full overlapping masks for every app, not a partitioning.
+    for (size_t i = 0; i < baseline.apps.size(); ++i) {
+      Status status = baseline.resctrl.SetCacheMask(
+          baseline.groups[i], (1ULL << config.llc.num_ways) - 1ULL);
+      CHECK(status.ok()) << status.ToString();
+      status = baseline.resctrl.SetMbaPercent(baseline.groups[i], 100);
+      CHECK(status.ok()) << status.ToString();
+    }
+    grid.nopart_unfairness = baseline.EvaluateUnfairness(solo_full);
+  }
   CHECK_GT(grid.nopart_unfairness, 0.0)
       << "degenerate mix: unpartitioned run is perfectly fair";
 
+  const size_t num_mba = mba_configs.size();
+  const size_t cells = llc_configs.size() * num_mba;
+  const Rng seeder(config.seed);
+  const std::vector<double> raw = ParallelMap<double>(
+      parallel, cells,
+      [&](size_t cell) {
+        MachineConfig cell_config = config;
+        cell_config.seed = seeder.Fork(cell).NextUint64();
+        MixSandbox sandbox(cell_config, mix, cores_per_app);
+        sandbox.SetLlcConfig(llc_configs[cell / num_mba]);
+        sandbox.SetMbaConfig(mba_configs[cell % num_mba]);
+        return sandbox.EvaluateUnfairness(solo_full);
+      },
+      &grid.stats);
+
   grid.normalized_unfairness.assign(
-      llc_configs.size(), std::vector<double>(mba_configs.size(), 0.0));
+      llc_configs.size(), std::vector<double>(num_mba, 0.0));
   for (size_t l = 0; l < llc_configs.size(); ++l) {
-    const std::vector<uint32_t>& ways = llc_configs[l];
-    CHECK_EQ(ways.size(), apps.size());
-    uint32_t offset = 0;
-    for (size_t i = 0; i < apps.size(); ++i) {
-      CHECK_GE(ways[i], 1u);
-      const uint64_t bits = ((1ULL << ways[i]) - 1ULL) << offset;
-      offset += ways[i];
-      Status status = resctrl.SetCacheMask(groups[i], bits);
-      CHECK(status.ok()) << status.ToString();
-    }
-    CHECK_LE(offset, config.llc.num_ways);
-    for (size_t m = 0; m < mba_configs.size(); ++m) {
-      const std::vector<uint32_t>& levels = mba_configs[m];
-      CHECK_EQ(levels.size(), apps.size());
-      for (size_t i = 0; i < apps.size(); ++i) {
-        Status status = resctrl.SetMbaPercent(groups[i], levels[i]);
-        CHECK(status.ok()) << status.ToString();
-      }
-      grid.normalized_unfairness[l][m] = evaluate() / grid.nopart_unfairness;
+    for (size_t m = 0; m < num_mba; ++m) {
+      grid.normalized_unfairness[l][m] =
+          raw[l * num_mba + m] / grid.nopart_unfairness;
     }
   }
   return grid;

@@ -13,6 +13,7 @@
 #include <string>
 #include <vector>
 
+#include "common/parallel.h"
 #include "harness/mix.h"
 #include "machine/machine_config.h"
 #include "workload/workload.h"
@@ -26,6 +27,8 @@ struct SoloHeatmap {
   // normalized_ips[w][m]: IPS at (way_counts[w], mba_percents[m]) divided by
   // the maximum over the whole grid.
   std::vector<std::vector<double>> normalized_ips;
+  // Fan-out accounting for the sweep that produced this heatmap.
+  SweepStats stats;
 
   // Smallest way count achieving >= `fraction` of peak at MBA 100 —
   // the "ways for 90% performance" threshold quoted in §4.1.
@@ -34,9 +37,14 @@ struct SoloHeatmap {
   uint32_t MinMbaForFraction(double fraction) const;
 };
 
+// Every (ways, MBA) cell is simulated on its own machine instance (the
+// epoch model is memoryless, so this matches the paper's serial
+// methodology) and cells fan out across `parallel` threads; results are
+// bit-identical for every thread count.
 SoloHeatmap SweepSoloPerformance(const WorkloadDescriptor& descriptor,
                                  const MachineConfig& machine_config,
-                                 uint32_t num_cores = 4);
+                                 uint32_t num_cores = 4,
+                                 const ParallelConfig& parallel = {});
 
 struct FairnessGrid {
   std::string mix_name;
@@ -48,13 +56,16 @@ struct FairnessGrid {
   // unfairness[l][m], normalized to the unpartitioned run of the same mix.
   std::vector<std::vector<double>> normalized_unfairness;
   double nopart_unfairness = 0.0;
+  // Fan-out accounting for the sweep that produced this grid.
+  SweepStats stats;
 };
 
 FairnessGrid SweepMixFairness(
     const WorkloadMix& mix,
     const std::vector<std::vector<uint32_t>>& llc_configs,
     const std::vector<std::vector<uint32_t>>& mba_configs,
-    const MachineConfig& machine_config, uint32_t cores_per_app = 4);
+    const MachineConfig& machine_config, uint32_t cores_per_app = 4,
+    const ParallelConfig& parallel = {});
 
 // Representative partitioning settings for a four-app characterization mix
 // (mirroring the axes of Figs. 4-6, including the paper's called-out

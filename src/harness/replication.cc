@@ -1,6 +1,7 @@
 #include "harness/replication.h"
 
 #include "common/logging.h"
+#include "common/rng.h"
 #include "common/stats.h"
 
 namespace copart {
@@ -24,13 +25,26 @@ ReplicatedResult RunReplicatedExperiment(const WorkloadMix& mix,
   ReplicatedResult result;
   result.mix_name = mix.name;
   result.replicas = replicas;
+
+  // Fan the replicas out; each gets an independent machine seed derived by
+  // the Fork splitter, so the replica set is identical for every thread
+  // count (and unchanged when replicas run in any order).
+  const Rng seeder(base_seed);
+  const std::vector<ExperimentResult> runs =
+      ParallelMap<ExperimentResult>(
+          config.parallel, replicas,
+          [&](size_t replica) {
+            ExperimentConfig replica_config = config;
+            replica_config.machine.seed =
+                seeder.Fork(replica).NextUint64();
+            return RunExperiment(mix, factory, replica_config);
+          },
+          &result.stats);
+
+  // Serial reduction in replica order keeps the Welford accumulation
+  // bit-stable.
   RunningStats unfairness, throughput;
-  for (size_t replica = 0; replica < replicas; ++replica) {
-    ExperimentConfig replica_config = config;
-    // SplitMix-style spread so adjacent replicas get unrelated streams.
-    replica_config.machine.seed =
-        base_seed + replica * 0x9E3779B97F4A7C15ULL;
-    const ExperimentResult run = RunExperiment(mix, factory, replica_config);
+  for (const ExperimentResult& run : runs) {
     result.policy_name = run.policy_name;
     unfairness.Add(run.unfairness);
     throughput.Add(run.throughput_geomean);

@@ -25,10 +25,14 @@ struct ReplicatedResult {
   size_t replicas = 0;
   ReplicatedMetric unfairness;
   ReplicatedMetric throughput_geomean;
+  // Fan-out accounting for the replica sweep.
+  SweepStats stats;
 };
 
 // Runs `replicas` independent experiments, deriving each machine seed from
-// `base_seed` + replica index. Everything else in `config` is shared.
+// `base_seed` via the Rng::Fork splitter (stream = replica index). The
+// replicas fan out across config.parallel threads; results are identical
+// for every thread count.
 ReplicatedResult RunReplicatedExperiment(const WorkloadMix& mix,
                                          const PolicyFactory& factory,
                                          const ExperimentConfig& config,

@@ -80,12 +80,63 @@ class Evaluator {
 
 }  // namespace
 
+namespace {
+
+// Outcome of fully optimizing one way composition (MBA coordinate descent
+// on a private machine clone).
+struct CompositionOutcome {
+  double unfairness = std::numeric_limits<double>::infinity();
+  SystemState state;
+  size_t evaluations = 0;
+};
+
+CompositionOutcome OptimizeComposition(const SimulatedMachine& machine,
+                                       const std::vector<AppId>& apps,
+                                       const ResourcePool& pool,
+                                       const std::vector<uint32_t>& ways) {
+  Evaluator evaluator(machine, apps, pool);
+
+  // Start this composition at the pool's MBA ceiling.
+  std::vector<AppAllocation> allocations(apps.size());
+  for (size_t i = 0; i < apps.size(); ++i) {
+    allocations[i].llc_ways = ways[i];
+    allocations[i].mba_level = MbaLevel::FromPercentChecked(
+        pool.max_mba_percent / 10 * 10 >= MbaLevel::kMin
+            ? pool.max_mba_percent / 10 * 10
+            : MbaLevel::kMin);
+  }
+  SystemState state(pool, allocations);
+  double state_best = evaluator.Unfairness(state);
+
+  // Two rounds of per-app coordinate descent over the MBA levels.
+  for (int round = 0; round < 2; ++round) {
+    for (size_t i = 0; i < apps.size(); ++i) {
+      MbaLevel best_level = state.allocation(i).mba_level;
+      for (uint32_t percent = MbaLevel::kMin;
+           percent <= pool.max_mba_percent; percent += MbaLevel::kStep) {
+        state.allocation(i).mba_level =
+            MbaLevel::FromPercentChecked(percent);
+        const double unfairness = evaluator.Unfairness(state);
+        if (unfairness < state_best) {
+          state_best = unfairness;
+          best_level = state.allocation(i).mba_level;
+        }
+      }
+      state.allocation(i).mba_level = best_level;
+    }
+  }
+  return CompositionOutcome{state_best, std::move(state),
+                            evaluator.evaluations()};
+}
+
+}  // namespace
+
 StaticOracleResult FindStaticOracleState(const SimulatedMachine& machine,
                                          const std::vector<AppId>& apps,
-                                         const ResourcePool& pool) {
+                                         const ResourcePool& pool,
+                                         const ParallelConfig& parallel) {
   CHECK(!apps.empty());
   CHECK_GE(pool.num_ways, apps.size());
-  Evaluator evaluator(machine, apps, pool);
 
   std::vector<std::vector<uint32_t>> compositions;
   std::vector<uint32_t> current;
@@ -93,46 +144,25 @@ StaticOracleResult FindStaticOracleState(const SimulatedMachine& machine,
   CHECK(!compositions.empty());
 
   StaticOracleResult result;
+  const std::vector<CompositionOutcome> outcomes =
+      ParallelMap<CompositionOutcome>(
+          parallel, compositions.size(),
+          [&](size_t c) {
+            return OptimizeComposition(machine, apps, pool, compositions[c]);
+          },
+          &result.stats);
+
+  // Serial reduction in enumeration order: strict < keeps the tie-break
+  // (first composition wins) identical to the historical serial search.
   double best = std::numeric_limits<double>::infinity();
-
-  for (const std::vector<uint32_t>& ways : compositions) {
-    // Start this composition at the pool's MBA ceiling.
-    std::vector<AppAllocation> allocations(apps.size());
-    for (size_t i = 0; i < apps.size(); ++i) {
-      allocations[i].llc_ways = ways[i];
-      allocations[i].mba_level = MbaLevel::FromPercentChecked(
-          pool.max_mba_percent / 10 * 10 >= MbaLevel::kMin
-              ? pool.max_mba_percent / 10 * 10
-              : MbaLevel::kMin);
-    }
-    SystemState state(pool, allocations);
-    double state_best = evaluator.Unfairness(state);
-
-    // Two rounds of per-app coordinate descent over the MBA levels.
-    for (int round = 0; round < 2; ++round) {
-      for (size_t i = 0; i < apps.size(); ++i) {
-        MbaLevel best_level = state.allocation(i).mba_level;
-        for (uint32_t percent = MbaLevel::kMin;
-             percent <= pool.max_mba_percent; percent += MbaLevel::kStep) {
-          state.allocation(i).mba_level =
-              MbaLevel::FromPercentChecked(percent);
-          const double unfairness = evaluator.Unfairness(state);
-          if (unfairness < state_best) {
-            state_best = unfairness;
-            best_level = state.allocation(i).mba_level;
-          }
-        }
-        state.allocation(i).mba_level = best_level;
-      }
-    }
-
-    if (state_best < best) {
-      best = state_best;
-      result.best_state = state;
-      result.best_unfairness = state_best;
+  for (const CompositionOutcome& outcome : outcomes) {
+    result.states_evaluated += outcome.evaluations;
+    if (outcome.unfairness < best) {
+      best = outcome.unfairness;
+      result.best_state = outcome.state;
+      result.best_unfairness = outcome.unfairness;
     }
   }
-  result.states_evaluated = evaluator.evaluations();
   CHECK(result.best_state.Valid());
   return result;
 }

@@ -13,6 +13,7 @@
 
 #include <vector>
 
+#include "common/parallel.h"
 #include "core/system_state.h"
 #include "machine/app_id.h"
 #include "machine/simulated_machine.h"
@@ -23,11 +24,20 @@ struct StaticOracleResult {
   SystemState best_state;
   double best_unfairness = 0.0;
   size_t states_evaluated = 0;
+  // Fan-out accounting for the composition search.
+  SweepStats stats;
 };
 
+// The way compositions fan out across `parallel` threads (each composition
+// optimizes its MBA levels on a private machine clone); the best state is
+// selected serially in enumeration order, so the result is identical for
+// every thread count. Callers that may themselves run inside a parallel
+// region (e.g. the ST policy factory during a replicated experiment) must
+// pass ParallelConfig{1}.
 StaticOracleResult FindStaticOracleState(const SimulatedMachine& machine,
                                          const std::vector<AppId>& apps,
-                                         const ResourcePool& pool);
+                                         const ResourcePool& pool,
+                                         const ParallelConfig& parallel = {});
 
 }  // namespace copart
 

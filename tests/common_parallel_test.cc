@@ -1,0 +1,236 @@
+// The deterministic parallel engine: ThreadPool semantics (bounded queue,
+// exception propagation), ParallelFor/ParallelMap correctness, nested-use
+// rejection, and sweep observability.
+#include "common/parallel.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace copart {
+namespace {
+
+TEST(ParallelConfigTest, ResolveThreadsDefaultsToHardwareConcurrency) {
+  EXPECT_GE(ParallelConfig{}.ResolveThreads(), 1u);
+  EXPECT_EQ(ParallelConfig{.num_threads = 1}.ResolveThreads(), 1u);
+  EXPECT_EQ(ParallelConfig{.num_threads = 7}.ResolveThreads(), 7u);
+}
+
+TEST(ParseThreadsFlagTest, ParsesAndStripsBothSpellings) {
+  {
+    const char* raw[] = {"bench", "--threads", "6", "extra"};
+    char* argv[] = {const_cast<char*>(raw[0]), const_cast<char*>(raw[1]),
+                    const_cast<char*>(raw[2]), const_cast<char*>(raw[3])};
+    int argc = 4;
+    const ParallelConfig config = ParseThreadsFlag(argc, argv);
+    EXPECT_EQ(config.num_threads, 6u);
+    ASSERT_EQ(argc, 2);
+    EXPECT_STREQ(argv[1], "extra");
+  }
+  {
+    const char* raw[] = {"bench", "--threads=3"};
+    char* argv[] = {const_cast<char*>(raw[0]), const_cast<char*>(raw[1])};
+    int argc = 2;
+    const ParallelConfig config = ParseThreadsFlag(argc, argv);
+    EXPECT_EQ(config.num_threads, 3u);
+    EXPECT_EQ(argc, 1);
+  }
+  {
+    const char* raw[] = {"bench", "positional"};
+    char* argv[] = {const_cast<char*>(raw[0]), const_cast<char*>(raw[1])};
+    int argc = 2;
+    const ParallelConfig config = ParseThreadsFlag(argc, argv);
+    EXPECT_EQ(config.num_threads, 0u);
+    EXPECT_EQ(argc, 2);
+  }
+}
+
+TEST(ThreadPoolTest, RunsEverySubmittedTask) {
+  std::atomic<int> sum{0};
+  ThreadPool pool(4);
+  for (int i = 1; i <= 100; ++i) {
+    pool.Submit([&sum, i] { sum.fetch_add(i); });
+  }
+  pool.Wait();
+  EXPECT_EQ(sum.load(), 5050);
+}
+
+TEST(ThreadPoolTest, BoundedQueueAppliesBackpressureWithoutLosingTasks) {
+  // Capacity 2 with slow-ish tasks forces Submit to block repeatedly; all
+  // tasks must still run exactly once.
+  std::atomic<int> ran{0};
+  {
+    ThreadPool pool(2, /*queue_capacity=*/2);
+    for (int i = 0; i < 64; ++i) {
+      pool.Submit([&ran] {
+        std::this_thread::sleep_for(std::chrono::microseconds(100));
+        ran.fetch_add(1);
+      });
+    }
+    pool.Wait();
+  }
+  EXPECT_EQ(ran.load(), 64);
+}
+
+TEST(ThreadPoolTest, WaitRethrowsTaskExceptionAndPoolStaysUsable) {
+  ThreadPool pool(2);
+  pool.Submit([] { throw std::runtime_error("task failed"); });
+  EXPECT_THROW(pool.Wait(), std::runtime_error);
+  // The error slot is cleared; the pool keeps working.
+  std::atomic<int> ran{0};
+  pool.Submit([&ran] { ran.fetch_add(1); });
+  pool.Wait();
+  EXPECT_EQ(ran.load(), 1);
+}
+
+TEST(ThreadPoolTest, SubmitFromWorkerIsRejected) {
+  ThreadPool pool(2);
+  pool.Submit([&pool] {
+    EXPECT_TRUE(ThreadPool::OnWorkerThread());
+    EXPECT_THROW(pool.Submit([] {}), std::logic_error);
+  });
+  pool.Wait();
+  EXPECT_FALSE(ThreadPool::OnWorkerThread());
+}
+
+TEST(ParallelForTest, VisitsEveryIndexExactlyOnce) {
+  constexpr size_t kCells = 1000;
+  std::vector<std::atomic<int>> visits(kCells);
+  ParallelFor(ParallelConfig{.num_threads = 4}, kCells,
+              [&](size_t i) { visits[i].fetch_add(1); });
+  for (size_t i = 0; i < kCells; ++i) {
+    EXPECT_EQ(visits[i].load(), 1) << "cell " << i;
+  }
+}
+
+TEST(ParallelForTest, EmptyRangeIsANoop) {
+  SweepStats stats;
+  ParallelFor(
+      ParallelConfig{.num_threads = 4}, 0,
+      [](size_t) { FAIL() << "body must not run for an empty range"; },
+      &stats);
+  EXPECT_EQ(stats.cells_completed, 0u);
+  EXPECT_EQ(stats.utilization(), 0.0);
+}
+
+TEST(ParallelForTest, SingleThreadRunsInlineOnCallingThread) {
+  const std::thread::id caller = std::this_thread::get_id();
+  ParallelFor(ParallelConfig{.num_threads = 1}, 8, [&](size_t) {
+    EXPECT_EQ(std::this_thread::get_id(), caller);
+  });
+}
+
+TEST(ParallelForTest, PropagatesBodyException) {
+  EXPECT_THROW(
+      ParallelFor(ParallelConfig{.num_threads = 4}, 100,
+                  [](size_t i) {
+                    if (i == 37) {
+                      throw std::runtime_error("cell 37 exploded");
+                    }
+                  }),
+      std::runtime_error);
+  try {
+    ParallelFor(ParallelConfig{.num_threads = 4}, 100, [](size_t i) {
+      if (i == 37) {
+        throw std::runtime_error("cell 37 exploded");
+      }
+    });
+    FAIL() << "expected the cell exception to propagate";
+  } catch (const std::runtime_error& error) {
+    EXPECT_STREQ(error.what(), "cell 37 exploded");
+  }
+}
+
+TEST(ParallelForTest, ExceptionSkipsRemainingCells) {
+  // After the (only) failing first cell, the fan-out should cancel: far
+  // fewer than all cells run. The exact count is scheduling-dependent, so
+  // only assert that cancellation is effective at all.
+  std::atomic<size_t> ran{0};
+  constexpr size_t kCells = 1u << 20;
+  EXPECT_THROW(ParallelFor(ParallelConfig{.num_threads = 2}, kCells,
+                           [&](size_t i) {
+                             ran.fetch_add(1);
+                             if (i == 0) {
+                               throw std::runtime_error("early failure");
+                             }
+                           }),
+               std::runtime_error);
+  EXPECT_LT(ran.load(), kCells);
+}
+
+TEST(ParallelForTest, SerialNestingInsideAParallelRegionIsAllowed) {
+  std::vector<std::atomic<int>> visits(64);
+  ParallelFor(ParallelConfig{.num_threads = 4}, 8, [&](size_t outer) {
+    ParallelFor(ParallelConfig{.num_threads = 1}, 8, [&](size_t inner) {
+      visits[outer * 8 + inner].fetch_add(1);
+    });
+  });
+  for (size_t i = 0; i < visits.size(); ++i) {
+    EXPECT_EQ(visits[i].load(), 1) << "cell " << i;
+  }
+}
+
+TEST(ParallelForTest, ParallelNestingIsRejected) {
+  EXPECT_THROW(
+      ParallelFor(ParallelConfig{.num_threads = 2}, 4,
+                  [](size_t) {
+                    ParallelFor(ParallelConfig{.num_threads = 2}, 4,
+                                [](size_t) {});
+                  }),
+      std::logic_error);
+}
+
+TEST(ParallelMapTest, ResultsLandInIndexOrderForEveryThreadCount) {
+  constexpr size_t kCells = 257;
+  std::vector<double> expected(kCells);
+  for (size_t i = 0; i < kCells; ++i) {
+    expected[i] = static_cast<double>(i * i) + 0.5;
+  }
+  for (uint32_t threads : {1u, 2u, 5u, 8u}) {
+    const std::vector<double> got = ParallelMap<double>(
+        ParallelConfig{.num_threads = threads}, kCells,
+        [](size_t i) { return static_cast<double>(i * i) + 0.5; });
+    EXPECT_EQ(got, expected) << "threads=" << threads;
+  }
+}
+
+TEST(SweepStatsTest, RecordsCellsThreadsAndTimings) {
+  SweepStats stats;
+  ParallelFor(
+      ParallelConfig{.num_threads = 2}, 64,
+      [](size_t) {
+        volatile double sink = 0.0;
+        for (int k = 0; k < 10000; ++k) {
+          sink = sink + static_cast<double>(k);
+        }
+      },
+      &stats);
+  EXPECT_EQ(stats.cells_completed, 64u);
+  EXPECT_EQ(stats.threads, 2u);
+  EXPECT_GT(stats.wall_sec, 0.0);
+  EXPECT_GE(stats.cpu_sec, 0.0);
+  const std::string summary = stats.Summary();
+  EXPECT_NE(summary.find("64 cells"), std::string::npos);
+  EXPECT_NE(summary.find("2 threads"), std::string::npos);
+  const std::string json = stats.ToJson();
+  EXPECT_NE(json.find("\"cells\": 64"), std::string::npos);
+  EXPECT_NE(json.find("\"threads\": 2"), std::string::npos);
+  EXPECT_NE(json.find("\"wall_sec\""), std::string::npos);
+  EXPECT_NE(json.find("\"utilization\""), std::string::npos);
+}
+
+TEST(SweepStatsTest, ThreadCountIsClampedToCellCount) {
+  SweepStats stats;
+  ParallelFor(
+      ParallelConfig{.num_threads = 16}, 3, [](size_t) {}, &stats);
+  EXPECT_EQ(stats.threads, 3u);
+  EXPECT_EQ(stats.cells_completed, 3u);
+}
+
+}  // namespace
+}  // namespace copart

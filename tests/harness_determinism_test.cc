@@ -1,0 +1,122 @@
+// The headline guarantee of the parallel sweep engine: every fan-out site
+// produces bit-identical results regardless of the worker thread count.
+// Each comparison is EXPECT_EQ on raw doubles — no tolerance.
+#include <cstdint>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/parallel.h"
+#include "harness/experiment.h"
+#include "harness/heatmap.h"
+#include "harness/mix.h"
+#include "harness/replication.h"
+#include "harness/static_oracle.h"
+#include "machine/simulated_machine.h"
+#include "workload/workload.h"
+
+namespace copart {
+namespace {
+
+constexpr uint32_t kThreadCounts[] = {2, 8};
+
+TEST(HarnessDeterminismTest, SoloHeatmapIsBitIdenticalAcrossThreadCounts) {
+  const SoloHeatmap serial = SweepSoloPerformance(
+      WaterNsquared(), MachineConfig{}, 4, ParallelConfig{.num_threads = 1});
+  for (uint32_t threads : kThreadCounts) {
+    const SoloHeatmap parallel =
+        SweepSoloPerformance(WaterNsquared(), MachineConfig{}, 4,
+                             ParallelConfig{.num_threads = threads});
+    ASSERT_EQ(parallel.normalized_ips.size(), serial.normalized_ips.size());
+    for (size_t w = 0; w < serial.normalized_ips.size(); ++w) {
+      for (size_t m = 0; m < serial.normalized_ips[w].size(); ++m) {
+        EXPECT_EQ(parallel.normalized_ips[w][m], serial.normalized_ips[w][m])
+            << "threads=" << threads << " cell (" << w << ", " << m << ")";
+      }
+    }
+    EXPECT_EQ(parallel.stats.cells_completed, serial.stats.cells_completed);
+  }
+}
+
+TEST(HarnessDeterminismTest, FairnessGridIsBitIdenticalAcrossThreadCounts) {
+  const WorkloadMix mix = MakeMix(MixFamily::kHighBoth, 4);
+  // A trimmed grid keeps the test quick while still spanning several cells.
+  const std::vector<std::vector<uint32_t>> llc_configs = {
+      {5, 3, 2, 1}, {3, 3, 3, 2}, {8, 1, 1, 1}};
+  const std::vector<std::vector<uint32_t>> mba_configs = {
+      {100, 100, 100, 100}, {20, 10, 100, 10}};
+  const FairnessGrid serial =
+      SweepMixFairness(mix, llc_configs, mba_configs, MachineConfig{}, 4,
+                       ParallelConfig{.num_threads = 1});
+  for (uint32_t threads : kThreadCounts) {
+    const FairnessGrid parallel =
+        SweepMixFairness(mix, llc_configs, mba_configs, MachineConfig{}, 4,
+                         ParallelConfig{.num_threads = threads});
+    EXPECT_EQ(parallel.nopart_unfairness, serial.nopart_unfairness)
+        << "threads=" << threads;
+    ASSERT_EQ(parallel.normalized_unfairness.size(),
+              serial.normalized_unfairness.size());
+    for (size_t l = 0; l < serial.normalized_unfairness.size(); ++l) {
+      for (size_t m = 0; m < serial.normalized_unfairness[l].size(); ++m) {
+        EXPECT_EQ(parallel.normalized_unfairness[l][m],
+                  serial.normalized_unfairness[l][m])
+            << "threads=" << threads << " cell (" << l << ", " << m << ")";
+      }
+    }
+  }
+}
+
+TEST(HarnessDeterminismTest, ReplicationIsBitIdenticalAcrossThreadCounts) {
+  const WorkloadMix mix = MakeMix(MixFamily::kHighLlc, 4);
+  const PolicyFactory factory = StandardPolicies()[0].second;
+  ExperimentConfig config;
+  config.duration_sec = 5.0;
+  config.parallel.num_threads = 1;
+  const ReplicatedResult serial =
+      RunReplicatedExperiment(mix, factory, config, /*replicas=*/4);
+  for (uint32_t threads : kThreadCounts) {
+    config.parallel.num_threads = threads;
+    const ReplicatedResult parallel =
+        RunReplicatedExperiment(mix, factory, config, /*replicas=*/4);
+    EXPECT_EQ(parallel.unfairness.mean, serial.unfairness.mean)
+        << "threads=" << threads;
+    EXPECT_EQ(parallel.unfairness.stddev, serial.unfairness.stddev)
+        << "threads=" << threads;
+    EXPECT_EQ(parallel.unfairness.min, serial.unfairness.min);
+    EXPECT_EQ(parallel.unfairness.max, serial.unfairness.max);
+    EXPECT_EQ(parallel.throughput_geomean.mean,
+              serial.throughput_geomean.mean)
+        << "threads=" << threads;
+    EXPECT_EQ(parallel.throughput_geomean.stddev,
+              serial.throughput_geomean.stddev);
+  }
+}
+
+TEST(HarnessDeterminismTest, StaticOracleIsBitIdenticalAcrossThreadCounts) {
+  const WorkloadMix mix = MakeMix(MixFamily::kHighLlc, 4);
+  MachineConfig machine_config;
+  machine_config.ips_noise_sigma = 0.0;
+  SimulatedMachine machine(machine_config);
+  std::vector<AppId> apps;
+  for (const WorkloadDescriptor& descriptor : mix.apps) {
+    Result<AppId> app = machine.LaunchApp(descriptor, 4);
+    ASSERT_TRUE(app.ok()) << app.status().ToString();
+    apps.push_back(*app);
+  }
+  const ResourcePool pool{.first_way = 0, .num_ways = 11,
+                          .max_mba_percent = 100};
+  const StaticOracleResult serial = FindStaticOracleState(
+      machine, apps, pool, ParallelConfig{.num_threads = 1});
+  for (uint32_t threads : kThreadCounts) {
+    const StaticOracleResult parallel = FindStaticOracleState(
+        machine, apps, pool, ParallelConfig{.num_threads = threads});
+    EXPECT_EQ(parallel.best_state.ToString(), serial.best_state.ToString())
+        << "threads=" << threads;
+    EXPECT_EQ(parallel.best_unfairness, serial.best_unfairness)
+        << "threads=" << threads;
+    EXPECT_EQ(parallel.states_evaluated, serial.states_evaluated);
+  }
+}
+
+}  // namespace
+}  // namespace copart

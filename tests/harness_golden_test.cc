@@ -1,0 +1,133 @@
+// Golden regression test for the sweep harness: one solo heatmap and one
+// fairness grid are serialized with full double precision (%.17g) and
+// compared byte-for-byte against tests/golden/sweep_golden.json. Any
+// change to the epoch model, the workload surrogates, the RNG splitter, or
+// the sweep plumbing that shifts a result by even one ULP fails here.
+//
+// To regenerate after an INTENDED behavior change:
+//   COPART_REGENERATE_GOLDEN=1 ./harness_golden_test
+// then review the diff of tests/golden/sweep_golden.json like any other
+// code change.
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/parallel.h"
+#include "harness/heatmap.h"
+#include "harness/mix.h"
+#include "workload/workload.h"
+
+namespace copart {
+namespace {
+
+#ifndef COPART_GOLDEN_DIR
+#error "COPART_GOLDEN_DIR must be defined by the build"
+#endif
+
+std::string GoldenPath() {
+  return std::string(COPART_GOLDEN_DIR) + "/sweep_golden.json";
+}
+
+std::string FormatDouble(double value) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.17g", value);
+  return buffer;
+}
+
+void AppendGrid(std::ostringstream& out, const std::string& key,
+                const std::vector<std::vector<double>>& grid) {
+  out << "  \"" << key << "\": [\n";
+  for (size_t r = 0; r < grid.size(); ++r) {
+    out << "    [";
+    for (size_t c = 0; c < grid[r].size(); ++c) {
+      out << (c == 0 ? "" : ", ") << FormatDouble(grid[r][c]);
+    }
+    out << "]" << (r + 1 == grid.size() ? "" : ",") << "\n";
+  }
+  out << "  ]";
+}
+
+// The exact sweeps pinned by the golden file. Single-threaded so the test
+// exercises the canonical (reference) execution; the determinism suite
+// separately proves other thread counts match it bit-for-bit.
+std::string ComputeGoldenDocument() {
+  const ParallelConfig serial{.num_threads = 1};
+  const SoloHeatmap solo =
+      SweepSoloPerformance(WaterNsquared(), MachineConfig{}, 4, serial);
+
+  const WorkloadMix mix = MakeMix(MixFamily::kHighBoth, 4);
+  const std::vector<std::vector<uint32_t>> llc_configs = {
+      {5, 3, 2, 1}, {3, 3, 3, 2}, {8, 1, 1, 1}};
+  const std::vector<std::vector<uint32_t>> mba_configs = {
+      {100, 100, 100, 100}, {20, 10, 100, 10}};
+  const FairnessGrid grid = SweepMixFairness(mix, llc_configs, mba_configs,
+                                             MachineConfig{}, 4, serial);
+
+  std::ostringstream out;
+  out << "{\n";
+  out << "  \"solo_workload\": \"" << solo.workload << "\",\n";
+  AppendGrid(out, "solo_normalized_ips", solo.normalized_ips);
+  out << ",\n";
+  out << "  \"fairness_mix\": \"" << grid.mix_name << "\",\n";
+  out << "  \"nopart_unfairness\": "
+      << FormatDouble(grid.nopart_unfairness) << ",\n";
+  AppendGrid(out, "fairness_normalized_unfairness",
+             grid.normalized_unfairness);
+  out << "\n}\n";
+  return out.str();
+}
+
+TEST(HarnessGoldenTest, SweepResultsMatchGoldenFile) {
+  const std::string actual = ComputeGoldenDocument();
+  const std::string path = GoldenPath();
+
+  if (std::getenv("COPART_REGENERATE_GOLDEN") != nullptr) {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    ASSERT_TRUE(out.good()) << "cannot write " << path;
+    out << actual;
+    out.close();
+    ASSERT_TRUE(out.good()) << "short write to " << path;
+    GTEST_SKIP() << "regenerated " << path << "; review the diff";
+  }
+
+  std::ifstream in(path, std::ios::binary);
+  ASSERT_TRUE(in.good())
+      << "missing golden file " << path
+      << " — run with COPART_REGENERATE_GOLDEN=1 to create it";
+  std::ostringstream contents;
+  contents << in.rdbuf();
+  const std::string expected = contents.str();
+
+  if (actual != expected) {
+    // Locate the first differing line for a readable failure.
+    std::istringstream actual_lines(actual), expected_lines(expected);
+    std::string actual_line, expected_line;
+    size_t line = 0;
+    while (true) {
+      ++line;
+      const bool have_actual =
+          static_cast<bool>(std::getline(actual_lines, actual_line));
+      const bool have_expected =
+          static_cast<bool>(std::getline(expected_lines, expected_line));
+      if (!have_actual && !have_expected) {
+        break;
+      }
+      if (!have_actual || !have_expected || actual_line != expected_line) {
+        FAIL() << "golden mismatch at line " << line << "\n  golden: "
+               << (have_expected ? expected_line : "<eof>")
+               << "\n  actual: " << (have_actual ? actual_line : "<eof>")
+               << "\nIf this change is intended, regenerate with "
+                  "COPART_REGENERATE_GOLDEN=1 and review the diff.";
+      }
+    }
+  }
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace copart

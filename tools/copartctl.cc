@@ -15,6 +15,7 @@
 #include <cstring>
 #include <string>
 
+#include "common/parallel.h"
 #include "harness/case_study.h"
 #include "harness/experiment.h"
 #include "harness/heatmap.h"
@@ -30,7 +31,7 @@ namespace {
 int Usage() {
   std::fprintf(
       stderr,
-      "usage: copartctl <command> [args]\n"
+      "usage: copartctl [--threads N] <command> [args]\n"
       "  benchmarks\n"
       "  characterize <bench>\n"
       "  run <mix> <policy> [app_count] [duration_sec]\n"
@@ -38,7 +39,10 @@ int Usage() {
       "  oracle <mix> [app_count]\n"
       "  casestudy [--eq]\n"
       "mixes: H-LLC H-BW H-Both M-LLC M-BW M-Both IS\n"
-      "policies: EQ ST CAT-only MBA-only CoPart UCP NoPart\n");
+      "policies: EQ ST CAT-only MBA-only CoPart UCP NoPart\n"
+      "--threads N: fan sweeps (characterize, oracle) out over N worker\n"
+      "             threads; default = hardware concurrency. Results are\n"
+      "             identical for every thread count.\n");
   return 2;
 }
 
@@ -94,13 +98,14 @@ int CmdBenchmarks() {
   return 0;
 }
 
-int CmdCharacterize(const std::string& name) {
+int CmdCharacterize(const std::string& name, const ParallelConfig& parallel) {
   Result<WorkloadDescriptor> descriptor = FindBenchmark(name);
   if (!descriptor.ok()) {
     std::fprintf(stderr, "%s\n", descriptor.status().ToString().c_str());
     return 1;
   }
-  const SoloHeatmap map = SweepSoloPerformance(*descriptor, MachineConfig{});
+  const SoloHeatmap map =
+      SweepSoloPerformance(*descriptor, MachineConfig{}, 4, parallel);
   std::vector<std::string> row_labels, col_labels;
   for (uint32_t ways : map.way_counts) {
     row_labels.push_back(std::to_string(ways) + "w");
@@ -112,6 +117,7 @@ int CmdCharacterize(const std::string& name) {
                row_labels, col_labels, map.normalized_ips);
   std::printf("90%% of peak: >= %u ways (at MBA 100), >= %u%% MBA (at 11 ways)\n",
               map.MinWaysForFraction(0.9), map.MinMbaForFraction(0.9));
+  std::printf("sweep: %s\n", map.stats.Summary().c_str());
   return 0;
 }
 
@@ -171,7 +177,8 @@ int CmdCompare(const std::string& mix_name, size_t count) {
   return 0;
 }
 
-int CmdOracle(const std::string& mix_name, size_t count) {
+int CmdOracle(const std::string& mix_name, size_t count,
+              const ParallelConfig& parallel) {
   Result<MixFamily> family = FindMix(mix_name);
   if (!family.ok()) {
     std::fprintf(stderr, "%s\n", family.status().ToString().c_str());
@@ -191,11 +198,12 @@ int CmdOracle(const std::string& mix_name, size_t count) {
   const ResourcePool pool{.first_way = 0, .num_ways = 11,
                           .max_mba_percent = 100};
   const StaticOracleResult oracle =
-      FindStaticOracleState(machine, apps, pool);
+      FindStaticOracleState(machine, apps, pool, parallel);
   std::printf("mix %s: best static state %s\n", mix.name.c_str(),
               oracle.best_state.ToString().c_str());
   std::printf("predicted unfairness %.4f (%zu states evaluated)\n",
               oracle.best_unfairness, oracle.states_evaluated);
+  std::printf("sweep: %s\n", oracle.stats.Summary().c_str());
   return 0;
 }
 
@@ -215,6 +223,7 @@ int CmdCaseStudy(bool use_eq) {
 }
 
 int Main(int argc, char** argv) {
+  const ParallelConfig parallel = ParseThreadsFlag(argc, argv);
   if (argc < 2) {
     return Usage();
   }
@@ -223,7 +232,7 @@ int Main(int argc, char** argv) {
     return CmdBenchmarks();
   }
   if (command == "characterize" && argc >= 3) {
-    return CmdCharacterize(argv[2]);
+    return CmdCharacterize(argv[2], parallel);
   }
   if (command == "run" && argc >= 4) {
     const size_t count = argc >= 5 ? std::strtoul(argv[4], nullptr, 10) : 4;
@@ -236,7 +245,7 @@ int Main(int argc, char** argv) {
   }
   if (command == "oracle" && argc >= 3) {
     const size_t count = argc >= 4 ? std::strtoul(argv[3], nullptr, 10) : 4;
-    return CmdOracle(argv[2], count);
+    return CmdOracle(argv[2], count, parallel);
   }
   if (command == "casestudy") {
     return CmdCaseStudy(argc >= 3 && std::strcmp(argv[2], "--eq") == 0);

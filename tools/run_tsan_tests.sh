@@ -1,0 +1,34 @@
+#!/usr/bin/env bash
+# Builds the concurrency-sensitive tests under ThreadSanitizer and runs them.
+#
+# Usage: tools/run_tsan_tests.sh [build-dir]
+#
+# The parallel sweep engine is the only multi-threaded code in the tree, so
+# this focuses on the tests that exercise it: the pool/ParallelFor unit
+# tests, the cross-thread-count determinism suite, the golden sweep, and
+# the RNG splitter. Set COPART_SANITIZE=address via -DCOPART_SANITIZE in a
+# separate build dir for an ASan/UBSan pass instead.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${1:-build-tsan}"
+
+cmake -B "$BUILD_DIR" -S . \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DCOPART_SANITIZE=thread
+
+TESTS=(
+  common_parallel_test
+  common_rng_test
+  harness_determinism_test
+  harness_golden_test
+  harness_heatmap_test
+  harness_replication_test
+  harness_static_oracle_test
+)
+
+cmake --build "$BUILD_DIR" -j "$(nproc)" --target "${TESTS[@]}"
+
+FILTER="$(IFS='|'; echo "${TESTS[*]}")"
+TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1}" \
+  ctest --test-dir "$BUILD_DIR" --output-on-failure -R "^(${FILTER})$"
