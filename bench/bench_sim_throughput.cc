@@ -1,12 +1,26 @@
-// Microbenchmarks of the simulation substrate itself: epoch-solve cost vs
-// app count, the Che MRC solver, the shared-capacity fixed point (via
-// overlapping masks), and the trace-driven cache's access rate. These
-// quantify why the analytic epoch model is the right default (DESIGN.md §4)
-// and guard against performance regressions in the hot paths the paper
-// sweeps hammer.
-#include <benchmark/benchmark.h>
+// Throughput of the simulation substrate itself: epochs/sec of the machine
+// model in exact vs compiled MRC modes, plus microbenchmarks of the two
+// MissRatio paths and the trace-driven cache. Every sweep in this repository
+// is built out of these epochs, so this binary is the first point of the
+// perf trajectory: it emits a machine-readable BENCH_sim_throughput.json
+// (committed at the repo root as the baseline) and tools/run_perf_smoke.sh
+// fails CI when epochs/sec regresses >20% against it.
+//
+// Flags:
+//   --json=PATH         where to write the JSON report
+//                       (default BENCH_sim_throughput.json in the CWD —
+//                       run from the repo root to refresh the baseline)
+//   --min-seconds=S     measurement time per data point (default 0.25)
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
 
+#include "cache/compiled_mrc.h"
 #include "cache/way_partitioned_cache.h"
+#include "common/logging.h"
 #include "common/rng.h"
 #include "common/units.h"
 #include "machine/simulated_machine.h"
@@ -15,10 +29,24 @@
 namespace copart {
 namespace {
 
-void BM_MachineEpoch(benchmark::State& state) {
-  const size_t num_apps = static_cast<size_t>(state.range(0));
+const char* ModeName(MrcMode mode) {
+  return mode == MrcMode::kExact ? "exact" : "compiled";
+}
+
+struct ThroughputPoint {
+  MrcMode mode;
+  size_t num_apps;
+  double epochs_per_sec;
+};
+
+// Epochs/sec of a consolidated machine: `num_apps` Table 2 apps, each in
+// its own CLOS with the default full mask, so the shared-capacity fixed
+// point does real work every epoch.
+double MeasureEpochsPerSec(MrcMode mode, size_t num_apps,
+                           double min_seconds) {
   MachineConfig config;
   config.ips_noise_sigma = 0.0;
+  config.mrc_mode = mode;
   SimulatedMachine machine(config);
   const std::vector<WorkloadDescriptor> registry = AllTable2Benchmarks();
   for (size_t i = 0; i < num_apps; ++i) {
@@ -26,66 +54,126 @@ void BM_MachineEpoch(benchmark::State& state) {
     CHECK(app.ok());
     machine.AssignAppToClos(*app, static_cast<uint32_t>(i + 1));
   }
-  for (auto _ : state) {
+  // Warm up: compile the MRC tables and size the epoch scratch.
+  for (int i = 0; i < 32; ++i) {
     machine.AdvanceTime(0.5);
-    benchmark::DoNotOptimize(machine.now());
   }
-}
-BENCHMARK(BM_MachineEpoch)->Arg(2)->Arg(4)->Arg(6)->Unit(
-    benchmark::kMicrosecond);
 
-void BM_MachineEpochOverlappingMasks(benchmark::State& state) {
-  // Full-mask sharing forces the occupancy fixed point to do real work.
-  MachineConfig config;
-  config.ips_noise_sigma = 0.0;
-  SimulatedMachine machine(config);
-  for (const WorkloadDescriptor& descriptor :
-       {Sp(), OceanNcp(), WaterNsquared(), Cg()}) {
-    CHECK(machine.LaunchApp(descriptor, 4).ok());
-  }
-  for (auto _ : state) {
-    machine.AdvanceTime(0.5);
-    benchmark::DoNotOptimize(machine.now());
-  }
+  using Clock = std::chrono::steady_clock;
+  long epochs = 0;
+  double elapsed = 0.0;
+  const Clock::time_point start = Clock::now();
+  do {
+    for (int i = 0; i < 200; ++i) {
+      machine.AdvanceTime(0.5);
+    }
+    epochs += 200;
+    elapsed = std::chrono::duration<double>(Clock::now() - start).count();
+  } while (elapsed < min_seconds);
+  return static_cast<double>(epochs) / elapsed;
 }
-BENCHMARK(BM_MachineEpochOverlappingMasks)->Unit(benchmark::kMicrosecond);
 
-void BM_MissRatioCurve(benchmark::State& state) {
+// ns/query of one MissRatio path, swept over capacities like the epoch
+// kernel would.
+double MeasureMissRatioNs(MrcMode mode, double min_seconds) {
   const ReuseProfile& profile = Sp().reuse_profile;  // Needs the solver.
+  (void)profile.MissRatio(MiB(2), mode);  // Warm the compiled table.
+  using Clock = std::chrono::steady_clock;
+  long queries = 0;
+  double elapsed = 0.0;
+  double sink = 0.0;
   uint64_t capacity = MiB(2);
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(profile.MissRatio(capacity));
-    capacity = capacity % MiB(22) + MiB(2);
+  const Clock::time_point start = Clock::now();
+  do {
+    for (int i = 0; i < 1000; ++i) {
+      sink += profile.MissRatio(capacity, mode);
+      capacity = capacity % MiB(22) + MiB(2);
+    }
+    queries += 1000;
+    elapsed = std::chrono::duration<double>(Clock::now() - start).count();
+  } while (elapsed < min_seconds);
+  if (sink < 0.0) {  // Defeat dead-code elimination.
+    std::fprintf(stderr, "%f\n", sink);
   }
+  return elapsed / static_cast<double>(queries) * 1e9;
 }
-BENCHMARK(BM_MissRatioCurve);
 
-void BM_TraceCacheAccess(benchmark::State& state) {
-  const LlcGeometry geometry{
-      .total_bytes = MiB(22) / 64, .num_ways = 11, .line_bytes = 64};
-  WayPartitionedCache cache(geometry, 2);
-  cache.SetMask(0, WayMask::Contiguous(0, 6));
-  cache.SetMask(1, WayMask::Contiguous(4, 7));
-  Rng rng(1);
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(
-        cache.Access(static_cast<uint32_t>(rng.NextUint64(2)),
-                     rng.NextUint64(MiB(1))));
+int Run(const std::string& json_path, double min_seconds) {
+  const std::vector<size_t> app_counts = {2, 4, 6};
+  std::vector<ThroughputPoint> points;
+  for (const MrcMode mode : {MrcMode::kExact, MrcMode::kCompiled}) {
+    for (const size_t num_apps : app_counts) {
+      const double eps = MeasureEpochsPerSec(mode, num_apps, min_seconds);
+      points.push_back({mode, num_apps, eps});
+      std::printf("sim_throughput: mode=%s apps=%zu epochs_per_sec=%.0f\n",
+                  ModeName(mode), num_apps, eps);
+    }
   }
-}
-BENCHMARK(BM_TraceCacheAccess);
+  const double exact_ns = MeasureMissRatioNs(MrcMode::kExact, min_seconds);
+  const double compiled_ns =
+      MeasureMissRatioNs(MrcMode::kCompiled, min_seconds);
+  std::printf("miss_ratio_query: exact_ns=%.1f compiled_ns=%.1f\n",
+              exact_ns, compiled_ns);
 
-void BM_SoloFullResourceIps(benchmark::State& state) {
-  MachineConfig config;
-  SimulatedMachine machine(config);
-  const WorkloadDescriptor descriptor = OceanNcp();
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(machine.SoloFullResourceIps(descriptor, 4));
+  // Speedup at the heaviest consolidation (the sweep-relevant regime).
+  double exact_eps = 0.0;
+  double compiled_eps = 0.0;
+  for (const ThroughputPoint& point : points) {
+    if (point.num_apps == app_counts.back()) {
+      (point.mode == MrcMode::kExact ? exact_eps : compiled_eps) =
+          point.epochs_per_sec;
+    }
   }
+  const double speedup = exact_eps > 0.0 ? compiled_eps / exact_eps : 0.0;
+  std::printf("sim_throughput: speedup_compiled_over_exact=%.2f\n", speedup);
+
+  // One result object per line so the smoke script can grep/awk it without
+  // a JSON parser.
+  std::FILE* out = std::fopen(json_path.c_str(), "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
+    return 1;
+  }
+  std::fprintf(out, "{\n  \"bench\": \"sim_throughput\",\n");
+  std::fprintf(out, "  \"results\": [\n");
+  for (size_t i = 0; i < points.size(); ++i) {
+    std::fprintf(
+        out,
+        "    {\"mode\": \"%s\", \"apps\": %zu, \"epochs_per_sec\": %.1f}%s\n",
+        ModeName(points[i].mode), points[i].num_apps,
+        points[i].epochs_per_sec, i + 1 == points.size() ? "" : ",");
+  }
+  std::fprintf(out, "  ],\n");
+  std::fprintf(out, "  \"miss_ratio_query_ns\": "
+                    "{\"exact\": %.1f, \"compiled\": %.1f},\n",
+               exact_ns, compiled_ns);
+  std::fprintf(out, "  \"speedup_compiled_over_exact\": %.2f\n}\n", speedup);
+  std::fclose(out);
+  std::printf("sim_throughput: wrote %s\n", json_path.c_str());
+  return 0;
 }
-BENCHMARK(BM_SoloFullResourceIps);
 
 }  // namespace
 }  // namespace copart
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  std::string json_path = "BENCH_sim_throughput.json";
+  double min_seconds = 0.25;
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strncmp(arg, "--json=", 7) == 0) {
+      json_path = arg + 7;
+    } else if (std::strncmp(arg, "--min-seconds=", 14) == 0) {
+      min_seconds = std::atof(arg + 14);
+      if (min_seconds <= 0.0) {
+        std::fprintf(stderr, "invalid --min-seconds\n");
+        return 2;
+      }
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--json=PATH] [--min-seconds=S]\n", argv[0]);
+      return 2;
+    }
+  }
+  return copart::Run(json_path, min_seconds);
+}

@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <cmath>
+#include <mutex>
 
+#include "cache/compiled_mrc.h"
 #include "common/logging.h"
 
 namespace copart {
@@ -18,15 +20,29 @@ constexpr int kBisectionIterations = 48;
 
 }  // namespace
 
+struct ReuseProfile::LazyCompiled {
+  std::once_flag once;
+  std::unique_ptr<const CompiledMrc> table;
+};
+
 ReuseProfile::ReuseProfile(std::vector<ReuseComponent> components,
                            double streaming_weight)
-    : components_(std::move(components)), streaming_weight_(streaming_weight) {
+    : components_(std::move(components)),
+      streaming_weight_(streaming_weight),
+      compiled_(std::make_shared<LazyCompiled>()) {
   CHECK_GE(streaming_weight_, 0.0);
   double total = streaming_weight_;
+  lines_.reserve(components_.size());
+  rates_.reserve(components_.size());
   for (const ReuseComponent& component : components_) {
     CHECK_GE(component.weight, 0.0);
     CHECK_GT(component.working_set_bytes, 0u);
     total += component.weight;
+    const double lines = std::max(
+        1.0, static_cast<double>(component.working_set_bytes) / kLineBytes);
+    lines_.push_back(lines);
+    rates_.push_back(component.weight / lines);
+    total_lines_ += lines;
   }
   CHECK_LE(total, 1.0 + 1e-9) << "reuse profile weights exceed 1";
 }
@@ -44,22 +60,10 @@ double ReuseProfile::MissRatio(uint64_t capacity_bytes) const {
   }
 
   const double capacity_lines = static_cast<double>(capacity_bytes) / kLineBytes;
-
-  // Per-component line counts and per-line reference rates (time unit:
-  // one LLC access).
   const size_t n = components_.size();
-  std::vector<double> lines(n), rates(n);
-  double total_lines = 0.0;
-  for (size_t j = 0; j < n; ++j) {
-    lines[j] = std::max(1.0, static_cast<double>(
-                                 components_[j].working_set_bytes) /
-                                 kLineBytes);
-    rates[j] = components_[j].weight / lines[j];
-    total_lines += lines[j];
-  }
 
   // Everything resident and no stream to pollute: no misses.
-  if (streaming_weight_ <= 0.0 && total_lines <= capacity_lines) {
+  if (streaming_weight_ <= 0.0 && total_lines_ <= capacity_lines) {
     return 0.0;
   }
 
@@ -69,7 +73,7 @@ double ReuseProfile::MissRatio(uint64_t capacity_bytes) const {
   auto occupancy = [&](double t) {
     double lines_used = streaming_weight_ * t;
     for (size_t j = 0; j < n; ++j) {
-      lines_used += lines[j] * (1.0 - std::exp(-rates[j] * t));
+      lines_used += lines_[j] * (1.0 - std::exp(-rates_[j] * t));
     }
     return lines_used;
   };
@@ -97,9 +101,26 @@ double ReuseProfile::MissRatio(uint64_t capacity_bytes) const {
 
   double miss = streaming_weight_;
   for (size_t j = 0; j < n; ++j) {
-    miss += components_[j].weight * std::exp(-rates[j] * t);
+    miss += components_[j].weight * std::exp(-rates_[j] * t);
   }
   return std::clamp(miss, 0.0, 1.0);
+}
+
+double ReuseProfile::MissRatio(uint64_t capacity_bytes, MrcMode mode) const {
+  if (mode == MrcMode::kCompiled) {
+    const CompiledMrc& table = Compiled();
+    if (table.Covers(capacity_bytes)) {
+      return table.Evaluate(capacity_bytes);
+    }
+  }
+  return MissRatio(capacity_bytes);
+}
+
+const CompiledMrc& ReuseProfile::Compiled() const {
+  std::call_once(compiled_->once, [this] {
+    compiled_->table = std::make_unique<const CompiledMrc>(*this);
+  });
+  return *compiled_->table;
 }
 
 uint64_t ReuseProfile::MaxWorkingSetBytes() const {

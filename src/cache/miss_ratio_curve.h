@@ -33,9 +33,23 @@
 #define COPART_CACHE_MISS_RATIO_CURVE_H_
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 namespace copart {
+
+class CompiledMrc;
+
+// How MissRatio queries are answered (MachineConfig::mrc_mode selects the
+// mode for the whole epoch model):
+//   kExact    — per-query bisection on Che's occupancy balance (reference).
+//   kCompiled — precompiled monotone-interpolated table (cache/compiled_mrc
+//               .h), built once per profile on first use; ~1e-5 relative
+//               error, ~50x cheaper per query.
+enum class MrcMode {
+  kExact,
+  kCompiled,
+};
 
 struct ReuseComponent {
   double weight = 0.0;             // Fraction of LLC accesses, in [0, 1].
@@ -53,7 +67,19 @@ class ReuseProfile {
 
   // Expected LLC miss ratio when the workload may allocate into
   // `capacity_bytes` of cache. Monotonically non-increasing in capacity.
+  // The exact solve; allocation-free (the per-component scratch is
+  // precomputed at construction).
   double MissRatio(uint64_t capacity_bytes) const;
+
+  // Mode-dispatched query: kExact calls the solver above; kCompiled answers
+  // from Compiled() with an exact-solve fallback for capacities outside the
+  // table's grid (notably capacity 0).
+  double MissRatio(uint64_t capacity_bytes, MrcMode mode) const;
+
+  // The compiled table, built on first use (thread-safe) and memoized:
+  // copies of this profile — e.g. the same descriptor launched on every
+  // machine of a sweep — share one table.
+  const CompiledMrc& Compiled() const;
 
   // Total footprint: largest component working set (streaming counts as
   // unbounded and is ignored here).
@@ -63,8 +89,16 @@ class ReuseProfile {
   double streaming_weight() const { return streaming_weight_; }
 
  private:
+  struct LazyCompiled;  // once_flag + table; shared across profile copies.
+
   std::vector<ReuseComponent> components_;
   double streaming_weight_;
+  // Per-component line counts / per-line reference rates, hoisted out of
+  // MissRatio so the hot epoch path never heap-allocates.
+  std::vector<double> lines_;
+  std::vector<double> rates_;
+  double total_lines_ = 0.0;
+  std::shared_ptr<LazyCompiled> compiled_;
 };
 
 }  // namespace copart

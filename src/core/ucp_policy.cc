@@ -22,7 +22,8 @@ SystemState ComputeUcpAllocation(const SimulatedMachine& machine,
     const double nominal_ips =
         machine.AppCores(apps[i]) * machine.config().core_freq_hz /
         d.cpi_exec;
-    const double miss_ratio = d.reuse_profile.MissRatio(way_bytes * ways);
+    const double miss_ratio =
+        d.reuse_profile.MissRatio(way_bytes * ways, machine.config().mrc_mode);
     return nominal_ips * d.accesses_per_instr * miss_ratio;
   };
 

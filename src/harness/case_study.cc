@@ -34,8 +34,8 @@ double PredictLcCapability(const WorkloadDescriptor& lc, uint32_t lc_cores,
                            uint32_t ways, const MachineConfig& machine) {
   const double capacity =
       static_cast<double>(machine.llc.WayBytes()) * ways;
-  const double miss_ratio =
-      lc.reuse_profile.MissRatio(static_cast<uint64_t>(capacity));
+  const double miss_ratio = lc.reuse_profile.MissRatio(
+      static_cast<uint64_t>(capacity), machine.mrc_mode);
   const double cpi = lc.cpi_exec + lc.accesses_per_instr * miss_ratio *
                                        lc.mem_latency_cycles / lc.mlp;
   return lc_cores * machine.core_freq_hz / cpi;

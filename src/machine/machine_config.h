@@ -9,6 +9,7 @@
 #include <cstdint>
 
 #include "cache/llc_geometry.h"
+#include "cache/miss_ratio_curve.h"
 #include "common/units.h"
 
 namespace copart {
@@ -32,6 +33,13 @@ struct MachineConfig {
   // perturbation); models run-to-run variation on real hardware that the
   // controller's thresholds (deltaP etc.) must tolerate. 0 disables.
   double ips_noise_sigma = 0.01;
+  // Miss-ratio curve evaluation for the epoch model: kCompiled (default)
+  // answers queries from each profile's precompiled monotone table
+  // (cache/compiled_mrc.h, ~1e-5 relative error, ~50x cheaper); kExact runs
+  // the reference bisection per query. Results are deterministic for a
+  // fixed mode; numerics differ slightly between modes, so comparisons
+  // against goldens must pin one.
+  MrcMode mrc_mode = MrcMode::kCompiled;
   uint64_t seed = 0x5EED5EEDULL;
 };
 

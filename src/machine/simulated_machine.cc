@@ -50,20 +50,28 @@ Result<AppId> SimulatedMachine::LaunchApp(const WorkloadDescriptor& descriptor,
   app.launch_time = now_;
   used_cores_ += cores;
   ++app_generation_;
+  app_index_[app.id] = apps_.size();
   apps_.push_back(std::move(app));
   return apps_.back().id;
 }
 
 Status SimulatedMachine::TerminateApp(AppId id) {
-  for (size_t i = 0; i < apps_.size(); ++i) {
-    if (apps_[i].id == id) {
-      used_cores_ -= apps_[i].num_cores;
-      apps_.erase(apps_.begin() + static_cast<ptrdiff_t>(i));
-      ++app_generation_;
-      return Status::Ok();
+  const auto it = app_index_.find(id);
+  if (it == app_index_.end()) {
+    return NotFoundError("no such app");
+  }
+  const size_t index = it->second;
+  used_cores_ -= apps_[index].num_cores;
+  apps_.erase(apps_.begin() + static_cast<ptrdiff_t>(index));
+  app_index_.erase(it);
+  // The erase shifted every later app down one slot.
+  for (auto& [app_id, app_pos] : app_index_) {
+    if (app_pos > index) {
+      --app_pos;
     }
   }
-  return NotFoundError("no such app");
+  ++app_generation_;
+  return Status::Ok();
 }
 
 std::vector<AppId> SimulatedMachine::ListApps() const {
@@ -76,22 +84,16 @@ std::vector<AppId> SimulatedMachine::ListApps() const {
 }
 
 bool SimulatedMachine::AppExists(AppId id) const {
-  for (const App& app : apps_) {
-    if (app.id == id) {
-      return true;
-    }
-  }
-  return false;
+  return app_index_.find(id) != app_index_.end();
 }
 
 const SimulatedMachine::App& SimulatedMachine::GetApp(AppId id) const {
-  for (const App& app : apps_) {
-    if (app.id == id) {
-      return app;
-    }
+  const auto it = app_index_.find(id);
+  if (it == app_index_.end()) {
+    LOG_FATAL << "no such app: " << id.value();
+    __builtin_unreachable();
   }
-  LOG_FATAL << "no such app: " << id.value();
-  __builtin_unreachable();
+  return apps_[it->second];
 }
 
 SimulatedMachine::App& SimulatedMachine::GetApp(AppId id) {
@@ -154,13 +156,15 @@ double SimulatedMachine::UnconstrainedCpi(const WorkloadDescriptor& d,
 }
 
 SimulatedMachine::EffectiveParams SimulatedMachine::EffectiveParamsFor(
-    const App& app) const {
+    const App& app, size_t phase_index) const {
   const WorkloadDescriptor& d = app.descriptor;
-  const WorkloadPhase phase = d.PhaseAt(now_ - app.launch_time);
+  const WorkloadPhase phase =
+      d.phases.empty() ? WorkloadPhase{} : d.phases[phase_index];
   EffectiveParams params;
   params.accesses_per_instr =
       d.accesses_per_instr * phase.access_intensity_scale;
   params.cpi_exec = d.cpi_exec * phase.cpi_exec_scale;
+  params.phase_index = phase_index;
   if (phase.streaming_scale == 1.0) {
     params.profile = d.reuse_profile;
   } else {
@@ -178,37 +182,84 @@ SimulatedMachine::EffectiveParams SimulatedMachine::EffectiveParamsFor(
   return params;
 }
 
-std::vector<double> SimulatedMachine::SolveEffectiveCapacities(
-    const std::vector<EffectiveParams>& params) const {
+void SimulatedMachine::RefreshEffectiveParams() {
   const size_t n = apps_.size();
-  std::vector<double> capacities(n, 0.0);
+  if (params_generation_ != app_generation_) {
+    params_cache_.clear();
+    params_cache_.reserve(n);
+    for (const App& app : apps_) {
+      params_cache_.push_back(EffectiveParamsFor(
+          app, app.descriptor.PhaseIndexAt(now_ - app.launch_time)));
+    }
+    params_generation_ = app_generation_;
+    return;
+  }
+  for (size_t i = 0; i < n; ++i) {
+    const App& app = apps_[i];
+    if (app.descriptor.phases.empty()) {
+      continue;  // Steady workload: params never change after launch.
+    }
+    const size_t phase_index =
+        app.descriptor.PhaseIndexAt(now_ - app.launch_time);
+    if (phase_index != params_cache_[i].phase_index) {
+      params_cache_[i] = EffectiveParamsFor(app, phase_index);
+    }
+  }
+}
+
+void SimulatedMachine::SolveEffectiveCapacities() {
+  const size_t n = apps_.size();
+  scratch_capacities_.assign(n, 0.0);
   if (n == 0) {
-    return capacities;
+    return;
   }
   const double way_bytes = static_cast<double>(config_.llc.WayBytes());
 
+  // The CLOSes that actually host apps this epoch; the way split only has
+  // to iterate these, not all apps (all sharers of a CLOS see one mask).
+  scratch_clos_weight_.assign(clos_.size(), 0.0);
+  scratch_clos_capacity_.assign(clos_.size(), 0.0);
+  scratch_active_clos_.clear();
+  for (const App& app : apps_) {
+    if (scratch_clos_weight_[app.clos] == 0.0) {
+      scratch_active_clos_.push_back(app.clos);
+      scratch_clos_weight_[app.clos] = 1.0;  // Presence marker.
+    }
+  }
+
   // Fill-intensity weights; initialized equal, refined by the fixed point.
-  std::vector<double> weights(n, 1.0);
+  scratch_weights_.assign(n, 1.0);
   for (int iteration = 0; iteration <= kCapacityIterations; ++iteration) {
-    // Split each way among the CLOSes that may allocate into it.
+    // Split each way among the CLOSes that may allocate into it, then give
+    // every app its fill-weight share of its CLOS's cut.
+    for (const uint32_t clos : scratch_active_clos_) {
+      scratch_clos_weight_[clos] = 0.0;
+      scratch_clos_capacity_[clos] = 0.0;
+    }
     for (size_t i = 0; i < n; ++i) {
-      capacities[i] = 0.0;
+      scratch_clos_weight_[apps_[i].clos] += scratch_weights_[i];
     }
     for (uint32_t way = 0; way < config_.llc.num_ways; ++way) {
       double total_weight = 0.0;
-      for (size_t i = 0; i < n; ++i) {
-        if (clos_[apps_[i].clos].way_mask.Contains(way)) {
-          total_weight += weights[i];
+      for (const uint32_t clos : scratch_active_clos_) {
+        if (clos_[clos].way_mask.Contains(way)) {
+          total_weight += scratch_clos_weight_[clos];
         }
       }
       if (total_weight <= 0.0) {
         continue;
       }
-      for (size_t i = 0; i < n; ++i) {
-        if (clos_[apps_[i].clos].way_mask.Contains(way)) {
-          capacities[i] += way_bytes * weights[i] / total_weight;
+      for (const uint32_t clos : scratch_active_clos_) {
+        if (clos_[clos].way_mask.Contains(way)) {
+          scratch_clos_capacity_[clos] +=
+              way_bytes * scratch_clos_weight_[clos] / total_weight;
         }
       }
+    }
+    for (size_t i = 0; i < n; ++i) {
+      scratch_capacities_[i] = scratch_clos_capacity_[apps_[i].clos] *
+                               scratch_weights_[i] /
+                               scratch_clos_weight_[apps_[i].clos];
     }
     if (iteration == kCapacityIterations) {
       break;
@@ -216,15 +267,15 @@ std::vector<double> SimulatedMachine::SolveEffectiveCapacities(
     // Refine weights: occupancy under LRU is proportional to fill (miss)
     // intensity. Use the nominal (stall-free) instruction rate as the scale.
     for (size_t i = 0; i < n; ++i) {
-      const double miss_ratio =
-          params[i].profile.MissRatio(static_cast<uint64_t>(capacities[i]));
-      const double nominal_ips =
-          apps_[i].num_cores * config_.core_freq_hz / params[i].cpi_exec;
-      weights[i] =
-          nominal_ips * params[i].accesses_per_instr * miss_ratio + 1e-6;
+      const double miss_ratio = params_cache_[i].profile.MissRatio(
+          static_cast<uint64_t>(scratch_capacities_[i]), config_.mrc_mode);
+      const double nominal_ips = apps_[i].num_cores * config_.core_freq_hz /
+                                 params_cache_[i].cpi_exec;
+      scratch_weights_[i] =
+          nominal_ips * params_cache_[i].accesses_per_instr * miss_ratio +
+          1e-6;
     }
   }
-  return capacities;
 }
 
 void SimulatedMachine::AdvanceTime(double dt) {
@@ -235,22 +286,24 @@ void SimulatedMachine::AdvanceTime(double dt) {
     return;
   }
 
-  std::vector<EffectiveParams> params;
-  params.reserve(n);
-  for (const App& app : apps_) {
-    params.push_back(EffectiveParamsFor(app));
-  }
-  const std::vector<double> capacities = SolveEffectiveCapacities(params);
+  RefreshEffectiveParams();
+  SolveEffectiveCapacities();
+  const std::vector<EffectiveParams>& params = params_cache_;
+  const std::vector<double>& capacities = scratch_capacities_;
 
   // Pass 1: contention-free IPS and bandwidth demands.
-  std::vector<double> miss_ratios(n), mpis(n);
-  std::vector<BandwidthRequest> requests(n);
+  scratch_miss_ratios_.resize(n);
+  scratch_mpis_.resize(n);
+  scratch_requests_.resize(n);
+  std::vector<double>& miss_ratios = scratch_miss_ratios_;
+  std::vector<double>& mpis = scratch_mpis_;
+  std::vector<BandwidthRequest>& requests = scratch_requests_;
   for (size_t i = 0; i < n; ++i) {
     const App& app = apps_[i];
     const WorkloadDescriptor& d = app.descriptor;
     const MbaLevel level = clos_[app.clos].mba_level;
-    miss_ratios[i] =
-        params[i].profile.MissRatio(static_cast<uint64_t>(capacities[i]));
+    miss_ratios[i] = params[i].profile.MissRatio(
+        static_cast<uint64_t>(capacities[i]), config_.mrc_mode);
     mpis[i] = params[i].accesses_per_instr * miss_ratios[i];
     const double cpi = UnconstrainedCpi(d, params[i].cpi_exec, mpis[i], level,
                                         /*contention=*/1.0);
@@ -263,7 +316,8 @@ void SimulatedMachine::AdvanceTime(double dt) {
         throttle_model_.CapFraction(level) * config_.total_memory_bandwidth;
   }
 
-  const std::vector<double> grants = arbiter_.Arbitrate(requests);
+  arbiter_.ArbitrateInto(requests, &scratch_grants_);
+  const std::vector<double>& grants = scratch_grants_;
 
   // Controller utilization -> queueing delay stretch on every miss.
   double total_grant = 0.0;
@@ -324,8 +378,8 @@ double SimulatedMachine::SoloFullResourceIps(
     std::optional<uint32_t> num_cores) const {
   const uint32_t cores = num_cores.value_or(descriptor.num_threads);
   const double capacity = static_cast<double>(config_.llc.total_bytes);
-  const double miss_ratio =
-      descriptor.reuse_profile.MissRatio(static_cast<uint64_t>(capacity));
+  const double miss_ratio = descriptor.reuse_profile.MissRatio(
+      static_cast<uint64_t>(capacity), config_.mrc_mode);
   const double mpi = descriptor.accesses_per_instr * miss_ratio;
   // Mirror AdvanceTime's two-pass scheme exactly: pass 1 computes the
   // contention-free demand, whose (capped) grant sets the controller

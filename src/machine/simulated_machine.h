@@ -29,6 +29,7 @@
 #include <cstdint>
 #include <optional>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "cache/way_mask.h"
@@ -153,16 +154,29 @@ class SimulatedMachine {
     double accesses_per_instr = 0.0;
     double cpi_exec = 1.0;
     ReuseProfile profile{{}, 0.0};
+    // Phase the params were computed for; the cache in AdvanceTime is
+    // invalidated when the app crosses into another phase.
+    size_t phase_index = 0;
   };
 
   const App& GetApp(AppId id) const;
   App& GetApp(AppId id);
 
-  EffectiveParams EffectiveParamsFor(const App& app) const;
+  EffectiveParams EffectiveParamsFor(const App& app,
+                                     size_t phase_index) const;
 
-  // Shared-capacity fixed point across the current CLOS masks.
-  std::vector<double> SolveEffectiveCapacities(
-      const std::vector<EffectiveParams>& params) const;
+  // Brings params_cache_ up to date for the current now_: rebuilt from
+  // scratch when app_generation_ moved (launch/terminate reorders apps_),
+  // and per app when it crossed a phase boundary. Steady-state epochs reuse
+  // the cached entries untouched — zero heap allocations.
+  void RefreshEffectiveParams();
+
+  // Shared-capacity fixed point across the current CLOS masks; leaves the
+  // per-app result in scratch_capacities_. Aggregates the way-splitting
+  // loop per CLOS (all sharers of a CLOS see the same mask), so each
+  // fixed-point round costs O(ways * active_clos + apps) instead of
+  // O(ways * apps).
+  void SolveEffectiveCapacities();
 
   // CPI at the given miss-per-instruction and MBA level (no grant bound).
   // cpi_exec is passed separately so phase scaling can adjust it;
@@ -181,6 +195,27 @@ class SimulatedMachine {
   uint32_t used_cores_ = 0;
   std::vector<App> apps_;
   std::vector<ClosState> clos_;
+  // id -> index into apps_; maintained by every operation that bumps
+  // app_generation_ so GetApp/AppExists are O(1) instead of a linear scan.
+  std::unordered_map<AppId, size_t> app_index_;
+
+  // Cached phase-adjusted params, one per app in apps_ order; valid while
+  // params_generation_ == app_generation_ and each app stays in the phase
+  // recorded in its entry.
+  std::vector<EffectiveParams> params_cache_;
+  uint64_t params_generation_ = ~0ull;
+
+  // Epoch scratch, reused across AdvanceTime calls so steady-state epochs
+  // never touch the heap (tests/machine_epoch_alloc_test.cc pins this).
+  std::vector<double> scratch_capacities_;
+  std::vector<double> scratch_weights_;
+  std::vector<double> scratch_clos_weight_;
+  std::vector<double> scratch_clos_capacity_;
+  std::vector<uint32_t> scratch_active_clos_;
+  std::vector<double> scratch_miss_ratios_;
+  std::vector<double> scratch_mpis_;
+  std::vector<BandwidthRequest> scratch_requests_;
+  std::vector<double> scratch_grants_;
 };
 
 }  // namespace copart

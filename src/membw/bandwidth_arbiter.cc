@@ -11,27 +11,23 @@ BandwidthArbiter::BandwidthArbiter(double total_bytes_per_sec)
   CHECK_GT(total_bytes_per_sec, 0.0);
 }
 
-std::vector<double> BandwidthArbiter::Arbitrate(
-    const std::vector<BandwidthRequest>& requests) const {
-  const size_t n = requests.size();
-  // Effective demand: MBA throttles injection before the controller sees it.
-  std::vector<double> capped(n);
+void BandwidthArbiter::ArbitrateImpl(std::vector<double>& capped,
+                                     std::vector<uint8_t>& satisfied,
+                                     std::vector<double>& grants) const {
+  const size_t n = capped.size();
   double total_demand = 0.0;
   for (size_t i = 0; i < n; ++i) {
-    CHECK_GE(requests[i].demand_bytes_per_sec, 0.0);
-    CHECK_GE(requests[i].cap_bytes_per_sec, 0.0);
-    capped[i] =
-        std::min(requests[i].demand_bytes_per_sec, requests[i].cap_bytes_per_sec);
     total_demand += capped[i];
   }
   if (total_demand <= total_bytes_per_sec_) {
-    return capped;
+    grants.assign(capped.begin(), capped.end());
+    return;
   }
 
   // Max-min water-filling: repeatedly satisfy every requester below the fair
   // level, recompute the level over the rest. Terminates in <= n rounds.
-  std::vector<double> grants(n, 0.0);
-  std::vector<bool> satisfied(n, false);
+  grants.assign(n, 0.0);
+  std::fill(satisfied.begin(), satisfied.end(), uint8_t{0});
   double remaining = total_bytes_per_sec_;
   size_t active = n;
   while (active > 0) {
@@ -41,7 +37,7 @@ std::vector<double> BandwidthArbiter::Arbitrate(
       if (!satisfied[i] && capped[i] <= fair_share) {
         grants[i] = capped[i];
         remaining -= capped[i];
-        satisfied[i] = true;
+        satisfied[i] = 1;
         --active;
         anyone_below = true;
       }
@@ -56,6 +52,37 @@ std::vector<double> BandwidthArbiter::Arbitrate(
       break;
     }
   }
+}
+
+void BandwidthArbiter::ArbitrateInto(
+    const std::vector<BandwidthRequest>& requests,
+    std::vector<double>* grants) {
+  const size_t n = requests.size();
+  // Effective demand: MBA throttles injection before the controller sees it.
+  scratch_capped_.resize(n);
+  scratch_satisfied_.resize(n);
+  for (size_t i = 0; i < n; ++i) {
+    CHECK_GE(requests[i].demand_bytes_per_sec, 0.0);
+    CHECK_GE(requests[i].cap_bytes_per_sec, 0.0);
+    scratch_capped_[i] = std::min(requests[i].demand_bytes_per_sec,
+                                  requests[i].cap_bytes_per_sec);
+  }
+  ArbitrateImpl(scratch_capped_, scratch_satisfied_, *grants);
+}
+
+std::vector<double> BandwidthArbiter::Arbitrate(
+    const std::vector<BandwidthRequest>& requests) const {
+  const size_t n = requests.size();
+  std::vector<double> capped(n);
+  std::vector<uint8_t> satisfied(n);
+  for (size_t i = 0; i < n; ++i) {
+    CHECK_GE(requests[i].demand_bytes_per_sec, 0.0);
+    CHECK_GE(requests[i].cap_bytes_per_sec, 0.0);
+    capped[i] = std::min(requests[i].demand_bytes_per_sec,
+                         requests[i].cap_bytes_per_sec);
+  }
+  std::vector<double> grants;
+  ArbitrateImpl(capped, satisfied, grants);
   return grants;
 }
 

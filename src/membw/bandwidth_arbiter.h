@@ -36,10 +36,24 @@ class BandwidthArbiter {
   std::vector<double> Arbitrate(
       const std::vector<BandwidthRequest>& requests) const;
 
+  // Allocation-free variant for the epoch hot path: writes into `*grants`
+  // and reuses member scratch, so repeated calls at a stable request count
+  // never touch the heap.
+  void ArbitrateInto(const std::vector<BandwidthRequest>& requests,
+                     std::vector<double>* grants);
+
   double total_bytes_per_sec() const { return total_bytes_per_sec_; }
 
  private:
+  // Water-filling over pre-capped demands in `capped`; `satisfied` is
+  // caller-provided scratch of the same size.
+  void ArbitrateImpl(std::vector<double>& capped,
+                     std::vector<uint8_t>& satisfied,
+                     std::vector<double>& grants) const;
+
   double total_bytes_per_sec_;
+  std::vector<double> scratch_capped_;
+  std::vector<uint8_t> scratch_satisfied_;
 };
 
 }  // namespace copart

@@ -287,19 +287,26 @@ WorkloadPhase WorkloadDescriptor::PhaseAt(double t) const {
   if (phases.empty()) {
     return WorkloadPhase{};
   }
+  return phases[PhaseIndexAt(t)];
+}
+
+size_t WorkloadDescriptor::PhaseIndexAt(double t) const {
+  if (phases.empty()) {
+    return 0;
+  }
   double cycle = 0.0;
   for (const WorkloadPhase& phase : phases) {
     CHECK_GT(phase.duration_sec, 0.0);
     cycle += phase.duration_sec;
   }
   double offset = std::fmod(std::max(t, 0.0), cycle);
-  for (const WorkloadPhase& phase : phases) {
-    if (offset < phase.duration_sec) {
-      return phase;
+  for (size_t i = 0; i < phases.size(); ++i) {
+    if (offset < phases[i].duration_sec) {
+      return i;
     }
-    offset -= phase.duration_sec;
+    offset -= phases[i].duration_sec;
   }
-  return phases.back();
+  return phases.size() - 1;
 }
 
 WorkloadDescriptor PhasedScanCompute(double period_sec) {

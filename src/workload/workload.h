@@ -21,6 +21,7 @@
 #ifndef COPART_WORKLOAD_WORKLOAD_H_
 #define COPART_WORKLOAD_WORKLOAD_H_
 
+#include <cstddef>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -88,6 +89,11 @@ struct WorkloadDescriptor {
   // Phase in effect at time `t` since app launch (cycles through `phases`);
   // the identity phase when none are defined.
   WorkloadPhase PhaseAt(double t) const;
+
+  // Index into `phases` of the phase in effect at `t` (0 when no phases are
+  // defined). The machine's epoch kernel caches its phase-adjusted
+  // parameters and recomputes them only when this index moves.
+  size_t PhaseIndexAt(double t) const;
 };
 
 // A two-phase synthetic app that alternates between a cache-friendly

@@ -1,0 +1,110 @@
+// The epoch kernel must be allocation-free in steady state: AdvanceTime on a
+// warmed-up machine may not touch the heap, whatever the app count or MRC
+// mode. This pins the perf work in simulated_machine.cc (member scratch
+// buffers, cached EffectiveParams, ArbitrateInto) against regressions that
+// would silently reintroduce per-epoch malloc traffic.
+//
+// Counting is done by overriding the global operator new/delete. gtest
+// itself allocates between tests, so the counter is only consulted inside
+// tight windows around AdvanceTime calls.
+#include <atomic>
+#include <cstddef>
+#include <cstdlib>
+#include <new>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "machine/machine_config.h"
+#include "machine/simulated_machine.h"
+#include "workload/workload.h"
+
+namespace {
+
+std::atomic<long> g_allocations{0};
+
+}  // namespace
+
+void* operator new(std::size_t size) {
+  g_allocations.fetch_add(1, std::memory_order_relaxed);
+  void* ptr = std::malloc(size);
+  if (ptr == nullptr) {
+    throw std::bad_alloc();
+  }
+  return ptr;
+}
+
+void* operator new[](std::size_t size) { return ::operator new(size); }
+
+void operator delete(void* ptr) noexcept { std::free(ptr); }
+void operator delete[](void* ptr) noexcept { std::free(ptr); }
+void operator delete(void* ptr, std::size_t) noexcept { std::free(ptr); }
+void operator delete[](void* ptr, std::size_t) noexcept { std::free(ptr); }
+
+namespace copart {
+namespace {
+
+long AllocationsDuringEpochs(SimulatedMachine& machine, int epochs) {
+  const long before = g_allocations.load(std::memory_order_relaxed);
+  for (int i = 0; i < epochs; ++i) {
+    machine.AdvanceTime(0.5);
+  }
+  return g_allocations.load(std::memory_order_relaxed) - before;
+}
+
+class MachineEpochAllocTest : public ::testing::TestWithParam<MrcMode> {};
+
+TEST_P(MachineEpochAllocTest, SteadyStateEpochsDoNotAllocate) {
+  MachineConfig config;
+  config.ips_noise_sigma = 0.0;
+  config.mrc_mode = GetParam();
+  SimulatedMachine machine(config);
+  const std::vector<WorkloadDescriptor> registry = AllTable2Benchmarks();
+  for (size_t i = 0; i < 6; ++i) {
+    Result<AppId> app = machine.LaunchApp(registry[i % registry.size()], 2);
+    ASSERT_TRUE(app.ok());
+    machine.AssignAppToClos(*app, static_cast<uint32_t>(i + 1));
+  }
+  // Warm up: size the scratch buffers, build the compiled tables, populate
+  // the EffectiveParams cache.
+  for (int i = 0; i < 16; ++i) {
+    machine.AdvanceTime(0.5);
+  }
+  EXPECT_EQ(AllocationsDuringEpochs(machine, 200), 0)
+      << "AdvanceTime allocated on the steady-state path";
+}
+
+TEST_P(MachineEpochAllocTest, LaunchInvalidatesThenSteadyAgain) {
+  MachineConfig config;
+  config.ips_noise_sigma = 0.0;
+  config.mrc_mode = GetParam();
+  SimulatedMachine machine(config);
+  Result<AppId> a = machine.LaunchApp(Sp(), 2);
+  ASSERT_TRUE(a.ok());
+  for (int i = 0; i < 16; ++i) {
+    machine.AdvanceTime(0.5);
+  }
+  ASSERT_EQ(AllocationsDuringEpochs(machine, 50), 0);
+
+  // Membership changes legitimately rebuild the params cache...
+  Result<AppId> b = machine.LaunchApp(Raytrace(), 2);
+  ASSERT_TRUE(b.ok());
+  machine.AssignAppToClos(*b, 1);
+  for (int i = 0; i < 16; ++i) {
+    machine.AdvanceTime(0.5);
+  }
+  // ...but the loop must settle back to zero afterwards.
+  EXPECT_EQ(AllocationsDuringEpochs(machine, 50), 0)
+      << "epoch loop did not return to allocation-free after LaunchApp";
+}
+
+INSTANTIATE_TEST_SUITE_P(AllModes, MachineEpochAllocTest,
+                         ::testing::Values(MrcMode::kExact,
+                                           MrcMode::kCompiled),
+                         [](const ::testing::TestParamInfo<MrcMode>& info) {
+                           return info.param == MrcMode::kExact ? "exact"
+                                                                : "compiled";
+                         });
+
+}  // namespace
+}  // namespace copart

@@ -1,0 +1,71 @@
+#!/usr/bin/env bash
+# Perf smoke test: build Release, run bench_sim_throughput, and fail if any
+# epochs/sec point regresses more than 20% against the committed baseline
+# (BENCH_sim_throughput.json at the repo root).
+#
+# Usage: tools/run_perf_smoke.sh [build-dir]
+#
+# The threshold is deliberately loose — CI machines are noisy — so a failure
+# here means a real algorithmic regression (e.g. reintroducing per-epoch
+# allocations or exact solves on the hot path), not jitter. Refresh the
+# baseline by running the bench from the repo root on a quiet machine:
+#   ./<build-dir>/bench/bench_sim_throughput --min-seconds=1
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${1:-build-perf}"
+BASELINE="BENCH_sim_throughput.json"
+REGRESSION_PCT=20
+
+if [[ ! -f "$BASELINE" ]]; then
+  echo "run_perf_smoke: no committed baseline at $BASELINE" >&2
+  exit 1
+fi
+
+cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=Release
+cmake --build "$BUILD_DIR" --target bench_sim_throughput -j "$(nproc)"
+
+FRESH="$(mktemp /tmp/bench_sim_throughput.XXXXXX.json)"
+trap 'rm -f "$FRESH"' EXIT
+"$BUILD_DIR/bench/bench_sim_throughput" --json="$FRESH" --min-seconds=0.5
+
+# The bench emits one result object per line:
+#   {"mode": "exact", "apps": 2, "epochs_per_sec": 12345.6},
+# so plain grep/sed suffice — no JSON parser needed.
+point_value() {  # point_value FILE MODE APPS -> epochs_per_sec (or empty)
+  grep "\"mode\": \"$2\", \"apps\": $3," "$1" |
+    sed -n 's/.*"epochs_per_sec": \([0-9.]*\).*/\1/p'
+}
+
+fail=0
+while IFS= read -r line; do
+  mode="$(printf '%s\n' "$line" | sed -n 's/.*"mode": "\([a-z]*\)".*/\1/p')"
+  apps="$(printf '%s\n' "$line" | sed -n 's/.*"apps": \([0-9]*\).*/\1/p')"
+  base="$(printf '%s\n' "$line" |
+    sed -n 's/.*"epochs_per_sec": \([0-9.]*\).*/\1/p')"
+  [[ -n "$mode" && -n "$apps" && -n "$base" ]] || continue
+  now="$(point_value "$FRESH" "$mode" "$apps")"
+  if [[ -z "$now" ]]; then
+    echo "run_perf_smoke: FAIL mode=$mode apps=$apps missing from fresh run"
+    fail=1
+    continue
+  fi
+  # now < base * (1 - pct/100) ?
+  floor="$(awk -v b="$base" -v p="$REGRESSION_PCT" \
+    'BEGIN { printf "%.1f", b * (1 - p / 100) }')"
+  verdict="$(awk -v n="$now" -v f="$floor" 'BEGIN { print (n < f) }')"
+  if [[ "$verdict" == 1 ]]; then
+    echo "run_perf_smoke: FAIL mode=$mode apps=$apps" \
+      "epochs_per_sec=$now < floor=$floor (baseline=$base)"
+    fail=1
+  else
+    echo "run_perf_smoke: ok   mode=$mode apps=$apps" \
+      "epochs_per_sec=$now (baseline=$base, floor=$floor)"
+  fi
+done < <(grep '"epochs_per_sec"' "$BASELINE")
+
+if [[ "$fail" != 0 ]]; then
+  echo "run_perf_smoke: REGRESSION DETECTED (>${REGRESSION_PCT}% below baseline)"
+  exit 1
+fi
+echo "run_perf_smoke: all points within ${REGRESSION_PCT}% of baseline"
