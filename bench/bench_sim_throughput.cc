@@ -11,6 +11,10 @@
 //                       (default BENCH_sim_throughput.json in the CWD —
 //                       run from the repo root to refresh the baseline)
 //   --min-seconds=S     measurement time per data point (default 0.25)
+//   --fault-injector    attach a FaultInjector with no points armed — pins
+//                       the "compiled in but disabled" cost of the fault
+//                       substrate (tools/run_perf_smoke.sh runs this mode
+//                       against the same 20%% regression gate)
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -20,6 +24,7 @@
 
 #include "cache/compiled_mrc.h"
 #include "cache/way_partitioned_cache.h"
+#include "common/fault_injector.h"
 #include "common/logging.h"
 #include "common/rng.h"
 #include "common/units.h"
@@ -42,11 +47,12 @@ struct ThroughputPoint {
 // Epochs/sec of a consolidated machine: `num_apps` Table 2 apps, each in
 // its own CLOS with the default full mask, so the shared-capacity fixed
 // point does real work every epoch.
-double MeasureEpochsPerSec(MrcMode mode, size_t num_apps,
-                           double min_seconds) {
+double MeasureEpochsPerSec(MrcMode mode, size_t num_apps, double min_seconds,
+                           FaultInjector* injector) {
   MachineConfig config;
   config.ips_noise_sigma = 0.0;
   config.mrc_mode = mode;
+  config.fault_injector = injector;  // Null unless --fault-injector.
   SimulatedMachine machine(config);
   const std::vector<WorkloadDescriptor> registry = AllTable2Benchmarks();
   for (size_t i = 0; i < num_apps; ++i) {
@@ -98,12 +104,21 @@ double MeasureMissRatioNs(MrcMode mode, double min_seconds) {
   return elapsed / static_cast<double>(queries) * 1e9;
 }
 
-int Run(const std::string& json_path, double min_seconds) {
+int Run(const std::string& json_path, double min_seconds,
+        bool with_injector) {
+  // Armed with nothing, the injector must be free on the epoch path; the
+  // smoke script compares this configuration against the same baseline.
+  FaultInjector injector;
+  FaultInjector* injector_ptr = with_injector ? &injector : nullptr;
+  if (with_injector) {
+    std::printf("sim_throughput: fault injector attached (no points armed)\n");
+  }
   const std::vector<size_t> app_counts = {2, 4, 6};
   std::vector<ThroughputPoint> points;
   for (const MrcMode mode : {MrcMode::kExact, MrcMode::kCompiled}) {
     for (const size_t num_apps : app_counts) {
-      const double eps = MeasureEpochsPerSec(mode, num_apps, min_seconds);
+      const double eps =
+          MeasureEpochsPerSec(mode, num_apps, min_seconds, injector_ptr);
       points.push_back({mode, num_apps, eps});
       std::printf("sim_throughput: mode=%s apps=%zu epochs_per_sec=%.0f\n",
                   ModeName(mode), num_apps, eps);
@@ -159,6 +174,7 @@ int Run(const std::string& json_path, double min_seconds) {
 int main(int argc, char** argv) {
   std::string json_path = "BENCH_sim_throughput.json";
   double min_seconds = 0.25;
+  bool with_injector = false;
   for (int i = 1; i < argc; ++i) {
     const char* arg = argv[i];
     if (std::strncmp(arg, "--json=", 7) == 0) {
@@ -169,11 +185,15 @@ int main(int argc, char** argv) {
         std::fprintf(stderr, "invalid --min-seconds\n");
         return 2;
       }
+    } else if (std::strcmp(arg, "--fault-injector") == 0) {
+      with_injector = true;
     } else {
-      std::fprintf(stderr,
-                   "usage: %s [--json=PATH] [--min-seconds=S]\n", argv[0]);
+      std::fprintf(
+          stderr,
+          "usage: %s [--json=PATH] [--min-seconds=S] [--fault-injector]\n",
+          argv[0]);
       return 2;
     }
   }
-  return copart::Run(json_path, min_seconds);
+  return copart::Run(json_path, min_seconds, with_injector);
 }

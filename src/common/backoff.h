@@ -1,0 +1,73 @@
+// Exponential backoff with deterministic jitter, for retrying a flaky
+// actuation surface (resctrl writes that return transient errors).
+//
+// Delays are unitless — the resource manager interprets them as control
+// periods, a CLI retry loop could read them as seconds. For failure n
+// (1-based) the base delay is initial * multiplier^(n-1), capped at max,
+// then stretched by a jitter factor drawn uniformly from
+// [1 - jitter, 1 + jitter]. The jitter stream comes from an explicit Rng
+// seed, so a retry schedule replays bit-for-bit
+// (tests/common_backoff_test.cc) and sweeps containing hardened
+// controllers stay deterministic across thread counts.
+#ifndef COPART_COMMON_BACKOFF_H_
+#define COPART_COMMON_BACKOFF_H_
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "common/rng.h"
+
+namespace copart {
+
+struct BackoffOptions {
+  double initial = 1.0;     // Delay after the first failure.
+  double multiplier = 2.0;  // Growth per consecutive failure.
+  double max = 8.0;         // Cap on the un-jittered delay.
+  double jitter = 0.25;     // Relative jitter half-width in [0, 1).
+};
+
+class Backoff {
+ public:
+  Backoff(const BackoffOptions& options, Rng rng)
+      : options_(options), rng_(rng) {
+    CHECK_GT(options_.initial, 0.0);
+    CHECK_GE(options_.multiplier, 1.0);
+    CHECK_GE(options_.max, options_.initial);
+    CHECK_GE(options_.jitter, 0.0);
+    CHECK_LT(options_.jitter, 1.0);
+  }
+
+  Backoff(const BackoffOptions& options, uint64_t seed)
+      : Backoff(options, Rng(seed)) {}
+
+  // Records one more consecutive failure and returns the delay to wait
+  // before the next attempt.
+  double NextDelay() {
+    double delay = options_.initial;
+    for (int i = 0; i < failures_ && delay < options_.max; ++i) {
+      delay *= options_.multiplier;
+    }
+    ++failures_;
+    delay = std::min(delay, options_.max);
+    const double stretch =
+        1.0 + options_.jitter * (2.0 * rng_.NextDouble() - 1.0);
+    return delay * stretch;
+  }
+
+  // Success: the next failure starts the schedule over. The jitter stream
+  // is deliberately NOT rewound — two schedules after two distinct outages
+  // draw different jitter, like wall-clock-seeded implementations.
+  void Reset() { failures_ = 0; }
+
+  // Consecutive failures recorded since the last Reset().
+  int failures() const { return failures_; }
+
+ private:
+  BackoffOptions options_;
+  Rng rng_;
+  int failures_ = 0;
+};
+
+}  // namespace copart
+
+#endif  // COPART_COMMON_BACKOFF_H_

@@ -22,6 +22,8 @@ const char* StatusCodeName(StatusCode code) {
       return "kUnimplemented";
     case StatusCode::kInternal:
       return "kInternal";
+    case StatusCode::kUnavailable:
+      return "kUnavailable";
   }
   return "?";
 }

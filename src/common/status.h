@@ -23,12 +23,18 @@ enum class StatusCode : int32_t {
   kResourceExhausted = 6,
   kUnimplemented = 7,
   kInternal = 8,
+  // A transiently failing dependency (e.g. an injected -EBUSY from the
+  // resctrl surface); retrying with backoff may succeed.
+  kUnavailable = 9,
 };
 
 // Human-readable name for a status code ("kOk", "kInvalidArgument", ...).
 const char* StatusCodeName(StatusCode code);
 
-class Status {
+// [[nodiscard]]: silently dropping a Status hides actuation failures the
+// hardened controller is built to survive; callers must consume it (assign,
+// test, or explicitly void-cast with a comment).
+class [[nodiscard]] Status {
  public:
   // Default constructed Status is OK.
   Status() : code_(StatusCode::kOk) {}
@@ -74,11 +80,14 @@ inline Status ResourceExhaustedError(std::string message) {
 inline Status InternalError(std::string message) {
   return Status(StatusCode::kInternal, std::move(message));
 }
+inline Status UnavailableError(std::string message) {
+  return Status(StatusCode::kUnavailable, std::move(message));
+}
 
 // Value-or-error. Accessing value() on an error Result is a fatal CHECK;
 // callers must test ok() (or use value_or) on fallible paths.
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   // Implicit conversions make `return value;` / `return SomeError(...);`
   // read naturally at call sites, mirroring absl::StatusOr.

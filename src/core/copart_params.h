@@ -39,6 +39,36 @@ struct ClassifierParams {
   double perf_delta = 0.05;
 };
 
+// Hardening knobs for the actuation path (retry/backoff, degraded mode,
+// counter quarantine). Delays are measured in control periods, not seconds:
+// the manager acts only at period boundaries, so that is its native clock.
+struct ActuationParams {
+  // R: consecutive failed actuation attempts (after per-attempt rollback)
+  // before the manager gives up and enters the degraded phase.
+  int max_consecutive_failures = 5;
+
+  // Exponential backoff between actuation retries, in control periods.
+  double backoff_initial_periods = 1.0;
+  double backoff_multiplier = 2.0;
+  double backoff_max_periods = 8.0;
+  double backoff_jitter = 0.25;
+
+  // K: consecutive bad counter samples (dropped, stale, or saturated)
+  // before an app is quarantined to the conservative class; consecutive
+  // good samples required to release it.
+  int quarantine_after_bad_samples = 3;
+  int quarantine_release_good_samples = 3;
+
+  // Consecutive successful fair-share applies in the degraded phase before
+  // the manager declares the substrate healthy and restarts adaptation.
+  int degraded_recovery_successes = 3;
+
+  // Instruction-delta ceiling per sample; anything above is a saturated or
+  // wrapped counter, never a real reading (16 cores * 2.1 GHz * 0.5 s is
+  // ~1.7e10).
+  double saturation_instructions = 1e12;
+};
+
 struct ResourceManagerParams {
   ClassifierParams classifier;
 
@@ -70,6 +100,9 @@ struct ResourceManagerParams {
   // Allocation step override; null selects the paper's HR matcher
   // (GetNextSystemState). Used only by ablation studies.
   MatchFunction matcher;
+
+  // Retry/backoff/degraded-mode policy for the actuation path.
+  ActuationParams actuation;
 };
 
 }  // namespace copart

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cmath>
 
 #include "common/logging.h"
 #include "membw/mba_throttle_model.h"
@@ -14,6 +15,11 @@ uint64_t ContiguousBits(uint32_t first, uint32_t count) {
   return ones << first;
 }
 
+// Stream index of the backoff jitter Rng, forked off the manager's seed
+// with the const Fork(stream) so the neighbor/matcher draw sequence of
+// rng_ is untouched (golden experiment results depend on it).
+constexpr uint64_t kBackoffStream = 0xBAC0FFULL;
+
 }  // namespace
 
 ResourceManager::ResourceManager(Resctrl* resctrl, PerfMonitor* monitor,
@@ -21,7 +27,12 @@ ResourceManager::ResourceManager(Resctrl* resctrl, PerfMonitor* monitor,
     : resctrl_(resctrl),
       monitor_(monitor),
       params_(params),
-      rng_(params.seed) {
+      rng_(params.seed),
+      backoff_(BackoffOptions{.initial = params.actuation.backoff_initial_periods,
+                              .multiplier = params.actuation.backoff_multiplier,
+                              .max = params.actuation.backoff_max_periods,
+                              .jitter = params.actuation.backoff_jitter},
+               rng_.Fork(kBackoffStream)) {
   CHECK_NE(resctrl, nullptr);
   CHECK_NE(monitor, nullptr);
   pool_ = ResourcePool{
@@ -40,6 +51,8 @@ const char* ResourceManager::PhaseName(Phase phase) {
       return "exploration";
     case Phase::kIdle:
       return "idle";
+    case Phase::kDegraded:
+      return "degraded";
   }
   return "?";
 }
@@ -48,6 +61,10 @@ Status ResourceManager::AddApp(AppId app) {
   if (!resctrl_->machine().AppExists(app)) {
     return NotFoundError("no such app");
   }
+  // An admission can race an unannounced death (a container crashing the
+  // instant another launches). StartAdaptation below re-attaches every
+  // managed app's monitor, so corpses must go first.
+  ReapDeadApps();
   for (const ManagedApp& managed : apps_) {
     if (managed.id == app) {
       return AlreadyExistsError("app already managed");
@@ -63,7 +80,16 @@ Status ResourceManager::AddApp(AppId app) {
   if (!group.ok()) {
     return group.status();
   }
-  RETURN_IF_ERROR(resctrl_->AssignApp(*group, app));
+  Status assigned = resctrl_->AssignApp(*group, app);
+  if (!assigned.ok()) {
+    // Undo the half-finished admission; a failed removal leaves a zombie
+    // group that the tick loop keeps retrying.
+    Status removed = resctrl_->RemoveGroup(*group);
+    if (!removed.ok()) {
+      zombie_groups_.push_back(*group);
+    }
+    return assigned;
+  }
   monitor_->Attach(app);
 
   ManagedApp managed{.id = app,
@@ -72,7 +98,14 @@ Status ResourceManager::AddApp(AppId app) {
                      .mba_fsm = MbaClassifierFsm(params_.classifier)};
   apps_.push_back(std::move(managed));
   last_seen_generation_ = resctrl_->machine().app_generation();
-  StartAdaptation();
+  if (phase_ != Phase::kDegraded) {
+    StartAdaptation();
+  } else {
+    // In the degraded phase the next fair-share apply covers the newcomer;
+    // adaptation restarts only after the substrate recovers. Keep state_
+    // sized to the live app set in the meantime.
+    state_ = InitialState();
+  }
   return Status::Ok();
 }
 
@@ -81,13 +114,18 @@ Status ResourceManager::RemoveApp(AppId app) {
     if (apps_[i].id == app) {
       monitor_->Detach(app);
       Status status = resctrl_->RemoveGroup(apps_[i].group);
-      CHECK(status.ok()) << status.ToString();
+      if (!status.ok()) {
+        zombie_groups_.push_back(apps_[i].group);
+      }
       apps_.erase(apps_.begin() + static_cast<ptrdiff_t>(i));
       last_seen_generation_ = resctrl_->machine().app_generation();
-      if (!apps_.empty()) {
+      pending_plan_.reset();  // Plans index the old app set.
+      if (apps_.empty()) {
+        phase_ = Phase::kIdle;
+      } else if (phase_ != Phase::kDegraded) {
         StartAdaptation();
       } else {
-        phase_ = Phase::kIdle;
+        state_ = InitialState();
       }
       return Status::Ok();
     }
@@ -101,7 +139,7 @@ void ResourceManager::SetResourcePool(const ResourcePool& pool) {
            resctrl_->machine().config().llc.num_ways);
   CHECK_GE(pool.max_mba_percent, MbaLevel::kMin);
   pool_ = pool;
-  if (!apps_.empty()) {
+  if (!apps_.empty() && phase_ != Phase::kDegraded) {
     StartAdaptation();
   }
 }
@@ -124,6 +162,10 @@ double ResourceManager::SlowdownEstimate(AppId app) const {
   return std::max(1.0, managed.ips_full / managed.prev_ips);
 }
 
+bool ResourceManager::Quarantined(AppId app) const {
+  return apps_[AppIndex(app)].quarantined;
+}
+
 double ResourceManager::StreamMissRateReference(MbaLevel level) const {
   const MachineConfig& config = resctrl_->machine().config();
   const MbaThrottleModel throttle(config.mba_cap_exponent);
@@ -131,26 +173,31 @@ double ResourceManager::StreamMissRateReference(MbaLevel level) const {
          config.llc.line_bytes;
 }
 
-void ResourceManager::StartAdaptation() {
-  CHECK(!apps_.empty());
-  CHECK_GE(pool_.num_ways, apps_.size()) << "more apps than pool ways";
-  ++adaptations_started_;
-  phase_ = Phase::kProfiling;
-  profile_app_ = 0;
-  probe_ = Probe::kFull;
-  retry_count_ = 0;
-  state_ = InitialState();
-  ApplySystemState(state_);  // Baseline for the non-profiled apps.
-  ApplyProbeAllocation();
-  // Restart the sampling windows so the first probe reads a clean period.
-  for (ManagedApp& app : apps_) {
-    monitor_->Attach(app.id);
-    app.prev_ips = 0.0;
+// --- Transactional actuation ---
+
+ResourceManager::ActuationPlan ResourceManager::PlanForState(
+    const SystemState& state) const {
+  CHECK(state.Valid());
+  CHECK_EQ(state.NumApps(), apps_.size());
+  ActuationPlan plan;
+  plan.entries.reserve(apps_.size());
+  for (size_t i = 0; i < apps_.size(); ++i) {
+    plan.entries.push_back(ActuationPlan::Entry{
+        .group = apps_[i].group,
+        .mask_bits = state.WayMaskBits(i),
+        .mba_percent = state.allocation(i).mba_level.percent()});
   }
+  return plan;
 }
 
-void ResourceManager::ApplyProbeAllocation() {
-  const ManagedApp& app = apps_[profile_app_];
+ResourceManager::ActuationPlan ResourceManager::PlanForProbe() const {
+  // The probed app gets the probe allocation; every co-runner is squeezed
+  // to minimal resources (one shared way at the top of the pool, MBA floor)
+  // so the probe measures the profiled app itself rather than the
+  // co-runners' cache pollution and bandwidth pressure: IPS_full is the
+  // Eq. 1 slowdown reference and must approximate the full-resource rate.
+  // The co-runners pay for one period per probe — the adaptation transient
+  // visible in Fig. 15.
   const uint64_t full_bits = ContiguousBits(pool_.first_way, pool_.num_ways);
   const uint32_t max_mba = state_.pool().max_mba_percent;
   uint64_t mask_bits = full_bits;
@@ -166,88 +213,283 @@ void ResourceManager::ApplyProbeAllocation() {
       mba_percent = params_.profile_mba_percent;
       break;
   }
-  Status status = resctrl_->SetCacheMask(app.group, mask_bits);
-  CHECK(status.ok()) << status.ToString();
-  status = resctrl_->SetMbaPercent(app.group, mba_percent);
-  CHECK(status.ok()) << status.ToString();
-
-  // Squeeze every co-runner to minimal resources (one shared way at the top
-  // of the pool, MBA floor) so the probe measures the profiled app itself
-  // rather than the co-runners' cache pollution and bandwidth pressure:
-  // IPS_full is the Eq. 1 slowdown reference and must approximate the
-  // full-resource rate. The co-runners pay for one period per probe — the
-  // adaptation transient visible in Fig. 15.
   const uint64_t squeeze_bits =
       ContiguousBits(pool_.first_way + pool_.num_ways - 1, 1);
+  ActuationPlan plan;
+  plan.entries.reserve(apps_.size());
   for (size_t i = 0; i < apps_.size(); ++i) {
     if (i == profile_app_) {
-      continue;
+      plan.entries.push_back(ActuationPlan::Entry{
+          .group = apps_[i].group,
+          .mask_bits = mask_bits,
+          .mba_percent = mba_percent});
+    } else {
+      plan.entries.push_back(ActuationPlan::Entry{
+          .group = apps_[i].group,
+          .mask_bits = squeeze_bits,
+          .mba_percent = MbaLevel::kMin});
     }
-    status = resctrl_->SetCacheMask(apps_[i].group, squeeze_bits);
-    CHECK(status.ok()) << status.ToString();
-    status = resctrl_->SetMbaPercent(apps_[i].group, MbaLevel::kMin);
-    CHECK(status.ok()) << status.ToString();
+  }
+  return plan;
+}
+
+Status ResourceManager::ApplyPlanTransactional(const ActuationPlan& plan) {
+  const SimulatedMachine& machine = resctrl_->machine();
+  // Snapshot, so a half-applied transaction can be unwound.
+  struct Snapshot {
+    uint64_t mask_bits = 0;
+    uint32_t mba_percent = 100;
+  };
+  std::vector<Snapshot> before(plan.entries.size());
+  for (size_t i = 0; i < plan.entries.size(); ++i) {
+    const uint32_t clos = plan.entries[i].group.clos();
+    before[i] = Snapshot{machine.ClosWayMask(clos).bits(),
+                         machine.ClosMbaLevel(clos).percent()};
   }
 
-  // Restart the profiled app's sampling window so the next Sample() covers
-  // exactly this probe period (and none of the time it spent squeezed
-  // during the other apps' probes).
-  monitor_->Attach(app.id);
+  Status failure = Status::Ok();
+  size_t applied = 0;
+  for (; applied < plan.entries.size(); ++applied) {
+    const ActuationPlan::Entry& entry = plan.entries[applied];
+    Status status = resctrl_->SetCacheMask(entry.group, entry.mask_bits);
+    if (status.ok()) {
+      status = resctrl_->SetMbaPercent(entry.group, entry.mba_percent);
+    }
+    if (!status.ok()) {
+      failure = status;
+      break;
+    }
+  }
+
+  if (failure.ok()) {
+    // Verify by readback: a write can report success without taking effect
+    // (silent drop); only comparing the machine's actual registers against
+    // the plan catches it.
+    for (const ActuationPlan::Entry& entry : plan.entries) {
+      const uint32_t clos = entry.group.clos();
+      if (machine.ClosWayMask(clos).bits() != entry.mask_bits ||
+          machine.ClosMbaLevel(clos).percent() != entry.mba_percent) {
+        failure = UnavailableError("verify-readback mismatch on CLOS " +
+                                   std::to_string(clos));
+        applied = plan.entries.size();
+        break;
+      }
+    }
+  }
+  if (failure.ok()) {
+    return Status::Ok();
+  }
+
+  // Best-effort rollback of everything touched (the failing entry may have
+  // applied its L3 line but not its MB line). Rollback writes can
+  // themselves fail; the next retry re-snapshots whatever stuck, so a
+  // partial rollback only widens the window, never corrupts state.
+  ++rollbacks_;
+  const size_t touched = std::min(applied + 1, plan.entries.size());
+  for (size_t i = 0; i < touched; ++i) {
+    const ActuationPlan::Entry& entry = plan.entries[i];
+    (void)resctrl_->SetCacheMask(entry.group, before[i].mask_bits);
+    (void)resctrl_->SetMbaPercent(entry.group, before[i].mba_percent);
+  }
+  return failure;
+}
+
+int ResourceManager::DelayTicks(double periods) const {
+  return std::max(1, static_cast<int>(std::lround(periods)));
+}
+
+bool ResourceManager::Actuate(const ActuationPlan& plan) {
+  ++actuation_attempts_;
+  Status status = ApplyPlanTransactional(plan);
+  if (status.ok()) {
+    consecutive_actuation_failures_ = 0;
+    backoff_.Reset();
+    pending_plan_.reset();
+    backoff_ticks_remaining_ = 0;
+    return true;
+  }
+  ++actuation_failures_;
+  ++consecutive_actuation_failures_;
+  if (consecutive_actuation_failures_ >=
+      params_.actuation.max_consecutive_failures) {
+    EnterDegraded();
+    return false;
+  }
+  pending_plan_ = plan;
+  backoff_ticks_remaining_ = DelayTicks(backoff_.NextDelay());
+  return false;
+}
+
+bool ResourceManager::RetryPendingActuation() {
+  if (!pending_plan_.has_value()) {
+    return true;
+  }
+  if (backoff_ticks_remaining_ > 0) {
+    --backoff_ticks_remaining_;
+    return false;
+  }
+  const ActuationPlan plan = *pending_plan_;
+  pending_plan_.reset();
+  if (Actuate(plan)) {
+    // The periods spent waiting measured whatever allocation happened to be
+    // on the machine, not the intended plan — restart the sampling windows
+    // and resume the control loop next period.
+    for (ManagedApp& app : apps_) {
+      monitor_->Attach(app.id);
+    }
+  }
+  return false;
+}
+
+void ResourceManager::RetryZombieGroups() {
+  for (size_t i = zombie_groups_.size(); i-- > 0;) {
+    Status status = resctrl_->RemoveGroup(zombie_groups_[i]);
+    if (status.ok() || status.code() != StatusCode::kUnavailable) {
+      // Removed, or permanently unremovable — either way stop retrying.
+      zombie_groups_.erase(zombie_groups_.begin() +
+                           static_cast<ptrdiff_t>(i));
+    }
+  }
+}
+
+// --- Counter health / quarantine ---
+
+ResourceManager::SampleOutcome ResourceManager::SampleApp(ManagedApp& app) {
+  SampleOutcome outcome;
+  Result<PmcSample> sample = monitor_->TrySample(app.id);
+  if (sample.ok()) {
+    outcome.sample = *sample;
+    // A live app always retires instructions over a period; a zero delta is
+    // a stale counter, and an absurd one is saturation or wraparound.
+    outcome.healthy = outcome.sample.interval_sec > 0.0 &&
+                      outcome.sample.instructions > 0.0 &&
+                      outcome.sample.instructions <
+                          params_.actuation.saturation_instructions;
+  }
+  if (outcome.healthy) {
+    app.bad_sample_streak = 0;
+    ++app.good_sample_streak;
+    if (app.quarantined && app.good_sample_streak >=
+                               params_.actuation.quarantine_release_good_samples) {
+      app.quarantined = false;
+    }
+  } else {
+    app.good_sample_streak = 0;
+    ++app.bad_sample_streak;
+    if (!app.quarantined && app.bad_sample_streak >=
+                                params_.actuation.quarantine_after_bad_samples) {
+      app.quarantined = true;
+      ++quarantines_;
+    }
+  }
+  return outcome;
+}
+
+// --- Phases ---
+
+void ResourceManager::StartAdaptation() {
+  CHECK(!apps_.empty());
+  CHECK_GE(pool_.num_ways, apps_.size()) << "more apps than pool ways";
+  ++adaptations_started_;
+  phase_ = Phase::kProfiling;
+  profile_app_ = 0;
+  probe_ = Probe::kFull;
+  retry_count_ = 0;
+  pending_plan_.reset();
+  backoff_ticks_remaining_ = 0;
+  state_ = InitialState();
+  // May fail and schedule a retry (or enter the degraded phase); the tick
+  // loop picks it up either way.
+  (void)Actuate(PlanForProbe());
+  // Restart the sampling windows so the first probe reads a clean period.
+  for (ManagedApp& app : apps_) {
+    monitor_->Attach(app.id);
+    app.prev_ips = 0.0;
+  }
 }
 
 void ResourceManager::TickProfiling() {
   ManagedApp& app = apps_[profile_app_];
-  const PmcSample sample = monitor_->Sample(app.id);
-  const double ips = sample.Ips();
-
-  switch (probe_) {
-    case Probe::kFull:
-      app.ips_full = std::max(ips, 1.0);
-      break;
-    case Probe::kFewWays: {
-      const double degradation = 1.0 - ips / app.ips_full;
-      if (degradation > params_.profile_degradation_threshold) {
-        app.llc_initial = ResourceClass::kDemand;
-      } else if (sample.LlcAccessesPerSec() <
-                     params_.classifier.llc_access_rate_floor ||
-                 sample.LlcMissRatio() < params_.classifier.llc_miss_ratio_low) {
-        app.llc_initial = ResourceClass::kSupply;
-      } else {
-        app.llc_initial = ResourceClass::kMaintain;
-      }
-      break;
-    }
-    case Probe::kLowMba: {
-      const double degradation = 1.0 - ips / app.ips_full;
-      const MbaLevel probe_level =
-          MbaLevel::FromPercentChecked(params_.profile_mba_percent);
-      const double traffic_ratio =
-          sample.LlcMissesPerSec() / StreamMissRateReference(probe_level);
-      if (degradation > params_.profile_degradation_threshold) {
-        app.mba_initial = ResourceClass::kDemand;
-      } else if (traffic_ratio < params_.classifier.traffic_ratio_low) {
-        app.mba_initial = ResourceClass::kSupply;
-      } else {
-        app.mba_initial = ResourceClass::kMaintain;
-      }
-      break;
-    }
-  }
-
-  // Advance the probe schedule.
-  if (probe_ != Probe::kLowMba) {
-    probe_ = static_cast<Probe>(static_cast<int>(probe_) + 1);
+  bool advance = false;
+  bool skip_app = false;
+  if (app.quarantined) {
+    skip_app = true;
   } else {
-    // Restore the profiled app's equal share before probing the next one.
-    probe_ = Probe::kFull;
-    ++profile_app_;
-    if (profile_app_ >= apps_.size()) {
-      EnterExploration();
-      return;
+    const SampleOutcome outcome = SampleApp(app);
+    if (app.quarantined) {
+      // The K-th consecutive bad probe sample tipped the app into
+      // quarantine: stop burning probe periods on it.
+      skip_app = true;
+    } else if (outcome.healthy) {
+      const PmcSample& sample = outcome.sample;
+      const double ips = sample.Ips();
+      switch (probe_) {
+        case Probe::kFull:
+          app.ips_full = std::max(ips, 1.0);
+          break;
+        case Probe::kFewWays: {
+          const double degradation = 1.0 - ips / app.ips_full;
+          if (degradation > params_.profile_degradation_threshold) {
+            app.llc_initial = ResourceClass::kDemand;
+          } else if (sample.LlcAccessesPerSec() <
+                         params_.classifier.llc_access_rate_floor ||
+                     sample.LlcMissRatio() <
+                         params_.classifier.llc_miss_ratio_low) {
+            app.llc_initial = ResourceClass::kSupply;
+          } else {
+            app.llc_initial = ResourceClass::kMaintain;
+          }
+          break;
+        }
+        case Probe::kLowMba: {
+          const double degradation = 1.0 - ips / app.ips_full;
+          const MbaLevel probe_level =
+              MbaLevel::FromPercentChecked(params_.profile_mba_percent);
+          const double traffic_ratio =
+              sample.LlcMissesPerSec() / StreamMissRateReference(probe_level);
+          if (degradation > params_.profile_degradation_threshold) {
+            app.mba_initial = ResourceClass::kDemand;
+          } else if (traffic_ratio < params_.classifier.traffic_ratio_low) {
+            app.mba_initial = ResourceClass::kSupply;
+          } else {
+            app.mba_initial = ResourceClass::kMaintain;
+          }
+          break;
+        }
+      }
+      advance = true;
+    }
+    // Unhealthy but below the quarantine threshold: repeat this probe.
+  }
+
+  if (skip_app) {
+    // Quarantined: no trustworthy probes. Conservative defaults — no
+    // slowdown reference (estimate 1.0) and Maintain on both resources.
+    app.ips_full = 0.0;
+    app.llc_initial = ResourceClass::kMaintain;
+    app.mba_initial = ResourceClass::kMaintain;
+    probe_ = Probe::kLowMba;
+    advance = true;
+  }
+
+  if (advance) {
+    if (probe_ != Probe::kLowMba) {
+      probe_ = static_cast<Probe>(static_cast<int>(probe_) + 1);
+    } else {
+      probe_ = Probe::kFull;
+      ++profile_app_;
+      if (profile_app_ >= apps_.size()) {
+        EnterExploration();
+        return;
+      }
     }
   }
-  ApplySystemState(state_);
-  ApplyProbeAllocation();
+  if (Actuate(PlanForProbe())) {
+    // Restart the profiled app's sampling window so the next read covers
+    // exactly this probe period (and none of the time it spent squeezed
+    // during the other apps' probes).
+    monitor_->Attach(apps_[profile_app_].id);
+  }
 }
 
 void ResourceManager::EnterExploration() {
@@ -264,7 +506,7 @@ void ResourceManager::EnterExploration() {
   has_best_state_ = false;
   best_unfairness_ = 0.0;
   state_ = InitialState();
-  ApplySystemState(state_);
+  (void)Actuate(PlanForState(state_));
 }
 
 SystemState ResourceManager::InitialState() const {
@@ -286,35 +528,49 @@ void ResourceManager::TickExploration() {
   std::vector<MatchAppInfo> infos(n);
   for (size_t i = 0; i < n; ++i) {
     ManagedApp& app = apps_[i];
-    const PmcSample sample = monitor_->Sample(app.id);
-    const double ips = sample.Ips();
-    const double perf_delta =
-        app.prev_ips > 0.0 ? (ips - app.prev_ips) / app.prev_ips : 0.0;
-    const MbaLevel level = state_.allocation(i).mba_level;
+    const SampleOutcome outcome = SampleApp(app);
+    if (outcome.healthy) {
+      const PmcSample& sample = outcome.sample;
+      const double ips = sample.Ips();
+      const double perf_delta =
+          app.prev_ips > 0.0 ? (ips - app.prev_ips) / app.prev_ips : 0.0;
+      const MbaLevel level = state_.allocation(i).mba_level;
 
-    ClassifierInput llc_input{
-        .llc_access_rate = sample.LlcAccessesPerSec(),
-        .llc_miss_ratio = sample.LlcMissRatio(),
-        .traffic_ratio = 0.0,
-        .perf_delta = perf_delta,
-        .last_event = llc_events_[i],
-    };
-    app.llc_fsm.Update(llc_input);
+      ClassifierInput llc_input{
+          .llc_access_rate = sample.LlcAccessesPerSec(),
+          .llc_miss_ratio = sample.LlcMissRatio(),
+          .traffic_ratio = 0.0,
+          .perf_delta = perf_delta,
+          .last_event = llc_events_[i],
+      };
+      app.llc_fsm.Update(llc_input);
 
-    ClassifierInput mba_input = llc_input;
-    mba_input.traffic_ratio =
-        sample.LlcMissesPerSec() / StreamMissRateReference(level);
-    mba_input.last_event = mba_events_[i];
-    app.mba_fsm.Update(mba_input);
+      ClassifierInput mba_input = llc_input;
+      mba_input.traffic_ratio =
+          sample.LlcMissesPerSec() / StreamMissRateReference(level);
+      mba_input.last_event = mba_events_[i];
+      app.mba_fsm.Update(mba_input);
 
-    app.prev_ips = ips;
-    infos[i] = MatchAppInfo{
-        .slowdown = app.ips_full > 0.0 && ips > 0.0
-                        ? std::max(1.0, app.ips_full / ips)
-                        : 1.0,
-        .llc_class = app.llc_fsm.state(),
-        .mba_class = app.mba_fsm.state(),
-    };
+      app.prev_ips = ips;
+    }
+    // Unhealthy: keep prev_ips and the FSM states from the last trusted
+    // period — garbage must not drive classification.
+    if (app.quarantined) {
+      // Conservative citizen: no measured slowdown, no resource pressure.
+      infos[i] = MatchAppInfo{
+          .slowdown = 1.0,
+          .llc_class = ResourceClass::kMaintain,
+          .mba_class = ResourceClass::kMaintain,
+      };
+    } else {
+      infos[i] = MatchAppInfo{
+          .slowdown = app.ips_full > 0.0 && app.prev_ips > 0.0
+                          ? std::max(1.0, app.ips_full / app.prev_ips)
+                          : 1.0,
+          .llc_class = app.llc_fsm.state(),
+          .mba_class = app.mba_fsm.state(),
+      };
+    }
   }
 
   // These samples measured `state_` (applied at the end of the previous
@@ -387,18 +643,21 @@ void ResourceManager::TickExploration() {
   }
 
   state_ = next;
-  ApplySystemState(state_);
+  (void)Actuate(PlanForState(state_));
 
   if (observer_) {
     ManagerTickRecord record;
     record.time = resctrl_->machine().now();
+    record.phase = phase_;
     record.state = state_;
     record.exploration_us = last_exploration_us_;
     record.used_neighbor_state = used_neighbor;
+    record.consecutive_actuation_failures = consecutive_actuation_failures_;
     for (size_t i = 0; i < n; ++i) {
       record.slowdown_estimates.push_back(infos[i].slowdown);
       record.llc_classes.push_back(infos[i].llc_class);
       record.mba_classes.push_back(infos[i].mba_class);
+      record.quarantined.push_back(apps_[i].quarantined);
     }
     observer_(record);
   }
@@ -408,7 +667,7 @@ void ResourceManager::EnterIdle() {
   phase_ = Phase::kIdle;
   if (has_best_state_ && !(best_state_ == state_)) {
     state_ = best_state_;
-    ApplySystemState(state_);
+    (void)Actuate(PlanForState(state_));
     // The idle IPS baselines are re-read on the first idle tick; prev_ips
     // still reflects the pre-restore state, so clear the baselines to avoid
     // a spurious drift trigger.
@@ -436,14 +695,19 @@ void ResourceManager::TickIdle() {
   // Significant IPS drift, e.g. the outer manager squeezed the batch slice
   // or a co-runner changed behaviour.
   for (ManagedApp& app : apps_) {
-    const PmcSample sample = monitor_->Sample(app.id);
-    const double ips = sample.Ips();
+    const SampleOutcome outcome = SampleApp(app);
+    if (!outcome.healthy || app.quarantined) {
+      // Untrusted reading: never let it move the drift baseline or trigger
+      // a (pointless) re-adaptation.
+      continue;
+    }
+    const double ips = outcome.sample.Ips();
     app.prev_ips = ips;
     if (app.idle_baseline_ips <= 0.0) {
       // First idle tick after a best-state restore: adopt this measurement
       // as the baseline instead of comparing against the pre-restore rate.
       app.idle_baseline_ips = ips;
-    } else if (app.idle_baseline_ips > 0.0) {
+    } else {
       const double drift =
           std::abs(ips - app.idle_baseline_ips) / app.idle_baseline_ips;
       if (drift > params_.idle_ips_drift_threshold) {
@@ -454,9 +718,73 @@ void ResourceManager::TickIdle() {
   }
 }
 
+void ResourceManager::EnterDegraded() {
+  if (phase_ == Phase::kDegraded) {
+    return;
+  }
+  phase_ = Phase::kDegraded;
+  ++degraded_entries_;
+  EmitTransitionRecord();  // Records the failure streak that tripped it.
+  degraded_success_streak_ = 0;
+  consecutive_actuation_failures_ = 0;
+  pending_plan_.reset();
+  backoff_ticks_remaining_ = 0;
+  backoff_.Reset();
+}
+
+void ResourceManager::TickDegraded() {
+  if (backoff_ticks_remaining_ > 0) {
+    --backoff_ticks_remaining_;
+    return;
+  }
+  // Keep trying to pin the static fair share — the safest partition when
+  // neither actuation nor feedback can be trusted.
+  const SystemState fair = InitialState();
+  ++actuation_attempts_;
+  Status status = ApplyPlanTransactional(PlanForState(fair));
+  if (status.ok()) {
+    state_ = fair;
+    ++degraded_success_streak_;
+    if (degraded_success_streak_ >=
+        params_.actuation.degraded_recovery_successes) {
+      ++degraded_recoveries_;
+      backoff_.Reset();
+      StartAdaptation();
+      EmitTransitionRecord();  // Phase after recovery (profiling/degraded).
+    }
+    return;
+  }
+  ++actuation_failures_;
+  degraded_success_streak_ = 0;
+  backoff_ticks_remaining_ = DelayTicks(backoff_.NextDelay());
+}
+
+void ResourceManager::EmitTransitionRecord() {
+  if (!observer_) {
+    return;
+  }
+  ManagerTickRecord record;
+  record.time = resctrl_->machine().now();
+  record.phase = phase_;
+  record.state = state_;
+  record.consecutive_actuation_failures = consecutive_actuation_failures_;
+  for (const ManagedApp& app : apps_) {
+    record.quarantined.push_back(app.quarantined);
+  }
+  observer_(record);
+}
+
 void ResourceManager::Tick() {
   ReapDeadApps();
+  RetryZombieGroups();
   if (apps_.empty()) {
+    return;
+  }
+  if (phase_ == Phase::kDegraded) {
+    TickDegraded();
+    return;
+  }
+  if (!RetryPendingActuation()) {
     return;
   }
   switch (phase_) {
@@ -469,6 +797,8 @@ void ResourceManager::Tick() {
     case Phase::kIdle:
       TickIdle();
       break;
+    case Phase::kDegraded:
+      break;  // Handled above.
   }
 }
 
@@ -482,31 +812,23 @@ void ResourceManager::ReapDeadApps() {
     if (!resctrl_->machine().AppExists(apps_[i].id)) {
       monitor_->Detach(apps_[i].id);
       Status status = resctrl_->RemoveGroup(apps_[i].group);
-      CHECK(status.ok()) << status.ToString();
+      if (!status.ok()) {
+        zombie_groups_.push_back(apps_[i].group);
+      }
       apps_.erase(apps_.begin() + static_cast<ptrdiff_t>(i));
       removed = true;
     }
   }
   if (removed) {
     last_seen_generation_ = resctrl_->machine().app_generation();
-    if (!apps_.empty()) {
+    pending_plan_.reset();  // Plans index the old app set.
+    if (apps_.empty()) {
+      phase_ = Phase::kIdle;
+    } else if (phase_ != Phase::kDegraded) {
       StartAdaptation();
     } else {
-      phase_ = Phase::kIdle;
+      state_ = InitialState();
     }
-  }
-}
-
-void ResourceManager::ApplySystemState(const SystemState& state) {
-  CHECK(state.Valid());
-  CHECK_EQ(state.NumApps(), apps_.size());
-  for (size_t i = 0; i < apps_.size(); ++i) {
-    Status status =
-        resctrl_->SetCacheMask(apps_[i].group, state.WayMaskBits(i));
-    CHECK(status.ok()) << status.ToString();
-    status = resctrl_->SetMbaPercent(apps_[i].group,
-                                     state.allocation(i).mba_level.percent());
-    CHECK(status.ok()) << status.ToString();
   }
 }
 

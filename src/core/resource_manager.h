@@ -18,6 +18,26 @@
 //      manager, and significant IPS drift — any of which re-trigger
 //      adaptation (§5.4.3).
 //
+// Hardening (DESIGN.md §7): the actuation path tolerates a faulty
+// substrate. Every allocation change is applied as a transaction —
+// snapshot, apply, verify by readback, roll back on any failure — and
+// retried under exponential backoff (common/backoff.h). After
+// ActuationParams::max_consecutive_failures consecutive failed
+// transactions the manager enters a fourth phase:
+//
+//   4. *Degraded*: adaptation stops and the manager keeps trying to pin the
+//      static equal-share partition (the best fairness guarantee available
+//      without working actuation or trustworthy feedback). Once
+//      degraded_recovery_successes consecutive applies succeed, the
+//      substrate is declared healthy and adaptation restarts from
+//      profiling.
+//
+// Counter feedback is treated as equally untrustworthy: samples are taken
+// through PerfMonitor::TrySample, and an app whose samples are dropped,
+// stale, or saturated for quarantine_after_bad_samples consecutive periods
+// is quarantined — it participates in matching as a conservative
+// (slowdown 1.0, Maintain/Maintain) citizen until its counters come back.
+//
 // Driving convention: the owner advances the machine by one control period,
 // then calls Tick(). Tick() reads the counters accumulated over that period
 // and installs the allocations for the next one.
@@ -29,6 +49,7 @@
 #include <string>
 #include <vector>
 
+#include "common/backoff.h"
 #include "common/rng.h"
 #include "common/stats.h"
 #include "common/status.h"
@@ -44,24 +65,34 @@ namespace copart {
 
 class ResourceManager;
 
+// Control-loop phase. Namespace-scoped so telemetry consumers can name it
+// without dragging in the manager; ResourceManager::Phase aliases it.
+enum class ManagerPhase { kProfiling, kExploration, kIdle, kDegraded };
+
 // Per-control-period diagnostic record. An installed observer receives one
-// after every exploration tick — the hook dashboards and tests use to watch
-// the controller think (see tests/core_telemetry_test.cc).
+// after every exploration tick and on every degraded-mode transition — the
+// hook dashboards and tests use to watch the controller think (see
+// tests/core_telemetry_test.cc).
 struct ManagerTickRecord {
   double time = 0.0;
+  ManagerPhase phase = ManagerPhase::kExploration;
   SystemState state;  // State applied for the NEXT period.
   std::vector<double> slowdown_estimates;
   std::vector<ResourceClass> llc_classes;
   std::vector<ResourceClass> mba_classes;
   double exploration_us = 0.0;
   bool used_neighbor_state = false;
+  // Hardening telemetry: per-app quarantine flags (parallel to the
+  // slowdown/class vectors) and the actuation-failure streak at emission.
+  std::vector<bool> quarantined;
+  int consecutive_actuation_failures = 0;
 };
 
 using ManagerObserver = std::function<void(const ManagerTickRecord&)>;
 
 class ResourceManager {
  public:
-  enum class Phase { kProfiling, kExploration, kIdle };
+  using Phase = ManagerPhase;
 
   ResourceManager(Resctrl* resctrl, PerfMonitor* monitor,
                   const ResourceManagerParams& params);
@@ -90,6 +121,8 @@ class ResourceManager {
   // profiling has finished.
   double SlowdownEstimate(AppId app) const;
 
+  bool Quarantined(AppId app) const;
+
   // Wall-clock cost of the most recent / accumulated getNextSystemState
   // calls — the paper's overhead metric (Fig. 16).
   double last_exploration_us() const { return last_exploration_us_; }
@@ -98,6 +131,14 @@ class ResourceManager {
   }
 
   uint64_t adaptations_started() const { return adaptations_started_; }
+
+  // --- Hardening counters (cumulative over the manager's lifetime) ---
+  uint64_t actuation_attempts() const { return actuation_attempts_; }
+  uint64_t actuation_failures() const { return actuation_failures_; }
+  uint64_t rollbacks() const { return rollbacks_; }
+  uint64_t degraded_entries() const { return degraded_entries_; }
+  uint64_t degraded_recoveries() const { return degraded_recoveries_; }
+  uint64_t quarantines() const { return quarantines_; }
 
   // Installs (or clears, with nullptr) the telemetry observer.
   void SetObserver(ManagerObserver observer) {
@@ -115,6 +156,27 @@ class ResourceManager {
     ResourceClass mba_initial = ResourceClass::kMaintain;
     LlcClassifierFsm llc_fsm;
     MbaClassifierFsm mba_fsm;
+    // Counter-health tracking (quarantine policy).
+    int bad_sample_streak = 0;
+    int good_sample_streak = 0;
+    bool quarantined = false;
+  };
+
+  // One transactional actuation: the full set of schemata writes that must
+  // land together for the machine to be in a coherent allocation.
+  struct ActuationPlan {
+    struct Entry {
+      ResctrlGroupId group;
+      uint64_t mask_bits = 0;
+      uint32_t mba_percent = 100;
+    };
+    std::vector<Entry> entries;
+  };
+
+  // Outcome of sampling one app through the fallible PMC path.
+  struct SampleOutcome {
+    PmcSample sample;
+    bool healthy = false;
   };
 
   // Profiling probe schedule: 3 probes per app.
@@ -123,14 +185,44 @@ class ResourceManager {
   void StartAdaptation();
   SystemState InitialState() const;
   void ReapDeadApps();
-  void ApplyProbeAllocation();
+  void RetryZombieGroups();
   void TickProfiling();
   void TickExploration();
   void TickIdle();
+  void TickDegraded();
   void EnterExploration();
   void EnterIdle();
-  void ApplySystemState(const SystemState& state);
+  void EnterDegraded();
   size_t AppIndex(AppId id) const;
+
+  // Builds the schemata plan realising `state` (one entry per app).
+  ActuationPlan PlanForState(const SystemState& state) const;
+  // Builds the profiling plan: the probed app gets the probe allocation,
+  // every co-runner is squeezed to minimal resources.
+  ActuationPlan PlanForProbe() const;
+
+  // Applies `plan` as a transaction: snapshot current allocations, apply
+  // every entry, verify each by readback from the machine, and roll back
+  // (best effort) on any failure. Returns the first error encountered.
+  Status ApplyPlanTransactional(const ActuationPlan& plan);
+
+  // ApplyPlanTransactional plus the retry policy: on success, clears the
+  // failure streak; on failure, schedules a retry under backoff and, after
+  // max_consecutive_failures in a row, enters the degraded phase. Returns
+  // true when the plan is on the machine.
+  bool Actuate(const ActuationPlan& plan);
+
+  // Retries pending_plan_ once its backoff expires. Returns true when the
+  // control loop may run this tick (no pending plan stalls it).
+  bool RetryPendingActuation();
+
+  // Samples `app` through TrySample and updates its quarantine streaks.
+  SampleOutcome SampleApp(ManagedApp& app);
+
+  // Converts a backoff delay in periods to whole ticks (at least 1).
+  int DelayTicks(double periods) const;
+
+  void EmitTransitionRecord();
 
   // STREAM's LLC miss rate at the given MBA level — the denominator of the
   // memory traffic ratio (§5.3). STREAM is bandwidth-bound at every level,
@@ -142,6 +234,7 @@ class ResourceManager {
   PerfMonitor* monitor_;  // Not owned.
   ResourceManagerParams params_;
   Rng rng_;
+  Backoff backoff_;
   ResourcePool pool_;
 
   Phase phase_ = Phase::kIdle;
@@ -164,6 +257,21 @@ class ResourceManager {
   SystemState best_state_;
   double best_unfairness_ = 0.0;
   bool has_best_state_ = false;
+
+  // Actuation hardening state.
+  std::optional<ActuationPlan> pending_plan_;
+  int backoff_ticks_remaining_ = 0;
+  int consecutive_actuation_failures_ = 0;
+  int degraded_success_streak_ = 0;
+  // Groups whose RemoveGroup failed transiently; retried every tick.
+  std::vector<ResctrlGroupId> zombie_groups_;
+
+  uint64_t actuation_attempts_ = 0;
+  uint64_t actuation_failures_ = 0;
+  uint64_t rollbacks_ = 0;
+  uint64_t degraded_entries_ = 0;
+  uint64_t degraded_recoveries_ = 0;
+  uint64_t quarantines_ = 0;
 
   uint64_t last_seen_generation_ = 0;
   uint64_t adaptations_started_ = 0;

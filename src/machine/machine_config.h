@@ -14,6 +14,8 @@
 
 namespace copart {
 
+class FaultInjector;
+
 struct MachineConfig {
   uint32_t num_cores = 16;
   double core_freq_hz = 2.1e9;
@@ -41,6 +43,12 @@ struct MachineConfig {
   // against goldens must pin one.
   MrcMode mrc_mode = MrcMode::kCompiled;
   uint64_t seed = 0x5EED5EEDULL;
+  // Optional fault injection for the actuation/monitoring substrate
+  // (common/fault_injector.h). Not owned; must outlive every component
+  // constructed against this config. Copies of the config (and machine
+  // clones) share the injector. Null — the default — disables injection
+  // entirely at the cost of one pointer compare per instrumented call.
+  FaultInjector* fault_injector = nullptr;
 };
 
 }  // namespace copart

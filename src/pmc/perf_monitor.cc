@@ -1,11 +1,14 @@
 #include "pmc/perf_monitor.h"
 
+#include "common/fault_injector.h"
 #include "common/logging.h"
 
 namespace copart {
 
 PerfMonitor::PerfMonitor(const SimulatedMachine* machine)
-    : machine_(machine) {
+    : machine_(machine),
+      injector_(machine != nullptr ? machine->config().fault_injector
+                                   : nullptr) {
   CHECK_NE(machine, nullptr);
 }
 
@@ -20,19 +23,49 @@ bool PerfMonitor::Attached(AppId app) const {
   return baselines_.contains(app);
 }
 
-PmcSample PerfMonitor::Sample(AppId app) {
-  auto it = baselines_.find(app);
-  CHECK(it != baselines_.end()) << "Sample() on unattached app";
+PmcSample PerfMonitor::SampleFrom(AppId app, const Baseline& baseline) const {
   const AppCounters& current = machine_->Counters(app);
-  const Baseline& baseline = it->second;
-
   PmcSample sample;
   sample.interval_sec = machine_->now() - baseline.time;
   sample.instructions = current.instructions - baseline.counters.instructions;
   sample.llc_accesses = current.llc_accesses - baseline.counters.llc_accesses;
   sample.llc_misses = current.llc_misses - baseline.counters.llc_misses;
+  return sample;
+}
 
-  it->second = Baseline{machine_->now(), current};
+PmcSample PerfMonitor::Sample(AppId app) {
+  auto it = baselines_.find(app);
+  CHECK(it != baselines_.end()) << "Sample() on unattached app";
+  PmcSample sample = SampleFrom(app, it->second);
+  it->second = Baseline{machine_->now(), machine_->Counters(app)};
+  return sample;
+}
+
+Result<PmcSample> PerfMonitor::TrySample(AppId app) {
+  auto it = baselines_.find(app);
+  if (it == baselines_.end()) {
+    return FailedPreconditionError("TrySample() on unattached app");
+  }
+  if (injector_ != nullptr) {
+    if (injector_->ShouldFail(fault_points::kPmcDropped)) {
+      return UnavailableError("injected: PMC read dropped");
+    }
+    if (injector_->ShouldFail(fault_points::kPmcStale)) {
+      // The raw counters were not re-read: zero deltas over a real interval.
+      // The baseline stays put so the next good read covers the whole gap.
+      PmcSample stale;
+      stale.interval_sec = machine_->now() - it->second.time;
+      return stale;
+    }
+    if (injector_->ShouldFail(fault_points::kPmcSaturated)) {
+      PmcSample garbage = SampleFrom(app, it->second);
+      garbage.instructions = kSaturatedCounterValue;
+      it->second = Baseline{machine_->now(), machine_->Counters(app)};
+      return garbage;
+    }
+  }
+  PmcSample sample = SampleFrom(app, it->second);
+  it->second = Baseline{machine_->now(), machine_->Counters(app)};
   return sample;
 }
 

@@ -6,15 +6,36 @@
 // discipline against SimulatedMachine counters: Sample() returns the deltas
 // since the previous Sample() for the same app, plus derived rates
 // (IPS, accesses/s, misses/s, miss ratio).
+//
+// Like PAPI on real hardware, the sampling path can misbehave:
+// multiplexed/contended counters drop reads, a missed read window yields a
+// stale (unchanged) raw counter, and 48-bit counters can saturate or wrap.
+// TrySample() models all three under fault injection
+// (common/fault_injector.h); the hardened resource manager samples through
+// it and quarantines apps whose counters go bad. Sample() is the legacy
+// infallible path (no injection) kept for policies and tests that assume a
+// perfect substrate.
 #ifndef COPART_PMC_PERF_MONITOR_H_
 #define COPART_PMC_PERF_MONITOR_H_
 
+#include <string_view>
 #include <unordered_map>
 
+#include "common/status.h"
 #include "machine/app_id.h"
 #include "machine/simulated_machine.h"
 
 namespace copart {
+
+namespace fault_points {
+// The period's read is lost entirely (kUnavailable).
+inline constexpr std::string_view kPmcDropped = "pmc.sample.dropped";
+// The raw counters did not advance since the last read: the sample reports
+// zero deltas over a real interval (IPS == 0 — impossible for a live app).
+inline constexpr std::string_view kPmcStale = "pmc.sample.stale";
+// A counter saturates: the instruction delta pegs at an absurd value.
+inline constexpr std::string_view kPmcSaturated = "pmc.sample.saturated";
+}  // namespace fault_points
 
 // Rates over one sampling interval.
 struct PmcSample {
@@ -35,6 +56,10 @@ struct PmcSample {
   }
 };
 
+// The counter value a saturated read reports (far beyond any plausible
+// per-period instruction delta; 16 cores * 2.1 GHz * 0.5 s ~ 1.7e10).
+inline constexpr double kSaturatedCounterValue = 1e15;
+
 class PerfMonitor {
  public:
   explicit PerfMonitor(const SimulatedMachine* machine);
@@ -44,9 +69,18 @@ class PerfMonitor {
   void Detach(AppId app);
   bool Attached(AppId app) const;
 
-  // Returns counter deltas since the last Sample()/Attach() for this app
-  // and advances the baseline. CHECK-fails if the app is not attached.
+  // Returns counter deltas since the last read for this app and advances
+  // the baseline. CHECK-fails if the app is not attached. Never subject to
+  // fault injection.
   PmcSample Sample(AppId app);
+
+  // Fallible sampling for hardened callers: kFailedPrecondition if the app
+  // is not attached; under fault injection the read can be dropped
+  // (kUnavailable), come back stale (zero deltas; the baseline is NOT
+  // advanced, so the next good read covers the whole gap, as with a real
+  // unread counter), or come back saturated (absurd instruction delta; the
+  // baseline advances — the read happened, the value is garbage).
+  Result<PmcSample> TrySample(AppId app);
 
  private:
   struct Baseline {
@@ -54,7 +88,10 @@ class PerfMonitor {
     AppCounters counters;
   };
 
+  PmcSample SampleFrom(AppId app, const Baseline& baseline) const;
+
   const SimulatedMachine* machine_;  // Not owned.
+  FaultInjector* injector_;          // Not owned; null = no injection.
   std::unordered_map<AppId, Baseline> baselines_;
 };
 

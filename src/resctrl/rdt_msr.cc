@@ -2,6 +2,7 @@
 
 #include <bit>
 
+#include "common/fault_injector.h"
 #include "common/logging.h"
 
 namespace copart {
@@ -35,6 +36,10 @@ bool RdtMsrBank::IsMbaMsr(uint32_t msr) const {
 }
 
 Status RdtMsrBank::Write(uint32_t msr, uint64_t value) {
+  if (capabilities_.fault_injector != nullptr &&
+      capabilities_.fault_injector->ShouldFail(fault_points::kMsrWrite)) {
+    return UnavailableError("injected: WRMSR failed transiently");
+  }
   if (IsL3MaskMsr(msr)) {
     const uint64_t valid_bits = (1ULL << capabilities_.cbm_bits) - 1ULL;
     if ((value & ~valid_bits) != 0) {

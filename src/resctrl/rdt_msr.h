@@ -17,11 +17,20 @@
 #define COPART_RESCTRL_RDT_MSR_H_
 
 #include <cstdint>
+#include <string_view>
 #include <unordered_map>
 
 #include "common/status.h"
 
 namespace copart {
+
+class FaultInjector;
+
+namespace fault_points {
+// A WRMSR to an RDT allocation register fails transiently (e.g. the
+// microcode interface is busy); the register keeps its previous value.
+inline constexpr std::string_view kMsrWrite = "rdtmsr.wrmsr.unavailable";
+}  // namespace fault_points
 
 // Architectural MSR addresses (Intel SDM vol. 4).
 constexpr uint32_t kMsrIa32PqrAssoc = 0xC8F;
@@ -33,6 +42,8 @@ struct RdtCapabilities {
   uint32_t cbm_bits = 11;        // Valid CBM width (CPUID.0x10.1:EAX).
   uint32_t num_cores = 16;
   uint32_t mba_granularity = 10;  // Throttle delay granularity in percent.
+  // Optional fault injection for register writes (not owned; null = off).
+  FaultInjector* fault_injector = nullptr;
 };
 
 class RdtMsrBank {

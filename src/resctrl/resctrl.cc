@@ -3,20 +3,33 @@
 #include <cstdio>
 
 #include "cache/way_mask.h"
-#include "resctrl/schemata.h"
+#include "common/fault_injector.h"
 #include "common/logging.h"
+#include "resctrl/schemata.h"
 
 namespace copart {
 
-Resctrl::Resctrl(SimulatedMachine* machine) : machine_(machine) {
+Resctrl::Resctrl(SimulatedMachine* machine)
+    : machine_(machine),
+      injector_(machine ? machine->config().fault_injector : nullptr) {
   CHECK_NE(machine, nullptr);
   groups_.resize(machine_->config().num_clos);
   groups_[0] = Group{.name = "", .clos = 0, .active = true};
 }
 
+bool Resctrl::InjectFault(std::string_view point) const {
+  return injector_ != nullptr && injector_->ShouldFail(point);
+}
+
 Result<ResctrlGroupId> Resctrl::CreateGroup(const std::string& name) {
   if (name.empty()) {
     return InvalidArgumentError("group name must not be empty");
+  }
+  if (InjectFault(fault_points::kResctrlCreateGroupExhausted)) {
+    return ResourceExhaustedError("injected: out of CLOSes");
+  }
+  if (InjectFault(fault_points::kResctrlCreateGroup)) {
+    return UnavailableError("injected: mkdir returned EBUSY");
   }
   for (const Group& group : groups_) {
     if (group.active && group.name == name) {
@@ -42,6 +55,11 @@ Status Resctrl::RemoveGroup(ResctrlGroupId group) {
   }
   if (group.clos() >= groups_.size() || !groups_[group.clos()].active) {
     return NotFoundError("no such group");
+  }
+  if (InjectFault(fault_points::kResctrlRemoveGroup)) {
+    // Fires before any mutation: a failed rmdir leaves the group active and
+    // every task still bound to it (tests/resctrl_fs_test.cc pins this).
+    return UnavailableError("injected: rmdir returned EBUSY");
   }
   // Apps bound to the removed CLOS fall back to the default group, like
   // tasks returning to the resctrl root.
@@ -87,6 +105,12 @@ Status Resctrl::SetCacheMask(ResctrlGroupId group, uint64_t mask_bits) {
   if (!mask.ok()) {
     return mask.status();
   }
+  if (InjectFault(fault_points::kResctrlSetL3)) {
+    return UnavailableError("injected: L3 schemata write returned EBUSY");
+  }
+  if (InjectFault(fault_points::kResctrlSetL3Silent)) {
+    return Status::Ok();  // Claims success; the mask did not take.
+  }
   machine_->SetClosWayMask(group.clos(), *mask);
   return Status::Ok();
 }
@@ -99,6 +123,12 @@ Status Resctrl::SetMbaPercent(ResctrlGroupId group, uint32_t percent) {
   if (!level.ok()) {
     return level.status();
   }
+  if (InjectFault(fault_points::kResctrlSetMb)) {
+    return UnavailableError("injected: MB schemata write returned EBUSY");
+  }
+  if (InjectFault(fault_points::kResctrlSetMbSilent)) {
+    return Status::Ok();  // Claims success; the level did not take.
+  }
   machine_->SetClosMbaLevel(group.clos(), *level);
   return Status::Ok();
 }
@@ -109,6 +139,9 @@ Status Resctrl::AssignApp(ResctrlGroupId group, AppId app) {
   }
   if (!machine_->AppExists(app)) {
     return NotFoundError("no such app");
+  }
+  if (InjectFault(fault_points::kResctrlAssignApp)) {
+    return UnavailableError("injected: tasks write returned EBUSY");
   }
   machine_->AssignAppToClos(app, group.clos());
   return Status::Ok();
@@ -142,6 +175,12 @@ Status Resctrl::WriteSchemata(ResctrlGroupId group, const std::string& text) {
   }
   if (mask.has_value()) {
     machine_->SetClosWayMask(group.clos(), *mask);
+  }
+  if (InjectFault(fault_points::kResctrlSchemataPartial)) {
+    // The L3 line took effect above but the MB line never applies — the
+    // partial-apply race that makes verify-readback necessary.
+    return UnavailableError(
+        "injected: schemata write applied L3 but failed before MB");
   }
   if (level.has_value()) {
     machine_->SetClosMbaLevel(group.clos(), *level);

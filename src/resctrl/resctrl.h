@@ -19,6 +19,7 @@
 
 #include <cstdint>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "common/status.h"
@@ -26,6 +27,43 @@
 #include "machine/simulated_machine.h"
 
 namespace copart {
+
+class FaultInjector;
+
+// Fault points of the resctrl surface (common/fault_injector.h). Real
+// /sys/fs/resctrl can reject or misapply writes: transient -EBUSY while
+// another writer holds rdtgroup_mutex, permanent CLOS exhaustion, and
+// partial application across resource lines. Each named point models one
+// such condition; all checks fire *before* any state mutation (so a failed
+// call leaves the interface untouched) except the explicitly-partial
+// points, which exist to exercise the controller's verify-readback and
+// rollback path.
+namespace fault_points {
+// CreateGroup / Mkdir: transient failure vs. permanent CLOS exhaustion.
+inline constexpr std::string_view kResctrlCreateGroup =
+    "resctrl.create_group.unavailable";
+inline constexpr std::string_view kResctrlCreateGroupExhausted =
+    "resctrl.create_group.exhausted";
+// RemoveGroup / Rmdir: transient failure; bound tasks stay bound.
+inline constexpr std::string_view kResctrlRemoveGroup =
+    "resctrl.remove_group.unavailable";
+// Schemata writes: transient rejection of one resource line.
+inline constexpr std::string_view kResctrlSetL3 = "resctrl.set_l3.unavailable";
+inline constexpr std::string_view kResctrlSetMb = "resctrl.set_mb.unavailable";
+// Silent drops: the write reports success but does not take (invalid-mask
+// races on real hardware) — only verify-readback can catch these.
+inline constexpr std::string_view kResctrlSetL3Silent =
+    "resctrl.set_l3.silent_drop";
+inline constexpr std::string_view kResctrlSetMbSilent =
+    "resctrl.set_mb.silent_drop";
+// Task binding (writes to `tasks`).
+inline constexpr std::string_view kResctrlAssignApp =
+    "resctrl.assign_app.unavailable";
+// WriteSchemata applies the L3 line, then fails before the MB line — the
+// partial-apply race the transactional controller must roll back.
+inline constexpr std::string_view kResctrlSchemataPartial =
+    "resctrl.schemata.partial_apply";
+}  // namespace fault_points
 
 class ResctrlGroupId {
  public:
@@ -100,7 +138,11 @@ class Resctrl {
 
   bool GroupActive(uint32_t clos) const;
 
+  // True when the machine's fault injector fails the named point.
+  bool InjectFault(std::string_view point) const;
+
   SimulatedMachine* machine_;  // Not owned.
+  FaultInjector* injector_;    // Not owned; null = no injection.
   std::vector<Group> groups_;  // Indexed by CLOS; [0] is the default group.
 };
 

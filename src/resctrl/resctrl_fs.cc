@@ -1,7 +1,9 @@
 #include "resctrl/resctrl_fs.h"
 
+#include <cctype>
 #include <cstdio>
 
+#include "common/fault_injector.h"
 #include "common/logging.h"
 
 namespace copart {
@@ -179,6 +181,11 @@ Status ResctrlFs::WriteFile(const std::string& path, const std::string& data) {
   if (!parsed.ok()) {
     return parsed.status();
   }
+  FaultInjector* injector = resctrl_->machine().config().fault_injector;
+  if (injector != nullptr &&
+      injector->ShouldFail(fault_points::kResctrlFsWrite)) {
+    return UnavailableError("injected: write returned EBUSY");
+  }
   Result<ResctrlGroupId> group = GroupFor(parsed->group);
   if (!group.ok()) {
     return group.status();
@@ -187,11 +194,18 @@ Status ResctrlFs::WriteFile(const std::string& path, const std::string& data) {
     return resctrl_->WriteSchemata(*group, data);
   }
   if (parsed->file == "tasks") {
-    // One pid per write, like the kernel.
+    // One pid per write, like the kernel — and *only* a pid: trailing
+    // garbage after the digits ("123abc", "123 456") is rejected instead
+    // of silently binding pid 123.
     char* end = nullptr;
     const unsigned long pid = std::strtoul(data.c_str(), &end, 10);
     if (end == data.c_str()) {
       return InvalidArgumentError("tasks expects a numeric pid");
+    }
+    for (const char* c = end; *c != '\0'; ++c) {
+      if (!std::isspace(static_cast<unsigned char>(*c))) {
+        return InvalidArgumentError("trailing garbage after pid: " + data);
+      }
     }
     return resctrl_->AssignApp(*group, AppId(static_cast<uint32_t>(pid)));
   }

@@ -21,12 +21,20 @@
 #define COPART_RESCTRL_RESCTRL_FS_H_
 
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "common/status.h"
 #include "resctrl/resctrl.h"
 
 namespace copart {
+
+namespace fault_points {
+// A write(2) to any resctrl file fails with a transient error before
+// reaching the group layer (the file-IO shim's own failure mode).
+inline constexpr std::string_view kResctrlFsWrite =
+    "resctrlfs.write.unavailable";
+}  // namespace fault_points
 
 class ResctrlFs {
  public:

@@ -1,0 +1,110 @@
+// Backoff: deterministic replay, exponential growth under the cap, jitter
+// bounds, and the Reset() semantics the hardened ResourceManager relies on.
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/backoff.h"
+#include "common/rng.h"
+
+namespace copart {
+namespace {
+
+TEST(BackoffTest, SameSeedReplaysBitForBit) {
+  const BackoffOptions options{
+      .initial = 1.0, .multiplier = 2.0, .max = 8.0, .jitter = 0.25};
+  Backoff a(options, 42);
+  Backoff b(options, 42);
+  for (int i = 0; i < 32; ++i) {
+    EXPECT_EQ(a.NextDelay(), b.NextDelay()) << "failure " << i + 1;
+  }
+}
+
+TEST(BackoffTest, GrowsExponentiallyWithoutJitter) {
+  const BackoffOptions options{
+      .initial = 1.0, .multiplier = 2.0, .max = 64.0, .jitter = 0.0};
+  Backoff backoff(options, 1);
+  EXPECT_DOUBLE_EQ(backoff.NextDelay(), 1.0);
+  EXPECT_DOUBLE_EQ(backoff.NextDelay(), 2.0);
+  EXPECT_DOUBLE_EQ(backoff.NextDelay(), 4.0);
+  EXPECT_DOUBLE_EQ(backoff.NextDelay(), 8.0);
+  EXPECT_DOUBLE_EQ(backoff.NextDelay(), 16.0);
+  EXPECT_EQ(backoff.failures(), 5);
+}
+
+TEST(BackoffTest, CapsAtMax) {
+  const BackoffOptions options{
+      .initial = 1.0, .multiplier = 2.0, .max = 8.0, .jitter = 0.0};
+  Backoff backoff(options, 1);
+  for (int i = 0; i < 10; ++i) {
+    const double delay = backoff.NextDelay();
+    EXPECT_LE(delay, 8.0);
+  }
+  // Well past the knee the schedule sits exactly at the cap.
+  EXPECT_DOUBLE_EQ(backoff.NextDelay(), 8.0);
+}
+
+TEST(BackoffTest, JitterStaysInBounds) {
+  const BackoffOptions options{
+      .initial = 2.0, .multiplier = 2.0, .max = 16.0, .jitter = 0.25};
+  Backoff backoff(options, 7);
+  double expected_base = 2.0;
+  for (int i = 0; i < 50; ++i) {
+    const double delay = backoff.NextDelay();
+    EXPECT_GE(delay, expected_base * 0.75) << "failure " << i + 1;
+    EXPECT_LE(delay, expected_base * 1.25) << "failure " << i + 1;
+    expected_base = std::min(expected_base * 2.0, 16.0);
+  }
+}
+
+TEST(BackoffTest, JitterActuallyVaries) {
+  const BackoffOptions options{
+      .initial = 8.0, .multiplier = 2.0, .max = 8.0, .jitter = 0.25};
+  Backoff backoff(options, 3);
+  // Base delay is pinned at the cap, so any spread comes from jitter.
+  double lo = backoff.NextDelay();
+  double hi = lo;
+  for (int i = 0; i < 100; ++i) {
+    const double delay = backoff.NextDelay();
+    lo = std::min(lo, delay);
+    hi = std::max(hi, delay);
+  }
+  EXPECT_GT(hi - lo, 1.0);  // 25% jitter on 8.0 spans [6, 10].
+}
+
+TEST(BackoffTest, ResetRestartsScheduleButNotJitterStream) {
+  const BackoffOptions options{
+      .initial = 1.0, .multiplier = 2.0, .max = 8.0, .jitter = 0.25};
+  Backoff backoff(options, 11);
+  std::vector<double> first = {backoff.NextDelay(), backoff.NextDelay(),
+                               backoff.NextDelay()};
+  backoff.Reset();
+  EXPECT_EQ(backoff.failures(), 0);
+  std::vector<double> second = {backoff.NextDelay(), backoff.NextDelay(),
+                                backoff.NextDelay()};
+  // The base schedule restarted: delay n after Reset uses the same
+  // exponent as delay n before it...
+  for (size_t i = 0; i < first.size(); ++i) {
+    const double base = std::min(8.0, std::ldexp(1.0, static_cast<int>(i)));
+    EXPECT_GE(first[i], base * 0.75);
+    EXPECT_LE(first[i], base * 1.25);
+    EXPECT_GE(second[i], base * 0.75);
+    EXPECT_LE(second[i], base * 1.25);
+  }
+  // ...but the jitter stream advanced, so the two outages differ.
+  EXPECT_NE(first, second);
+}
+
+TEST(BackoffTest, RngCtorMatchesSeedCtor) {
+  const BackoffOptions options{
+      .initial = 1.0, .multiplier = 2.0, .max = 8.0, .jitter = 0.25};
+  Backoff from_seed(options, 123);
+  Backoff from_rng(options, Rng(123));
+  for (int i = 0; i < 8; ++i) {
+    EXPECT_EQ(from_seed.NextDelay(), from_rng.NextDelay());
+  }
+}
+
+}  // namespace
+}  // namespace copart

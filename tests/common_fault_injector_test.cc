@@ -1,0 +1,196 @@
+// FaultInjector: the determinism, independence, and mechanism contracts
+// that the chaos harness and every fault-driven regression test rely on.
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/fault_injector.h"
+
+namespace copart {
+namespace {
+
+constexpr std::string_view kPointA = "resctrl.set_l3.unavailable";
+constexpr std::string_view kPointB = "pmc.sample.dropped";
+
+FaultSpec Prob(double probability, uint32_t burst_length = 1) {
+  FaultSpec spec;
+  spec.probability = probability;
+  spec.burst_length = burst_length;
+  return spec;
+}
+
+std::vector<bool> Schedule(FaultInjector& injector, std::string_view point,
+                           int queries) {
+  std::vector<bool> outcomes;
+  outcomes.reserve(static_cast<size_t>(queries));
+  for (int i = 0; i < queries; ++i) {
+    outcomes.push_back(injector.ShouldFail(point));
+  }
+  return outcomes;
+}
+
+TEST(FaultInjectorTest, UnarmedPointNeverFails) {
+  FaultInjector injector(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(injector.ShouldFail(kPointA));
+  }
+  EXPECT_FALSE(injector.armed());
+  EXPECT_EQ(injector.total_queries(), 100u);
+  EXPECT_EQ(injector.total_failures(), 0u);
+}
+
+TEST(FaultInjectorTest, SameSeedSameSchedule) {
+  FaultInjector a(7);
+  FaultInjector b(7);
+  const FaultSpec spec = Prob(0.3);
+  a.Arm(kPointA, spec);
+  b.Arm(kPointA, spec);
+  EXPECT_EQ(Schedule(a, kPointA, 500), Schedule(b, kPointA, 500));
+}
+
+TEST(FaultInjectorTest, DifferentSeedsDiverge) {
+  FaultInjector a(7);
+  FaultInjector b(8);
+  const FaultSpec spec = Prob(0.3);
+  a.Arm(kPointA, spec);
+  b.Arm(kPointA, spec);
+  EXPECT_NE(Schedule(a, kPointA, 500), Schedule(b, kPointA, 500));
+}
+
+TEST(FaultInjectorTest, ScheduleIndependentOfArmingOrder) {
+  const FaultSpec spec = Prob(0.25);
+  FaultInjector ab(99);
+  ab.Arm(kPointA, spec);
+  ab.Arm(kPointB, spec);
+  FaultInjector ba(99);
+  ba.Arm(kPointB, spec);
+  ba.Arm(kPointA, spec);
+  EXPECT_EQ(Schedule(ab, kPointA, 300), Schedule(ba, kPointA, 300));
+  EXPECT_EQ(Schedule(ab, kPointB, 300), Schedule(ba, kPointB, 300));
+}
+
+TEST(FaultInjectorTest, ScheduleIndependentOfOtherPointsQueries) {
+  const FaultSpec spec = Prob(0.25);
+  FaultInjector quiet(123);
+  quiet.Arm(kPointA, spec);
+  FaultInjector busy(123);
+  busy.Arm(kPointA, spec);
+  busy.Arm(kPointB, spec);
+  // Interleave heavy traffic on B; A's stream must not shift.
+  std::vector<bool> busy_a;
+  for (int i = 0; i < 300; ++i) {
+    busy_a.push_back(busy.ShouldFail(kPointA));
+    busy.ShouldFail(kPointB);
+    busy.ShouldFail(kPointB);
+  }
+  EXPECT_EQ(busy_a, Schedule(quiet, kPointA, 300));
+}
+
+TEST(FaultInjectorTest, ProbabilityRoughlyHonored) {
+  FaultInjector injector(2024);
+  injector.Arm(kPointA, Prob(0.2));
+  const std::vector<bool> outcomes = Schedule(injector, kPointA, 10000);
+  int failures = 0;
+  for (bool failed : outcomes) {
+    failures += failed ? 1 : 0;
+  }
+  EXPECT_GT(failures, 1600);
+  EXPECT_LT(failures, 2400);
+  EXPECT_EQ(injector.PointFailures(kPointA),
+            static_cast<uint64_t>(failures));
+  EXPECT_EQ(injector.PointQueries(kPointA), 10000u);
+}
+
+TEST(FaultInjectorTest, BurstFailsConsecutively) {
+  FaultInjector injector(5);
+  injector.Arm(kPointA, Prob(0.05, 4));
+  const std::vector<bool> outcomes = Schedule(injector, kPointA, 2000);
+  // Every complete failure run has length >= 4 (a run can exceed 4 when a
+  // fresh draw triggers on the first query after a burst ends). The final
+  // run may be truncated by the sample window, so only runs followed by a
+  // success are checked.
+  int run = 0;
+  for (size_t i = 0; i < outcomes.size(); ++i) {
+    if (outcomes[i]) {
+      ++run;
+    } else {
+      if (run > 0) {
+        EXPECT_GE(run, 4) << "short failure run ending at query " << i;
+      }
+      run = 0;
+    }
+  }
+  EXPECT_GT(injector.PointFailures(kPointA), 0u);
+}
+
+TEST(FaultInjectorTest, OneShotQueriesFireExactly) {
+  FaultInjector injector(1);
+  FaultSpec spec;
+  spec.one_shot_queries = {0, 3, 7};
+  injector.Arm(kPointA, spec);
+  const std::vector<bool> expected = {true,  false, false, true, false,
+                                      false, false, true,  false, false};
+  EXPECT_EQ(Schedule(injector, kPointA, 10), expected);
+}
+
+TEST(FaultInjectorTest, MaxFailuresBudget) {
+  FaultInjector injector(77);
+  FaultSpec spec = Prob(1.0);
+  spec.max_failures = 5;
+  injector.Arm(kPointA, spec);
+  const std::vector<bool> outcomes = Schedule(injector, kPointA, 20);
+  int failures = 0;
+  for (bool failed : outcomes) {
+    failures += failed ? 1 : 0;
+  }
+  EXPECT_EQ(failures, 5);
+  // The budget exhausts from the front.
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_TRUE(outcomes[static_cast<size_t>(i)]);
+  }
+}
+
+TEST(FaultInjectorTest, DisarmStopsFailures) {
+  FaultInjector injector(9);
+  injector.Arm(kPointA, Prob(1.0));
+  EXPECT_TRUE(injector.ShouldFail(kPointA));
+  injector.Disarm(kPointA);
+  EXPECT_FALSE(injector.armed());
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_FALSE(injector.ShouldFail(kPointA));
+  }
+}
+
+TEST(FaultInjectorTest, DisarmAllStopsEverything) {
+  FaultInjector injector(9);
+  injector.Arm(kPointA, Prob(1.0));
+  injector.Arm(kPointB, Prob(1.0));
+  injector.DisarmAll();
+  EXPECT_FALSE(injector.armed());
+  EXPECT_FALSE(injector.ShouldFail(kPointA));
+  EXPECT_FALSE(injector.ShouldFail(kPointB));
+}
+
+TEST(FaultInjectorTest, RearmResetsTheStream) {
+  FaultInjector injector(64);
+  const FaultSpec spec = Prob(0.4);
+  injector.Arm(kPointA, spec);
+  const std::vector<bool> first = Schedule(injector, kPointA, 200);
+  injector.Arm(kPointA, spec);  // Re-arm: counts and stream reset.
+  EXPECT_EQ(injector.PointQueries(kPointA), 0u);
+  EXPECT_EQ(Schedule(injector, kPointA, 200), first);
+}
+
+TEST(FaultInjectorTest, HashPointIsPinnedFnv1a64) {
+  // Known-answer: FNV-1a 64 of "a" and the empty string. If these move,
+  // every armed schedule in every test and chaos seed shifts.
+  EXPECT_EQ(FaultInjector::HashPoint(""), 0xcbf29ce484222325ULL);
+  EXPECT_EQ(FaultInjector::HashPoint("a"), 0xaf63dc4c8601ec8cULL);
+  EXPECT_NE(FaultInjector::HashPoint(kPointA),
+            FaultInjector::HashPoint(kPointB));
+}
+
+}  // namespace
+}  // namespace copart

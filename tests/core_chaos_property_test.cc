@@ -1,0 +1,83 @@
+// Chaos property suite: hundreds of randomized fault schedules against the
+// hardened ResourceManager, with safety invariants asserted every control
+// period (see harness/chaos.h). A failing schedule prints its seed so it
+// can be replayed exactly with `copartctl chaos --seed <seed>`.
+#include <cstdio>
+
+#include <gtest/gtest.h>
+
+#include "common/parallel.h"
+#include "harness/chaos.h"
+
+namespace copart {
+namespace {
+
+TEST(ChaosPropertyTest, TwoHundredRandomSchedulesHoldInvariants) {
+  ChaosSuiteConfig config;
+  config.num_schedules = 200;
+  const ChaosSuiteResult suite = RunChaosSuite(config, ParallelConfig{});
+
+  EXPECT_EQ(suite.num_schedules, 200);
+  for (const ChaosScheduleResult& failure : suite.failures) {
+    ADD_FAILURE() << "chaos schedule failed: seed=0x" << std::hex
+                  << failure.seed << std::dec << " period="
+                  << failure.failure_period << ": " << failure.failure
+                  << " (replay: copartctl chaos --seed 0x" << std::hex
+                  << failure.seed << std::dec << ")";
+  }
+  EXPECT_EQ(suite.num_passed, suite.num_schedules);
+
+  // The suite must actually exercise the hardening machinery — a quiet run
+  // where no fault ever lands would pass the invariants vacuously.
+  EXPECT_GT(suite.injected_failures, 0u);
+  EXPECT_GT(suite.actuation_failures, 0u);
+  EXPECT_GT(suite.rollbacks, 0u);
+  EXPECT_GT(suite.degraded_entries, 0u);
+  EXPECT_GT(suite.degraded_recoveries, 0u);
+  EXPECT_GT(suite.quarantines, 0u);
+  // Every degraded entry recovered (the invariant also checks this per
+  // schedule, but the aggregate makes the contract explicit).
+  EXPECT_EQ(suite.degraded_entries, suite.degraded_recoveries);
+
+  std::printf(
+      "chaos suite: %d/%d passed; injected=%llu actuation_failures=%llu "
+      "rollbacks=%llu degraded=%llu recovered=%llu quarantines=%llu\n",
+      suite.num_passed, suite.num_schedules,
+      static_cast<unsigned long long>(suite.injected_failures),
+      static_cast<unsigned long long>(suite.actuation_failures),
+      static_cast<unsigned long long>(suite.rollbacks),
+      static_cast<unsigned long long>(suite.degraded_entries),
+      static_cast<unsigned long long>(suite.degraded_recoveries),
+      static_cast<unsigned long long>(suite.quarantines));
+}
+
+TEST(ChaosPropertyTest, SingleScheduleReplaysFromSeed) {
+  ChaosScheduleConfig config;
+  config.seed = 0xD00DFEEDULL;
+  const ChaosScheduleResult a = RunChaosSchedule(config);
+  const ChaosScheduleResult b = RunChaosSchedule(config);
+  EXPECT_EQ(a.passed, b.passed);
+  EXPECT_EQ(a.failure, b.failure);
+  EXPECT_EQ(a.injected_failures, b.injected_failures);
+  EXPECT_EQ(a.actuation_failures, b.actuation_failures);
+  EXPECT_EQ(a.rollbacks, b.rollbacks);
+  EXPECT_EQ(a.degraded_entries, b.degraded_entries);
+  EXPECT_EQ(a.degraded_recoveries, b.degraded_recoveries);
+  EXPECT_EQ(a.quarantines, b.quarantines);
+}
+
+TEST(ChaosPropertyTest, ChurnFreeSchedulesAlsoHold) {
+  ChaosSuiteConfig config;
+  config.base_seed = 0x5AFE5EEDULL;
+  config.num_schedules = 20;
+  config.schedule.allow_app_churn = false;
+  const ChaosSuiteResult suite = RunChaosSuite(config, ParallelConfig{});
+  for (const ChaosScheduleResult& failure : suite.failures) {
+    ADD_FAILURE() << "churn-free chaos schedule failed: seed=0x" << std::hex
+                  << failure.seed << std::dec << ": " << failure.failure;
+  }
+  EXPECT_EQ(suite.num_passed, suite.num_schedules);
+}
+
+}  // namespace
+}  // namespace copart

@@ -7,6 +7,7 @@
 #include <gtest/gtest.h>
 
 #include "common/parallel.h"
+#include "harness/chaos.h"
 #include "harness/experiment.h"
 #include "harness/heatmap.h"
 #include "harness/mix.h"
@@ -115,6 +116,41 @@ TEST(HarnessDeterminismTest, StaticOracleIsBitIdenticalAcrossThreadCounts) {
     EXPECT_EQ(parallel.best_unfairness, serial.best_unfairness)
         << "threads=" << threads;
     EXPECT_EQ(parallel.states_evaluated, serial.states_evaluated);
+  }
+}
+
+TEST(HarnessDeterminismTest, ChaosSuiteIsBitIdenticalAcrossThreadCounts) {
+  // Fault schedules, app churn, backoff jitter, quarantine streaks — the
+  // whole hardened control loop must still derive exclusively from the
+  // per-schedule seed. A small suite keeps the test quick; the full 200
+  // schedules run in core_chaos_property_test.cc.
+  ChaosSuiteConfig config;
+  config.num_schedules = 8;
+  const ChaosSuiteResult serial =
+      RunChaosSuite(config, ParallelConfig{.num_threads = 1});
+  for (uint32_t threads : kThreadCounts) {
+    const ChaosSuiteResult parallel =
+        RunChaosSuite(config, ParallelConfig{.num_threads = threads});
+    EXPECT_EQ(parallel.num_passed, serial.num_passed)
+        << "threads=" << threads;
+    EXPECT_EQ(parallel.injected_failures, serial.injected_failures)
+        << "threads=" << threads;
+    EXPECT_EQ(parallel.actuation_failures, serial.actuation_failures)
+        << "threads=" << threads;
+    EXPECT_EQ(parallel.rollbacks, serial.rollbacks) << "threads=" << threads;
+    EXPECT_EQ(parallel.degraded_entries, serial.degraded_entries)
+        << "threads=" << threads;
+    EXPECT_EQ(parallel.degraded_recoveries, serial.degraded_recoveries)
+        << "threads=" << threads;
+    EXPECT_EQ(parallel.quarantines, serial.quarantines)
+        << "threads=" << threads;
+    ASSERT_EQ(parallel.failures.size(), serial.failures.size());
+    for (size_t i = 0; i < serial.failures.size(); ++i) {
+      EXPECT_EQ(parallel.failures[i].seed, serial.failures[i].seed);
+      EXPECT_EQ(parallel.failures[i].failure, serial.failures[i].failure);
+      EXPECT_EQ(parallel.failures[i].failure_period,
+                serial.failures[i].failure_period);
+    }
   }
 }
 

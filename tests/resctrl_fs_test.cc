@@ -3,6 +3,7 @@
 
 #include <gtest/gtest.h>
 
+#include "common/fault_injector.h"
 #include "workload/workload.h"
 
 namespace copart {
@@ -108,6 +109,114 @@ TEST_F(ResctrlFsTest, UnknownPathsFail) {
   EXPECT_FALSE(fs_.ReadFile("g/unknown_file").ok());
   EXPECT_FALSE(fs_.WriteFile("g/unknown_file", "x").ok());
   EXPECT_FALSE(fs_.WriteFile("g", "x").ok());
+}
+
+TEST_F(ResctrlFsTest, SchemataRejectsUnknownResourceLines) {
+  ASSERT_TRUE(fs_.Mkdir("g").ok());
+  const std::string before = *fs_.ReadFile("g/schemata");
+  // An unknown resource tag is rejected outright...
+  Status status = fs_.WriteFile("g/schemata", "L2:0=f");
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+  // ...including when it rides alongside valid lines: validation happens
+  // before any line is applied, so the MB line must not land either.
+  status = fs_.WriteFile("g/schemata", "FOO:0=3\nMB:0=50");
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(*fs_.ReadFile("g/schemata"), before);
+}
+
+TEST_F(ResctrlFsTest, TasksRejectsTrailingGarbage) {
+  Result<AppId> app = machine_.LaunchApp(Cg(), 4);
+  ASSERT_TRUE(app.ok());
+  ASSERT_TRUE(fs_.Mkdir("g").ok());
+  const std::string pid = std::to_string(app->value());
+  // "123abc" must not silently bind pid 123.
+  EXPECT_EQ(fs_.WriteFile("g/tasks", pid + "abc").code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(fs_.WriteFile("g/tasks", pid + " 456").code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(*fs_.ReadFile("g/tasks"), "");  // Still unbound.
+  // Trailing whitespace alone is fine (echo appends a newline).
+  EXPECT_TRUE(fs_.WriteFile("g/tasks", pid + " \n").ok());
+  EXPECT_EQ(*fs_.ReadFile("g/tasks"), pid + "\n");
+}
+
+TEST_F(ResctrlFsTest, RmdirRestoresTasksToRoot) {
+  Result<AppId> app = machine_.LaunchApp(Cg(), 4);
+  ASSERT_TRUE(app.ok());
+  ASSERT_TRUE(fs_.Mkdir("g").ok());
+  ASSERT_TRUE(fs_.WriteFile("g/tasks", std::to_string(app->value())).ok());
+  ASSERT_TRUE(fs_.Rmdir("g").ok());
+  // Like the kernel: removing a group moves its tasks back to the root.
+  EXPECT_EQ(*fs_.ReadFile("tasks"), std::to_string(app->value()) + "\n");
+  EXPECT_EQ(machine_.AppClos(*app), 0u);
+}
+
+// Fault-injected filesystem surface: the same fixture with an injector
+// wired through MachineConfig.
+class ResctrlFsFaultTest : public ::testing::Test {
+ protected:
+  ResctrlFsFaultTest()
+      : injector_(0xF5), machine_(MakeConfig(&injector_)),
+        resctrl_(&machine_), fs_(&resctrl_) {}
+
+  static MachineConfig MakeConfig(FaultInjector* injector) {
+    MachineConfig config;
+    config.ips_noise_sigma = 0.0;
+    config.fault_injector = injector;
+    return config;
+  }
+
+  FaultInjector injector_;  // Must outlive the machine.
+  SimulatedMachine machine_;
+  Resctrl resctrl_;
+  ResctrlFs fs_;
+};
+
+TEST_F(ResctrlFsFaultTest, RmdirUnderFaultIsAtomic) {
+  Result<AppId> app = machine_.LaunchApp(Cg(), 4);
+  ASSERT_TRUE(app.ok());
+  ASSERT_TRUE(fs_.Mkdir("g").ok());
+  ASSERT_TRUE(fs_.WriteFile("g/tasks", std::to_string(app->value())).ok());
+  FaultSpec spec;
+  spec.one_shot_queries = {0};
+  injector_.Arm(fault_points::kResctrlRemoveGroup, spec);
+  // The failed rmdir must leave the group fully intact: still listed, and
+  // every task still bound to it (no half-removed state).
+  EXPECT_EQ(fs_.Rmdir("g").code(), StatusCode::kUnavailable);
+  EXPECT_EQ(fs_.ListGroups().size(), 1u);
+  EXPECT_EQ(*fs_.ReadFile("g/tasks"), std::to_string(app->value()) + "\n");
+  EXPECT_NE(machine_.AppClos(*app), 0u);
+  // The retry (fault cleared) completes the removal and restores the task.
+  EXPECT_TRUE(fs_.Rmdir("g").ok());
+  EXPECT_EQ(fs_.ListGroups().size(), 0u);
+  EXPECT_EQ(machine_.AppClos(*app), 0u);
+}
+
+TEST_F(ResctrlFsFaultTest, WriteFaultPointRejectsBeforeGroupLayer) {
+  ASSERT_TRUE(fs_.Mkdir("g").ok());
+  const std::string before = *fs_.ReadFile("g/schemata");
+  FaultSpec spec;
+  spec.one_shot_queries = {0};
+  injector_.Arm(fault_points::kResctrlFsWrite, spec);
+  EXPECT_EQ(fs_.WriteFile("g/schemata", "L3:0=3f").code(),
+            StatusCode::kUnavailable);
+  EXPECT_EQ(*fs_.ReadFile("g/schemata"), before);
+  // The retry goes through.
+  EXPECT_TRUE(fs_.WriteFile("g/schemata", "L3:0=3f").ok());
+  EXPECT_EQ(*fs_.ReadFile("g/schemata"), "L3:0=3f\nMB:0=100\n");
+}
+
+TEST_F(ResctrlFsFaultTest, SchemataPartialApplyLeavesL3ButNotMb) {
+  ASSERT_TRUE(fs_.Mkdir("g").ok());
+  FaultSpec spec;
+  spec.one_shot_queries = {0};
+  injector_.Arm(fault_points::kResctrlSchemataPartial, spec);
+  // The partial-apply fault models the real race: the L3 line takes effect,
+  // then the write errors before the MB line — exactly the torn state the
+  // controller's verify-readback/rollback path exists to repair.
+  EXPECT_EQ(fs_.WriteFile("g/schemata", "L3:0=3f\nMB:0=40").code(),
+            StatusCode::kUnavailable);
+  EXPECT_EQ(*fs_.ReadFile("g/schemata"), "L3:0=3f\nMB:0=100\n");
 }
 
 TEST_F(ResctrlFsTest, EndToEndDriveViaFilesOnly) {

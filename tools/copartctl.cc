@@ -7,6 +7,8 @@
 //   compare <mix> [count]            all policies side by side
 //   oracle <mix> [count]             show the offline ST search result
 //   casestudy [--eq]                 the §6.3 LC + batch scenario
+//   chaos [schedules] [base_seed]    randomized fault schedules vs. the
+//                                    hardened controller (DESIGN.md §7)
 //
 // Mixes: H-LLC H-BW H-Both M-LLC M-BW M-Both IS
 // Policies: EQ ST CAT-only MBA-only CoPart UCP NoPart
@@ -17,6 +19,7 @@
 
 #include "common/parallel.h"
 #include "harness/case_study.h"
+#include "harness/chaos.h"
 #include "harness/experiment.h"
 #include "harness/heatmap.h"
 #include "harness/mix.h"
@@ -38,6 +41,7 @@ int Usage() {
       "  compare <mix> [app_count]\n"
       "  oracle <mix> [app_count]\n"
       "  casestudy [--eq]\n"
+      "  chaos [schedules] [base_seed] | chaos --seed <schedule_seed>\n"
       "mixes: H-LLC H-BW H-Both M-LLC M-BW M-Both IS\n"
       "policies: EQ ST CAT-only MBA-only CoPart UCP NoPart\n"
       "--threads N: fan sweeps (characterize, oracle) out over N worker\n"
@@ -222,6 +226,59 @@ int CmdCaseStudy(bool use_eq) {
   return 0;
 }
 
+int CmdChaos(int num_schedules, uint64_t base_seed,
+             const ParallelConfig& parallel) {
+  ChaosSuiteConfig config;
+  config.num_schedules = num_schedules;
+  config.base_seed = base_seed;
+  const ChaosSuiteResult suite = RunChaosSuite(config, parallel);
+  std::printf("chaos: %d/%d schedules passed (base seed 0x%llx)\n",
+              suite.num_passed, suite.num_schedules,
+              static_cast<unsigned long long>(base_seed));
+  std::printf(
+      "injected failures: %llu  actuation failures: %llu  rollbacks: %llu\n",
+      static_cast<unsigned long long>(suite.injected_failures),
+      static_cast<unsigned long long>(suite.actuation_failures),
+      static_cast<unsigned long long>(suite.rollbacks));
+  std::printf(
+      "degraded entries: %llu  recoveries: %llu  quarantines: %llu\n",
+      static_cast<unsigned long long>(suite.degraded_entries),
+      static_cast<unsigned long long>(suite.degraded_recoveries),
+      static_cast<unsigned long long>(suite.quarantines));
+  for (const ChaosScheduleResult& failure : suite.failures) {
+    std::fprintf(stderr,
+                 "FAILED schedule seed 0x%llx at period %d: %s\n"
+                 "  replay: copartctl chaos --seed 0x%llx\n",
+                 static_cast<unsigned long long>(failure.seed),
+                 failure.failure_period, failure.failure.c_str(),
+                 static_cast<unsigned long long>(failure.seed));
+  }
+  return suite.failures.empty() ? 0 : 1;
+}
+
+int CmdChaosReplay(uint64_t seed) {
+  ChaosScheduleConfig config;
+  config.seed = seed;
+  const ChaosScheduleResult result = RunChaosSchedule(config);
+  std::printf("schedule seed 0x%llx: %s\n",
+              static_cast<unsigned long long>(seed),
+              result.passed ? "PASSED" : "FAILED");
+  if (!result.passed) {
+    std::printf("  period %d: %s\n", result.failure_period,
+                result.failure.c_str());
+  }
+  std::printf(
+      "injected failures: %llu  actuation failures: %llu  rollbacks: %llu\n"
+      "degraded entries: %llu  recoveries: %llu  quarantines: %llu\n",
+      static_cast<unsigned long long>(result.injected_failures),
+      static_cast<unsigned long long>(result.actuation_failures),
+      static_cast<unsigned long long>(result.rollbacks),
+      static_cast<unsigned long long>(result.degraded_entries),
+      static_cast<unsigned long long>(result.degraded_recoveries),
+      static_cast<unsigned long long>(result.quarantines));
+  return result.passed ? 0 : 1;
+}
+
 int Main(int argc, char** argv) {
   const ParallelConfig parallel = ParseThreadsFlag(argc, argv);
   if (argc < 2) {
@@ -249,6 +306,20 @@ int Main(int argc, char** argv) {
   }
   if (command == "casestudy") {
     return CmdCaseStudy(argc >= 3 && std::strcmp(argv[2], "--eq") == 0);
+  }
+  if (command == "chaos") {
+    if (argc >= 4 && std::strcmp(argv[2], "--seed") == 0) {
+      return CmdChaosReplay(std::strtoull(argv[3], nullptr, 0));
+    }
+    const int schedules =
+        argc >= 3 ? static_cast<int>(std::strtol(argv[2], nullptr, 0)) : 200;
+    const uint64_t base_seed =
+        argc >= 4 ? std::strtoull(argv[3], nullptr, 0) : 0xC0CA05ULL;
+    if (schedules <= 0) {
+      std::fprintf(stderr, "chaos: schedule count must be positive\n");
+      return 2;
+    }
+    return CmdChaos(schedules, base_seed, parallel);
   }
   return Usage();
 }

@@ -1,7 +1,10 @@
 #!/usr/bin/env bash
 # Perf smoke test: build Release, run bench_sim_throughput, and fail if any
 # epochs/sec point regresses more than 20% against the committed baseline
-# (BENCH_sim_throughput.json at the repo root).
+# (BENCH_sim_throughput.json at the repo root). The bench runs twice — once
+# plain and once with --fault-injector (a FaultInjector attached but with no
+# points armed) — and BOTH runs are held to the same gate, pinning the
+# fault-injection substrate's compiled-in-but-disabled cost at ~zero.
 #
 # Usage: tools/run_perf_smoke.sh [build-dir]
 #
@@ -26,8 +29,11 @@ cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=Release
 cmake --build "$BUILD_DIR" --target bench_sim_throughput -j "$(nproc)"
 
 FRESH="$(mktemp /tmp/bench_sim_throughput.XXXXXX.json)"
-trap 'rm -f "$FRESH"' EXIT
+FRESH_INJ="$(mktemp /tmp/bench_sim_throughput_inj.XXXXXX.json)"
+trap 'rm -f "$FRESH" "$FRESH_INJ"' EXIT
 "$BUILD_DIR/bench/bench_sim_throughput" --json="$FRESH" --min-seconds=0.5
+"$BUILD_DIR/bench/bench_sim_throughput" --json="$FRESH_INJ" \
+  --min-seconds=0.5 --fault-injector
 
 # The bench emits one result object per line:
 #   {"mode": "exact", "apps": 2, "epochs_per_sec": 12345.6},
@@ -38,31 +44,38 @@ point_value() {  # point_value FILE MODE APPS -> epochs_per_sec (or empty)
 }
 
 fail=0
-while IFS= read -r line; do
-  mode="$(printf '%s\n' "$line" | sed -n 's/.*"mode": "\([a-z]*\)".*/\1/p')"
-  apps="$(printf '%s\n' "$line" | sed -n 's/.*"apps": \([0-9]*\).*/\1/p')"
-  base="$(printf '%s\n' "$line" |
-    sed -n 's/.*"epochs_per_sec": \([0-9.]*\).*/\1/p')"
-  [[ -n "$mode" && -n "$apps" && -n "$base" ]] || continue
-  now="$(point_value "$FRESH" "$mode" "$apps")"
-  if [[ -z "$now" ]]; then
-    echo "run_perf_smoke: FAIL mode=$mode apps=$apps missing from fresh run"
-    fail=1
-    continue
-  fi
-  # now < base * (1 - pct/100) ?
-  floor="$(awk -v b="$base" -v p="$REGRESSION_PCT" \
-    'BEGIN { printf "%.1f", b * (1 - p / 100) }')"
-  verdict="$(awk -v n="$now" -v f="$floor" 'BEGIN { print (n < f) }')"
-  if [[ "$verdict" == 1 ]]; then
-    echo "run_perf_smoke: FAIL mode=$mode apps=$apps" \
-      "epochs_per_sec=$now < floor=$floor (baseline=$base)"
-    fail=1
-  else
-    echo "run_perf_smoke: ok   mode=$mode apps=$apps" \
-      "epochs_per_sec=$now (baseline=$base, floor=$floor)"
-  fi
-done < <(grep '"epochs_per_sec"' "$BASELINE")
+check_run() {  # check_run FILE LABEL — gate every baseline point in FILE
+  local file="$1" label="$2"
+  while IFS= read -r line; do
+    mode="$(printf '%s\n' "$line" | sed -n 's/.*"mode": "\([a-z]*\)".*/\1/p')"
+    apps="$(printf '%s\n' "$line" | sed -n 's/.*"apps": \([0-9]*\).*/\1/p')"
+    base="$(printf '%s\n' "$line" |
+      sed -n 's/.*"epochs_per_sec": \([0-9.]*\).*/\1/p')"
+    [[ -n "$mode" && -n "$apps" && -n "$base" ]] || continue
+    now="$(point_value "$file" "$mode" "$apps")"
+    if [[ -z "$now" ]]; then
+      echo "run_perf_smoke: FAIL [$label] mode=$mode apps=$apps" \
+        "missing from fresh run"
+      fail=1
+      continue
+    fi
+    # now < base * (1 - pct/100) ?
+    floor="$(awk -v b="$base" -v p="$REGRESSION_PCT" \
+      'BEGIN { printf "%.1f", b * (1 - p / 100) }')"
+    verdict="$(awk -v n="$now" -v f="$floor" 'BEGIN { print (n < f) }')"
+    if [[ "$verdict" == 1 ]]; then
+      echo "run_perf_smoke: FAIL [$label] mode=$mode apps=$apps" \
+        "epochs_per_sec=$now < floor=$floor (baseline=$base)"
+      fail=1
+    else
+      echo "run_perf_smoke: ok   [$label] mode=$mode apps=$apps" \
+        "epochs_per_sec=$now (baseline=$base, floor=$floor)"
+    fi
+  done < <(grep '"epochs_per_sec"' "$BASELINE")
+}
+
+check_run "$FRESH" "plain"
+check_run "$FRESH_INJ" "injector-disarmed"
 
 if [[ "$fail" != 0 ]]; then
   echo "run_perf_smoke: REGRESSION DETECTED (>${REGRESSION_PCT}% below baseline)"

@@ -20,6 +20,7 @@ cmake -B "$BUILD_DIR" -S . \
 TESTS=(
   common_parallel_test
   common_rng_test
+  core_chaos_property_test
   harness_determinism_test
   harness_golden_test
   harness_heatmap_test
