@@ -28,7 +28,11 @@
 #include "common/logging.h"
 #include "common/rng.h"
 #include "common/units.h"
+#include "core/resource_manager.h"
 #include "machine/simulated_machine.h"
+#include "obs/obs.h"
+#include "pmc/perf_monitor.h"
+#include "resctrl/resctrl.h"
 #include "workload/workload.h"
 
 namespace copart {
@@ -77,6 +81,62 @@ double MeasureEpochsPerSec(MrcMode mode, size_t num_apps, double min_seconds,
     elapsed = std::chrono::duration<double>(Clock::now() - start).count();
   } while (elapsed < min_seconds);
   return static_cast<double>(epochs) / elapsed;
+}
+
+// Epochs/sec of the full managed control loop: machine + resctrl + PMC +
+// resource manager, ticked every epoch. `obs` is forwarded to the manager,
+// so the same measurement pins both the no-observability baseline and the
+// attached-but-disabled configuration (tools/run_perf_smoke.sh holds their
+// ratio under 2% — the "zero measurable cost when off" gate).
+double MeasureManagedEpochsPerSec(size_t num_apps, double min_seconds,
+                                  Observability* obs) {
+  MachineConfig config;
+  config.ips_noise_sigma = 0.0;
+  config.mrc_mode = MrcMode::kCompiled;
+  SimulatedMachine machine(config);
+  Resctrl resctrl(&machine);
+  PerfMonitor monitor(&machine);
+  ResourceManager manager(&resctrl, &monitor, {});
+  manager.SetObservability(obs);
+  const std::vector<WorkloadDescriptor> registry = AllTable2Benchmarks();
+  for (size_t i = 0; i < num_apps; ++i) {
+    Result<AppId> app = machine.LaunchApp(registry[i % registry.size()], 2);
+    CHECK(app.ok());
+    CHECK(manager.AddApp(*app).ok());
+  }
+  // Warm up past profiling and exploration into the idle steady state.
+  for (int i = 0; i < 64; ++i) {
+    machine.AdvanceTime(0.5);
+    manager.Tick();
+  }
+
+  using Clock = std::chrono::steady_clock;
+  long epochs = 0;
+  double elapsed = 0.0;
+  const Clock::time_point start = Clock::now();
+  do {
+    for (int i = 0; i < 200; ++i) {
+      machine.AdvanceTime(0.5);
+      manager.Tick();
+    }
+    epochs += 200;
+    elapsed = std::chrono::duration<double>(Clock::now() - start).count();
+  } while (elapsed < min_seconds);
+  return static_cast<double>(epochs) / elapsed;
+}
+
+// Best-of-`rounds` managed epochs/sec, interleaving would-be-noisy host
+// effects out of the comparison.
+double BestManagedEpochsPerSec(size_t num_apps, double min_seconds,
+                               Observability* obs, int rounds) {
+  double best = 0.0;
+  for (int i = 0; i < rounds; ++i) {
+    const double eps = MeasureManagedEpochsPerSec(num_apps, min_seconds, obs);
+    if (eps > best) {
+      best = eps;
+    }
+  }
+  return best;
 }
 
 // ns/query of one MissRatio path, swept over capacities like the epoch
@@ -130,6 +190,25 @@ int Run(const std::string& json_path, double min_seconds,
   std::printf("miss_ratio_query: exact_ns=%.1f compiled_ns=%.1f\n",
               exact_ns, compiled_ns);
 
+  // Managed control loop, no observability wired: the regression-gated
+  // point. Then the same loop with a bundle attached but disabled — its
+  // entire cost must be the null/enabled checks at the instrumented sites.
+  const size_t managed_apps = 4;
+  const double managed_eps =
+      BestManagedEpochsPerSec(managed_apps, min_seconds, nullptr, 3);
+  std::printf("sim_throughput: mode=managed apps=%zu epochs_per_sec=%.0f\n",
+              managed_apps, managed_eps);
+  Observability disabled_obs;
+  disabled_obs.set_enabled(false);
+  const double disabled_eps =
+      BestManagedEpochsPerSec(managed_apps, min_seconds, &disabled_obs, 3);
+  const double obs_overhead_pct =
+      managed_eps > 0.0 ? (managed_eps / disabled_eps - 1.0) * 100.0 : 0.0;
+  std::printf(
+      "sim_throughput: managed_obs_disabled epochs_per_sec=%.0f "
+      "overhead_pct=%.2f\n",
+      disabled_eps, obs_overhead_pct);
+
   // Speedup at the heaviest consolidation (the sweep-relevant regime).
   double exact_eps = 0.0;
   double compiled_eps = 0.0;
@@ -158,10 +237,15 @@ int Run(const std::string& json_path, double min_seconds,
         ModeName(points[i].mode), points[i].num_apps,
         points[i].epochs_per_sec, i + 1 == points.size() ? "" : ",");
   }
+  std::fprintf(out, "    ,{\"mode\": \"managed\", \"apps\": %zu, "
+                    "\"epochs_per_sec\": %.1f}\n",
+               managed_apps, managed_eps);
   std::fprintf(out, "  ],\n");
   std::fprintf(out, "  \"miss_ratio_query_ns\": "
                     "{\"exact\": %.1f, \"compiled\": %.1f},\n",
                exact_ns, compiled_ns);
+  std::fprintf(out, "  \"obs_disabled_overhead_pct\": %.2f,\n",
+               obs_overhead_pct);
   std::fprintf(out, "  \"speedup_compiled_over_exact\": %.2f\n}\n", speedup);
   std::fclose(out);
   std::printf("sim_throughput: wrote %s\n", json_path.c_str());

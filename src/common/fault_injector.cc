@@ -83,4 +83,14 @@ uint64_t FaultInjector::PointFailures(std::string_view point) const {
   return it == points_.end() ? 0 : it->second.failures;
 }
 
+std::vector<std::string> FaultInjector::PointNames() const {
+  std::vector<std::string> names;
+  names.reserve(points_.size());
+  for (const auto& [name, state] : points_) {
+    names.push_back(name);
+  }
+  std::sort(names.begin(), names.end());
+  return names;
+}
+
 }  // namespace copart

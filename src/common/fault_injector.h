@@ -86,6 +86,9 @@ class FaultInjector {
   // totals across all points (armed or not).
   uint64_t PointQueries(std::string_view point) const;
   uint64_t PointFailures(std::string_view point) const;
+  // Every point with recorded state (armed now or queried since arming),
+  // sorted by name so exports iterate deterministically.
+  std::vector<std::string> PointNames() const;
   uint64_t total_queries() const { return total_queries_; }
   uint64_t total_failures() const { return total_failures_; }
 

@@ -277,6 +277,38 @@ Status ResourceManager::ApplyPlanTransactional(const ActuationPlan& plan) {
     }
   }
   if (failure.ok()) {
+    if (AuditLog* audit = ObsAudit(obs_)) {
+      // One record per CLOS whose allocation actually changed. Plans carry
+      // one entry per managed app, in app order, so entry index == app
+      // index (plans are discarded whenever the app set changes).
+      for (size_t i = 0; i < plan.entries.size(); ++i) {
+        const ActuationPlan::Entry& entry = plan.entries[i];
+        if (before[i].mask_bits == entry.mask_bits &&
+            before[i].mba_percent == entry.mba_percent) {
+          continue;
+        }
+        AuditRecord record;
+        record.kind = AuditKind::kAllocation;
+        record.epoch = ticks_;
+        record.time_sec = machine.now();
+        record.phase = PhaseName(phase_);
+        record.trigger = audit_trigger_;
+        record.app_index = static_cast<int32_t>(i);
+        if (i < apps_.size()) {
+          record.app_id = static_cast<int32_t>(apps_[i].id.value());
+          record.llc_class = ResourceClassName(apps_[i].llc_fsm.state());
+          record.quarantined = apps_[i].quarantined;
+        }
+        record.clos = static_cast<int32_t>(entry.group.clos());
+        record.old_mask = before[i].mask_bits;
+        record.new_mask = entry.mask_bits;
+        record.old_mba = static_cast<int32_t>(before[i].mba_percent);
+        record.new_mba = static_cast<int32_t>(entry.mba_percent);
+        record.degraded = phase_ == Phase::kDegraded;
+        record.failure_streak = consecutive_actuation_failures_;
+        audit->Append(record);
+      }
+    }
     return Status::Ok();
   }
 
@@ -291,6 +323,21 @@ Status ResourceManager::ApplyPlanTransactional(const ActuationPlan& plan) {
     (void)resctrl_->SetCacheMask(entry.group, before[i].mask_bits);
     (void)resctrl_->SetMbaPercent(entry.group, before[i].mba_percent);
   }
+  if (AuditLog* audit = ObsAudit(obs_)) {
+    AuditRecord record;
+    record.kind = AuditKind::kActuationFailure;
+    record.epoch = ticks_;
+    record.time_sec = machine.now();
+    record.phase = PhaseName(phase_);
+    record.trigger = audit_trigger_;
+    record.rollback = true;
+    record.degraded = phase_ == Phase::kDegraded;
+    // The streak *before* this failure is accounted (Actuate increments it
+    // after the transaction returns).
+    record.failure_streak = consecutive_actuation_failures_;
+    record.detail = "transaction rolled back";
+    audit->Append(record);
+  }
   return failure;
 }
 
@@ -299,8 +346,12 @@ int ResourceManager::DelayTicks(double periods) const {
 }
 
 bool ResourceManager::Actuate(const ActuationPlan& plan) {
+  TraceTick::Span span(trace_tick_, "apply_schemata");
+  span.set_cost(plan.entries.size());
+  span.set_arg1("entries", static_cast<int64_t>(plan.entries.size()));
   ++actuation_attempts_;
   Status status = ApplyPlanTransactional(plan);
+  span.set_arg2("ok", status.ok() ? 1 : 0);
   if (status.ok()) {
     consecutive_actuation_failures_ = 0;
     backoff_.Reset();
@@ -330,6 +381,7 @@ bool ResourceManager::RetryPendingActuation() {
   }
   const ActuationPlan plan = *pending_plan_;
   pending_plan_.reset();
+  audit_trigger_ = "actuation_retry";
   if (Actuate(plan)) {
     // The periods spent waiting measured whatever allocation happened to be
     // on the machine, not the intended plan — restart the sampling windows
@@ -372,6 +424,7 @@ ResourceManager::SampleOutcome ResourceManager::SampleApp(ManagedApp& app) {
     if (app.quarantined && app.good_sample_streak >=
                                params_.actuation.quarantine_release_good_samples) {
       app.quarantined = false;
+      EmitQuarantineAudit(app, /*engaged=*/false);
     }
   } else {
     app.good_sample_streak = 0;
@@ -380,6 +433,7 @@ ResourceManager::SampleOutcome ResourceManager::SampleApp(ManagedApp& app) {
                                 params_.actuation.quarantine_after_bad_samples) {
       app.quarantined = true;
       ++quarantines_;
+      EmitQuarantineAudit(app, /*engaged=*/true);
     }
   }
   return outcome;
@@ -398,6 +452,8 @@ void ResourceManager::StartAdaptation() {
   pending_plan_.reset();
   backoff_ticks_remaining_ = 0;
   state_ = InitialState();
+  audit_trigger_ = "adaptation_start";
+  EmitPhaseAudit("enter_profiling");
   // May fail and schedule a retry (or enter the degraded phase); the tick
   // loop picks it up either way.
   (void)Actuate(PlanForProbe());
@@ -409,6 +465,11 @@ void ResourceManager::StartAdaptation() {
 }
 
 void ResourceManager::TickProfiling() {
+  audit_trigger_ = "profiling_probe";
+  if (trace_tick_ != nullptr) {
+    trace_tick_->Instant("profiling_probe", "app",
+                         static_cast<int64_t>(profile_app_));
+  }
   ManagedApp& app = apps_[profile_app_];
   bool advance = false;
   bool skip_app = false;
@@ -494,6 +555,8 @@ void ResourceManager::TickProfiling() {
 
 void ResourceManager::EnterExploration() {
   phase_ = Phase::kExploration;
+  audit_trigger_ = "exploration_start";
+  EmitPhaseAudit("enter_exploration");
   retry_count_ = 0;
   for (ManagedApp& app : apps_) {
     app.llc_fsm.Reset(app.llc_initial);
@@ -525,51 +588,80 @@ SystemState ResourceManager::InitialState() const {
 
 void ResourceManager::TickExploration() {
   const size_t n = apps_.size();
-  std::vector<MatchAppInfo> infos(n);
-  for (size_t i = 0; i < n; ++i) {
-    ManagedApp& app = apps_[i];
-    const SampleOutcome outcome = SampleApp(app);
-    if (outcome.healthy) {
-      const PmcSample& sample = outcome.sample;
-      const double ips = sample.Ips();
-      const double perf_delta =
-          app.prev_ips > 0.0 ? (ips - app.prev_ips) / app.prev_ips : 0.0;
-      const MbaLevel level = state_.allocation(i).mba_level;
 
-      ClassifierInput llc_input{
-          .llc_access_rate = sample.LlcAccessesPerSec(),
-          .llc_miss_ratio = sample.LlcMissRatio(),
-          .traffic_ratio = 0.0,
-          .perf_delta = perf_delta,
-          .last_event = llc_events_[i],
-      };
-      app.llc_fsm.Update(llc_input);
-
-      ClassifierInput mba_input = llc_input;
-      mba_input.traffic_ratio =
-          sample.LlcMissesPerSec() / StreamMissRateReference(level);
-      mba_input.last_event = mba_events_[i];
-      app.mba_fsm.Update(mba_input);
-
-      app.prev_ips = ips;
+  // Phase 1: read every app's PMCs through the fallible path. Sampling is
+  // per-app independent and draws no randomness, so hoisting it out of the
+  // classification loop changes nothing observable.
+  std::vector<SampleOutcome> outcomes(n);
+  {
+    TraceTick::Span span(trace_tick_, "pmc_sample");
+    span.set_cost(n);
+    span.set_arg1("apps", static_cast<int64_t>(n));
+    for (size_t i = 0; i < n; ++i) {
+      outcomes[i] = SampleApp(apps_[i]);
     }
-    // Unhealthy: keep prev_ips and the FSM states from the last trusted
-    // period — garbage must not drive classification.
-    if (app.quarantined) {
-      // Conservative citizen: no measured slowdown, no resource pressure.
-      infos[i] = MatchAppInfo{
-          .slowdown = 1.0,
-          .llc_class = ResourceClass::kMaintain,
-          .mba_class = ResourceClass::kMaintain,
-      };
-    } else {
-      infos[i] = MatchAppInfo{
-          .slowdown = app.ips_full > 0.0 && app.prev_ips > 0.0
-                          ? std::max(1.0, app.ips_full / app.prev_ips)
-                          : 1.0,
-          .llc_class = app.llc_fsm.state(),
-          .mba_class = app.mba_fsm.state(),
-      };
+  }
+
+  // Phase 2: update the classifier FSMs and assemble the matcher inputs.
+  std::vector<MatchAppInfo> infos(n);
+  {
+    TraceTick::Span span(trace_tick_, "classify");
+    span.set_cost(n);
+    for (size_t i = 0; i < n; ++i) {
+      ManagedApp& app = apps_[i];
+      const SampleOutcome& outcome = outcomes[i];
+      if (outcome.healthy) {
+        const PmcSample& sample = outcome.sample;
+        const double ips = sample.Ips();
+        const double perf_delta =
+            app.prev_ips > 0.0 ? (ips - app.prev_ips) / app.prev_ips : 0.0;
+        const MbaLevel level = state_.allocation(i).mba_level;
+
+        ClassifierInput llc_input{
+            .llc_access_rate = sample.LlcAccessesPerSec(),
+            .llc_miss_ratio = sample.LlcMissRatio(),
+            .traffic_ratio = 0.0,
+            .perf_delta = perf_delta,
+            .last_event = llc_events_[i],
+        };
+        app.llc_fsm.Update(llc_input);
+
+        ClassifierInput mba_input = llc_input;
+        mba_input.traffic_ratio =
+            sample.LlcMissesPerSec() / StreamMissRateReference(level);
+        mba_input.last_event = mba_events_[i];
+        app.mba_fsm.Update(mba_input);
+
+        app.prev_ips = ips;
+      }
+      // Unhealthy: keep prev_ips and the FSM states from the last trusted
+      // period — garbage must not drive classification.
+      if (app.quarantined) {
+        // Conservative citizen: no measured slowdown, no resource pressure.
+        infos[i] = MatchAppInfo{
+            .slowdown = 1.0,
+            .llc_class = ResourceClass::kMaintain,
+            .mba_class = ResourceClass::kMaintain,
+        };
+      } else {
+        infos[i] = MatchAppInfo{
+            .slowdown = app.ips_full > 0.0 && app.prev_ips > 0.0
+                            ? std::max(1.0, app.ips_full / app.prev_ips)
+                            : 1.0,
+            .llc_class = app.llc_fsm.state(),
+            .mba_class = app.mba_fsm.state(),
+        };
+      }
+    }
+  }
+
+  if (MetricsRegistry* metrics = ObsMetrics(obs_)) {
+    static constexpr double kSlowdownEdges[] = {1.0, 1.1, 1.25, 1.5,
+                                                2.0, 3.0, 5.0,  10.0};
+    Histogram* slowdowns =
+        metrics->GetHistogram("copart.manager.slowdown", kSlowdownEdges);
+    for (size_t i = 0; i < n; ++i) {
+      slowdowns->Observe(infos[i].slowdown);
     }
   }
 
@@ -589,32 +681,46 @@ void ResourceManager::TickExploration() {
     }
   }
 
-  const auto start = std::chrono::steady_clock::now();
-  MatchResult match =
-      params_.matcher
-          ? params_.matcher(state_, infos, rng_,
-                            params_.enable_llc_partitioning,
-                            params_.enable_mba_partitioning)
-          : GetNextSystemState(state_, infos, rng_,
-                               params_.enable_llc_partitioning,
-                               params_.enable_mba_partitioning);
-  const auto end = std::chrono::steady_clock::now();
-  last_exploration_us_ =
-      std::chrono::duration<double, std::micro>(end - start).count();
-  exploration_time_stats_.Add(last_exploration_us_);
-
-  SystemState next = match.next_state;
+  // Phase 3: ask the HR matcher for the next system state (plus the random
+  // neighbor retry of Algorithm 1). The span's duration is the virtual cost
+  // (one unit) — the *wall-clock* matcher time stays in
+  // exploration_time_stats_, outside the deterministic trace surface.
+  SystemState next;
   bool used_neighbor = false;
-  if (next == state_) {
-    if (retry_count_ < params_.theta) {
-      next = state_.RandomNeighbor(rng_, params_.enable_llc_partitioning,
-                                   params_.enable_mba_partitioning);
-      used_neighbor = true;
-      ++retry_count_;
-    } else {
-      EnterIdle();
-      return;
+  bool exploration_done = false;
+  {
+    TraceTick::Span span(trace_tick_, "solve");
+    const auto start = std::chrono::steady_clock::now();
+    MatchResult match =
+        params_.matcher
+            ? params_.matcher(state_, infos, rng_,
+                              params_.enable_llc_partitioning,
+                              params_.enable_mba_partitioning)
+            : GetNextSystemState(state_, infos, rng_,
+                                 params_.enable_llc_partitioning,
+                                 params_.enable_mba_partitioning);
+    const auto end = std::chrono::steady_clock::now();
+    last_exploration_us_ =
+        std::chrono::duration<double, std::micro>(end - start).count();
+    exploration_time_stats_.Add(last_exploration_us_);
+
+    next = match.next_state;
+    if (next == state_) {
+      if (retry_count_ < params_.theta) {
+        next = state_.RandomNeighbor(rng_, params_.enable_llc_partitioning,
+                                     params_.enable_mba_partitioning);
+        used_neighbor = true;
+        ++retry_count_;
+      } else {
+        exploration_done = true;
+      }
     }
+    span.set_arg1("retries", retry_count_);
+    span.set_arg2("neighbor", used_neighbor ? 1 : 0);
+  }
+  if (exploration_done) {
+    EnterIdle();
+    return;
   }
 
   // Derive per-app resource events from the state diff; they feed the FSMs
@@ -643,6 +749,7 @@ void ResourceManager::TickExploration() {
   }
 
   state_ = next;
+  audit_trigger_ = used_neighbor ? "exploration_neighbor" : "exploration_match";
   (void)Actuate(PlanForState(state_));
 
   if (observer_) {
@@ -665,6 +772,8 @@ void ResourceManager::TickExploration() {
 
 void ResourceManager::EnterIdle() {
   phase_ = Phase::kIdle;
+  audit_trigger_ = "idle_restore_best";
+  EmitPhaseAudit("enter_idle");
   if (has_best_state_ && !(best_state_ == state_)) {
     state_ = best_state_;
     (void)Actuate(PlanForState(state_));
@@ -725,6 +834,7 @@ void ResourceManager::EnterDegraded() {
   phase_ = Phase::kDegraded;
   ++degraded_entries_;
   EmitTransitionRecord();  // Records the failure streak that tripped it.
+  EmitPhaseAudit("degraded_enter");
   degraded_success_streak_ = 0;
   consecutive_actuation_failures_ = 0;
   pending_plan_.reset();
@@ -740,8 +850,17 @@ void ResourceManager::TickDegraded() {
   // Keep trying to pin the static fair share — the safest partition when
   // neither actuation nor feedback can be trusted.
   const SystemState fair = InitialState();
+  audit_trigger_ = "degraded_fair_share";
   ++actuation_attempts_;
-  Status status = ApplyPlanTransactional(PlanForState(fair));
+  Status status;
+  {
+    const ActuationPlan plan = PlanForState(fair);
+    TraceTick::Span span(trace_tick_, "apply_schemata");
+    span.set_cost(plan.entries.size());
+    span.set_arg1("entries", static_cast<int64_t>(plan.entries.size()));
+    status = ApplyPlanTransactional(plan);
+    span.set_arg2("ok", status.ok() ? 1 : 0);
+  }
   if (status.ok()) {
     state_ = fair;
     ++degraded_success_streak_;
@@ -751,6 +870,7 @@ void ResourceManager::TickDegraded() {
       backoff_.Reset();
       StartAdaptation();
       EmitTransitionRecord();  // Phase after recovery (profiling/degraded).
+      EmitPhaseAudit("degraded_recovery");
     }
     return;
   }
@@ -774,7 +894,100 @@ void ResourceManager::EmitTransitionRecord() {
   observer_(record);
 }
 
+void ResourceManager::EmitPhaseAudit(const char* detail) {
+  AuditLog* audit = ObsAudit(obs_);
+  if (audit == nullptr) {
+    return;
+  }
+  AuditRecord record;
+  record.kind = AuditKind::kPhaseTransition;
+  record.epoch = ticks_;
+  record.time_sec = resctrl_->machine().now();
+  record.phase = PhaseName(phase_);
+  record.trigger = audit_trigger_;
+  record.degraded = phase_ == Phase::kDegraded;
+  record.failure_streak = consecutive_actuation_failures_;
+  record.detail = detail;
+  audit->Append(record);
+}
+
+void ResourceManager::EmitQuarantineAudit(const ManagedApp& app,
+                                          bool engaged) {
+  AuditLog* audit = ObsAudit(obs_);
+  if (audit == nullptr) {
+    return;
+  }
+  AuditRecord record;
+  record.kind = AuditKind::kQuarantineChange;
+  record.epoch = ticks_;
+  record.time_sec = resctrl_->machine().now();
+  record.phase = PhaseName(phase_);
+  record.trigger = engaged ? "quarantine_engage" : "quarantine_release";
+  record.app_index = static_cast<int32_t>(&app - apps_.data());
+  record.app_id = static_cast<int32_t>(app.id.value());
+  record.clos = static_cast<int32_t>(app.group.clos());
+  record.quarantined = engaged;
+  record.degraded = phase_ == Phase::kDegraded;
+  record.detail = engaged ? "counters untrusted" : "counters recovered";
+  audit->Append(record);
+}
+
+void ResourceManager::ExportMetrics(MetricsRegistry* metrics) const {
+  if (metrics == nullptr) {
+    return;
+  }
+  metrics->GetCounter("copart.manager.ticks")->Increment(ticks_);
+  metrics->GetCounter("copart.manager.adaptations_started")
+      ->Increment(adaptations_started_);
+  metrics->GetCounter("copart.manager.actuation_attempts")
+      ->Increment(actuation_attempts_);
+  metrics->GetCounter("copart.manager.actuation_failures")
+      ->Increment(actuation_failures_);
+  metrics->GetCounter("copart.manager.rollbacks")->Increment(rollbacks_);
+  metrics->GetCounter("copart.manager.degraded_entries")
+      ->Increment(degraded_entries_);
+  metrics->GetCounter("copart.manager.degraded_recoveries")
+      ->Increment(degraded_recoveries_);
+  metrics->GetCounter("copart.manager.quarantines")->Increment(quarantines_);
+  metrics->GetCounter("copart.manager.apps")->Increment(apps_.size());
+  metrics->GetCounter("copart.pmc.try_samples")
+      ->Increment(monitor_->try_samples());
+  metrics->GetCounter("copart.pmc.try_sample_failures")
+      ->Increment(monitor_->try_sample_failures());
+  metrics->GetCounter("copart.resctrl.schemata_writes")
+      ->Increment(resctrl_->schemata_writes());
+  metrics->GetCounter("copart.resctrl.schemata_write_failures")
+      ->Increment(resctrl_->schemata_write_failures());
+  // Wall-clock matcher cost (the paper's Fig. 16 overhead metric): real
+  // host time, so excluded from the deterministic byte-compared surface.
+  metrics->GetGauge("copart.manager.exploration_us_last",
+                    /*deterministic=*/false)
+      ->Set(last_exploration_us_);
+  metrics->GetGauge("copart.manager.exploration_us_mean",
+                    /*deterministic=*/false)
+      ->Set(exploration_time_stats_.mean());
+  metrics->GetCounter("copart.manager.exploration_solves")
+      ->Increment(exploration_time_stats_.count());
+}
+
 void ResourceManager::Tick() {
+  ++ticks_;
+  // The virtual trace clock for this control period: simulated time in
+  // microseconds as the base, a deterministic intra-tick cursor on top.
+  // Stack-scoped; trace_tick_ exposes it to the phase methods.
+  TraceTick trace_tick(
+      ObsTracer(obs_),
+      static_cast<uint64_t>(std::llround(resctrl_->machine().now() * 1e6)));
+  trace_tick_ = trace_tick.active() ? &trace_tick : nullptr;
+  TickImpl();
+  trace_tick_ = nullptr;
+  if (Tracer* tracer = ObsTracer(obs_)) {
+    // Epoch boundary: move this period's events off the hot-path rings.
+    tracer->DrainRings();
+  }
+}
+
+void ResourceManager::TickImpl() {
   ReapDeadApps();
   RetryZombieGroups();
   if (apps_.empty()) {

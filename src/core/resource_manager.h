@@ -58,6 +58,7 @@
 #include "core/hr_matching.h"
 #include "core/system_state.h"
 #include "machine/app_id.h"
+#include "obs/obs.h"
 #include "pmc/perf_monitor.h"
 #include "resctrl/resctrl.h"
 
@@ -145,6 +146,25 @@ class ResourceManager {
     observer_ = std::move(observer);
   }
 
+  // Attaches (or clears, with nullptr) the observability bundle: spans
+  // around the tick phases (PMC sample → classify → solve → apply), one
+  // audit record per CLOS allocation change / actuation failure / phase
+  // transition / quarantine flip, and a slowdown histogram. Null (the
+  // default) keeps the control loop on its uninstrumented path: every site
+  // gates on one pointer compare (DESIGN.md §8).
+  void SetObservability(Observability* obs) { obs_ = obs; }
+
+  // Control periods processed (the audit/trace epoch counter).
+  uint64_t ticks() const { return ticks_; }
+
+  // Dumps the manager's cumulative counters plus the PMC/resctrl substrate
+  // tallies into `metrics` (copart.manager.*, copart.pmc.*,
+  // copart.resctrl.*). Counters are Incremented by the current totals, so
+  // call once per registry, at the end of a run. Wall-clock exploration
+  // stats are flagged nondeterministic; everything else derives from the
+  // seed. Null `metrics` is a no-op.
+  void ExportMetrics(MetricsRegistry* metrics) const;
+
  private:
   struct ManagedApp {
     AppId id;
@@ -186,6 +206,7 @@ class ResourceManager {
   SystemState InitialState() const;
   void ReapDeadApps();
   void RetryZombieGroups();
+  void TickImpl();
   void TickProfiling();
   void TickExploration();
   void TickIdle();
@@ -223,6 +244,11 @@ class ResourceManager {
   int DelayTicks(double periods) const;
 
   void EmitTransitionRecord();
+
+  // Appends a kPhaseTransition / kQuarantineChange audit record (no-ops
+  // without an attached audit log).
+  void EmitPhaseAudit(const char* detail);
+  void EmitQuarantineAudit(const ManagedApp& app, bool engaged);
 
   // STREAM's LLC miss rate at the given MBA level — the denominator of the
   // memory traffic ratio (§5.3). STREAM is bandwidth-bound at every level,
@@ -278,6 +304,14 @@ class ResourceManager {
   double last_exploration_us_ = 0.0;
   RunningStats exploration_time_stats_;
   ManagerObserver observer_;
+
+  // Observability (DESIGN.md §8). obs_ is not owned; audit_trigger_ names
+  // the decision path that produced the plan currently being actuated, and
+  // trace_tick_ points at the stack-scoped virtual clock while Tick() runs.
+  Observability* obs_ = nullptr;
+  const char* audit_trigger_ = "adaptation_start";
+  TraceTick* trace_tick_ = nullptr;
+  uint64_t ticks_ = 0;
 };
 
 }  // namespace copart

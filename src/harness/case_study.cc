@@ -82,6 +82,9 @@ CaseStudyResult RunCaseStudy(const CaseStudyConfig& config) {
   ResourceManagerParams params = config.copart_params;
   params.control_period_sec = config.control_period_sec;
   ResourceManager manager(&resctrl, &monitor, params);
+  if (config.use_copart) {
+    manager.SetObservability(config.obs);
+  }
 
   // EQ mode: the batch apps keep static groups we resize on pool changes.
   std::vector<ResctrlGroupId> eq_groups;
@@ -195,6 +198,9 @@ CaseStudyResult RunCaseStudy(const CaseStudyConfig& config) {
       static_cast<double>(slo_violations) / static_cast<double>(periods);
   result.copart_adaptations =
       config.use_copart ? manager.adaptations_started() : 0;
+  if (config.use_copart) {
+    manager.ExportMetrics(ObsMetrics(config.obs));
+  }
   return result;
 }
 

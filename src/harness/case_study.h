@@ -20,6 +20,7 @@
 
 #include "core/copart_params.h"
 #include "machine/machine_config.h"
+#include "obs/obs.h"
 
 namespace copart {
 
@@ -47,6 +48,9 @@ struct CaseStudyConfig {
   // true: CoPart manages the batch slice; false: EQ split of the slice.
   bool use_copart = true;
   ResourceManagerParams copart_params;
+  // Optional observability bundle attached to the batch slice's CoPart
+  // manager (ignored in EQ mode). Not owned; null = off.
+  Observability* obs = nullptr;
 };
 
 struct CaseStudySample {

@@ -2,6 +2,7 @@
 
 #include <bit>
 #include <cstddef>
+#include <memory>
 #include <string_view>
 
 #include "common/fault_injector.h"
@@ -100,6 +101,7 @@ ChaosScheduleResult RunChaosSchedule(const ChaosScheduleConfig& config) {
   params.control_period_sec = config.control_period_sec;
   params.seed = rng.NextUint64();
   ResourceManager manager(&resctrl, &monitor, params);
+  manager.SetObservability(config.obs);
 
   // Admit the initial consolidation (fault-free: the injector is unarmed).
   const int num_apps =
@@ -138,6 +140,10 @@ ChaosScheduleResult RunChaosSchedule(const ChaosScheduleConfig& config) {
   };
 
   auto finish = [&]() {
+    if (MetricsRegistry* metrics = ObsMetrics(config.obs)) {
+      manager.ExportMetrics(metrics);
+      ExportFaultInjectorMetrics(injector, metrics);
+    }
     result.injected_failures = injector.total_failures();
     result.actuation_failures = manager.actuation_failures();
     result.rollbacks = manager.rollbacks();
@@ -225,18 +231,39 @@ ChaosScheduleResult RunChaosSchedule(const ChaosScheduleConfig& config) {
 
 ChaosSuiteResult RunChaosSuite(const ChaosSuiteConfig& config,
                                const ParallelConfig& parallel) {
+  return RunChaosSuite(config, parallel, nullptr);
+}
+
+ChaosSuiteResult RunChaosSuite(const ChaosSuiteConfig& config,
+                               const ParallelConfig& parallel,
+                               MetricsRegistry* metrics) {
+  // Each cell owns a private bundle; holding them by shared_ptr keeps the
+  // per-cell result copyable for ParallelMap. The merge below runs serially
+  // in index order (the sweep engine's reduction rule), so `metrics` is
+  // bit-identical for every --threads value.
+  struct Cell {
+    ChaosScheduleResult result;
+    std::shared_ptr<Observability> obs;
+  };
+  const bool collect = metrics != nullptr;
   const Rng seeder(config.base_seed);
-  const std::vector<ChaosScheduleResult> results =
-      ParallelMap<ChaosScheduleResult>(
-          parallel, static_cast<size_t>(config.num_schedules), [&](size_t i) {
-            ChaosScheduleConfig schedule = config.schedule;
-            schedule.seed = seeder.Fork(i).NextUint64();
-            return RunChaosSchedule(schedule);
-          });
+  const std::vector<Cell> cells = ParallelMap<Cell>(
+      parallel, static_cast<size_t>(config.num_schedules), [&](size_t i) {
+        ChaosScheduleConfig schedule = config.schedule;
+        schedule.seed = seeder.Fork(i).NextUint64();
+        Cell cell;
+        if (collect) {
+          cell.obs = std::make_shared<Observability>();
+          schedule.obs = cell.obs.get();
+        }
+        cell.result = RunChaosSchedule(schedule);
+        return cell;
+      });
 
   ChaosSuiteResult suite;
   suite.num_schedules = config.num_schedules;
-  for (const ChaosScheduleResult& result : results) {
+  for (const Cell& cell : cells) {
+    const ChaosScheduleResult& result = cell.result;
     if (result.passed) {
       ++suite.num_passed;
     } else {
@@ -248,6 +275,9 @@ ChaosSuiteResult RunChaosSuite(const ChaosSuiteConfig& config,
     suite.degraded_entries += result.degraded_entries;
     suite.degraded_recoveries += result.degraded_recoveries;
     suite.quarantines += result.quarantines;
+    if (collect && cell.obs != nullptr) {
+      metrics->Merge(cell.obs->metrics);
+    }
   }
   return suite;
 }

@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "common/parallel.h"
+#include "obs/obs.h"
 
 namespace copart {
 
@@ -42,6 +43,12 @@ struct ChaosScheduleConfig {
   bool allow_app_churn = true;
 
   double control_period_sec = 0.5;
+
+  // Optional observability bundle for THIS schedule (audit log + trace of
+  // the hardened manager, fault-injector hit counts absorbed into the
+  // metrics at the end). Not owned; null = off. Suite fan-outs must give
+  // each cell its own bundle — see the RunChaosSuite metrics overload.
+  Observability* obs = nullptr;
 };
 
 struct ChaosScheduleResult {
@@ -88,6 +95,16 @@ struct ChaosSuiteResult {
 // index — bit-identical for every thread count) and aggregates.
 ChaosSuiteResult RunChaosSuite(const ChaosSuiteConfig& config,
                                const ParallelConfig& parallel);
+
+// Same fan-out, additionally collecting per-cell metrics: each schedule
+// gets a private MetricsRegistry (manager counters + fault-injector hit
+// counts) and the registries are merged into `metrics` serially in cell
+// index order — the same reduction discipline as every other sweep, so the
+// merged registry is bit-identical for every thread count. `metrics` may
+// be null (degenerates to the plain overload).
+ChaosSuiteResult RunChaosSuite(const ChaosSuiteConfig& config,
+                               const ParallelConfig& parallel,
+                               MetricsRegistry* metrics);
 
 }  // namespace copart
 

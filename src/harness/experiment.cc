@@ -33,6 +33,9 @@ ExperimentResult RunExperiment(const WorkloadMix& mix,
 
   std::unique_ptr<ConsolidationPolicy> policy =
       factory(&resctrl, &monitor, apps, config.pool);
+  if (auto* copart = dynamic_cast<CoPartPolicy*>(policy.get())) {
+    copart->manager().SetObservability(config.obs);
+  }
   policy->Start();
 
   const int periods = static_cast<int>(
@@ -60,6 +63,7 @@ ExperimentResult RunExperiment(const WorkloadMix& mix,
   if (auto* copart = dynamic_cast<CoPartPolicy*>(policy.get())) {
     result.avg_exploration_us =
         copart->manager().exploration_time_stats().mean();
+    copart->manager().ExportMetrics(ObsMetrics(config.obs));
   }
   return result;
 }

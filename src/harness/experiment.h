@@ -17,6 +17,7 @@
 
 #include "common/parallel.h"
 #include "core/policies.h"
+#include "obs/obs.h"
 #include "core/system_state.h"
 #include "harness/mix.h"
 #include "machine/machine_config.h"
@@ -35,6 +36,11 @@ struct ExperimentConfig {
   // matrix and the figure benches). A single experiment's control loop is
   // inherently sequential and ignores this.
   ParallelConfig parallel;
+  // Optional observability bundle (DESIGN.md §8): attached to the CoPart
+  // family's resource manager (other policies have no control loop to
+  // trace); manager metrics are exported into it when the run ends. Not
+  // owned; null = observability off.
+  Observability* obs = nullptr;
 };
 
 // Creates the policy once machine/apps exist. Receives the resctrl and

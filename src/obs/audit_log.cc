@@ -1,0 +1,137 @@
+#include "obs/audit_log.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace copart {
+namespace {
+
+std::string FormatTime(double value) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.17g", value);
+  return buffer;
+}
+
+void AppendEscaped(std::ostringstream& out, const char* s) {
+  if (s == nullptr) {
+    return;
+  }
+  for (; *s != '\0'; ++s) {
+    const char c = *s;
+    if (c == '"' || c == '\\') {
+      out << '\\' << c;
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      char buffer[8];
+      std::snprintf(buffer, sizeof(buffer), "\\u%04x", c);
+      out << buffer;
+    } else {
+      out << c;
+    }
+  }
+}
+
+void AppendRecord(std::ostringstream& out, const AuditRecord& r) {
+  out << "{\"kind\": \"" << AuditKindName(r.kind) << "\", \"epoch\": "
+      << r.epoch << ", \"time_sec\": " << FormatTime(r.time_sec)
+      << ", \"phase\": \"";
+  AppendEscaped(out, r.phase);
+  out << "\", \"trigger\": \"";
+  AppendEscaped(out, r.trigger);
+  out << "\", \"app_index\": " << r.app_index << ", \"app_id\": " << r.app_id
+      << ", \"clos\": " << r.clos << ", \"class\": \"";
+  AppendEscaped(out, r.llc_class);
+  out << "\", \"old_mask\": \"0x";
+  char mask[32];
+  std::snprintf(mask, sizeof(mask), "%llx",
+                static_cast<unsigned long long>(r.old_mask));
+  out << mask << "\", \"new_mask\": \"0x";
+  std::snprintf(mask, sizeof(mask), "%llx",
+                static_cast<unsigned long long>(r.new_mask));
+  out << mask << "\", \"old_mba\": " << r.old_mba
+      << ", \"new_mba\": " << r.new_mba
+      << ", \"rollback\": " << (r.rollback ? "true" : "false")
+      << ", \"degraded\": " << (r.degraded ? "true" : "false")
+      << ", \"quarantined\": " << (r.quarantined ? "true" : "false")
+      << ", \"failure_streak\": " << r.failure_streak << ", \"detail\": \"";
+  AppendEscaped(out, r.detail);
+  out << "\"}";
+}
+
+}  // namespace
+
+const char* AuditKindName(AuditKind kind) {
+  switch (kind) {
+    case AuditKind::kAllocation:
+      return "allocation";
+    case AuditKind::kActuationFailure:
+      return "actuation_failure";
+    case AuditKind::kPhaseTransition:
+      return "phase_transition";
+    case AuditKind::kQuarantineChange:
+      return "quarantine_change";
+  }
+  return "unknown";
+}
+
+AuditLog::AuditLog(size_t capacity) : capacity_(capacity) {
+  records_.reserve(capacity_ < 1024 ? capacity_ : 1024);
+}
+
+void AuditLog::Append(const AuditRecord& record) {
+  if (!enabled_) {
+    return;
+  }
+  if (records_.size() >= capacity_) {
+    ++dropped_;
+    return;
+  }
+  records_.push_back(record);
+}
+
+std::vector<AuditRecord> AuditLog::Filter(AuditKind kind) const {
+  std::vector<AuditRecord> matched;
+  for (const AuditRecord& record : records_) {
+    if (record.kind == kind) {
+      matched.push_back(record);
+    }
+  }
+  return matched;
+}
+
+std::string AuditLog::ToJson() const {
+  std::ostringstream out;
+  out << "[\n";
+  const char* separator = "";
+  for (const AuditRecord& record : records_) {
+    out << separator;
+    AppendRecord(out, record);
+    separator = ",\n";
+  }
+  if (dropped_ > 0) {
+    out << separator << "{\"audit_overflow\": " << dropped_ << "}";
+  }
+  out << "\n]\n";
+  return out.str();
+}
+
+Status AuditLog::ExportJson(const std::string& path) const {
+  const std::string json = ToJson();
+  std::ofstream file(path, std::ios::out | std::ios::trunc);
+  if (!file) {
+    return UnavailableError("cannot open audit output path: " + path);
+  }
+  file << json;
+  file.flush();
+  if (!file) {
+    return UnavailableError("failed writing audit output: " + path);
+  }
+  return Status::Ok();
+}
+
+void AuditLog::Clear() {
+  records_.clear();
+  dropped_ = 0;
+}
+
+}  // namespace copart

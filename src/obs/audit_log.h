@@ -1,0 +1,112 @@
+// Controller decision audit log: one structured record per resource
+// allocation change (and per failure, phase transition, or quarantine
+// flip), answering "why does app X hold this partition?" after the fact.
+//
+// Records are appended by the resource manager as decisions are actuated
+// and exported as one JSON object per line (JSONL inside a top-level
+// array), so diffs and greps stay line-oriented. The log is bounded:
+// appends beyond `capacity` are dropped and counted, mirroring the trace
+// ring's drop-new policy.
+//
+// Determinism: every field is a pure function of the simulation seed —
+// epochs, simulated time, masks, and static-string names only; no wall
+// clock, no pointers. The golden test (tests/golden/audit_golden.json)
+// byte-compares an exported log, and the determinism property test pins
+// byte-identical exports across --threads values.
+//
+// Layering: this is an obs-layer type, below src/core. Phase, class, and
+// trigger names arrive as `const char*` static strings supplied by the
+// caller (core's name tables), keeping the dependency arrow core -> obs.
+#ifndef COPART_OBS_AUDIT_LOG_H_
+#define COPART_OBS_AUDIT_LOG_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace copart {
+
+// What a record documents.
+enum class AuditKind {
+  kAllocation,        // A CLOS's ways/MBA changed (or was first assigned).
+  kActuationFailure,  // A transactional apply failed (maybe rolled back).
+  kPhaseTransition,   // Manager moved between profiling/exploration/idle/...
+  kQuarantineChange,  // An app's counters entered or left quarantine.
+};
+
+const char* AuditKindName(AuditKind kind);
+
+// String fields must point at static-storage strings (core's name tables
+// or literals); records are PODs copied into the log.
+struct AuditRecord {
+  AuditKind kind = AuditKind::kAllocation;
+  uint64_t epoch = 0;      // Controller tick index.
+  double time_sec = 0.0;   // Simulated time.
+  const char* phase = "";  // Manager phase at decision time.
+  // Why the change happened: "adaptation_start", "profiling_probe",
+  // "exploration_match", "exploration_neighbor", "idle_restore_best",
+  // "degraded_fair_share", "actuation_retry", ...
+  const char* trigger = "";
+
+  // Subject. app_index < 0 means a system-wide record (phase transitions).
+  int32_t app_index = -1;
+  int32_t app_id = -1;
+  int32_t clos = -1;
+  const char* llc_class = "";  // Classification driving the decision.
+
+  // Allocation delta (kAllocation / kActuationFailure).
+  uint64_t old_mask = 0;
+  uint64_t new_mask = 0;
+  int32_t old_mba = 0;
+  int32_t new_mba = 0;
+
+  // Hardening annotations.
+  bool rollback = false;     // Failure was rolled back to the snapshot.
+  bool degraded = false;     // Decision taken while in degraded mode.
+  bool quarantined = false;  // Subject app's counters are quarantined.
+  int32_t failure_streak = 0;
+
+  const char* detail = "";  // Free-form static annotation.
+};
+
+class AuditLog {
+ public:
+  explicit AuditLog(size_t capacity = 1 << 16);
+
+  AuditLog(const AuditLog&) = delete;
+  AuditLog& operator=(const AuditLog&) = delete;
+
+  bool enabled() const { return enabled_; }
+  void set_enabled(bool enabled) { enabled_ = enabled; }
+
+  // Appends (copies) one record; drops and counts when at capacity or
+  // disabled (disabled appends are not counted as drops).
+  void Append(const AuditRecord& record);
+
+  size_t size() const { return records_.size(); }
+  size_t capacity() const { return capacity_; }
+  uint64_t dropped() const { return dropped_; }
+  const std::vector<AuditRecord>& records() const { return records_; }
+
+  // Records matching `kind`, in append order.
+  std::vector<AuditRecord> Filter(AuditKind kind) const;
+
+  // A JSON array with one record object per line. A non-zero drop count
+  // appends a final {"audit_overflow": N} marker line.
+  std::string ToJson() const;
+  Status ExportJson(const std::string& path) const;
+
+  void Clear();
+
+ private:
+  size_t capacity_;
+  bool enabled_ = true;
+  std::vector<AuditRecord> records_;
+  uint64_t dropped_ = 0;
+};
+
+}  // namespace copart
+
+#endif  // COPART_OBS_AUDIT_LOG_H_

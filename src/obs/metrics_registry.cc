@@ -1,0 +1,184 @@
+#include "obs/metrics_registry.h"
+
+#include <cstdio>
+#include <sstream>
+
+#include "common/logging.h"
+
+namespace copart {
+namespace {
+
+std::string FormatDouble(double value) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.17g", value);
+  return buffer;
+}
+
+}  // namespace
+
+Histogram::Histogram(std::vector<double> upper_edges)
+    : upper_edges_(std::move(upper_edges)),
+      counts_(upper_edges_.size() + 1, 0) {
+  CHECK(!upper_edges_.empty());
+  for (size_t i = 1; i < upper_edges_.size(); ++i) {
+    CHECK(upper_edges_[i - 1] < upper_edges_[i])
+        << "histogram edges must be strictly increasing";
+  }
+}
+
+size_t Histogram::BucketFor(double value) const {
+  for (size_t i = 0; i < upper_edges_.size(); ++i) {
+    if (value <= upper_edges_[i]) {
+      return i;
+    }
+  }
+  return upper_edges_.size();  // Overflow bucket.
+}
+
+void Histogram::Observe(double value) {
+  ++counts_[BucketFor(value)];
+  ++count_;
+  sum_ += value;
+}
+
+Counter* MetricsRegistry::GetCounter(std::string_view name,
+                                     bool deterministic) {
+  auto it = metrics_.find(name);
+  if (it != metrics_.end()) {
+    CHECK(it->second.counter != nullptr)
+        << "metric '" << std::string(name) << "' is not a counter";
+    return it->second.counter.get();
+  }
+  Entry entry;
+  entry.deterministic = deterministic;
+  entry.counter = std::make_unique<Counter>();
+  return metrics_.emplace(std::string(name), std::move(entry))
+      .first->second.counter.get();
+}
+
+Gauge* MetricsRegistry::GetGauge(std::string_view name, bool deterministic) {
+  auto it = metrics_.find(name);
+  if (it != metrics_.end()) {
+    CHECK(it->second.gauge != nullptr)
+        << "metric '" << std::string(name) << "' is not a gauge";
+    return it->second.gauge.get();
+  }
+  Entry entry;
+  entry.deterministic = deterministic;
+  entry.gauge = std::make_unique<Gauge>();
+  return metrics_.emplace(std::string(name), std::move(entry))
+      .first->second.gauge.get();
+}
+
+Histogram* MetricsRegistry::GetHistogram(std::string_view name,
+                                         std::span<const double> upper_edges,
+                                         bool deterministic) {
+  auto it = metrics_.find(name);
+  if (it != metrics_.end()) {
+    Histogram* histogram = it->second.histogram.get();
+    CHECK(histogram != nullptr)
+        << "metric '" << std::string(name) << "' is not a histogram";
+    CHECK(histogram->upper_edges() ==
+          std::vector<double>(upper_edges.begin(), upper_edges.end()))
+        << "histogram '" << std::string(name) << "' re-registered with "
+        << "different edges";
+    return histogram;
+  }
+  Entry entry;
+  entry.deterministic = deterministic;
+  entry.histogram = std::make_unique<Histogram>(
+      std::vector<double>(upper_edges.begin(), upper_edges.end()));
+  return metrics_.emplace(std::string(name), std::move(entry))
+      .first->second.histogram.get();
+}
+
+void MetricsRegistry::Merge(const MetricsRegistry& other) {
+  for (const auto& [name, entry] : other.metrics_) {
+    if (entry.counter != nullptr) {
+      GetCounter(name, entry.deterministic)
+          ->Increment(entry.counter->value());
+    } else if (entry.gauge != nullptr) {
+      Gauge* gauge = GetGauge(name, entry.deterministic);
+      gauge->Set(gauge->value() + entry.gauge->value());
+    } else {
+      Histogram* histogram = GetHistogram(name, entry.histogram->upper_edges(),
+                                          entry.deterministic);
+      for (size_t i = 0; i < entry.histogram->counts_.size(); ++i) {
+        histogram->counts_[i] += entry.histogram->counts_[i];
+      }
+      histogram->count_ += entry.histogram->count_;
+      histogram->sum_ += entry.histogram->sum_;
+    }
+  }
+}
+
+std::string MetricsRegistry::DumpText(bool deterministic_only) const {
+  std::ostringstream out;
+  for (const auto& [name, entry] : metrics_) {
+    if (deterministic_only && !entry.deterministic) {
+      continue;
+    }
+    if (entry.counter != nullptr) {
+      out << "counter " << name << " = " << entry.counter->value() << "\n";
+    } else if (entry.gauge != nullptr) {
+      out << "gauge " << name << " = " << FormatDouble(entry.gauge->value())
+          << "\n";
+    } else {
+      const Histogram& histogram = *entry.histogram;
+      out << "histogram " << name << " count=" << histogram.count()
+          << " sum=" << FormatDouble(histogram.sum()) << " buckets=[";
+      for (size_t i = 0; i < histogram.counts_.size(); ++i) {
+        out << (i == 0 ? "" : ", ") << histogram.counts_[i];
+      }
+      out << "]\n";
+    }
+  }
+  return out.str();
+}
+
+std::string MetricsRegistry::DumpJson(bool deterministic_only) const {
+  // Three passes (one per kind) keep each JSON section sorted by name
+  // without an intermediate index.
+  std::ostringstream out;
+  out << "{\n";
+  const char* section_separator = "";
+  for (const char* kind : {"counters", "gauges", "histograms"}) {
+    out << section_separator << "  \"" << kind << "\": {";
+    section_separator = ",\n";
+    const char* separator = "\n";
+    for (const auto& [name, entry] : metrics_) {
+      if (deterministic_only && !entry.deterministic) {
+        continue;
+      }
+      if (kind[0] == 'c' && entry.counter != nullptr) {
+        out << separator << "    \"" << name
+            << "\": " << entry.counter->value();
+      } else if (kind[0] == 'g' && entry.gauge != nullptr) {
+        out << separator << "    \"" << name
+            << "\": " << FormatDouble(entry.gauge->value());
+      } else if (kind[0] == 'h' && entry.histogram != nullptr) {
+        const Histogram& histogram = *entry.histogram;
+        out << separator << "    \"" << name << "\": {\"edges\": [";
+        for (size_t i = 0; i < histogram.upper_edges().size(); ++i) {
+          out << (i == 0 ? "" : ", ")
+              << FormatDouble(histogram.upper_edges()[i]);
+        }
+        out << "], \"counts\": [";
+        for (size_t i = 0; i < histogram.counts_.size(); ++i) {
+          out << (i == 0 ? "" : ", ") << histogram.counts_[i];
+        }
+        out << "], \"count\": " << histogram.count()
+            << ", \"sum\": " << FormatDouble(histogram.sum()) << "}";
+      } else {
+        continue;
+      }
+      separator = ",\n";
+    }
+    // An empty section renders as {}; a populated one closes on a new line.
+    out << (separator[0] == ',' ? "\n  }" : "}");
+  }
+  out << "\n}\n";
+  return out.str();
+}
+
+}  // namespace copart

@@ -1,0 +1,130 @@
+// One queryable surface for every counter the system used to scatter across
+// ad-hoc telemetry structs: the resource manager's hardening counters, the
+// fault injector's per-point hit counts, PMC/resctrl substrate tallies, and
+// the sweep engine's cell statistics.
+//
+// Three metric kinds:
+//   Counter   — monotonically increasing uint64 (merged by sum).
+//   Gauge     — last-written double (merged by sum; sweep timings become
+//               totals across cells, which is the useful aggregate).
+//   Histogram — fixed upper-edge buckets chosen at registration. A value v
+//               lands in the first bucket with v <= upper_edge; values above
+//               the last edge land in the overflow bucket. Merged by
+//               element-wise sum (edges must match).
+//
+// Determinism contract: every metric declares at registration whether its
+// value is a pure function of the simulation seed (`deterministic`, the
+// default) or measures the host (wall/cpu time, utilization). Dumps sort by
+// name and format doubles with %.17g, so a deterministic-only dump is
+// byte-identical across thread counts and runs — the property
+// harness_determinism_test pins. Nondeterministic metrics are still
+// exported by the full dump for humans; they are simply excluded from the
+// byte-compared surface.
+//
+// Registration (GetCounter etc.) allocates and takes a map lookup — do it
+// once and hold the returned pointer, which stays valid for the registry's
+// lifetime. The update methods (Increment/Set/Observe) are allocation-free.
+// The registry is not thread-safe: sweeps give each cell its own registry
+// and Merge() them serially in index order (the same discipline the
+// parallel engine imposes on every reduction).
+#ifndef COPART_OBS_METRICS_REGISTRY_H_
+#define COPART_OBS_METRICS_REGISTRY_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace copart {
+
+class Counter {
+ public:
+  void Increment(uint64_t delta = 1) { value_ += delta; }
+  uint64_t value() const { return value_; }
+
+ private:
+  friend class MetricsRegistry;
+  uint64_t value_ = 0;
+};
+
+class Gauge {
+ public:
+  void Set(double value) { value_ = value; }
+  double value() const { return value_; }
+
+ private:
+  friend class MetricsRegistry;
+  double value_ = 0.0;
+};
+
+class Histogram {
+ public:
+  // `upper_edges` must be non-empty and strictly increasing.
+  explicit Histogram(std::vector<double> upper_edges);
+
+  void Observe(double value);
+
+  // Index of the bucket Observe(value) would land in; bucket_count() (the
+  // overflow bucket) for values above the last edge.
+  size_t BucketFor(double value) const;
+
+  size_t bucket_count() const { return upper_edges_.size(); }
+  const std::vector<double>& upper_edges() const { return upper_edges_; }
+  uint64_t bucket(size_t i) const { return counts_[i]; }
+  uint64_t overflow() const { return counts_.back(); }
+  uint64_t count() const { return count_; }
+  double sum() const { return sum_; }
+
+ private:
+  friend class MetricsRegistry;
+  std::vector<double> upper_edges_;
+  std::vector<uint64_t> counts_;  // upper_edges_.size() buckets + overflow.
+  uint64_t count_ = 0;
+  double sum_ = 0.0;
+};
+
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  // Find-or-create. LOG_FATALs if `name` is already registered as a
+  // different kind (or, for histograms, with different edges).
+  Counter* GetCounter(std::string_view name, bool deterministic = true);
+  Gauge* GetGauge(std::string_view name, bool deterministic = true);
+  Histogram* GetHistogram(std::string_view name,
+                          std::span<const double> upper_edges,
+                          bool deterministic = true);
+
+  // Folds `other` into this registry: counters and histogram buckets add,
+  // gauges add (turning per-cell timings into sweep totals). Metrics absent
+  // here are created with the other registry's kind and determinism flag.
+  void Merge(const MetricsRegistry& other);
+
+  size_t size() const { return metrics_.size(); }
+
+  // "counter copart.rollbacks = 3" lines, sorted by name.
+  std::string DumpText(bool deterministic_only = false) const;
+  // {"counters": {...}, "gauges": {...}, "histograms": {...}} with keys
+  // sorted, doubles as %.17g.
+  std::string DumpJson(bool deterministic_only = false) const;
+
+ private:
+  struct Entry {
+    bool deterministic = true;
+    // Exactly one is non-null.
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<Histogram> histogram;
+  };
+
+  std::map<std::string, Entry, std::less<>> metrics_;
+};
+
+}  // namespace copart
+
+#endif  // COPART_OBS_METRICS_REGISTRY_H_

@@ -1,0 +1,70 @@
+#include "obs/obs.h"
+
+#include <fstream>
+
+namespace copart {
+
+Observability::Observability(const ObservabilityOptions& options)
+    : tracer(options.tracer), audit(options.audit_capacity) {}
+
+void Observability::set_enabled(bool enabled) {
+  tracer.set_enabled(enabled);
+  audit.set_enabled(enabled);
+}
+
+Status Observability::ExportAll(const std::string& prefix) {
+  Status status = tracer.ExportChromeTrace(prefix + ".trace.json");
+  if (!status.ok()) {
+    return status;
+  }
+  status = audit.ExportJson(prefix + ".audit.json");
+  if (!status.ok()) {
+    return status;
+  }
+  const std::string path = prefix + ".metrics.json";
+  std::ofstream file(path, std::ios::out | std::ios::trunc);
+  if (!file) {
+    return UnavailableError("cannot open metrics output path: " + path);
+  }
+  file << metrics.DumpJson(/*deterministic_only=*/false);
+  file.flush();
+  if (!file) {
+    return UnavailableError("failed writing metrics output: " + path);
+  }
+  return Status::Ok();
+}
+
+void ExportFaultInjectorMetrics(const FaultInjector& injector,
+                                MetricsRegistry* metrics) {
+  if (metrics == nullptr) {
+    return;
+  }
+  metrics->GetCounter("copart.fault.total_queries")
+      ->Increment(injector.total_queries());
+  metrics->GetCounter("copart.fault.total_failures")
+      ->Increment(injector.total_failures());
+  for (const std::string& point : injector.PointNames()) {
+    metrics->GetCounter("copart.fault." + point + ".queries")
+        ->Increment(injector.PointQueries(point));
+    metrics->GetCounter("copart.fault." + point + ".failures")
+        ->Increment(injector.PointFailures(point));
+  }
+}
+
+void ExportSweepStatsMetrics(const SweepStats& stats, const std::string& prefix,
+                             MetricsRegistry* metrics) {
+  if (metrics == nullptr) {
+    return;
+  }
+  metrics->GetCounter(prefix + ".cells")->Increment(stats.cells_completed);
+  metrics->GetGauge(prefix + ".threads", /*deterministic=*/false)
+      ->Set(stats.threads);
+  metrics->GetGauge(prefix + ".wall_sec", /*deterministic=*/false)
+      ->Set(stats.wall_sec);
+  metrics->GetGauge(prefix + ".cpu_sec", /*deterministic=*/false)
+      ->Set(stats.cpu_sec);
+  metrics->GetGauge(prefix + ".utilization", /*deterministic=*/false)
+      ->Set(stats.utilization());
+}
+
+}  // namespace copart

@@ -1,0 +1,99 @@
+// The observability bundle wired through the controller and harnesses: a
+// metrics registry, an event tracer, and a controller decision audit log
+// behind one pointer.
+//
+// Gating — two layers, both zero-cost when off:
+//   Runtime:      every instrumented site holds an `Observability*` that is
+//                 null by default. The ObsTracer/ObsAudit/ObsMetrics
+//                 accessors below fold the null check into one compare.
+//   Compile time: configuring with -DCOPART_DISABLE_OBS=ON defines
+//                 COPART_OBS_DISABLED, which turns the accessors into
+//                 constant-null inlines — the compiler deletes every
+//                 instrumented site outright. The library still builds (so
+//                 tests that construct Observability directly keep
+//                 compiling); only the *wiring* disappears.
+//
+// Instrumented sites must therefore always route through the accessors:
+//
+//   if (Tracer* tracer = ObsTracer(obs)) { ... }
+//   if (AuditLog* audit = ObsAudit(obs)) { audit->Append(record); }
+//
+// never through `obs->tracer` directly.
+#ifndef COPART_OBS_OBS_H_
+#define COPART_OBS_OBS_H_
+
+#include <string>
+
+#include "common/fault_injector.h"
+#include "common/parallel.h"
+#include "common/status.h"
+#include "obs/audit_log.h"
+#include "obs/metrics_registry.h"
+#include "obs/tracer.h"
+
+namespace copart {
+
+struct ObservabilityOptions {
+  TracerOptions tracer;
+  size_t audit_capacity = 1 << 16;
+};
+
+class Observability {
+ public:
+  explicit Observability(const ObservabilityOptions& options = {});
+
+  Observability(const Observability&) = delete;
+  Observability& operator=(const Observability&) = delete;
+
+  MetricsRegistry metrics;
+  Tracer tracer;
+  AuditLog audit;
+
+  // Gates the tracer and audit log together (metrics updates are driven by
+  // explicit Export* calls, so they need no gate).
+  void set_enabled(bool enabled);
+
+  // Writes <prefix>.trace.json (Chrome trace events), <prefix>.audit.json
+  // (decision records), and <prefix>.metrics.json (full dump). Returns the
+  // first failure.
+  Status ExportAll(const std::string& prefix);
+};
+
+#if defined(COPART_OBS_DISABLED)
+
+inline constexpr Tracer* ObsTracer(Observability*) { return nullptr; }
+inline constexpr AuditLog* ObsAudit(Observability*) { return nullptr; }
+inline constexpr MetricsRegistry* ObsMetrics(Observability*) {
+  return nullptr;
+}
+
+#else
+
+inline Tracer* ObsTracer(Observability* obs) {
+  return obs != nullptr ? &obs->tracer : nullptr;
+}
+inline AuditLog* ObsAudit(Observability* obs) {
+  return obs != nullptr ? &obs->audit : nullptr;
+}
+inline MetricsRegistry* ObsMetrics(Observability* obs) {
+  return obs != nullptr ? &obs->metrics : nullptr;
+}
+
+#endif  // COPART_OBS_DISABLED
+
+// Absorbs the fault injector's per-point hit counts into the registry as
+//   copart.fault.<point>.queries / copart.fault.<point>.failures
+// counters plus the cross-point totals. Fault schedules are seed-derived,
+// so these are deterministic.
+void ExportFaultInjectorMetrics(const FaultInjector& injector,
+                                MetricsRegistry* metrics);
+
+// Absorbs one sweep's stats under `prefix` (e.g. "copart.sweep.heatmap"):
+// cells as a deterministic counter; threads, wall/cpu seconds, and
+// utilization as nondeterministic gauges (they measure the host).
+void ExportSweepStatsMetrics(const SweepStats& stats, const std::string& prefix,
+                             MetricsRegistry* metrics);
+
+}  // namespace copart
+
+#endif  // COPART_OBS_OBS_H_

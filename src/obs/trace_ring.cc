@@ -1,0 +1,42 @@
+#include "obs/trace_ring.h"
+
+#include "common/logging.h"
+
+namespace copart {
+
+TraceRing::TraceRing(size_t capacity) : slots_(capacity) {
+  CHECK_GE(capacity, 1u);
+}
+
+bool TraceRing::Push(TraceEvent event) {
+  const uint64_t head = head_.load(std::memory_order_relaxed);
+  const uint64_t tail = tail_.load(std::memory_order_acquire);
+  if (head - tail >= slots_.size()) {
+    dropped_.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+  event.seq = seq_++;
+  slots_[head % slots_.size()] = event;
+  head_.store(head + 1, std::memory_order_release);
+  return true;
+}
+
+size_t TraceRing::Drain(std::vector<TraceEvent>& out) {
+  const uint64_t head = head_.load(std::memory_order_acquire);
+  uint64_t tail = tail_.load(std::memory_order_relaxed);
+  const size_t moved = static_cast<size_t>(head - tail);
+  out.reserve(out.size() + moved);
+  for (; tail != head; ++tail) {
+    out.push_back(slots_[tail % slots_.size()]);
+  }
+  tail_.store(tail, std::memory_order_release);
+  return moved;
+}
+
+size_t TraceRing::size() const {
+  const uint64_t head = head_.load(std::memory_order_acquire);
+  const uint64_t tail = tail_.load(std::memory_order_acquire);
+  return static_cast<size_t>(head - tail);
+}
+
+}  // namespace copart

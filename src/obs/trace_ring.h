@@ -1,0 +1,82 @@
+// Fixed-capacity, lock-free event ring for the tracing hot path.
+//
+// One TraceRing belongs to exactly one producer thread (the control loop or
+// a sweep worker) and one consumer (the Tracer draining it at epoch
+// boundaries). Push() is wait-free and allocation-free: the slot array is
+// sized once at construction and events are PODs whose string fields point
+// at static storage. When the ring is full the *new* event is dropped and
+// counted — overwriting old events would silently corrupt span nesting,
+// and the exporter turns a non-zero drop count into an explicit overflow
+// marker instead (tracer.h), so truncation is always visible in the trace.
+//
+// The SPSC discipline is the standard acquire/release two-cursor scheme:
+// the producer owns head_, the consumer owns tail_, each reads the other's
+// cursor with acquire ordering and publishes its own with release ordering.
+#ifndef COPART_OBS_TRACE_RING_H_
+#define COPART_OBS_TRACE_RING_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace copart {
+
+// One trace event, directly renderable as a Chrome trace-event object.
+// String fields must point at static-storage strings (literals or interned
+// names): events cross the ring by shallow copy and outlive their site.
+struct TraceEvent {
+  const char* name = nullptr;
+  const char* category = "copart";
+  // Chrome trace-event phase: 'X' = complete span, 'i' = instant,
+  // 'C' = counter sample.
+  char phase = 'X';
+  // Timestamps are *virtual* microseconds (simulated time + a deterministic
+  // intra-tick cursor), never wall clock — see DESIGN.md §8.
+  uint64_t ts_us = 0;
+  uint64_t dur_us = 0;
+  uint32_t tid = 0;
+  // Per-ring publication index; total order tie-break for equal timestamps.
+  uint64_t seq = 0;
+  // Up to two integer args (rendered into the event's "args" object).
+  const char* arg1_name = nullptr;
+  int64_t arg1 = 0;
+  const char* arg2_name = nullptr;
+  int64_t arg2 = 0;
+};
+
+class TraceRing {
+ public:
+  explicit TraceRing(size_t capacity);
+
+  TraceRing(const TraceRing&) = delete;
+  TraceRing& operator=(const TraceRing&) = delete;
+
+  // Producer side. Returns false (and counts the drop) when the ring is
+  // full. Assigns the event's seq from the ring's publication counter.
+  bool Push(TraceEvent event);
+
+  // Consumer side: pops every currently-published event into `out`
+  // (appending). Returns the number of events moved.
+  size_t Drain(std::vector<TraceEvent>& out);
+
+  // Events currently in the ring (racy by nature; exact when quiesced).
+  size_t size() const;
+  size_t capacity() const { return slots_.size(); }
+  uint64_t dropped() const { return dropped_.load(std::memory_order_relaxed); }
+  // Total events ever accepted (published) by this ring.
+  uint64_t published() const { return seq_; }
+
+ private:
+  std::vector<TraceEvent> slots_;
+  // head_ = next slot the producer writes; tail_ = next slot the consumer
+  // reads. Both are free-running; slot index = cursor % capacity.
+  std::atomic<uint64_t> head_{0};
+  std::atomic<uint64_t> tail_{0};
+  std::atomic<uint64_t> dropped_{0};
+  uint64_t seq_ = 0;  // Producer-owned publication counter.
+};
+
+}  // namespace copart
+
+#endif  // COPART_OBS_TRACE_RING_H_

@@ -1,0 +1,234 @@
+#include "obs/tracer.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "common/logging.h"
+
+namespace copart {
+namespace {
+
+uint64_t NextTracerId() {
+  static std::atomic<uint64_t> next{1};
+  return next.fetch_add(1, std::memory_order_relaxed);
+}
+
+// One cache entry per (thread, tracer) pair the thread has pushed through.
+// Entries for destroyed tracers are never matched again (ids are globally
+// unique), so their stale ring pointers are harmless.
+struct ThreadRingCache {
+  uint64_t tracer_id;
+  TraceRing* ring;
+  uint32_t tid;  // Registration index of the ring, fixed at creation.
+};
+
+thread_local std::vector<ThreadRingCache> t_ring_cache;
+
+// Names are static C strings under our control, but escape defensively so
+// a stray quote or backslash can never produce invalid JSON.
+void AppendEscaped(std::ostringstream& out, const char* s) {
+  for (; *s != '\0'; ++s) {
+    const char c = *s;
+    if (c == '"' || c == '\\') {
+      out << '\\' << c;
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      char buffer[8];
+      std::snprintf(buffer, sizeof(buffer), "\\u%04x", c);
+      out << buffer;
+    } else {
+      out << c;
+    }
+  }
+}
+
+void AppendEvent(std::ostringstream& out, const TraceEvent& event) {
+  out << "{\"name\": \"";
+  AppendEscaped(out, event.name);
+  out << "\", \"cat\": \"";
+  AppendEscaped(out, event.category);
+  out << "\", \"ph\": \"" << event.phase << "\", \"ts\": " << event.ts_us;
+  if (event.phase == 'X') {
+    out << ", \"dur\": " << event.dur_us;
+  }
+  out << ", \"pid\": 1, \"tid\": " << event.tid;
+  if (event.phase == 'i') {
+    out << ", \"s\": \"g\"";
+  }
+  if (event.arg1_name != nullptr || event.arg2_name != nullptr) {
+    out << ", \"args\": {";
+    if (event.arg1_name != nullptr) {
+      out << "\"";
+      AppendEscaped(out, event.arg1_name);
+      out << "\": " << event.arg1;
+    }
+    if (event.arg2_name != nullptr) {
+      out << (event.arg1_name != nullptr ? ", " : "") << "\"";
+      AppendEscaped(out, event.arg2_name);
+      out << "\": " << event.arg2;
+    }
+    out << "}";
+  }
+  out << "}";
+}
+
+}  // namespace
+
+Tracer::Tracer(const TracerOptions& options)
+    : options_(options), enabled_(options.enabled), tracer_id_(NextTracerId()) {
+  CHECK_GE(options_.ring_capacity, 1u);
+}
+
+TraceRing* Tracer::RingForThisThread() {
+  // Registration takes the lock once per (thread, tracer) pair; every later
+  // Push resolves through the thread-local cache with no synchronization.
+  std::lock_guard<std::mutex> lock(mutex_);
+  const uint32_t tid = static_cast<uint32_t>(rings_.size());
+  rings_.push_back(std::make_unique<TraceRing>(options_.ring_capacity));
+  TraceRing* ring = rings_.back().get();
+  t_ring_cache.push_back({tracer_id_, ring, tid});
+  return ring;
+}
+
+void Tracer::Push(TraceEvent event) {
+  if (!enabled()) {
+    return;
+  }
+  for (const ThreadRingCache& cached : t_ring_cache) {
+    if (cached.tracer_id == tracer_id_) {
+      event.tid = cached.tid;
+      cached.ring->Push(event);
+      return;
+    }
+  }
+  TraceRing* ring = RingForThisThread();
+  event.tid = t_ring_cache.back().tid;
+  ring->Push(event);
+}
+
+void Tracer::DrainRings() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (size_t i = 0; i < rings_.size(); ++i) {
+    std::vector<TraceEvent> batch;
+    rings_[i]->Drain(batch);
+    for (TraceEvent& event : batch) {
+      event.tid = static_cast<uint32_t>(i);
+      if (archive_.size() >= options_.max_archive_events) {
+        ++archive_dropped_;
+      } else {
+        archive_.push_back(event);
+      }
+    }
+  }
+}
+
+size_t Tracer::event_count() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  size_t count = archive_.size();
+  for (const auto& ring : rings_) {
+    count += ring->size();
+  }
+  return count;
+}
+
+uint64_t Tracer::dropped_events() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  uint64_t dropped = archive_dropped_;
+  for (const auto& ring : rings_) {
+    dropped += ring->dropped();
+  }
+  return dropped;
+}
+
+std::string Tracer::ChromeTraceJson() {
+  DrainRings();
+  std::vector<TraceEvent> events;
+  uint64_t dropped = 0;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    events = archive_;
+    dropped = archive_dropped_;
+    for (const auto& ring : rings_) {
+      dropped += ring->dropped();
+    }
+  }
+  std::stable_sort(events.begin(), events.end(),
+                   [](const TraceEvent& a, const TraceEvent& b) {
+                     if (a.ts_us != b.ts_us) return a.ts_us < b.ts_us;
+                     if (a.tid != b.tid) return a.tid < b.tid;
+                     return a.seq < b.seq;
+                   });
+
+  std::ostringstream out;
+  out << "{\"traceEvents\": [\n";
+  // Metadata first so viewers label the process before any real event.
+  out << "{\"name\": \"process_name\", \"ph\": \"M\", \"pid\": 1, "
+         "\"tid\": 0, \"args\": {\"name\": \"copart\"}}";
+  for (const TraceEvent& event : events) {
+    out << ",\n";
+    AppendEvent(out, event);
+  }
+  if (dropped > 0) {
+    const uint64_t last_ts = events.empty() ? 0 : events.back().ts_us;
+    out << ",\n{\"name\": \"trace_overflow\", \"cat\": \"copart\", "
+           "\"ph\": \"i\", \"ts\": "
+        << last_ts << ", \"pid\": 1, \"tid\": 0, \"s\": \"g\", "
+        << "\"args\": {\"dropped\": " << dropped << "}}";
+  }
+  out << "\n], \"displayTimeUnit\": \"ms\"}\n";
+  return out.str();
+}
+
+Status Tracer::ExportChromeTrace(const std::string& path) {
+  const std::string json = ChromeTraceJson();
+  std::ofstream file(path, std::ios::out | std::ios::trunc);
+  if (!file) {
+    return UnavailableError("cannot open trace output path: " + path);
+  }
+  file << json;
+  file.flush();
+  if (!file) {
+    return UnavailableError("failed writing trace output: " + path);
+  }
+  return Status::Ok();
+}
+
+void Tracer::Clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const auto& ring : rings_) {
+    std::vector<TraceEvent> discard;
+    ring->Drain(discard);
+  }
+  archive_.clear();
+  archive_dropped_ = 0;
+}
+
+void TraceTick::Instant(const char* name, const char* arg_name, int64_t arg) {
+  if (!active()) {
+    return;
+  }
+  TraceEvent event;
+  event.name = name;
+  event.phase = 'i';
+  event.ts_us = ts_us_;
+  event.arg1_name = arg_name;
+  event.arg1 = arg;
+  tracer_->Push(event);
+}
+
+void TraceTick::CounterSample(const char* name, int64_t value) {
+  if (!active()) {
+    return;
+  }
+  TraceEvent event;
+  event.name = name;
+  event.phase = 'C';
+  event.ts_us = ts_us_;
+  event.arg1_name = "value";
+  event.arg1 = value;
+  tracer_->Push(event);
+}
+
+}  // namespace copart

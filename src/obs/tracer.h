@@ -1,0 +1,176 @@
+// Structured tracing with Chrome trace-event JSON export.
+//
+// The Tracer owns one lock-free TraceRing per producer thread plus an
+// archive the rings are drained into at epoch boundaries (DrainRings —
+// amortized allocation off the hot path; Push itself never allocates).
+// ExportChromeTrace emits the merged, (ts, tid, seq)-sorted events as a
+// `{"traceEvents": [...]}` document that chrome://tracing and Perfetto
+// open directly. A non-zero drop count (ring overflow or a full archive)
+// becomes an explicit `trace_overflow` instant event at the end of the
+// trace, so truncation is always visible in the UI.
+//
+// Determinism: timestamps are virtual microseconds. An instrumented tick
+// opens a TraceTick at the simulated time and each span advances the
+// tick-local cursor by its declared cost units (1 unit = 1 virtual us, at
+// least 1 per span). Durations therefore measure deterministic work counts
+// (apps sampled, schemata entries applied) rather than host latency, and a
+// trace is byte-identical across runs, machines, and --threads values for
+// the same seed. Wall-clock profiling stays where it already lives (the
+// Fig. 16 exploration timer and the sweep stats), exported as
+// nondeterministic metrics, never into the trace.
+//
+// Cost when idle: a disabled tracer (set_enabled(false), or a null Tracer*
+// via obs.h's gates) costs one branch per instrumented site; the
+// compile-time switch COPART_OBS_DISABLED (obs.h) removes even that.
+#ifndef COPART_OBS_TRACER_H_
+#define COPART_OBS_TRACER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "obs/trace_ring.h"
+
+namespace copart {
+
+struct TracerOptions {
+  // Capacity of each per-thread ring. One control period emits well under
+  // 32 events, so the default tolerates >500 periods between drains.
+  size_t ring_capacity = 1 << 14;
+  // Archive ceiling: once this many events have been drained, further ones
+  // are dropped (and counted). Bounds memory on very long runs.
+  size_t max_archive_events = 1 << 20;
+  bool enabled = true;
+};
+
+class Tracer {
+ public:
+  explicit Tracer(const TracerOptions& options = {});
+
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+  void set_enabled(bool enabled) {
+    enabled_.store(enabled, std::memory_order_relaxed);
+  }
+
+  // Pushes one event into the calling thread's ring (registered on first
+  // use). The event's tid is overwritten with the ring's id. No-op when
+  // disabled.
+  void Push(TraceEvent event);
+
+  // Moves every ring's published events into the archive. Called at epoch
+  // boundaries by instrumented loops and implicitly by the exporters.
+  // Not safe concurrently with producers pushing.
+  void DrainRings();
+
+  // Events archived + still in rings; drops across rings and the archive.
+  size_t event_count() const;
+  uint64_t dropped_events() const;
+
+  // The merged, sorted trace. Non-destructive (drains rings into the
+  // archive, which is kept).
+  std::string ChromeTraceJson();
+  Status ExportChromeTrace(const std::string& path);
+
+  void Clear();
+
+ private:
+  TraceRing* RingForThisThread();
+
+  TracerOptions options_;
+  std::atomic<bool> enabled_{true};
+  const uint64_t tracer_id_;  // Globally unique; keys the thread-local cache.
+
+  mutable std::mutex mutex_;  // Guards rings_ registration and the archive.
+  std::vector<std::unique_ptr<TraceRing>> rings_;
+  std::vector<TraceEvent> archive_;
+  uint64_t archive_dropped_ = 0;
+};
+
+// Deterministic intra-tick clock: spans and instants emitted through a
+// TraceTick share the tick's base timestamp (simulated microseconds) and
+// advance a virtual cursor by their declared cost. Cheap enough to
+// construct unconditionally; every method no-ops when `tracer` is null or
+// disabled.
+class TraceTick {
+ public:
+  TraceTick(Tracer* tracer, uint64_t base_ts_us)
+      : tracer_(tracer != nullptr && tracer->enabled() ? tracer : nullptr),
+        ts_us_(base_ts_us) {}
+
+  bool active() const { return tracer_ != nullptr; }
+
+  // RAII span: opens at the tick's current cursor, closes (and publishes)
+  // at destruction with dur = max(cost units, 1).
+  class Span {
+   public:
+    Span(TraceTick* tick, const char* name)
+        : tick_(tick != nullptr && tick->active() ? tick : nullptr),
+          name_(name) {
+      if (tick_ != nullptr) {
+        start_us_ = tick_->ts_us_;
+      }
+    }
+    ~Span() {
+      if (tick_ == nullptr) {
+        return;
+      }
+      TraceEvent event;
+      event.name = name_;
+      event.phase = 'X';
+      event.ts_us = start_us_;
+      event.dur_us = cost_ > 0 ? cost_ : 1;
+      event.arg1_name = arg1_name_;
+      event.arg1 = arg1_;
+      event.arg2_name = arg2_name_;
+      event.arg2 = arg2_;
+      tick_->ts_us_ = start_us_ + event.dur_us;
+      tick_->tracer_->Push(event);
+    }
+
+    Span(const Span&) = delete;
+    Span& operator=(const Span&) = delete;
+
+    // 1 unit = 1 virtual microsecond (e.g. apps sampled, entries applied).
+    void set_cost(uint64_t units) { cost_ = units; }
+    void set_arg1(const char* name, int64_t value) {
+      arg1_name_ = name;
+      arg1_ = value;
+    }
+    void set_arg2(const char* name, int64_t value) {
+      arg2_name_ = name;
+      arg2_ = value;
+    }
+
+   private:
+    TraceTick* tick_;  // Null = inactive span.
+    const char* name_;
+    uint64_t start_us_ = 0;
+    uint64_t cost_ = 1;
+    const char* arg1_name_ = nullptr;
+    int64_t arg1_ = 0;
+    const char* arg2_name_ = nullptr;
+    int64_t arg2_ = 0;
+  };
+
+  Span MakeSpan(const char* name) { return Span(this, name); }
+
+  void Instant(const char* name, const char* arg_name = nullptr,
+               int64_t arg = 0);
+  void CounterSample(const char* name, int64_t value);
+
+ private:
+  friend class Span;
+  Tracer* tracer_;
+  uint64_t ts_us_;
+};
+
+}  // namespace copart
+
+#endif  // COPART_OBS_TRACER_H_

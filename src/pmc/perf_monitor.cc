@@ -42,12 +42,15 @@ PmcSample PerfMonitor::Sample(AppId app) {
 }
 
 Result<PmcSample> PerfMonitor::TrySample(AppId app) {
+  ++try_samples_;
   auto it = baselines_.find(app);
   if (it == baselines_.end()) {
+    ++try_sample_failures_;
     return FailedPreconditionError("TrySample() on unattached app");
   }
   if (injector_ != nullptr) {
     if (injector_->ShouldFail(fault_points::kPmcDropped)) {
+      ++try_sample_failures_;
       return UnavailableError("injected: PMC read dropped");
     }
     if (injector_->ShouldFail(fault_points::kPmcStale)) {

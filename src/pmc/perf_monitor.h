@@ -82,6 +82,12 @@ class PerfMonitor {
   // baseline advances — the read happened, the value is garbage).
   Result<PmcSample> TrySample(AppId app);
 
+  // Telemetry for the hardened path: TrySample calls and how many returned
+  // an error status. Stale/saturated reads return OK with garbage values —
+  // the manager's quarantine policy judges those, not the monitor.
+  uint64_t try_samples() const { return try_samples_; }
+  uint64_t try_sample_failures() const { return try_sample_failures_; }
+
  private:
   struct Baseline {
     double time = 0.0;
@@ -93,6 +99,8 @@ class PerfMonitor {
   const SimulatedMachine* machine_;  // Not owned.
   FaultInjector* injector_;          // Not owned; null = no injection.
   std::unordered_map<AppId, Baseline> baselines_;
+  uint64_t try_samples_ = 0;
+  uint64_t try_sample_failures_ = 0;
 };
 
 }  // namespace copart

@@ -97,15 +97,19 @@ bool Resctrl::GroupActive(uint32_t clos) const {
 }
 
 Status Resctrl::SetCacheMask(ResctrlGroupId group, uint64_t mask_bits) {
+  ++schemata_writes_;
   if (!GroupActive(group.clos())) {
+    ++schemata_write_failures_;
     return NotFoundError("no such group");
   }
   Result<WayMask> mask =
       WayMask::FromBits(mask_bits, machine_->config().llc.num_ways);
   if (!mask.ok()) {
+    ++schemata_write_failures_;
     return mask.status();
   }
   if (InjectFault(fault_points::kResctrlSetL3)) {
+    ++schemata_write_failures_;
     return UnavailableError("injected: L3 schemata write returned EBUSY");
   }
   if (InjectFault(fault_points::kResctrlSetL3Silent)) {
@@ -116,14 +120,18 @@ Status Resctrl::SetCacheMask(ResctrlGroupId group, uint64_t mask_bits) {
 }
 
 Status Resctrl::SetMbaPercent(ResctrlGroupId group, uint32_t percent) {
+  ++schemata_writes_;
   if (!GroupActive(group.clos())) {
+    ++schemata_write_failures_;
     return NotFoundError("no such group");
   }
   Result<MbaLevel> level = MbaLevel::FromPercent(percent);
   if (!level.ok()) {
+    ++schemata_write_failures_;
     return level.status();
   }
   if (InjectFault(fault_points::kResctrlSetMb)) {
+    ++schemata_write_failures_;
     return UnavailableError("injected: MB schemata write returned EBUSY");
   }
   if (InjectFault(fault_points::kResctrlSetMbSilent)) {

@@ -129,6 +129,12 @@ class Resctrl {
   SimulatedMachine& machine() { return *machine_; }
   const SimulatedMachine& machine() const { return *machine_; }
 
+  // Write telemetry: schemata line writes attempted through SetCacheMask /
+  // SetMbaPercent and how many returned an error. Silent drops claim
+  // success and are counted as such — only verify-readback sees them.
+  uint64_t schemata_writes() const { return schemata_writes_; }
+  uint64_t schemata_write_failures() const { return schemata_write_failures_; }
+
  private:
   struct Group {
     std::string name;
@@ -144,6 +150,8 @@ class Resctrl {
   SimulatedMachine* machine_;  // Not owned.
   FaultInjector* injector_;    // Not owned; null = no injection.
   std::vector<Group> groups_;  // Indexed by CLOS; [0] is the default group.
+  uint64_t schemata_writes_ = 0;
+  uint64_t schemata_write_failures_ = 0;
 };
 
 }  // namespace copart

@@ -2,6 +2,7 @@
 // produces bit-identical results regardless of the worker thread count.
 // Each comparison is EXPECT_EQ on raw doubles — no tolerance.
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -14,6 +15,7 @@
 #include "harness/replication.h"
 #include "harness/static_oracle.h"
 #include "machine/simulated_machine.h"
+#include "obs/obs.h"
 #include "workload/workload.h"
 
 namespace copart {
@@ -151,6 +153,65 @@ TEST(HarnessDeterminismTest, ChaosSuiteIsBitIdenticalAcrossThreadCounts) {
       EXPECT_EQ(parallel.failures[i].failure_period,
                 serial.failures[i].failure_period);
     }
+  }
+}
+
+TEST(HarnessDeterminismTest,
+     ChaosSuiteMetricsAreBitIdenticalAcrossThreadCounts) {
+  // The merged metrics registry (manager hardening counters + fault
+  // injector hit counts, one private registry per schedule, merged serially
+  // in index order) must serialize byte-identically for every thread count.
+  // Only the deterministic dump is compared: wall-clock gauges measure the
+  // host and are excluded from the contract by design.
+  ChaosSuiteConfig config;
+  config.num_schedules = 8;
+  MetricsRegistry serial_metrics;
+  const ChaosSuiteResult serial = RunChaosSuite(
+      config, ParallelConfig{.num_threads = 1}, &serial_metrics);
+  const std::string serial_dump =
+      serial_metrics.DumpJson(/*deterministic_only=*/true);
+  EXPECT_GT(serial_metrics.size(), 0u);
+  for (uint32_t threads : kThreadCounts) {
+    MetricsRegistry parallel_metrics;
+    const ChaosSuiteResult parallel = RunChaosSuite(
+        config, ParallelConfig{.num_threads = threads}, &parallel_metrics);
+    EXPECT_EQ(parallel.num_passed, serial.num_passed)
+        << "threads=" << threads;
+    EXPECT_EQ(parallel_metrics.DumpJson(/*deterministic_only=*/true),
+              serial_dump)
+        << "threads=" << threads;
+  }
+}
+
+TEST(HarnessDeterminismTest,
+     ExperimentTraceAndAuditAreByteIdenticalAcrossRuns) {
+  // The observability artifacts of a managed experiment — Chrome trace,
+  // audit log, deterministic metrics — are pure functions of the seed:
+  // repeated runs must serialize byte-for-byte the same documents. (Spans
+  // carry virtual-time durations, never wall clock, which is what makes
+  // this possible; DESIGN.md §8.)
+  const WorkloadMix mix = MakeMix(MixFamily::kHighLlc, 4);
+  ExperimentConfig config;
+  config.duration_sec = 10.0;
+  auto run_once = [&](Observability& obs) {
+    config.obs = &obs;
+    (void)RunExperiment(mix, CoPartFactory(), config);
+  };
+  Observability reference;
+  run_once(reference);
+  const std::string reference_trace = reference.tracer.ChromeTraceJson();
+  const std::string reference_audit = reference.audit.ToJson();
+  EXPECT_GT(reference.tracer.event_count(), 0u);
+  EXPECT_GT(reference.audit.size(), 0u);
+  for (int repeat = 0; repeat < 2; ++repeat) {
+    Observability obs;
+    run_once(obs);
+    EXPECT_EQ(obs.tracer.ChromeTraceJson(), reference_trace)
+        << "repeat=" << repeat;
+    EXPECT_EQ(obs.audit.ToJson(), reference_audit) << "repeat=" << repeat;
+    EXPECT_EQ(obs.metrics.DumpJson(/*deterministic_only=*/true),
+              reference.metrics.DumpJson(/*deterministic_only=*/true))
+        << "repeat=" << repeat;
   }
 }
 

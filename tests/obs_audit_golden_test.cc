@@ -1,0 +1,115 @@
+// Golden regression test for the controller decision audit log: one small
+// canned CoPart consolidation is run with observability attached and the
+// exported audit JSON is compared byte-for-byte against
+// tests/golden/audit_golden.json. Any change to the control loop's decision
+// sequence — classifications, masks, MBA levels, triggers, phase
+// transitions — fails here and must be reviewed as a behavior change.
+//
+// To regenerate after an INTENDED behavior change:
+//   COPART_REGENERATE_GOLDEN=1 ./obs_audit_golden_test
+// then review the diff of tests/golden/audit_golden.json like any other
+// code change.
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "harness/experiment.h"
+#include "harness/mix.h"
+#include "obs/obs.h"
+
+namespace copart {
+namespace {
+
+#ifndef COPART_GOLDEN_DIR
+#error "COPART_GOLDEN_DIR must be defined by the build"
+#endif
+
+std::string GoldenPath() {
+  return std::string(COPART_GOLDEN_DIR) + "/audit_golden.json";
+}
+
+// The exact run pinned by the golden file: CoPart on a 4-app H-Both mix for
+// 30 simulated seconds — long enough to cover profiling, exploration, the
+// matcher's allocation, and the settle into idle.
+std::string ComputeAuditDocument() {
+  Observability obs;
+  ExperimentConfig config;
+  config.duration_sec = 30.0;
+  config.obs = &obs;
+  const WorkloadMix mix = MakeMix(MixFamily::kHighBoth, 4);
+  (void)RunExperiment(mix, CoPartFactory(), config);
+  return obs.audit.ToJson();
+}
+
+TEST(ObsAuditGoldenTest, AuditLogMatchesGoldenFile) {
+  const std::string actual = ComputeAuditDocument();
+  const std::string path = GoldenPath();
+
+  if (std::getenv("COPART_REGENERATE_GOLDEN") != nullptr) {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    ASSERT_TRUE(out.good()) << "cannot write " << path;
+    out << actual;
+    out.close();
+    ASSERT_TRUE(out.good()) << "short write to " << path;
+    GTEST_SKIP() << "regenerated " << path << "; review the diff";
+  }
+
+  std::ifstream in(path, std::ios::binary);
+  ASSERT_TRUE(in.good())
+      << "missing golden file " << path
+      << " — run with COPART_REGENERATE_GOLDEN=1 to create it";
+  std::ostringstream contents;
+  contents << in.rdbuf();
+  const std::string expected = contents.str();
+
+  if (actual != expected) {
+    std::istringstream actual_lines(actual), expected_lines(expected);
+    std::string actual_line, expected_line;
+    size_t line = 0;
+    while (true) {
+      ++line;
+      const bool have_actual =
+          static_cast<bool>(std::getline(actual_lines, actual_line));
+      const bool have_expected =
+          static_cast<bool>(std::getline(expected_lines, expected_line));
+      if (!have_actual && !have_expected) {
+        break;
+      }
+      if (!have_actual || !have_expected || actual_line != expected_line) {
+        FAIL() << "audit golden mismatch at line " << line << "\n  golden: "
+               << (have_expected ? expected_line : "<eof>")
+               << "\n  actual: " << (have_actual ? actual_line : "<eof>")
+               << "\nIf this change is intended, regenerate with "
+                  "COPART_REGENERATE_GOLDEN=1 and review the diff.";
+      }
+    }
+  }
+  SUCCEED();
+}
+
+// Two independent runs of the same canned experiment must serialize the
+// exact same audit document and Chrome trace — the in-process half of the
+// determinism contract (the golden file pins it across builds).
+TEST(ObsAuditGoldenTest, AuditAndTraceAreByteStableAcrossRuns) {
+  Observability first_obs, second_obs;
+  ExperimentConfig config;
+  config.duration_sec = 30.0;
+  const WorkloadMix mix = MakeMix(MixFamily::kHighBoth, 4);
+
+  config.obs = &first_obs;
+  (void)RunExperiment(mix, CoPartFactory(), config);
+  config.obs = &second_obs;
+  (void)RunExperiment(mix, CoPartFactory(), config);
+
+  EXPECT_EQ(first_obs.audit.ToJson(), second_obs.audit.ToJson());
+  EXPECT_EQ(first_obs.tracer.ChromeTraceJson(),
+            second_obs.tracer.ChromeTraceJson());
+  EXPECT_EQ(first_obs.metrics.DumpJson(/*deterministic_only=*/true),
+            second_obs.metrics.DumpJson(/*deterministic_only=*/true));
+}
+
+}  // namespace
+}  // namespace copart

@@ -1,0 +1,133 @@
+// Metrics registry semantics: histogram bucket-edge placement (inclusive
+// upper edges, overflow above the last), find-or-create identity, merge by
+// sum, and the deterministic-only dump filtering that defines the
+// byte-compared determinism surface.
+#include <array>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "obs/metrics_registry.h"
+
+namespace copart {
+namespace {
+
+constexpr std::array<double, 3> kEdges = {1.0, 2.0, 4.0};
+
+TEST(HistogramTest, ValuesLandInFirstBucketWithValueAtMostEdge) {
+  Histogram histogram({1.0, 2.0, 4.0});
+  EXPECT_EQ(histogram.BucketFor(0.5), 0u);
+  EXPECT_EQ(histogram.BucketFor(1.5), 1u);
+  EXPECT_EQ(histogram.BucketFor(3.0), 2u);
+  EXPECT_EQ(histogram.BucketFor(9.0), 3u);  // Overflow bucket.
+}
+
+TEST(HistogramTest, ExactEdgeValuesAreInclusive) {
+  // v <= edge: a value exactly on an upper edge belongs to that bucket,
+  // never the next one.
+  Histogram histogram({1.0, 2.0, 4.0});
+  EXPECT_EQ(histogram.BucketFor(1.0), 0u);
+  EXPECT_EQ(histogram.BucketFor(2.0), 1u);
+  EXPECT_EQ(histogram.BucketFor(4.0), 2u);
+  // The first value past the last edge overflows.
+  EXPECT_EQ(histogram.BucketFor(4.0000001), 3u);
+}
+
+TEST(HistogramTest, ObserveCountsSumAndOverflow) {
+  Histogram histogram({1.0, 2.0, 4.0});
+  for (double v : {0.5, 1.0, 1.5, 4.0, 100.0, 200.0}) {
+    histogram.Observe(v);
+  }
+  EXPECT_EQ(histogram.bucket(0), 2u);  // 0.5, 1.0
+  EXPECT_EQ(histogram.bucket(1), 1u);  // 1.5
+  EXPECT_EQ(histogram.bucket(2), 1u);  // 4.0
+  EXPECT_EQ(histogram.overflow(), 2u);  // 100, 200
+  EXPECT_EQ(histogram.count(), 6u);
+  EXPECT_DOUBLE_EQ(histogram.sum(), 307.0);
+}
+
+TEST(MetricsRegistryTest, GetIsFindOrCreate) {
+  MetricsRegistry registry;
+  Counter* counter = registry.GetCounter("copart.test.counter");
+  counter->Increment(3);
+  // Same name -> same object; the value persists.
+  EXPECT_EQ(registry.GetCounter("copart.test.counter"), counter);
+  EXPECT_EQ(registry.GetCounter("copart.test.counter")->value(), 3u);
+
+  Gauge* gauge = registry.GetGauge("copart.test.gauge");
+  gauge->Set(2.5);
+  EXPECT_EQ(registry.GetGauge("copart.test.gauge"), gauge);
+
+  Histogram* histogram = registry.GetHistogram("copart.test.histo", kEdges);
+  EXPECT_EQ(registry.GetHistogram("copart.test.histo", kEdges), histogram);
+  EXPECT_EQ(registry.size(), 3u);
+}
+
+TEST(MetricsRegistryTest, MergeSumsCountersGaugesAndBuckets) {
+  MetricsRegistry a, b;
+  a.GetCounter("shared.counter")->Increment(2);
+  b.GetCounter("shared.counter")->Increment(5);
+  b.GetCounter("only.in.b")->Increment(7);
+  a.GetGauge("shared.gauge")->Set(1.5);
+  b.GetGauge("shared.gauge")->Set(2.0);
+  a.GetHistogram("shared.histo", kEdges)->Observe(0.5);
+  b.GetHistogram("shared.histo", kEdges)->Observe(0.5);
+  b.GetHistogram("shared.histo", kEdges)->Observe(100.0);
+
+  a.Merge(b);
+  EXPECT_EQ(a.GetCounter("shared.counter")->value(), 7u);
+  // Metrics absent in the destination are created by the merge.
+  EXPECT_EQ(a.GetCounter("only.in.b")->value(), 7u);
+  // Gauges merge by sum (per-cell timings become sweep totals).
+  EXPECT_DOUBLE_EQ(a.GetGauge("shared.gauge")->value(), 3.5);
+  Histogram* merged = a.GetHistogram("shared.histo", kEdges);
+  EXPECT_EQ(merged->bucket(0), 2u);
+  EXPECT_EQ(merged->overflow(), 1u);
+  EXPECT_EQ(merged->count(), 3u);
+}
+
+TEST(MetricsRegistryTest, MergeIsOrderInsensitiveOnDisjointSets) {
+  MetricsRegistry left, right, a, b;
+  a.GetCounter("x")->Increment(1);
+  b.GetCounter("y")->Increment(2);
+  left.Merge(a);
+  left.Merge(b);
+  right.Merge(b);
+  right.Merge(a);
+  // The dump sorts by name, so disjoint merges in either order dump
+  // identically — the property the chaos suite's serial reduction relies on.
+  EXPECT_EQ(left.DumpJson(), right.DumpJson());
+}
+
+TEST(MetricsRegistryTest, DeterministicOnlyDumpExcludesHostMetrics) {
+  MetricsRegistry registry;
+  registry.GetCounter("det.counter")->Increment(1);
+  registry.GetGauge("host.wall_sec", /*deterministic=*/false)->Set(123.4);
+  registry.GetHistogram("det.histo", kEdges)->Observe(1.0);
+
+  const std::string full = registry.DumpJson(/*deterministic_only=*/false);
+  EXPECT_NE(full.find("host.wall_sec"), std::string::npos);
+  const std::string det = registry.DumpJson(/*deterministic_only=*/true);
+  EXPECT_EQ(det.find("host.wall_sec"), std::string::npos);
+  EXPECT_NE(det.find("det.counter"), std::string::npos);
+  EXPECT_NE(det.find("det.histo"), std::string::npos);
+
+  const std::string text = registry.DumpText(/*deterministic_only=*/true);
+  EXPECT_EQ(text.find("host.wall_sec"), std::string::npos);
+  EXPECT_NE(text.find("det.counter"), std::string::npos);
+}
+
+TEST(MetricsRegistryTest, DumpTextListsSortedNameValueLines) {
+  MetricsRegistry registry;
+  registry.GetCounter("b.counter")->Increment(2);
+  registry.GetCounter("a.counter")->Increment(1);
+  const std::string text = registry.DumpText();
+  const size_t a_pos = text.find("a.counter");
+  const size_t b_pos = text.find("b.counter");
+  ASSERT_NE(a_pos, std::string::npos);
+  ASSERT_NE(b_pos, std::string::npos);
+  EXPECT_LT(a_pos, b_pos);
+}
+
+}  // namespace
+}  // namespace copart

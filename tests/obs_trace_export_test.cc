@@ -1,0 +1,166 @@
+// Chrome-trace and audit-log export edge cases: unwritable output paths
+// must surface as UnavailableError (never a crash or silent success), an
+// empty trace must still be a well-formed document, and ring overflow must
+// leave an explicit trace_overflow marker rather than silent truncation.
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/status.h"
+#include "obs/audit_log.h"
+#include "obs/tracer.h"
+
+namespace copart {
+namespace {
+
+// Minimal structural JSON check: brace/bracket balance outside strings and
+// legal string escapes. Enough to catch every malformed-emitter bug this
+// suite guards against without a JSON dependency.
+bool StructurallyValidJson(const std::string& text) {
+  std::vector<char> stack;
+  bool in_string = false;
+  for (size_t i = 0; i < text.size(); ++i) {
+    const char c = text[i];
+    if (in_string) {
+      if (c == '\\') {
+        ++i;  // Skip the escaped character.
+      } else if (c == '"') {
+        in_string = false;
+      }
+      continue;
+    }
+    switch (c) {
+      case '"': in_string = true; break;
+      case '{': stack.push_back('}'); break;
+      case '[': stack.push_back(']'); break;
+      case '}':
+      case ']':
+        if (stack.empty() || stack.back() != c) {
+          return false;
+        }
+        stack.pop_back();
+        break;
+      default: break;
+    }
+  }
+  return !in_string && stack.empty();
+}
+
+TEST(TraceExportTest, UnwritablePathReturnsUnavailable) {
+  Tracer tracer;
+  TraceTick tick(&tracer, 0);
+  tick.Instant("lonely");
+  const Status status =
+      tracer.ExportChromeTrace("/nonexistent-dir/subdir/trace.json");
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kUnavailable) << status.ToString();
+}
+
+TEST(TraceExportTest, ZeroEventsStillProducesValidDocument) {
+  Tracer tracer;
+  const std::string json = tracer.ChromeTraceJson();
+  EXPECT_TRUE(StructurallyValidJson(json)) << json;
+  // The document keeps its envelope and process metadata even when empty.
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"process_name\""), std::string::npos);
+  EXPECT_EQ(json.find("trace_overflow"), std::string::npos);
+}
+
+TEST(TraceExportTest, RingOverflowEmitsExplicitMarker) {
+  TracerOptions options;
+  options.ring_capacity = 4;
+  Tracer tracer(options);
+  // Eight instants with no intervening drain: four publish, four drop.
+  TraceTick tick(&tracer, 10);
+  for (int i = 0; i < 8; ++i) {
+    tick.Instant("burst");
+  }
+  EXPECT_EQ(tracer.dropped_events(), 4u);
+  const std::string json = tracer.ChromeTraceJson();
+  EXPECT_TRUE(StructurallyValidJson(json)) << json;
+  EXPECT_NE(json.find("\"trace_overflow\""), std::string::npos);
+  EXPECT_NE(json.find("\"dropped\": 4"), std::string::npos);
+  EXPECT_EQ(tracer.event_count(), 4u);
+}
+
+TEST(TraceExportTest, DisabledTracerPublishesNothing) {
+  Tracer tracer;
+  tracer.set_enabled(false);
+  TraceTick tick(&tracer, 0);
+  // The tick binds to a disabled tracer as inactive: spans, instants, and
+  // counters all no-op, and none of them count as drops.
+  EXPECT_FALSE(tick.active());
+  { auto span = tick.MakeSpan("ignored"); }
+  tick.Instant("ignored");
+  tick.CounterSample("ignored", 7);
+  EXPECT_EQ(tracer.event_count(), 0u);
+  EXPECT_EQ(tracer.dropped_events(), 0u);
+}
+
+TEST(TraceExportTest, SpansAdvanceTheVirtualCursorSequentially) {
+  Tracer tracer;
+  TraceTick tick(&tracer, 1000);
+  {
+    auto span = tick.MakeSpan("first");
+    span.set_cost(3);
+  }
+  {
+    auto span = tick.MakeSpan("second");  // Default cost: 1 unit.
+  }
+  tick.Instant("after");
+  const std::string json = tracer.ChromeTraceJson();
+  EXPECT_TRUE(StructurallyValidJson(json)) << json;
+  // first: [1000, 1003), second: [1003, 1004), instant at 1004.
+  EXPECT_NE(json.find("\"name\": \"first\", \"cat\": \"copart\", "
+                      "\"ph\": \"X\", \"ts\": 1000, \"dur\": 3"),
+            std::string::npos)
+      << json;
+  EXPECT_NE(json.find("\"name\": \"second\", \"cat\": \"copart\", "
+                      "\"ph\": \"X\", \"ts\": 1003, \"dur\": 1"),
+            std::string::npos)
+      << json;
+  EXPECT_NE(json.find("\"name\": \"after\", \"cat\": \"copart\", "
+                      "\"ph\": \"i\", \"ts\": 1004"),
+            std::string::npos)
+      << json;
+}
+
+TEST(AuditExportTest, UnwritablePathReturnsError) {
+  AuditLog audit;
+  AuditRecord record;
+  record.trigger = "test";
+  audit.Append(record);
+  const Status status =
+      audit.ExportJson("/nonexistent-dir/subdir/audit.json");
+  EXPECT_FALSE(status.ok());
+}
+
+TEST(AuditExportTest, OverflowAppendsMarkerLine) {
+  AuditLog audit(/*capacity=*/2);
+  AuditRecord record;
+  for (int i = 0; i < 5; ++i) {
+    record.epoch = static_cast<uint64_t>(i);
+    audit.Append(record);
+  }
+  EXPECT_EQ(audit.size(), 2u);
+  EXPECT_EQ(audit.dropped(), 3u);
+  const std::string json = audit.ToJson();
+  EXPECT_TRUE(StructurallyValidJson(json)) << json;
+  EXPECT_NE(json.find("\"audit_overflow\": 3"), std::string::npos) << json;
+}
+
+TEST(AuditExportTest, DisabledAppendsAreNotCountedAsDrops) {
+  AuditLog audit;
+  audit.set_enabled(false);
+  audit.Append(AuditRecord{});
+  EXPECT_EQ(audit.size(), 0u);
+  EXPECT_EQ(audit.dropped(), 0u);
+  audit.set_enabled(true);
+  audit.Append(AuditRecord{});
+  EXPECT_EQ(audit.size(), 1u);
+}
+
+}  // namespace
+}  // namespace copart

@@ -1,0 +1,113 @@
+// SPSC trace ring: wraparound across many push/drain cycles, the
+// drop-new-on-full policy with exact drop counting, and the publication
+// sequence numbers the exporter uses as a total-order tie-break.
+#include <cstdint>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "obs/trace_ring.h"
+
+namespace copart {
+namespace {
+
+TraceEvent Named(const char* name, uint64_t ts) {
+  TraceEvent event;
+  event.name = name;
+  event.ts_us = ts;
+  return event;
+}
+
+TEST(TraceRingTest, PushThenDrainRoundTrips) {
+  TraceRing ring(8);
+  EXPECT_EQ(ring.size(), 0u);
+  ASSERT_TRUE(ring.Push(Named("a", 1)));
+  ASSERT_TRUE(ring.Push(Named("b", 2)));
+  EXPECT_EQ(ring.size(), 2u);
+
+  std::vector<TraceEvent> out;
+  EXPECT_EQ(ring.Drain(out), 2u);
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_STREQ(out[0].name, "a");
+  EXPECT_STREQ(out[1].name, "b");
+  EXPECT_EQ(ring.size(), 0u);
+  EXPECT_EQ(ring.dropped(), 0u);
+}
+
+TEST(TraceRingTest, DrainAppendsToExistingOutput) {
+  TraceRing ring(4);
+  ASSERT_TRUE(ring.Push(Named("x", 1)));
+  std::vector<TraceEvent> out = {Named("sentinel", 0)};
+  EXPECT_EQ(ring.Drain(out), 1u);
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_STREQ(out[0].name, "sentinel");
+  EXPECT_STREQ(out[1].name, "x");
+}
+
+TEST(TraceRingTest, FullRingDropsNewEventsAndCountsThem) {
+  TraceRing ring(4);
+  for (uint64_t i = 0; i < 4; ++i) {
+    ASSERT_TRUE(ring.Push(Named("kept", i)));
+  }
+  // The ring is full: the NEW events are the ones dropped (never the old
+  // ones — overwriting would corrupt span ordering silently).
+  EXPECT_FALSE(ring.Push(Named("dropped", 100)));
+  EXPECT_FALSE(ring.Push(Named("dropped", 101)));
+  EXPECT_EQ(ring.dropped(), 2u);
+  EXPECT_EQ(ring.size(), 4u);
+
+  std::vector<TraceEvent> out;
+  EXPECT_EQ(ring.Drain(out), 4u);
+  for (const TraceEvent& event : out) {
+    EXPECT_STREQ(event.name, "kept");
+  }
+  // Draining frees capacity again; drop count is cumulative.
+  EXPECT_TRUE(ring.Push(Named("after", 200)));
+  EXPECT_EQ(ring.dropped(), 2u);
+}
+
+TEST(TraceRingTest, WrapsAroundAcrossManyDrainCycles) {
+  TraceRing ring(8);
+  uint64_t next_ts = 0;
+  std::vector<TraceEvent> out;
+  // 100 cycles of 5 pushes through a capacity-8 ring crosses the wrap
+  // boundary at every alignment of the free-running cursors.
+  for (int cycle = 0; cycle < 100; ++cycle) {
+    for (int i = 0; i < 5; ++i) {
+      ASSERT_TRUE(ring.Push(Named("e", next_ts++)));
+    }
+    EXPECT_EQ(ring.Drain(out), 5u);
+  }
+  ASSERT_EQ(out.size(), 500u);
+  for (size_t i = 0; i < out.size(); ++i) {
+    EXPECT_EQ(out[i].ts_us, i) << "event " << i << " out of order";
+  }
+  EXPECT_EQ(ring.dropped(), 0u);
+  EXPECT_EQ(ring.published(), 500u);
+}
+
+TEST(TraceRingTest, AssignsMonotonicSequenceNumbers) {
+  TraceRing ring(4);
+  std::vector<TraceEvent> out;
+  for (uint64_t i = 0; i < 10; ++i) {
+    ASSERT_TRUE(ring.Push(Named("e", 0)));
+    ASSERT_EQ(ring.Drain(out), 1u);
+  }
+  for (size_t i = 0; i < out.size(); ++i) {
+    EXPECT_EQ(out[i].seq, i);
+  }
+  // Dropped events must not consume sequence numbers: the seq stream stays
+  // dense over the events that actually published.
+  for (uint64_t i = 0; i < 4; ++i) {
+    ASSERT_TRUE(ring.Push(Named("e", 0)));
+  }
+  EXPECT_FALSE(ring.Push(Named("e", 0)));
+  out.clear();
+  ring.Drain(out);
+  ASSERT_EQ(out.size(), 4u);
+  EXPECT_EQ(out.back().seq, 13u);
+  EXPECT_EQ(ring.published(), 14u);
+}
+
+}  // namespace
+}  // namespace copart

@@ -9,6 +9,10 @@
 //   casestudy [--eq]                 the §6.3 LC + batch scenario
 //   chaos [schedules] [base_seed]    randomized fault schedules vs. the
 //                                    hardened controller (DESIGN.md §7)
+//   trace <mix|casestudy> [count] [s]  run CoPart (or the casestudy) with
+//                                    observability on and export
+//                                    <prefix>.trace.json (Chrome trace),
+//                                    .audit.json, .metrics.json
 //
 // Mixes: H-LLC H-BW H-Both M-LLC M-BW M-Both IS
 // Policies: EQ ST CAT-only MBA-only CoPart UCP NoPart
@@ -26,6 +30,7 @@
 #include "harness/static_oracle.h"
 #include "harness/table_printer.h"
 #include "machine/simulated_machine.h"
+#include "obs/obs.h"
 #include "workload/workload.h"
 
 namespace copart {
@@ -42,6 +47,7 @@ int Usage() {
       "  oracle <mix> [app_count]\n"
       "  casestudy [--eq]\n"
       "  chaos [schedules] [base_seed] | chaos --seed <schedule_seed>\n"
+      "  trace <mix|casestudy> [app_count] [duration_sec] [--out prefix]\n"
       "mixes: H-LLC H-BW H-Both M-LLC M-BW M-Both IS\n"
       "policies: EQ ST CAT-only MBA-only CoPart UCP NoPart\n"
       "--threads N: fan sweeps (characterize, oracle) out over N worker\n"
@@ -279,6 +285,53 @@ int CmdChaosReplay(uint64_t seed) {
   return result.passed ? 0 : 1;
 }
 
+// Runs a CoPart experiment with the full observability bundle attached and
+// exports the three artifacts next to `prefix`. The controller trace, audit
+// log, and the deterministic section of the metrics dump depend only on the
+// mix and machine seed — see DESIGN.md §8.
+int CmdTrace(const std::string& target, size_t count, double duration,
+             const std::string& prefix) {
+  Observability obs;
+  if (target == "casestudy") {
+    // The §6.3 case study with CoPart managing the batch slice.
+    CaseStudyConfig config;
+    config.obs = &obs;
+    const CaseStudyResult result = RunCaseStudy(config);
+    std::printf("case study (CoPart batch manager), observability on:\n");
+    std::printf("mean batch unfairness: %.4f   re-adaptations: %llu\n",
+                result.mean_batch_unfairness,
+                static_cast<unsigned long long>(result.copart_adaptations));
+  } else {
+    Result<MixFamily> family = FindMix(target);
+    if (!family.ok()) {
+      std::fprintf(stderr, "%s\n", family.status().ToString().c_str());
+      return 1;
+    }
+    ExperimentConfig config;
+    config.duration_sec = duration;
+    config.obs = &obs;
+    const WorkloadMix mix = MakeMix(*family, count);
+    std::printf("CoPart on %s (%zu apps, %.0fs), observability on:\n",
+                mix.name.c_str(), mix.apps.size(), duration);
+    PrintExperiment(RunExperiment(mix, CoPartFactory(), config));
+  }
+  const Status status = obs.ExportAll(prefix);
+  if (!status.ok()) {
+    std::fprintf(stderr, "%s\n", status.ToString().c_str());
+    return 1;
+  }
+  std::printf(
+      "trace: %zu events (%llu dropped) -> %s.trace.json\n"
+      "audit: %zu records (%llu dropped) -> %s.audit.json\n"
+      "metrics -> %s.metrics.json\n",
+      obs.tracer.event_count(),
+      static_cast<unsigned long long>(obs.tracer.dropped_events()),
+      prefix.c_str(), obs.audit.size(),
+      static_cast<unsigned long long>(obs.audit.dropped()), prefix.c_str(),
+      prefix.c_str());
+  return 0;
+}
+
 int Main(int argc, char** argv) {
   const ParallelConfig parallel = ParseThreadsFlag(argc, argv);
   if (argc < 2) {
@@ -320,6 +373,24 @@ int Main(int argc, char** argv) {
       return 2;
     }
     return CmdChaos(schedules, base_seed, parallel);
+  }
+  if (command == "trace" && argc >= 3) {
+    std::string prefix = "copart_trace";
+    size_t count = 4;
+    double duration = 50.0;
+    int positional = 0;
+    for (int i = 3; i < argc; ++i) {
+      if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+        prefix = argv[++i];
+      } else if (positional == 0) {
+        count = std::strtoul(argv[i], nullptr, 10);
+        ++positional;
+      } else if (positional == 1) {
+        duration = std::strtod(argv[i], nullptr);
+        ++positional;
+      }
+    }
+    return CmdTrace(argv[2], count, duration, prefix);
   }
   return Usage();
 }

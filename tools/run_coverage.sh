@@ -1,0 +1,119 @@
+#!/usr/bin/env bash
+# Line-coverage gate for the controller and observability layers.
+#
+# Builds with gcc's --coverage instrumentation, runs the full ctest suite,
+# extracts line coverage for src/core and src/obs with `gcov --json-format`
+# (parsed by the embedded python3 — no gcovr/lcov dependency), and fails if
+# either directory's coverage drops below the committed baseline
+# (tools/coverage_baseline.txt) by more than SLACK_PCT.
+#
+# Usage:
+#   tools/run_coverage.sh [build-dir]          # gate against the baseline
+#   COPART_COVERAGE_UPDATE=1 tools/run_coverage.sh [build-dir]
+#                                              # refresh the baseline
+#
+# The gate is per-directory: raising coverage elsewhere cannot mask a drop
+# in the controller. New code is expected to keep the recorded floor; after
+# an intended change (e.g. adding hard-to-reach defensive branches), refresh
+# the baseline and review the diff like any other code change.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${1:-build-cov}"
+BASELINE="tools/coverage_baseline.txt"
+SLACK_PCT=0.5   # Absolute percentage points of allowed noise.
+
+cmake -B "$BUILD_DIR" -S . \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DCMAKE_CXX_FLAGS="--coverage" \
+  -DCMAKE_EXE_LINKER_FLAGS="--coverage"
+cmake --build "$BUILD_DIR" -j "$(nproc)"
+ctest --test-dir "$BUILD_DIR" --output-on-failure
+
+# Run gcov over every object that carries profile data for the gated
+# directories, collecting the gzipped JSON reports in a scratch dir.
+GCOV_OUT="$(mktemp -d /tmp/copart_gcov.XXXXXX)"
+trap 'rm -rf "$GCOV_OUT"' EXIT
+find "$BUILD_DIR/src/core" "$BUILD_DIR/src/obs" -name '*.gcda' |
+  while IFS= read -r gcda; do
+    (cd "$GCOV_OUT" && gcov --json-format "$OLDPWD/$gcda" >/dev/null)
+  done
+
+REPORT="$(python3 - "$GCOV_OUT" <<'EOF'
+# Aggregates gcov's JSON reports into per-directory line coverage.
+# A line is covered if any report saw a non-zero count (the same .cc is
+# profiled once per linked test binary).
+import glob, gzip, json, os, sys
+
+gcov_dir = sys.argv[1]
+gated = {"src/core": {}, "src/obs": {}}  # dir -> file -> line -> covered
+
+for path in glob.glob(os.path.join(gcov_dir, "*.gcov.json.gz")):
+    with gzip.open(path, "rt") as handle:
+        report = json.load(handle)
+    for entry in report.get("files", []):
+        name = entry["file"]
+        for prefix in gated:
+            # gcov reports absolute paths; match on the repo-relative part.
+            marker = "/" + prefix + "/"
+            if marker not in name and not name.startswith(prefix + "/"):
+                continue
+            lines = gated[prefix].setdefault(name, {})
+            for line in entry.get("lines", []):
+                number = line["line_number"]
+                lines[number] = lines.get(number, False) or line["count"] > 0
+
+for prefix in sorted(gated):
+    total = sum(len(lines) for lines in gated[prefix].values())
+    covered = sum(sum(flags.values()) for flags in gated[prefix].values())
+    if total == 0:
+        print(f"{prefix} ERROR-no-data")
+    else:
+        print(f"{prefix} {100.0 * covered / total:.2f}")
+EOF
+)"
+
+echo "run_coverage: current line coverage"
+echo "$REPORT" | sed 's/^/  /'
+if echo "$REPORT" | grep -q "ERROR-no-data"; then
+  echo "run_coverage: FAIL — no profile data found (did ctest run?)" >&2
+  exit 1
+fi
+
+if [[ "${COPART_COVERAGE_UPDATE:-}" == 1 ]]; then
+  echo "$REPORT" > "$BASELINE"
+  echo "run_coverage: baseline refreshed at $BASELINE — review the diff"
+  exit 0
+fi
+
+if [[ ! -f "$BASELINE" ]]; then
+  echo "run_coverage: no baseline at $BASELINE;" \
+    "run with COPART_COVERAGE_UPDATE=1 to record one" >&2
+  exit 1
+fi
+
+fail=0
+while read -r dir base; do
+  now="$(echo "$REPORT" | awk -v d="$dir" '$1 == d { print $2 }')"
+  if [[ -z "$now" ]]; then
+    echo "run_coverage: FAIL $dir missing from current report"
+    fail=1
+    continue
+  fi
+  verdict="$(awk -v n="$now" -v b="$base" -v s="$SLACK_PCT" \
+    'BEGIN { print (n < b - s) }')"
+  if [[ "$verdict" == 1 ]]; then
+    echo "run_coverage: FAIL $dir line coverage ${now}% <" \
+      "baseline ${base}% - ${SLACK_PCT}"
+    fail=1
+  else
+    echo "run_coverage: ok   $dir line coverage ${now}% (baseline ${base}%)"
+  fi
+done < "$BASELINE"
+
+if [[ "$fail" != 0 ]]; then
+  echo "run_coverage: COVERAGE REGRESSION — add tests or refresh the" \
+    "baseline with COPART_COVERAGE_UPDATE=1 and justify the drop"
+  exit 1
+fi
+echo "run_coverage: src/core and src/obs hold the baseline"

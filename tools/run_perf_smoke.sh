@@ -6,6 +6,11 @@
 # points armed) — and BOTH runs are held to the same gate, pinning the
 # fault-injection substrate's compiled-in-but-disabled cost at ~zero.
 #
+# The bench also measures the managed control loop with an observability
+# bundle attached but disabled; the reported obs_disabled_overhead_pct must
+# stay under OBS_OVERHEAD_PCT (2%) — disabled instrumentation is one branch
+# per site and must never grow a measurable cost (DESIGN.md §8).
+#
 # Usage: tools/run_perf_smoke.sh [build-dir]
 #
 # The threshold is deliberately loose — CI machines are noisy — so a failure
@@ -19,6 +24,7 @@ cd "$(dirname "$0")/.."
 BUILD_DIR="${1:-build-perf}"
 BASELINE="BENCH_sim_throughput.json"
 REGRESSION_PCT=20
+OBS_OVERHEAD_PCT=2
 
 if [[ ! -f "$BASELINE" ]]; then
   echo "run_perf_smoke: no committed baseline at $BASELINE" >&2
@@ -76,6 +82,30 @@ check_run() {  # check_run FILE LABEL — gate every baseline point in FILE
 
 check_run "$FRESH" "plain"
 check_run "$FRESH_INJ" "injector-disarmed"
+
+check_obs_overhead() {  # check_obs_overhead FILE LABEL
+  local file="$1" label="$2" pct
+  pct="$(sed -n 's/.*"obs_disabled_overhead_pct": \(-\{0,1\}[0-9.]*\).*/\1/p' \
+    "$file")"
+  if [[ -z "$pct" ]]; then
+    echo "run_perf_smoke: FAIL [$label] obs_disabled_overhead_pct" \
+      "missing from fresh run"
+    fail=1
+    return
+  fi
+  local verdict
+  verdict="$(awk -v p="$pct" -v max="$OBS_OVERHEAD_PCT" \
+    'BEGIN { print (p >= max) }')"
+  if [[ "$verdict" == 1 ]]; then
+    echo "run_perf_smoke: FAIL [$label] disabled-observability overhead" \
+      "${pct}% >= ${OBS_OVERHEAD_PCT}%"
+    fail=1
+  else
+    echo "run_perf_smoke: ok   [$label] disabled-observability overhead" \
+      "${pct}% < ${OBS_OVERHEAD_PCT}%"
+  fi
+}
+check_obs_overhead "$FRESH" "plain"
 
 if [[ "$fail" != 0 ]]; then
   echo "run_perf_smoke: REGRESSION DETECTED (>${REGRESSION_PCT}% below baseline)"

@@ -26,6 +26,14 @@ TESTS=(
   harness_heatmap_test
   harness_replication_test
   harness_static_oracle_test
+  # Observability: the SPSC trace ring and the tracer's per-thread ring
+  # registration are lock-free code on the sweep workers' hot path, and the
+  # chaos-audit suite drives them through the full hardened control loop.
+  obs_audit_golden_test
+  obs_chaos_audit_test
+  obs_metrics_registry_test
+  obs_trace_export_test
+  obs_trace_ring_test
 )
 
 cmake --build "$BUILD_DIR" -j "$(nproc)" --target "${TESTS[@]}"
