@@ -4,6 +4,7 @@
 
 #include "common/logging.h"
 #include "harness/whatif.h"
+#include "obs/metrics_registry.h"
 #include "metrics/fairness.h"
 
 namespace copart {
@@ -198,12 +199,15 @@ Result<Placement> Cluster::Submit(const WorkloadDescriptor& workload,
   CHECK(!nodes_.empty()) << "cluster has no nodes";
   ClusterNode* node = PickNode(workload, cores, policy);
   if (node == nullptr) {
+    ++placements_rejected_;
     return ResourceExhaustedError("no node can host " + workload.name);
   }
   Result<AppId> app = node->Admit(workload, cores);
   if (!app.ok()) {
+    ++placements_rejected_;
     return app.status();
   }
+  ++placement_counts_[static_cast<size_t>(policy)];
   return Placement{node, *app};
 }
 
@@ -226,6 +230,36 @@ double Cluster::MeanNodeUnfairness() const {
     }
   }
   return counted > 0 ? sum / static_cast<double>(counted) : 0.0;
+}
+
+uint64_t Cluster::placements(PlacementPolicy policy) const {
+  return placement_counts_[static_cast<size_t>(policy)];
+}
+
+void Cluster::ExportMetrics(MetricsRegistry* metrics) const {
+  if (metrics == nullptr) {
+    return;
+  }
+  for (const std::unique_ptr<ClusterNode>& node : nodes_) {
+    const std::string prefix = "copart.cluster." + node->name();
+    metrics->GetGauge(prefix + ".unfairness")->Set(node->CurrentUnfairness());
+    metrics->GetGauge(prefix + ".jobs")
+        ->Set(static_cast<double>(node->NumJobs()));
+    metrics->GetGauge(prefix + ".free_cores")
+        ->Set(static_cast<double>(node->FreeCores()));
+  }
+  metrics->GetGauge("copart.cluster.mean_unfairness")
+      ->Set(MeanNodeUnfairness());
+  for (PlacementPolicy policy :
+       {PlacementPolicy::kFirstFit, PlacementPolicy::kLeastLoaded,
+        PlacementPolicy::kWhatIfBest}) {
+    metrics
+        ->GetCounter(std::string("copart.cluster.placements.") +
+                     PlacementPolicyName(policy))
+        ->Increment(placements(policy));
+  }
+  metrics->GetCounter("copart.cluster.placements.rejected")
+      ->Increment(placements_rejected_);
 }
 
 std::vector<double> Cluster::AllSlowdowns() const {

@@ -35,6 +35,8 @@
 
 namespace copart {
 
+class MetricsRegistry;
+
 class ClusterNode {
  public:
   // manage = false runs the node WITHOUT a partitioning controller (all
@@ -123,6 +125,19 @@ class Cluster {
   // Fan-out accounting for the most recent what-if placement decision.
   const SweepStats& last_whatif_stats() const { return whatif_stats_; }
 
+  // Dumps fleet health into `metrics` (null = no-op), once per run like
+  // ResourceManager::ExportMetrics: per-node gauges
+  // copart.cluster.<node>.{unfairness,jobs,free_cores} and cluster-wide
+  // placement counters copart.cluster.placements.<policy> plus
+  // copart.cluster.placements.rejected — so `copartctl trace cluster`
+  // covers multi-node runs with the same artifact surface as single-node
+  // ones.
+  void ExportMetrics(MetricsRegistry* metrics) const;
+
+  // Successful placements per policy and rejected submissions so far.
+  uint64_t placements(PlacementPolicy policy) const;
+  uint64_t placements_rejected() const { return placements_rejected_; }
+
  private:
   ClusterNode* PickNode(const WorkloadDescriptor& workload, uint32_t cores,
                         PlacementPolicy policy);
@@ -130,6 +145,8 @@ class Cluster {
   std::vector<std::unique_ptr<ClusterNode>> nodes_;
   ParallelConfig parallel_;
   SweepStats whatif_stats_;
+  uint64_t placement_counts_[3] = {0, 0, 0};
+  uint64_t placements_rejected_ = 0;
 };
 
 }  // namespace copart

@@ -40,6 +40,7 @@ ResourceManager::ResourceManager(Resctrl* resctrl, PerfMonitor* monitor,
       .num_ways = resctrl_->machine().config().llc.num_ways,
       .max_mba_percent = MbaLevel::kMax,
   };
+  base_pool_ = pool_;
   last_seen_generation_ = resctrl_->machine().app_generation();
 }
 
@@ -138,9 +139,230 @@ void ResourceManager::SetResourcePool(const ResourcePool& pool) {
   CHECK_LE(pool.first_way + pool.num_ways,
            resctrl_->machine().config().llc.num_ways);
   CHECK_GE(pool.max_mba_percent, MbaLevel::kMin);
+  base_pool_ = pool;
+  if (params_.slo.enabled && !lc_apps_.empty()) {
+    if (phase_ == Phase::kDegraded) {
+      // Keep the batch slice clear of the currently actuated LC slices;
+      // the governor re-plans properly once the substrate recovers.
+      const uint32_t lc_total = lc_total_ways();
+      pool_ = ResourcePool{
+          .first_way = pool.first_way + lc_total,
+          .num_ways = pool.num_ways > lc_total ? pool.num_ways - lc_total : 1,
+          .max_mba_percent = pool.max_mba_percent};
+      return;
+    }
+    audit_trigger_ = "slo_pool_change";
+    (void)EvaluateSlo(/*force=*/true);
+    if (!apps_.empty() && phase_ != Phase::kDegraded) {
+      StartAdaptation();
+    }
+    return;
+  }
   pool_ = pool;
   if (!apps_.empty() && phase_ != Phase::kDegraded) {
     StartAdaptation();
+  }
+}
+
+// --- SLO-aware serving mode ---
+
+size_t ResourceManager::LcIndex(AppId id) const {
+  for (size_t i = 0; i < lc_apps_.size(); ++i) {
+    if (lc_apps_[i].id == id) {
+      return i;
+    }
+  }
+  LOG_FATAL << "app not latency-critical: " << id.value();
+  __builtin_unreachable();
+}
+
+uint32_t ResourceManager::LcWays(AppId app) const {
+  return lc_apps_[LcIndex(app)].ways;
+}
+
+double ResourceManager::LcPredictedP95Ms(AppId app) const {
+  return lc_apps_[LcIndex(app)].predicted_p95_ms;
+}
+
+uint32_t ResourceManager::lc_total_ways() const {
+  uint32_t total = 0;
+  for (const LcManaged& lc : lc_apps_) {
+    total += lc.ways;
+  }
+  return total;
+}
+
+void ResourceManager::SetLcOfferedLoad(AppId app, double rps) {
+  lc_apps_[LcIndex(app)].offered_rps = std::max(rps, 0.0);
+}
+
+Status ResourceManager::SetLatencyCriticalApp(AppId app,
+                                              const LcAppModel& model) {
+  if (!params_.slo.enabled) {
+    return FailedPreconditionError("SLO mode disabled (params.slo.enabled)");
+  }
+  if (!resctrl_->machine().AppExists(app)) {
+    return NotFoundError("no such app");
+  }
+  for (const LcManaged& lc : lc_apps_) {
+    if (lc.id == app) {
+      return AlreadyExistsError("app already latency-critical");
+    }
+  }
+  for (const ManagedApp& managed : apps_) {
+    if (managed.id == app) {
+      return AlreadyExistsError("app is batch-managed");
+    }
+  }
+  // Admission: every LC floor plus one way per batch app (at least one,
+  // so batch admission stays possible) must fit in the base pool.
+  const uint32_t floors = static_cast<uint32_t>(lc_apps_.size() + 1) *
+                          params_.slo.lc_way_floor;
+  const uint32_t batch_reserve =
+      std::max<uint32_t>(static_cast<uint32_t>(apps_.size()), 1);
+  if (floors + batch_reserve > base_pool_.num_ways) {
+    return ResourceExhaustedError("resource pool too narrow for LC floors");
+  }
+  Result<ResctrlGroupId> group =
+      resctrl_->CreateGroup("copart_lc_" + std::to_string(app.value()));
+  if (!group.ok()) {
+    return group.status();
+  }
+  Status assigned = resctrl_->AssignApp(*group, app);
+  if (!assigned.ok()) {
+    Status removed = resctrl_->RemoveGroup(*group);
+    if (!removed.ok()) {
+      zombie_groups_.push_back(*group);
+    }
+    return assigned;
+  }
+  lc_apps_.push_back(
+      LcManaged{app, *group, SloGovernor(params_.slo, model)});
+  lc_apps_.back().offered_rps = std::max(model.initial_offered_rps, 0.0);
+  audit_trigger_ = "slo_admit";
+  const bool pool_changed = EvaluateSlo(/*force=*/true);
+  if (pool_changed && !apps_.empty() && phase_ != Phase::kDegraded) {
+    StartAdaptation();
+  }
+  return Status::Ok();
+}
+
+bool ResourceManager::EvaluateSlo(bool force) {
+  const ResourcePool old_pool = pool_;
+  if (lc_apps_.empty()) {
+    pool_ = base_pool_;
+    return pool_.first_way != old_pool.first_way ||
+           pool_.num_ways != old_pool.num_ways ||
+           pool_.max_mba_percent != old_pool.max_mba_percent;
+  }
+
+  // Plan every LC slice, carving from the bottom of the base pool in
+  // registration order. Later LC apps' floors and one way per batch app
+  // stay reserved, so the batch pool can never be squeezed to nothing.
+  const uint32_t batch_reserve =
+      std::max<uint32_t>(static_cast<uint32_t>(apps_.size()), 1);
+  std::vector<SloDecision> decisions(lc_apps_.size());
+  std::vector<uint32_t> firsts(lc_apps_.size());
+  uint32_t next_first = base_pool_.first_way;
+  uint32_t remaining = base_pool_.num_ways;
+  uint32_t batch_mba = base_pool_.max_mba_percent;
+  bool resize_needed = force;
+  bool any_unattainable = false;
+  for (size_t i = 0; i < lc_apps_.size(); ++i) {
+    uint32_t reserved = batch_reserve;
+    for (size_t j = i + 1; j < lc_apps_.size(); ++j) {
+      reserved += params_.slo.lc_way_floor;
+    }
+    const uint32_t max_ways = remaining > reserved ? remaining - reserved : 1;
+    decisions[i] = lc_apps_[i].governor.Plan(
+        lc_apps_[i].offered_rps, max_ways, lc_apps_[i].ways,
+        base_pool_.max_mba_percent);
+    firsts[i] = next_first;
+    next_first += decisions[i].lc_ways;
+    CHECK_GE(remaining, decisions[i].lc_ways);
+    remaining -= decisions[i].lc_ways;
+    batch_mba = std::min(batch_mba, decisions[i].batch_mba_percent);
+    if (decisions[i].lc_ways != lc_apps_[i].ways ||
+        firsts[i] != lc_apps_[i].first_way) {
+      resize_needed = true;
+    }
+    any_unattainable = any_unattainable || !decisions[i].attainable;
+  }
+  CHECK_GE(remaining, 1u);
+  batch_mba = std::max(batch_mba, MbaLevel::kMin);
+
+  if (resize_needed) {
+    ActuationPlan plan;
+    plan.entries.reserve(lc_apps_.size());
+    for (size_t i = 0; i < lc_apps_.size(); ++i) {
+      plan.entries.push_back(ActuationPlan::Entry{
+          .group = lc_apps_[i].group,
+          .mask_bits = ContiguousBits(firsts[i], decisions[i].lc_ways),
+          .mba_percent = MbaLevel::kMax,
+          .app_index = -1,
+          .app_id = static_cast<int32_t>(lc_apps_[i].id.value())});
+    }
+    if (!Actuate(plan)) {
+      // The retry machinery (or degraded mode) owns the plan now; keep the
+      // old bookkeeping so the governor re-plans from reality next tick.
+      return false;
+    }
+    ++slo_resizes_;
+  }
+  for (size_t i = 0; i < lc_apps_.size(); ++i) {
+    LcManaged& lc = lc_apps_[i];
+    if (lc.attainable != decisions[i].attainable) {
+      const char* saved_trigger = audit_trigger_;
+      audit_trigger_ = "slo_governor";
+      EmitPhaseAudit(decisions[i].attainable ? "slo_attainable"
+                                             : "slo_unattainable");
+      audit_trigger_ = saved_trigger;
+    }
+    if (resize_needed) {
+      lc.ways = decisions[i].lc_ways;
+      lc.first_way = firsts[i];
+    }
+    lc.predicted_p95_ms = decisions[i].predicted_p95_ms;
+    lc.attainable = decisions[i].attainable;
+  }
+  if (any_unattainable) {
+    ++slo_unattainable_ticks_;
+  }
+
+  pool_ = ResourcePool{.first_way = next_first,
+                       .num_ways = remaining,
+                       .max_mba_percent = batch_mba};
+  return pool_.first_way != old_pool.first_way ||
+         pool_.num_ways != old_pool.num_ways ||
+         pool_.max_mba_percent != old_pool.max_mba_percent;
+}
+
+void ResourceManager::EvaluateSloTick() {
+  audit_trigger_ = "slo_resize";
+  const bool pool_changed = EvaluateSlo(/*force=*/false);
+  if (pool_changed && !apps_.empty() && phase_ != Phase::kDegraded) {
+    StartAdaptation();
+  }
+}
+
+void ResourceManager::ReapDeadLcApps() {
+  bool removed = false;
+  for (size_t i = lc_apps_.size(); i-- > 0;) {
+    if (!resctrl_->machine().AppExists(lc_apps_[i].id)) {
+      Status status = resctrl_->RemoveGroup(lc_apps_[i].group);
+      if (!status.ok()) {
+        zombie_groups_.push_back(lc_apps_[i].group);
+      }
+      lc_apps_.erase(lc_apps_.begin() + static_cast<ptrdiff_t>(i));
+      removed = true;
+    }
+  }
+  if (removed && phase_ != Phase::kDegraded && !pending_plan_.has_value()) {
+    audit_trigger_ = "slo_reap";
+    const bool pool_changed = EvaluateSlo(/*force=*/true);
+    if (pool_changed && !apps_.empty()) {
+      StartAdaptation();
+    }
   }
 }
 
@@ -185,7 +407,9 @@ ResourceManager::ActuationPlan ResourceManager::PlanForState(
     plan.entries.push_back(ActuationPlan::Entry{
         .group = apps_[i].group,
         .mask_bits = state.WayMaskBits(i),
-        .mba_percent = state.allocation(i).mba_level.percent()});
+        .mba_percent = state.allocation(i).mba_level.percent(),
+        .app_index = static_cast<int32_t>(i),
+        .app_id = static_cast<int32_t>(apps_[i].id.value())});
   }
   return plan;
 }
@@ -222,12 +446,16 @@ ResourceManager::ActuationPlan ResourceManager::PlanForProbe() const {
       plan.entries.push_back(ActuationPlan::Entry{
           .group = apps_[i].group,
           .mask_bits = mask_bits,
-          .mba_percent = mba_percent});
+          .mba_percent = mba_percent,
+          .app_index = static_cast<int32_t>(i),
+          .app_id = static_cast<int32_t>(apps_[i].id.value())});
     } else {
       plan.entries.push_back(ActuationPlan::Entry{
           .group = apps_[i].group,
           .mask_bits = squeeze_bits,
-          .mba_percent = MbaLevel::kMin});
+          .mba_percent = MbaLevel::kMin,
+          .app_index = static_cast<int32_t>(i),
+          .app_id = static_cast<int32_t>(apps_[i].id.value())});
     }
   }
   return plan;
@@ -278,9 +506,10 @@ Status ResourceManager::ApplyPlanTransactional(const ActuationPlan& plan) {
   }
   if (failure.ok()) {
     if (AuditLog* audit = ObsAudit(obs_)) {
-      // One record per CLOS whose allocation actually changed. Plans carry
-      // one entry per managed app, in app order, so entry index == app
-      // index (plans are discarded whenever the app set changes).
+      // One record per CLOS whose allocation actually changed. Each entry
+      // carries its own audit identity: batch entries index apps_, LC
+      // slice entries carry app_index -1 (plans are discarded whenever
+      // the app set changes, so a valid index never goes stale).
       for (size_t i = 0; i < plan.entries.size(); ++i) {
         const ActuationPlan::Entry& entry = plan.entries[i];
         if (before[i].mask_bits == entry.mask_bits &&
@@ -293,11 +522,16 @@ Status ResourceManager::ApplyPlanTransactional(const ActuationPlan& plan) {
         record.time_sec = machine.now();
         record.phase = PhaseName(phase_);
         record.trigger = audit_trigger_;
-        record.app_index = static_cast<int32_t>(i);
-        if (i < apps_.size()) {
-          record.app_id = static_cast<int32_t>(apps_[i].id.value());
-          record.llc_class = ResourceClassName(apps_[i].llc_fsm.state());
-          record.quarantined = apps_[i].quarantined;
+        record.app_index = entry.app_index;
+        if (entry.app_id >= 0) {
+          record.app_id = entry.app_id;
+        }
+        if (entry.app_index >= 0 &&
+            static_cast<size_t>(entry.app_index) < apps_.size()) {
+          record.llc_class = ResourceClassName(
+              apps_[static_cast<size_t>(entry.app_index)].llc_fsm.state());
+          record.quarantined =
+              apps_[static_cast<size_t>(entry.app_index)].quarantined;
         }
         record.clos = static_cast<int32_t>(entry.group.clos());
         record.old_mask = before[i].mask_bits;
@@ -968,6 +1202,23 @@ void ResourceManager::ExportMetrics(MetricsRegistry* metrics) const {
       ->Set(exploration_time_stats_.mean());
   metrics->GetCounter("copart.manager.exploration_solves")
       ->Increment(exploration_time_stats_.count());
+  if (params_.slo.enabled) {
+    metrics->GetCounter("copart.manager.slo_resizes")->Increment(slo_resizes_);
+    metrics->GetCounter("copart.manager.slo_unattainable_ticks")
+        ->Increment(slo_unattainable_ticks_);
+    metrics->GetGauge("copart.manager.lc_ways_total")
+        ->Set(lc_total_ways());
+    for (const LcManaged& lc : lc_apps_) {
+      const std::string prefix =
+          "copart.manager.lc." + std::to_string(lc.id.value());
+      metrics->GetGauge(prefix + ".ways")->Set(lc.ways);
+      // Unattainable predictions are +inf; dump as -1 to keep the metrics
+      // JSON numeric.
+      metrics->GetGauge(prefix + ".predicted_p95_ms")
+          ->Set(std::isfinite(lc.predicted_p95_ms) ? lc.predicted_p95_ms
+                                                   : -1.0);
+    }
+  }
 }
 
 void ResourceManager::Tick() {
@@ -989,7 +1240,18 @@ void ResourceManager::Tick() {
 
 void ResourceManager::TickImpl() {
   ReapDeadApps();
+  ReapDeadLcApps();
   RetryZombieGroups();
+  // SLO governor step: re-plan the LC slices for the offered load before
+  // the batch phases run, so a grown slice and the resulting batch
+  // re-adaptation land in the same period. Skipped while a pending plan
+  // is backing off (Actuate would clobber its retry) and in the degraded
+  // phase (the substrate can't hold an allocation anyway — the LC masks
+  // keep their last actuated, floor-respecting values).
+  if (params_.slo.enabled && !lc_apps_.empty() &&
+      phase_ != Phase::kDegraded && !pending_plan_.has_value()) {
+    EvaluateSloTick();
+  }
   if (apps_.empty()) {
     return;
   }

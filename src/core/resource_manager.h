@@ -56,6 +56,7 @@
 #include "core/classifiers.h"
 #include "core/copart_params.h"
 #include "core/hr_matching.h"
+#include "core/slo_governor.h"
 #include "core/system_state.h"
 #include "machine/app_id.h"
 #include "obs/obs.h"
@@ -106,8 +107,32 @@ class ResourceManager {
 
   // Installs a new resource slice (from an outer server manager) and
   // restarts adaptation. The manager repartitions only within this pool.
+  // In SLO mode this is the *base* pool: the LC slices are carved off its
+  // bottom and the batch apps are matched over the remainder.
   void SetResourcePool(const ResourcePool& pool);
   const ResourcePool& pool() const { return pool_; }
+
+  // --- SLO-aware serving mode (params.slo.enabled; DESIGN.md §9) ---
+  //
+  // Registers a latency-critical app. The app is NOT fairness-managed:
+  // it gets a dedicated CLOS whose width the SLO governor re-plans every
+  // control period from the offered load, growing ways (then capping the
+  // batch MBA ceiling) until the predicted p95 meets model.slo_p95_ms
+  // with headroom. Batch apps added via AddApp() are matched over the
+  // ways left. Fails unless params.slo.enabled.
+  Status SetLatencyCriticalApp(AppId app, const LcAppModel& model);
+  // Offered load (requests/s) the governor plans the app's NEXT period
+  // for. The app must be registered via SetLatencyCriticalApp.
+  void SetLcOfferedLoad(AppId app, double rps);
+  size_t NumLcApps() const { return lc_apps_.size(); }
+  // Currently actuated slice width / latest prediction for a registered
+  // LC app.
+  uint32_t LcWays(AppId app) const;
+  double LcPredictedP95Ms(AppId app) const;
+  // Total ways currently held by LC slices (0 outside SLO mode).
+  uint32_t lc_total_ways() const;
+  uint64_t slo_resizes() const { return slo_resizes_; }
+  uint64_t slo_unattainable_ticks() const { return slo_unattainable_ticks_; }
 
   // One control period. The machine must have advanced by
   // params.control_period_sec since the previous Tick().
@@ -189,8 +214,25 @@ class ResourceManager {
       ResctrlGroupId group;
       uint64_t mask_bits = 0;
       uint32_t mba_percent = 100;
+      // Audit identity, filled by the plan builders: index into apps_
+      // (-1 for an LC slice entry, which has no batch index) and the
+      // owning app id (-1 when unknown).
+      int32_t app_index = -1;
+      int32_t app_id = -1;
     };
     std::vector<Entry> entries;
+  };
+
+  // One SLO-managed latency-critical app (params.slo mode).
+  struct LcManaged {
+    AppId id;
+    ResctrlGroupId group;
+    SloGovernor governor;
+    uint32_t ways = 0;       // Actuated slice width (0 until first actuation).
+    uint32_t first_way = 0;  // Actuated slice origin.
+    double offered_rps = 0.0;
+    double predicted_p95_ms = 0.0;
+    bool attainable = true;
   };
 
   // Outcome of sampling one app through the fallible PMC path.
@@ -204,6 +246,16 @@ class ResourceManager {
 
   void StartAdaptation();
   SystemState InitialState() const;
+  // Re-plans every LC slice from the current offered load and actuates
+  // the changed LC masks. Returns true when the batch pool geometry
+  // changed (the caller restarts adaptation). `force` actuates even when
+  // no width changed (initial installation, base-pool change).
+  bool EvaluateSlo(bool force);
+  // Governor step of one control period: runs EvaluateSlo and restarts
+  // adaptation on batch-pool changes.
+  void EvaluateSloTick();
+  void ReapDeadLcApps();
+  size_t LcIndex(AppId id) const;
   void ReapDeadApps();
   void RetryZombieGroups();
   void TickImpl();
@@ -261,7 +313,16 @@ class ResourceManager {
   ResourceManagerParams params_;
   Rng rng_;
   Backoff backoff_;
+  // Batch pool the fairness allocation runs over. Outside SLO mode it is
+  // the installed pool verbatim; in SLO mode it is base_pool_ minus the
+  // LC slices.
   ResourcePool pool_;
+  ResourcePool base_pool_;
+
+  // SLO mode state (empty/inert unless params.slo.enabled).
+  std::vector<LcManaged> lc_apps_;
+  uint64_t slo_resizes_ = 0;
+  uint64_t slo_unattainable_ticks_ = 0;
 
   Phase phase_ = Phase::kIdle;
   std::vector<ManagedApp> apps_;

@@ -1,0 +1,78 @@
+#include "core/slo_governor.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/logging.h"
+#include "serve/queue_model.h"
+
+namespace copart {
+
+SloGovernor::SloGovernor(const SloParams& params, LcAppModel model)
+    : params_(params), model_(std::move(model)) {
+  CHECK_GE(params_.lc_way_floor, 1u);
+  CHECK_GT(params_.headroom, 0.0);
+  CHECK_GT(params_.max_utilization, 0.0);
+  CHECK_LE(params_.max_utilization, 1.0);
+  CHECK_GE(params_.shrink_load_margin, 1.0);
+  CHECK_GT(model_.slo_p95_ms, 0.0);
+  CHECK_GT(model_.instructions_per_request, 0.0);
+  CHECK(model_.capability_ips != nullptr);
+}
+
+SloDecision SloGovernor::SmallestMeeting(double offered_rps,
+                                         uint32_t max_ways) const {
+  const double target_ms = model_.slo_p95_ms / params_.headroom;
+  const uint32_t floor = std::min(params_.lc_way_floor, max_ways);
+  SloDecision decision;
+  decision.attainable = false;
+  for (uint32_t ways = floor; ways <= max_ways; ++ways) {
+    const double service_rps =
+        model_.capability_ips(ways) / model_.instructions_per_request;
+    const double p95_ms = PredictedP95Ms(offered_rps, service_rps);
+    decision.lc_ways = ways;
+    decision.predicted_p95_ms = p95_ms;
+    if (p95_ms <= target_ms &&
+        offered_rps <= params_.max_utilization * service_rps) {
+      decision.attainable = true;
+      break;
+    }
+  }
+  return decision;
+}
+
+SloDecision SloGovernor::Plan(double offered_rps, uint32_t max_ways,
+                              uint32_t current_ways,
+                              uint32_t pool_max_mba) const {
+  CHECK_GE(max_ways, 1u);
+  SloDecision decision = SmallestMeeting(offered_rps, max_ways);
+
+  // Shrink hysteresis: only narrow the slice if the narrower width would
+  // also survive a shrink_load_margin load bump, so a load hovering at a
+  // way-quantization boundary cannot flap the allocation every period.
+  if (current_ways > 0 && decision.lc_ways < current_ways) {
+    const SloDecision guarded = SmallestMeeting(
+        offered_rps * params_.shrink_load_margin, max_ways);
+    if (guarded.lc_ways > decision.lc_ways) {
+      decision.lc_ways = std::min(current_ways, guarded.lc_ways);
+      // Report the prediction at the width actually kept.
+      const double service_rps =
+          model_.capability_ips(decision.lc_ways) /
+          model_.instructions_per_request;
+      decision.predicted_p95_ms = PredictedP95Ms(offered_rps, service_rps);
+    }
+  }
+
+  decision.batch_mba_percent = pool_max_mba;
+  const bool protect =
+      !decision.attainable ||
+      (params_.protect_rps_threshold > 0.0 &&
+       offered_rps >= params_.protect_rps_threshold);
+  if (protect) {
+    decision.batch_mba_percent =
+        std::min(pool_max_mba, params_.batch_mba_protect_percent);
+  }
+  return decision;
+}
+
+}  // namespace copart

@@ -1,0 +1,70 @@
+// SLO governor: sizes a latency-critical CLOS from predicted tail latency.
+//
+// Pure planning logic, shared by the ResourceManager's SLO mode and the
+// harness baselines (so "what would the governor do" never needs a second
+// implementation). Given the offered load, the governor walks slice
+// widths from the floor upward and picks the smallest for which the
+// predicted p95 (M/M/1 sojourn tail, serve/queue_model.h) meets the SLO
+// with headroom — "grow ways first". If no permitted width attains the
+// SLO it takes everything it may and additionally asks for the batch MBA
+// ceiling to be capped ("then MBA") — the same protection that engages
+// above protect_rps_threshold (DESIGN.md §9).
+#ifndef COPART_CORE_SLO_GOVERNOR_H_
+#define COPART_CORE_SLO_GOVERNOR_H_
+
+#include <cstdint>
+#include <functional>
+
+#include "core/copart_params.h"
+
+namespace copart {
+
+// Model of one latency-critical app, supplied by the outer harness (a
+// Heracles-style manager would fit it from profiling).
+struct LcAppModel {
+  // Tail-latency SLO: 95th percentile sojourn time, milliseconds.
+  double slo_p95_ms = 1.0;
+  // Mean instructions retired per request (converts IPS into requests/s).
+  double instructions_per_request = 60000.0;
+  // Predicted IPS capability of the app with `ways` LLC ways at the full
+  // MBA level. Must be monotone non-decreasing in `ways`.
+  std::function<double(uint32_t ways)> capability_ips;
+  // Offered load (requests/s) the first plan — at registration, before any
+  // SetLcOfferedLoad call — is sized for.
+  double initial_offered_rps = 0.0;
+};
+
+struct SloDecision {
+  uint32_t lc_ways = 0;
+  // Requested batch-slice MBA ceiling (the pool maximum unless protection
+  // engaged).
+  uint32_t batch_mba_percent = 100;
+  double predicted_p95_ms = 0.0;
+  // False when even max_ways cannot meet the SLO with headroom.
+  bool attainable = true;
+};
+
+class SloGovernor {
+ public:
+  SloGovernor(const SloParams& params, LcAppModel model);
+
+  // Plans the slice for `offered_rps` with widths in [floor, max_ways].
+  // `current_ways` (0 = none yet) engages the shrink hysteresis;
+  // `pool_max_mba` is the batch ceiling when protection is off.
+  SloDecision Plan(double offered_rps, uint32_t max_ways,
+                   uint32_t current_ways, uint32_t pool_max_mba) const;
+
+  const LcAppModel& model() const { return model_; }
+
+ private:
+  // The smallest width in [floor, max_ways] meeting the SLO for
+  // `offered_rps`; attainable=false (and width max_ways) when none does.
+  SloDecision SmallestMeeting(double offered_rps, uint32_t max_ways) const;
+
+  SloParams params_;
+  LcAppModel model_;
+};
+
+}  // namespace copart
+
+#endif  // COPART_CORE_SLO_GOVERNOR_H_

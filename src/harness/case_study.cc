@@ -1,206 +1,89 @@
 #include "harness/case_study.h"
 
-#include <algorithm>
-#include <cmath>
+#include <utility>
 
 #include "common/logging.h"
-#include "common/stats.h"
-#include "core/resource_manager.h"
-#include "core/system_state.h"
-#include "harness/mix.h"
-#include "machine/simulated_machine.h"
-#include "metrics/fairness.h"
-#include "pmc/perf_monitor.h"
-#include "resctrl/resctrl.h"
+#include "harness/serve.h"
+#include "serve/arrival.h"
 #include "workload/workload.h"
 
 namespace copart {
 namespace {
 
-double LoadAt(const CaseStudyConfig& config, double time) {
-  double load = config.load_steps.front().second;
-  for (const auto& [start, rps] : config.load_steps) {
-    if (time >= start) {
-      load = rps;
-    }
+// Fig. 15's load steps as a kBurst arrival trace (piecewise-constant
+// multipliers of the first step's rate, covering [0, duration_sec)).
+ArrivalConfig StepTrace(const CaseStudyConfig& config) {
+  CHECK(!config.load_steps.empty());
+  ArrivalConfig arrival;
+  arrival.kind = ArrivalKind::kBurst;
+  arrival.base_rate_rps = config.load_steps.front().second;
+  for (size_t i = 0; i < config.load_steps.size(); ++i) {
+    const double start = config.load_steps[i].first;
+    const double end = i + 1 < config.load_steps.size()
+                           ? config.load_steps[i + 1].first
+                           : config.duration_sec;
+    CHECK_GT(end, start) << "load steps must be increasing";
+    arrival.burst_phases.push_back(BurstPhase{
+        end - start, config.load_steps[i].second / arrival.base_rate_rps});
   }
-  return load;
-}
-
-// Predicted LC service capacity (IPS) with `ways` LLC ways at MBA 100,
-// using the same CPI model as the machine — what a Heracles-style manager
-// would fit from its own profiling.
-double PredictLcCapability(const WorkloadDescriptor& lc, uint32_t lc_cores,
-                           uint32_t ways, const MachineConfig& machine) {
-  const double capacity =
-      static_cast<double>(machine.llc.WayBytes()) * ways;
-  const double miss_ratio = lc.reuse_profile.MissRatio(
-      static_cast<uint64_t>(capacity), machine.mrc_mode);
-  const double cpi = lc.cpi_exec + lc.accesses_per_instr * miss_ratio *
-                                       lc.mem_latency_cycles / lc.mlp;
-  return lc_cores * machine.core_freq_hz / cpi;
-}
-
-double P95Ms(const CaseStudyConfig& config, double required_ips,
-             double capability_ips) {
-  double rho = capability_ips > 0.0 ? required_ips / capability_ips : 1.0;
-  rho = std::clamp(rho, 0.0, 0.995);
-  return config.base_p95_ms *
-         (1.0 + config.queueing_shape * rho / (1.0 - rho));
+  return arrival;
 }
 
 }  // namespace
 
 CaseStudyResult RunCaseStudy(const CaseStudyConfig& config) {
-  SimulatedMachine machine(config.machine);
-  Resctrl resctrl(&machine);
-  PerfMonitor monitor(&machine);
+  const ArrivalConfig arrival = StepTrace(config);
 
-  // Core split: 8 cores for memcached, 4 for each batch job (16 total).
-  const WorkloadDescriptor lc_desc = Memcached();
-  const uint32_t lc_cores = 8;
-  Result<AppId> lc = machine.LaunchApp(lc_desc, lc_cores);
-  CHECK(lc.ok()) << lc.status().ToString();
-  Result<AppId> wc = machine.LaunchApp(WordCount(), 4);
-  CHECK(wc.ok()) << wc.status().ToString();
-  Result<AppId> km = machine.LaunchApp(Kmeans(), 4);
-  CHECK(km.ok()) << km.status().ToString();
-  const std::vector<AppId> batch = {*wc, *km};
+  ServeScenarioConfig serve;
+  serve.machine = config.machine;
+  serve.duration_sec = config.duration_sec;
+  serve.control_period_sec = config.control_period_sec;
+  serve.seed = config.seed;
 
-  Result<ResctrlGroupId> lc_group = resctrl.CreateGroup("lc");
-  CHECK(lc_group.ok()) << lc_group.status().ToString();
-  Status status = resctrl.AssignApp(*lc_group, *lc);
-  CHECK(status.ok()) << status.ToString();
+  ServeLcSpec lc;
+  lc.workload = Memcached();
+  lc.cores = 8;
+  lc.arrival = arrival;
+  lc.slo_p95_ms = config.slo_p95_ms;
+  lc.instructions_per_request = config.instructions_per_request;
+  serve.lc_apps.push_back(std::move(lc));
+  serve.batch_apps.push_back(ServeBatchSpec{WordCount(), 4});
+  serve.batch_apps.push_back(ServeBatchSpec{Kmeans(), 4});
 
-  // Ground-truth slowdown references for the batch unfairness series.
-  std::vector<double> batch_solo_full;
-  for (AppId app : batch) {
-    batch_solo_full.push_back(machine.SoloFullResourceIps(
-        machine.Descriptor(app), machine.AppCores(app)));
-  }
+  serve.mode =
+      config.use_copart ? ServeMode::kCopartSlo : ServeMode::kEqualShare;
+  serve.copart_params = config.copart_params;
+  serve.copart_params.slo.protect_rps_threshold = config.high_load_rps;
+  serve.copart_params.slo.batch_mba_protect_percent =
+      config.batch_mba_ceiling_high_load;
+  serve.obs = config.obs;
 
-  ResourceManagerParams params = config.copart_params;
-  params.control_period_sec = config.control_period_sec;
-  ResourceManager manager(&resctrl, &monitor, params);
-  if (config.use_copart) {
-    manager.SetObservability(config.obs);
-  }
-
-  // EQ mode: the batch apps keep static groups we resize on pool changes.
-  std::vector<ResctrlGroupId> eq_groups;
-  if (!config.use_copart) {
-    for (AppId app : batch) {
-      Result<ResctrlGroupId> group =
-          resctrl.CreateGroup("eq_" + std::to_string(app.value()));
-      CHECK(group.ok()) << group.status().ToString();
-      status = resctrl.AssignApp(*group, app);
-      CHECK(status.ok()) << status.ToString();
-      eq_groups.push_back(*group);
-    }
-  }
-
-  const uint32_t total_ways = config.machine.llc.num_ways;
-  uint32_t lc_ways = 0;  // Forces an initial pool installation.
-  uint32_t batch_mba = 100;
-  bool copart_started = false;
-
-  auto apply_slices = [&](uint32_t new_lc_ways, uint32_t new_batch_mba) {
-    lc_ways = new_lc_ways;
-    batch_mba = new_batch_mba;
-    status = resctrl.SetCacheMask(*lc_group, (1ULL << lc_ways) - 1ULL);
-    CHECK(status.ok()) << status.ToString();
-    status = resctrl.SetMbaPercent(*lc_group, 100);
-    CHECK(status.ok()) << status.ToString();
-    const ResourcePool pool{.first_way = lc_ways,
-                            .num_ways = total_ways - lc_ways,
-                            .max_mba_percent = batch_mba};
-    if (config.use_copart) {
-      manager.SetResourcePool(pool);
-      if (!copart_started) {
-        copart_started = true;
-        for (AppId app : batch) {
-          Status add = manager.AddApp(app);
-          CHECK(add.ok()) << add.ToString();
-        }
-      }
-    } else {
-      const SystemState eq =
-          SystemState::EqualShareThrottled(pool, batch.size());
-      for (size_t i = 0; i < batch.size(); ++i) {
-        status = resctrl.SetCacheMask(eq_groups[i], eq.WayMaskBits(i));
-        CHECK(status.ok()) << status.ToString();
-        status = resctrl.SetMbaPercent(
-            eq_groups[i], eq.allocation(i).mba_level.percent());
-        CHECK(status.ok()) << status.ToString();
-      }
-    }
-  };
+  const ServeScenarioResult run = RunServeScenario(serve);
 
   CaseStudyResult result;
-  RunningStats unfairness_stats;
-  size_t slo_violations = 0;
-  const int periods = static_cast<int>(
-      std::llround(config.duration_sec / config.control_period_sec));
-
-  for (int period = 0; period < periods; ++period) {
-    const double load = LoadAt(config, machine.now());
-    const double required_ips = load * config.instructions_per_request;
-    machine.SetAppRequiredIps(*lc, required_ips);
-
-    // Outer manager: smallest LC slice meeting the utilization target,
-    // leaving at least one way per batch app.
-    const double needed = required_ips / config.target_utilization;
-    uint32_t want_ways = total_ways - static_cast<uint32_t>(batch.size());
-    for (uint32_t ways = 1;
-         ways <= total_ways - static_cast<uint32_t>(batch.size()); ++ways) {
-      if (PredictLcCapability(lc_desc, lc_cores, ways, config.machine) >=
-          needed) {
-        want_ways = ways;
-        break;
-      }
-    }
-    const uint32_t want_mba = load >= config.high_load_rps
-                                  ? config.batch_mba_ceiling_high_load
-                                  : 100;
-    if (want_ways != lc_ways || want_mba != batch_mba) {
-      apply_slices(want_ways, want_mba);
-    }
-
-    machine.AdvanceTime(config.control_period_sec);
-    if (config.use_copart) {
-      manager.Tick();
-    }
-
+  result.samples.reserve(run.samples.size());
+  for (const ServeSample& s : run.samples) {
     CaseStudySample sample;
-    sample.time = machine.now();
-    sample.load_rps = load;
-    sample.p95_ms =
-        P95Ms(config, required_ips, machine.LastEpoch(*lc).ips_capability);
-    sample.lc_ways = lc_ways;
-    sample.batch_max_mba = batch_mba;
-    std::vector<double> slowdowns;
-    for (size_t i = 0; i < batch.size(); ++i) {
-      slowdowns.push_back(
-          Slowdown(batch_solo_full[i], machine.LastEpoch(batch[i]).ips));
-    }
-    sample.batch_unfairness = Unfairness(slowdowns);
-    sample.copart_phase =
-        config.use_copart ? ResourceManager::PhaseName(manager.phase()) : "eq";
-    unfairness_stats.Add(sample.batch_unfairness);
-    if (sample.p95_ms > config.slo_p95_ms) {
-      ++slo_violations;
-    }
+    sample.time = s.time;
+    // The configured step rate at the epoch's start (s.time is its end).
+    sample.load_rps =
+        ArrivalRateAt(arrival, s.time - config.control_period_sec);
+    sample.p95_ms = s.p95_ms;
+    sample.queue_depth = s.queue_depth;
+    sample.lc_ways = s.lc_ways;
+    sample.batch_max_mba = s.batch_max_mba;
+    sample.batch_unfairness = s.batch_unfairness;
+    sample.copart_phase = s.phase;
     result.samples.push_back(std::move(sample));
   }
-
-  result.mean_batch_unfairness = unfairness_stats.mean();
-  result.slo_violation_fraction =
-      static_cast<double>(slo_violations) / static_cast<double>(periods);
-  result.copart_adaptations =
-      config.use_copart ? manager.adaptations_started() : 0;
-  if (config.use_copart) {
-    manager.ExportMetrics(ObsMetrics(config.obs));
-  }
+  result.mean_batch_unfairness = run.mean_batch_unfairness;
+  result.copart_adaptations = run.copart_adaptations;
+  const ServeLcResult& mc = run.lc.front();
+  result.slo_violation_fraction = mc.slo_violation_fraction;
+  result.lc_arrivals = mc.arrivals;
+  result.lc_completions = mc.completions;
+  result.lc_drops = mc.drops;
+  result.lc_run_p95_ms = mc.p95_ms;
   return result;
 }
 

@@ -1,12 +1,22 @@
 // Dynamic server consolidation case study (paper §6.3, Fig. 15).
 //
 // A latency-critical memcached surrogate shares the machine with two batch
-// jobs (Word Count and Kmeans surrogates). An outer dynamic server resource
-// manager — in the spirit of Heracles [24] / the paper's [15] — sizes the
-// LC slice each period from the offered load and an M/M/1-style p95 model,
-// and hands the remaining ways plus an MBA ceiling to the batch slice as a
-// ResourcePool. The batch slice is managed either by CoPart (which detects
-// every pool change and re-adapts) or by the EQ baseline.
+// jobs (Word Count and Kmeans surrogates). The LC app is served by the
+// discrete-event engine in src/serve: its offered load follows the paper's
+// step trace and its measured per-epoch p95 comes from actually queueing
+// and completing requests at the service rate the current CLOS mask + MBA
+// level sustains. Two managers for the machine:
+//
+//   use_copart = true   — ResourceManager in SLO mode: the SLO governor
+//                         sizes the LC slice (ways first, then batch MBA
+//                         protection above high_load_rps) and CoPart runs
+//                         fairness allocation for the batch apps over the
+//                         remaining pool, re-adapting on every pool change.
+//   use_copart = false  — the paper's EqualShare baseline: every app,
+//                         including memcached, gets a static equal share
+//                         of ways and MBA. No SLO awareness, so the LC
+//                         app's p95 blows through the SLO during the
+//                         load burst while CoPart rides it out.
 //
 // The offered load follows the paper's trace shape: low load initially,
 // a step up at t=99.4 s, and a step back down at t=299.4 s.
@@ -28,35 +38,33 @@ struct CaseStudyConfig {
   MachineConfig machine;
   double duration_sec = 400.0;
   double control_period_sec = 0.5;
+  // Seed for the serve engine's arrival/service streams.
+  uint64_t seed = 42;
   // (start time, requests/s) steps; Fig. 15's trace.
   std::vector<std::pair<double, double>> load_steps = {
       {0.0, 75000.0}, {99.4, 150000.0}, {299.4, 75000.0}};
   // SLO: 95th percentile latency below 1 ms (§6.3).
   double slo_p95_ms = 1.0;
   // Work per memcached request (instructions), converting offered load into
-  // required IPS.
+  // required IPS and IPS capability into a service rate.
   double instructions_per_request = 60000.0;
-  // Queueing model: p95 = base * (1 + shape * rho / (1 - rho)).
-  double base_p95_ms = 0.15;
-  double queueing_shape = 0.6;
-  // Target utilization the outer manager provisions the LC slice for.
-  double target_utilization = 0.70;
-  // Offered load above which the outer manager also caps the batch MBA
+  // Offered load at or above which the SLO governor also caps the batch MBA
   // ceiling to protect the LC app's memory traffic.
   double high_load_rps = 100000.0;
   uint32_t batch_mba_ceiling_high_load = 50;
-  // true: CoPart manages the batch slice; false: EQ split of the slice.
+  // true: CoPart SLO mode; false: whole-machine EqualShare baseline.
   bool use_copart = true;
   ResourceManagerParams copart_params;
-  // Optional observability bundle attached to the batch slice's CoPart
-  // manager (ignored in EQ mode). Not owned; null = off.
+  // Optional observability bundle attached to the CoPart manager (ignored
+  // in EQ mode). Not owned; null = off.
   Observability* obs = nullptr;
 };
 
 struct CaseStudySample {
   double time = 0.0;
-  double load_rps = 0.0;
-  double p95_ms = 0.0;
+  double load_rps = 0.0;      // Configured step rate for this period.
+  double p95_ms = 0.0;        // Measured over this epoch's completions.
+  uint64_t queue_depth = 0;
   uint32_t lc_ways = 0;
   uint32_t batch_max_mba = 100;
   // Instantaneous unfairness across the batch apps (ground-truth slowdowns).
@@ -69,6 +77,11 @@ struct CaseStudyResult {
   double mean_batch_unfairness = 0.0;
   double slo_violation_fraction = 0.0;
   uint64_t copart_adaptations = 0;
+  // Serve-engine run aggregates for the LC app.
+  uint64_t lc_arrivals = 0;
+  uint64_t lc_completions = 0;
+  uint64_t lc_drops = 0;
+  double lc_run_p95_ms = 0.0;  // Cumulative-sketch p95 over the whole run.
 };
 
 CaseStudyResult RunCaseStudy(const CaseStudyConfig& config);

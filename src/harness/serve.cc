@@ -1,0 +1,386 @@
+#include "harness/serve.h"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <cstdio>
+#include <memory>
+#include <utility>
+
+#include "common/logging.h"
+#include "common/rng.h"
+#include "common/stats.h"
+#include "core/resource_manager.h"
+#include "core/system_state.h"
+#include "harness/csv_writer.h"
+#include "machine/simulated_machine.h"
+#include "metrics/fairness.h"
+#include "pmc/perf_monitor.h"
+#include "resctrl/resctrl.h"
+#include "serve/serve_engine.h"
+
+namespace copart {
+namespace {
+
+std::string FormatG6(double value) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.6g", value);
+  return std::string(buf);
+}
+
+}  // namespace
+
+const char* ServeModeName(ServeMode mode) {
+  switch (mode) {
+    case ServeMode::kCopartSlo:
+      return "copart_slo";
+    case ServeMode::kEqualShare:
+      return "equal_share";
+    case ServeMode::kNoPart:
+      return "no_part";
+  }
+  return "unknown";
+}
+
+double PredictLcCapabilityIps(const WorkloadDescriptor& lc, uint32_t lc_cores,
+                              uint32_t ways, const MachineConfig& machine) {
+  const double capacity = static_cast<double>(machine.llc.WayBytes()) * ways;
+  const double miss_ratio = lc.reuse_profile.MissRatio(
+      static_cast<uint64_t>(capacity), machine.mrc_mode);
+  // Consolidation keeps the memory bus near saturation (the batch apps
+  // soak up whatever bandwidth the LC app leaves), so plan against the
+  // machine's full queueing-delay stretch rather than a contention-free
+  // bus — the same worst case the simulator's pass 2 converges to.
+  const double contention = 1.0 + machine.queueing_delay_factor;
+  const double cpi =
+      lc.cpi_exec + lc.accesses_per_instr * miss_ratio * contention *
+                        lc.mem_latency_cycles / lc.mlp;
+  return lc_cores * machine.core_freq_hz / cpi;
+}
+
+ServeScenarioResult RunServeScenario(const ServeScenarioConfig& config) {
+  CHECK(!config.lc_apps.empty()) << "serve scenario needs at least one LC app";
+  SimulatedMachine machine(config.machine);
+  Resctrl resctrl(&machine);
+  PerfMonitor monitor(&machine);
+
+  // LC apps: launch the surrogate and build its discrete-event server.
+  // Server Rng streams are forked from the scenario seed by LC index only,
+  // so every mode replays the identical arrival/service draw sequences.
+  struct LcRuntime {
+    AppId id{0};
+    std::string name;
+    double ipr = 0.0;
+    double slo_ms = 0.0;
+    std::unique_ptr<LcServer> server;
+    size_t violations = 0;
+  };
+  const Rng root(config.seed);
+  std::vector<LcRuntime> lcs;
+  for (size_t i = 0; i < config.lc_apps.size(); ++i) {
+    const ServeLcSpec& spec = config.lc_apps[i];
+    Result<AppId> app = machine.LaunchApp(spec.workload, spec.cores);
+    CHECK(app.ok()) << app.status().ToString();
+    LcRuntime lc;
+    lc.id = *app;
+    lc.name = spec.workload.short_name.empty() ? spec.workload.name
+                                               : spec.workload.short_name;
+    for (const LcRuntime& other : lcs) {
+      if (other.name == lc.name) {
+        lc.name += "_" + std::to_string(i);
+        break;
+      }
+    }
+    lc.ipr = spec.instructions_per_request > 0.0
+                 ? spec.instructions_per_request
+                 : spec.workload.instructions_per_request;
+    lc.slo_ms =
+        spec.slo_p95_ms > 0.0 ? spec.slo_p95_ms : spec.workload.slo_p95_ms;
+    CHECK_GT(lc.ipr, 0.0) << lc.name << ": no instructions_per_request";
+    CHECK_GT(lc.slo_ms, 0.0) << lc.name << ": no slo_p95_ms";
+    LcServerConfig server_config;
+    server_config.name = lc.name;
+    server_config.arrival = spec.arrival;
+    server_config.instructions_per_request = lc.ipr;
+    server_config.exponential_service = spec.exponential_service;
+    server_config.queue_capacity = spec.queue_capacity;
+    lc.server = std::make_unique<LcServer>(server_config,
+                                           root.Fork(static_cast<uint64_t>(i)));
+    lcs.push_back(std::move(lc));
+  }
+
+  std::vector<AppId> batch;
+  for (const ServeBatchSpec& spec : config.batch_apps) {
+    Result<AppId> app = machine.LaunchApp(spec.workload, spec.cores);
+    CHECK(app.ok()) << app.status().ToString();
+    batch.push_back(*app);
+  }
+  std::vector<double> batch_solo_full;
+  for (AppId app : batch) {
+    batch_solo_full.push_back(machine.SoloFullResourceIps(
+        machine.Descriptor(app), machine.AppCores(app)));
+  }
+
+  const uint32_t total_ways = config.machine.llc.num_ways;
+  const size_t total_apps = lcs.size() + batch.size();
+
+  // Static per-mode allocation state for the sampled series.
+  uint32_t static_lc_ways = total_ways;
+  uint32_t static_batch_mba = MbaLevel::kMax;
+
+  std::unique_ptr<ResourceManager> manager;
+  if (config.mode == ServeMode::kCopartSlo) {
+    ResourceManagerParams params = config.copart_params;
+    params.control_period_sec = config.control_period_sec;
+    params.slo.enabled = true;
+    manager = std::make_unique<ResourceManager>(&resctrl, &monitor, params);
+    manager->SetObservability(config.obs);
+    for (size_t i = 0; i < lcs.size(); ++i) {
+      const ServeLcSpec& spec = config.lc_apps[i];
+      LcAppModel model;
+      model.slo_p95_ms = lcs[i].slo_ms;
+      model.instructions_per_request = lcs[i].ipr;
+      model.capability_ips = [desc = spec.workload, cores = spec.cores,
+                              mc = config.machine](uint32_t ways) {
+        return PredictLcCapabilityIps(desc, cores, ways, mc);
+      };
+      model.initial_offered_rps = ArrivalRateAt(spec.arrival, 0.0);
+      Status status = manager->SetLatencyCriticalApp(lcs[i].id, model);
+      CHECK(status.ok()) << status.ToString();
+    }
+    for (AppId app : batch) {
+      Status status = manager->AddApp(app);
+      CHECK(status.ok()) << status.ToString();
+    }
+  } else if (config.mode == ServeMode::kEqualShare) {
+    // One static equal split of the whole machine across every app, LC and
+    // batch alike — the paper's EqualShare baseline.
+    const ResourcePool pool{.first_way = 0,
+                            .num_ways = total_ways,
+                            .max_mba_percent = MbaLevel::kMax};
+    const SystemState eq = SystemState::EqualShareThrottled(pool, total_apps);
+    size_t slot = 0;
+    auto install = [&](AppId app) {
+      Result<ResctrlGroupId> group =
+          resctrl.CreateGroup("eq_" + std::to_string(app.value()));
+      CHECK(group.ok()) << group.status().ToString();
+      Status status = resctrl.AssignApp(*group, app);
+      CHECK(status.ok()) << status.ToString();
+      status = resctrl.SetCacheMask(*group, eq.WayMaskBits(slot));
+      CHECK(status.ok()) << status.ToString();
+      status = resctrl.SetMbaPercent(*group,
+                                     eq.allocation(slot).mba_level.percent());
+      CHECK(status.ok()) << status.ToString();
+      ++slot;
+    };
+    for (const LcRuntime& lc : lcs) {
+      install(lc.id);
+    }
+    for (AppId app : batch) {
+      install(app);
+    }
+    static_lc_ways =
+        static_cast<uint32_t>(std::popcount(eq.WayMaskBits(0)));
+    static_batch_mba = eq.allocation(total_apps - 1).mba_level.percent();
+  }
+  // kNoPart: every app stays in the default CLOS (all ways, MBA 100).
+
+  ServeScenarioResult result;
+  result.mode = config.mode;
+  const double dt = config.control_period_sec;
+  const int periods = static_cast<int>(
+      std::llround(config.duration_sec / config.control_period_sec));
+  CHECK_GT(periods, 0);
+  result.samples.reserve(static_cast<size_t>(periods));
+  RunningStats unfairness_stats;
+
+  // The LC surrogate only consumes the IPS its offered load demands; the
+  // leftover capability is headroom, not extra contention.
+  for (const LcRuntime& lc : lcs) {
+    const size_t i = static_cast<size_t>(&lc - lcs.data());
+    machine.SetAppRequiredIps(
+        lc.id, ArrivalRateAt(config.lc_apps[i].arrival, 0.0) * lc.ipr);
+  }
+
+  for (int period = 0; period < periods; ++period) {
+    machine.AdvanceTime(dt);
+
+    // Serve the epoch just simulated at each LC app's effective rate.
+    EpochServeStats primary;
+    for (size_t i = 0; i < lcs.size(); ++i) {
+      const double capability = machine.LastEpoch(lcs[i].id).ips_capability;
+      const EpochServeStats stats = lcs[i].server->AdvanceEpoch(dt, capability);
+      const bool stalled = stats.completions == 0 && stats.queue_depth_end > 0;
+      if (stats.p95_ms > lcs[i].slo_ms || stalled) {
+        ++lcs[i].violations;
+      }
+      if (i == 0) {
+        primary = stats;
+      }
+    }
+
+    // Sample the period before re-planning, so the series reflects the
+    // allocation the epoch was actually served under.
+    ServeSample sample;
+    sample.time = machine.now();
+    sample.offered_rps = primary.offered_rps;
+    sample.p95_ms = primary.p95_ms;
+    sample.p99_ms = primary.p99_ms;
+    sample.queue_depth = primary.queue_depth_end;
+    if (manager != nullptr) {
+      sample.lc_ways = manager->LcWays(lcs[0].id);
+      sample.batch_max_mba = manager->pool().max_mba_percent;
+      sample.phase = ResourceManager::PhaseName(manager->phase());
+    } else {
+      sample.lc_ways = static_lc_ways;
+      sample.batch_max_mba = static_batch_mba;
+      sample.phase = ServeModeName(config.mode);
+    }
+    if (!batch.empty()) {
+      std::vector<double> slowdowns;
+      slowdowns.reserve(batch.size());
+      for (size_t i = 0; i < batch.size(); ++i) {
+        slowdowns.push_back(
+            Slowdown(batch_solo_full[i], machine.LastEpoch(batch[i]).ips));
+      }
+      sample.batch_unfairness = Unfairness(slowdowns);
+      unfairness_stats.Add(sample.batch_unfairness);
+    }
+    result.samples.push_back(std::move(sample));
+
+    // Plan the next epoch from the offered load at its start (zero-lag:
+    // the governor sees the same rate the generators will draw from).
+    const double now = machine.now();
+    for (size_t i = 0; i < lcs.size(); ++i) {
+      const double rate = ArrivalRateAt(config.lc_apps[i].arrival, now);
+      machine.SetAppRequiredIps(lcs[i].id, rate * lcs[i].ipr);
+      if (manager != nullptr) {
+        manager->SetLcOfferedLoad(lcs[i].id, rate);
+      }
+    }
+    if (manager != nullptr) {
+      manager->Tick();
+    }
+  }
+
+  for (const LcRuntime& lc : lcs) {
+    ServeLcResult r;
+    r.name = lc.name;
+    r.slo_p95_ms = lc.slo_ms;
+    r.arrivals = lc.server->total_arrivals();
+    r.completions = lc.server->total_completions();
+    r.drops = lc.server->total_drops();
+    r.queue_depth_end = lc.server->queue_depth();
+    const LatencySketch& sketch = lc.server->cumulative_latency();
+    if (sketch.count() > 0) {
+      r.p50_ms = sketch.Quantile(0.50) * 1e3;
+      r.p95_ms = sketch.Quantile(0.95) * 1e3;
+      r.p99_ms = sketch.Quantile(0.99) * 1e3;
+    }
+    r.slo_violation_fraction =
+        static_cast<double>(lc.violations) / static_cast<double>(periods);
+    result.lc.push_back(std::move(r));
+  }
+  result.mean_batch_unfairness = batch.empty() ? 0.0 : unfairness_stats.mean();
+  if (!batch.empty()) {
+    // Whole-run batch unfairness with the same Eq. 1/Eq. 2 methodology as
+    // harness/experiment.cc: avg IPS over the run vs. solo-full reference.
+    std::vector<double> run_slowdowns;
+    run_slowdowns.reserve(batch.size());
+    for (size_t i = 0; i < batch.size(); ++i) {
+      const double avg_ips =
+          machine.Counters(batch[i]).instructions / config.duration_sec;
+      run_slowdowns.push_back(Slowdown(batch_solo_full[i], avg_ips));
+    }
+    result.run_batch_unfairness = Unfairness(run_slowdowns);
+  }
+  result.copart_adaptations =
+      manager != nullptr ? manager->adaptations_started() : 0;
+  result.slo_resizes = manager != nullptr ? manager->slo_resizes() : 0;
+
+  if (manager != nullptr) {
+    manager->ExportMetrics(ObsMetrics(config.obs));
+    if (MetricsRegistry* metrics = ObsMetrics(config.obs)) {
+      for (const ServeLcResult& r : result.lc) {
+        const std::string prefix = "copart.serve." + r.name;
+        metrics->GetCounter(prefix + ".arrivals")->Increment(r.arrivals);
+        metrics->GetCounter(prefix + ".completions")->Increment(r.completions);
+        metrics->GetCounter(prefix + ".drops")->Increment(r.drops);
+        metrics->GetGauge(prefix + ".queue_depth_end")
+            ->Set(static_cast<double>(r.queue_depth_end));
+        metrics->GetGauge(prefix + ".p50_ms")->Set(r.p50_ms);
+        metrics->GetGauge(prefix + ".p95_ms")->Set(r.p95_ms);
+        metrics->GetGauge(prefix + ".p99_ms")->Set(r.p99_ms);
+        metrics->GetGauge(prefix + ".slo_violation_fraction")
+            ->Set(r.slo_violation_fraction);
+      }
+    }
+  }
+  return result;
+}
+
+ServeComparisonResult RunServeComparison(const ServeScenarioConfig& config,
+                                         const ParallelConfig& parallel) {
+  constexpr ServeMode kModes[3] = {ServeMode::kCopartSlo,
+                                   ServeMode::kEqualShare, ServeMode::kNoPart};
+  std::vector<ServeScenarioResult> cells = ParallelMap<ServeScenarioResult>(
+      parallel, 3, [&](size_t i) {
+        ServeScenarioConfig cell = config;
+        cell.mode = kModes[i];
+        if (cell.mode != ServeMode::kCopartSlo) {
+          cell.obs = nullptr;  // The bundle belongs to the CoPart cell.
+        }
+        return RunServeScenario(cell);
+      });
+  return ServeComparisonResult{std::move(cells[0]), std::move(cells[1]),
+                               std::move(cells[2])};
+}
+
+Status WriteServeCsv(const ServeScenarioResult& result,
+                     const std::string& path) {
+  CsvWriter writer(path);
+  if (!writer.ok()) {
+    return writer.status();
+  }
+  writer.WriteRow({"time", "offered_rps", "p95_ms", "p99_ms", "queue_depth",
+                   "lc_ways", "batch_max_mba", "batch_unfairness", "phase"});
+  for (const ServeSample& s : result.samples) {
+    writer.WriteRow({FormatG6(s.time), FormatG6(s.offered_rps),
+                     FormatG6(s.p95_ms), FormatG6(s.p99_ms),
+                     std::to_string(s.queue_depth), std::to_string(s.lc_ways),
+                     std::to_string(s.batch_max_mba),
+                     FormatG6(s.batch_unfairness), s.phase});
+  }
+  return writer.status();
+}
+
+ServeScenarioConfig Section63ServeScenario() {
+  ServeScenarioConfig config;
+  config.duration_sec = 30.0;
+  config.control_period_sec = 0.1;
+  config.seed = 42;
+
+  ServeLcSpec lc;
+  lc.workload = Memcached();
+  lc.cores = 8;
+  lc.arrival.kind = ArrivalKind::kBurst;
+  lc.arrival.base_rate_rps = 75000.0;
+  // Fig. 15's shape compressed: low load, a burst past what the static
+  // baselines can serve within the SLO, back to low load.
+  // 180 krps exceeds the ~150 krps a static equal share (or the contended
+  // default CLOS) can sustain, but stays within what the SLO governor can
+  // buy by widening the LC slice.
+  lc.arrival.burst_phases = {{5.0, 1.0}, {15.0, 2.4}, {10.0, 1.0}};
+  config.lc_apps.push_back(std::move(lc));
+
+  config.batch_apps.push_back(ServeBatchSpec{WordCount(), 4});
+  config.batch_apps.push_back(ServeBatchSpec{Kmeans(), 4});
+
+  // Batch MBA protection engages during the burst (§6.3: CoPart throttles
+  // the batch slice while memcached rides the load step).
+  config.copart_params.slo.protect_rps_threshold = 150000.0;
+  config.copart_params.slo.batch_mba_protect_percent = 50;
+  return config;
+}
+
+}  // namespace copart

@@ -1,0 +1,95 @@
+#include "serve/latency_sketch.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace copart {
+namespace {
+
+// Precomputed bucket upper edges, shared by every sketch. edges[i] is the
+// upper edge of bucket i+1 (bucket 0 is the underflow bucket with edge
+// kMinLatencySec). Computed once with pow(); lookups afterwards only
+// compare against these values, so any libm variation is frozen into the
+// table at startup and identical for every sketch in the process.
+struct EdgeTable {
+  EdgeTable() {
+    for (int i = 0; i < LatencySketch::kNumBuckets - 1; ++i) {
+      edges[i] = LatencySketch::kMinLatencySec *
+                 std::pow(10.0, static_cast<double>(i) /
+                                    LatencySketch::kBucketsPerDecade);
+    }
+  }
+  double edges[LatencySketch::kNumBuckets - 1];
+};
+
+const EdgeTable& Edges() {
+  static const EdgeTable table;
+  return table;
+}
+
+}  // namespace
+
+LatencySketch::LatencySketch() { Clear(); }
+
+void LatencySketch::Clear() {
+  buckets_.fill(0);
+  count_ = 0;
+}
+
+int LatencySketch::BucketIndex(double latency_sec) {
+  const EdgeTable& table = Edges();
+  const double value = latency_sec > 0.0 ? latency_sec : 0.0;
+  if (value < table.edges[0]) {
+    return 0;  // Underflow: below kMinLatencySec.
+  }
+  if (value >= table.edges[kNumBuckets - 2]) {
+    return kNumBuckets - 1;  // Overflow.
+  }
+  // First edge strictly greater than value; the bucket owning (edge[i-1],
+  // edge[i]] is i+1 (bucket 0 is underflow).
+  const double* begin = table.edges;
+  const double* end = table.edges + kNumBuckets - 1;
+  const double* it = std::upper_bound(begin, end, value);
+  return static_cast<int>(it - begin);
+}
+
+void LatencySketch::Record(double latency_sec) {
+  ++buckets_[static_cast<size_t>(BucketIndex(latency_sec))];
+  ++count_;
+}
+
+double LatencySketch::BucketUpperEdge(int index) {
+  const EdgeTable& table = Edges();
+  if (index <= 0) {
+    return kMinLatencySec;
+  }
+  return table.edges[std::min(index, kNumBuckets - 2)];
+}
+
+double LatencySketch::Quantile(double q) const {
+  if (count_ == 0) {
+    return 0.0;
+  }
+  const double clamped = std::clamp(q, 0.0, 1.0);
+  // Rank of the requested quantile, 1-based: ceil(q * count), at least 1.
+  const uint64_t rank = std::max<uint64_t>(
+      1, static_cast<uint64_t>(
+             std::ceil(clamped * static_cast<double>(count_))));
+  uint64_t cumulative = 0;
+  for (int i = 0; i < kNumBuckets; ++i) {
+    cumulative += buckets_[static_cast<size_t>(i)];
+    if (cumulative >= rank) {
+      return BucketUpperEdge(i);
+    }
+  }
+  return BucketUpperEdge(kNumBuckets - 1);
+}
+
+void LatencySketch::Merge(const LatencySketch& other) {
+  for (size_t i = 0; i < buckets_.size(); ++i) {
+    buckets_[i] += other.buckets_[i];
+  }
+  count_ += other.count_;
+}
+
+}  // namespace copart

@@ -1,0 +1,34 @@
+#include "serve/queue_model.h"
+
+#include <cmath>
+#include <limits>
+
+#include "common/logging.h"
+
+namespace copart {
+
+double PredictedSojournSec(double offered_rps, double service_rps,
+                           double percentile) {
+  CHECK_GT(percentile, 0.0);
+  CHECK_LT(percentile, 1.0);
+  if (service_rps <= 0.0 || offered_rps >= service_rps) {
+    return std::numeric_limits<double>::infinity();
+  }
+  const double offered = offered_rps > 0.0 ? offered_rps : 0.0;
+  return -std::log(1.0 - percentile) / (service_rps - offered);
+}
+
+double PredictedP95Ms(double offered_rps, double service_rps) {
+  return 1e3 * PredictedSojournSec(offered_rps, service_rps, 0.95);
+}
+
+double RequiredServiceRps(double offered_rps, double target_sec,
+                          double percentile) {
+  CHECK_GT(target_sec, 0.0);
+  CHECK_GT(percentile, 0.0);
+  CHECK_LT(percentile, 1.0);
+  const double offered = offered_rps > 0.0 ? offered_rps : 0.0;
+  return offered - std::log(1.0 - percentile) / target_sec;
+}
+
+}  // namespace copart

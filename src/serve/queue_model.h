@@ -1,0 +1,31 @@
+// Analytic queueing predictor shared by the SLO governor and harnesses.
+//
+// The LC surrogate is modelled as an M/M/1 FIFO server: Poisson arrivals
+// at `offered_rps`, exponential service at `service_rps` (the app's
+// epoch IPS capability divided by its per-request instruction demand).
+// The sojourn time is then exponential with rate (mu - lambda), so the
+// p-th percentile is -ln(1-p) / (mu - lambda). This one closed form
+// replaces the ad-hoc shape-factor model the §6.3 case study used to
+// carry inline (it is also exactly the distribution the discrete-event
+// engine realises, so predictor and measurement agree by construction).
+#ifndef COPART_SERVE_QUEUE_MODEL_H_
+#define COPART_SERVE_QUEUE_MODEL_H_
+
+namespace copart {
+
+// Predicted sojourn-time percentile (seconds). Returns +infinity when the
+// queue is unstable (offered >= service) or service is 0.
+double PredictedSojournSec(double offered_rps, double service_rps,
+                           double percentile);
+
+// The p95 special case, in milliseconds (the SLO's native unit).
+double PredictedP95Ms(double offered_rps, double service_rps);
+
+// Smallest service rate (requests/s) for which the predicted sojourn
+// percentile meets `target_sec`. Inverts PredictedSojournSec.
+double RequiredServiceRps(double offered_rps, double target_sec,
+                          double percentile);
+
+}  // namespace copart
+
+#endif  // COPART_SERVE_QUEUE_MODEL_H_

@@ -249,6 +249,10 @@ WorkloadDescriptor Memcached() {
   d.mem_latency_cycles = 200.0;
   d.mlp = 2.0;
   d.mba_kappa = 0.10;
+  // Service demand: ~60k instructions per request (get/set with parsing
+  // and hashing), 1 ms p95 SLO (§6.3).
+  d.instructions_per_request = 60000.0;
+  d.slo_p95_ms = 1.0;
   return d;
 }
 

@@ -82,6 +82,15 @@ struct WorkloadDescriptor {
   // Threads == dedicated cores (the paper pins one thread per core).
   uint32_t num_threads = 4;
 
+  // --- LC service-demand parameters (kLatencyCritical only) ---
+  // Mean instructions retired per request; converts offered load
+  // (requests/s) into required IPS and IPS capability into a service rate
+  // for the serve engine (src/serve). 0 for batch workloads.
+  double instructions_per_request = 0.0;
+  // Default tail-latency SLO the §6.3 case study and serve harness apply
+  // to this workload (95th percentile sojourn, ms). 0 for batch.
+  double slo_p95_ms = 0.0;
+
   // Optional phase program, cycled for the lifetime of the app; empty means
   // a single steady phase with the baseline parameters.
   std::vector<WorkloadPhase> phases;

@@ -3,6 +3,8 @@
 
 #include <gtest/gtest.h>
 
+#include "obs/metrics_registry.h"
+
 namespace copart {
 namespace {
 
@@ -121,6 +123,51 @@ TEST(ClusterTest, FleetMetricsAggregate) {
   cluster.Tick(0.5);
   EXPECT_EQ(cluster.AllSlowdowns().size(), 4u);
   EXPECT_GE(cluster.MeanNodeUnfairness(), 0.0);
+}
+
+TEST(ClusterTest, ExportMetricsPublishesPlacementAndFairnessCounters) {
+  Cluster cluster;
+  cluster.AddNode("n0", QuietConfig());
+  cluster.AddNode("n1", QuietConfig());
+  ASSERT_TRUE(
+      cluster.Submit(WaterNsquared(), 4, PlacementPolicy::kFirstFit).ok());
+  ASSERT_TRUE(cluster.Submit(Cg(), 4, PlacementPolicy::kLeastLoaded).ok());
+  ASSERT_TRUE(cluster.Submit(Sp(), 4, PlacementPolicy::kLeastLoaded).ok());
+  ASSERT_TRUE(
+      cluster.Submit(Swaptions(), 4, PlacementPolicy::kWhatIfBest).ok());
+  // Sixteen cores can no longer be free on either node: guaranteed reject.
+  EXPECT_FALSE(cluster.Submit(Ep(), 16, PlacementPolicy::kFirstFit).ok());
+
+  EXPECT_EQ(cluster.placements(PlacementPolicy::kFirstFit), 1u);
+  EXPECT_EQ(cluster.placements(PlacementPolicy::kLeastLoaded), 2u);
+  EXPECT_EQ(cluster.placements(PlacementPolicy::kWhatIfBest), 1u);
+  EXPECT_EQ(cluster.placements_rejected(), 1u);
+
+  for (int i = 0; i < 10; ++i) {
+    cluster.Tick(0.5);
+  }
+  MetricsRegistry metrics;
+  cluster.ExportMetrics(&metrics);
+  EXPECT_EQ(metrics.GetCounter("copart.cluster.placements.first-fit")->value(),
+            1u);
+  EXPECT_EQ(
+      metrics.GetCounter("copart.cluster.placements.least-loaded")->value(),
+      2u);
+  EXPECT_EQ(
+      metrics.GetCounter("copart.cluster.placements.what-if-best")->value(),
+      1u);
+  EXPECT_EQ(metrics.GetCounter("copart.cluster.placements.rejected")->value(),
+            1u);
+  EXPECT_EQ(metrics.GetGauge("copart.cluster.n0.jobs")->value() +
+                metrics.GetGauge("copart.cluster.n1.jobs")->value(),
+            4.0);
+  EXPECT_EQ(metrics.GetGauge("copart.cluster.n0.free_cores")->value() +
+                metrics.GetGauge("copart.cluster.n1.free_cores")->value(),
+            16.0);
+  EXPECT_GE(metrics.GetGauge("copart.cluster.mean_unfairness")->value(), 0.0);
+  EXPECT_GE(metrics.GetGauge("copart.cluster.n0.unfairness")->value(), 0.0);
+  // Null registry: a no-op, not a crash.
+  cluster.ExportMetrics(nullptr);
 }
 
 TEST(ClusterTest, WhatIfBeatsFirstFitOnASkewedArrivalSequence) {

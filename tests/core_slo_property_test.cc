@@ -1,0 +1,106 @@
+// Chaos property for the SLO-aware serving mode (DESIGN.md §9): under
+// fault injection on the resctrl actuation surface — transient schemata
+// rejections, silent drops, partial applies — the latency-critical app's
+// CLOS must NEVER be left narrower than SloParams::lc_way_floor, neither
+// in the governor's plan nor in the actuated way mask. Runs under
+// `ctest -L chaos` as well as the default pass.
+#include <gtest/gtest.h>
+
+#include "common/fault_injector.h"
+#include "core/resource_manager.h"
+#include "harness/serve.h"
+#include "pmc/perf_monitor.h"
+#include "resctrl/resctrl.h"
+#include "workload/workload.h"
+
+namespace copart {
+namespace {
+
+constexpr uint32_t kWayFloor = 2;
+
+// One fault schedule: build the §6.3-style managed machine (memcached LC +
+// two batch apps), arm the schemata points, drive a load ramp that forces
+// the governor to resize in both directions, and check the floor after
+// every control period.
+void RunSchedule(uint64_t seed) {
+  FaultInjector injector(seed);
+  MachineConfig machine_config;
+  machine_config.fault_injector = &injector;
+  SimulatedMachine machine(machine_config);
+  Resctrl resctrl(&machine);
+  PerfMonitor monitor(&machine);
+
+  ResourceManagerParams params;
+  params.control_period_sec = 0.1;
+  params.slo.enabled = true;
+  params.slo.lc_way_floor = kWayFloor;
+  params.slo.protect_rps_threshold = 150000.0;
+  ResourceManager manager(&resctrl, &monitor, params);
+
+  const WorkloadDescriptor lc_desc = Memcached();
+  Result<AppId> lc = machine.LaunchApp(lc_desc, 8);
+  ASSERT_TRUE(lc.ok()) << lc.status().ToString();
+  LcAppModel model;
+  model.slo_p95_ms = lc_desc.slo_p95_ms;
+  model.instructions_per_request = lc_desc.instructions_per_request;
+  model.capability_ips = [&](uint32_t ways) {
+    return PredictLcCapabilityIps(lc_desc, 8, ways, machine_config);
+  };
+  model.initial_offered_rps = 75000.0;
+  ASSERT_TRUE(manager.SetLatencyCriticalApp(*lc, model).ok());
+  for (const WorkloadDescriptor& batch : {WordCount(), Kmeans()}) {
+    Result<AppId> app = machine.LaunchApp(batch, 4);
+    ASSERT_TRUE(app.ok());
+    ASSERT_TRUE(manager.AddApp(*app).ok());
+  }
+
+  // Arm the actuation faults AFTER registration: registration itself is
+  // covered by the chaos suite; this property targets steady-state
+  // resizing. Probabilities are high enough that every schedule sees
+  // failed and silently-dropped writes (verified below).
+  FaultSpec transient;
+  transient.probability = 0.2;
+  transient.burst_length = 2;
+  FaultSpec silent;
+  silent.probability = 0.1;
+  injector.Arm(fault_points::kResctrlSetL3, transient);
+  injector.Arm(fault_points::kResctrlSetMb, transient);
+  injector.Arm(fault_points::kResctrlSetL3Silent, silent);
+  injector.Arm(fault_points::kResctrlSetMbSilent, silent);
+  injector.Arm(fault_points::kResctrlSchemataPartial, silent);
+
+  // Load ramp: quiet -> burst past the protect threshold -> quiet, so the
+  // governor grows, protects, and shrinks the slice under fire.
+  for (int period = 0; period < 300; ++period) {
+    const double t = 0.1 * period;
+    const double rps = (t < 10.0 || t >= 20.0) ? 75000.0 : 190000.0;
+    machine.SetAppRequiredIps(*lc, rps * lc_desc.instructions_per_request);
+    manager.SetLcOfferedLoad(*lc, rps);
+    machine.AdvanceTime(0.1);
+    manager.Tick();
+
+    // The plan never goes below the floor...
+    ASSERT_GE(manager.LcWays(*lc), kWayFloor)
+        << "seed " << seed << " period " << period;
+    // ...and neither does the actuated mask, whatever subset of writes the
+    // schedule let through.
+    const WayMask actuated = machine.ClosWayMask(machine.AppClos(*lc));
+    ASSERT_FALSE(actuated.Empty()) << "seed " << seed << " period " << period;
+    ASSERT_GE(actuated.CountWays(), kWayFloor)
+        << "seed " << seed << " period " << period;
+  }
+  // The schedule actually exercised the fault surface.
+  EXPECT_GT(injector.total_failures(), 0u) << "seed " << seed;
+}
+
+TEST(SloChaosPropertyTest, LcClosNeverDropsBelowFloorUnderFaults) {
+  for (uint64_t seed = 1; seed <= 12; ++seed) {
+    RunSchedule(seed);
+    if (::testing::Test::HasFatalFailure()) {
+      return;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace copart

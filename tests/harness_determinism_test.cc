@@ -7,12 +7,21 @@
 
 #include <gtest/gtest.h>
 
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "common/logging.h"
 #include "common/parallel.h"
 #include "harness/chaos.h"
 #include "harness/experiment.h"
 #include "harness/heatmap.h"
 #include "harness/mix.h"
 #include "harness/replication.h"
+#include "harness/serve.h"
 #include "harness/static_oracle.h"
 #include "machine/simulated_machine.h"
 #include "obs/obs.h"
@@ -212,6 +221,65 @@ TEST(HarnessDeterminismTest,
     EXPECT_EQ(obs.metrics.DumpJson(/*deterministic_only=*/true),
               reference.metrics.DumpJson(/*deterministic_only=*/true))
         << "repeat=" << repeat;
+  }
+}
+
+TEST(HarnessDeterminismTest,
+     ServeArtifactsAreByteIdenticalAcrossRunsAndThreadCounts) {
+  // Every artifact the serve harness can export — per-period CSV, Chrome
+  // trace, audit log, deterministic metrics — must be a pure function of
+  // the scenario seed: byte-identical across repeated runs AND across
+  // --threads values (the three comparison cells fan out in parallel).
+  ServeScenarioConfig config = Section63ServeScenario();
+  config.duration_sec = 10.0;  // Trimmed: the full trace runs elsewhere.
+
+  auto csv_string = [](const ServeScenarioResult& result) {
+    char path[] = "/tmp/copart_serve_det_XXXXXX";
+    const int fd = mkstemp(path);
+    CHECK_GE(fd, 0);
+    close(fd);
+    CHECK(WriteServeCsv(result, path).ok());
+    std::ifstream in(path, std::ios::binary);
+    std::ostringstream contents;
+    contents << in.rdbuf();
+    std::remove(path);
+    return contents.str();
+  };
+
+  struct Artifacts {
+    std::string csv, trace, audit, metrics;
+  };
+  auto run_once = [&](uint32_t threads) {
+    Observability obs;
+    ServeScenarioConfig cell = config;
+    cell.obs = &obs;
+    const ServeComparisonResult comparison = RunServeComparison(
+        cell, ParallelConfig{.num_threads = threads});
+    Artifacts artifacts;
+    artifacts.csv = csv_string(comparison.copart) +
+                    csv_string(comparison.equal_share) +
+                    csv_string(comparison.no_part);
+    artifacts.trace = obs.tracer.ChromeTraceJson();
+    artifacts.audit = obs.audit.ToJson();
+    artifacts.metrics = obs.metrics.DumpJson(/*deterministic_only=*/true);
+    return artifacts;
+  };
+
+  const Artifacts reference = run_once(1);
+  EXPECT_GT(reference.csv.size(), 0u);
+  EXPECT_GT(reference.audit.size(), 2u);  // More than "[]".
+  EXPECT_GT(reference.metrics.size(), 2u);
+  const Artifacts repeat = run_once(1);
+  EXPECT_EQ(repeat.csv, reference.csv);
+  EXPECT_EQ(repeat.trace, reference.trace);
+  EXPECT_EQ(repeat.audit, reference.audit);
+  EXPECT_EQ(repeat.metrics, reference.metrics);
+  for (uint32_t threads : kThreadCounts) {
+    const Artifacts parallel = run_once(threads);
+    EXPECT_EQ(parallel.csv, reference.csv) << "threads=" << threads;
+    EXPECT_EQ(parallel.trace, reference.trace) << "threads=" << threads;
+    EXPECT_EQ(parallel.audit, reference.audit) << "threads=" << threads;
+    EXPECT_EQ(parallel.metrics, reference.metrics) << "threads=" << threads;
   }
 }
 

@@ -1,0 +1,206 @@
+// The serve harness's headline contract (paper §6.3 on the discrete-event
+// engine): with SLO mode on, the memcached surrogate's deterministic p95
+// stays under its SLO through the burst while batch unfairness remains
+// within 0.10 of a batch-only CoPart run; EqualShare and NoPart violate the
+// SLO under the same trace. The full comparison is additionally pinned by
+// a byte-exact golden document that must be bit-identical for every
+// --threads value.
+//
+// To regenerate after an INTENDED behavior change:
+//   COPART_REGENERATE_GOLDEN=1 ./harness_serve_test
+// then review the diff of tests/golden/serve_golden.json.
+#include "harness/serve.h"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "common/parallel.h"
+#include "harness/experiment.h"
+#include "harness/mix.h"
+#include "workload/workload.h"
+
+namespace copart {
+namespace {
+
+#ifndef COPART_GOLDEN_DIR
+#error "COPART_GOLDEN_DIR must be defined by the build"
+#endif
+
+std::string GoldenPath() {
+  return std::string(COPART_GOLDEN_DIR) + "/serve_golden.json";
+}
+
+std::string FormatDouble(double value) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.17g", value);
+  return buffer;
+}
+
+void AppendCell(std::ostringstream& out, const ServeScenarioResult& result) {
+  out << "  \"" << ServeModeName(result.mode) << "\": {\n";
+  const ServeLcResult& lc = result.lc.front();
+  out << "    \"lc_name\": \"" << lc.name << "\",\n";
+  out << "    \"arrivals\": " << lc.arrivals << ",\n";
+  out << "    \"completions\": " << lc.completions << ",\n";
+  out << "    \"drops\": " << lc.drops << ",\n";
+  out << "    \"queue_depth_end\": " << lc.queue_depth_end << ",\n";
+  out << "    \"p50_ms\": " << FormatDouble(lc.p50_ms) << ",\n";
+  out << "    \"p95_ms\": " << FormatDouble(lc.p95_ms) << ",\n";
+  out << "    \"p99_ms\": " << FormatDouble(lc.p99_ms) << ",\n";
+  out << "    \"slo_violation_fraction\": "
+      << FormatDouble(lc.slo_violation_fraction) << ",\n";
+  out << "    \"mean_batch_unfairness\": "
+      << FormatDouble(result.mean_batch_unfairness) << ",\n";
+  out << "    \"run_batch_unfairness\": "
+      << FormatDouble(result.run_batch_unfairness) << ",\n";
+  out << "    \"copart_adaptations\": " << result.copart_adaptations << ",\n";
+  out << "    \"slo_resizes\": " << result.slo_resizes << ",\n";
+  // Every 10th control period: enough to pin the burst trajectory (ways
+  // widening, MBA protection, queue drain) without a bulky golden.
+  out << "    \"samples\": [\n";
+  for (size_t i = 0; i < result.samples.size(); i += 10) {
+    const ServeSample& s = result.samples[i];
+    out << "      [" << FormatDouble(s.time) << ", "
+        << FormatDouble(s.offered_rps) << ", " << FormatDouble(s.p95_ms)
+        << ", " << s.queue_depth << ", " << s.lc_ways << ", "
+        << s.batch_max_mba << ", \"" << s.phase << "\"]"
+        << (i + 10 < result.samples.size() ? "," : "") << "\n";
+  }
+  out << "    ]\n";
+  out << "  }";
+}
+
+std::string SerializeComparison(const ServeComparisonResult& comparison) {
+  std::ostringstream out;
+  out << "{\n";
+  AppendCell(out, comparison.copart);
+  out << ",\n";
+  AppendCell(out, comparison.equal_share);
+  out << ",\n";
+  AppendCell(out, comparison.no_part);
+  out << "\n}\n";
+  return out.str();
+}
+
+// The §6.3 comparison is the most expensive computation in this suite;
+// compute the canonical (serial) run once and share it across tests.
+const ServeComparisonResult& Comparison() {
+  static const ServeComparisonResult comparison = RunServeComparison(
+      Section63ServeScenario(), ParallelConfig{.num_threads = 1});
+  return comparison;
+}
+
+TEST(HarnessServeTest, CopartMeetsSloWhileStaticBaselinesViolate) {
+  const ServeComparisonResult& comparison = Comparison();
+  const double slo_ms = comparison.copart.lc.front().slo_p95_ms;
+  ASSERT_GT(slo_ms, 0.0);
+
+  // CoPart: run-level p95 under the SLO, and almost no violating epochs.
+  EXPECT_LT(comparison.copart.lc.front().p95_ms, slo_ms);
+  EXPECT_LT(comparison.copart.lc.front().slo_violation_fraction, 0.05);
+  EXPECT_EQ(comparison.copart.lc.front().drops, 0u);
+  // The governor actually rode the burst: at least one resize each way.
+  EXPECT_GT(comparison.copart.slo_resizes, 0u);
+
+  // The static baselines drown during the burst.
+  for (const ServeScenarioResult* baseline :
+       {&comparison.equal_share, &comparison.no_part}) {
+    EXPECT_GT(baseline->lc.front().p95_ms, slo_ms)
+        << ServeModeName(baseline->mode);
+    EXPECT_GT(baseline->lc.front().slo_violation_fraction, 0.25)
+        << ServeModeName(baseline->mode);
+  }
+}
+
+TEST(HarnessServeTest, BatchUnfairnessStaysNearBatchOnlyCopart) {
+  // Reference: the same batch pair under plain CoPart with no LC app at
+  // all, measured with the experiment harness's Eq. 1/Eq. 2 methodology.
+  const ServeScenarioConfig config = Section63ServeScenario();
+  WorkloadMix mix;
+  mix.name = "batch_only";
+  for (const ServeBatchSpec& spec : config.batch_apps) {
+    mix.apps.push_back(spec.workload);
+  }
+  ExperimentConfig experiment;
+  experiment.machine = config.machine;
+  experiment.duration_sec = config.duration_sec;
+  experiment.control_period_sec = config.control_period_sec;
+  experiment.cores_per_app = 4;
+  const ExperimentResult batch_only =
+      RunExperiment(mix, CoPartFactory(config.copart_params), experiment);
+
+  // Serving memcached through the burst may cost the batch apps some
+  // fairness (the governor takes ways and throttles MBA), but no more
+  // than 0.10 on the [0, 1] unfairness metric.
+  const double delta = Comparison().copart.run_batch_unfairness -
+                       batch_only.unfairness;
+  EXPECT_LE(std::abs(delta), 0.10)
+      << "serve " << Comparison().copart.run_batch_unfairness
+      << " vs batch-only " << batch_only.unfairness;
+}
+
+TEST(HarnessServeTest, ComparisonMatchesGoldenFile) {
+  const std::string actual = SerializeComparison(Comparison());
+  const std::string path = GoldenPath();
+
+  if (std::getenv("COPART_REGENERATE_GOLDEN") != nullptr) {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    ASSERT_TRUE(out.good()) << "cannot write " << path;
+    out << actual;
+    out.close();
+    ASSERT_TRUE(out.good()) << "short write to " << path;
+    GTEST_SKIP() << "regenerated " << path << "; review the diff";
+  }
+
+  std::ifstream in(path, std::ios::binary);
+  ASSERT_TRUE(in.good())
+      << "missing golden file " << path
+      << " — run with COPART_REGENERATE_GOLDEN=1 to create it";
+  std::ostringstream contents;
+  contents << in.rdbuf();
+  const std::string expected = contents.str();
+
+  if (actual != expected) {
+    std::istringstream actual_lines(actual), expected_lines(expected);
+    std::string actual_line, expected_line;
+    size_t line = 0;
+    while (true) {
+      ++line;
+      const bool have_actual =
+          static_cast<bool>(std::getline(actual_lines, actual_line));
+      const bool have_expected =
+          static_cast<bool>(std::getline(expected_lines, expected_line));
+      if (!have_actual && !have_expected) {
+        break;
+      }
+      if (!have_actual || !have_expected || actual_line != expected_line) {
+        FAIL() << "golden mismatch at line " << line << "\n  golden: "
+               << (have_expected ? expected_line : "<eof>")
+               << "\n  actual: " << (have_actual ? actual_line : "<eof>")
+               << "\nIf this change is intended, regenerate with "
+                  "COPART_REGENERATE_GOLDEN=1 and review the diff.";
+      }
+    }
+  }
+  SUCCEED();
+}
+
+TEST(HarnessServeTest, ComparisonIsBitIdenticalAcrossThreadCounts) {
+  // The whole golden document — every sampled trajectory point of every
+  // mode — must serialize byte-for-byte the same at any --threads value.
+  const std::string serial = SerializeComparison(Comparison());
+  for (uint32_t threads : {2u, 8u}) {
+    const ServeComparisonResult parallel = RunServeComparison(
+        Section63ServeScenario(), ParallelConfig{.num_threads = threads});
+    EXPECT_EQ(SerializeComparison(parallel), serial) << "threads=" << threads;
+  }
+}
+
+}  // namespace
+}  // namespace copart

@@ -7,12 +7,16 @@
 //   compare <mix> [count]            all policies side by side
 //   oracle <mix> [count]             show the offline ST search result
 //   casestudy [--eq]                 the §6.3 LC + batch scenario
+//   serve [--csv p] [--out p]        §6.3 burst trace served by the
+//                                    discrete-event engine under CoPart SLO
+//                                    mode vs. EqualShare vs. NoPart
 //   chaos [schedules] [base_seed]    randomized fault schedules vs. the
 //                                    hardened controller (DESIGN.md §7)
-//   trace <mix|casestudy> [count] [s]  run CoPart (or the casestudy) with
-//                                    observability on and export
-//                                    <prefix>.trace.json (Chrome trace),
-//                                    .audit.json, .metrics.json
+//   trace <mix|casestudy|serve|cluster> [count] [s]  run CoPart (or the
+//                                    casestudy / serve / cluster demo
+//                                    scenario) with observability on
+//                                    and export <prefix>.trace.json (Chrome
+//                                    trace), .audit.json, .metrics.json
 //
 // Mixes: H-LLC H-BW H-Both M-LLC M-BW M-Both IS
 // Policies: EQ ST CAT-only MBA-only CoPart UCP NoPart
@@ -21,12 +25,14 @@
 #include <cstring>
 #include <string>
 
+#include "cluster/cluster.h"
 #include "common/parallel.h"
 #include "harness/case_study.h"
 #include "harness/chaos.h"
 #include "harness/experiment.h"
 #include "harness/heatmap.h"
 #include "harness/mix.h"
+#include "harness/serve.h"
 #include "harness/static_oracle.h"
 #include "harness/table_printer.h"
 #include "machine/simulated_machine.h"
@@ -46,8 +52,10 @@ int Usage() {
       "  compare <mix> [app_count]\n"
       "  oracle <mix> [app_count]\n"
       "  casestudy [--eq]\n"
+      "  serve [--csv prefix] [--out prefix]\n"
       "  chaos [schedules] [base_seed] | chaos --seed <schedule_seed>\n"
-      "  trace <mix|casestudy> [app_count] [duration_sec] [--out prefix]\n"
+      "  trace <mix|casestudy|serve|cluster> [app_count] [duration_sec] "
+      "[--out prefix]\n"
       "mixes: H-LLC H-BW H-Both M-LLC M-BW M-Both IS\n"
       "policies: EQ ST CAT-only MBA-only CoPart UCP NoPart\n"
       "--threads N: fan sweeps (characterize, oracle) out over N worker\n"
@@ -221,13 +229,83 @@ int CmdCaseStudy(bool use_eq) {
   CaseStudyConfig config;
   config.use_copart = !use_eq;
   const CaseStudyResult result = RunCaseStudy(config);
-  std::printf("batch manager: %s\n", use_eq ? "EQ" : "CoPart");
+  std::printf("manager: %s\n",
+              use_eq ? "EqualShare (static split, no SLO awareness)"
+                     : "CoPart (SLO mode)");
   std::printf("mean batch unfairness: %.4f\n", result.mean_batch_unfairness);
+  std::printf("LC run p95: %.3f ms (%llu/%llu requests completed, "
+              "%llu dropped)\n",
+              result.lc_run_p95_ms,
+              static_cast<unsigned long long>(result.lc_completions),
+              static_cast<unsigned long long>(result.lc_arrivals),
+              static_cast<unsigned long long>(result.lc_drops));
   std::printf("p95 SLO violations: %.1f%% of samples\n",
               100.0 * result.slo_violation_fraction);
   if (!use_eq) {
     std::printf("re-adaptations: %llu\n",
                 static_cast<unsigned long long>(result.copart_adaptations));
+  }
+  return 0;
+}
+
+// The §6.3 burst scenario served by the discrete-event engine under all
+// three modes. --csv writes one per-epoch series per mode; --out attaches
+// the observability bundle to the CoPart cell and exports its artifacts.
+int CmdServe(const std::string& csv_prefix, const std::string& obs_prefix,
+             const ParallelConfig& parallel) {
+  Observability obs;
+  ServeScenarioConfig config = Section63ServeScenario();
+  if (!obs_prefix.empty()) {
+    config.obs = &obs;
+  }
+  const ServeComparisonResult result = RunServeComparison(config, parallel);
+
+  auto fmt = [](const char* spec, double value) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), spec, value);
+    return std::string(buf);
+  };
+  std::vector<std::vector<std::string>> rows;
+  for (const ServeScenarioResult* mode :
+       {&result.copart, &result.equal_share, &result.no_part}) {
+    const ServeLcResult& lc = mode->lc.front();
+    rows.push_back({ServeModeName(mode->mode),
+                    fmt("%.1f%%", 100.0 * lc.slo_violation_fraction),
+                    fmt("%.3f", lc.p50_ms), fmt("%.3f", lc.p95_ms),
+                    fmt("%.3f", lc.p99_ms), std::to_string(lc.drops),
+                    fmt("%.4f", mode->run_batch_unfairness)});
+  }
+  PrintTable({"mode", "slo_viol", "p50_ms", "p95_ms", "p99_ms", "drops",
+              "batch_unfairness"},
+             rows);
+  const ServeLcResult& lc = result.copart.lc.front();
+  std::printf("SLO: p95 <= %.1f ms; CoPart resizes: %llu, re-adaptations: "
+              "%llu\n",
+              lc.slo_p95_ms,
+              static_cast<unsigned long long>(result.copart.slo_resizes),
+              static_cast<unsigned long long>(result.copart.copart_adaptations));
+
+  if (!csv_prefix.empty()) {
+    for (const ServeScenarioResult* mode :
+         {&result.copart, &result.equal_share, &result.no_part}) {
+      const std::string path =
+          csv_prefix + "_" + ServeModeName(mode->mode) + ".csv";
+      const Status status = WriteServeCsv(*mode, path);
+      if (!status.ok()) {
+        std::fprintf(stderr, "%s\n", status.ToString().c_str());
+        return 1;
+      }
+      std::printf("series -> %s\n", path.c_str());
+    }
+  }
+  if (!obs_prefix.empty()) {
+    const Status status = obs.ExportAll(obs_prefix);
+    if (!status.ok()) {
+      std::fprintf(stderr, "%s\n", status.ToString().c_str());
+      return 1;
+    }
+    std::printf("observability -> %s.{trace,audit,metrics}.json\n",
+                obs_prefix.c_str());
   }
   return 0;
 }
@@ -301,6 +379,47 @@ int CmdTrace(const std::string& target, size_t count, double duration,
     std::printf("mean batch unfairness: %.4f   re-adaptations: %llu\n",
                 result.mean_batch_unfairness,
                 static_cast<unsigned long long>(result.copart_adaptations));
+  } else if (target == "serve") {
+    // The §6.3 burst scenario, CoPart SLO-mode cell only.
+    ServeScenarioConfig config = Section63ServeScenario();
+    config.mode = ServeMode::kCopartSlo;
+    config.obs = &obs;
+    const ServeScenarioResult result = RunServeScenario(config);
+    const ServeLcResult& lc = result.lc.front();
+    std::printf("serve scenario (CoPart SLO mode), observability on:\n");
+    std::printf("LC run p95: %.3f ms   SLO violations: %.1f%%   "
+                "batch unfairness: %.4f\n",
+                lc.p95_ms, 100.0 * lc.slo_violation_fraction,
+                result.run_batch_unfairness);
+  } else if (target == "cluster") {
+    // A small placement demo: two managed nodes, six jobs placed by the
+    // what-if policy, run to convergence. Node 0's controller carries the
+    // trace/audit streams; the cluster dumps fleet gauges and placement
+    // counters into the shared metrics registry.
+    Cluster cluster;
+    ClusterNode* n0 = cluster.AddNode("n0");
+    cluster.AddNode("n1");
+    n0->manager().SetObservability(&obs);
+    const WorkloadDescriptor jobs[] = {WaterNsquared(), Cg(),  Sp(),
+                                       Swaptions(),     Fmm(), Ep()};
+    for (const WorkloadDescriptor& job : jobs) {
+      const Result<Placement> placed =
+          cluster.Submit(job, 4, PlacementPolicy::kWhatIfBest);
+      if (!placed.ok()) {
+        std::fprintf(stderr, "%s\n", placed.status().ToString().c_str());
+        return 1;
+      }
+    }
+    for (int tick = 0; tick < 40; ++tick) {
+      cluster.Tick(0.5);
+    }
+    cluster.ExportMetrics(ObsMetrics(&obs));
+    std::printf("cluster (2 nodes, 6 jobs, what-if placement), "
+                "observability on node n0:\n");
+    std::printf("mean node unfairness: %.4f   what-if placements: %llu\n",
+                cluster.MeanNodeUnfairness(),
+                static_cast<unsigned long long>(
+                    cluster.placements(PlacementPolicy::kWhatIfBest)));
   } else {
     Result<MixFamily> family = FindMix(target);
     if (!family.ok()) {
@@ -359,6 +478,20 @@ int Main(int argc, char** argv) {
   }
   if (command == "casestudy") {
     return CmdCaseStudy(argc >= 3 && std::strcmp(argv[2], "--eq") == 0);
+  }
+  if (command == "serve") {
+    std::string csv_prefix;
+    std::string obs_prefix;
+    for (int i = 2; i < argc; ++i) {
+      if (std::strcmp(argv[i], "--csv") == 0 && i + 1 < argc) {
+        csv_prefix = argv[++i];
+      } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+        obs_prefix = argv[++i];
+      } else {
+        return Usage();
+      }
+    }
+    return CmdServe(csv_prefix, obs_prefix, parallel);
   }
   if (command == "chaos") {
     if (argc >= 4 && std::strcmp(argv[2], "--seed") == 0) {

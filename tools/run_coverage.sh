@@ -2,10 +2,10 @@
 # Line-coverage gate for the controller and observability layers.
 #
 # Builds with gcc's --coverage instrumentation, runs the full ctest suite,
-# extracts line coverage for src/core and src/obs with `gcov --json-format`
-# (parsed by the embedded python3 — no gcovr/lcov dependency), and fails if
-# either directory's coverage drops below the committed baseline
-# (tools/coverage_baseline.txt) by more than SLACK_PCT.
+# extracts line coverage for src/core, src/obs, and src/serve with
+# `gcov --json-format` (parsed by the embedded python3 — no gcovr/lcov
+# dependency), and fails if any directory's coverage drops below the
+# committed baseline (tools/coverage_baseline.txt) by more than SLACK_PCT.
 #
 # Usage:
 #   tools/run_coverage.sh [build-dir]          # gate against the baseline
@@ -34,7 +34,8 @@ ctest --test-dir "$BUILD_DIR" --output-on-failure
 # directories, collecting the gzipped JSON reports in a scratch dir.
 GCOV_OUT="$(mktemp -d /tmp/copart_gcov.XXXXXX)"
 trap 'rm -rf "$GCOV_OUT"' EXIT
-find "$BUILD_DIR/src/core" "$BUILD_DIR/src/obs" -name '*.gcda' |
+find "$BUILD_DIR/src/core" "$BUILD_DIR/src/obs" "$BUILD_DIR/src/serve" \
+  -name '*.gcda' |
   while IFS= read -r gcda; do
     (cd "$GCOV_OUT" && gcov --json-format "$OLDPWD/$gcda" >/dev/null)
   done
@@ -46,7 +47,8 @@ REPORT="$(python3 - "$GCOV_OUT" <<'EOF'
 import glob, gzip, json, os, sys
 
 gcov_dir = sys.argv[1]
-gated = {"src/core": {}, "src/obs": {}}  # dir -> file -> line -> covered
+# dir -> file -> line -> covered
+gated = {"src/core": {}, "src/obs": {}, "src/serve": {}}
 
 for path in glob.glob(os.path.join(gcov_dir, "*.gcov.json.gz")):
     with gzip.open(path, "rt") as handle:
@@ -116,4 +118,4 @@ if [[ "$fail" != 0 ]]; then
     "baseline with COPART_COVERAGE_UPDATE=1 and justify the drop"
   exit 1
 fi
-echo "run_coverage: src/core and src/obs hold the baseline"
+echo "run_coverage: src/core, src/obs, and src/serve hold the baseline"

@@ -11,35 +11,46 @@
 # stay under OBS_OVERHEAD_PCT (2%) — disabled instrumentation is one branch
 # per site and must never grow a measurable cost (DESIGN.md §8).
 #
+# bench_serve (the request-serving subsystem, DESIGN.md §9) is gated the
+# same way against BENCH_serve.json: simulated requests/sec of the raw
+# discrete-event engine and epochs/sec of the SLO-mode control loop.
+#
 # Usage: tools/run_perf_smoke.sh [build-dir]
 #
 # The threshold is deliberately loose — CI machines are noisy — so a failure
 # here means a real algorithmic regression (e.g. reintroducing per-epoch
 # allocations or exact solves on the hot path), not jitter. Refresh the
-# baseline by running the bench from the repo root on a quiet machine:
+# baselines by running the benches from the repo root on a quiet machine:
 #   ./<build-dir>/bench/bench_sim_throughput --min-seconds=1
+#   ./<build-dir>/bench/bench_serve --min-seconds=1
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 BUILD_DIR="${1:-build-perf}"
 BASELINE="BENCH_sim_throughput.json"
+SERVE_BASELINE="BENCH_serve.json"
 REGRESSION_PCT=20
 OBS_OVERHEAD_PCT=2
 
-if [[ ! -f "$BASELINE" ]]; then
-  echo "run_perf_smoke: no committed baseline at $BASELINE" >&2
-  exit 1
-fi
+for baseline in "$BASELINE" "$SERVE_BASELINE"; do
+  if [[ ! -f "$baseline" ]]; then
+    echo "run_perf_smoke: no committed baseline at $baseline" >&2
+    exit 1
+  fi
+done
 
 cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=Release
-cmake --build "$BUILD_DIR" --target bench_sim_throughput -j "$(nproc)"
+cmake --build "$BUILD_DIR" --target bench_sim_throughput bench_serve \
+  -j "$(nproc)"
 
 FRESH="$(mktemp /tmp/bench_sim_throughput.XXXXXX.json)"
 FRESH_INJ="$(mktemp /tmp/bench_sim_throughput_inj.XXXXXX.json)"
-trap 'rm -f "$FRESH" "$FRESH_INJ"' EXIT
+FRESH_SERVE="$(mktemp /tmp/bench_serve.XXXXXX.json)"
+trap 'rm -f "$FRESH" "$FRESH_INJ" "$FRESH_SERVE"' EXIT
 "$BUILD_DIR/bench/bench_sim_throughput" --json="$FRESH" --min-seconds=0.5
 "$BUILD_DIR/bench/bench_sim_throughput" --json="$FRESH_INJ" \
   --min-seconds=0.5 --fault-injector
+"$BUILD_DIR/bench/bench_serve" --json="$FRESH_SERVE" --min-seconds=0.5
 
 # The bench emits one result object per line:
 #   {"mode": "exact", "apps": 2, "epochs_per_sec": 12345.6},
@@ -82,6 +93,42 @@ check_run() {  # check_run FILE LABEL — gate every baseline point in FILE
 
 check_run "$FRESH" "plain"
 check_run "$FRESH_INJ" "injector-disarmed"
+
+# bench_serve points: {"point": "engine_requests_per_sec", "value": 123.4}
+serve_point_value() {  # serve_point_value FILE POINT -> value (or empty)
+  grep "\"point\": \"$2\"" "$1" |
+    sed -n 's/.*"value": \([0-9.]*\).*/\1/p'
+}
+
+check_serve_run() {  # check_serve_run FILE LABEL
+  local file="$1" label="$2"
+  while IFS= read -r line; do
+    point="$(printf '%s\n' "$line" |
+      sed -n 's/.*"point": "\([a-z_]*\)".*/\1/p')"
+    base="$(printf '%s\n' "$line" |
+      sed -n 's/.*"value": \([0-9.]*\).*/\1/p')"
+    [[ -n "$point" && -n "$base" ]] || continue
+    now="$(serve_point_value "$file" "$point")"
+    if [[ -z "$now" ]]; then
+      echo "run_perf_smoke: FAIL [$label] point=$point missing from fresh run"
+      fail=1
+      continue
+    fi
+    floor="$(awk -v b="$base" -v p="$REGRESSION_PCT" \
+      'BEGIN { printf "%.1f", b * (1 - p / 100) }')"
+    verdict="$(awk -v n="$now" -v f="$floor" 'BEGIN { print (n < f) }')"
+    if [[ "$verdict" == 1 ]]; then
+      echo "run_perf_smoke: FAIL [$label] point=$point" \
+        "value=$now < floor=$floor (baseline=$base)"
+      fail=1
+    else
+      echo "run_perf_smoke: ok   [$label] point=$point" \
+        "value=$now (baseline=$base, floor=$floor)"
+    fi
+  done < <(grep '"point"' "$SERVE_BASELINE")
+}
+
+check_serve_run "$FRESH_SERVE" "serve"
 
 check_obs_overhead() {  # check_obs_overhead FILE LABEL
   local file="$1" label="$2" pct

@@ -25,6 +25,9 @@ TESTS=(
   harness_golden_test
   harness_heatmap_test
   harness_replication_test
+  # The serve harness fans the three comparison cells out on the pool and
+  # must stay race-free; its golden suite is the cross-thread contract.
+  harness_serve_test
   harness_static_oracle_test
   # Observability: the SPSC trace ring and the tracer's per-thread ring
   # registration are lock-free code on the sweep workers' hot path, and the
