@@ -15,6 +15,7 @@
 //                       the "compiled in but disabled" cost of the fault
 //                       substrate (tools/run_perf_smoke.sh runs this mode
 //                       against the same 20%% regression gate)
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -89,13 +90,17 @@ double MeasureEpochsPerSec(MrcMode mode, size_t num_apps, double min_seconds,
 // attached-but-disabled configuration (tools/run_perf_smoke.sh holds their
 // ratio under 2% — the "zero measurable cost when off" gate).
 double MeasureManagedEpochsPerSec(size_t num_apps, double min_seconds,
-                                  Observability* obs) {
+                                  Observability* obs,
+                                  const PmcSensingParams* sensing = nullptr) {
   MachineConfig config;
   config.ips_noise_sigma = 0.0;
   config.mrc_mode = MrcMode::kCompiled;
   SimulatedMachine machine(config);
   Resctrl resctrl(&machine);
   PerfMonitor monitor(&machine);
+  if (sensing != nullptr) {
+    monitor.ConfigureSensing(*sensing);
+  }
   ResourceManager manager(&resctrl, &monitor, {});
   manager.SetObservability(obs);
   const std::vector<WorkloadDescriptor> registry = AllTable2Benchmarks();
@@ -123,20 +128,6 @@ double MeasureManagedEpochsPerSec(size_t num_apps, double min_seconds,
     elapsed = std::chrono::duration<double>(Clock::now() - start).count();
   } while (elapsed < min_seconds);
   return static_cast<double>(epochs) / elapsed;
-}
-
-// Best-of-`rounds` managed epochs/sec, interleaving would-be-noisy host
-// effects out of the comparison.
-double BestManagedEpochsPerSec(size_t num_apps, double min_seconds,
-                               Observability* obs, int rounds) {
-  double best = 0.0;
-  for (int i = 0; i < rounds; ++i) {
-    const double eps = MeasureManagedEpochsPerSec(num_apps, min_seconds, obs);
-    if (eps > best) {
-      best = eps;
-    }
-  }
-  return best;
 }
 
 // ns/query of one MissRatio path, swept over capacities like the epoch
@@ -177,8 +168,15 @@ int Run(const std::string& json_path, double min_seconds,
   std::vector<ThroughputPoint> points;
   for (const MrcMode mode : {MrcMode::kExact, MrcMode::kCompiled}) {
     for (const size_t num_apps : app_counts) {
-      const double eps =
-          MeasureEpochsPerSec(mode, num_apps, min_seconds, injector_ptr);
+      // Best-of-3: a co-tenant burst on a small CI host can halve a single
+      // window, but not three spaced ones (same rationale as the paired
+      // managed rounds below).
+      double eps = 0.0;
+      for (int round = 0; round < 3; ++round) {
+        eps = std::max(
+            eps, MeasureEpochsPerSec(mode, num_apps, min_seconds,
+                                     injector_ptr));
+      }
       points.push_back({mode, num_apps, eps});
       std::printf("sim_throughput: mode=%s apps=%zu epochs_per_sec=%.0f\n",
                   ModeName(mode), num_apps, eps);
@@ -190,24 +188,89 @@ int Run(const std::string& json_path, double min_seconds,
   std::printf("miss_ratio_query: exact_ns=%.1f compiled_ns=%.1f\n",
               exact_ns, compiled_ns);
 
-  // Managed control loop, no observability wired: the regression-gated
-  // point. Then the same loop with a bundle attached but disabled — its
-  // entire cost must be the null/enabled checks at the instrumented sites.
+  // Managed control loop in four configurations:
+  //   managed          — no observability, no sensing: the gated baseline;
+  //   obs-disabled     — an Observability bundle attached but disabled, so
+  //                      its entire cost must be the null/enabled checks at
+  //                      the instrumented sites (smoke gate: < 2%);
+  //   sensing          — the SHARDS estimator on the sample path at the
+  //                      default sampling budget, noise model off. The feed
+  //                      stops at target_error_bound, so the steady state
+  //                      measured is the estimator query path only (smoke
+  //                      gate: < 10%). Sensing fully off is the `managed`
+  //                      point itself — one bool test on the sample path;
+  //   sensing-noisy    — full sensing realism (estimator + lognormal
+  //                      counter noise + jitter + stale repeats).
+  //                      Informational, not gated: three Box-Muller draws
+  //                      and three exp() per app-sample by construction
+  //                      dominate a ~1.3us managed tick, a fidelity knob
+  //                      for studies rather than a hot-path default.
+  // Rounds are INTERLEAVED across the configurations and every overhead is
+  // a PAIRED ratio against the same round's managed run, reported as the
+  // minimum over rounds: the smoke script gates the ratios, and on a small
+  // CI host another process's burst can depress any single measurement
+  // window by 10%+ — but it cannot depress every round, while a real
+  // hot-path regression shows up in all of them. Epochs/sec points are
+  // best-of-rounds as usual.
   const size_t managed_apps = 4;
-  const double managed_eps =
-      BestManagedEpochsPerSec(managed_apps, min_seconds, nullptr, 3);
-  std::printf("sim_throughput: mode=managed apps=%zu epochs_per_sec=%.0f\n",
-              managed_apps, managed_eps);
   Observability disabled_obs;
   disabled_obs.set_enabled(false);
-  const double disabled_eps =
-      BestManagedEpochsPerSec(managed_apps, min_seconds, &disabled_obs, 3);
-  const double obs_overhead_pct =
-      managed_eps > 0.0 ? (managed_eps / disabled_eps - 1.0) * 100.0 : 0.0;
+  PmcSensingParams sensing;
+  sensing.enabled = true;
+  sensing.noise_sigma = 0.0;
+  sensing.interval_jitter = 0.0;
+  sensing.stale_probability = 0.0;
+  PmcSensingParams noisy;
+  noisy.enabled = true;
+  double managed_eps = 0.0;
+  double disabled_eps = 0.0;
+  double sensing_eps = 0.0;
+  double noisy_eps = 0.0;
+  double obs_overhead_pct = 0.0;
+  double sensing_overhead_pct = 0.0;
+  double noisy_overhead_pct = 0.0;
+  bool have_overheads = false;
+  for (int round = 0; round < 5; ++round) {
+    const double m =
+        MeasureManagedEpochsPerSec(managed_apps, min_seconds, nullptr);
+    const double d =
+        MeasureManagedEpochsPerSec(managed_apps, min_seconds, &disabled_obs);
+    const double s = MeasureManagedEpochsPerSec(managed_apps, min_seconds,
+                                                nullptr, &sensing);
+    const double n =
+        MeasureManagedEpochsPerSec(managed_apps, min_seconds, nullptr, &noisy);
+    managed_eps = std::max(managed_eps, m);
+    disabled_eps = std::max(disabled_eps, d);
+    sensing_eps = std::max(sensing_eps, s);
+    noisy_eps = std::max(noisy_eps, n);
+    const double obs_pct = d > 0.0 ? (m / d - 1.0) * 100.0 : 0.0;
+    const double sensing_pct = s > 0.0 ? (m / s - 1.0) * 100.0 : 0.0;
+    const double noisy_pct = n > 0.0 ? (m / n - 1.0) * 100.0 : 0.0;
+    if (!have_overheads) {
+      have_overheads = true;
+      obs_overhead_pct = obs_pct;
+      sensing_overhead_pct = sensing_pct;
+      noisy_overhead_pct = noisy_pct;
+    } else {
+      obs_overhead_pct = std::min(obs_overhead_pct, obs_pct);
+      sensing_overhead_pct = std::min(sensing_overhead_pct, sensing_pct);
+      noisy_overhead_pct = std::min(noisy_overhead_pct, noisy_pct);
+    }
+  }
+  std::printf("sim_throughput: mode=managed apps=%zu epochs_per_sec=%.0f\n",
+              managed_apps, managed_eps);
   std::printf(
       "sim_throughput: managed_obs_disabled epochs_per_sec=%.0f "
       "overhead_pct=%.2f\n",
       disabled_eps, obs_overhead_pct);
+  std::printf(
+      "sim_throughput: mode=managed_sensing apps=%zu epochs_per_sec=%.0f "
+      "overhead_pct=%.2f\n",
+      managed_apps, sensing_eps, sensing_overhead_pct);
+  std::printf(
+      "sim_throughput: mode=managed_sensing_noisy apps=%zu "
+      "epochs_per_sec=%.0f overhead_pct=%.2f\n",
+      managed_apps, noisy_eps, noisy_overhead_pct);
 
   // Speedup at the heaviest consolidation (the sweep-relevant regime).
   double exact_eps = 0.0;
@@ -240,12 +303,22 @@ int Run(const std::string& json_path, double min_seconds,
   std::fprintf(out, "    ,{\"mode\": \"managed\", \"apps\": %zu, "
                     "\"epochs_per_sec\": %.1f}\n",
                managed_apps, managed_eps);
+  std::fprintf(out, "    ,{\"mode\": \"managed_sensing\", \"apps\": %zu, "
+                    "\"epochs_per_sec\": %.1f}\n",
+               managed_apps, sensing_eps);
+  std::fprintf(out, "    ,{\"mode\": \"managed_sensing_noisy\", \"apps\": %zu, "
+                    "\"epochs_per_sec\": %.1f}\n",
+               managed_apps, noisy_eps);
   std::fprintf(out, "  ],\n");
   std::fprintf(out, "  \"miss_ratio_query_ns\": "
                     "{\"exact\": %.1f, \"compiled\": %.1f},\n",
                exact_ns, compiled_ns);
   std::fprintf(out, "  \"obs_disabled_overhead_pct\": %.2f,\n",
                obs_overhead_pct);
+  std::fprintf(out, "  \"sensing_overhead_pct\": %.2f,\n",
+               sensing_overhead_pct);
+  std::fprintf(out, "  \"sensing_noisy_overhead_pct\": %.2f,\n",
+               noisy_overhead_pct);
   std::fprintf(out, "  \"speedup_compiled_over_exact\": %.2f\n}\n", speedup);
   std::fclose(out);
   std::printf("sim_throughput: wrote %s\n", json_path.c_str());

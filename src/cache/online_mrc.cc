@@ -1,0 +1,169 @@
+#include "cache/online_mrc.h"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+#include "common/logging.h"
+
+namespace copart {
+namespace {
+
+// SplitMix64 finalizer: a cheap, well-mixed 64-bit hash. Pinned — the
+// admission decision per line address must never change across versions or
+// sensing goldens shift.
+uint64_t Mix64(uint64_t x) {
+  x += 0x9E3779B97F4A7C15ULL;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+OnlineMrcEstimator::OnlineMrcEstimator(const OnlineMrcConfig& config)
+    : config_(config), num_ways_(config.geometry.num_ways) {
+  CHECK_GT(num_ways_, 0u);
+  CHECK_GT(config.sampling_rate, 0.0);
+  CHECK_LE(config.sampling_rate, 1.0);
+  const uint64_t real_sets = config.geometry.NumSets();
+  real_sets_ = static_cast<uint32_t>(real_sets);
+  atd_sets_ = static_cast<uint32_t>(std::max<uint64_t>(
+      1, std::llround(static_cast<double>(real_sets) * config.sampling_rate)));
+  // Set sampling (UCP-style ATD): shadow exactly atd_sets_ of the real
+  // cache's sets, chosen by seeded hash rank. Every line mapping to a
+  // shadowed set is admitted, so each ATD row sees the COMPLETE reference
+  // stream of one real set — per-set load and stack-depth statistics match
+  // the real cache exactly at any rate, which a per-line admission hash
+  // cannot do (it smears contiguous working sets binomially across rows
+  // and blurs the MRC knee).
+  std::vector<std::pair<uint64_t, uint32_t>> ranked;
+  ranked.reserve(real_sets_);
+  for (uint32_t s = 0; s < real_sets_; ++s) {
+    ranked.emplace_back(Mix64(s ^ config.seed), s);
+  }
+  std::sort(ranked.begin(), ranked.end());
+  set_row_.assign(real_sets_, kNoRow);
+  for (uint32_t i = 0; i < atd_sets_; ++i) {
+    set_row_[ranked[i].second] = i;
+  }
+  tags_.assign(static_cast<size_t>(atd_sets_) * num_ways_, 0);
+  set_sizes_.assign(atd_sets_, 0);
+  hits_by_depth_.assign(num_ways_, 0);
+}
+
+void OnlineMrcEstimator::Touch(uint32_t set, uint64_t line) {
+  uint64_t* row = &tags_[static_cast<size_t>(set) * num_ways_];
+  const uint32_t size = set_sizes_[set];
+  // Tag 0 is reserved as the empty slot; remap a real line 0.
+  const uint64_t tag = line == 0 ? ~0ULL : line;
+  ++sampled_;
+  for (uint32_t depth = 0; depth < size; ++depth) {
+    if (row[depth] == tag) {
+      ++hits_by_depth_[depth];
+      // Move to front: the reference order IS the LRU stack.
+      for (uint32_t i = depth; i > 0; --i) {
+        row[i] = row[i - 1];
+      }
+      row[0] = tag;
+      return;
+    }
+  }
+  ++misses_;
+  const uint32_t new_size = std::min(size + 1, num_ways_);
+  for (uint32_t i = new_size - 1; i > 0; --i) {
+    row[i] = row[i - 1];
+  }
+  row[0] = tag;
+  set_sizes_[set] = new_size;
+}
+
+void OnlineMrcEstimator::Record(uint64_t address) {
+  ++accesses_;
+  const uint64_t line = address / config_.geometry.line_bytes;
+  // Same set indexing as the real cache (way_partitioned_cache.cc).
+  const uint32_t row = set_row_[line % real_sets_];
+  if (row == kNoRow) {
+    return;
+  }
+  Touch(row, line);
+}
+
+void OnlineMrcEstimator::RecordSampled(uint64_t address) {
+  ++accesses_;
+  const uint64_t line = address / config_.geometry.line_bytes;
+  // The caller's stream is already scaled down by the sampling rate (its
+  // working sets span ~atd_sets_ sets' worth of lines), so modulo indexing
+  // over the shadow directory reproduces the real cache's even per-set
+  // occupancy for contiguous working sets.
+  Touch(static_cast<uint32_t>(line % atd_sets_), line);
+}
+
+double OnlineMrcEstimator::MissRatioAtWays(uint32_t ways) const {
+  CHECK_LE(ways, num_ways_);
+  if (ways == 0 || sampled_ == 0) {
+    return 1.0;
+  }
+  uint64_t hits = 0;
+  for (uint32_t d = 0; d < ways; ++d) {
+    hits += hits_by_depth_[d];
+  }
+  return 1.0 - static_cast<double>(hits) / static_cast<double>(sampled_);
+}
+
+double OnlineMrcEstimator::MissRatioAtBytes(uint64_t capacity_bytes) const {
+  const double way_bytes =
+      static_cast<double>(config_.geometry.WayBytes());
+  const double ways =
+      std::min(static_cast<double>(capacity_bytes) / way_bytes,
+               static_cast<double>(num_ways_));
+  const uint32_t lo = static_cast<uint32_t>(ways);
+  const uint32_t hi = std::min(lo + 1, num_ways_);
+  const double frac = ways - static_cast<double>(lo);
+  const double at_lo = MissRatioAtWays(lo);
+  return at_lo + frac * (MissRatioAtWays(hi) - at_lo);
+}
+
+std::vector<double> OnlineMrcEstimator::Curve() const {
+  std::vector<double> curve(num_ways_);
+  // One cumulative pass instead of num_ways_ calls to MissRatioAtWays.
+  uint64_t hits = 0;
+  for (uint32_t w = 1; w <= num_ways_; ++w) {
+    hits += hits_by_depth_[w - 1];
+    curve[w - 1] =
+        sampled_ == 0
+            ? 1.0
+            : 1.0 - static_cast<double>(hits) / static_cast<double>(sampled_);
+  }
+  return curve;
+}
+
+double OnlineMrcEstimator::ErrorBound() const {
+  if (sampled_ == 0) {
+    return 1.0;
+  }
+  return std::min(1.0, 1.0 / std::sqrt(static_cast<double>(sampled_)));
+}
+
+uint64_t OnlineMrcEstimator::sampled_hits() const {
+  uint64_t hits = 0;
+  for (uint64_t h : hits_by_depth_) {
+    hits += h;
+  }
+  return hits;
+}
+
+void OnlineMrcEstimator::ResetCounters() {
+  std::fill(hits_by_depth_.begin(), hits_by_depth_.end(), 0);
+  misses_ = 0;
+  sampled_ = 0;
+  accesses_ = 0;
+}
+
+void OnlineMrcEstimator::Reset() {
+  ResetCounters();
+  std::fill(tags_.begin(), tags_.end(), 0);
+  std::fill(set_sizes_.begin(), set_sizes_.end(), 0);
+}
+
+}  // namespace copart

@@ -1,0 +1,127 @@
+// SHARDS-style sampled auxiliary-tag-directory (ATD) online MRC estimation.
+//
+// CoPart's classifier thresholds (beta/Beta, §5.2) are defined over the LLC
+// miss ratio, but real PMCs never expose the *curve* — only the miss count
+// at the currently installed allocation. Production partitioners (UCP's ATD
+// sets, LFOC's per-group sampled tag directories, SHARDS for software
+// caches) estimate the curve online instead: shadow a small sampled slice
+// of the cache with full-LRU tag sets and count, for every hit, the LRU
+// stack depth at which it landed. A hit at depth d would have been a hit in
+// any allocation of more than d ways, so the per-depth hit histogram yields
+// the miss ratio at EVERY way count simultaneously:
+//
+//   miss_ratio(w) = 1 - (sum_{d < w} hits[d]) / sampled_accesses.
+//
+// Sampling is spatial SET sampling (UCP's ATD): the directory shadows
+// round(num_sets * rate) of the real cache's sets, chosen by a seeded hash
+// over set indices, and admits every access whose line maps (by the real
+// cache's modulo indexing) to a shadowed set. Each shadow row therefore
+// observes the COMPLETE reference stream of one real set: per-set load and
+// stack-depth statistics are exact, not approximated, at any rate. At rate
+// 1 the ATD is simply a full shadow copy and converges to the trace-driven
+// cache (and hence, for IRM streams, to Che's curve;
+// tests/cache_online_mrc_test.cc pins both bounds).
+//
+// Callers that cannot afford to offer the full access stream can instead
+// pre-sample it (generate a SHARDS-style rate-scaled sub-population — e.g.
+// pmc/perf_monitor synthesizes a stratified trace with working sets scaled
+// by the rate) and feed RecordSampled(), which bypasses the set filter and
+// spreads the scaled stream over the shadow rows by modulo.
+//
+// Cost: one table lookup + a <= assoc-entry scan per admitted access; the
+// directory for the default 1/64 rate is ~45 KB plus a 4-byte-per-real-set
+// row map. O(1) memory per query.
+#ifndef COPART_CACHE_ONLINE_MRC_H_
+#define COPART_CACHE_ONLINE_MRC_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "cache/llc_geometry.h"
+
+namespace copart {
+
+struct OnlineMrcConfig {
+  LlcGeometry geometry;
+  // Fraction of the line-address population admitted into the directory
+  // (spatial hash threshold). 1.0 = shadow every set; the default trades
+  // ~2 orders of magnitude of space/time for a few percent of error.
+  double sampling_rate = 1.0 / 64.0;
+  // Perturbs which real sets are shadowed, so co-resident estimators (one
+  // per monitored app) sample independent set subsets.
+  uint64_t seed = 0;
+};
+
+class OnlineMrcEstimator {
+ public:
+  explicit OnlineMrcEstimator(const OnlineMrcConfig& config);
+
+  // Offers one LLC access (byte address) from the full-rate stream; it
+  // reaches the directory iff its real cache set is shadowed.
+  void Record(uint64_t address);
+
+  // Feeds one access from a stream the CALLER already sampled at
+  // config.sampling_rate (admission is skipped). Mixing Record and
+  // RecordSampled on one estimator double-filters; use one or the other.
+  void RecordSampled(uint64_t address);
+
+  // Estimated miss ratio were the workload allocated `ways` ways
+  // (0..num_ways; 0 always returns 1). Monotonically non-increasing in
+  // `ways`. Returns 1.0 before any access has been sampled.
+  double MissRatioAtWays(uint32_t ways) const;
+
+  // Capacity-based query, linearly interpolated between way points —
+  // drop-in for ReuseProfile::MissRatio on way-granular hardware.
+  double MissRatioAtBytes(uint64_t capacity_bytes) const;
+
+  // The whole curve: index w-1 holds MissRatioAtWays(w), w in 1..num_ways.
+  std::vector<double> Curve() const;
+
+  // --- Bounded-error interface ---
+  // Worst-case ~95% confidence half-width of the estimate: two standard
+  // errors of a Bernoulli proportion at the current sample count
+  // (1/sqrt(n), the p=1/2 ceiling). 1.0 before any samples. Consumers
+  // (pmc/perf_monitor) fall back to raw counters until Converged().
+  double ErrorBound() const;
+  bool Converged(double bound) const { return ErrorBound() <= bound; }
+
+  uint64_t accesses() const { return accesses_; }
+  uint64_t sampled_accesses() const { return sampled_; }
+  uint64_t sampled_hits() const;
+
+  // Zeroes the hit/miss statistics but keeps the directory tags warm —
+  // used after warm-up and at workload phase changes, where the resident
+  // set is still valid but the old reference statistics are not.
+  void ResetCounters();
+  // Full reset: statistics and tags.
+  void Reset();
+
+  const OnlineMrcConfig& config() const { return config_; }
+  uint32_t atd_sets() const { return atd_sets_; }
+
+ private:
+  static constexpr uint32_t kNoRow = ~0u;
+
+  void Touch(uint32_t set, uint64_t line);
+
+  OnlineMrcConfig config_;
+  uint32_t num_ways_;
+  uint32_t real_sets_;
+  uint32_t atd_sets_;
+  // set_row_[real_set]: shadow-directory row for that real cache set, or
+  // kNoRow if the set is not sampled.
+  std::vector<uint32_t> set_row_;
+  // Directory storage: atd_sets_ rows of num_ways_ tags in LRU order
+  // (index 0 = MRU). Row fill tracked in set_sizes_.
+  std::vector<uint64_t> tags_;
+  std::vector<uint32_t> set_sizes_;
+  // hits_by_depth_[d]: sampled hits at LRU stack depth d.
+  std::vector<uint64_t> hits_by_depth_;
+  uint64_t misses_ = 0;
+  uint64_t sampled_ = 0;
+  uint64_t accesses_ = 0;
+};
+
+}  // namespace copart
+
+#endif  // COPART_CACHE_ONLINE_MRC_H_

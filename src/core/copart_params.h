@@ -108,11 +108,42 @@ struct SloParams {
   uint32_t batch_mba_protect_percent = 50;
 };
 
+// Unfairness-trend backoff (an FCP-style OFF/ON/BACKOFF governor over the
+// exploration loop; DESIGN.md §10.3). Partitioning does not help every
+// consolidation — when the measured unfairness keeps RISING for
+// max_increasing_intervals consecutive exploration periods, continuing to
+// move ways and MBA levels is thrash, not control. The manager then
+// restores the best state seen this exploration, parks on it for
+// backoff_periods control periods (no re-adaptation triggers), and only
+// then re-probes from profiling.
+struct TrendBackoffParams {
+  bool enabled = false;
+
+  // Exploration periods observed before the trend detector arms; the first
+  // samples after (re)profiling measure transient allocations.
+  int warmup_periods = 3;
+
+  // Relative growth that counts as "unfairness increased" (1.02 = +2%);
+  // sub-threshold wobble never feeds the streak.
+  double increase_factor = 1.02;
+
+  // Consecutive increasing intervals that engage the backoff.
+  int max_increasing_intervals = 2;
+
+  // Control periods to hold the best state before re-probing. The chaos
+  // property suite pins that a re-probe (or a degraded entry) always
+  // happens within this window.
+  int backoff_periods = 10;
+};
+
 struct ResourceManagerParams {
   ClassifierParams classifier;
 
   // SLO-aware serving mode; disabled by default (pure batch fairness).
   SloParams slo;
+
+  // Unfairness-trend backoff governor; disabled by default.
+  TrendBackoffParams trend;
 
   // Control period between adaptation steps (Algorithm 1's sleep(period)).
   double control_period_sec = 0.5;

@@ -58,6 +58,18 @@ const char* ResourceManager::PhaseName(Phase phase) {
   return "?";
 }
 
+const char* ResourceManager::TrendStateName(TrendState state) {
+  switch (state) {
+    case TrendState::kOff:
+      return "off";
+    case TrendState::kOn:
+      return "on";
+    case TrendState::kBackoff:
+      return "backoff";
+  }
+  return "?";
+}
+
 Status ResourceManager::AddApp(AppId app) {
   if (!resctrl_->machine().AppExists(app)) {
     return NotFoundError("no such app");
@@ -388,6 +400,51 @@ bool ResourceManager::Quarantined(AppId app) const {
   return apps_[AppIndex(app)].quarantined;
 }
 
+ResourceClass ResourceManager::LlcClass(AppId app) const {
+  return apps_[AppIndex(app)].llc_fsm.state();
+}
+
+ResourceClass ResourceManager::MbaClass(AppId app) const {
+  return apps_[AppIndex(app)].mba_fsm.state();
+}
+
+// --- Unfairness-trend governor ---
+
+void ResourceManager::ResetTrend() {
+  trend_state_ = TrendState::kOff;
+  trend_warmup_remaining_ = params_.trend.warmup_periods;
+  trend_increase_streak_ = 0;
+  trend_backoff_remaining_ = 0;
+  trend_prev_unfairness_ = 0.0;
+}
+
+bool ResourceManager::ObserveUnfairnessTrend(double unfairness) {
+  if (!params_.trend.enabled) {
+    return false;
+  }
+  switch (trend_state_) {
+    case TrendState::kOff:
+      if (--trend_warmup_remaining_ <= 0) {
+        trend_state_ = TrendState::kOn;
+        trend_prev_unfairness_ = unfairness;
+        trend_increase_streak_ = 0;
+      }
+      return false;
+    case TrendState::kOn: {
+      const bool increased =
+          unfairness >
+          trend_prev_unfairness_ * params_.trend.increase_factor;
+      trend_increase_streak_ = increased ? trend_increase_streak_ + 1 : 0;
+      trend_prev_unfairness_ = unfairness;
+      return trend_increase_streak_ >= params_.trend.max_increasing_intervals;
+    }
+    case TrendState::kBackoff:
+      // Exploration never runs while parked; nothing to observe.
+      return false;
+  }
+  return false;
+}
+
 double ResourceManager::StreamMissRateReference(MbaLevel level) const {
   const MachineConfig& config = resctrl_->machine().config();
   const MbaThrottleModel throttle(config.mba_cap_exponent);
@@ -683,6 +740,7 @@ void ResourceManager::StartAdaptation() {
   profile_app_ = 0;
   probe_ = Probe::kFull;
   retry_count_ = 0;
+  ResetTrend();
   pending_plan_.reset();
   backoff_ticks_remaining_ = 0;
   state_ = InitialState();
@@ -912,6 +970,18 @@ void ResourceManager::TickExploration() {
       has_best_state_ = true;
       best_unfairness_ = unfairness;
       best_state_ = state_;
+    }
+    if (ObserveUnfairnessTrend(unfairness)) {
+      // Partitioning is making things worse, not better: every further
+      // move is thrash. Park on the best state seen and hold it for the
+      // backoff window before re-probing.
+      trend_state_ = TrendState::kBackoff;
+      trend_backoff_remaining_ = params_.trend.backoff_periods;
+      ++trend_backoffs_;
+      audit_trigger_ = "trend_backoff";
+      EmitPhaseAudit("backoff_engage");
+      EnterIdle();
+      return;
     }
   }
 
@@ -1202,6 +1272,22 @@ void ResourceManager::ExportMetrics(MetricsRegistry* metrics) const {
       ->Set(exploration_time_stats_.mean());
   metrics->GetCounter("copart.manager.exploration_solves")
       ->Increment(exploration_time_stats_.count());
+  if (params_.trend.enabled) {
+    metrics->GetCounter("copart.manager.trend_backoffs")
+        ->Increment(trend_backoffs_);
+    metrics->GetCounter("copart.manager.trend_reprobes")
+        ->Increment(trend_reprobes_);
+    metrics->GetGauge("copart.manager.trend_state")
+        ->Set(static_cast<double>(trend_state_));
+  }
+  if (monitor_->sensing_params().enabled) {
+    metrics->GetCounter("copart.pmc.sensed_samples")
+        ->Increment(monitor_->sensed_samples());
+    metrics->GetCounter("copart.pmc.estimator_fallbacks")
+        ->Increment(monitor_->estimator_fallbacks());
+    metrics->GetCounter("copart.pmc.stale_reports")
+        ->Increment(monitor_->stale_reports());
+  }
   if (params_.slo.enabled) {
     metrics->GetCounter("copart.manager.slo_resizes")->Increment(slo_resizes_);
     metrics->GetCounter("copart.manager.slo_unattainable_ticks")
@@ -1257,6 +1343,25 @@ void ResourceManager::TickImpl() {
   }
   if (phase_ == Phase::kDegraded) {
     TickDegraded();
+    return;
+  }
+  if (trend_state_ == TrendState::kBackoff) {
+    // Parked on the best state: keep retrying any pending plan (the
+    // best-state restore must land) but run no adaptation triggers, and
+    // count the window down unconditionally so the re-probe bound is
+    // exact. A retry that tips the manager into the degraded phase pauses
+    // the countdown — degraded recovery restarts adaptation (and re-arms
+    // the trend governor) itself.
+    (void)RetryPendingActuation();
+    if (phase_ == Phase::kDegraded) {
+      return;
+    }
+    if (--trend_backoff_remaining_ <= 0) {
+      ++trend_reprobes_;
+      audit_trigger_ = "trend_backoff";
+      EmitPhaseAudit("backoff_reprobe");
+      StartAdaptation();
+    }
     return;
   }
   if (!RetryPendingActuation()) {

@@ -71,6 +71,12 @@ class ResourceManager;
 // without dragging in the manager; ResourceManager::Phase aliases it.
 enum class ManagerPhase { kProfiling, kExploration, kIdle, kDegraded };
 
+// State of the unfairness-trend governor (ResourceManagerParams::trend):
+// kOff until the post-profiling warmup has passed, kOn while watching the
+// unfairness trend, kBackoff while parked on the best state waiting to
+// re-probe.
+enum class TrendState { kOff, kOn, kBackoff };
+
 // Per-control-period diagnostic record. An installed observer receives one
 // after every exploration tick and on every degraded-mode transition — the
 // hook dashboards and tests use to watch the controller think (see
@@ -147,7 +153,19 @@ class ResourceManager {
   // profiling has finished.
   double SlowdownEstimate(AppId app) const;
 
+  // Latest classifier FSM states for a managed app — what the matcher saw
+  // (or will see) this period. The sensing accuracy harness compares these
+  // across exact/estimated/noisy monitors. CHECK-fails for unmanaged apps.
+  ResourceClass LlcClass(AppId app) const;
+  ResourceClass MbaClass(AppId app) const;
+
   bool Quarantined(AppId app) const;
+
+  // --- Unfairness-trend backoff (params.trend) ---
+  TrendState trend_state() const { return trend_state_; }
+  static const char* TrendStateName(TrendState state);
+  uint64_t trend_backoffs() const { return trend_backoffs_; }
+  uint64_t trend_reprobes() const { return trend_reprobes_; }
 
   // Wall-clock cost of the most recent / accumulated getNextSystemState
   // calls — the paper's overhead metric (Fig. 16).
@@ -292,6 +310,13 @@ class ResourceManager {
   // Samples `app` through TrySample and updates its quarantine streaks.
   SampleOutcome SampleApp(ManagedApp& app);
 
+  // Feeds one exploration-period unfairness measurement to the trend
+  // governor. Returns true when the rising streak reached
+  // max_increasing_intervals and the caller must engage the backoff.
+  bool ObserveUnfairnessTrend(double unfairness);
+  // Re-arms the governor (called whenever adaptation restarts).
+  void ResetTrend();
+
   // Converts a backoff delay in periods to whole ticks (at least 1).
   int DelayTicks(double periods) const;
 
@@ -359,6 +384,15 @@ class ResourceManager {
   uint64_t degraded_entries_ = 0;
   uint64_t degraded_recoveries_ = 0;
   uint64_t quarantines_ = 0;
+
+  // Unfairness-trend governor state (inert unless params.trend.enabled).
+  TrendState trend_state_ = TrendState::kOff;
+  int trend_warmup_remaining_ = 0;
+  int trend_increase_streak_ = 0;
+  int trend_backoff_remaining_ = 0;
+  double trend_prev_unfairness_ = 0.0;
+  uint64_t trend_backoffs_ = 0;
+  uint64_t trend_reprobes_ = 0;
 
   uint64_t last_seen_generation_ = 0;
   uint64_t adaptations_started_ = 0;

@@ -1,0 +1,110 @@
+// Sensing A/B harness: exact vs estimated vs estimated+noisy PMCs.
+//
+// Runs the SAME consolidation (mix + one phased re-convergence probe app)
+// under three PerfMonitor configurations and compares what the controller
+// *decided* each period:
+//
+//   kExact          — the monitor reports the machine's model counters
+//                     verbatim (the repo's historical behaviour).
+//   kEstimated      — the LLC miss counter is reconstructed from the
+//                     SHARDS-sampled online MRC estimator
+//                     (cache/online_mrc.h); no counter noise.
+//   kEstimatedNoisy — estimation plus lognormal counter noise, interval
+//                     jitter and stale repeats (pmc/perf_monitor.h).
+//
+// Per control period each cell records the classifier FSM states the
+// matcher consumed (per app, LLC and MBA) and the manager phase. The
+// comparison then scores, against the exact cell:
+//
+//   agreement          — fraction of (period, app, resource) classification
+//                        decisions identical to the exact baseline.
+//   epochs_to_converge — first control period spent in the idle phase
+//                        (adaptation settled).
+//   reconverge_epochs  — periods from the re-adaptation triggered by the
+//                        probe app's phase flip (at half the run) back to
+//                        idle; -1 if the flip never re-triggered.
+//
+// The three cells are independent and fan out over ParallelFor, so the
+// whole comparison is byte-identical for any --threads (the determinism
+// suite pins this); copartctl's `sensing` subcommand prints the table.
+#ifndef COPART_HARNESS_SENSING_H_
+#define COPART_HARNESS_SENSING_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/parallel.h"
+#include "common/status.h"
+#include "core/classifiers.h"
+#include "core/copart_params.h"
+#include "core/resource_manager.h"
+#include "core/system_state.h"
+#include "harness/mix.h"
+#include "machine/machine_config.h"
+#include "pmc/perf_monitor.h"
+
+namespace copart {
+
+enum class SensingMode { kExact, kEstimated, kEstimatedNoisy };
+inline constexpr size_t kNumSensingModes = 3;
+
+const char* SensingModeName(SensingMode mode);
+
+struct SensingConfig {
+  MachineConfig machine;
+  ResourcePool pool{.first_way = 0, .num_ways = 11, .max_mba_percent = 100};
+  MixFamily family = MixFamily::kHighLlc;
+  // Mix apps (the phased re-convergence probe is appended on top, so the
+  // machine hosts app_count + 1 apps).
+  size_t app_count = 3;
+  double duration_sec = 50.0;
+  double control_period_sec = 0.5;
+  ResourceManagerParams manager;
+  // Template for the noisy cell; `enabled` / `estimate_miss_ratio` are
+  // forced per mode. The estimated cell uses the same estimator knobs with
+  // all noise zeroed.
+  PmcSensingParams sensing;
+  ParallelConfig parallel;
+};
+
+// One cell's per-period decision trace plus end-of-run telemetry.
+struct SensingCellResult {
+  SensingMode mode = SensingMode::kExact;
+  // [period][app] classifier states fed to the matcher.
+  std::vector<std::vector<ResourceClass>> llc_classes;
+  std::vector<std::vector<ResourceClass>> mba_classes;
+  std::vector<ManagerPhase> phases;  // [period]
+  uint64_t adaptations_started = 0;
+  uint64_t sensed_samples = 0;
+  uint64_t estimator_fallbacks = 0;
+  uint64_t stale_reports = 0;
+  double unfairness = 0.0;
+  double throughput_geomean = 0.0;
+};
+
+struct SensingComparison {
+  std::string mix_name;
+  size_t num_apps = 0;  // Including the phased probe app.
+  int periods = 0;
+  int phase_flip_period = 0;  // Probe app's first phase boundary.
+  std::vector<SensingCellResult> cells;  // kNumSensingModes, mode order.
+  // Scored against the kExact cell (index 0 scores 1.0 / its own values).
+  double agreement[kNumSensingModes] = {0.0, 0.0, 0.0};
+  int epochs_to_converge[kNumSensingModes] = {-1, -1, -1};
+  int reconverge_epochs[kNumSensingModes] = {-1, -1, -1};
+};
+
+// Runs the three cells (ParallelFor over config.parallel) and scores them.
+SensingComparison RunSensingComparison(const SensingConfig& config);
+
+// Human-readable table (copartctl sensing).
+std::string FormatSensingTable(const SensingComparison& comparison);
+
+// CSV dump: one row per mode with the scored columns.
+Status WriteSensingCsv(const SensingComparison& comparison,
+                       const std::string& path);
+
+}  // namespace copart
+
+#endif  // COPART_HARNESS_SENSING_H_

@@ -109,6 +109,10 @@ uint32_t SimulatedMachine::AppCores(AppId id) const {
   return GetApp(id).num_cores;
 }
 
+double SimulatedMachine::AppLaunchTime(AppId id) const {
+  return GetApp(id).launch_time;
+}
+
 void SimulatedMachine::SetClosWayMask(uint32_t clos, const WayMask& mask) {
   CHECK_LT(clos, clos_.size());
   CHECK(!mask.Empty()) << "CLOS way mask must keep at least one way";

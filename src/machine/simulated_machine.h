@@ -84,6 +84,10 @@ class SimulatedMachine {
   bool AppExists(AppId id) const;
   const WorkloadDescriptor& Descriptor(AppId id) const;
   uint32_t AppCores(AppId id) const;
+  // Simulated time at which the app launched; with Descriptor().PhaseIndexAt
+  // this lets external sensors (pmc/perf_monitor's estimator feed) track the
+  // app's current execution phase.
+  double AppLaunchTime(AppId id) const;
 
   // Monotonic counter bumped on every launch/termination; the controller's
   // idle phase polls it to detect consolidation changes (paper §5.4.3).

@@ -1,9 +1,22 @@
 #include "pmc/perf_monitor.h"
 
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
 #include "common/fault_injector.h"
 #include "common/logging.h"
 
 namespace copart {
+namespace {
+
+// Disjoint per-app address spaces for the stratified sensing traces (same
+// discipline as the MRC validation tests: distinct bases or traces alias).
+uint64_t SensingAddressBase(AppId app) {
+  return (static_cast<uint64_t>(app.value()) + 1) << 44;
+}
+
+}  // namespace
 
 PerfMonitor::PerfMonitor(const SimulatedMachine* machine)
     : machine_(machine),
@@ -15,9 +28,15 @@ PerfMonitor::PerfMonitor(const SimulatedMachine* machine)
 void PerfMonitor::Attach(AppId app) {
   CHECK(machine_->AppExists(app));
   baselines_[app] = Baseline{machine_->now(), machine_->Counters(app)};
+  if (sensing_.enabled) {
+    EnsureSensingState(app);
+  }
 }
 
-void PerfMonitor::Detach(AppId app) { baselines_.erase(app); }
+void PerfMonitor::Detach(AppId app) {
+  baselines_.erase(app);
+  sensing_states_.erase(app);
+}
 
 bool PerfMonitor::Attached(AppId app) const {
   return baselines_.contains(app);
@@ -38,6 +57,9 @@ PmcSample PerfMonitor::Sample(AppId app) {
   CHECK(it != baselines_.end()) << "Sample() on unattached app";
   PmcSample sample = SampleFrom(app, it->second);
   it->second = Baseline{machine_->now(), machine_->Counters(app)};
+  if (sensing_.enabled) {
+    ApplySensing(app, sample);
+  }
   return sample;
 }
 
@@ -69,7 +91,165 @@ Result<PmcSample> PerfMonitor::TrySample(AppId app) {
   }
   PmcSample sample = SampleFrom(app, it->second);
   it->second = Baseline{machine_->now(), machine_->Counters(app)};
+  if (sensing_.enabled) {
+    ApplySensing(app, sample);
+  }
   return sample;
+}
+
+void PerfMonitor::ConfigureSensing(const PmcSensingParams& params) {
+  CHECK_GE(params.noise_sigma, 0.0);
+  CHECK_GE(params.interval_jitter, 0.0);
+  CHECK_LT(params.interval_jitter, 1.0);
+  CHECK_GE(params.stale_probability, 0.0);
+  CHECK_LE(params.stale_probability, 1.0);
+  CHECK_GT(params.mrc_sampling_rate, 0.0);
+  CHECK_LE(params.mrc_sampling_rate, 1.0);
+  CHECK_GT(params.target_error_bound, 0.0);
+  CHECK_LE(params.target_error_bound, params.max_error_bound)
+      << "feed would stop before the estimator is ever trusted";
+  sensing_ = params;
+  sensing_states_.clear();
+  if (!sensing_.enabled) {
+    return;
+  }
+  for (const auto& [app, baseline] : baselines_) {
+    EnsureSensingState(app);
+  }
+}
+
+const OnlineMrcEstimator* PerfMonitor::estimator(AppId app) const {
+  const auto it = sensing_states_.find(app);
+  return it == sensing_states_.end() ? nullptr : it->second.estimator.get();
+}
+
+void PerfMonitor::EnsureSensingState(AppId app) {
+  if (sensing_states_.contains(app)) {
+    return;  // Re-Attach: keep the warm directory and rng streams.
+  }
+  // Pinned per-app fork so attach order never shifts another app's stream.
+  const Rng base = Rng(sensing_.seed).Fork(app.value());
+  auto [it, inserted] = sensing_states_.try_emplace(app, base, base.Fork(0));
+  SensingState& state = it->second;
+  if (sensing_.estimate_miss_ratio) {
+    OnlineMrcConfig config;
+    config.geometry = machine_->config().llc;
+    config.sampling_rate = sensing_.mrc_sampling_rate;
+    config.seed = sensing_.seed ^
+                  (0x9E3779B97F4A7C15ULL * (app.value() + 1));
+    state.estimator = std::make_unique<OnlineMrcEstimator>(config);
+    const WorkloadDescriptor& d = machine_->Descriptor(app);
+    state.has_phases = !d.phases.empty();
+    state.phase_index =
+        d.PhaseIndexAt(machine_->now() - machine_->AppLaunchTime(app));
+    RebuildSensingTrace(app, state, state.phase_index);
+  }
+}
+
+void PerfMonitor::RebuildSensingTrace(AppId app, SensingState& state,
+                                      size_t phase_index) {
+  const WorkloadDescriptor& d = machine_->Descriptor(app);
+  const WorkloadPhase phase =
+      d.phases.empty() ? WorkloadPhase{} : d.phases[phase_index];
+  const uint32_t line_bytes = machine_->config().llc.line_bytes;
+
+  // Stratified SHARDS pre-sampling: scale every working-set component down
+  // by the sampling rate. Uniform draws over the scaled set are
+  // distribution-equivalent (per sampled line) to admission-filtering the
+  // full-rate stream, so the ATD sees unbiased per-set statistics at a
+  // fraction of the generation cost.
+  std::vector<ReuseComponent> scaled;
+  scaled.reserve(d.reuse_profile.components().size());
+  double component_weight = 0.0;
+  for (const ReuseComponent& c : d.reuse_profile.components()) {
+    component_weight += c.weight;
+    ReuseComponent sc = c;
+    sc.working_set_bytes = std::max<uint64_t>(
+        line_bytes,
+        static_cast<uint64_t>(std::llround(
+            static_cast<double>(c.working_set_bytes) *
+            sensing_.mrc_sampling_rate)));
+    scaled.push_back(sc);
+  }
+  // Mirror SimulatedMachine::EffectiveParamsFor: phase streaming scaling
+  // steals from / returns to the residual weight, never exceeding 1.
+  double streaming = d.reuse_profile.streaming_weight();
+  if (phase.streaming_scale != 1.0) {
+    streaming = std::min(streaming * phase.streaming_scale,
+                         1.0 - component_weight);
+  }
+  // Trace stream pinned per (app, phase): re-entering a phase replays the
+  // same draws regardless of how many samples other phases consumed.
+  state.trace = std::make_unique<MixtureTraceGenerator>(
+      ReuseProfile(scaled, streaming), line_bytes,
+      state.base.Fork(1 + phase_index), SensingAddressBase(app));
+}
+
+void PerfMonitor::ApplySensing(AppId app, PmcSample& sample) {
+  auto it = sensing_states_.find(app);
+  if (it == sensing_states_.end()) {
+    return;  // Attached before sensing was configured for this app.
+  }
+  SensingState& state = it->second;
+  ++sensed_samples_;
+
+  if (state.estimator != nullptr) {
+    // Track workload phases: on a phase change the resident directory tags
+    // are still plausible but the reference statistics are not — drop the
+    // counters, keep the tags warm, and start re-converging.
+    if (state.has_phases) {
+      const size_t phase_index = machine_->Descriptor(app).PhaseIndexAt(
+          machine_->now() - machine_->AppLaunchTime(app));
+      if (phase_index != state.phase_index) {
+        state.phase_index = phase_index;
+        RebuildSensingTrace(app, state, phase_index);
+        state.estimator->ResetCounters();
+        state.feed_done = false;
+      }
+    }
+    // Feed until the error bound reaches the target, then stop: the
+    // synthetic sub-population is stationary within a phase, so further
+    // samples carry no information but real hot-path cost. A phase change
+    // resets the counters and resumes the feed.
+    if (!state.feed_done) {
+      for (uint32_t i = 0; i < sensing_.estimator_accesses_per_sample; ++i) {
+        state.estimator->RecordSampled(state.trace->Next());
+      }
+      state.feed_done =
+          state.estimator->Converged(sensing_.target_error_bound);
+    }
+    if (state.estimator->Converged(sensing_.max_error_bound)) {
+      const uint32_t ways =
+          machine_->ClosWayMask(machine_->AppClos(app)).CountWays();
+      sample.llc_misses =
+          sample.llc_accesses * state.estimator->MissRatioAtWays(ways);
+    } else {
+      // Cold / re-converging directory: report the raw counter value
+      // rather than a garbage estimate.
+      ++estimator_fallbacks_;
+    }
+  }
+
+  if (state.has_last_reported &&
+      state.noise.NextBool(sensing_.stale_probability)) {
+    ++stale_reports_;
+    sample = state.last_reported;
+    return;
+  }
+  if (sensing_.noise_sigma > 0.0) {
+    sample.instructions *=
+        std::exp(sensing_.noise_sigma * state.noise.NextGaussian());
+    sample.llc_accesses *=
+        std::exp(sensing_.noise_sigma * state.noise.NextGaussian());
+    sample.llc_misses *=
+        std::exp(sensing_.noise_sigma * state.noise.NextGaussian());
+  }
+  if (sensing_.interval_jitter > 0.0) {
+    sample.interval_sec *=
+        1.0 + sensing_.interval_jitter * (2.0 * state.noise.NextDouble() - 1.0);
+  }
+  state.last_reported = sample;
+  state.has_last_reported = true;
 }
 
 }  // namespace copart

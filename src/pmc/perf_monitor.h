@@ -15,15 +15,30 @@
 // it and quarantines apps whose counters go bad. Sample() is the legacy
 // infallible path (no injection) kept for policies and tests that assume a
 // perfect substrate.
+//
+// Beyond injected faults, ConfigureSensing() turns on a *realistic sensing*
+// model for every sample the monitor reports: multiplicative lognormal
+// counter noise, read-interval jitter, occasional stale repeats, and —
+// most importantly — the option to derive the reported LLC miss count from
+// a SHARDS-sampled online MRC estimator (cache/online_mrc.h) instead of the
+// machine's exact model counters, the way a production partitioner that
+// shadows a sampled tag directory would. Every stochastic draw comes from a
+// per-app Rng forked from the sensing seed, so runs are bit-stable per seed
+// and independent of attach order.
 #ifndef COPART_PMC_PERF_MONITOR_H_
 #define COPART_PMC_PERF_MONITOR_H_
 
+#include <cstdint>
+#include <memory>
 #include <string_view>
 #include <unordered_map>
 
+#include "cache/online_mrc.h"
+#include "common/rng.h"
 #include "common/status.h"
 #include "machine/app_id.h"
 #include "machine/simulated_machine.h"
+#include "trace/trace_generator.h"
 
 namespace copart {
 
@@ -60,6 +75,49 @@ struct PmcSample {
 // per-period instruction delta; 16 cores * 2.1 GHz * 0.5 s ~ 1.7e10).
 inline constexpr double kSaturatedCounterValue = 1e15;
 
+// Realistic-sensing knobs (ConfigureSensing). Defaults model a lightly
+// noisy PMU plus the default 1/64 SHARDS rate; `enabled = false` keeps the
+// monitor exact and adds zero cost to the sampling hot path.
+struct PmcSensingParams {
+  bool enabled = false;
+
+  // Multiplicative lognormal noise applied independently to each reported
+  // counter delta: value *= exp(noise_sigma * gaussian).
+  double noise_sigma = 0.02;
+  // The reported interval wobbles by up to +-interval_jitter (uniform),
+  // modeling read-timing skid relative to the nominal control period.
+  double interval_jitter = 0.02;
+  // Probability a read silently repeats the previous reported sample
+  // (counters not re-latched in time).
+  double stale_probability = 0.01;
+
+  // When set, the reported LLC miss delta is reconstructed from a per-app
+  // OnlineMrcEstimator queried at the app's current CLOS way count instead
+  // of copied from the exact machine counters. Until the estimator's
+  // ErrorBound() drops under `max_error_bound` the raw counter value is
+  // used (counted in estimator_fallbacks()), so early classification never
+  // runs on a cold directory.
+  bool estimate_miss_ratio = true;
+  double mrc_sampling_rate = 1.0 / 64.0;
+  // Sampled (post-admission) accesses synthesized into the estimator per
+  // Sample/TrySample call — the stratified pre-sampling budget. At the
+  // default rate this stands in for ~accesses_per_sample/rate real
+  // accesses of stream.
+  uint32_t estimator_accesses_per_sample = 256;
+  double max_error_bound = 0.0625;  // ~256 samples before trusting the ATD.
+  // Feed cut-off: the synthetic sub-population is stationary within a
+  // workload phase, so once the error bound reaches this target further
+  // samples carry no information — the feed stops (and restarts from the
+  // warm directory at the next phase change). This is what keeps the
+  // steady-state estimator cost off the epoch hot path
+  // (bench_sim_throughput's managed_sensing point gates it under 10%).
+  double target_error_bound = 0.01;  // ~10k samples.
+
+  // Root of the per-app sensing streams: app `a` draws from
+  // Rng(seed).Fork(a), so attach order never shifts another app's draws.
+  uint64_t seed = 0x5E2517;
+};
+
 class PerfMonitor {
  public:
   explicit PerfMonitor(const SimulatedMachine* machine);
@@ -88,19 +146,76 @@ class PerfMonitor {
   uint64_t try_samples() const { return try_samples_; }
   uint64_t try_sample_failures() const { return try_sample_failures_; }
 
+  // --- Realistic sensing ---
+
+  // Installs (or replaces) the sensing model. Per-app sensing state is
+  // rebuilt for every currently attached app; estimator directories start
+  // cold. `params.enabled = false` restores exact reporting.
+  void ConfigureSensing(const PmcSensingParams& params);
+  const PmcSensingParams& sensing_params() const { return sensing_; }
+
+  // Sensing telemetry: samples that went through the sensing transform,
+  // how many reported the raw counter miss value because the estimator had
+  // not converged, and how many were stale repeats.
+  uint64_t sensed_samples() const { return sensed_samples_; }
+  uint64_t estimator_fallbacks() const { return estimator_fallbacks_; }
+  uint64_t stale_reports() const { return stale_reports_; }
+
+  // The app's online MRC estimator, or nullptr when sensing is off /
+  // estimation disabled / app unattached. Exposed for the accuracy harness
+  // and the known-answer tests.
+  const OnlineMrcEstimator* estimator(AppId app) const;
+
  private:
   struct Baseline {
     double time = 0.0;
     AppCounters counters;
   };
 
+  // Per-app sensing channel. `base` is the pinned fork root (trace streams
+  // derive from it per phase); `noise` advances with every sensed sample.
+  struct SensingState {
+    SensingState(Rng base_rng, Rng noise_rng)
+        : base(base_rng), noise(noise_rng) {}
+    Rng base;
+    Rng noise;
+    size_t phase_index = 0;
+    // Cached off the descriptor at attach: phase-less apps skip the per-
+    // sample phase lookup entirely.
+    bool has_phases = false;
+    // Set once the estimator reaches target_error_bound for the current
+    // phase; the feed stops until a phase change clears it.
+    bool feed_done = false;
+    std::unique_ptr<MixtureTraceGenerator> trace;
+    std::unique_ptr<OnlineMrcEstimator> estimator;
+    PmcSample last_reported;
+    bool has_last_reported = false;
+  };
+
   PmcSample SampleFrom(AppId app, const Baseline& baseline) const;
+
+  // Creates the app's sensing channel (idempotent: re-Attach keeps the warm
+  // estimator directory).
+  void EnsureSensingState(AppId app);
+  // Rebuilds the stratified trace generator for the app's current workload
+  // phase (mirrors SimulatedMachine::EffectiveParamsFor streaming scaling).
+  void RebuildSensingTrace(AppId app, SensingState& state,
+                           size_t phase_index);
+  // The sensing transform: phase tracking, estimator feed + miss
+  // substitution, stale repeat, counter noise, interval jitter.
+  void ApplySensing(AppId app, PmcSample& sample);
 
   const SimulatedMachine* machine_;  // Not owned.
   FaultInjector* injector_;          // Not owned; null = no injection.
   std::unordered_map<AppId, Baseline> baselines_;
   uint64_t try_samples_ = 0;
   uint64_t try_sample_failures_ = 0;
+
+  PmcSensingParams sensing_;
+  std::unordered_map<AppId, SensingState> sensing_states_;
+  uint64_t sensed_samples_ = 0;
+  uint64_t estimator_fallbacks_ = 0;
+  uint64_t stale_reports_ = 0;
 };
 
 }  // namespace copart

@@ -1,0 +1,246 @@
+// Known-answer tests for the SHARDS-style online MRC estimator against the
+// analytic (Che) curves the epoch model uses:
+//
+//   - at sampling rate 1.0 the ATD is a full shadow directory: its stack-
+//     distance estimate at w ways must track an ACTUAL w-way LRU cache
+//     replaying the same trace (the inclusion property, tight bound), and
+//     stay within the analytic curve's own approximation band (Che vs true
+//     LRU is itself only good to ~0.05 — cache_mrc_validation_test.cc);
+//   - at the default sparse rate (1/64) the estimate must stay within the
+//     analytic value plus the estimator's own published error bound;
+//   - structural properties: monotone non-increasing curve, flat tail once
+//     the working set fits, exact determinism per seed, ResetCounters()
+//     keeping the directory warm, and the ErrorBound() schedule.
+#include "cache/online_mrc.h"
+
+#include <gtest/gtest.h>
+
+#include "cache/miss_ratio_curve.h"
+#include "cache/way_partitioned_cache.h"
+#include "common/rng.h"
+#include "common/units.h"
+#include "trace/trace_generator.h"
+
+namespace copart {
+namespace {
+
+// Scaled-down LLC (1/64 of the Xeon), same geometry the trace-driven
+// validation uses: keeps replay fast while preserving way granularity.
+LlcGeometry ScaledGeometry() {
+  return LlcGeometry{
+      .total_bytes = MiB(22) / 64, .num_ways = 11, .line_bytes = 64};
+}
+
+uint64_t ScaledWayBytes() { return ScaledGeometry().WayBytes(); }
+
+// Feeds `accesses` full-rate trace references through Record(), with a
+// warmup pass absorbed by ResetCounters() so cold misses don't bias the
+// steady-state estimate.
+void FeedTrace(OnlineMrcEstimator& estimator, const ReuseProfile& profile,
+               int warmup, int accesses) {
+  MixtureTraceGenerator generator(profile, ScaledGeometry().line_bytes,
+                                  Rng(4242));
+  for (int i = 0; i < warmup; ++i) {
+    estimator.Record(generator.Next());
+  }
+  estimator.ResetCounters();
+  for (int i = 0; i < accesses; ++i) {
+    estimator.Record(generator.Next());
+  }
+}
+
+ReuseProfile LlcLikeProfile() {
+  const uint64_t way_bytes = ScaledWayBytes();
+  return ReuseProfile({{0.3, static_cast<uint64_t>(1.4 * way_bytes)},
+                       {0.68, static_cast<uint64_t>(4.1 * way_bytes)}},
+                      0.0004);
+}
+
+TEST(OnlineMrcTest, FullRateMatchesTraceDrivenLruAndAnalyticChe) {
+  OnlineMrcConfig config;
+  config.geometry = ScaledGeometry();
+  config.sampling_rate = 1.0;
+  OnlineMrcEstimator estimator(config);
+  EXPECT_EQ(estimator.atd_sets(), ScaledGeometry().NumSets());
+
+  const ReuseProfile profile = LlcLikeProfile();
+  FeedTrace(estimator, profile, 300000, 600000);
+  for (uint32_t ways : {1u, 2u, 4u, 8u, 11u}) {
+    // The load-bearing known answer: one pass over the shadow directory
+    // predicts what a real w-way LRU cache measures on the same trace.
+    WayPartitionedCache cache(ScaledGeometry(), 1);
+    cache.SetMask(0, WayMask::Contiguous(0, ways));
+    MixtureTraceGenerator generator(profile, ScaledGeometry().line_bytes,
+                                    Rng(4242));
+    for (int i = 0; i < 300000; ++i) {
+      cache.Access(0, generator.Next());
+    }
+    cache.ResetStats();
+    for (int i = 0; i < 600000; ++i) {
+      cache.Access(0, generator.Next());
+    }
+    EXPECT_NEAR(estimator.MissRatioAtWays(ways), cache.stats(0).MissRatio(),
+                0.03)
+        << "ways=" << ways;
+    // And the analytic curve agrees up to its own LRU approximation error.
+    const double analytic =
+        profile.MissRatio(ScaledGeometry().CapacityForWays(ways));
+    EXPECT_NEAR(estimator.MissRatioAtWays(ways), analytic, 0.08)
+        << "ways=" << ways;
+  }
+}
+
+TEST(OnlineMrcTest, SparseRateWithinAnalyticPlusErrorBound) {
+  OnlineMrcConfig config;
+  config.geometry = ScaledGeometry();
+  config.sampling_rate = 1.0 / 64.0;
+  OnlineMrcEstimator estimator(config);
+  // round(512 / 64) sets shadowed.
+  EXPECT_EQ(estimator.atd_sets(), 8u);
+
+  const ReuseProfile profile = LlcLikeProfile();
+  FeedTrace(estimator, profile, 300000, 600000);
+  // 8 of 512 sets shadowed: ~600k * 8/512 admitted samples.
+  EXPECT_GT(estimator.sampled_accesses(), 5000u);
+  EXPECT_LT(estimator.sampled_accesses(), 15000u);
+  const double bound = 0.08 + 2.0 * estimator.ErrorBound();
+  for (uint32_t ways : {1u, 2u, 4u, 8u, 11u}) {
+    const double analytic =
+        profile.MissRatio(ScaledGeometry().CapacityForWays(ways));
+    EXPECT_NEAR(estimator.MissRatioAtWays(ways), analytic, bound)
+        << "ways=" << ways;
+  }
+}
+
+TEST(OnlineMrcTest, CurveIsMonotoneNonIncreasingAndInRange) {
+  OnlineMrcConfig config;
+  config.geometry = ScaledGeometry();
+  OnlineMrcEstimator estimator(config);
+  FeedTrace(estimator, LlcLikeProfile(), 100000, 400000);
+
+  EXPECT_EQ(estimator.MissRatioAtWays(0), 1.0);
+  const std::vector<double> curve = estimator.Curve();
+  ASSERT_EQ(curve.size(), ScaledGeometry().num_ways);
+  double prev = 1.0;
+  for (size_t w = 0; w < curve.size(); ++w) {
+    EXPECT_GE(curve[w], 0.0) << "ways=" << w + 1;
+    EXPECT_LE(curve[w], prev) << "ways=" << w + 1;
+    prev = curve[w];
+    EXPECT_EQ(curve[w], estimator.MissRatioAtWays(static_cast<uint32_t>(w) + 1));
+  }
+}
+
+TEST(OnlineMrcTest, FlatTailOnceWorkingSetFits) {
+  // A resident set of about three ways plus a sliver of streaming: at one
+  // way the three resident lines per set thrash, past three ways extra
+  // capacity cannot help, so the curve's tail is flat at roughly the
+  // streaming weight.
+  OnlineMrcConfig config;
+  config.geometry = ScaledGeometry();
+  config.sampling_rate = 1.0;
+  OnlineMrcEstimator estimator(config);
+  const ReuseProfile small({{0.93, 3 * ScaledWayBytes()}}, 0.02);
+  FeedTrace(estimator, small, 200000, 400000);
+
+  const std::vector<double> curve = estimator.Curve();
+  EXPECT_NEAR(curve[10], curve[4], 0.01);   // Flat across the tail...
+  EXPECT_LT(curve[10], 0.10);               // ...and down at streaming level.
+  EXPECT_GT(curve[0], curve[10] + 0.05);    // The knee actually exists.
+}
+
+TEST(OnlineMrcTest, DeterministicPerSeedAndConfig) {
+  OnlineMrcConfig config;
+  config.geometry = ScaledGeometry();
+  config.seed = 0xFEED;
+  OnlineMrcEstimator a(config);
+  OnlineMrcEstimator b(config);
+  FeedTrace(a, LlcLikeProfile(), 50000, 200000);
+  FeedTrace(b, LlcLikeProfile(), 50000, 200000);
+
+  EXPECT_EQ(a.sampled_accesses(), b.sampled_accesses());
+  EXPECT_EQ(a.sampled_hits(), b.sampled_hits());
+  const std::vector<double> curve_a = a.Curve();
+  const std::vector<double> curve_b = b.Curve();
+  for (size_t w = 0; w < curve_a.size(); ++w) {
+    EXPECT_EQ(curve_a[w], curve_b[w]) << "ways=" << w + 1;
+  }
+}
+
+TEST(OnlineMrcTest, ErrorBoundScheduleAndConvergence) {
+  OnlineMrcConfig config;
+  config.geometry = ScaledGeometry();
+  OnlineMrcEstimator estimator(config);
+  EXPECT_EQ(estimator.ErrorBound(), 1.0);
+  EXPECT_FALSE(estimator.Converged(0.5));
+
+  for (uint64_t i = 0; i < 400; ++i) {
+    estimator.RecordSampled(i * 64);
+  }
+  EXPECT_EQ(estimator.sampled_accesses(), 400u);
+  EXPECT_DOUBLE_EQ(estimator.ErrorBound(), 1.0 / 20.0);  // 1/sqrt(400).
+  EXPECT_TRUE(estimator.Converged(0.05));
+  EXPECT_FALSE(estimator.Converged(0.049));
+}
+
+TEST(OnlineMrcTest, ResetCountersKeepsDirectoryWarm) {
+  OnlineMrcConfig config;
+  config.geometry = ScaledGeometry();
+  config.sampling_rate = 1.0;
+  OnlineMrcEstimator estimator(config);
+
+  const uint64_t address = 0x1000;
+  estimator.RecordSampled(address);  // Cold install.
+  estimator.ResetCounters();
+  EXPECT_EQ(estimator.sampled_accesses(), 0u);
+  EXPECT_EQ(estimator.ErrorBound(), 1.0);
+
+  estimator.RecordSampled(address);  // Tag survived: immediate MRU hit.
+  EXPECT_EQ(estimator.sampled_hits(), 1u);
+  EXPECT_EQ(estimator.MissRatioAtWays(1), 0.0);
+
+  estimator.Reset();  // Full reset drops the tags too.
+  estimator.RecordSampled(address);
+  EXPECT_EQ(estimator.sampled_hits(), 0u);
+}
+
+TEST(OnlineMrcTest, AdmissionFilterIsAFixedAddressFunction) {
+  OnlineMrcConfig config;
+  config.geometry = ScaledGeometry();
+  config.sampling_rate = 1.0 / 64.0;
+  OnlineMrcEstimator estimator(config);
+  // Sequential lines: admission should land near the configured rate, and
+  // replaying the same addresses must re-admit exactly the same subset.
+  for (uint64_t i = 0; i < 64000; ++i) {
+    estimator.Record(i * 64);
+  }
+  EXPECT_EQ(estimator.accesses(), 64000u);
+  const uint64_t first_pass = estimator.sampled_accesses();
+  EXPECT_GT(first_pass, 500u);
+  EXPECT_LT(first_pass, 1500u);
+  for (uint64_t i = 0; i < 64000; ++i) {
+    estimator.Record(i * 64);
+  }
+  EXPECT_EQ(estimator.sampled_accesses(), 2 * first_pass);
+}
+
+TEST(OnlineMrcTest, MissRatioAtBytesInterpolatesBetweenWays) {
+  OnlineMrcConfig config;
+  config.geometry = ScaledGeometry();
+  OnlineMrcEstimator estimator(config);
+  FeedTrace(estimator, LlcLikeProfile(), 100000, 300000);
+
+  const uint64_t way_bytes = ScaledWayBytes();
+  EXPECT_DOUBLE_EQ(estimator.MissRatioAtBytes(11 * way_bytes),
+                   estimator.MissRatioAtWays(11));
+  const double at_4 = estimator.MissRatioAtWays(4);
+  const double at_5 = estimator.MissRatioAtWays(5);
+  EXPECT_DOUBLE_EQ(
+      estimator.MissRatioAtBytes(4 * way_bytes + way_bytes / 2),
+      at_4 + 0.5 * (at_5 - at_4));
+  // Beyond the modeled capacity the query clamps to the last way point.
+  EXPECT_DOUBLE_EQ(estimator.MissRatioAtBytes(40 * way_bytes),
+                   estimator.MissRatioAtWays(11));
+}
+
+}  // namespace
+}  // namespace copart

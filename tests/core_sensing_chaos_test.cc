@@ -1,0 +1,193 @@
+// Chaos properties of the realistic-sensing stack (DESIGN.md §10): with
+// lognormal counter noise, stale reads, AND resctrl fault injection active
+// at the same time,
+//
+//   1. the latency-critical app's CLOS never drops below the configured
+//      way floor — not in the governor's plan, not in the actuated mask —
+//      no matter what the noisy miss estimates tell the classifier;
+//   2. whenever the unfairness-trend governor engages BACKOFF, the manager
+//      re-probes (or enters the degraded phase) within the configured
+//      backoff window — noise cannot park the controller forever.
+//
+// Runs under `ctest -L chaos` as well as the default pass.
+#include <gtest/gtest.h>
+
+#include "common/fault_injector.h"
+#include "core/resource_manager.h"
+#include "harness/serve.h"
+#include "pmc/perf_monitor.h"
+#include "resctrl/resctrl.h"
+#include "workload/workload.h"
+
+namespace copart {
+namespace {
+
+constexpr uint32_t kWayFloor = 2;
+
+PmcSensingParams NoisySensing(uint64_t seed) {
+  PmcSensingParams sensing;
+  sensing.enabled = true;
+  sensing.noise_sigma = 0.05;       // 2.5x the default sigma.
+  sensing.stale_probability = 0.03;
+  sensing.seed = seed;
+  return sensing;
+}
+
+void ArmResctrlFaults(FaultInjector& injector, double probability) {
+  FaultSpec transient;
+  transient.probability = probability;
+  transient.burst_length = 2;
+  FaultSpec silent;
+  silent.probability = probability / 2.0;
+  injector.Arm(fault_points::kResctrlSetL3, transient);
+  injector.Arm(fault_points::kResctrlSetMb, transient);
+  injector.Arm(fault_points::kResctrlSetL3Silent, silent);
+  injector.Arm(fault_points::kResctrlSetMbSilent, silent);
+  injector.Arm(fault_points::kResctrlSchemataPartial, silent);
+}
+
+// Property 1: the §6.3-style serving consolidation (memcached LC + two
+// batch apps) with noisy sensing on top of the schemata fault storm.
+void RunLcFloorSchedule(uint64_t seed) {
+  FaultInjector injector(seed);
+  MachineConfig machine_config;
+  machine_config.fault_injector = &injector;
+  SimulatedMachine machine(machine_config);
+  Resctrl resctrl(&machine);
+  PerfMonitor monitor(&machine);
+  monitor.ConfigureSensing(NoisySensing(seed));
+
+  ResourceManagerParams params;
+  params.control_period_sec = 0.1;
+  params.slo.enabled = true;
+  params.slo.lc_way_floor = kWayFloor;
+  params.slo.protect_rps_threshold = 150000.0;
+  ResourceManager manager(&resctrl, &monitor, params);
+
+  const WorkloadDescriptor lc_desc = Memcached();
+  Result<AppId> lc = machine.LaunchApp(lc_desc, 8);
+  ASSERT_TRUE(lc.ok()) << lc.status().ToString();
+  LcAppModel model;
+  model.slo_p95_ms = lc_desc.slo_p95_ms;
+  model.instructions_per_request = lc_desc.instructions_per_request;
+  model.capability_ips = [&](uint32_t ways) {
+    return PredictLcCapabilityIps(lc_desc, 8, ways, machine_config);
+  };
+  model.initial_offered_rps = 75000.0;
+  ASSERT_TRUE(manager.SetLatencyCriticalApp(*lc, model).ok());
+  for (const WorkloadDescriptor& batch : {WordCount(), Kmeans()}) {
+    Result<AppId> app = machine.LaunchApp(batch, 4);
+    ASSERT_TRUE(app.ok());
+    ASSERT_TRUE(manager.AddApp(*app).ok());
+  }
+  ArmResctrlFaults(injector, 0.2);
+
+  for (int period = 0; period < 300; ++period) {
+    const double t = 0.1 * period;
+    const double rps = (t < 10.0 || t >= 20.0) ? 75000.0 : 190000.0;
+    machine.SetAppRequiredIps(*lc, rps * lc_desc.instructions_per_request);
+    manager.SetLcOfferedLoad(*lc, rps);
+    machine.AdvanceTime(0.1);
+    manager.Tick();
+
+    ASSERT_GE(manager.LcWays(*lc), kWayFloor)
+        << "seed " << seed << " period " << period;
+    const WayMask actuated = machine.ClosWayMask(machine.AppClos(*lc));
+    ASSERT_FALSE(actuated.Empty()) << "seed " << seed << " period " << period;
+    ASSERT_GE(actuated.CountWays(), kWayFloor)
+        << "seed " << seed << " period " << period;
+  }
+  // The schedule exercised both hazard sources.
+  EXPECT_GT(injector.total_failures(), 0u) << "seed " << seed;
+  EXPECT_GT(monitor.sensed_samples(), 0u) << "seed " << seed;
+}
+
+TEST(SensingChaosTest, LcClosNeverDropsBelowFloorUnderNoiseAndFaults) {
+  for (uint64_t seed = 1; seed <= 8; ++seed) {
+    RunLcFloorSchedule(seed);
+    if (::testing::Test::HasFatalFailure()) {
+      return;
+    }
+  }
+}
+
+// Property 2: a batch consolidation with a hair-trigger trend governor
+// (any measured unfairness increase during exploration engages BACKOFF).
+// Whenever the FSM is observed in BACKOFF, a re-probe or a degraded entry
+// must follow within backoff_periods ticks.
+void RunBackoffSchedule(uint64_t seed, uint64_t* total_backoffs) {
+  FaultInjector injector(seed);
+  MachineConfig machine_config;
+  machine_config.fault_injector = &injector;
+  SimulatedMachine machine(machine_config);
+  Resctrl resctrl(&machine);
+  PerfMonitor monitor(&machine);
+  monitor.ConfigureSensing(NoisySensing(seed ^ 0xB0FFULL));
+
+  ResourceManagerParams params;
+  params.trend.enabled = true;
+  params.trend.warmup_periods = 1;
+  params.trend.increase_factor = 1.0;  // Any rise counts.
+  params.trend.max_increasing_intervals = 1;
+  params.trend.backoff_periods = 6;
+  ResourceManager manager(&resctrl, &monitor, params);
+
+  for (const WorkloadDescriptor& batch :
+       {Cg(), OceanCp(), WaterNsquared(), Swaptions()}) {
+    Result<AppId> app = machine.LaunchApp(batch, 4);
+    ASSERT_TRUE(app.ok());
+    ASSERT_TRUE(manager.AddApp(*app).ok());
+  }
+  ArmResctrlFaults(injector, 0.05);
+
+  int backoff_age = -1;  // Non-degraded periods in BACKOFF; -1 = not in it.
+  bool saw_degraded = false;
+  uint64_t reprobes_at_entry = 0;
+  for (int period = 0; period < 400; ++period) {
+    machine.AdvanceTime(0.5);
+    manager.Tick();
+
+    if (manager.trend_state() == TrendState::kBackoff) {
+      if (manager.phase() == ManagerPhase::kDegraded) {
+        // A failed best-state restore pauses the countdown; degraded
+        // recovery restarts adaptation (and disarms BACKOFF) itself.
+        saw_degraded = true;
+        continue;
+      }
+      if (backoff_age < 0) {
+        backoff_age = 0;
+        saw_degraded = false;
+        reprobes_at_entry = manager.trend_reprobes();
+      } else {
+        ++backoff_age;
+      }
+      ASSERT_LE(backoff_age, params.trend.backoff_periods)
+          << "seed " << seed << " period " << period
+          << ": BACKOFF outlived its window without re-probing";
+    } else if (backoff_age >= 0) {
+      // Left BACKOFF: via the window-expiry re-probe or via a degraded
+      // interlude's recovery, never by silently wedging.
+      EXPECT_TRUE(manager.trend_reprobes() > reprobes_at_entry ||
+                  saw_degraded)
+          << "seed " << seed << " period " << period;
+      backoff_age = -1;
+    }
+  }
+  *total_backoffs += manager.trend_backoffs();
+}
+
+TEST(SensingChaosTest, BackoffAlwaysReprobesWithinItsWindow) {
+  uint64_t total_backoffs = 0;
+  for (uint64_t seed = 1; seed <= 8; ++seed) {
+    RunBackoffSchedule(seed, &total_backoffs);
+    if (::testing::Test::HasFatalFailure()) {
+      return;
+    }
+  }
+  // The property must not pass vacuously: the hair-trigger governor has to
+  // have engaged at least once across the schedules.
+  EXPECT_GT(total_backoffs, 0u);
+}
+
+}  // namespace
+}  // namespace copart

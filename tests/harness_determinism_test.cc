@@ -21,6 +21,7 @@
 #include "harness/heatmap.h"
 #include "harness/mix.h"
 #include "harness/replication.h"
+#include "harness/sensing.h"
 #include "harness/serve.h"
 #include "harness/static_oracle.h"
 #include "machine/simulated_machine.h"
@@ -189,6 +190,40 @@ TEST(HarnessDeterminismTest,
     EXPECT_EQ(parallel_metrics.DumpJson(/*deterministic_only=*/true),
               serial_dump)
         << "threads=" << threads;
+  }
+}
+
+TEST(HarnessDeterminismTest,
+     SensingComparisonIsByteIdenticalAcrossRunsAndThreadCounts) {
+  // The sensing A/B table (exact vs estimated vs noisy cells, fanned out
+  // over ParallelMap) and its CSV export must be pure functions of the
+  // config: per-seed noise streams, SHARDS admission hashes, and the
+  // stop-at-target feed schedule all derive from pinned RNG forks, so the
+  // rendered artifacts are byte-identical across repeats AND --threads.
+  SensingConfig config;
+  config.duration_sec = 25.0;  // Trimmed: full runs live in the accuracy suite.
+
+  auto run_once = [&](uint32_t threads) {
+    SensingConfig cell = config;
+    cell.parallel.num_threads = threads;
+    const SensingComparison comparison = RunSensingComparison(cell);
+    char path[] = "/tmp/copart_sensing_det_XXXXXX";
+    const int fd = mkstemp(path);
+    CHECK_GE(fd, 0);
+    close(fd);
+    CHECK(WriteSensingCsv(comparison, path).ok());
+    std::ifstream in(path, std::ios::binary);
+    std::ostringstream contents;
+    contents << in.rdbuf();
+    std::remove(path);
+    return FormatSensingTable(comparison) + contents.str();
+  };
+
+  const std::string reference = run_once(1);
+  EXPECT_GT(reference.size(), 0u);
+  EXPECT_EQ(run_once(1), reference) << "repeat run diverged";
+  for (uint32_t threads : kThreadCounts) {
+    EXPECT_EQ(run_once(threads), reference) << "threads=" << threads;
   }
 }
 

@@ -1,0 +1,328 @@
+// Realistic-sensing behaviour of the PMC monitor (ConfigureSensing):
+// noise-model determinism (per seed, per app, independent of attach
+// order), stale repeats, estimator substitution and fallback, the
+// stop-at-target feed schedule and its restart at workload phase changes,
+// interaction with injected counter faults, and warm re-Attach. The exact
+// (sensing-off) sampling discipline is covered by pmc_test.cc.
+#include "pmc/perf_monitor.h"
+
+#include <cmath>
+#include <memory>
+#include <tuple>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/fault_injector.h"
+#include "common/logging.h"
+#include "workload/workload.h"
+
+namespace copart {
+namespace {
+
+MachineConfig QuietConfig() {
+  MachineConfig config;
+  config.ips_noise_sigma = 0.0;
+  return config;
+}
+
+PmcSensingParams EstimatorOnlyParams() {
+  PmcSensingParams params;
+  params.enabled = true;
+  params.noise_sigma = 0.0;
+  params.interval_jitter = 0.0;
+  params.stale_probability = 0.0;
+  return params;
+}
+
+TEST(PmcSensingTest, DisabledSensingReportsExactCounters) {
+  SimulatedMachine machine(QuietConfig());
+  PerfMonitor monitor(&machine);
+  EXPECT_FALSE(monitor.sensing_params().enabled);
+  Result<AppId> app = machine.LaunchApp(Cg(), 4);
+  ASSERT_TRUE(app.ok());
+  monitor.Attach(*app);
+  machine.AdvanceTime(0.5);
+  const PmcSample sample = monitor.Sample(*app);
+  EXPECT_NEAR(sample.llc_misses,
+              machine.Counters(*app).llc_misses, 1e-6);
+  EXPECT_EQ(monitor.sensed_samples(), 0u);
+  EXPECT_EQ(monitor.estimator(*app), nullptr);
+}
+
+TEST(PmcSensingTest, EstimatorSubstitutesConvergedMissRatio) {
+  SimulatedMachine machine(QuietConfig());
+  PerfMonitor exact_monitor(&machine);
+  PerfMonitor sensing_monitor(&machine);
+  sensing_monitor.ConfigureSensing(EstimatorOnlyParams());
+
+  Result<AppId> app = machine.LaunchApp(Cg(), 4);
+  ASSERT_TRUE(app.ok());
+  exact_monitor.Attach(*app);
+  sensing_monitor.Attach(*app);
+  machine.AdvanceTime(0.5);
+  const PmcSample exact = exact_monitor.Sample(*app);
+  const PmcSample sensed = sensing_monitor.Sample(*app);
+
+  // Non-miss counters pass through untouched (no noise configured)...
+  EXPECT_EQ(sensed.instructions, exact.instructions);
+  EXPECT_EQ(sensed.llc_accesses, exact.llc_accesses);
+  EXPECT_EQ(sensed.interval_sec, exact.interval_sec);
+  // ...while the miss delta is reconstructed from the estimator at the
+  // app's current way allocation.
+  const OnlineMrcEstimator* estimator = sensing_monitor.estimator(*app);
+  ASSERT_NE(estimator, nullptr);
+  const uint32_t ways =
+      machine.ClosWayMask(machine.AppClos(*app)).CountWays();
+  EXPECT_DOUBLE_EQ(sensed.llc_misses,
+                   sensed.llc_accesses * estimator->MissRatioAtWays(ways));
+  EXPECT_EQ(sensing_monitor.sensed_samples(), 1u);
+  EXPECT_EQ(sensing_monitor.estimator_fallbacks(), 0u);
+}
+
+TEST(PmcSensingTest, ColdDirectoryFallsBackToRawCounters) {
+  SimulatedMachine machine(QuietConfig());
+  PerfMonitor exact_monitor(&machine);
+  PerfMonitor sensing_monitor(&machine);
+  PmcSensingParams params = EstimatorOnlyParams();
+  params.estimator_accesses_per_sample = 16;  // 1/sqrt(16) = 0.25 bound.
+  params.max_error_bound = 0.02;              // Needs 2500 samples.
+  params.target_error_bound = 0.02;
+  sensing_monitor.ConfigureSensing(params);
+
+  Result<AppId> app = machine.LaunchApp(Swaptions(), 4);
+  ASSERT_TRUE(app.ok());
+  exact_monitor.Attach(*app);
+  sensing_monitor.Attach(*app);
+  machine.AdvanceTime(0.5);
+  const PmcSample exact = exact_monitor.Sample(*app);
+  const PmcSample sensed = sensing_monitor.Sample(*app);
+  EXPECT_EQ(sensed.llc_misses, exact.llc_misses);
+  EXPECT_EQ(sensing_monitor.estimator_fallbacks(), 1u);
+}
+
+TEST(PmcSensingTest, FeedStopsAtTargetErrorBound) {
+  SimulatedMachine machine(QuietConfig());
+  PerfMonitor monitor(&machine);
+  PmcSensingParams params = EstimatorOnlyParams();
+  // 256 samples reach 1/16 = 0.0625 exactly: one sample's feed suffices.
+  params.target_error_bound = 0.0625;
+  monitor.ConfigureSensing(params);
+
+  Result<AppId> app = machine.LaunchApp(Cg(), 4);
+  ASSERT_TRUE(app.ok());
+  monitor.Attach(*app);
+  for (int i = 0; i < 5; ++i) {
+    machine.AdvanceTime(0.5);
+    (void)monitor.Sample(*app);
+  }
+  // Fed exactly once, then the stationary-phase cut-off held.
+  EXPECT_EQ(monitor.estimator(*app)->sampled_accesses(), 256u);
+}
+
+TEST(PmcSensingTest, PhaseChangeRestartsTheFeed) {
+  SimulatedMachine machine(QuietConfig());
+  PerfMonitor monitor(&machine);
+  PmcSensingParams params = EstimatorOnlyParams();
+  params.max_error_bound = 0.02;  // 2500 samples: ~10 samples of feeding.
+  params.target_error_bound = 0.02;
+  monitor.ConfigureSensing(params);
+
+  // Phase flip at t = 2.0: the feed must drop its counters and restart.
+  // (Sampling stops at t = 3.5 — t = 4.0 would wrap back to phase A and
+  // legitimately reset a second time.)
+  Result<AppId> app = machine.LaunchApp(PhasedScanCompute(2.0), 4);
+  ASSERT_TRUE(app.ok());
+  monitor.Attach(*app);
+  std::vector<uint64_t> sampled;
+  for (int i = 0; i < 7; ++i) {
+    machine.AdvanceTime(0.5);
+    (void)monitor.Sample(*app);
+    sampled.push_back(monitor.estimator(*app)->sampled_accesses());
+  }
+  // Monotone 256-per-sample growth in phase A...
+  EXPECT_EQ(sampled[0], 256u);
+  EXPECT_EQ(sampled[1], 512u);
+  // ...broken by exactly one ResetCounters + refeed at the flip.
+  int resets = 0;
+  for (size_t i = 1; i < sampled.size(); ++i) {
+    if (sampled[i] < sampled[i - 1]) {
+      ++resets;
+      EXPECT_EQ(sampled[i], 256u) << "restart at sample " << i;
+    }
+  }
+  EXPECT_EQ(resets, 1);
+  // The restarted directory is below the trust bound again.
+  EXPECT_GT(monitor.estimator_fallbacks(), 4u);
+}
+
+TEST(PmcSensingTest, NoiseIsDeterministicAndAttachOrderIndependent) {
+  auto build = [](bool reversed) {
+    auto machine = std::make_unique<SimulatedMachine>(QuietConfig());
+    auto monitor = std::make_unique<PerfMonitor>(machine.get());
+    PmcSensingParams params;
+    params.enabled = true;  // Full noise model, default seed.
+    monitor->ConfigureSensing(params);
+    Result<AppId> first = machine->LaunchApp(Cg(), 4);
+    Result<AppId> second = machine->LaunchApp(Swaptions(), 4);
+    CHECK(first.ok() && second.ok());
+    if (reversed) {
+      monitor->Attach(*second);
+      monitor->Attach(*first);
+    } else {
+      monitor->Attach(*first);
+      monitor->Attach(*second);
+    }
+    return std::tuple(std::move(machine), std::move(monitor), *first,
+                      *second);
+  };
+  auto [machine_a, monitor_a, a1, a2] = build(false);
+  auto [machine_b, monitor_b, b1, b2] = build(true);
+  for (int i = 0; i < 10; ++i) {
+    machine_a->AdvanceTime(0.5);
+    machine_b->AdvanceTime(0.5);
+    const PmcSample first_a = monitor_a->Sample(a1);
+    const PmcSample second_a = monitor_a->Sample(a2);
+    // Opposite sampling order as well as opposite attach order.
+    const PmcSample second_b = monitor_b->Sample(b2);
+    const PmcSample first_b = monitor_b->Sample(b1);
+    EXPECT_EQ(first_a.instructions, first_b.instructions) << "tick " << i;
+    EXPECT_EQ(first_a.llc_misses, first_b.llc_misses) << "tick " << i;
+    EXPECT_EQ(first_a.interval_sec, first_b.interval_sec) << "tick " << i;
+    EXPECT_EQ(second_a.instructions, second_b.instructions) << "tick " << i;
+    EXPECT_EQ(second_a.llc_misses, second_b.llc_misses) << "tick " << i;
+  }
+}
+
+TEST(PmcSensingTest, NoiseStaysWithinConfiguredMagnitudes) {
+  SimulatedMachine machine(QuietConfig());
+  PerfMonitor exact_monitor(&machine);
+  PerfMonitor noisy_monitor(&machine);
+  PmcSensingParams params;
+  params.enabled = true;
+  params.estimate_miss_ratio = false;  // Isolate the noise model.
+  params.stale_probability = 0.0;
+  noisy_monitor.ConfigureSensing(params);
+
+  Result<AppId> app = machine.LaunchApp(Cg(), 4);
+  ASSERT_TRUE(app.ok());
+  exact_monitor.Attach(*app);
+  noisy_monitor.Attach(*app);
+  const double sigma_cap = std::exp(6.0 * params.noise_sigma);  // 6-sigma.
+  for (int i = 0; i < 50; ++i) {
+    machine.AdvanceTime(0.5);
+    const PmcSample exact = exact_monitor.Sample(*app);
+    const PmcSample noisy = noisy_monitor.Sample(*app);
+    EXPECT_GT(noisy.instructions, exact.instructions / sigma_cap);
+    EXPECT_LT(noisy.instructions, exact.instructions * sigma_cap);
+    EXPECT_GE(noisy.interval_sec,
+              exact.interval_sec * (1.0 - params.interval_jitter));
+    EXPECT_LE(noisy.interval_sec,
+              exact.interval_sec * (1.0 + params.interval_jitter));
+  }
+}
+
+TEST(PmcSensingTest, StaleReadRepeatsThePreviousReport) {
+  SimulatedMachine machine(QuietConfig());
+  PerfMonitor monitor(&machine);
+  PmcSensingParams params = EstimatorOnlyParams();
+  params.stale_probability = 1.0;  // Every read after the first is stale.
+  monitor.ConfigureSensing(params);
+
+  Result<AppId> app = machine.LaunchApp(Cg(), 4);
+  ASSERT_TRUE(app.ok());
+  monitor.Attach(*app);
+  machine.AdvanceTime(0.5);
+  const PmcSample first = monitor.Sample(*app);
+  EXPECT_EQ(monitor.stale_reports(), 0u);  // Nothing to repeat yet.
+  machine.AdvanceTime(0.5);
+  const PmcSample second = monitor.Sample(*app);
+  EXPECT_EQ(monitor.stale_reports(), 1u);
+  EXPECT_EQ(second.interval_sec, first.interval_sec);
+  EXPECT_EQ(second.instructions, first.instructions);
+  EXPECT_EQ(second.llc_accesses, first.llc_accesses);
+  EXPECT_EQ(second.llc_misses, first.llc_misses);
+}
+
+TEST(PmcSensingTest, InjectedFaultPathsBypassTheSensingTransform) {
+  FaultInjector injector(0xBAD);
+  MachineConfig config = QuietConfig();
+  config.fault_injector = &injector;
+  SimulatedMachine machine(config);
+  PerfMonitor monitor(&machine);
+  monitor.ConfigureSensing(EstimatorOnlyParams());
+
+  Result<AppId> app = machine.LaunchApp(Cg(), 4);
+  ASSERT_TRUE(app.ok());
+  monitor.Attach(*app);
+  machine.AdvanceTime(0.5);
+
+  FaultSpec always;
+  always.probability = 1.0;
+
+  // A dropped read produces no sample, so nothing is sensed.
+  injector.Arm(fault_points::kPmcDropped, always);
+  EXPECT_FALSE(monitor.TrySample(*app).ok());
+  EXPECT_EQ(monitor.sensed_samples(), 0u);
+
+  // An injected-stale read reports raw zero deltas — the quarantine logic
+  // must see the fault signature, not a noised-up version of it.
+  injector.Disarm(fault_points::kPmcDropped);
+  injector.Arm(fault_points::kPmcStale, always);
+  Result<PmcSample> stale = monitor.TrySample(*app);
+  ASSERT_TRUE(stale.ok());
+  EXPECT_EQ(stale->instructions, 0.0);
+  EXPECT_EQ(monitor.sensed_samples(), 0u);
+
+  // Clean reads sense again.
+  injector.DisarmAll();
+  machine.AdvanceTime(0.5);
+  ASSERT_TRUE(monitor.TrySample(*app).ok());
+  EXPECT_EQ(monitor.sensed_samples(), 1u);
+}
+
+TEST(PmcSensingTest, ReattachKeepsTheWarmDirectory) {
+  SimulatedMachine machine(QuietConfig());
+  PerfMonitor monitor(&machine);
+  monitor.ConfigureSensing(EstimatorOnlyParams());
+  Result<AppId> app = machine.LaunchApp(Cg(), 4);
+  ASSERT_TRUE(app.ok());
+  monitor.Attach(*app);
+  machine.AdvanceTime(0.5);
+  (void)monitor.Sample(*app);
+  const OnlineMrcEstimator* estimator = monitor.estimator(*app);
+  ASSERT_NE(estimator, nullptr);
+  const uint64_t fed = estimator->sampled_accesses();
+  EXPECT_GT(fed, 0u);
+
+  monitor.Attach(*app);  // Baseline restart; sensing state survives.
+  EXPECT_EQ(monitor.estimator(*app), estimator);
+  EXPECT_EQ(monitor.estimator(*app)->sampled_accesses(), fed);
+
+  monitor.Detach(*app);  // Detach drops it.
+  EXPECT_EQ(monitor.estimator(*app), nullptr);
+}
+
+TEST(PmcSensingTest, ReconfigureRebuildsColdStates) {
+  SimulatedMachine machine(QuietConfig());
+  PerfMonitor monitor(&machine);
+  monitor.ConfigureSensing(EstimatorOnlyParams());
+  Result<AppId> app = machine.LaunchApp(Cg(), 4);
+  ASSERT_TRUE(app.ok());
+  monitor.Attach(*app);
+  machine.AdvanceTime(0.5);
+  (void)monitor.Sample(*app);
+  EXPECT_GT(monitor.estimator(*app)->sampled_accesses(), 0u);
+
+  monitor.ConfigureSensing(EstimatorOnlyParams());
+  ASSERT_NE(monitor.estimator(*app), nullptr);
+  EXPECT_EQ(monitor.estimator(*app)->sampled_accesses(), 0u);
+
+  PmcSensingParams off;
+  off.enabled = false;
+  monitor.ConfigureSensing(off);
+  EXPECT_EQ(monitor.estimator(*app), nullptr);
+}
+
+}  // namespace
+}  // namespace copart

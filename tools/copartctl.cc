@@ -10,6 +10,8 @@
 //   serve [--csv p] [--out p]        §6.3 burst trace served by the
 //                                    discrete-event engine under CoPart SLO
 //                                    mode vs. EqualShare vs. NoPart
+//   sensing [mix] [count] [s]        exact vs. estimated vs. noisy PMC
+//                                    sensing A/B table (DESIGN.md §10)
 //   chaos [schedules] [base_seed]    randomized fault schedules vs. the
 //                                    hardened controller (DESIGN.md §7)
 //   trace <mix|casestudy|serve|cluster> [count] [s]  run CoPart (or the
@@ -32,6 +34,7 @@
 #include "harness/experiment.h"
 #include "harness/heatmap.h"
 #include "harness/mix.h"
+#include "harness/sensing.h"
 #include "harness/serve.h"
 #include "harness/static_oracle.h"
 #include "harness/table_printer.h"
@@ -53,6 +56,7 @@ int Usage() {
       "  oracle <mix> [app_count]\n"
       "  casestudy [--eq]\n"
       "  serve [--csv prefix] [--out prefix]\n"
+      "  sensing [mix] [app_count] [duration_sec] [--csv path]\n"
       "  chaos [schedules] [base_seed] | chaos --seed <schedule_seed>\n"
       "  trace <mix|casestudy|serve|cluster> [app_count] [duration_sec] "
       "[--out prefix]\n"
@@ -310,6 +314,31 @@ int CmdServe(const std::string& csv_prefix, const std::string& obs_prefix,
   return 0;
 }
 
+int CmdSensing(const std::string& mix_name, size_t count, double duration,
+               const std::string& csv_path, const ParallelConfig& parallel) {
+  Result<MixFamily> family = FindMix(mix_name);
+  if (!family.ok()) {
+    std::fprintf(stderr, "%s\n", family.status().ToString().c_str());
+    return 1;
+  }
+  SensingConfig config;
+  config.family = *family;
+  config.app_count = count;
+  config.duration_sec = duration;
+  config.parallel = parallel;
+  const SensingComparison comparison = RunSensingComparison(config);
+  std::fputs(FormatSensingTable(comparison).c_str(), stdout);
+  if (!csv_path.empty()) {
+    const Status status = WriteSensingCsv(comparison, csv_path);
+    if (!status.ok()) {
+      std::fprintf(stderr, "%s\n", status.ToString().c_str());
+      return 1;
+    }
+    std::printf("csv -> %s\n", csv_path.c_str());
+  }
+  return 0;
+}
+
 int CmdChaos(int num_schedules, uint64_t base_seed,
              const ParallelConfig& parallel) {
   ChaosSuiteConfig config;
@@ -492,6 +521,30 @@ int Main(int argc, char** argv) {
       }
     }
     return CmdServe(csv_prefix, obs_prefix, parallel);
+  }
+  if (command == "sensing") {
+    std::string mix = "H-LLC";
+    std::string csv_path;
+    size_t count = 3;
+    double duration = 50.0;
+    int positional = 0;
+    for (int i = 2; i < argc; ++i) {
+      if (std::strcmp(argv[i], "--csv") == 0 && i + 1 < argc) {
+        csv_path = argv[++i];
+      } else if (positional == 0) {
+        mix = argv[i];
+        ++positional;
+      } else if (positional == 1) {
+        count = std::strtoul(argv[i], nullptr, 10);
+        ++positional;
+      } else if (positional == 2) {
+        duration = std::strtod(argv[i], nullptr);
+        ++positional;
+      } else {
+        return Usage();
+      }
+    }
+    return CmdSensing(mix, count, duration, csv_path, parallel);
   }
   if (command == "chaos") {
     if (argc >= 4 && std::strcmp(argv[2], "--seed") == 0) {

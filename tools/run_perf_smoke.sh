@@ -11,6 +11,13 @@
 # stay under OBS_OVERHEAD_PCT (2%) — disabled instrumentation is one branch
 # per site and must never grow a measurable cost (DESIGN.md §8).
 #
+# Likewise for realistic sensing (DESIGN.md §10): sensing_overhead_pct — the
+# managed loop with the online MRC estimator on the sample path at the
+# default sampling budget, noise model off — must stay under
+# SENSING_OVERHEAD_PCT (10%). Sensing disabled is priced by the plain
+# managed point itself (one bool test), and the full noise model's cost is
+# reported as sensing_noisy_overhead_pct but not gated.
+#
 # bench_serve (the request-serving subsystem, DESIGN.md §9) is gated the
 # same way against BENCH_serve.json: simulated requests/sec of the raw
 # discrete-event engine and epochs/sec of the SLO-mode control loop.
@@ -31,6 +38,7 @@ BASELINE="BENCH_sim_throughput.json"
 SERVE_BASELINE="BENCH_serve.json"
 REGRESSION_PCT=20
 OBS_OVERHEAD_PCT=2
+SENSING_OVERHEAD_PCT=10
 
 for baseline in "$BASELINE" "$SERVE_BASELINE"; do
   if [[ ! -f "$baseline" ]]; then
@@ -153,6 +161,30 @@ check_obs_overhead() {  # check_obs_overhead FILE LABEL
   fi
 }
 check_obs_overhead "$FRESH" "plain"
+
+check_sensing_overhead() {  # check_sensing_overhead FILE LABEL
+  local file="$1" label="$2" pct
+  pct="$(sed -n 's/.*"sensing_overhead_pct": \(-\{0,1\}[0-9.]*\).*/\1/p' \
+    "$file")"
+  if [[ -z "$pct" ]]; then
+    echo "run_perf_smoke: FAIL [$label] sensing_overhead_pct" \
+      "missing from fresh run"
+    fail=1
+    return
+  fi
+  local verdict
+  verdict="$(awk -v p="$pct" -v max="$SENSING_OVERHEAD_PCT" \
+    'BEGIN { print (p >= max) }')"
+  if [[ "$verdict" == 1 ]]; then
+    echo "run_perf_smoke: FAIL [$label] sensing estimator overhead" \
+      "${pct}% >= ${SENSING_OVERHEAD_PCT}%"
+    fail=1
+  else
+    echo "run_perf_smoke: ok   [$label] sensing estimator overhead" \
+      "${pct}% < ${SENSING_OVERHEAD_PCT}%"
+  fi
+}
+check_sensing_overhead "$FRESH" "plain"
 
 if [[ "$fail" != 0 ]]; then
   echo "run_perf_smoke: REGRESSION DETECTED (>${REGRESSION_PCT}% below baseline)"

@@ -21,6 +21,13 @@ TESTS=(
   common_parallel_test
   common_rng_test
   core_chaos_property_test
+  # Sensing: the accuracy harness fans its A/B cells out on the pool, and
+  # the sensing chaos suite drives noisy PMCs + resctrl faults through the
+  # hardened control loop; both must stay race-free. The determinism suite
+  # below also pins the sensing comparison byte-identical across thread
+  # counts.
+  core_classifier_accuracy_test
+  core_sensing_chaos_test
   harness_determinism_test
   harness_golden_test
   harness_heatmap_test
