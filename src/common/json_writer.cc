@@ -1,0 +1,117 @@
+#include "common/json_writer.h"
+
+#include "common/logging.h"
+
+namespace copart {
+
+JsonWriter::JsonWriter(std::FILE* out) : out_(out) { CHECK(out != nullptr); }
+
+void JsonWriter::Indent() {
+  for (size_t i = 0; i < stack_.size(); ++i) {
+    std::fputs("  ", out_);
+  }
+}
+
+void JsonWriter::BeginItem(const char* key) {
+  if (!stack_.empty()) {
+    const bool inline_frame = stack_.back() == Frame::kInline;
+    if (counts_.back() > 0) {
+      std::fputs(inline_frame ? ", " : ",\n", out_);
+    } else if (!inline_frame) {
+      std::fputc('\n', out_);
+    }
+    ++counts_.back();
+    if (!inline_frame) {
+      Indent();
+    }
+  }
+  if (key != nullptr) {
+    std::fprintf(out_, "\"%s\": ", key);
+  }
+}
+
+void JsonWriter::BeginObject() { BeginObject(nullptr); }
+
+void JsonWriter::BeginObject(const char* key) {
+  BeginItem(key);
+  std::fputc('{', out_);
+  stack_.push_back(Frame::kObject);
+  counts_.push_back(0);
+}
+
+void JsonWriter::EndObject() {
+  CHECK(!stack_.empty() && stack_.back() == Frame::kObject);
+  const bool empty = counts_.back() == 0;
+  stack_.pop_back();
+  counts_.pop_back();
+  if (!empty) {
+    std::fputc('\n', out_);
+    Indent();
+  }
+  std::fputc('}', out_);
+}
+
+void JsonWriter::BeginArray(const char* key) {
+  BeginItem(key);
+  std::fputc('[', out_);
+  stack_.push_back(Frame::kArray);
+  counts_.push_back(0);
+}
+
+void JsonWriter::EndArray() {
+  CHECK(!stack_.empty() && stack_.back() == Frame::kArray);
+  const bool empty = counts_.back() == 0;
+  stack_.pop_back();
+  counts_.pop_back();
+  if (!empty) {
+    std::fputc('\n', out_);
+    Indent();
+  }
+  std::fputc(']', out_);
+}
+
+void JsonWriter::BeginInlineObject() { BeginInlineObject(nullptr); }
+
+void JsonWriter::BeginInlineObject(const char* key) {
+  BeginItem(key);
+  std::fputc('{', out_);
+  stack_.push_back(Frame::kInline);
+  counts_.push_back(0);
+}
+
+void JsonWriter::EndInlineObject() {
+  CHECK(!stack_.empty() && stack_.back() == Frame::kInline);
+  stack_.pop_back();
+  counts_.pop_back();
+  std::fputc('}', out_);
+}
+
+void JsonWriter::String(const char* key, const std::string& value) {
+  BeginItem(key);
+  std::fputc('"', out_);
+  for (const char c : value) {
+    if (c == '"' || c == '\\') {
+      std::fputc('\\', out_);
+    }
+    std::fputc(c, out_);
+  }
+  std::fputc('"', out_);
+}
+
+void JsonWriter::Uint(const char* key, uint64_t value) {
+  BeginItem(key);
+  std::fprintf(out_, "%llu", static_cast<unsigned long long>(value));
+}
+
+void JsonWriter::Double(const char* key, double value, int decimals) {
+  BeginItem(key);
+  std::fprintf(out_, "%.*f", decimals, value);
+}
+
+void JsonWriter::EndDocument() {
+  CHECK_EQ(stack_.size(), 1u);
+  EndObject();
+  std::fputc('\n', out_);
+}
+
+}  // namespace copart

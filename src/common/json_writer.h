@@ -1,0 +1,83 @@
+// Minimal streaming JSON writer for the bench/report emitters.
+//
+// The perf baselines (BENCH_*.json) are committed files diffed by humans and
+// parsed by tools/run_perf_smoke.sh with grep/sed, so the writer's job is a
+// *stable, line-oriented* rendering rather than generality: multi-line
+// objects and arrays with two-space indentation, commas at the end of the
+// preceding line (never hand-rolled leading commas), and one-line inline
+// objects for array elements so each data point stays a single greppable
+// line:
+//
+//   {
+//     "bench": "sim_throughput",
+//     "results": [
+//       {"mode": "exact", "apps": 2, "epochs_per_sec": 82750.0},
+//       {"mode": "managed", "apps": 4, "epochs_per_sec": 3400000.0}
+//     ],
+//     "speedup_compiled_over_exact": 20.29
+//   }
+//
+// The writer tracks nesting and element counts; callers never emit
+// separators. Keys are written verbatim (no escaping — callers pass literal
+// identifiers); string values get minimal escaping of '"' and '\'.
+#ifndef COPART_COMMON_JSON_WRITER_H_
+#define COPART_COMMON_JSON_WRITER_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace copart {
+
+class JsonWriter {
+ public:
+  // Writes to `out` (not owned, must outlive the writer). Begin the document
+  // with BeginObject() and balance every Begin* with the matching End*;
+  // EndDocument() closes the root and emits the trailing newline.
+  explicit JsonWriter(std::FILE* out);
+
+  // --- Containers ---
+
+  // Multi-line object: `{` at the current position, members indented one
+  // level. The root call takes no key; nested objects take the member key.
+  void BeginObject();
+  void BeginObject(const char* key);
+  void EndObject();
+
+  // Multi-line array member; elements are indented one level.
+  void BeginArray(const char* key);
+  void EndArray();
+
+  // One-line object — as an array element (no key) or as a member (key).
+  // Scalars written inside it stay on the same line, separated by ", ".
+  void BeginInlineObject();
+  void BeginInlineObject(const char* key);
+  void EndInlineObject();
+
+  // --- Scalars (key forms for objects; keyless forms for array elements) ---
+
+  void String(const char* key, const std::string& value);
+  void Uint(const char* key, uint64_t value);
+  // Fixed-point rendering with `decimals` digits (matches the %.Nf the
+  // hand-rolled emitters used, keeping baselines diff-stable).
+  void Double(const char* key, double value, int decimals);
+
+  // Closes the root object and writes the final newline.
+  void EndDocument();
+
+ private:
+  enum class Frame : uint8_t { kObject, kArray, kInline };
+
+  // Comma/newline/indent bookkeeping before any value or container opener.
+  void BeginItem(const char* key);
+  void Indent();
+
+  std::FILE* out_;
+  std::vector<Frame> stack_;
+  std::vector<uint32_t> counts_;
+};
+
+}  // namespace copart
+
+#endif  // COPART_COMMON_JSON_WRITER_H_

@@ -20,6 +20,17 @@ SloGovernor::SloGovernor(const SloParams& params, LcAppModel model)
   CHECK(model_.capability_ips != nullptr);
 }
 
+double SloGovernor::ServiceRps(uint32_t ways) const {
+  if (ways >= service_rps_cache_.size()) {
+    service_rps_cache_.resize(ways + 1, -1.0);
+  }
+  double& slot = service_rps_cache_[ways];
+  if (slot < 0.0) {
+    slot = model_.capability_ips(ways) / model_.instructions_per_request;
+  }
+  return slot;
+}
+
 SloDecision SloGovernor::SmallestMeeting(double offered_rps,
                                          uint32_t max_ways) const {
   const double target_ms = model_.slo_p95_ms / params_.headroom;
@@ -27,8 +38,7 @@ SloDecision SloGovernor::SmallestMeeting(double offered_rps,
   SloDecision decision;
   decision.attainable = false;
   for (uint32_t ways = floor; ways <= max_ways; ++ways) {
-    const double service_rps =
-        model_.capability_ips(ways) / model_.instructions_per_request;
+    const double service_rps = ServiceRps(ways);
     const double p95_ms = PredictedP95Ms(offered_rps, service_rps);
     decision.lc_ways = ways;
     decision.predicted_p95_ms = p95_ms;
@@ -56,10 +66,8 @@ SloDecision SloGovernor::Plan(double offered_rps, uint32_t max_ways,
     if (guarded.lc_ways > decision.lc_ways) {
       decision.lc_ways = std::min(current_ways, guarded.lc_ways);
       // Report the prediction at the width actually kept.
-      const double service_rps =
-          model_.capability_ips(decision.lc_ways) /
-          model_.instructions_per_request;
-      decision.predicted_p95_ms = PredictedP95Ms(offered_rps, service_rps);
+      decision.predicted_p95_ms =
+          PredictedP95Ms(offered_rps, ServiceRps(decision.lc_ways));
     }
   }
 

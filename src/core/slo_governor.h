@@ -14,6 +14,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <vector>
 
 #include "core/copart_params.h"
 
@@ -27,7 +28,9 @@ struct LcAppModel {
   // Mean instructions retired per request (converts IPS into requests/s).
   double instructions_per_request = 60000.0;
   // Predicted IPS capability of the app with `ways` LLC ways at the full
-  // MBA level. Must be monotone non-decreasing in `ways`.
+  // MBA level. Must be monotone non-decreasing in `ways` and deterministic
+  // (a fixed function of the width): the governor memoizes it per width so
+  // every Plan() after the first answers from the cache.
   std::function<double(uint32_t ways)> capability_ips;
   // Offered load (requests/s) the first plan — at registration, before any
   // SetLcOfferedLoad call — is sized for.
@@ -61,8 +64,15 @@ class SloGovernor {
   // `offered_rps`; attainable=false (and width max_ways) when none does.
   SloDecision SmallestMeeting(double offered_rps, uint32_t max_ways) const;
 
+  // Service rate (requests/s) at `ways`, memoized: capability_ips may be
+  // an expensive model evaluation and Plan probes the same few widths every
+  // period.
+  double ServiceRps(uint32_t ways) const;
+
   SloParams params_;
   LcAppModel model_;
+  // Per-width memo for ServiceRps; negative entries are unset.
+  mutable std::vector<double> service_rps_cache_;
 };
 
 }  // namespace copart

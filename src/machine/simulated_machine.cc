@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 
 #include "common/logging.h"
 
@@ -16,6 +17,8 @@ constexpr double kNegligibleMpi = 1e-15;
 // geometrically; four rounds are plenty for the accuracy the model needs.
 constexpr int kCapacityIterations = 4;
 
+constexpr double kUncapped = std::numeric_limits<double>::infinity();
+
 }  // namespace
 
 SimulatedMachine::SimulatedMachine(const MachineConfig& config)
@@ -26,7 +29,7 @@ SimulatedMachine::SimulatedMachine(const MachineConfig& config)
   CHECK_GT(config_.num_cores, 0u);
   CHECK_GT(config_.num_clos, 0u);
   clos_.resize(config_.num_clos);
-  for (ClosState& state : clos_) {
+  for (ClosSetting& state : clos_) {
     state.way_mask = WayMask::Contiguous(0, config_.llc.num_ways);
     state.mba_level = MbaLevel();  // 100%
   }
@@ -46,12 +49,17 @@ Result<AppId> SimulatedMachine::LaunchApp(const WorkloadDescriptor& descriptor,
   app.id = AppId(next_app_id_++);
   app.descriptor = descriptor;
   app.num_cores = cores;
-  app.clos = 0;
   app.launch_time = now_;
   used_cores_ += cores;
   ++app_generation_;
+  ++input_generation_;
+  ++capacity_generation_;
   app_index_[app.id] = apps_.size();
   apps_.push_back(std::move(app));
+  app_clos_.push_back(0);
+  required_ips_.push_back(kUncapped);
+  counters_.emplace_back();
+  last_epoch_.emplace_back();
   return apps_.back().id;
 }
 
@@ -63,6 +71,10 @@ Status SimulatedMachine::TerminateApp(AppId id) {
   const size_t index = it->second;
   used_cores_ -= apps_[index].num_cores;
   apps_.erase(apps_.begin() + static_cast<ptrdiff_t>(index));
+  app_clos_.erase(app_clos_.begin() + static_cast<ptrdiff_t>(index));
+  required_ips_.erase(required_ips_.begin() + static_cast<ptrdiff_t>(index));
+  counters_.erase(counters_.begin() + static_cast<ptrdiff_t>(index));
+  last_epoch_.erase(last_epoch_.begin() + static_cast<ptrdiff_t>(index));
   app_index_.erase(it);
   // The erase shifted every later app down one slot.
   for (auto& [app_id, app_pos] : app_index_) {
@@ -71,6 +83,8 @@ Status SimulatedMachine::TerminateApp(AppId id) {
     }
   }
   ++app_generation_;
+  ++input_generation_;
+  ++capacity_generation_;
   return Status::Ok();
 }
 
@@ -87,18 +101,17 @@ bool SimulatedMachine::AppExists(AppId id) const {
   return app_index_.find(id) != app_index_.end();
 }
 
-const SimulatedMachine::App& SimulatedMachine::GetApp(AppId id) const {
+size_t SimulatedMachine::IndexOf(AppId id) const {
   const auto it = app_index_.find(id);
   if (it == app_index_.end()) {
     LOG_FATAL << "no such app: " << id.value();
     __builtin_unreachable();
   }
-  return apps_[it->second];
+  return it->second;
 }
 
-SimulatedMachine::App& SimulatedMachine::GetApp(AppId id) {
-  return const_cast<App&>(
-      static_cast<const SimulatedMachine*>(this)->GetApp(id));
+const SimulatedMachine::App& SimulatedMachine::GetApp(AppId id) const {
+  return apps_[IndexOf(id)];
 }
 
 const WorkloadDescriptor& SimulatedMachine::Descriptor(AppId id) const {
@@ -117,17 +130,32 @@ void SimulatedMachine::SetClosWayMask(uint32_t clos, const WayMask& mask) {
   CHECK_LT(clos, clos_.size());
   CHECK(!mask.Empty()) << "CLOS way mask must keep at least one way";
   CHECK_LE(mask.FirstWay() + mask.CountWays(), config_.llc.num_ways);
+  if (clos_[clos].way_mask == mask) {
+    return;  // No observable change: keep the cached solve valid.
+  }
   clos_[clos].way_mask = mask;
+  ++input_generation_;
+  ++capacity_generation_;
 }
 
 void SimulatedMachine::SetClosMbaLevel(uint32_t clos, MbaLevel level) {
   CHECK_LT(clos, clos_.size());
+  if (clos_[clos].mba_level == level) {
+    return;
+  }
   clos_[clos].mba_level = level;
+  ++input_generation_;
 }
 
 void SimulatedMachine::AssignAppToClos(AppId id, uint32_t clos) {
   CHECK_LT(clos, clos_.size());
-  GetApp(id).clos = clos;
+  const size_t index = IndexOf(id);
+  if (app_clos_[index] == clos) {
+    return;
+  }
+  app_clos_[index] = clos;
+  ++input_generation_;
+  ++capacity_generation_;
 }
 
 const WayMask& SimulatedMachine::ClosWayMask(uint32_t clos) const {
@@ -140,14 +168,22 @@ MbaLevel SimulatedMachine::ClosMbaLevel(uint32_t clos) const {
   return clos_[clos].mba_level;
 }
 
-uint32_t SimulatedMachine::AppClos(AppId id) const { return GetApp(id).clos; }
+uint32_t SimulatedMachine::AppClos(AppId id) const {
+  return app_clos_[IndexOf(id)];
+}
 
 void SimulatedMachine::SetAppRequiredIps(AppId id,
                                          std::optional<double> required_ips) {
   if (required_ips.has_value()) {
     CHECK_GT(*required_ips, 0.0);
   }
-  GetApp(id).required_ips = required_ips;
+  const size_t index = IndexOf(id);
+  const double cap = required_ips.value_or(kUncapped);
+  if (required_ips_[index] == cap) {
+    return;
+  }
+  required_ips_[index] = cap;
+  ++input_generation_;
 }
 
 double SimulatedMachine::UnconstrainedCpi(const WorkloadDescriptor& d,
@@ -191,24 +227,73 @@ void SimulatedMachine::RefreshEffectiveParams() {
   if (params_generation_ != app_generation_) {
     params_cache_.clear();
     params_cache_.reserve(n);
-    for (const App& app : apps_) {
+    phased_apps_.clear();
+    for (size_t i = 0; i < n; ++i) {
+      const App& app = apps_[i];
       params_cache_.push_back(EffectiveParamsFor(
           app, app.descriptor.PhaseIndexAt(now_ - app.launch_time)));
+      if (!app.descriptor.phases.empty()) {
+        phased_apps_.push_back(i);
+      }
     }
     params_generation_ = app_generation_;
     return;
   }
-  for (size_t i = 0; i < n; ++i) {
+  for (const size_t i : phased_apps_) {
     const App& app = apps_[i];
-    if (app.descriptor.phases.empty()) {
-      continue;  // Steady workload: params never change after launch.
-    }
     const size_t phase_index =
         app.descriptor.PhaseIndexAt(now_ - app.launch_time);
     if (phase_index != params_cache_[i].phase_index) {
       params_cache_[i] = EffectiveParamsFor(app, phase_index);
+      // A phase crossing changes the solve inputs, including the profile
+      // and access intensity the capacity fixed point reads.
+      ++input_generation_;
+      ++capacity_generation_;
     }
   }
+}
+
+void SimulatedMachine::RefreshSoaInputs() {
+  if (soa_input_generation_ == input_generation_ &&
+      soa_app_generation_ == app_generation_) {
+    return;
+  }
+  const size_t n = apps_.size();
+  soa_cores_hz_.resize(n);
+  soa_api_.resize(n);
+  soa_cpi_exec_.resize(n);
+  soa_mem_lat_.resize(n);
+  soa_mlp_.resize(n);
+  soa_kappa_.resize(n);
+  soa_mba_term_.resize(n);
+  soa_cap_bps_.resize(n);
+  solved_ips_.resize(n);
+  solved_capability_.resize(n);
+  solved_miss_ratio_.resize(n);
+  solved_capacity_.resize(n);
+  solved_demand_.resize(n);
+  solved_grant_.resize(n);
+  solved_mpi_.resize(n);
+  solved_api_.resize(n);
+  clos_mask_bits_.resize(clos_.size());
+  for (size_t c = 0; c < clos_.size(); ++c) {
+    clos_mask_bits_[c] = clos_[c].way_mask.bits();
+  }
+  for (size_t i = 0; i < n; ++i) {
+    const App& app = apps_[i];
+    soa_cores_hz_[i] = app.num_cores * config_.core_freq_hz;
+    soa_api_[i] = params_cache_[i].accesses_per_instr;
+    soa_cpi_exec_[i] = params_cache_[i].cpi_exec;
+    soa_mem_lat_[i] = app.descriptor.mem_latency_cycles;
+    soa_mlp_[i] = app.descriptor.mlp;
+    soa_kappa_[i] = app.descriptor.mba_kappa;
+    const MbaLevel level = clos_[app_clos_[i]].mba_level;
+    soa_mba_term_[i] = 100.0 / level.percent() - 1.0;
+    soa_cap_bps_[i] =
+        throttle_model_.CapFraction(level) * config_.total_memory_bandwidth;
+  }
+  soa_input_generation_ = input_generation_;
+  soa_app_generation_ = app_generation_;
 }
 
 void SimulatedMachine::SolveEffectiveCapacities() {
@@ -224,10 +309,10 @@ void SimulatedMachine::SolveEffectiveCapacities() {
   scratch_clos_weight_.assign(clos_.size(), 0.0);
   scratch_clos_capacity_.assign(clos_.size(), 0.0);
   scratch_active_clos_.clear();
-  for (const App& app : apps_) {
-    if (scratch_clos_weight_[app.clos] == 0.0) {
-      scratch_active_clos_.push_back(app.clos);
-      scratch_clos_weight_[app.clos] = 1.0;  // Presence marker.
+  for (const uint32_t clos : app_clos_) {
+    if (scratch_clos_weight_[clos] == 0.0) {
+      scratch_active_clos_.push_back(clos);
+      scratch_clos_weight_[clos] = 1.0;  // Presence marker.
     }
   }
 
@@ -241,7 +326,7 @@ void SimulatedMachine::SolveEffectiveCapacities() {
       scratch_clos_capacity_[clos] = 0.0;
     }
     for (size_t i = 0; i < n; ++i) {
-      scratch_clos_weight_[apps_[i].clos] += scratch_weights_[i];
+      scratch_clos_weight_[app_clos_[i]] += scratch_weights_[i];
     }
     for (uint32_t way = 0; way < config_.llc.num_ways; ++way) {
       double total_weight = 0.0;
@@ -261,9 +346,9 @@ void SimulatedMachine::SolveEffectiveCapacities() {
       }
     }
     for (size_t i = 0; i < n; ++i) {
-      scratch_capacities_[i] = scratch_clos_capacity_[apps_[i].clos] *
+      scratch_capacities_[i] = scratch_clos_capacity_[app_clos_[i]] *
                                scratch_weights_[i] /
-                               scratch_clos_weight_[apps_[i].clos];
+                               scratch_clos_weight_[app_clos_[i]];
     }
     if (iteration == kCapacityIterations) {
       break;
@@ -282,15 +367,75 @@ void SimulatedMachine::SolveEffectiveCapacities() {
   }
 }
 
-void SimulatedMachine::AdvanceTime(double dt) {
-  CHECK_GT(dt, 0.0);
+void SimulatedMachine::SolveEffectiveCapacitiesVectorized() {
   const size_t n = apps_.size();
-  now_ += dt;
+  scratch_capacities_.assign(n, 0.0);
   if (n == 0) {
     return;
   }
+  const double way_bytes = static_cast<double>(config_.llc.WayBytes());
 
-  RefreshEffectiveParams();
+  scratch_clos_weight_.assign(clos_.size(), 0.0);
+  scratch_clos_capacity_.assign(clos_.size(), 0.0);
+  scratch_active_clos_.clear();
+  for (const uint32_t clos : app_clos_) {
+    if (scratch_clos_weight_[clos] == 0.0) {
+      scratch_active_clos_.push_back(clos);
+      scratch_clos_weight_[clos] = 1.0;  // Presence marker.
+    }
+  }
+
+  scratch_miss_ratios_.resize(n);
+  scratch_weights_.assign(n, 1.0);
+  for (int iteration = 0; iteration <= kCapacityIterations; ++iteration) {
+    for (const uint32_t clos : scratch_active_clos_) {
+      scratch_clos_weight_[clos] = 0.0;
+      scratch_clos_capacity_[clos] = 0.0;
+    }
+    for (size_t i = 0; i < n; ++i) {
+      scratch_clos_weight_[app_clos_[i]] += scratch_weights_[i];
+    }
+    for (uint32_t way = 0; way < config_.llc.num_ways; ++way) {
+      double total_weight = 0.0;
+      for (const uint32_t clos : scratch_active_clos_) {
+        if ((clos_mask_bits_[clos] >> way) & 1u) {
+          total_weight += scratch_clos_weight_[clos];
+        }
+      }
+      if (total_weight <= 0.0) {
+        continue;
+      }
+      for (const uint32_t clos : scratch_active_clos_) {
+        if ((clos_mask_bits_[clos] >> way) & 1u) {
+          scratch_clos_capacity_[clos] +=
+              way_bytes * scratch_clos_weight_[clos] / total_weight;
+        }
+      }
+    }
+    for (size_t i = 0; i < n; ++i) {
+      scratch_capacities_[i] = scratch_clos_capacity_[app_clos_[i]] *
+                               scratch_weights_[i] /
+                               scratch_clos_weight_[app_clos_[i]];
+    }
+    if (iteration == kCapacityIterations) {
+      break;
+    }
+    // Miss-ratio queries stay a scalar loop (table walk per app); the weight
+    // refinement is elementwise over the flat arrays.
+    for (size_t i = 0; i < n; ++i) {
+      scratch_miss_ratios_[i] = params_cache_[i].profile.MissRatio(
+          static_cast<uint64_t>(scratch_capacities_[i]), config_.mrc_mode);
+    }
+    for (size_t i = 0; i < n; ++i) {
+      scratch_weights_[i] = soa_cores_hz_[i] / soa_cpi_exec_[i] * soa_api_[i] *
+                                scratch_miss_ratios_[i] +
+                            1e-6;
+    }
+  }
+}
+
+void SimulatedMachine::SolveEpochScalar() {
+  const size_t n = apps_.size();
   SolveEffectiveCapacities();
   const std::vector<EffectiveParams>& params = params_cache_;
   const std::vector<double>& capacities = scratch_capacities_;
@@ -305,16 +450,14 @@ void SimulatedMachine::AdvanceTime(double dt) {
   for (size_t i = 0; i < n; ++i) {
     const App& app = apps_[i];
     const WorkloadDescriptor& d = app.descriptor;
-    const MbaLevel level = clos_[app.clos].mba_level;
+    const MbaLevel level = clos_[app_clos_[i]].mba_level;
     miss_ratios[i] = params[i].profile.MissRatio(
         static_cast<uint64_t>(capacities[i]), config_.mrc_mode);
     mpis[i] = params[i].accesses_per_instr * miss_ratios[i];
     const double cpi = UnconstrainedCpi(d, params[i].cpi_exec, mpis[i], level,
                                         /*contention=*/1.0);
     double ips = app.num_cores * config_.core_freq_hz / cpi;
-    if (app.required_ips.has_value()) {
-      ips = std::min(ips, *app.required_ips);
-    }
+    ips = std::min(ips, required_ips_[i]);
     requests[i].demand_bytes_per_sec = ips * mpis[i] * config_.llc.line_bytes;
     requests[i].cap_bytes_per_sec =
         throttle_model_.CapFraction(level) * config_.total_memory_bandwidth;
@@ -325,7 +468,7 @@ void SimulatedMachine::AdvanceTime(double dt) {
 
   // Controller utilization -> queueing delay stretch on every miss.
   double total_grant = 0.0;
-  for (double grant : grants) {
+  for (const double grant : grants) {
     total_grant += grant;
   }
   const double rho =
@@ -335,46 +478,235 @@ void SimulatedMachine::AdvanceTime(double dt) {
 
   // Pass 2: contention-adjusted IPS, bounded by the bandwidth grant.
   for (size_t i = 0; i < n; ++i) {
-    App& app = apps_[i];
+    const App& app = apps_[i];
     const WorkloadDescriptor& d = app.descriptor;
-    const MbaLevel level = clos_[app.clos].mba_level;
+    const MbaLevel level = clos_[app_clos_[i]].mba_level;
     const double cpi = UnconstrainedCpi(d, params[i].cpi_exec, mpis[i], level,
                                         contention);
     double ips = app.num_cores * config_.core_freq_hz / cpi;
-    app.last_epoch.ips_capability = ips;
-    if (app.required_ips.has_value()) {
-      ips = std::min(ips, *app.required_ips);
-    }
+    solved_capability_[i] = ips;
+    ips = std::min(ips, required_ips_[i]);
     if (mpis[i] > kNegligibleMpi) {
       ips = std::min(ips, grants[i] / (mpis[i] * config_.llc.line_bytes));
     }
-    if (config_.ips_noise_sigma > 0.0) {
+    solved_ips_[i] = ips;
+    solved_miss_ratio_[i] = miss_ratios[i];
+    solved_capacity_[i] = capacities[i];
+    solved_demand_[i] = requests[i].demand_bytes_per_sec;
+    solved_grant_[i] = grants[i];
+    solved_mpi_[i] = mpis[i];
+    solved_api_[i] = params[i].accesses_per_instr;
+  }
+}
+
+void SimulatedMachine::SolveEpochVectorized(bool capacity_clean) {
+  const size_t n = apps_.size();
+  const double line_bytes = config_.llc.line_bytes;
+
+  // Capacity tier: the fixed point and the miss-ratio table walks. When
+  // only bandwidth-tier inputs moved (capacity_clean), the cached
+  // solved_capacity_/solved_miss_ratio_ are exactly what re-running this
+  // block would produce (the fixed point is a pure function of masks,
+  // membership and phase params), so skip it.
+  if (!capacity_clean) {
+    SolveEffectiveCapacitiesVectorized();
+    for (size_t i = 0; i < n; ++i) {
+      solved_miss_ratio_[i] = params_cache_[i].profile.MissRatio(
+          static_cast<uint64_t>(scratch_capacities_[i]), config_.mrc_mode);
+    }
+    for (size_t i = 0; i < n; ++i) {
+      solved_capacity_[i] = scratch_capacities_[i];
+    }
+  }
+
+  // Pass 1: contention-free IPS and bandwidth demands. Everything below is
+  // elementwise over the flat arrays with the exact expression shapes of
+  // the scalar kernel, so the compiler may vectorize across apps without
+  // changing a single bit.
+  scratch_capped_.resize(n);
+  for (size_t i = 0; i < n; ++i) {
+    const double mpi = soa_api_[i] * solved_miss_ratio_[i];
+    const double stall_per_miss = soa_mem_lat_[i] / soa_mlp_[i];
+    const double throttle_stretch = 1.0 + soa_kappa_[i] * soa_mba_term_[i];
+    const double cpi =
+        soa_cpi_exec_[i] + mpi * stall_per_miss * throttle_stretch;
+    double ips = soa_cores_hz_[i] / cpi;
+    ips = std::min(ips, required_ips_[i]);
+    solved_mpi_[i] = mpi;
+    solved_demand_[i] = ips * mpi * line_bytes;
+    scratch_capped_[i] = std::min(solved_demand_[i], soa_cap_bps_[i]);
+  }
+
+  arbiter_.ArbitrateCappedInto(scratch_capped_, &scratch_grants_);
+  const std::vector<double>& grants = scratch_grants_;
+
+  double total_grant = 0.0;
+  for (const double grant : grants) {
+    total_grant += grant;
+  }
+  const double rho =
+      std::min(1.0, total_grant / config_.total_memory_bandwidth);
+  const double contention =
+      1.0 + config_.queueing_delay_factor * rho * rho;
+
+  // Pass 2: contention-adjusted IPS, bounded by the bandwidth grant.
+  for (size_t i = 0; i < n; ++i) {
+    const double mpi = solved_mpi_[i];
+    const double stall_per_miss = contention * soa_mem_lat_[i] / soa_mlp_[i];
+    const double throttle_stretch = 1.0 + soa_kappa_[i] * soa_mba_term_[i];
+    const double cpi =
+        soa_cpi_exec_[i] + mpi * stall_per_miss * throttle_stretch;
+    double ips = soa_cores_hz_[i] / cpi;
+    solved_capability_[i] = ips;
+    ips = std::min(ips, required_ips_[i]);
+    const double roofline_ips = grants[i] / (mpi * line_bytes);
+    ips = mpi > kNegligibleMpi ? std::min(ips, roofline_ips) : ips;
+    solved_ips_[i] = ips;
+    solved_grant_[i] = grants[i];
+    solved_api_[i] = soa_api_[i];
+  }
+}
+
+void SimulatedMachine::CommitEpoch(double dt) {
+  const size_t n = apps_.size();
+  const double line_bytes = config_.llc.line_bytes;
+  const bool noisy = config_.ips_noise_sigma > 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    double ips = solved_ips_[i];
+    if (noisy) {
       const double factor =
           std::max(0.1, 1.0 + config_.ips_noise_sigma * rng_.NextGaussian());
       ips *= factor;
     }
-    app.last_epoch.ips = ips;
-    app.last_epoch.llc_accesses_per_sec = ips * params[i].accesses_per_instr;
-    app.last_epoch.llc_misses_per_sec = ips * mpis[i];
-    app.last_epoch.miss_ratio = miss_ratios[i];
-    app.last_epoch.effective_capacity_bytes = capacities[i];
-    app.last_epoch.bandwidth_demand_bytes_per_sec =
-        requests[i].demand_bytes_per_sec;
-    app.last_epoch.bandwidth_grant_bytes_per_sec = grants[i];
+    AppEpochSnapshot& epoch = last_epoch_[i];
+    epoch.ips = ips;
+    epoch.ips_capability = solved_capability_[i];
+    epoch.llc_accesses_per_sec = ips * solved_api_[i];
+    epoch.llc_misses_per_sec = ips * solved_mpi_[i];
+    epoch.miss_ratio = solved_miss_ratio_[i];
+    epoch.effective_capacity_bytes = solved_capacity_[i];
+    epoch.bandwidth_demand_bytes_per_sec = solved_demand_[i];
+    epoch.bandwidth_grant_bytes_per_sec = solved_grant_[i];
 
-    app.counters.instructions += ips * dt;
-    app.counters.llc_accesses += ips * params[i].accesses_per_instr * dt;
-    app.counters.llc_misses += ips * mpis[i] * dt;
-    app.counters.memory_bytes += ips * mpis[i] * config_.llc.line_bytes * dt;
+    AppCounters& counters = counters_[i];
+    counters.instructions += ips * dt;
+    counters.llc_accesses += ips * solved_api_[i] * dt;
+    counters.llc_misses += ips * solved_mpi_[i] * dt;
+    counters.memory_bytes += ips * solved_mpi_[i] * line_bytes * dt;
+  }
+}
+
+void SimulatedMachine::AdvanceTime(double dt) {
+  CHECK_GT(dt, 0.0);
+  now_ += dt;
+  if (apps_.empty()) {
+    return;
+  }
+
+  RefreshEffectiveParams();
+  if (!config_.incremental_epochs || !solved_valid_ ||
+      solved_input_generation_ != input_generation_) {
+    RefreshSoaInputs();
+    if (config_.epoch_kernel == EpochKernel::kScalar) {
+      SolveEpochScalar();
+      ++full_solves_;
+    } else {
+      // Bandwidth-only dirt (MBA / required-IPS moves) keeps the capacity
+      // fixed point valid; re-run just the elementwise passes against it.
+      const bool capacity_clean =
+          config_.incremental_epochs && solved_valid_ &&
+          solved_capacity_generation_ == capacity_generation_;
+      SolveEpochVectorized(capacity_clean);
+      if (capacity_clean) {
+        ++partial_solves_;
+      } else {
+        ++full_solves_;
+      }
+    }
+    solved_input_generation_ = input_generation_;
+    solved_capacity_generation_ = capacity_generation_;
+    solved_valid_ = true;
+  }
+  CommitEpoch(dt);
+}
+
+MachineSnapshot SimulatedMachine::Snapshot() const {
+  MachineSnapshot s;
+  s.now = now_;
+  s.app_generation = app_generation_;
+  s.input_generation = input_generation_;
+  s.capacity_generation = capacity_generation_;
+  s.solved_input_generation = solved_input_generation_;
+  s.solved_capacity_generation = solved_capacity_generation_;
+  s.solved_valid = solved_valid_;
+  s.ips_noise_sigma = config_.ips_noise_sigma;
+  s.rng = rng_;
+  s.clos = clos_;
+  s.app_clos = app_clos_;
+  s.required_ips = required_ips_;
+  s.counters = counters_;
+  s.last_epoch = last_epoch_;
+  s.solved_ips = solved_ips_;
+  s.solved_capability = solved_capability_;
+  s.solved_miss_ratio = solved_miss_ratio_;
+  s.solved_capacity = solved_capacity_;
+  s.solved_demand = solved_demand_;
+  s.solved_grant = solved_grant_;
+  s.solved_mpi = solved_mpi_;
+  s.solved_api = solved_api_;
+  return s;
+}
+
+void SimulatedMachine::Restore(const MachineSnapshot& snapshot) {
+  CHECK_EQ(snapshot.app_generation, app_generation_)
+      << "snapshot was taken against a different app set";
+  CHECK_EQ(snapshot.clos.size(), clos_.size());
+  CHECK_EQ(snapshot.app_clos.size(), apps_.size());
+  now_ = snapshot.now;
+  input_generation_ = snapshot.input_generation;
+  capacity_generation_ = snapshot.capacity_generation;
+  solved_input_generation_ = snapshot.solved_input_generation;
+  solved_capacity_generation_ = snapshot.solved_capacity_generation;
+  solved_valid_ = snapshot.solved_valid;
+  config_.ips_noise_sigma = snapshot.ips_noise_sigma;
+  rng_ = snapshot.rng;
+  clos_ = snapshot.clos;
+  app_clos_ = snapshot.app_clos;
+  required_ips_ = snapshot.required_ips;
+  counters_ = snapshot.counters;
+  last_epoch_ = snapshot.last_epoch;
+  solved_ips_ = snapshot.solved_ips;
+  solved_capability_ = snapshot.solved_capability;
+  solved_miss_ratio_ = snapshot.solved_miss_ratio;
+  solved_capacity_ = snapshot.solved_capacity;
+  solved_demand_ = snapshot.solved_demand;
+  solved_grant_ = snapshot.solved_grant;
+  solved_mpi_ = snapshot.solved_mpi;
+  solved_api_ = snapshot.solved_api;
+  // The SoA input caches and phase-adjusted params may reflect mutations
+  // made after the snapshot; invalidate the stamps so the next dirty solve
+  // rebuilds them. (Phase entries re-validate against the restored clock in
+  // RefreshEffectiveParams.)
+  soa_input_generation_ = ~0ull;
+  soa_app_generation_ = ~0ull;
+  for (const size_t i : phased_apps_) {
+    // Force the phase check to recompute against the restored clock even if
+    // a post-snapshot crossing left the cache on another phase.
+    const App& app = apps_[i];
+    const size_t phase_index =
+        app.descriptor.PhaseIndexAt(now_ - app.launch_time);
+    if (phase_index != params_cache_[i].phase_index) {
+      params_cache_[i] = EffectiveParamsFor(app, phase_index);
+    }
   }
 }
 
 const AppCounters& SimulatedMachine::Counters(AppId id) const {
-  return GetApp(id).counters;
+  return counters_[IndexOf(id)];
 }
 
 const AppEpochSnapshot& SimulatedMachine::LastEpoch(AppId id) const {
-  return GetApp(id).last_epoch;
+  return last_epoch_[IndexOf(id)];
 }
 
 double SimulatedMachine::SoloFullResourceIps(

@@ -23,6 +23,29 @@
 //
 // Partitioning state (per-CLOS way mask + MBA level) is mutated only through
 // the resctrl module, mirroring the paper's user-level prototype.
+//
+// Epoch fast path (DESIGN.md §12). The solve above is memoryless: its output
+// depends only on (descriptors, phases, masks, MBA levels, CLOS membership,
+// required-IPS caps), never on prior epochs. The machine therefore keeps all
+// hot per-app state in flat structure-of-arrays vectors, tracks an
+// input_generation_ that every observable mutation bumps (mutators compare
+// values first, so rewriting identical state stays clean), and when a tick
+// arrives with an unchanged generation it skips the coupled solve entirely
+// and replays the stored fixed point (CommitEpoch) — bit-identical to
+// re-solving, including the per-epoch noise stream. The dirty set is
+// two-tier: the shared-capacity fixed point (step 1, all the miss-ratio
+// queries) reads only masks, CLOS membership and phase params, so a
+// mutation touching nothing but MBA levels or required-IPS caps re-runs
+// just the cheap elementwise CPI/arbitration passes against the cached
+// capacities and miss ratios — bit-identical to a full solve, at a
+// fraction of the cost (this is the common move in MBA coordinate-descent
+// searches). Fully dirty ticks run either the vectorized SoA kernel or the
+// scalar reference kernel (MachineConfig::epoch_kernel); both produce
+// bit-identical results.
+// Snapshot()/Restore() copy the mutable value state (partitioning, counters,
+// RNG, last solved fixed point) in O(apps + clos), independent of simulated
+// history, so what-if evaluation can roll one machine back instead of
+// reconstructing and re-simulating from scratch.
 #ifndef COPART_MACHINE_SIMULATED_MACHINE_H_
 #define COPART_MACHINE_SIMULATED_MACHINE_H_
 
@@ -65,6 +88,43 @@ struct AppEpochSnapshot {
   double effective_capacity_bytes = 0.0;
   double bandwidth_demand_bytes_per_sec = 0.0;
   double bandwidth_grant_bytes_per_sec = 0.0;
+};
+
+// Per-CLOS partitioning state.
+struct ClosSetting {
+  WayMask way_mask;
+  MbaLevel mba_level;
+};
+
+// Value snapshot of a machine's mutable epoch state: simulated clock,
+// partitioning, per-app counters/outputs, RNG, generation counters and the
+// last converged solve. Treat the contents as opaque — capture with
+// SimulatedMachine::Snapshot(), apply with Restore(). A snapshot is only
+// restorable into a machine with the same app set (same app_generation);
+// Restore CHECK-fails otherwise.
+struct MachineSnapshot {
+  double now = 0.0;
+  uint64_t app_generation = 0;
+  uint64_t input_generation = 0;
+  uint64_t capacity_generation = 0;
+  uint64_t solved_input_generation = 0;
+  uint64_t solved_capacity_generation = 0;
+  bool solved_valid = false;
+  double ips_noise_sigma = 0.0;
+  Rng rng{0};
+  std::vector<ClosSetting> clos;
+  std::vector<uint32_t> app_clos;
+  std::vector<double> required_ips;
+  std::vector<AppCounters> counters;
+  std::vector<AppEpochSnapshot> last_epoch;
+  std::vector<double> solved_ips;
+  std::vector<double> solved_capability;
+  std::vector<double> solved_miss_ratio;
+  std::vector<double> solved_capacity;
+  std::vector<double> solved_demand;
+  std::vector<double> solved_grant;
+  std::vector<double> solved_mpi;
+  std::vector<double> solved_api;
 };
 
 class SimulatedMachine {
@@ -115,6 +175,29 @@ class SimulatedMachine {
   void AdvanceTime(double dt);
   double now() const { return now_; }
 
+  // --- Snapshot / rollback ---
+
+  // Captures the machine's mutable epoch state as a plain value copy,
+  // O(apps + clos) regardless of how much time has been simulated.
+  MachineSnapshot Snapshot() const;
+
+  // Rolls the machine back to `snapshot`. The app set must be unchanged
+  // since the snapshot was taken (CHECK on app_generation); partitioning,
+  // counters, clock, RNG and the cached solve all revert. Subsequent epochs
+  // are bit-identical to a machine that never diverged.
+  void Restore(const MachineSnapshot& snapshot);
+
+  // Number of full coupled solves since construction. Steady-state epochs
+  // served by the incremental fast path do not increment it.
+  uint64_t full_solves() const { return full_solves_; }
+
+  // Number of partial re-solves: epochs whose inputs changed only in the
+  // bandwidth tier (MBA levels, required-IPS caps), which reuse the cached
+  // capacity fixed point and re-run just the elementwise passes. Only the
+  // vectorized kernel takes this tier; the scalar reference always solves
+  // in full.
+  uint64_t partial_solves() const { return partial_solves_; }
+
   // --- Observation ---
 
   const AppCounters& Counters(AppId id) const;
@@ -136,20 +219,11 @@ class SimulatedMachine {
   void SetIpsNoiseSigma(double sigma);
 
  private:
-  struct ClosState {
-    WayMask way_mask;
-    MbaLevel mba_level;
-  };
-
   struct App {
     AppId id;
     WorkloadDescriptor descriptor;
     uint32_t num_cores = 0;
-    uint32_t clos = 0;
     double launch_time = 0.0;
-    std::optional<double> required_ips;
-    AppCounters counters;
-    AppEpochSnapshot last_epoch;
   };
 
   // Phase-adjusted model parameters for one epoch (workload phases scale
@@ -163,24 +237,53 @@ class SimulatedMachine {
     size_t phase_index = 0;
   };
 
+  size_t IndexOf(AppId id) const;
   const App& GetApp(AppId id) const;
-  App& GetApp(AppId id);
 
   EffectiveParams EffectiveParamsFor(const App& app,
                                      size_t phase_index) const;
 
   // Brings params_cache_ up to date for the current now_: rebuilt from
   // scratch when app_generation_ moved (launch/terminate reorders apps_),
-  // and per app when it crossed a phase boundary. Steady-state epochs reuse
-  // the cached entries untouched — zero heap allocations.
+  // and per app when it crossed a phase boundary (which dirties the solve).
+  // Steady-state epochs reuse the cached entries untouched — zero heap
+  // allocations.
   void RefreshEffectiveParams();
+
+  // Rebuilds the flat SoA model-input arrays (per-app constants, phase
+  // params, per-CLOS-derived MBA terms and caps) when input_generation_
+  // moved since the last rebuild. Only dirty epochs pay this; it is O(apps).
+  void RefreshSoaInputs();
 
   // Shared-capacity fixed point across the current CLOS masks; leaves the
   // per-app result in scratch_capacities_. Aggregates the way-splitting
   // loop per CLOS (all sharers of a CLOS see the same mask), so each
   // fixed-point round costs O(ways * active_clos + apps) instead of
-  // O(ways * apps).
+  // O(ways * apps). Scalar reference implementation.
   void SolveEffectiveCapacities();
+  // Same fixed point over the flat SoA arrays (cached mask bits, split
+  // elementwise loops); bit-identical to the scalar version.
+  void SolveEffectiveCapacitiesVectorized();
+
+  // Full coupled solve for the current inputs; writes the pre-noise fixed
+  // point into the solved_* arrays. The scalar kernel mirrors the original
+  // app-at-a-time code as the bit-identity reference; the vectorized kernel
+  // runs the same math as flat elementwise loops with identical expression
+  // shapes (so the compiler may vectorize across apps without changing
+  // results).
+  // `capacity_clean` skips the capacity fixed point and its miss-ratio
+  // queries, reusing solved_capacity_/solved_miss_ratio_ from the previous
+  // solve — valid exactly when no capacity-tier input changed since
+  // (solved_capacity_generation_ == capacity_generation_) and bit-identical
+  // to a full solve because the fixed point is a pure function of those
+  // inputs.
+  void SolveEpochScalar();
+  void SolveEpochVectorized(bool capacity_clean);
+
+  // Applies the stored fixed point for one epoch of length dt: draws the
+  // per-app noise (identical RNG stream on fast and slow paths), publishes
+  // last_epoch_ and accumulates counters_.
+  void CommitEpoch(double dt);
 
   // CPI at the given miss-per-instruction and MBA level (no grant bound).
   // cpi_exec is passed separately so phase scaling can adjust it;
@@ -198,16 +301,67 @@ class SimulatedMachine {
   uint64_t app_generation_ = 0;
   uint32_t used_cores_ = 0;
   std::vector<App> apps_;
-  std::vector<ClosState> clos_;
+  std::vector<ClosSetting> clos_;
   // id -> index into apps_; maintained by every operation that bumps
   // app_generation_ so GetApp/AppExists are O(1) instead of a linear scan.
   std::unordered_map<AppId, size_t> app_index_;
+
+  // --- Per-app mutable state, SoA (index-parallel with apps_) ---
+  std::vector<uint32_t> app_clos_;
+  // Required-IPS cap; +inf means uncapped (min(x, +inf) == x bit-exactly,
+  // so the solve needs no branch).
+  std::vector<double> required_ips_;
+  std::vector<AppCounters> counters_;
+  std::vector<AppEpochSnapshot> last_epoch_;
 
   // Cached phase-adjusted params, one per app in apps_ order; valid while
   // params_generation_ == app_generation_ and each app stays in the phase
   // recorded in its entry.
   std::vector<EffectiveParams> params_cache_;
   uint64_t params_generation_ = ~0ull;
+  // Indices of apps with a non-empty phase schedule; the per-epoch phase
+  // check only walks these (empty for purely steady workloads).
+  std::vector<size_t> phased_apps_;
+
+  // --- Dirty tracking for the incremental tick ---
+  // Bumped by every mutation that can change the epoch solve: launch/
+  // terminate, way mask / MBA / CLOS-membership / required-IPS changes
+  // (value-compared first) and phase crossings.
+  uint64_t input_generation_ = 0;
+  // Bumped by the subset of mutations that can change the capacity fixed
+  // point (masks, membership, launch/terminate, phase crossings) — NOT by
+  // MBA or required-IPS changes, which only affect the bandwidth tier.
+  uint64_t capacity_generation_ = 0;
+  // Generations the solved_* arrays were computed at, and whether they hold
+  // a converged fixed point at all.
+  uint64_t solved_input_generation_ = 0;
+  uint64_t solved_capacity_generation_ = 0;
+  bool solved_valid_ = false;
+  uint64_t full_solves_ = 0;
+  uint64_t partial_solves_ = 0;
+
+  // --- SoA model inputs (valid while the stamps below match) ---
+  std::vector<double> soa_cores_hz_;   // num_cores * core_freq_hz
+  std::vector<double> soa_api_;        // accesses_per_instr (phase-adjusted)
+  std::vector<double> soa_cpi_exec_;   // cpi_exec (phase-adjusted)
+  std::vector<double> soa_mem_lat_;    // mem_latency_cycles
+  std::vector<double> soa_mlp_;        // mlp
+  std::vector<double> soa_kappa_;      // mba_kappa
+  std::vector<double> soa_mba_term_;   // 100/level - 1 for the app's CLOS
+  std::vector<double> soa_cap_bps_;    // MBA bandwidth cap for the app's CLOS
+  std::vector<uint64_t> clos_mask_bits_;
+  uint64_t soa_input_generation_ = ~0ull;
+  uint64_t soa_app_generation_ = ~0ull;
+
+  // --- Last converged solve (pre-noise), replayed by the fast path ---
+  std::vector<double> solved_ips_;
+  std::vector<double> solved_capability_;
+  std::vector<double> solved_miss_ratio_;
+  std::vector<double> solved_capacity_;
+  std::vector<double> solved_demand_;
+  std::vector<double> solved_grant_;
+  std::vector<double> solved_mpi_;
+  std::vector<double> solved_api_;
 
   // Epoch scratch, reused across AdvanceTime calls so steady-state epochs
   // never touch the heap (tests/machine_epoch_alloc_test.cc pins this).
@@ -219,6 +373,7 @@ class SimulatedMachine {
   std::vector<double> scratch_miss_ratios_;
   std::vector<double> scratch_mpis_;
   std::vector<BandwidthRequest> scratch_requests_;
+  std::vector<double> scratch_capped_;
   std::vector<double> scratch_grants_;
 };
 

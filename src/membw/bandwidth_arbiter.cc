@@ -11,7 +11,7 @@ BandwidthArbiter::BandwidthArbiter(double total_bytes_per_sec)
   CHECK_GT(total_bytes_per_sec, 0.0);
 }
 
-void BandwidthArbiter::ArbitrateImpl(std::vector<double>& capped,
+void BandwidthArbiter::ArbitrateImpl(const std::vector<double>& capped,
                                      std::vector<uint8_t>& satisfied,
                                      std::vector<double>& grants) const {
   const size_t n = capped.size();
@@ -68,6 +68,12 @@ void BandwidthArbiter::ArbitrateInto(
                                   requests[i].cap_bytes_per_sec);
   }
   ArbitrateImpl(scratch_capped_, scratch_satisfied_, *grants);
+}
+
+void BandwidthArbiter::ArbitrateCappedInto(const std::vector<double>& capped,
+                                           std::vector<double>* grants) {
+  scratch_satisfied_.resize(capped.size());
+  ArbitrateImpl(capped, scratch_satisfied_, *grants);
 }
 
 std::vector<double> BandwidthArbiter::Arbitrate(

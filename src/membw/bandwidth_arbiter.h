@@ -42,12 +42,18 @@ class BandwidthArbiter {
   void ArbitrateInto(const std::vector<BandwidthRequest>& requests,
                      std::vector<double>* grants);
 
+  // Flat-array entry point for the SoA epoch kernel: `capped` must already
+  // hold min(demand, cap) per app, each >= 0 (not re-validated here).
+  // Allocation-free at a stable request count, like ArbitrateInto.
+  void ArbitrateCappedInto(const std::vector<double>& capped,
+                           std::vector<double>* grants);
+
   double total_bytes_per_sec() const { return total_bytes_per_sec_; }
 
  private:
   // Water-filling over pre-capped demands in `capped`; `satisfied` is
   // caller-provided scratch of the same size.
-  void ArbitrateImpl(std::vector<double>& capped,
+  void ArbitrateImpl(const std::vector<double>& capped,
                      std::vector<uint8_t>& satisfied,
                      std::vector<double>& grants) const;
 

@@ -131,6 +131,43 @@ TEST(HarnessDeterminismTest, StaticOracleIsBitIdenticalAcrossThreadCounts) {
   }
 }
 
+TEST(HarnessDeterminismTest, ExperimentIsBitIdenticalAcrossEpochKernels) {
+  // The epoch fast path (DESIGN.md §12) must be invisible to results: a
+  // managed experiment — partitioning churn, phase crossings, noise — lands
+  // on the exact same doubles whether the machine uses the vectorized SoA
+  // kernel with incremental ticks (the default), the same kernel solving
+  // every epoch, or the scalar reference kernel.
+  const WorkloadMix mix = MakeMix(MixFamily::kHighBoth, 4);
+  ExperimentConfig config;
+  config.duration_sec = 10.0;
+  const ExperimentResult reference = RunExperiment(mix, CoPartFactory(), config);
+
+  struct Variant {
+    const char* name;
+    EpochKernel kernel;
+    bool incremental;
+  };
+  const Variant variants[] = {
+      {"vectorized_full", EpochKernel::kVectorized, false},
+      {"scalar_incremental", EpochKernel::kScalar, true},
+      {"scalar_full", EpochKernel::kScalar, false},
+  };
+  for (const Variant& variant : variants) {
+    ExperimentConfig cell = config;
+    cell.machine.epoch_kernel = variant.kernel;
+    cell.machine.incremental_epochs = variant.incremental;
+    const ExperimentResult result = RunExperiment(mix, CoPartFactory(), cell);
+    EXPECT_EQ(result.unfairness, reference.unfairness) << variant.name;
+    EXPECT_EQ(result.throughput_geomean, reference.throughput_geomean)
+        << variant.name;
+    ASSERT_EQ(result.slowdowns.size(), reference.slowdowns.size());
+    for (size_t i = 0; i < reference.slowdowns.size(); ++i) {
+      EXPECT_EQ(result.slowdowns[i], reference.slowdowns[i])
+          << variant.name << " app " << i;
+    }
+  }
+}
+
 TEST(HarnessDeterminismTest, ChaosSuiteIsBitIdenticalAcrossThreadCounts) {
   // Fault schedules, app churn, backoff jitter, quarantine streaks — the
   // whole hardened control loop must still derive exclusively from the

@@ -2,6 +2,9 @@
 // semantics downstream schedulers rely on.
 #include "harness/whatif.h"
 
+#include <cstring>
+#include <vector>
+
 #include <gtest/gtest.h>
 
 #include "harness/experiment.h"
@@ -105,6 +108,78 @@ TEST(WhatIfTest, DeterministicAcrossCalls) {
   const WhatIfOutcome b = PredictEqualShareOutcome(workloads, FullPool());
   EXPECT_DOUBLE_EQ(a.unfairness, b.unfairness);
   EXPECT_DOUBLE_EQ(a.predicted_ips[0], b.predicted_ips[0]);
+}
+
+// Candidate schedule shaped like a coordinate-descent search: way-split
+// rotations, then per-app MBA ladders on a fixed split. The MBA-only runs
+// are exactly the moves the evaluator's no-restore fast path optimizes, so
+// this doubles as a bit-identity check on that path.
+std::vector<SystemState> SearchLikeCandidates(size_t num_apps) {
+  const ResourcePool pool = FullPool();
+  std::vector<SystemState> candidates;
+  std::vector<AppAllocation> allocations(num_apps);
+  const uint32_t base_ways[] = {5, 3, 2, 1};
+  for (size_t rotation = 0; rotation < num_apps; ++rotation) {
+    for (size_t i = 0; i < num_apps; ++i) {
+      allocations[i] = {.llc_ways = base_ways[(i + rotation) % num_apps],
+                        .mba_level = MbaLevel()};
+    }
+    candidates.emplace_back(pool, allocations);
+    for (size_t app = 0; app < num_apps; ++app) {
+      for (uint32_t percent = 10; percent <= 100; percent += 30) {
+        allocations[app].mba_level = MbaLevel::FromPercentChecked(percent);
+        candidates.emplace_back(pool, allocations);
+      }
+      allocations[app].mba_level = MbaLevel();
+    }
+  }
+  return candidates;
+}
+
+void ExpectBitIdentical(const WhatIfOutcome& a, const WhatIfOutcome& b) {
+  auto same_bits = [](double x, double y) {
+    return std::memcmp(&x, &y, sizeof(double)) == 0;
+  };
+  ASSERT_EQ(a.predicted_ips.size(), b.predicted_ips.size());
+  for (size_t i = 0; i < a.predicted_ips.size(); ++i) {
+    EXPECT_TRUE(same_bits(a.predicted_ips[i], b.predicted_ips[i]))
+        << "app " << i << ": " << a.predicted_ips[i] << " vs "
+        << b.predicted_ips[i];
+    EXPECT_TRUE(same_bits(a.slowdowns[i], b.slowdowns[i])) << "app " << i;
+    EXPECT_TRUE(same_bits(a.solo_full_ips[i], b.solo_full_ips[i]))
+        << "app " << i;
+  }
+  EXPECT_TRUE(same_bits(a.unfairness, b.unfairness));
+  EXPECT_TRUE(same_bits(a.throughput_geomean, b.throughput_geomean));
+}
+
+TEST(WhatIfTest, EvaluatorBitIdenticalToPredictOutcome) {
+  // The evaluator's amortizations (shared machine, no-restore for phase-free
+  // workloads, the machine's partial-solve tier for MBA-only deltas) must be
+  // invisible: every candidate scores bit-identically to a from-scratch
+  // PredictOutcome, in whatever order the candidates arrive.
+  const std::vector<WorkloadDescriptor> workloads = {
+      WaterNsquared(), WaterSpatial(), Raytrace(), Swaptions()};
+  WhatIfEvaluator evaluator(workloads);
+  for (const SystemState& state : SearchLikeCandidates(workloads.size())) {
+    SCOPED_TRACE(state.ToString());
+    ExpectBitIdentical(evaluator.Evaluate(state),
+                       PredictOutcome(workloads, state));
+  }
+}
+
+TEST(WhatIfTest, EvaluatorBitIdenticalWithPhasedWorkloads) {
+  // Phased workloads force the rollback path (candidates must all be scored
+  // at the same simulated instant); the contract is the same.
+  std::vector<WorkloadDescriptor> workloads = {WaterNsquared(), WaterSpatial(),
+                                               Raytrace()};
+  workloads.push_back(PhasedScanCompute(/*period_sec=*/0.2));
+  WhatIfEvaluator evaluator(workloads);
+  for (const SystemState& state : SearchLikeCandidates(workloads.size())) {
+    SCOPED_TRACE(state.ToString());
+    ExpectBitIdentical(evaluator.Evaluate(state),
+                       PredictOutcome(workloads, state));
+  }
 }
 
 TEST(WhatIfDeathTest, RejectsMismatchedState) {

@@ -11,12 +11,15 @@
 #include <cstddef>
 #include <cstdlib>
 #include <new>
+#include <string>
+#include <tuple>
 #include <vector>
 
 #include <gtest/gtest.h>
 
 #include "machine/machine_config.h"
 #include "machine/simulated_machine.h"
+#include "membw/mba.h"
 #include "workload/workload.h"
 
 namespace {
@@ -52,12 +55,23 @@ long AllocationsDuringEpochs(SimulatedMachine& machine, int epochs) {
   return g_allocations.load(std::memory_order_relaxed) - before;
 }
 
-class MachineEpochAllocTest : public ::testing::TestWithParam<MrcMode> {};
+// Parameterized over (MRC mode, incremental fast path on/off): the zero-
+// allocation property must hold whether steady epochs replay the cached
+// fixed point or re-solve in full every tick.
+class MachineEpochAllocTest
+    : public ::testing::TestWithParam<std::tuple<MrcMode, bool>> {
+ protected:
+  MachineConfig Config() const {
+    MachineConfig config;
+    config.ips_noise_sigma = 0.0;
+    config.mrc_mode = std::get<0>(GetParam());
+    config.incremental_epochs = std::get<1>(GetParam());
+    return config;
+  }
+};
 
 TEST_P(MachineEpochAllocTest, SteadyStateEpochsDoNotAllocate) {
-  MachineConfig config;
-  config.ips_noise_sigma = 0.0;
-  config.mrc_mode = GetParam();
+  const MachineConfig config = Config();
   SimulatedMachine machine(config);
   const std::vector<WorkloadDescriptor> registry = AllTable2Benchmarks();
   for (size_t i = 0; i < 6; ++i) {
@@ -74,10 +88,39 @@ TEST_P(MachineEpochAllocTest, SteadyStateEpochsDoNotAllocate) {
       << "AdvanceTime allocated on the steady-state path";
 }
 
+// Partitioning churn (MBA moves every epoch, way-mask moves periodically)
+// must also stay off the heap: the partial and full re-solve paths only
+// write into the member scratch/solved arrays.
+TEST_P(MachineEpochAllocTest, PartitioningChurnDoesNotAllocate) {
+  const MachineConfig config = Config();
+  SimulatedMachine machine(config);
+  const std::vector<WorkloadDescriptor> registry = AllTable2Benchmarks();
+  for (size_t i = 0; i < 4; ++i) {
+    Result<AppId> app = machine.LaunchApp(registry[i % registry.size()], 2);
+    ASSERT_TRUE(app.ok());
+    machine.AssignAppToClos(*app, static_cast<uint32_t>(i + 1));
+  }
+  for (int i = 0; i < 16; ++i) {
+    machine.AdvanceTime(0.5);
+  }
+  const long before = g_allocations.load(std::memory_order_relaxed);
+  for (int i = 0; i < 100; ++i) {
+    machine.SetClosMbaLevel(1u + static_cast<uint32_t>(i % 4),
+                            MbaLevel::FromPercentChecked(
+                                10u + 10u * static_cast<uint32_t>(i % 10)));
+    if (i % 10 == 0) {
+      machine.SetClosWayMask(1u + static_cast<uint32_t>(i % 4),
+                             WayMask::Contiguous(
+                                 static_cast<uint32_t>(i % 4), 4));
+    }
+    machine.AdvanceTime(0.5);
+  }
+  EXPECT_EQ(g_allocations.load(std::memory_order_relaxed) - before, 0)
+      << "partitioning churn allocated on the epoch path";
+}
+
 TEST_P(MachineEpochAllocTest, LaunchInvalidatesThenSteadyAgain) {
-  MachineConfig config;
-  config.ips_noise_sigma = 0.0;
-  config.mrc_mode = GetParam();
+  const MachineConfig config = Config();
   SimulatedMachine machine(config);
   Result<AppId> a = machine.LaunchApp(Sp(), 2);
   ASSERT_TRUE(a.ok());
@@ -98,13 +141,15 @@ TEST_P(MachineEpochAllocTest, LaunchInvalidatesThenSteadyAgain) {
       << "epoch loop did not return to allocation-free after LaunchApp";
 }
 
-INSTANTIATE_TEST_SUITE_P(AllModes, MachineEpochAllocTest,
-                         ::testing::Values(MrcMode::kExact,
-                                           MrcMode::kCompiled),
-                         [](const ::testing::TestParamInfo<MrcMode>& info) {
-                           return info.param == MrcMode::kExact ? "exact"
-                                                                : "compiled";
-                         });
+INSTANTIATE_TEST_SUITE_P(
+    AllModes, MachineEpochAllocTest,
+    ::testing::Combine(::testing::Values(MrcMode::kExact, MrcMode::kCompiled),
+                       ::testing::Bool()),
+    [](const ::testing::TestParamInfo<std::tuple<MrcMode, bool>>& info) {
+      const std::string mode =
+          std::get<0>(info.param) == MrcMode::kExact ? "exact" : "compiled";
+      return mode + (std::get<1>(info.param) ? "_incremental" : "_full");
+    });
 
 }  // namespace
 }  // namespace copart

@@ -1,0 +1,276 @@
+// Snapshot/rollback correctness: Restore() must put the machine in a state
+// whose *subsequent epochs* are byte-identical to a fresh machine that
+// replayed the same schedule and never diverged. This is the contract
+// harness/whatif.h and the SLO governor's prediction path rely on — a
+// rollback is indistinguishable from never having simulated the divergent
+// branch, including the per-epoch noise stream (the RNG is part of the
+// snapshot).
+//
+// Comparisons are bitwise (memcmp on doubles), not EXPECT_DOUBLE_EQ: the
+// fast path's claim is exact replay, so any drift — even one ULP — is a bug.
+#include <cstdint>
+#include <cstring>
+#include <optional>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "cache/way_mask.h"
+#include "common/rng.h"
+#include "machine/machine_config.h"
+#include "machine/simulated_machine.h"
+#include "membw/mba.h"
+#include "workload/workload.h"
+
+namespace copart {
+namespace {
+
+bool SameBits(double a, double b) {
+  return std::memcmp(&a, &b, sizeof(double)) == 0;
+}
+
+#define EXPECT_SAME_BITS(a, b) \
+  EXPECT_TRUE(SameBits((a), (b))) << #a " != " #b ": " << (a) << " vs " << (b)
+
+void ExpectAppBitIdentical(const SimulatedMachine& lhs,
+                           const SimulatedMachine& rhs, AppId app) {
+  const AppEpochSnapshot& le = lhs.LastEpoch(app);
+  const AppEpochSnapshot& re = rhs.LastEpoch(app);
+  EXPECT_SAME_BITS(le.ips, re.ips);
+  EXPECT_SAME_BITS(le.ips_capability, re.ips_capability);
+  EXPECT_SAME_BITS(le.llc_accesses_per_sec, re.llc_accesses_per_sec);
+  EXPECT_SAME_BITS(le.llc_misses_per_sec, re.llc_misses_per_sec);
+  EXPECT_SAME_BITS(le.miss_ratio, re.miss_ratio);
+  EXPECT_SAME_BITS(le.effective_capacity_bytes, re.effective_capacity_bytes);
+  EXPECT_SAME_BITS(le.bandwidth_demand_bytes_per_sec,
+                   re.bandwidth_demand_bytes_per_sec);
+  EXPECT_SAME_BITS(le.bandwidth_grant_bytes_per_sec,
+                   re.bandwidth_grant_bytes_per_sec);
+  const AppCounters& lc = lhs.Counters(app);
+  const AppCounters& rc = rhs.Counters(app);
+  EXPECT_SAME_BITS(lc.instructions, rc.instructions);
+  EXPECT_SAME_BITS(lc.llc_accesses, rc.llc_accesses);
+  EXPECT_SAME_BITS(lc.llc_misses, rc.llc_misses);
+  EXPECT_SAME_BITS(lc.memory_bytes, rc.memory_bytes);
+}
+
+// One scheduled mutation + tick. Precomputed as plain data so the same
+// schedule can be applied to several machines (and re-applied after a
+// rollback) without worrying about shared RNG state.
+struct Step {
+  bool set_mask = false;
+  uint32_t mask_clos = 0;
+  uint32_t mask_start = 0;
+  uint32_t mask_width = 0;
+  bool set_mba = false;
+  uint32_t mba_clos = 0;
+  uint32_t mba_percent = 100;
+  bool flip_required_ips = false;  // toggles app 0's cap between 1e9 and off
+  double dt = 0.05;
+};
+
+std::vector<Step> MakeSchedule(size_t num_steps, uint64_t seed,
+                               uint32_t num_ways, uint32_t num_clos) {
+  Rng rng(seed);
+  std::vector<Step> steps(num_steps);
+  for (Step& step : steps) {
+    if (rng.NextBool(0.25)) {
+      step.set_mask = true;
+      step.mask_clos = static_cast<uint32_t>(rng.NextInt(1, num_clos));
+      step.mask_width =
+          static_cast<uint32_t>(rng.NextInt(2, static_cast<int64_t>(
+                                                   num_ways / 2)));
+      step.mask_start = static_cast<uint32_t>(
+          rng.NextInt(0, static_cast<int64_t>(num_ways - step.mask_width)));
+    }
+    if (rng.NextBool(0.4)) {
+      step.set_mba = true;
+      step.mba_clos = static_cast<uint32_t>(rng.NextInt(1, num_clos));
+      step.mba_percent = 10u * static_cast<uint32_t>(rng.NextInt(1, 10));
+    }
+    step.flip_required_ips = rng.NextBool(0.1);
+  }
+  return steps;
+}
+
+void ApplyStep(SimulatedMachine& machine, const std::vector<AppId>& apps,
+               const Step& step, bool* required_ips_on) {
+  if (step.set_mask) {
+    machine.SetClosWayMask(step.mask_clos,
+                           WayMask::Contiguous(step.mask_start,
+                                               step.mask_width));
+  }
+  if (step.set_mba) {
+    machine.SetClosMbaLevel(step.mba_clos,
+                            MbaLevel::FromPercentChecked(step.mba_percent));
+  }
+  if (step.flip_required_ips) {
+    *required_ips_on = !*required_ips_on;
+    machine.SetAppRequiredIps(
+        apps[0], *required_ips_on ? std::optional<double>(1e9) : std::nullopt);
+  }
+  machine.AdvanceTime(step.dt);
+}
+
+// Parameterized over (MRC mode, phased workload present). Noise is always on
+// so the tests also pin the RNG being part of the snapshot: a machine whose
+// RNG was restored must draw the exact same per-epoch noise as the fresh
+// replay.
+class MachineSnapshotTest
+    : public ::testing::TestWithParam<std::tuple<MrcMode, bool>> {
+ protected:
+  MachineConfig Config() const {
+    MachineConfig config;
+    config.mrc_mode = std::get<0>(GetParam());
+    config.ips_noise_sigma = 0.02;
+    return config;
+  }
+
+  bool WithPhases() const { return std::get<1>(GetParam()); }
+
+  std::vector<AppId> LaunchApps(SimulatedMachine& machine) const {
+    std::vector<WorkloadDescriptor> workloads = {Sp(), Raytrace(),
+                                                 AllTable2Benchmarks()[0]};
+    if (WithPhases()) {
+      workloads.push_back(PhasedScanCompute(/*period_sec=*/2.0));
+    }
+    std::vector<AppId> apps;
+    for (size_t i = 0; i < workloads.size(); ++i) {
+      Result<AppId> app = machine.LaunchApp(workloads[i], 2);
+      EXPECT_TRUE(app.ok());
+      apps.push_back(*app);
+      machine.AssignAppToClos(*app, static_cast<uint32_t>(i + 1));
+    }
+    return apps;
+  }
+};
+
+TEST_P(MachineSnapshotTest, RestoreMatchesFreshReplay) {
+  const MachineConfig config = Config();
+  const uint32_t num_ways = config.llc.num_ways;
+
+  // Prefix runs on both machines; the divergent branch only on the restored
+  // one; the tail is then replayed on both and must match epoch by epoch.
+  const std::vector<Step> prefix = MakeSchedule(20, 0x5EED01, num_ways, 4);
+  const std::vector<Step> divergence = MakeSchedule(15, 0x5EED02, num_ways, 4);
+  const std::vector<Step> tail = MakeSchedule(30, 0x5EED03, num_ways, 4);
+
+  SimulatedMachine restored(config);
+  const std::vector<AppId> apps = LaunchApps(restored);
+  bool restored_cap = false;
+  for (const Step& step : prefix) {
+    ApplyStep(restored, apps, step, &restored_cap);
+  }
+  const MachineSnapshot snapshot = restored.Snapshot();
+  const bool cap_at_snapshot = restored_cap;
+
+  // Diverge: different partitioning walk, different number of epochs, then
+  // roll back.
+  for (const Step& step : divergence) {
+    ApplyStep(restored, apps, step, &restored_cap);
+  }
+  restored.Restore(snapshot);
+  restored_cap = cap_at_snapshot;
+
+  // Fresh machine replays the prefix only — it has never seen the divergent
+  // branch.
+  SimulatedMachine fresh(config);
+  const std::vector<AppId> fresh_apps = LaunchApps(fresh);
+  ASSERT_EQ(fresh_apps.size(), apps.size());
+  bool fresh_cap = false;
+  for (const Step& step : prefix) {
+    ApplyStep(fresh, fresh_apps, step, &fresh_cap);
+  }
+
+  ASSERT_TRUE(SameBits(restored.now(), fresh.now()));
+  for (size_t i = 0; i < apps.size(); ++i) {
+    ExpectAppBitIdentical(restored, fresh, apps[i]);
+  }
+
+  for (size_t s = 0; s < tail.size(); ++s) {
+    ApplyStep(restored, apps, tail[s], &restored_cap);
+    ApplyStep(fresh, fresh_apps, tail[s], &fresh_cap);
+    ASSERT_TRUE(SameBits(restored.now(), fresh.now())) << "step " << s;
+    for (size_t i = 0; i < apps.size(); ++i) {
+      SCOPED_TRACE("step " + std::to_string(s) + " app " + std::to_string(i));
+      ExpectAppBitIdentical(restored, fresh, apps[i]);
+    }
+  }
+}
+
+TEST_P(MachineSnapshotTest, RepeatedRestoreIsIdempotent) {
+  // The what-if evaluator restores the same baseline once per candidate:
+  // restoring N times and advancing must give the same epoch every time.
+  const MachineConfig config = Config();
+  SimulatedMachine machine(config);
+  const std::vector<AppId> apps = LaunchApps(machine);
+  for (int i = 0; i < 8; ++i) {
+    machine.AdvanceTime(0.05);
+  }
+  const MachineSnapshot snapshot = machine.Snapshot();
+
+  machine.AdvanceTime(0.05);
+  std::vector<AppEpochSnapshot> reference;
+  for (AppId app : apps) {
+    reference.push_back(machine.LastEpoch(app));
+  }
+
+  for (int round = 0; round < 5; ++round) {
+    machine.Restore(snapshot);
+    // Vary the divergence before the measured epoch so the restore has real
+    // work to undo.
+    if (round % 2 == 1) {
+      machine.SetClosMbaLevel(1, MbaLevel::FromPercentChecked(20));
+      machine.AdvanceTime(0.5);
+      machine.Restore(snapshot);
+    }
+    machine.AdvanceTime(0.05);
+    for (size_t i = 0; i < apps.size(); ++i) {
+      SCOPED_TRACE("round " + std::to_string(round) + " app " +
+                   std::to_string(i));
+      const AppEpochSnapshot& epoch = machine.LastEpoch(apps[i]);
+      EXPECT_SAME_BITS(epoch.ips, reference[i].ips);
+      EXPECT_SAME_BITS(epoch.miss_ratio, reference[i].miss_ratio);
+      EXPECT_SAME_BITS(epoch.bandwidth_grant_bytes_per_sec,
+                       reference[i].bandwidth_grant_bytes_per_sec);
+    }
+  }
+}
+
+TEST_P(MachineSnapshotTest, RestoreRevertsPartitioningState) {
+  const MachineConfig config = Config();
+  SimulatedMachine machine(config);
+  const std::vector<AppId> apps = LaunchApps(machine);
+  machine.SetClosWayMask(1, WayMask::Contiguous(0, 4));
+  machine.SetClosMbaLevel(2, MbaLevel::FromPercentChecked(40));
+  machine.AdvanceTime(0.05);
+  const MachineSnapshot snapshot = machine.Snapshot();
+  const uint64_t mask_bits = machine.ClosWayMask(1).bits();
+  const uint32_t mba_percent = machine.ClosMbaLevel(2).percent();
+
+  machine.SetClosWayMask(1, WayMask::Contiguous(4, 6));
+  machine.SetClosMbaLevel(2, MbaLevel::FromPercentChecked(90));
+  machine.AssignAppToClos(apps[0], 3);
+  machine.AdvanceTime(0.05);
+
+  machine.Restore(snapshot);
+  EXPECT_EQ(machine.ClosWayMask(1).bits(), mask_bits);
+  EXPECT_EQ(machine.ClosMbaLevel(2).percent(), mba_percent);
+  EXPECT_EQ(machine.AppClos(apps[0]), 1u);
+  EXPECT_TRUE(SameBits(machine.now(), snapshot.now));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllModes, MachineSnapshotTest,
+    ::testing::Combine(::testing::Values(MrcMode::kExact, MrcMode::kCompiled),
+                       ::testing::Bool()),
+    [](const ::testing::TestParamInfo<std::tuple<MrcMode, bool>>& info) {
+      const std::string mode =
+          std::get<0>(info.param) == MrcMode::kExact ? "exact" : "compiled";
+      return mode + (std::get<1>(info.param) ? "_phased" : "_steady");
+    });
+
+}  // namespace
+}  // namespace copart

@@ -9,7 +9,11 @@
 # The bench also measures the managed control loop with an observability
 # bundle attached but disabled; the reported obs_disabled_overhead_pct must
 # stay under OBS_OVERHEAD_PCT (2%) — disabled instrumentation is one branch
-# per site and must never grow a measurable cost (DESIGN.md §8).
+# per site and must never grow a measurable cost (DESIGN.md §8). Both obs
+# and sensing overheads are paired against the managed_full_solve
+# configuration (incremental fast path off), so the ratios keep pricing
+# instrumentation against a solving control tick rather than against the
+# ~100ns replay tick, where any fixed cost would read as tens of percent.
 #
 # Likewise for realistic sensing (DESIGN.md §10): sensing_overhead_pct — the
 # managed loop with the online MRC estimator on the sample path at the
@@ -17,6 +21,15 @@
 # SENSING_OVERHEAD_PCT (10%). Sensing disabled is priced by the plain
 # managed point itself (one bool test), and the full noise model's cost is
 # reported as sensing_noisy_overhead_pct but not gated.
+#
+# The epoch fast path (DESIGN.md §12) is held to two absolute floors on top
+# of the relative gates: the default managed loop must sustain at least
+# MANAGED_FLOOR epochs/sec at 4 apps, and snapshot-based what-if evaluation
+# must be at least WHATIF_SPEEDUP_MIN times faster than fresh-machine
+# re-simulation over the oracle-style candidate schedule. The bench's
+# --scalar-check mode (vectorized vs scalar vs incremental kernels, bitwise)
+# runs first: a divergence there is a correctness bug, and perf numbers from
+# a wrong kernel are meaningless.
 #
 # bench_serve (the request-serving subsystem, DESIGN.md §9) is gated the
 # same way against BENCH_serve.json: simulated requests/sec of the raw
@@ -30,6 +43,11 @@
 # baselines by running the benches from the repo root on a quiet machine:
 #   ./<build-dir>/bench/bench_sim_throughput --min-seconds=1
 #   ./<build-dir>/bench/bench_serve --min-seconds=1
+# If the machine shows run-to-run swings approaching the gate (the exact-MRC
+# points are the most boost-state-sensitive), run the bench a few times and
+# commit the per-point MINIMUM as the baseline — a conservative baseline
+# still catches algorithmic regressions, while a lucky fast run would turn
+# the gate into a frequency-governor test.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -39,6 +57,8 @@ SERVE_BASELINE="BENCH_serve.json"
 REGRESSION_PCT=20
 OBS_OVERHEAD_PCT=2
 SENSING_OVERHEAD_PCT=10
+MANAGED_FLOOR=3200000
+WHATIF_SPEEDUP_MIN=10
 
 for baseline in "$BASELINE" "$SERVE_BASELINE"; do
   if [[ ! -f "$baseline" ]]; then
@@ -55,6 +75,9 @@ FRESH="$(mktemp /tmp/bench_sim_throughput.XXXXXX.json)"
 FRESH_INJ="$(mktemp /tmp/bench_sim_throughput_inj.XXXXXX.json)"
 FRESH_SERVE="$(mktemp /tmp/bench_serve.XXXXXX.json)"
 trap 'rm -f "$FRESH" "$FRESH_INJ" "$FRESH_SERVE"' EXIT
+# Correctness first: the kernels must agree bitwise before their speed
+# means anything (set -e aborts on divergence).
+"$BUILD_DIR/bench/bench_sim_throughput" --scalar-check
 "$BUILD_DIR/bench/bench_sim_throughput" --json="$FRESH" --min-seconds=0.5
 "$BUILD_DIR/bench/bench_sim_throughput" --json="$FRESH_INJ" \
   --min-seconds=0.5 --fault-injector
@@ -72,7 +95,7 @@ fail=0
 check_run() {  # check_run FILE LABEL — gate every baseline point in FILE
   local file="$1" label="$2"
   while IFS= read -r line; do
-    mode="$(printf '%s\n' "$line" | sed -n 's/.*"mode": "\([a-z]*\)".*/\1/p')"
+    mode="$(printf '%s\n' "$line" | sed -n 's/.*"mode": "\([a-z_]*\)".*/\1/p')"
     apps="$(printf '%s\n' "$line" | sed -n 's/.*"apps": \([0-9]*\).*/\1/p')"
     base="$(printf '%s\n' "$line" |
       sed -n 's/.*"epochs_per_sec": \([0-9.]*\).*/\1/p')"
@@ -185,6 +208,50 @@ check_sensing_overhead() {  # check_sensing_overhead FILE LABEL
   fi
 }
 check_sensing_overhead "$FRESH" "plain"
+
+check_absolute_floor() {  # check_absolute_floor FILE LABEL MODE APPS FLOOR
+  local file="$1" label="$2" mode="$3" apps="$4" floor="$5" now verdict
+  now="$(point_value "$file" "$mode" "$apps")"
+  if [[ -z "$now" ]]; then
+    echo "run_perf_smoke: FAIL [$label] mode=$mode apps=$apps" \
+      "missing from fresh run"
+    fail=1
+    return
+  fi
+  verdict="$(awk -v n="$now" -v f="$floor" 'BEGIN { print (n < f) }')"
+  if [[ "$verdict" == 1 ]]; then
+    echo "run_perf_smoke: FAIL [$label] mode=$mode apps=$apps" \
+      "epochs_per_sec=$now < absolute floor=$floor"
+    fail=1
+  else
+    echo "run_perf_smoke: ok   [$label] mode=$mode apps=$apps" \
+      "epochs_per_sec=$now >= absolute floor=$floor"
+  fi
+}
+check_absolute_floor "$FRESH" "plain" managed 4 "$MANAGED_FLOOR"
+
+check_whatif_speedup() {  # check_whatif_speedup FILE LABEL
+  local file="$1" label="$2" speedup verdict
+  speedup="$(sed -n 's/.*"whatif_snapshot_speedup": \([0-9.]*\).*/\1/p' \
+    "$file")"
+  if [[ -z "$speedup" ]]; then
+    echo "run_perf_smoke: FAIL [$label] whatif_snapshot_speedup" \
+      "missing from fresh run"
+    fail=1
+    return
+  fi
+  verdict="$(awk -v s="$speedup" -v min="$WHATIF_SPEEDUP_MIN" \
+    'BEGIN { print (s < min) }')"
+  if [[ "$verdict" == 1 ]]; then
+    echo "run_perf_smoke: FAIL [$label] what-if snapshot speedup" \
+      "${speedup}x < ${WHATIF_SPEEDUP_MIN}x over fresh re-simulation"
+    fail=1
+  else
+    echo "run_perf_smoke: ok   [$label] what-if snapshot speedup" \
+      "${speedup}x >= ${WHATIF_SPEEDUP_MIN}x over fresh re-simulation"
+  fi
+}
+check_whatif_speedup "$FRESH" "plain"
 
 if [[ "$fail" != 0 ]]; then
   echo "run_perf_smoke: REGRESSION DETECTED (>${REGRESSION_PCT}% below baseline)"

@@ -36,6 +36,12 @@ TESTS=(
   # must stay race-free; its golden suite is the cross-thread contract.
   harness_serve_test
   harness_static_oracle_test
+  # Epoch fast-path invariants (incremental tick tiers, snapshot/rollback
+  # bit-identity): the machine itself is single-threaded, but the oracle and
+  # determinism suites drive it from pool workers, so the kernel-config
+  # equivalence must hold under TSan instrumentation too.
+  machine_incremental_test
+  machine_snapshot_test
   # Observability: the SPSC trace ring and the tracer's per-thread ring
   # registration are lock-free code on the sweep workers' hot path, and the
   # chaos-audit suite drives them through the full hardened control loop.
