@@ -2,6 +2,7 @@
 
 #include <limits>
 
+#include "common/fault_injector.h"
 #include "common/logging.h"
 #include "harness/whatif.h"
 #include "obs/metrics_registry.h"
@@ -31,16 +32,57 @@ Result<AppId> ClusterNode::Admit(const WorkloadDescriptor& workload,
   }
   Status added = manager_.AddApp(*app);
   if (!added.ok()) {
-    Status terminated = machine_.TerminateApp(*app);
-    CHECK(terminated.ok()) << terminated.ToString();
+    RollbackLaunch(*app);
     return added;
   }
   return app;
 }
 
+Result<AppId> ClusterNode::AdmitLatencyCritical(
+    const WorkloadDescriptor& workload, uint32_t cores,
+    const LcAppModel& model) {
+  Result<AppId> app = machine_.LaunchApp(workload, cores);
+  if (!app.ok()) {
+    return app.status();
+  }
+  if (!manage_) {
+    return app;
+  }
+  Status registered = manager_.SetLatencyCriticalApp(*app, model);
+  if (!registered.ok()) {
+    RollbackLaunch(*app);
+    return registered;
+  }
+  return app;
+}
+
+void ClusterNode::RollbackLaunch(AppId app) {
+  FaultInjector* injector = machine_.config().fault_injector;
+  Status terminated =
+      injector != nullptr &&
+              injector->ShouldFail(fault_points::kClusterAdmitRollback)
+          ? UnavailableError("injected: admit rollback terminate")
+          : machine_.TerminateApp(app);
+  if (!terminated.ok()) {
+    // A CHECK here would take down the whole fleet over one zombie. The
+    // app was never accepted by the manager; park it on a quarantine list
+    // (it squats on its cores until the node reboots) and let the caller
+    // see the original admit error.
+    quarantined_apps_.push_back(app);
+    LOG_WARNING << name_ << ": admit rollback could not terminate app "
+                << app.value() << ", quarantined: " << terminated.ToString();
+  }
+}
+
 Status ClusterNode::Evict(AppId app) {
   if (manage_) {
-    RETURN_IF_ERROR(manager_.RemoveApp(app));
+    Status removed = manager_.RemoveApp(app);
+    // LC apps are not in the batch set; their CLOS is reaped on the next
+    // tick once the machine-level terminate below lands. Any other error is
+    // real and aborts the eviction.
+    if (!removed.ok() && removed.code() != StatusCode::kNotFound) {
+      return removed;
+    }
   }
   return machine_.TerminateApp(app);
 }
@@ -90,6 +132,8 @@ const char* PlacementPolicyName(PlacementPolicy policy) {
       return "least-loaded";
     case PlacementPolicy::kWhatIfBest:
       return "what-if-best";
+    case PlacementPolicy::kCount:
+      break;
   }
   return "?";
 }
@@ -207,7 +251,9 @@ Result<Placement> Cluster::Submit(const WorkloadDescriptor& workload,
     ++placements_rejected_;
     return app.status();
   }
-  ++placement_counts_[static_cast<size_t>(policy)];
+  const size_t slot = static_cast<size_t>(policy);
+  CHECK_LT(slot, placement_counts_.size());
+  ++placement_counts_[slot];
   return Placement{node, *app};
 }
 
@@ -233,7 +279,9 @@ double Cluster::MeanNodeUnfairness() const {
 }
 
 uint64_t Cluster::placements(PlacementPolicy policy) const {
-  return placement_counts_[static_cast<size_t>(policy)];
+  const size_t slot = static_cast<size_t>(policy);
+  CHECK_LT(slot, placement_counts_.size());
+  return placement_counts_[slot];
 }
 
 void Cluster::ExportMetrics(MetricsRegistry* metrics) const {
@@ -250,9 +298,8 @@ void Cluster::ExportMetrics(MetricsRegistry* metrics) const {
   }
   metrics->GetGauge("copart.cluster.mean_unfairness")
       ->Set(MeanNodeUnfairness());
-  for (PlacementPolicy policy :
-       {PlacementPolicy::kFirstFit, PlacementPolicy::kLeastLoaded,
-        PlacementPolicy::kWhatIfBest}) {
+  for (size_t p = 0; p < static_cast<size_t>(PlacementPolicy::kCount); ++p) {
+    const PlacementPolicy policy = static_cast<PlacementPolicy>(p);
     metrics
         ->GetCounter(std::string("copart.cluster.placements.") +
                      PlacementPolicyName(policy))

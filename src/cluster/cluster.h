@@ -21,6 +21,7 @@
 #ifndef COPART_CLUSTER_CLUSTER_H_
 #define COPART_CLUSTER_CLUSTER_H_
 
+#include <array>
 #include <memory>
 #include <string>
 #include <vector>
@@ -28,6 +29,7 @@
 #include "common/parallel.h"
 #include "common/status.h"
 #include "core/resource_manager.h"
+#include "core/slo_governor.h"
 #include "machine/simulated_machine.h"
 #include "pmc/perf_monitor.h"
 #include "resctrl/resctrl.h"
@@ -36,6 +38,14 @@
 namespace copart {
 
 class MetricsRegistry;
+
+namespace fault_points {
+// The machine-level terminate of a half-admitted app fails during the
+// Admit() rollback path — the app is quarantined as a zombie instead of
+// taking the node (and the fleet above it) down.
+inline constexpr std::string_view kClusterAdmitRollback =
+    "cluster.admit.rollback_terminate";
+}  // namespace fault_points
 
 class ClusterNode {
  public:
@@ -48,6 +58,15 @@ class ClusterNode {
 
   // Launches the job and hands it to this node's CoPart instance.
   Result<AppId> Admit(const WorkloadDescriptor& workload, uint32_t cores);
+
+  // Launches a latency-critical job and registers it with the node's SLO
+  // governor instead of the batch fairness set (requires the manager to run
+  // with params.slo.enabled). Unmanaged nodes degrade to a plain Admit.
+  Result<AppId> AdmitLatencyCritical(const WorkloadDescriptor& workload,
+                                     uint32_t cores, const LcAppModel& model);
+
+  // Evicts a resident job (batch or latency-critical; the manager reaps an
+  // LC app's CLOS on its next tick after the machine-level terminate).
   Status Evict(AppId app);
 
   // One control period: machine time plus the controller tick.
@@ -66,22 +85,36 @@ class ClusterNode {
   double CurrentUnfairness() const;
 
   SimulatedMachine& machine() { return machine_; }
+  const SimulatedMachine& machine() const { return machine_; }
   ResourceManager& manager() { return manager_; }
   bool managed() const { return manage_; }
 
+  // Apps whose Admit() rollback could not terminate them: the manager never
+  // accepted them, the machine-level kill failed, and they now squat on
+  // their cores until the node is rebooted. Accounted for by the fleet's
+  // conservation invariant (DESIGN.md §13).
+  const std::vector<AppId>& quarantined_apps() const {
+    return quarantined_apps_;
+  }
+
  private:
+  // Terminates a half-admitted app; quarantines it if the kill fails.
+  void RollbackLaunch(AppId app);
+
   std::string name_;
   bool manage_ = true;
   SimulatedMachine machine_;
   Resctrl resctrl_;
   PerfMonitor monitor_;
   ResourceManager manager_;
+  std::vector<AppId> quarantined_apps_;
 };
 
 enum class PlacementPolicy {
   kFirstFit,
   kLeastLoaded,
   kWhatIfBest,
+  kCount,  // Sentinel: number of policies, not a policy.
 };
 
 const char* PlacementPolicyName(PlacementPolicy policy);
@@ -145,7 +178,10 @@ class Cluster {
   std::vector<std::unique_ptr<ClusterNode>> nodes_;
   ParallelConfig parallel_;
   SweepStats whatif_stats_;
-  uint64_t placement_counts_[3] = {0, 0, 0};
+  // One slot per PlacementPolicy; sized from the enum's kCount sentinel so
+  // adding a policy can never silently write past the end.
+  std::array<uint64_t, static_cast<size_t>(PlacementPolicy::kCount)>
+      placement_counts_{};
   uint64_t placements_rejected_ = 0;
 };
 

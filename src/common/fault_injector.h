@@ -41,6 +41,26 @@
 
 namespace copart {
 
+// Node-level fault domains for the fleet layer (src/cluster/fleet.h).
+// Declared here — not in a component header like the resctrl/PMC points —
+// because they model whole-machine failures that no single simulated
+// component owns. The fleet controller queries each point once per node per
+// epoch, in node-index order, on the serial control thread, so a schedule
+// replays bit-for-bit from the injector seed at any --threads value.
+namespace fault_points {
+// The node dies: every resident job is lost, and the node reboots empty
+// after FleetParams::crash_recovery_epochs.
+inline constexpr std::string_view kNodeCrash = "fleet.node.crash";
+// The node degrades (thermal throttling, a sick disk, a noisy neighbor
+// hypervisor): its machine advances at FleetParams::slow_factor of real
+// time for a fault window, so resident jobs fall behind.
+inline constexpr std::string_view kNodeSlow = "fleet.node.slow";
+// Actuation blackout: the node's CoPart controller cannot act (resctrl
+// wedged, control daemon hung) for a fault window; the machine keeps
+// running under the last applied partitioning.
+inline constexpr std::string_view kNodeBlackout = "fleet.node.blackout";
+}  // namespace fault_points
+
 // How an armed fault point misbehaves. All three mechanisms compose: a
 // query fails if it is inside a burst, listed as a one-shot, or loses the
 // per-query Bernoulli draw — subject to the max_failures budget.

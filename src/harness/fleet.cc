@@ -1,0 +1,167 @@
+#include "harness/fleet.h"
+
+#include <cstdio>
+#include <sstream>
+#include <vector>
+
+#include "common/logging.h"
+#include "common/stats.h"
+#include "workload/workload.h"
+
+namespace copart {
+namespace {
+
+// Stream tags for the scenario's independent Rng forks (arbitrary pinned
+// constants; changing one reshuffles every seeded fleet run).
+constexpr uint64_t kArrivalStream = 0xA221;
+constexpr uint64_t kSpecStream = 0x5BEC;
+constexpr uint64_t kWaveStream = 0x3A4E;
+constexpr uint64_t kInjectorStream = 0xFA17;
+
+FleetJobSpec SampleJob(const FleetScenarioConfig& config, Rng& rng) {
+  // Fixed draw sequence per job — lc?, catalog index, cores, lifetime —
+  // so toggling lc_fraction between runs shifts nothing else.
+  const bool lc =
+      static_cast<double>(rng.NextUint64(1000)) < config.lc_fraction * 1000.0;
+  static const std::vector<WorkloadDescriptor> catalog =
+      AllTable2Benchmarks();
+  const size_t pick = rng.NextUint64(catalog.size());
+  const uint32_t cores = rng.NextUint64(2) == 0 ? 2 : 4;
+  const int span = config.lifetime_max_epochs - config.lifetime_min_epochs;
+  const int lifetime =
+      config.lifetime_min_epochs +
+      (span > 0 ? static_cast<int>(rng.NextUint64(span + 1)) : 0);
+
+  FleetJobSpec spec;
+  if (lc) {
+    spec.workload = Memcached();
+    spec.latency_critical = true;
+    spec.offered_rps = config.lc_offered_rps;
+  } else {
+    spec.workload = catalog[pick];
+  }
+  spec.cores = cores;
+  spec.lifetime_epochs = lifetime;
+  return spec;
+}
+
+}  // namespace
+
+std::string FleetScenarioResult::DeterministicSummary() const {
+  std::ostringstream out;
+  out << "submitted " << counters.submitted << "\n"
+      << "completed " << counters.completed << "\n"
+      << "shed_admission " << counters.shed_admission << "\n"
+      << "shed_overload " << counters.shed_overload << "\n"
+      << "shed_migration " << counters.shed_migration << "\n"
+      << "lost_to_crash " << counters.lost_to_crash << "\n"
+      << "crashes " << counters.crashes << "\n"
+      << "reboots " << counters.reboots << "\n"
+      << "slow_episodes " << counters.slow_episodes << "\n"
+      << "blackout_episodes " << counters.blackout_episodes << "\n"
+      << "migrations_planned " << counters.migrations_planned << "\n"
+      << "migrations_completed " << counters.migrations_completed << "\n"
+      << "migration_rollbacks " << counters.migration_rollbacks << "\n"
+      << "migration_failures " << counters.migration_failures << "\n"
+      << "invariant_violations " << counters.invariant_violations << "\n"
+      << "alive_nodes " << alive_nodes << "\n"
+      << "resident_jobs " << resident_jobs << "\n"
+      << "node_ticks " << node_ticks << "\n"
+      << "recovery_epochs " << recovery_epochs << "\n";
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.17g", mean_node_unfairness);
+  out << "mean_node_unfairness " << buffer << "\n";
+  std::snprintf(buffer, sizeof(buffer), "%.17g", fleet_p99_slowdown);
+  out << "fleet_p99_slowdown " << buffer << "\n";
+  return out.str();
+}
+
+FleetScenarioResult RunFleetScenario(const FleetScenarioConfig& config) {
+  FleetParams params = config.fleet;
+  params.seed = config.seed;
+  params.parallel = config.parallel;
+  params.obs = config.obs;
+
+  // Background fault domains: scenario-owned injector, forked off the
+  // scenario seed so the schedule is part of the same replay.
+  FaultInjector injector(Rng(config.seed).Fork(kInjectorStream).NextUint64());
+  const auto arm = [&injector](std::string_view point, double probability) {
+    if (probability > 0.0) {
+      FaultSpec spec;
+      spec.probability = probability;
+      injector.Arm(point, spec);
+    }
+  };
+  arm(fault_points::kNodeCrash, config.crash_probability);
+  arm(fault_points::kNodeSlow, config.slow_probability);
+  arm(fault_points::kNodeBlackout, config.blackout_probability);
+  if (injector.armed()) {
+    params.injector = &injector;
+  }
+
+  FleetController fleet(config.num_nodes, params);
+  ArrivalGenerator arrivals(config.job_arrivals,
+                            Rng(config.seed).Fork(kArrivalStream));
+  Rng spec_rng = Rng(config.seed).Fork(kSpecStream);
+  double next_arrival = arrivals.Next();
+
+  int wave_epoch = -1;
+  int recovery_epochs = -1;
+  for (int epoch = 0; epoch < config.epochs; ++epoch) {
+    // Submissions scheduled up to the start of this control period.
+    const double now =
+        static_cast<double>(epoch) * params.control_period_sec;
+    while (next_arrival <= now) {
+      // A shed submission is a recorded outcome, not an error.
+      (void)fleet.Submit(SampleJob(config, spec_rng));
+      next_arrival = arrivals.Next();
+    }
+
+    if (config.crash_wave_epoch >= 0 && epoch == config.crash_wave_epoch) {
+      // Kill a seeded sample of the alive fleet at once.
+      std::vector<size_t> alive;
+      for (size_t i = 0; i < fleet.NumNodes(); ++i) {
+        if (fleet.node_status(i).health == NodeHealth::kAlive) {
+          alive.push_back(i);
+        }
+      }
+      size_t to_kill = static_cast<size_t>(
+          static_cast<double>(alive.size()) * config.crash_wave_fraction);
+      if (to_kill == 0 && !alive.empty()) {
+        to_kill = 1;
+      }
+      Rng wave_rng = Rng(config.seed).Fork(kWaveStream);
+      for (size_t k = 0; k < to_kill; ++k) {
+        // Partial Fisher-Yates: each draw picks a distinct alive node.
+        const size_t pick =
+            k + static_cast<size_t>(wave_rng.NextUint64(alive.size() - k));
+        std::swap(alive[k], alive[pick]);
+        fleet.CrashNode(alive[k]);
+      }
+      wave_epoch = epoch;
+      LOG_INFO << "fleet crash wave: " << to_kill << " of " << alive.size()
+               << " nodes down at epoch " << epoch;
+    }
+
+    fleet.RunEpoch();
+    if (wave_epoch >= 0 && recovery_epochs < 0 &&
+        fleet.AliveNodes() == fleet.NumNodes()) {
+      recovery_epochs = epoch - wave_epoch;
+    }
+  }
+
+  FleetScenarioResult result;
+  result.counters = fleet.counters();
+  result.alive_nodes = fleet.AliveNodes();
+  result.resident_jobs = fleet.ResidentJobs();
+  result.node_ticks = fleet.node_ticks();
+  result.mean_node_unfairness = fleet.MeanNodeUnfairness();
+  const std::vector<double> slowdowns = fleet.AllSlowdowns();
+  result.fleet_p99_slowdown = Percentile(slowdowns, 99.0);
+  result.recovery_epochs = recovery_epochs;
+  result.first_violation = fleet.first_violation();
+  fleet.ExportMetrics(ObsMetrics(config.obs));
+  return result;
+}
+
+}  // namespace copart

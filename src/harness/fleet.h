@@ -1,0 +1,92 @@
+// Fleet robustness scenario: diurnal job arrivals over hundreds of nodes,
+// background node faults, and one scripted crash wave.
+//
+// This is the workload that exercises src/cluster/fleet.h end to end: jobs
+// drawn from the Table 2 catalog (plus memcached for the latency-critical
+// fraction) arrive on a diurnal schedule at the fleet front door, run for
+// bounded lifetimes, and survive — or don't — crashes, slow nodes, and
+// actuation blackouts. At `crash_wave_epoch` a seeded fraction of the
+// fleet is killed at once, and the scenario reports how many epochs the
+// fleet needs to return to full strength.
+//
+// Everything is a pure function of `seed` at any --threads value: the
+// chaos suite byte-compares DeterministicSummary() across thread counts,
+// and bench_fleet gates the deterministic outcome fields exactly.
+#ifndef COPART_HARNESS_FLEET_H_
+#define COPART_HARNESS_FLEET_H_
+
+#include <cstdint>
+#include <string>
+
+#include "cluster/fleet.h"
+#include "serve/arrival.h"
+
+namespace copart {
+
+struct FleetScenarioConfig {
+  uint64_t seed = 0xF1EE7ULL;
+  size_t num_nodes = 256;
+  int epochs = 240;
+
+  // Node templates, thresholds, and fault windows. The scenario overrides
+  // seed/parallel/obs/injector from its own fields.
+  FleetParams fleet;
+
+  // Job arrivals in simulated time (jobs/s; one control period is
+  // fleet.control_period_sec). Defaults to a diurnal ramp so the fleet
+  // sees both slack and pressure within one run.
+  ArrivalConfig job_arrivals = [] {
+    ArrivalConfig arrivals;
+    arrivals.kind = ArrivalKind::kDiurnal;
+    arrivals.base_rate_rps = 8.0;
+    arrivals.diurnal_period_sec = 60.0;
+    arrivals.diurnal_amplitude = 0.8;
+    return arrivals;
+  }();
+
+  // Sampled per job: cores uniform in {2, 4}, lifetime uniform in
+  // [lifetime_min_epochs, lifetime_max_epochs], and `lc_fraction` of jobs
+  // are latency-critical memcached instances.
+  int lifetime_min_epochs = 30;
+  int lifetime_max_epochs = 120;
+  double lc_fraction = 0.15;
+  double lc_offered_rps = 20000.0;
+
+  // Background per-node, per-epoch fault probabilities (0 disarms the
+  // point). Drawn from a scenario-owned injector forked off `seed`.
+  double crash_probability = 0.0;
+  double slow_probability = 0.0;
+  double blackout_probability = 0.0;
+
+  // Scripted crash wave: at this epoch (< 0 disables), a seeded
+  // `crash_wave_fraction` of the currently-alive nodes dies at once.
+  int crash_wave_epoch = -1;
+  double crash_wave_fraction = 0.10;
+
+  ParallelConfig parallel;
+  Observability* obs = nullptr;  // Not owned; audit + fleet metrics sink.
+};
+
+struct FleetScenarioResult {
+  FleetCounters counters;
+  size_t alive_nodes = 0;
+  size_t resident_jobs = 0;
+  uint64_t node_ticks = 0;
+  double mean_node_unfairness = 0.0;
+  // 99th percentile of all resident-job slowdowns at the end of the run.
+  double fleet_p99_slowdown = 0.0;
+  // Epochs from the crash wave until every node is back up (-1 when no
+  // wave was scripted or the fleet never fully recovered).
+  int recovery_epochs = -1;
+  std::string first_violation;  // "" when every invariant check passed.
+
+  // One line per deterministic outcome field, formatted with %.17g — the
+  // thread-invariance tests byte-compare this across --threads values.
+  std::string DeterministicSummary() const;
+};
+
+FleetScenarioResult RunFleetScenario(const FleetScenarioConfig& config);
+
+}  // namespace copart
+
+#endif  // COPART_HARNESS_FLEET_H_

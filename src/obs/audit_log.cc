@@ -70,6 +70,10 @@ const char* AuditKindName(AuditKind kind) {
       return "phase_transition";
     case AuditKind::kQuarantineChange:
       return "quarantine_change";
+    case AuditKind::kMigration:
+      return "migration";
+    case AuditKind::kNodeFault:
+      return "node_fault";
   }
   return "unknown";
 }

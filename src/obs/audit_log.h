@@ -34,6 +34,11 @@ enum class AuditKind {
   kActuationFailure,  // A transactional apply failed (maybe rolled back).
   kPhaseTransition,   // Manager moved between profiling/exploration/idle/...
   kQuarantineChange,  // An app's counters entered or left quarantine.
+  kMigration,         // Fleet live-migration step (plan/drain/admit/verify/
+                      // rollback); app_index = source node, clos = target
+                      // node, app_id = fleet job id (DESIGN.md §13).
+  kNodeFault,         // Fleet node fault-domain event (crash/slow/blackout/
+                      // reboot); app_index = node index.
 };
 
 const char* AuditKindName(AuditKind kind);

@@ -3,6 +3,9 @@
 
 #include <gtest/gtest.h>
 
+#include "cluster/fleet.h"
+#include "common/fault_injector.h"
+#include "harness/fleet.h"
 #include "obs/metrics_registry.h"
 
 namespace copart {
@@ -168,6 +171,183 @@ TEST(ClusterTest, ExportMetricsPublishesPlacementAndFairnessCounters) {
   EXPECT_GE(metrics.GetGauge("copart.cluster.n0.unfairness")->value(), 0.0);
   // Null registry: a no-op, not a crash.
   cluster.ExportMetrics(nullptr);
+}
+
+TEST(ClusterNodeTest, EvictUnknownAppReturnsNotFound) {
+  ClusterNode node("n0", QuietConfig(), {});
+  const Status evicted = node.Evict(AppId{424242});
+  EXPECT_EQ(evicted.code(), StatusCode::kNotFound);
+}
+
+TEST(ClusterNodeTest, UnmanagedNodeAdmitsAndEvicts) {
+  ClusterNode node("n0", QuietConfig(), {}, /*manage=*/false);
+  Result<AppId> app = node.Admit(Cg(), 4);
+  ASSERT_TRUE(app.ok());
+  EXPECT_EQ(node.NumJobs(), 1u);
+  ASSERT_TRUE(node.Evict(*app).ok());
+  EXPECT_EQ(node.NumJobs(), 0u);
+  EXPECT_EQ(node.Evict(*app).code(), StatusCode::kNotFound);
+}
+
+TEST(ClusterNodeTest, AdmitRollbackQuarantinesWhenTerminateFails) {
+  FaultInjector injector(7);
+  FaultSpec always;
+  always.probability = 1.0;
+  injector.Arm(fault_points::kClusterAdmitRollback, always);
+  MachineConfig config = QuietConfig();
+  config.fault_injector = &injector;
+  ClusterNode node("n0", config, {});
+  for (int i = 0; i < 11; ++i) {
+    ASSERT_TRUE(node.Admit(Swaptions(), 1).ok()) << i;
+  }
+  Result<AppId> overflow = node.Admit(Swaptions(), 1);
+  ASSERT_FALSE(overflow.ok());
+  // The caller sees the ORIGINAL admission error, not the terminate
+  // failure the rollback swallowed.
+  EXPECT_EQ(overflow.status().code(), StatusCode::kResourceExhausted);
+  // The unkillable app is quarantined, still squatting on the machine,
+  // and the manager never accepted it.
+  ASSERT_EQ(node.quarantined_apps().size(), 1u);
+  EXPECT_EQ(node.machine().ListApps().size(), 12u);
+  EXPECT_EQ(node.NumJobs(), 11u);
+}
+
+FleetParams QuietFleetParams() {
+  FleetParams params;
+  params.machine = QuietConfig();
+  params.parallel.num_threads = 1;
+  return params;
+}
+
+FleetJobSpec BatchJob(const WorkloadDescriptor& workload, uint32_t cores,
+                      int lifetime_epochs = 0) {
+  FleetJobSpec spec;
+  spec.workload = workload;
+  spec.cores = cores;
+  spec.lifetime_epochs = lifetime_epochs;
+  return spec;
+}
+
+TEST(FleetTest, JobsRunToCompletionAndConservationHolds) {
+  FleetController fleet(4, QuietFleetParams());
+  for (int i = 0; i < 8; ++i) {
+    ASSERT_TRUE(fleet.Submit(BatchJob(Swaptions(), 2, 10)).ok()) << i;
+  }
+  EXPECT_EQ(fleet.ResidentJobs(), 8u);
+  for (int e = 0; e < 30; ++e) {
+    fleet.RunEpoch();
+  }
+  EXPECT_EQ(fleet.counters().completed, 8u);
+  EXPECT_EQ(fleet.ResidentJobs(), 0u);
+  EXPECT_EQ(fleet.counters().invariant_violations, 0u);
+  EXPECT_TRUE(fleet.first_violation().empty()) << fleet.first_violation();
+  // All four nodes ticked every epoch.
+  EXPECT_EQ(fleet.node_ticks(), 30u * 4u);
+}
+
+TEST(FleetTest, AdmissionControlShedsAtTheUtilizationCeiling) {
+  FleetController fleet(1, QuietFleetParams());
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(fleet.Submit(BatchJob(Swaptions(), 4)).ok()) << i;
+  }
+  // 16/16 cores used >= the 95% ceiling: the front door sheds.
+  Result<FleetJobId> shed = fleet.Submit(BatchJob(Swaptions(), 4));
+  ASSERT_FALSE(shed.ok());
+  EXPECT_EQ(shed.status().code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(fleet.counters().shed_admission, 1u);
+  fleet.RunEpoch();
+  EXPECT_EQ(fleet.counters().invariant_violations, 0u);
+}
+
+TEST(FleetTest, CrashLosesResidentsAndRebootsEmpty) {
+  FleetParams params = QuietFleetParams();
+  params.crash_recovery_epochs = 3;
+  FleetController fleet(2, params);
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(fleet.Submit(BatchJob(Swaptions(), 2)).ok()) << i;
+  }
+  size_t on_node0 = 0;
+  for (const FleetJob& job : fleet.jobs()) {
+    on_node0 += job.node == 0 ? 1 : 0;
+  }
+  ASSERT_GT(on_node0, 0u);
+  fleet.CrashNode(0);
+  EXPECT_EQ(fleet.counters().crashes, 1u);
+  EXPECT_EQ(fleet.counters().lost_to_crash, on_node0);
+  EXPECT_EQ(fleet.AliveNodes(), 1u);
+  EXPECT_EQ(fleet.ResidentJobs(), 4u - on_node0);
+  for (int e = 0; e < 4; ++e) {
+    fleet.RunEpoch();
+  }
+  // Recovered: the node is back, empty, on a fresh incarnation.
+  EXPECT_EQ(fleet.AliveNodes(), 2u);
+  EXPECT_EQ(fleet.counters().reboots, 1u);
+  EXPECT_EQ(fleet.node_status(0).reboots, 1u);
+  EXPECT_EQ(fleet.node(0)->NumJobs(), 0u);
+  EXPECT_EQ(fleet.counters().invariant_violations, 0u);
+}
+
+TEST(FleetTest, LatencyCriticalJobKeepsTheGovernorWayFloor) {
+  FleetParams params = QuietFleetParams();
+  params.manager.slo.enabled = true;
+  FleetController fleet(1, params);
+  FleetJobSpec lc;
+  lc.workload = Memcached();
+  lc.cores = 4;
+  lc.latency_critical = true;
+  lc.offered_rps = 20000.0;
+  Result<FleetJobId> id = fleet.Submit(lc);
+  ASSERT_TRUE(id.ok());
+  ASSERT_TRUE(fleet.Submit(BatchJob(Cg(), 4)).ok());
+  for (int e = 0; e < 20; ++e) {
+    fleet.RunEpoch();
+  }
+  const FleetJob& job = fleet.jobs()[*id];
+  ASSERT_EQ(job.state, JobState::kResident);
+  EXPECT_GE(fleet.node(0)->manager().LcWays(job.app),
+            params.manager.slo.lc_way_floor);
+  EXPECT_EQ(fleet.counters().invariant_violations, 0u);
+}
+
+TEST(FleetScenarioTest, RobustnessScenarioMigratesRecoversAndConserves) {
+  // The copartctl `fleet` demo at 1/4 scale: diurnal arrivals, background
+  // faults, one 10% crash wave. Everything notable must occur at least
+  // once, and the books must balance on every epoch.
+  FleetScenarioConfig config;
+  config.num_nodes = 64;
+  config.epochs = 120;
+  config.job_arrivals.base_rate_rps = 0.15 * 64.0;
+  config.crash_wave_epoch = 30;
+  config.crash_probability = 0.0002;
+  config.slow_probability = 0.002;
+  config.blackout_probability = 0.002;
+  const FleetScenarioResult result = RunFleetScenario(config);
+  EXPECT_EQ(result.counters.invariant_violations, 0u);
+  EXPECT_TRUE(result.first_violation.empty()) << result.first_violation;
+  EXPECT_GE(result.counters.crashes, 6u);  // The wave alone kills 6.
+  EXPECT_GE(result.counters.reboots, 6u);
+  EXPECT_GE(result.counters.migrations_completed, 1u);
+  EXPECT_GE(result.counters.migration_rollbacks, 1u);
+  EXPECT_GE(result.recovery_epochs, 0);
+  EXPECT_EQ(result.counters.submitted,
+            result.resident_jobs + result.counters.completed +
+                result.counters.shed_total() + result.counters.lost_to_crash);
+}
+
+TEST(FleetScenarioTest, SummaryIsBitIdenticalAcrossThreadCounts) {
+  auto run = [](uint32_t threads) {
+    FleetScenarioConfig config;
+    config.num_nodes = 16;
+    config.epochs = 50;
+    config.crash_wave_epoch = 15;
+    config.slow_probability = 0.004;
+    config.blackout_probability = 0.004;
+    config.parallel.num_threads = threads;
+    return RunFleetScenario(config).DeterministicSummary();
+  };
+  const std::string serial = run(1);
+  EXPECT_EQ(serial, run(4));
+  EXPECT_FALSE(serial.empty());
 }
 
 TEST(ClusterTest, WhatIfBeatsFirstFitOnASkewedArrivalSequence) {

@@ -14,6 +14,10 @@
 //                                    sensing A/B table (DESIGN.md §10)
 //   chaos [schedules] [base_seed]    randomized fault schedules vs. the
 //                                    hardened controller (DESIGN.md §7)
+//   fleet [nodes] [epochs]           fault-tolerant fleet serving: diurnal
+//                                    job arrivals over N nodes, background
+//                                    node faults, one crash wave, live
+//                                    migration with verify/rollback
 //   trace <mix|casestudy|serve|cluster> [count] [s]  run CoPart (or the
 //                                    casestudy / serve / cluster demo
 //                                    scenario) with observability on
@@ -32,6 +36,7 @@
 #include "harness/case_study.h"
 #include "harness/chaos.h"
 #include "harness/experiment.h"
+#include "harness/fleet.h"
 #include "harness/heatmap.h"
 #include "harness/mix.h"
 #include "harness/sensing.h"
@@ -58,6 +63,7 @@ int Usage() {
       "  serve [--csv prefix] [--out prefix]\n"
       "  sensing [mix] [app_count] [duration_sec] [--csv path]\n"
       "  chaos [schedules] [base_seed] | chaos --seed <schedule_seed>\n"
+      "  fleet [nodes] [epochs] [--seed S] [--wave epoch] [--out prefix]\n"
       "  trace <mix|casestudy|serve|cluster> [app_count] [duration_sec] "
       "[--out prefix]\n"
       "mixes: H-LLC H-BW H-Both M-LLC M-BW M-Both IS\n"
@@ -480,6 +486,79 @@ int CmdTrace(const std::string& target, size_t count, double duration,
   return 0;
 }
 
+int CmdFleet(size_t nodes, int epochs, uint64_t seed, int wave_epoch,
+             const std::string& obs_prefix, const ParallelConfig& parallel) {
+  Observability obs;
+  FleetScenarioConfig config;
+  config.seed = seed;
+  config.num_nodes = nodes;
+  config.epochs = epochs;
+  config.crash_wave_epoch = wave_epoch;
+  // Offered load scales with the fleet so any size runs near the same
+  // per-node pressure (the harness default is tuned for ~64 nodes).
+  config.job_arrivals.base_rate_rps = 0.15 * static_cast<double>(nodes);
+  config.crash_probability = 0.0002;
+  config.slow_probability = 0.002;
+  config.blackout_probability = 0.002;
+  config.parallel = parallel;
+  config.obs = &obs;
+  std::printf("fleet: %zu nodes, %d epochs, crash wave at epoch %d, seed "
+              "%llu\n",
+              nodes, epochs, wave_epoch,
+              static_cast<unsigned long long>(seed));
+  const FleetScenarioResult r = RunFleetScenario(config);
+  const FleetCounters& c = r.counters;
+  std::printf(
+      "jobs: %llu submitted, %llu completed, %zu resident, "
+      "%llu shed (%llu admission / %llu overload / %llu migration), "
+      "%llu lost to crashes\n",
+      static_cast<unsigned long long>(c.submitted),
+      static_cast<unsigned long long>(c.completed), r.resident_jobs,
+      static_cast<unsigned long long>(c.shed_total()),
+      static_cast<unsigned long long>(c.shed_admission),
+      static_cast<unsigned long long>(c.shed_overload),
+      static_cast<unsigned long long>(c.shed_migration),
+      static_cast<unsigned long long>(c.lost_to_crash));
+  std::printf(
+      "faults: %llu crashes, %llu reboots, %llu slow episodes, "
+      "%llu blackouts; alive %zu/%zu, recovery %d epochs\n",
+      static_cast<unsigned long long>(c.crashes),
+      static_cast<unsigned long long>(c.reboots),
+      static_cast<unsigned long long>(c.slow_episodes),
+      static_cast<unsigned long long>(c.blackout_episodes), r.alive_nodes,
+      nodes, r.recovery_epochs);
+  std::printf(
+      "migrations: %llu planned, %llu verified, %llu rolled back, "
+      "%llu failed\n",
+      static_cast<unsigned long long>(c.migrations_planned),
+      static_cast<unsigned long long>(c.migrations_completed),
+      static_cast<unsigned long long>(c.migration_rollbacks),
+      static_cast<unsigned long long>(c.migration_failures));
+  std::printf("fleet p99 slowdown %.3f, mean node unfairness %.4f, "
+              "%llu node-ticks\n",
+              r.fleet_p99_slowdown, r.mean_node_unfairness,
+              static_cast<unsigned long long>(r.node_ticks));
+  if (c.invariant_violations > 0) {
+    std::printf("INVARIANT VIOLATIONS: %llu (first: %s)\n",
+                static_cast<unsigned long long>(c.invariant_violations),
+                r.first_violation.c_str());
+  } else {
+    std::printf("job conservation: %llu checks, 0 violations\n",
+                static_cast<unsigned long long>(c.conservation_checks));
+  }
+  if (!obs_prefix.empty()) {
+    const Status status = obs.ExportAll(obs_prefix);
+    if (!status.ok()) {
+      std::fprintf(stderr, "%s\n", status.ToString().c_str());
+      return 1;
+    }
+    std::printf("audit: %zu records -> %s.audit.json, metrics -> "
+                "%s.metrics.json\n",
+                obs.audit.size(), obs_prefix.c_str(), obs_prefix.c_str());
+  }
+  return c.invariant_violations > 0 ? 1 : 0;
+}
+
 int Main(int argc, char** argv) {
   const ParallelConfig parallel = ParseThreadsFlag(argc, argv);
   if (argc < 2) {
@@ -559,6 +638,36 @@ int Main(int argc, char** argv) {
       return 2;
     }
     return CmdChaos(schedules, base_seed, parallel);
+  }
+  if (command == "fleet") {
+    size_t nodes = 256;
+    int epochs = 240;
+    uint64_t seed = 0xF1EE7ULL;
+    int wave_epoch = 60;
+    std::string obs_prefix;
+    int positional = 0;
+    for (int i = 2; i < argc; ++i) {
+      if (std::strcmp(argv[i], "--seed") == 0 && i + 1 < argc) {
+        seed = std::strtoull(argv[++i], nullptr, 0);
+      } else if (std::strcmp(argv[i], "--wave") == 0 && i + 1 < argc) {
+        wave_epoch = static_cast<int>(std::strtol(argv[++i], nullptr, 0));
+      } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+        obs_prefix = argv[++i];
+      } else if (positional == 0) {
+        nodes = std::strtoul(argv[i], nullptr, 10);
+        ++positional;
+      } else if (positional == 1) {
+        epochs = static_cast<int>(std::strtol(argv[i], nullptr, 10));
+        ++positional;
+      } else {
+        return Usage();
+      }
+    }
+    if (nodes == 0 || epochs <= 0) {
+      std::fprintf(stderr, "fleet: nodes and epochs must be positive\n");
+      return 2;
+    }
+    return CmdFleet(nodes, epochs, seed, wave_epoch, obs_prefix, parallel);
   }
   if (command == "trace" && argc >= 3) {
     std::string prefix = "copart_trace";

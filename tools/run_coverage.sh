@@ -1,10 +1,11 @@
 #!/usr/bin/env bash
-# Line-coverage gate for the cache-model, controller, observability,
-# sensing, and serving layers.
+# Line-coverage gate for the cache-model, cluster/fleet, controller,
+# observability, sensing, and serving layers.
 #
 # Builds with gcc's --coverage instrumentation, runs the full ctest suite,
-# extracts line coverage for src/cache, src/core, src/obs, src/pmc, and
-# src/serve with `gcov --json-format` (parsed by the embedded python3 — no
+# extracts line coverage for src/cache, src/cluster, src/core, src/obs,
+# src/pmc, and src/serve with `gcov --json-format` (parsed by the embedded
+# python3 — no
 # gcovr/lcov dependency), and fails if any directory's coverage drops below the
 # committed baseline (tools/coverage_baseline.txt) by more than SLACK_PCT.
 #
@@ -35,8 +36,8 @@ ctest --test-dir "$BUILD_DIR" --output-on-failure
 # directories, collecting the gzipped JSON reports in a scratch dir.
 GCOV_OUT="$(mktemp -d /tmp/copart_gcov.XXXXXX)"
 trap 'rm -rf "$GCOV_OUT"' EXIT
-find "$BUILD_DIR/src/cache" "$BUILD_DIR/src/core" "$BUILD_DIR/src/obs" \
-  "$BUILD_DIR/src/pmc" "$BUILD_DIR/src/serve" \
+find "$BUILD_DIR/src/cache" "$BUILD_DIR/src/cluster" "$BUILD_DIR/src/core" \
+  "$BUILD_DIR/src/obs" "$BUILD_DIR/src/pmc" "$BUILD_DIR/src/serve" \
   -name '*.gcda' |
   while IFS= read -r gcda; do
     (cd "$GCOV_OUT" && gcov --json-format "$OLDPWD/$gcda" >/dev/null)
@@ -50,8 +51,8 @@ import glob, gzip, json, os, sys
 
 gcov_dir = sys.argv[1]
 # dir -> file -> line -> covered
-gated = {"src/cache": {}, "src/core": {}, "src/obs": {}, "src/pmc": {},
-         "src/serve": {}}
+gated = {"src/cache": {}, "src/cluster": {}, "src/core": {}, "src/obs": {},
+         "src/pmc": {}, "src/serve": {}}
 
 for path in glob.glob(os.path.join(gcov_dir, "*.gcov.json.gz")):
     with gzip.open(path, "rt") as handle:
@@ -121,5 +122,5 @@ if [[ "$fail" != 0 ]]; then
     "baseline with COPART_COVERAGE_UPDATE=1 and justify the drop"
   exit 1
 fi
-echo "run_coverage: src/cache, src/core, src/obs, src/pmc, and src/serve" \
-  "hold the baseline"
+echo "run_coverage: src/cache, src/cluster, src/core, src/obs, src/pmc," \
+  "and src/serve hold the baseline"

@@ -35,6 +35,14 @@
 # same way against BENCH_serve.json: simulated requests/sec of the raw
 # discrete-event engine and epochs/sec of the SLO-mode control loop.
 #
+# bench_fleet (the fault-tolerant fleet layer, DESIGN.md §13) is gated
+# against BENCH_fleet.json: node-ticks/sec of the parallel fleet control
+# loop gets the usual 20% band, but the canonical robustness scenario's
+# outcome points (fleet p99 slowdown, completed migrations, verified
+# rollbacks, crash-wave recovery epochs) are pure functions of the seed
+# and are gated EXACTLY — any drift there is a behavior change, not noise,
+# and must arrive as a deliberate baseline refresh.
+#
 # Usage: tools/run_perf_smoke.sh [build-dir]
 #
 # The threshold is deliberately loose — CI machines are noisy — so a failure
@@ -43,6 +51,7 @@
 # baselines by running the benches from the repo root on a quiet machine:
 #   ./<build-dir>/bench/bench_sim_throughput --min-seconds=1
 #   ./<build-dir>/bench/bench_serve --min-seconds=1
+#   ./<build-dir>/bench/bench_fleet --min-seconds=1
 # If the machine shows run-to-run swings approaching the gate (the exact-MRC
 # points are the most boost-state-sensitive), run the bench a few times and
 # commit the per-point MINIMUM as the baseline — a conservative baseline
@@ -54,13 +63,14 @@ cd "$(dirname "$0")/.."
 BUILD_DIR="${1:-build-perf}"
 BASELINE="BENCH_sim_throughput.json"
 SERVE_BASELINE="BENCH_serve.json"
+FLEET_BASELINE="BENCH_fleet.json"
 REGRESSION_PCT=20
 OBS_OVERHEAD_PCT=2
 SENSING_OVERHEAD_PCT=10
 MANAGED_FLOOR=3200000
 WHATIF_SPEEDUP_MIN=10
 
-for baseline in "$BASELINE" "$SERVE_BASELINE"; do
+for baseline in "$BASELINE" "$SERVE_BASELINE" "$FLEET_BASELINE"; do
   if [[ ! -f "$baseline" ]]; then
     echo "run_perf_smoke: no committed baseline at $baseline" >&2
     exit 1
@@ -69,12 +79,13 @@ done
 
 cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=Release
 cmake --build "$BUILD_DIR" --target bench_sim_throughput bench_serve \
-  -j "$(nproc)"
+  bench_fleet -j "$(nproc)"
 
 FRESH="$(mktemp /tmp/bench_sim_throughput.XXXXXX.json)"
 FRESH_INJ="$(mktemp /tmp/bench_sim_throughput_inj.XXXXXX.json)"
 FRESH_SERVE="$(mktemp /tmp/bench_serve.XXXXXX.json)"
-trap 'rm -f "$FRESH" "$FRESH_INJ" "$FRESH_SERVE"' EXIT
+FRESH_FLEET="$(mktemp /tmp/bench_fleet.XXXXXX.json)"
+trap 'rm -f "$FRESH" "$FRESH_INJ" "$FRESH_SERVE" "$FRESH_FLEET"' EXIT
 # Correctness first: the kernels must agree bitwise before their speed
 # means anything (set -e aborts on divergence).
 "$BUILD_DIR/bench/bench_sim_throughput" --scalar-check
@@ -82,6 +93,9 @@ trap 'rm -f "$FRESH" "$FRESH_INJ" "$FRESH_SERVE"' EXIT
 "$BUILD_DIR/bench/bench_sim_throughput" --json="$FRESH_INJ" \
   --min-seconds=0.5 --fault-injector
 "$BUILD_DIR/bench/bench_serve" --json="$FRESH_SERVE" --min-seconds=0.5
+# Exits non-zero if the canonical fleet scenario violates job conservation
+# (set -e aborts): an invariant break makes the perf numbers moot.
+"$BUILD_DIR/bench/bench_fleet" --json="$FRESH_FLEET" --min-seconds=0.5
 
 # The bench emits one result object per line:
 #   {"mode": "exact", "apps": 2, "epochs_per_sec": 12345.6},
@@ -160,6 +174,58 @@ check_serve_run() {  # check_serve_run FILE LABEL
 }
 
 check_serve_run "$FRESH_SERVE" "serve"
+
+# bench_fleet points: same one-object-per-line shape as bench_serve, but
+# point names carry digits (fleet_p99_slowdown), and the outcome points are
+# deterministic — gated on exact equality rather than a band.
+fleet_point_value() {  # fleet_point_value FILE POINT -> value (or empty)
+  grep "\"point\": \"$2\"" "$1" |
+    sed -n 's/.*"value": \(-\{0,1\}[0-9.]*\).*/\1/p'
+}
+
+check_fleet_run() {  # check_fleet_run FILE LABEL
+  local file="$1" label="$2"
+  while IFS= read -r line; do
+    point="$(printf '%s\n' "$line" |
+      sed -n 's/.*"point": "\([a-z0-9_]*\)".*/\1/p')"
+    base="$(printf '%s\n' "$line" |
+      sed -n 's/.*"value": \(-\{0,1\}[0-9.]*\).*/\1/p')"
+    [[ -n "$point" && -n "$base" ]] || continue
+    now="$(fleet_point_value "$file" "$point")"
+    if [[ -z "$now" ]]; then
+      echo "run_perf_smoke: FAIL [$label] point=$point missing from fresh run"
+      fail=1
+      continue
+    fi
+    if [[ "$point" == "fleet_node_ticks_per_sec" ]]; then
+      # Throughput: the usual one-sided regression band.
+      floor="$(awk -v b="$base" -v p="$REGRESSION_PCT" \
+        'BEGIN { printf "%.1f", b * (1 - p / 100) }')"
+      verdict="$(awk -v n="$now" -v f="$floor" 'BEGIN { print (n < f) }')"
+      if [[ "$verdict" == 1 ]]; then
+        echo "run_perf_smoke: FAIL [$label] point=$point" \
+          "value=$now < floor=$floor (baseline=$base)"
+        fail=1
+      else
+        echo "run_perf_smoke: ok   [$label] point=$point" \
+          "value=$now (baseline=$base, floor=$floor)"
+      fi
+    else
+      # Deterministic outcome: exact match, both directions.
+      if [[ "$now" != "$base" ]]; then
+        echo "run_perf_smoke: FAIL [$label] point=$point" \
+          "value=$now != baseline=$base (deterministic point drifted —" \
+          "behavior change, refresh the baseline deliberately)"
+        fail=1
+      else
+        echo "run_perf_smoke: ok   [$label] point=$point" \
+          "value=$now (exact match)"
+      fi
+    fi
+  done < <(grep '"point"' "$FLEET_BASELINE")
+}
+
+check_fleet_run "$FRESH_FLEET" "fleet"
 
 check_obs_overhead() {  # check_obs_overhead FILE LABEL
   local file="$1" label="$2" pct

@@ -18,6 +18,12 @@ cmake -B "$BUILD_DIR" -S . \
   -DCOPART_SANITIZE=thread
 
 TESTS=(
+  # The fleet controller ticks hundreds of nodes on the pool every epoch
+  # and scores migration candidates with a parallel what-if fan-out; the
+  # chaos suite additionally fans 200 whole fleet schedules out on the
+  # outer pool. Both must stay race-free and thread-count-invariant.
+  cluster_test
+  cluster_chaos_test
   common_parallel_test
   common_rng_test
   core_chaos_property_test
