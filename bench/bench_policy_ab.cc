@@ -1,0 +1,63 @@
+// Partition-policy A/B comparison (DESIGN.md §14): every registered policy
+// — per-app CoPart plus the clustered LFOC / LFOC+ / CBP rivals — over the
+// paper's seven mix families and the many-apps consolidation that per-app
+// CoPart structurally cannot cover. Prints the unfairness / throughput /
+// SLO-violation table with the many-apps verdict line, and optionally
+// writes the full-precision JSON document (the same serialization pinned
+// by tests/harness_policy_ab_golden_test.cc).
+//
+// Flags:
+//   --json=PATH     also write the %.17g JSON document
+//   --many=N        app count of the many-apps scenario (default 48)
+//   --apps=N        apps per paper mix (default 6)
+//   --duration=S    simulated seconds per cell (default 50)
+//   --threads=N     sweep threads (default 0 = hardware concurrency)
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "common/parallel.h"
+#include "harness/policy_ab.h"
+
+int main(int argc, char** argv) {
+  copart::PolicyAbConfig config;
+  std::string json_path;
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strncmp(arg, "--json=", 7) == 0) {
+      json_path = arg + 7;
+    } else if (std::strncmp(arg, "--many=", 7) == 0) {
+      config.many_apps = static_cast<size_t>(std::atoi(arg + 7));
+    } else if (std::strncmp(arg, "--apps=", 7) == 0) {
+      config.paper_mix_app_count = static_cast<size_t>(std::atoi(arg + 7));
+    } else if (std::strncmp(arg, "--duration=", 11) == 0) {
+      config.duration_sec = std::atof(arg + 11);
+    } else if (std::strncmp(arg, "--threads=", 10) == 0) {
+      config.parallel.num_threads =
+          static_cast<size_t>(std::atoi(arg + 10));
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--json=PATH] [--many=N] [--apps=N] "
+                   "[--duration=S] [--threads=N]\n",
+                   argv[0]);
+      return 2;
+    }
+  }
+
+  const copart::PolicyAbResult result = copart::RunPolicyAb(config);
+  copart::PrintPolicyAbTable(result);
+  std::printf("sweep: %s\n", result.stats.Summary().c_str());
+  if (!json_path.empty()) {
+    std::FILE* out = std::fopen(json_path.c_str(), "w");
+    if (out == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
+      return 1;
+    }
+    const std::string json = copart::PolicyAbToJson(result);
+    std::fwrite(json.data(), 1, json.size(), out);
+    std::fclose(out);
+    std::printf("policy_ab: wrote %s\n", json_path.c_str());
+  }
+  return 0;
+}

@@ -107,7 +107,8 @@ double MeasureEpochsPerSec(MrcMode mode, size_t num_apps, double min_seconds,
 double MeasureManagedEpochsPerSec(size_t num_apps, double min_seconds,
                                   Observability* obs,
                                   const PmcSensingParams* sensing,
-                                  bool incremental) {
+                                  bool incremental,
+                                  const char* policy = nullptr) {
   MachineConfig config;
   config.ips_noise_sigma = 0.0;
   config.mrc_mode = MrcMode::kCompiled;
@@ -118,7 +119,11 @@ double MeasureManagedEpochsPerSec(size_t num_apps, double min_seconds,
   if (sensing != nullptr) {
     monitor.ConfigureSensing(*sensing);
   }
-  ResourceManager manager(&resctrl, &monitor, {});
+  ResourceManagerParams params;
+  if (policy != nullptr) {
+    params.partition_policy = policy;
+  }
+  ResourceManager manager(&resctrl, &monitor, params);
   manager.SetObservability(obs);
   const std::vector<WorkloadDescriptor> registry = AllTable2Benchmarks();
   for (size_t i = 0; i < num_apps; ++i) {
@@ -580,6 +585,21 @@ int Run(const std::string& json_path, double min_seconds,
       "sim_throughput: mode=managed_full_solve apps=%zu "
       "epochs_per_sec=%.0f\n",
       managed_apps, full_solve_eps);
+
+  // The clustered-policy control loop (LFOC+ driving shared-CLOS slots
+  // through the same transactional actuation path). Gated like every other
+  // managed point: the pluggable-policy dispatch and the cluster slot
+  // bookkeeping must not tax the tick.
+  double clustered_eps = 0.0;
+  for (int round = 0; round < 3; ++round) {
+    clustered_eps = std::max(
+        clustered_eps,
+        MeasureManagedEpochsPerSec(managed_apps, min_seconds, nullptr,
+                                   nullptr, /*incremental=*/true, "lfoc+"));
+  }
+  std::printf(
+      "sim_throughput: mode=managed_clustered apps=%zu epochs_per_sec=%.0f\n",
+      managed_apps, clustered_eps);
   std::printf(
       "sim_throughput: managed_obs_disabled epochs_per_sec=%.0f "
       "overhead_pct=%.2f\n",
@@ -648,6 +668,7 @@ int Run(const std::string& json_path, double min_seconds,
   }
   result_point("managed", managed_apps, managed_eps);
   result_point("managed_incremental", managed_apps, incremental_eps);
+  result_point("managed_clustered", managed_apps, clustered_eps);
   result_point("managed_full_solve", managed_apps, full_solve_eps);
   result_point("managed_sensing", managed_apps, sensing_eps);
   result_point("managed_sensing_noisy", managed_apps, noisy_eps);

@@ -1,0 +1,39 @@
+#include "core/cbp_policy.h"
+
+namespace copart {
+
+CbpPolicy::CbpPolicy(const ResourceManagerParams& params)
+    : LfocPolicy(params, /*plus=*/true) {}
+
+void CbpPolicy::OnAppAdded() {
+  LfocPolicy::OnAppAdded();
+  throttled_.push_back(false);
+}
+
+void CbpPolicy::OnAppRemoved(size_t index) {
+  LfocPolicy::OnAppRemoved(index);
+  throttled_.erase(throttled_.begin() + static_cast<ptrdiff_t>(index));
+}
+
+PartitionDecision CbpPolicy::Allocate(
+    const SystemState& current, const std::vector<PolicySignals>& signals,
+    Rng& rng) {
+  PartitionDecision decision = LfocPolicy::Allocate(current, signals, rng);
+  decision.prefetch_percent.resize(throttled_.size());
+  for (size_t i = 0; i < throttled_.size(); ++i) {
+    if (!throttled_[i]) {
+      if (classes_[i] == AppClass::kStreaming &&
+          traffic_ratios_[i] >= params_.classifier.traffic_ratio_high) {
+        throttled_[i] = true;
+      }
+    } else if (classes_[i] != AppClass::kStreaming ||
+               traffic_ratios_[i] < params_.cbp.release_traffic_ratio) {
+      throttled_[i] = false;
+    }
+    decision.prefetch_percent[i] =
+        throttled_[i] ? params_.cbp.throttled_prefetch_percent : 100u;
+  }
+  return decision;
+}
+
+}  // namespace copart

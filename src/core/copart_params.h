@@ -7,6 +7,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <string>
 #include <vector>
 
 namespace copart {
@@ -136,8 +137,59 @@ struct TrendBackoffParams {
   int backoff_periods = 10;
 };
 
+// LFOC / LFOC+ clustering policy (core/lfoc_policy.h; arxiv 2402.07578 and
+// its LFOC+ refinement 2402.07693). Apps are classified light / streaming /
+// sensitive each period and packed into *shared* CLOSes — one light
+// cluster, one streaming cluster, and one or more sensitive clusters — so
+// the policy scales past the hardware CLOS limit that per-app CoPart hits.
+struct LfocParams {
+  // Ways pinned to the light cluster (apps that cannot use cache anyway)
+  // and to the streaming cluster (apps that thrash it), when non-empty.
+  uint32_t light_ways = 1;
+  uint32_t streaming_ways = 1;
+
+  // MBA ceiling for the streaming cluster: bandwidth hogs are throttled so
+  // the sensitive clusters' misses see an uncongested controller.
+  uint32_t streaming_mba_percent = 40;
+
+  // LFOC+ cluster resizing (only with the "lfoc+" policy): when the
+  // max-min slowdown spread inside the sensitive class exceeds
+  // split_spread, one more sensitive cluster is opened (isolating the
+  // most-slowed apps); when it falls below merge_spread, clusters merge
+  // back. resize_cooldown_periods must elapse between resizes.
+  double split_spread = 0.15;
+  double merge_spread = 0.05;
+  int resize_cooldown_periods = 4;
+};
+
+// CBP-style prefetch coordination (core/cbp_policy.h; arxiv 2102.11528):
+// LFOC clustering plus a third actuator — streaming apps get their
+// prefetcher throttled, trading their (speculatively inflated) bandwidth
+// demand for a longer per-miss stall, which relieves the memory controller
+// for everyone else. Hysteresis: the throttle engages at
+// ClassifierParams::traffic_ratio_high and releases only once the app's
+// traffic ratio falls below release_traffic_ratio.
+struct CbpParams {
+  uint32_t throttled_prefetch_percent = 40;
+  double release_traffic_ratio = 0.15;
+};
+
 struct ResourceManagerParams {
   ClassifierParams classifier;
+
+  // Which PartitionPolicy drives classification/allocation
+  // (core/partition_policy.h): "copart" (default; the paper's per-app
+  // controller), "lfoc", "lfoc+", or "cbp".
+  std::string partition_policy = "copart";
+
+  // CLOS budget the policy may use for its partition slots, on top of the
+  // default group (CLOS 0). Clustered policies must respect it; per-app
+  // CoPart is additionally bounded by one way per app.
+  uint32_t max_clos = 16;
+
+  // Clustering/prefetch rival policy knobs (unused by "copart").
+  LfocParams lfoc;
+  CbpParams cbp;
 
   // SLO-aware serving mode; disabled by default (pure batch fairness).
   SloParams slo;

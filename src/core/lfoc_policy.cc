@@ -1,0 +1,302 @@
+#include "core/lfoc_policy.h"
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+
+#include "common/logging.h"
+
+namespace copart {
+
+LfocPolicy::LfocPolicy(const ResourceManagerParams& params, bool plus)
+    : params_(params), plus_(plus) {}
+
+void LfocPolicy::OnAppAdded() {
+  // New apps start sensitive: they keep cache capacity until the signals
+  // show they are light or streaming (the conservative default — taking
+  // capacity away from a sensitive app hurts more than lending it to a
+  // light one).
+  classes_.push_back(AppClass::kSensitive);
+  pressure_.push_back(0.0);
+  traffic_ratios_.push_back(0.0);
+}
+
+void LfocPolicy::OnAppRemoved(size_t index) {
+  const ptrdiff_t i = static_cast<ptrdiff_t>(index);
+  classes_.erase(classes_.begin() + i);
+  pressure_.erase(pressure_.begin() + i);
+  traffic_ratios_.erase(traffic_ratios_.begin() + i);
+}
+
+PartitionDecision LfocPolicy::StartExploration(const ResourcePool& pool,
+                                               size_t num_apps) {
+  CHECK_EQ(num_apps, classes_.size());
+  num_sensitive_clusters_ = 1;
+  resize_cooldown_remaining_ = 0;
+  return FairShare(pool, num_apps);
+}
+
+PartitionDecision LfocPolicy::FairShare(const ResourcePool& pool,
+                                        size_t num_apps) const {
+  // One shared slot spanning the whole pool: no isolation, but also no way
+  // a broken substrate or a transient class flap can starve anyone.
+  SystemState state(pool, {AppAllocation{
+                              .llc_ways = pool.num_ways,
+                              .mba_level = MbaLevel::FromPercentChecked(
+                                  pool.max_mba_percent)}});
+  PartitionDecision decision;
+  decision.state = std::move(state);
+  decision.app_slot.assign(num_apps, 0u);
+  return decision;
+}
+
+void LfocPolicy::Classify(const std::vector<PolicySignals>& signals) {
+  CHECK_EQ(signals.size(), classes_.size());
+  for (size_t i = 0; i < signals.size(); ++i) {
+    const PolicySignals& s = signals[i];
+    if (s.quarantined) {
+      // Untrusted counters: keep the class, report no pressure.
+      pressure_[i] = 0.0;
+      continue;
+    }
+    if (!s.healthy) {
+      continue;  // Sticky: last trusted class and pressure stand.
+    }
+    if (s.llc_access_rate < params_.classifier.llc_access_rate_floor) {
+      classes_[i] = AppClass::kLight;
+    } else if (s.llc_miss_ratio >= params_.classifier.llc_miss_ratio_high &&
+               s.traffic_ratio >= params_.classifier.traffic_ratio_high) {
+      classes_[i] = AppClass::kStreaming;
+    } else {
+      classes_[i] = AppClass::kSensitive;
+    }
+    traffic_ratios_[i] = s.traffic_ratio;
+    // Miss pressure: how much miss traffic the app generates under its
+    // current allocation. The online gradient the clustering follows.
+    pressure_[i] = std::max(0.0, s.llc_access_rate * s.llc_miss_ratio);
+  }
+}
+
+PartitionDecision LfocPolicy::Allocate(
+    const SystemState& current, const std::vector<PolicySignals>& signals,
+    Rng& rng) {
+  (void)signals;  // Consumed by Classify.
+  (void)rng;      // Deterministic: LFOC never draws randomness.
+  const ResourcePool& pool = current.pool();
+  const size_t n = classes_.size();
+
+  std::vector<size_t> lights, streams, sens;
+  for (size_t i = 0; i < n; ++i) {
+    switch (classes_[i]) {
+      case AppClass::kLight:
+        lights.push_back(i);
+        break;
+      case AppClass::kStreaming:
+        streams.push_back(i);
+        break;
+      case AppClass::kSensitive:
+        sens.push_back(i);
+        break;
+    }
+  }
+
+  // LFOC+ resizing: watch the miss-pressure spread inside the sensitive
+  // class. A wide spread means one shared cluster is mixing starved apps
+  // with satisfied ones.
+  if (plus_ && !sens.empty()) {
+    if (resize_cooldown_remaining_ > 0) {
+      --resize_cooldown_remaining_;
+    } else {
+      double lo = std::numeric_limits<double>::infinity();
+      double hi = 0.0;
+      for (size_t i : sens) {
+        lo = std::min(lo, pressure_[i]);
+        hi = std::max(hi, pressure_[i]);
+      }
+      // lo == 0 with hi > 0 is maximal spread (a zero-pressure app shares
+      // a cluster with a missing one): treat as split-worthy.
+      const double spread = lo > 0.0 ? hi / lo - 1.0
+                            : hi > 0.0
+                                ? std::numeric_limits<double>::infinity()
+                                : 0.0;
+      if (spread > params_.lfoc.split_spread) {
+        ++num_sensitive_clusters_;
+        resize_cooldown_remaining_ = params_.lfoc.resize_cooldown_periods;
+      } else if (spread < params_.lfoc.merge_spread &&
+                 num_sensitive_clusters_ > 1) {
+        --num_sensitive_clusters_;
+        resize_cooldown_remaining_ = params_.lfoc.resize_cooldown_periods;
+      }
+    }
+  }
+
+  // Way budget. Pools too narrow for the class slots collapse to the single
+  // shared slot — safe, and only reachable on tiny configurations.
+  uint32_t light_ways =
+      lights.empty() ? 0 : std::max(params_.lfoc.light_ways, 1u);
+  uint32_t stream_ways =
+      streams.empty() ? 0 : std::max(params_.lfoc.streaming_ways, 1u);
+  const uint32_t sens_reserve = sens.empty() ? 0 : 1;
+  const uint32_t side_slots =
+      (lights.empty() ? 0u : 1u) + (streams.empty() ? 0u : 1u);
+  const uint32_t slot_budget = std::max(
+      1u, std::min(params_.max_clos > 0 ? params_.max_clos - 1 : 1u,
+                   pool.num_ways));
+  if (light_ways + stream_ways + sens_reserve > pool.num_ways ||
+      side_slots + sens_reserve > slot_budget) {
+    PartitionDecision fallback = FairShare(pool, n);
+    fallback.llc_classes.assign(n, ResourceClass::kMaintain);
+    fallback.mba_classes.assign(n, ResourceClass::kMaintain);
+    return fallback;
+  }
+  uint32_t rest_ways = pool.num_ways - light_ways - stream_ways;
+
+  // CLOS budget: one slot per cluster, all within max_clos minus the
+  // default group. The conformance suite pins that the decision never uses
+  // more slots than this.
+  uint32_t k = 0;
+  if (!sens.empty()) {
+    const uint32_t sens_budget =
+        slot_budget > side_slots ? slot_budget - side_slots : 1u;
+    k = std::min({static_cast<uint32_t>(num_sensitive_clusters_),
+                  static_cast<uint32_t>(sens.size()), rest_ways, sens_budget});
+    k = std::max(k, 1u);
+  } else if (!lights.empty()) {
+    light_ways += rest_ways;  // Nobody sensitive: hand the bulk to lights.
+    rest_ways = 0;
+  } else {
+    stream_ways += rest_ways;
+    rest_ways = 0;
+  }
+  num_sensitive_clusters_ = std::max(k, 1u);
+
+  // Sort sensitive apps highest-pressure first (index ascending on ties)
+  // and cut the order into k contiguous clusters of near-equal population;
+  // cluster 0 holds the most-starved apps.
+  std::vector<size_t> order = sens;
+  std::stable_sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    if (pressure_[a] != pressure_[b]) {
+      return pressure_[a] > pressure_[b];
+    }
+    return a < b;
+  });
+  std::vector<std::vector<size_t>> clusters(k);
+  for (size_t pos = 0; pos < order.size(); ++pos) {
+    clusters[pos * k / order.size()].push_back(order[pos]);
+  }
+
+  // Ways per sensitive cluster: one each, then the remainder proportional
+  // to the cluster's miss-pressure mass (largest remainder, ties to the
+  // lower cluster index — the more-starved one).
+  std::vector<uint32_t> cluster_ways(k, 0);
+  if (k > 0) {
+    for (uint32_t c = 0; c < k; ++c) {
+      cluster_ways[c] = 1;
+    }
+    uint32_t spare = rest_ways - k;
+    std::vector<double> weight(k, 0.0);
+    double total_weight = 0.0;
+    for (uint32_t c = 0; c < k; ++c) {
+      for (size_t i : clusters[c]) {
+        weight[c] += pressure_[i];
+      }
+      total_weight += weight[c];
+    }
+    if (total_weight <= 0.0) {
+      total_weight = static_cast<double>(k);
+      weight.assign(k, 1.0);
+    }
+    std::vector<double> fraction(k, 0.0);
+    uint32_t given = 0;
+    for (uint32_t c = 0; c < k; ++c) {
+      const double share = spare * weight[c] / total_weight;
+      const uint32_t base = static_cast<uint32_t>(share);
+      cluster_ways[c] += base;
+      given += base;
+      fraction[c] = share - base;
+    }
+    std::vector<uint32_t> by_fraction(k);
+    std::iota(by_fraction.begin(), by_fraction.end(), 0u);
+    std::stable_sort(by_fraction.begin(), by_fraction.end(),
+                     [&](uint32_t a, uint32_t b) {
+                       if (fraction[a] != fraction[b]) {
+                         return fraction[a] > fraction[b];
+                       }
+                       return a < b;
+                     });
+    for (uint32_t r = 0; given < spare; ++r) {
+      ++cluster_ways[by_fraction[r % k]];
+      ++given;
+    }
+  }
+
+  // Slot layout: sensitive clusters first, then the light slot, then the
+  // streaming slot. WayMaskBits packs slots left to right in this order.
+  const MbaLevel pool_mba = MbaLevel::FromPercentChecked(pool.max_mba_percent);
+  const uint32_t stream_mba_percent = std::max(
+      MbaLevel::kMin,
+      std::min(params_.lfoc.streaming_mba_percent / MbaLevel::kStep *
+                   MbaLevel::kStep,
+               pool.max_mba_percent));
+  std::vector<AppAllocation> slots;
+  PartitionDecision decision;
+  decision.app_slot.assign(n, 0u);
+  for (uint32_t c = 0; c < k; ++c) {
+    for (size_t i : clusters[c]) {
+      decision.app_slot[i] = static_cast<uint32_t>(slots.size());
+    }
+    slots.push_back(
+        AppAllocation{.llc_ways = cluster_ways[c], .mba_level = pool_mba});
+  }
+  if (!lights.empty()) {
+    for (size_t i : lights) {
+      decision.app_slot[i] = static_cast<uint32_t>(slots.size());
+    }
+    slots.push_back(
+        AppAllocation{.llc_ways = light_ways, .mba_level = pool_mba});
+  }
+  if (!streams.empty()) {
+    for (size_t i : streams) {
+      decision.app_slot[i] = static_cast<uint32_t>(slots.size());
+    }
+    slots.push_back(AppAllocation{
+        .llc_ways = stream_ways,
+        .mba_level = MbaLevel::FromPercentChecked(stream_mba_percent)});
+  }
+  decision.state = SystemState(pool, std::move(slots));
+
+  // Telemetry classes: sensitive apps demand cache; streaming apps demand
+  // bandwidth but supply cache; light apps supply both.
+  decision.llc_classes.resize(n);
+  decision.mba_classes.resize(n);
+  for (size_t i = 0; i < n; ++i) {
+    decision.llc_classes[i] = classes_[i] == AppClass::kSensitive
+                                  ? ResourceClass::kDemand
+                                  : ResourceClass::kSupply;
+    decision.mba_classes[i] = classes_[i] == AppClass::kStreaming
+                                  ? ResourceClass::kDemand
+                              : classes_[i] == AppClass::kLight
+                                  ? ResourceClass::kSupply
+                                  : ResourceClass::kMaintain;
+  }
+  return decision;
+}
+
+ResourceClass LfocPolicy::LlcClassOf(size_t app) const {
+  return classes_[app] == AppClass::kSensitive ? ResourceClass::kDemand
+                                               : ResourceClass::kSupply;
+}
+
+ResourceClass LfocPolicy::MbaClassOf(size_t app) const {
+  switch (classes_[app]) {
+    case AppClass::kStreaming:
+      return ResourceClass::kDemand;
+    case AppClass::kLight:
+      return ResourceClass::kSupply;
+    case AppClass::kSensitive:
+      break;
+  }
+  return ResourceClass::kMaintain;
+}
+
+}  // namespace copart

@@ -1,0 +1,83 @@
+// LFOC-style cache clustering as a PartitionPolicy.
+//
+// LFOC ("Lightweight Fairness-Oriented Cache clustering") classifies each
+// app as *light* (too few LLC accesses to benefit from capacity),
+// *streaming* (high miss ratio plus high memory traffic: thrashes any
+// capacity it gets), or *sensitive* (benefits from cache), then packs the
+// classes into SHARED CLOSes: one light cluster on a sliver of ways, one
+// MBA-throttled streaming cluster, and the sensitive apps across one or
+// more clusters holding the bulk of the pool. Because apps share CLOSes,
+// the policy scales to many more apps than the hardware CLOS count — the
+// regime where per-app CoPart stops admitting (one CLOS and one way per
+// app).
+//
+// The LFOC+ refinement ("lfoc+") resizes the sensitive-cluster count
+// online: when the max/min miss-pressure spread inside the sensitive class
+// exceeds LfocParams::split_spread, another cluster is opened so the
+// most-starved apps get isolated capacity; when the spread collapses below
+// merge_spread, clusters merge back to free CLOSes. Plain "lfoc" keeps a
+// single sensitive cluster.
+//
+// No profiling probes and no RNG: the clustering signal is each app's
+// *miss pressure* — LLC accesses/sec x miss ratio, i.e. the miss traffic it
+// generates under its current allocation. Unlike a peak-IPS slowdown proxy
+// (which is flat when every observation happens under the same contended
+// allocation), miss pressure separates a starved cache-sensitive app from a
+// satisfied one using nothing but the online PMCs, so splitting and
+// way-weighting have a real gradient to follow. Every clustering decision
+// is a deterministic function of the signal history.
+#ifndef COPART_CORE_LFOC_POLICY_H_
+#define COPART_CORE_LFOC_POLICY_H_
+
+#include <string>
+#include <vector>
+
+#include "core/partition_policy.h"
+
+namespace copart {
+
+class LfocPolicy : public PartitionPolicy {
+ public:
+  LfocPolicy(const ResourceManagerParams& params, bool plus);
+
+  std::string name() const override { return plus_ ? "lfoc+" : "lfoc"; }
+  bool per_app_groups() const override { return false; }
+  bool needs_profiling() const override { return false; }
+  bool restore_best_state() const override { return false; }
+
+  void OnAppAdded() override;
+  void OnAppRemoved(size_t index) override;
+
+  PartitionDecision StartExploration(const ResourcePool& pool,
+                                     size_t num_apps) override;
+  PartitionDecision FairShare(const ResourcePool& pool,
+                              size_t num_apps) const override;
+
+  void Classify(const std::vector<PolicySignals>& signals) override;
+  PartitionDecision Allocate(const SystemState& current,
+                             const std::vector<PolicySignals>& signals,
+                             Rng& rng) override;
+
+  ResourceClass LlcClassOf(size_t app) const override;
+  ResourceClass MbaClassOf(size_t app) const override;
+
+ protected:
+  enum class AppClass { kLight, kStreaming, kSensitive };
+
+  ResourceManagerParams params_;
+  bool plus_;
+  // Per-app state, index-parallel with the driver's apps_. Classes are
+  // sticky across unhealthy/quarantined periods.
+  std::vector<AppClass> classes_;
+  // Last healthy miss pressure: llc_access_rate x llc_miss_ratio.
+  std::vector<double> pressure_;
+  // Last healthy memory-traffic ratio (CbpPolicy's hysteresis input).
+  std::vector<double> traffic_ratios_;
+  // LFOC+ sensitive-cluster sizing.
+  uint32_t num_sensitive_clusters_ = 1;
+  int resize_cooldown_remaining_ = 0;
+};
+
+}  // namespace copart
+
+#endif  // COPART_CORE_LFOC_POLICY_H_

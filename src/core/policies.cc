@@ -32,6 +32,48 @@ void StaticStatePolicy::Start() {
   }
 }
 
+void StaticStatePolicy::Tick() {
+  const SimulatedMachine& machine = resctrl_->machine();
+  for (size_t i = 0; i < apps_.size(); ++i) {
+    // An app the machine no longer knows (terminated mid-run) has nothing
+    // to verify.
+    if (!machine.AppExists(apps_[i])) {
+      continue;
+    }
+    const uint32_t clos = machine.AppClos(apps_[i]);
+    const uint32_t group_clos = groups_[i].clos();
+    const bool assignment_ok = clos == group_clos;
+    const bool mask_ok =
+        machine.ClosWayMask(group_clos).bits() == state_.WayMaskBits(i);
+    const bool mba_ok = machine.ClosMbaLevel(group_clos) ==
+                        state_.allocation(i).mba_level;
+    if (assignment_ok && mask_ok && mba_ok) {
+      continue;
+    }
+    ++drifts_detected_;
+    // Best-effort re-apply: the same fault window that rolled the state
+    // back may still be open, so a failed repair is retried next tick
+    // rather than escalated.
+    bool repaired = true;
+    if (!assignment_ok) {
+      repaired &= resctrl_->AssignApp(groups_[i], apps_[i]).ok();
+    }
+    if (!mask_ok) {
+      repaired &=
+          resctrl_->SetCacheMask(groups_[i], state_.WayMaskBits(i)).ok();
+    }
+    if (!mba_ok) {
+      repaired &= resctrl_
+                      ->SetMbaPercent(groups_[i],
+                                      state_.allocation(i).mba_level.percent())
+                      .ok();
+    }
+    if (repaired) {
+      ++drifts_repaired_;
+    }
+  }
+}
+
 std::unique_ptr<ConsolidationPolicy> MakeEqualPolicy(
     Resctrl* resctrl, std::vector<AppId> apps, const ResourcePool& pool) {
   SystemState state = SystemState::EqualShareThrottled(pool, apps.size());
@@ -56,6 +98,38 @@ void NoPartitionPolicy::Start() {
   for (AppId app : apps_) {
     Status status = resctrl_->AssignApp(resctrl_->DefaultGroup(), app);
     CHECK(status.ok()) << status.ToString();
+  }
+}
+
+ManagedPartitionPolicy::ManagedPartitionPolicy(Resctrl* resctrl,
+                                               PerfMonitor* monitor,
+                                               std::vector<AppId> apps,
+                                               const ResourcePool& pool,
+                                               ResourceManagerParams params)
+    : apps_(std::move(apps)),
+      pool_(pool),
+      policy_name_(params.partition_policy.empty() ? "copart"
+                                                   : params.partition_policy) {
+  manager_ = std::make_unique<ResourceManager>(resctrl, monitor, params);
+}
+
+std::string ManagedPartitionPolicy::name() const { return policy_name_; }
+
+void ManagedPartitionPolicy::Start() {
+  manager_->SetResourcePool(pool_);
+  unmanaged_apps_ = 0;
+  for (AppId app : apps_) {
+    if (!manager_->AddApp(app).ok()) {
+      // Rejected (way/CLOS budget exhausted): the app keeps running in the
+      // default group, unpartitioned.
+      ++unmanaged_apps_;
+    }
+  }
+}
+
+void ManagedPartitionPolicy::Tick() {
+  if (manager_->NumApps() > 0) {
+    manager_->Tick();
   }
 }
 

@@ -37,7 +37,11 @@ class ConsolidationPolicy {
   virtual void Tick() = 0;
 };
 
-// Applies a fixed SystemState once; used for EQ and ST.
+// Applies a fixed SystemState once; used for EQ and ST. Tick() re-verifies
+// the actuated masks/levels/assignments against the machine and re-applies
+// any that drifted (a resctrl fault can fail or roll back a write after
+// Start() has returned — a static policy that never looks again would run
+// the rest of the experiment on the wrong partitioning).
 class StaticStatePolicy : public ConsolidationPolicy {
  public:
   StaticStatePolicy(Resctrl* resctrl, std::vector<AppId> apps,
@@ -45,7 +49,11 @@ class StaticStatePolicy : public ConsolidationPolicy {
 
   std::string name() const override { return name_; }
   void Start() override;
-  void Tick() override {}
+  void Tick() override;
+
+  // Tick() readback mismatches seen / successfully repaired, cumulative.
+  uint64_t drifts_detected() const { return drifts_detected_; }
+  uint64_t drifts_repaired() const { return drifts_repaired_; }
 
  private:
   Resctrl* resctrl_;
@@ -53,6 +61,8 @@ class StaticStatePolicy : public ConsolidationPolicy {
   std::vector<ResctrlGroupId> groups_;
   SystemState state_;
   std::string name_;
+  uint64_t drifts_detected_ = 0;
+  uint64_t drifts_repaired_ = 0;
 };
 
 // Builds the EQ baseline: equal ways, MBA level ~= pool_ceiling / num_apps.
@@ -75,6 +85,34 @@ class NoPartitionPolicy : public ConsolidationPolicy {
  private:
   Resctrl* resctrl_;
   std::vector<AppId> apps_;
+};
+
+// Drives a ResourceManager configured with a named partition policy
+// (core/partition_policy.h registry: "copart", "lfoc", "lfoc+", "cbp").
+// Unlike CoPartPolicy, AddApp failures are tolerated: per-app CoPart
+// refuses apps beyond its way/CLOS budget, and this wrapper leaves those
+// apps unmanaged in the default group (full mask, MBA 100) and counts
+// them — exactly what a consolidation daemon at the CLOS wall would do.
+// The A/B harness (harness/policy_ab.h) reports that count per cell.
+class ManagedPartitionPolicy : public ConsolidationPolicy {
+ public:
+  ManagedPartitionPolicy(Resctrl* resctrl, PerfMonitor* monitor,
+                         std::vector<AppId> apps, const ResourcePool& pool,
+                         ResourceManagerParams params);
+
+  std::string name() const override;
+  void Start() override;
+  void Tick() override;
+
+  ResourceManager& manager() { return *manager_; }
+  size_t unmanaged_apps() const { return unmanaged_apps_; }
+
+ private:
+  std::vector<AppId> apps_;
+  ResourcePool pool_;
+  std::string policy_name_;
+  size_t unmanaged_apps_ = 0;
+  std::unique_ptr<ResourceManager> manager_;
 };
 
 // CoPart and its single-resource ablations, wrapping ResourceManager.

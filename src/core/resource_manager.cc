@@ -35,6 +35,7 @@ ResourceManager::ResourceManager(Resctrl* resctrl, PerfMonitor* monitor,
                rng_.Fork(kBackoffStream)) {
   CHECK_NE(resctrl, nullptr);
   CHECK_NE(monitor, nullptr);
+  policy_ = MakePartitionPolicy(params_.partition_policy, params_);
   pool_ = ResourcePool{
       .first_way = 0,
       .num_ways = resctrl_->machine().config().llc.num_ways,
@@ -83,33 +84,43 @@ Status ResourceManager::AddApp(AppId app) {
       return AlreadyExistsError("app already managed");
     }
   }
-  if (apps_.size() + 1 > pool_.num_ways) {
-    // CAT needs at least one way per app; admission control, not a crash.
-    return ResourceExhaustedError(
-        "resource pool has fewer ways than managed apps");
-  }
-  Result<ResctrlGroupId> group =
-      resctrl_->CreateGroup("copart_app_" + std::to_string(app.value()));
-  if (!group.ok()) {
-    return group.status();
-  }
-  Status assigned = resctrl_->AssignApp(*group, app);
-  if (!assigned.ok()) {
-    // Undo the half-finished admission; a failed removal leaves a zombie
-    // group that the tick loop keeps retrying.
-    Status removed = resctrl_->RemoveGroup(*group);
-    if (!removed.ok()) {
-      zombie_groups_.push_back(*group);
+  ResctrlGroupId app_group;
+  if (policy_->per_app_groups()) {
+    if (apps_.size() + 1 > pool_.num_ways) {
+      // CAT needs at least one way per app; admission control, not a crash.
+      return ResourceExhaustedError(
+          "resource pool has fewer ways than managed apps");
     }
-    return assigned;
+    Result<ResctrlGroupId> group =
+        resctrl_->CreateGroup("copart_app_" + std::to_string(app.value()));
+    if (!group.ok()) {
+      return group.status();
+    }
+    Status assigned = resctrl_->AssignApp(*group, app);
+    if (!assigned.ok()) {
+      // Undo the half-finished admission; a failed removal leaves a zombie
+      // group that the tick loop keeps retrying.
+      Status removed = resctrl_->RemoveGroup(*group);
+      if (!removed.ok()) {
+        zombie_groups_.push_back(*group);
+      }
+      return assigned;
+    }
+    app_group = *group;
+  } else {
+    // Clustering policies share CLOSes, so admission is not bounded by the
+    // way count. Park the newcomer in the default group; the next decision
+    // binds it to its cluster slot.
+    Status assigned = resctrl_->AssignApp(resctrl_->DefaultGroup(), app);
+    if (!assigned.ok()) {
+      return assigned;
+    }
+    app_group = resctrl_->DefaultGroup();
   }
   monitor_->Attach(app);
 
-  ManagedApp managed{.id = app,
-                     .group = *group,
-                     .llc_fsm = LlcClassifierFsm(params_.classifier),
-                     .mba_fsm = MbaClassifierFsm(params_.classifier)};
-  apps_.push_back(std::move(managed));
+  apps_.push_back(ManagedApp{.id = app, .group = app_group});
+  policy_->OnAppAdded();
   last_seen_generation_ = resctrl_->machine().app_generation();
   if (phase_ != Phase::kDegraded) {
     StartAdaptation();
@@ -117,7 +128,7 @@ Status ResourceManager::AddApp(AppId app) {
     // In the degraded phase the next fair-share apply covers the newcomer;
     // adaptation restarts only after the substrate recovers. Keep state_
     // sized to the live app set in the meantime.
-    state_ = InitialState();
+    AdoptDecision(policy_->FairShare(pool_, apps_.size()));
   }
   return Status::Ok();
 }
@@ -126,11 +137,19 @@ Status ResourceManager::RemoveApp(AppId app) {
   for (size_t i = 0; i < apps_.size(); ++i) {
     if (apps_[i].id == app) {
       monitor_->Detach(app);
-      Status status = resctrl_->RemoveGroup(apps_[i].group);
-      if (!status.ok()) {
-        zombie_groups_.push_back(apps_[i].group);
+      if (policy_->per_app_groups()) {
+        Status status = resctrl_->RemoveGroup(apps_[i].group);
+        if (!status.ok()) {
+          zombie_groups_.push_back(apps_[i].group);
+        }
+      } else if (resctrl_->machine().AppExists(app)) {
+        // Shared cluster group: evict the app so a departed tenant never
+        // lingers in a cluster's CLOS (best effort — a failed write leaves
+        // it in the default-bound state the next decision would set anyway).
+        (void)resctrl_->AssignApp(resctrl_->DefaultGroup(), app);
       }
       apps_.erase(apps_.begin() + static_cast<ptrdiff_t>(i));
+      policy_->OnAppRemoved(i);
       last_seen_generation_ = resctrl_->machine().app_generation();
       pending_plan_.reset();  // Plans index the old app set.
       if (apps_.empty()) {
@@ -138,7 +157,7 @@ Status ResourceManager::RemoveApp(AppId app) {
       } else if (phase_ != Phase::kDegraded) {
         StartAdaptation();
       } else {
-        state_ = InitialState();
+        AdoptDecision(policy_->FairShare(pool_, apps_.size()));
       }
       return Status::Ok();
     }
@@ -401,11 +420,11 @@ bool ResourceManager::Quarantined(AppId app) const {
 }
 
 ResourceClass ResourceManager::LlcClass(AppId app) const {
-  return apps_[AppIndex(app)].llc_fsm.state();
+  return policy_->LlcClassOf(AppIndex(app));
 }
 
 ResourceClass ResourceManager::MbaClass(AppId app) const {
-  return apps_[AppIndex(app)].mba_fsm.state();
+  return policy_->MbaClassOf(AppIndex(app));
 }
 
 // --- Unfairness-trend governor ---
@@ -471,6 +490,86 @@ ResourceManager::ActuationPlan ResourceManager::PlanForState(
   return plan;
 }
 
+void ResourceManager::AdoptDecision(const PartitionDecision& decision) {
+  state_ = decision.state;
+  app_slot_ = decision.app_slot;
+}
+
+Status ResourceManager::EnsureSlotGroups(size_t count) {
+  while (slot_groups_.size() < count) {
+    Result<ResctrlGroupId> group = resctrl_->CreateGroup(
+        "copart_cluster_" + std::to_string(slot_groups_.size()));
+    if (!group.ok()) {
+      return group.status();
+    }
+    slot_groups_.push_back(*group);
+  }
+  return Status::Ok();
+}
+
+ResourceManager::ActuationPlan ResourceManager::PlanForDecision(
+    const PartitionDecision& decision) const {
+  ActuationPlan plan;
+  if (policy_->per_app_groups()) {
+    plan = PlanForState(decision.state);
+  } else {
+    CHECK(decision.state.Valid());
+    CHECK_EQ(decision.app_slot.size(), apps_.size());
+    CHECK_LE(decision.state.NumApps(), slot_groups_.size());
+    plan.entries.reserve(decision.state.NumApps());
+    for (size_t k = 0; k < decision.state.NumApps(); ++k) {
+      plan.entries.push_back(ActuationPlan::Entry{
+          .group = slot_groups_[k],
+          .mask_bits = decision.state.WayMaskBits(k),
+          .mba_percent = decision.state.allocation(k).mba_level.percent(),
+          .app_index = -1,
+          .app_id = -1});
+    }
+    const SimulatedMachine& machine = resctrl_->machine();
+    for (size_t i = 0; i < apps_.size(); ++i) {
+      const ResctrlGroupId target = slot_groups_[decision.app_slot[i]];
+      if (machine.AppClos(apps_[i].id) != target.clos()) {
+        plan.assignments.push_back(ActuationPlan::Assignment{
+            .group = target, .app = apps_[i].id, .app_index = i});
+      }
+    }
+  }
+  if (!decision.prefetch_percent.empty()) {
+    CHECK_EQ(decision.prefetch_percent.size(), apps_.size());
+    const SimulatedMachine& machine = resctrl_->machine();
+    for (size_t i = 0; i < apps_.size(); ++i) {
+      if (machine.AppPrefetchPercent(apps_[i].id) !=
+          decision.prefetch_percent[i]) {
+        plan.prefetch.push_back(ActuationPlan::PrefetchEntry{
+            .app = apps_[i].id,
+            .app_index = i,
+            .percent = decision.prefetch_percent[i]});
+      }
+    }
+  }
+  return plan;
+}
+
+bool ResourceManager::ActuateDecision(const PartitionDecision& decision) {
+  if (!policy_->per_app_groups()) {
+    Status groups = EnsureSlotGroups(decision.state.NumApps());
+    if (!groups.ok()) {
+      // Group creation failed before any schemata write: count it as an
+      // actuation failure (it gates the same degraded-mode policy) but
+      // schedule no retry plan — the next decision re-attempts creation.
+      ++actuation_attempts_;
+      ++actuation_failures_;
+      ++consecutive_actuation_failures_;
+      if (consecutive_actuation_failures_ >=
+          params_.actuation.max_consecutive_failures) {
+        EnterDegraded();
+      }
+      return false;
+    }
+  }
+  return Actuate(PlanForDecision(decision));
+}
+
 ResourceManager::ActuationPlan ResourceManager::PlanForProbe() const {
   // The probed app gets the probe allocation; every co-runner is squeezed
   // to minimal resources (one shared way at the top of the pool, MBA floor)
@@ -531,6 +630,14 @@ Status ResourceManager::ApplyPlanTransactional(const ActuationPlan& plan) {
     before[i] = Snapshot{machine.ClosWayMask(clos).bits(),
                          machine.ClosMbaLevel(clos).percent()};
   }
+  std::vector<uint32_t> before_clos(plan.assignments.size());
+  for (size_t i = 0; i < plan.assignments.size(); ++i) {
+    before_clos[i] = machine.AppClos(plan.assignments[i].app);
+  }
+  std::vector<uint32_t> before_prefetch(plan.prefetch.size());
+  for (size_t i = 0; i < plan.prefetch.size(); ++i) {
+    before_prefetch[i] = machine.AppPrefetchPercent(plan.prefetch[i].app);
+  }
 
   Status failure = Status::Ok();
   size_t applied = 0;
@@ -545,20 +652,66 @@ Status ResourceManager::ApplyPlanTransactional(const ActuationPlan& plan) {
       break;
     }
   }
+  size_t assigned = 0;
+  if (failure.ok()) {
+    for (; assigned < plan.assignments.size(); ++assigned) {
+      const ActuationPlan::Assignment& assignment = plan.assignments[assigned];
+      Status status = resctrl_->AssignApp(assignment.group, assignment.app);
+      if (!status.ok()) {
+        failure = status;
+        break;
+      }
+    }
+  }
+  size_t prefetched = 0;
+  if (failure.ok()) {
+    for (; prefetched < plan.prefetch.size(); ++prefetched) {
+      const ActuationPlan::PrefetchEntry& entry = plan.prefetch[prefetched];
+      Status status = resctrl_->SetAppPrefetch(entry.app, entry.percent);
+      if (!status.ok()) {
+        failure = status;
+        break;
+      }
+    }
+  }
 
   if (failure.ok()) {
     // Verify by readback: a write can report success without taking effect
     // (silent drop); only comparing the machine's actual registers against
-    // the plan catches it.
+    // the plan catches it. A mismatch anywhere rolls back every phase.
     for (const ActuationPlan::Entry& entry : plan.entries) {
       const uint32_t clos = entry.group.clos();
       if (machine.ClosWayMask(clos).bits() != entry.mask_bits ||
           machine.ClosMbaLevel(clos).percent() != entry.mba_percent) {
         failure = UnavailableError("verify-readback mismatch on CLOS " +
                                    std::to_string(clos));
-        applied = plan.entries.size();
         break;
       }
+    }
+    if (failure.ok()) {
+      for (const ActuationPlan::Assignment& assignment : plan.assignments) {
+        if (machine.AppClos(assignment.app) != assignment.group.clos()) {
+          failure = UnavailableError(
+              "verify-readback mismatch on app binding, CLOS " +
+              std::to_string(assignment.group.clos()));
+          break;
+        }
+      }
+    }
+    if (failure.ok()) {
+      for (const ActuationPlan::PrefetchEntry& entry : plan.prefetch) {
+        if (machine.AppPrefetchPercent(entry.app) != entry.percent) {
+          failure = UnavailableError(
+              "verify-readback mismatch on prefetch MSR, app " +
+              std::to_string(entry.app.value()));
+          break;
+        }
+      }
+    }
+    if (!failure.ok()) {
+      applied = plan.entries.size();
+      assigned = plan.assignments.size();
+      prefetched = plan.prefetch.size();
     }
   }
   if (failure.ok()) {
@@ -586,7 +739,7 @@ Status ResourceManager::ApplyPlanTransactional(const ActuationPlan& plan) {
         if (entry.app_index >= 0 &&
             static_cast<size_t>(entry.app_index) < apps_.size()) {
           record.llc_class = ResourceClassName(
-              apps_[static_cast<size_t>(entry.app_index)].llc_fsm.state());
+              policy_->LlcClassOf(static_cast<size_t>(entry.app_index)));
           record.quarantined =
               apps_[static_cast<size_t>(entry.app_index)].quarantined;
         }
@@ -613,6 +766,17 @@ Status ResourceManager::ApplyPlanTransactional(const ActuationPlan& plan) {
     const ActuationPlan::Entry& entry = plan.entries[i];
     (void)resctrl_->SetCacheMask(entry.group, before[i].mask_bits);
     (void)resctrl_->SetMbaPercent(entry.group, before[i].mba_percent);
+  }
+  const size_t touched_assignments =
+      std::min(assigned + 1, plan.assignments.size());
+  for (size_t i = 0; i < touched_assignments; ++i) {
+    (void)resctrl_->AssignApp(ResctrlGroupId(before_clos[i]),
+                              plan.assignments[i].app);
+  }
+  const size_t touched_prefetch =
+      std::min(prefetched + 1, plan.prefetch.size());
+  for (size_t i = 0; i < touched_prefetch; ++i) {
+    (void)resctrl_->SetAppPrefetch(plan.prefetch[i].app, before_prefetch[i]);
   }
   if (AuditLog* audit = ObsAudit(obs_)) {
     AuditRecord record;
@@ -734,16 +898,23 @@ ResourceManager::SampleOutcome ResourceManager::SampleApp(ManagedApp& app) {
 
 void ResourceManager::StartAdaptation() {
   CHECK(!apps_.empty());
-  CHECK_GE(pool_.num_ways, apps_.size()) << "more apps than pool ways";
+  if (policy_->per_app_groups()) {
+    CHECK_GE(pool_.num_ways, apps_.size()) << "more apps than pool ways";
+  }
   ++adaptations_started_;
-  phase_ = Phase::kProfiling;
-  profile_app_ = 0;
-  probe_ = Probe::kFull;
-  retry_count_ = 0;
   ResetTrend();
   pending_plan_.reset();
   backoff_ticks_remaining_ = 0;
-  state_ = InitialState();
+  if (!policy_->needs_profiling()) {
+    // Probe-free policies classify from the live signals; adaptation goes
+    // straight to the exploration loop.
+    EnterExploration();
+    return;
+  }
+  phase_ = Phase::kProfiling;
+  profile_app_ = 0;
+  probe_ = Probe::kFull;
+  AdoptDecision(policy_->FairShare(pool_, apps_.size()));
   audit_trigger_ = "adaptation_start";
   EmitPhaseAudit("enter_profiling");
   // May fail and schedule a retry (or enter the degraded phase); the tick
@@ -776,40 +947,22 @@ void ResourceManager::TickProfiling() {
     } else if (outcome.healthy) {
       const PmcSample& sample = outcome.sample;
       const double ips = sample.Ips();
-      switch (probe_) {
-        case Probe::kFull:
-          app.ips_full = std::max(ips, 1.0);
-          break;
-        case Probe::kFewWays: {
-          const double degradation = 1.0 - ips / app.ips_full;
-          if (degradation > params_.profile_degradation_threshold) {
-            app.llc_initial = ResourceClass::kDemand;
-          } else if (sample.LlcAccessesPerSec() <
-                         params_.classifier.llc_access_rate_floor ||
-                     sample.LlcMissRatio() <
-                         params_.classifier.llc_miss_ratio_low) {
-            app.llc_initial = ResourceClass::kSupply;
-          } else {
-            app.llc_initial = ResourceClass::kMaintain;
-          }
-          break;
-        }
-        case Probe::kLowMba: {
-          const double degradation = 1.0 - ips / app.ips_full;
-          const MbaLevel probe_level =
-              MbaLevel::FromPercentChecked(params_.profile_mba_percent);
-          const double traffic_ratio =
-              sample.LlcMissesPerSec() / StreamMissRateReference(probe_level);
-          if (degradation > params_.profile_degradation_threshold) {
-            app.mba_initial = ResourceClass::kDemand;
-          } else if (traffic_ratio < params_.classifier.traffic_ratio_low) {
-            app.mba_initial = ResourceClass::kSupply;
-          } else {
-            app.mba_initial = ResourceClass::kMaintain;
-          }
-          break;
-        }
+      if (probe_ == Probe::kFull) {
+        // The slowdown reference (Eq. 1 numerator) stays driver-side; it
+        // feeds the online slowdown estimates, not just the policy.
+        app.ips_full = std::max(ips, 1.0);
       }
+      const MbaLevel probe_level =
+          MbaLevel::FromPercentChecked(params_.profile_mba_percent);
+      const ProbeSignal signal{
+          .ips = ips,
+          .ips_full = app.ips_full,
+          .llc_access_rate = sample.LlcAccessesPerSec(),
+          .llc_miss_ratio = sample.LlcMissRatio(),
+          .llc_misses_per_sec = sample.LlcMissesPerSec(),
+          .stream_miss_rate_ref = StreamMissRateReference(probe_level)};
+      policy_->ObserveProbe(profile_app_, static_cast<ProbeKind>(probe_),
+                            signal);
       advance = true;
     }
     // Unhealthy but below the quarantine threshold: repeat this probe.
@@ -817,10 +970,10 @@ void ResourceManager::TickProfiling() {
 
   if (skip_app) {
     // Quarantined: no trustworthy probes. Conservative defaults — no
-    // slowdown reference (estimate 1.0) and Maintain on both resources.
+    // slowdown reference (estimate 1.0), and the policy adopts its own
+    // safe initial classification.
     app.ips_full = 0.0;
-    app.llc_initial = ResourceClass::kMaintain;
-    app.mba_initial = ResourceClass::kMaintain;
+    policy_->ObserveProbeSkipped(profile_app_);
     probe_ = Probe::kLowMba;
     advance = true;
   }
@@ -849,33 +1002,18 @@ void ResourceManager::EnterExploration() {
   phase_ = Phase::kExploration;
   audit_trigger_ = "exploration_start";
   EmitPhaseAudit("enter_exploration");
-  retry_count_ = 0;
+  // The policy resets its exploration state (FSM initials, pending events)
+  // and returns the opening decision — the fair share it explores from.
+  const PartitionDecision start = policy_->StartExploration(pool_,
+                                                            apps_.size());
   for (ManagedApp& app : apps_) {
-    app.llc_fsm.Reset(app.llc_initial);
-    app.mba_fsm.Reset(app.mba_initial);
     app.prev_ips = 0.0;
     monitor_->Attach(app.id);  // Fresh sampling window.
   }
-  llc_events_.assign(apps_.size(), ResourceEvent::kNone);
-  mba_events_.assign(apps_.size(), ResourceEvent::kNone);
   has_best_state_ = false;
   best_unfairness_ = 0.0;
-  state_ = InitialState();
-  (void)Actuate(PlanForState(state_));
-}
-
-SystemState ResourceManager::InitialState() const {
-  // Exploration starts from equal ways. When MBA partitioning is dynamic the
-  // levels start at the pool ceiling (the hardware reset state): Supply apps
-  // are throttled *down* from there, and a level-up for a consumer is paired
-  // with a level-down at a producer — matching the paper's
-  // producer/consumer formulation. When MBA moves are disabled (the
-  // CAT-only baseline's "equal memory bandwidth partitioning"), the levels
-  // are frozen at the equal static share instead.
-  if (params_.enable_mba_partitioning) {
-    return SystemState::EqualShare(pool_, apps_.size());
-  }
-  return SystemState::EqualShareThrottled(pool_, apps_.size());
+  AdoptDecision(start);
+  (void)ActuateDecision(start);
 }
 
 void ResourceManager::TickExploration() {
@@ -894,57 +1032,42 @@ void ResourceManager::TickExploration() {
     }
   }
 
-  // Phase 2: update the classifier FSMs and assemble the matcher inputs.
-  std::vector<MatchAppInfo> infos(n);
+  // Assemble the per-app signal bundle the policy classifies from. Pure
+  // arithmetic over the samples — no policy state is touched yet.
+  std::vector<PolicySignals> signals(n);
+  for (size_t i = 0; i < n; ++i) {
+    ManagedApp& app = apps_[i];
+    const SampleOutcome& outcome = outcomes[i];
+    PolicySignals& s = signals[i];
+    s.healthy = outcome.healthy;
+    s.quarantined = app.quarantined;
+    if (outcome.healthy) {
+      const PmcSample& sample = outcome.sample;
+      const double ips = sample.Ips();
+      s.ips = ips;
+      s.perf_delta =
+          app.prev_ips > 0.0 ? (ips - app.prev_ips) / app.prev_ips : 0.0;
+      s.llc_access_rate = sample.LlcAccessesPerSec();
+      s.llc_miss_ratio = sample.LlcMissRatio();
+      const MbaLevel level = state_.allocation(app_slot_[i]).mba_level;
+      s.traffic_ratio =
+          sample.LlcMissesPerSec() / StreamMissRateReference(level);
+      app.prev_ips = ips;
+    }
+    // Unhealthy: keep prev_ips (and the policy keeps its classification)
+    // from the last trusted period — garbage must not drive decisions.
+    s.slowdown = app.quarantined
+                     ? 1.0
+                     : (app.ips_full > 0.0 && app.prev_ips > 0.0
+                            ? std::max(1.0, app.ips_full / app.prev_ips)
+                            : 1.0);
+  }
+
+  // Phase 2: the policy updates its per-app classification.
   {
     TraceTick::Span span(trace_tick_, "classify");
     span.set_cost(n);
-    for (size_t i = 0; i < n; ++i) {
-      ManagedApp& app = apps_[i];
-      const SampleOutcome& outcome = outcomes[i];
-      if (outcome.healthy) {
-        const PmcSample& sample = outcome.sample;
-        const double ips = sample.Ips();
-        const double perf_delta =
-            app.prev_ips > 0.0 ? (ips - app.prev_ips) / app.prev_ips : 0.0;
-        const MbaLevel level = state_.allocation(i).mba_level;
-
-        ClassifierInput llc_input{
-            .llc_access_rate = sample.LlcAccessesPerSec(),
-            .llc_miss_ratio = sample.LlcMissRatio(),
-            .traffic_ratio = 0.0,
-            .perf_delta = perf_delta,
-            .last_event = llc_events_[i],
-        };
-        app.llc_fsm.Update(llc_input);
-
-        ClassifierInput mba_input = llc_input;
-        mba_input.traffic_ratio =
-            sample.LlcMissesPerSec() / StreamMissRateReference(level);
-        mba_input.last_event = mba_events_[i];
-        app.mba_fsm.Update(mba_input);
-
-        app.prev_ips = ips;
-      }
-      // Unhealthy: keep prev_ips and the FSM states from the last trusted
-      // period — garbage must not drive classification.
-      if (app.quarantined) {
-        // Conservative citizen: no measured slowdown, no resource pressure.
-        infos[i] = MatchAppInfo{
-            .slowdown = 1.0,
-            .llc_class = ResourceClass::kMaintain,
-            .mba_class = ResourceClass::kMaintain,
-        };
-      } else {
-        infos[i] = MatchAppInfo{
-            .slowdown = app.ips_full > 0.0 && app.prev_ips > 0.0
-                            ? std::max(1.0, app.ips_full / app.prev_ips)
-                            : 1.0,
-            .llc_class = app.llc_fsm.state(),
-            .mba_class = app.mba_fsm.state(),
-        };
-      }
-    }
+    policy_->Classify(signals);
   }
 
   if (MetricsRegistry* metrics = ObsMetrics(obs_)) {
@@ -953,7 +1076,7 @@ void ResourceManager::TickExploration() {
     Histogram* slowdowns =
         metrics->GetHistogram("copart.manager.slowdown", kSlowdownEdges);
     for (size_t i = 0; i < n; ++i) {
-      slowdowns->Observe(infos[i].slowdown);
+      slowdowns->Observe(signals[i].slowdown);
     }
   }
 
@@ -962,7 +1085,7 @@ void ResourceManager::TickExploration() {
   {
     std::vector<double> slowdowns(n);
     for (size_t i = 0; i < n; ++i) {
-      slowdowns[i] = infos[i].slowdown;
+      slowdowns[i] = signals[i].slowdown;
     }
     const double mean = Mean(slowdowns);
     const double unfairness = mean > 0.0 ? StdDev(slowdowns) / mean : 0.0;
@@ -985,76 +1108,32 @@ void ResourceManager::TickExploration() {
     }
   }
 
-  // Phase 3: ask the HR matcher for the next system state (plus the random
-  // neighbor retry of Algorithm 1). The span's duration is the virtual cost
-  // (one unit) — the *wall-clock* matcher time stays in
-  // exploration_time_stats_, outside the deterministic trace surface.
-  SystemState next;
-  bool used_neighbor = false;
-  bool exploration_done = false;
+  // Phase 3: ask the policy for the next decision (for CoPart: the HR
+  // matcher plus the random neighbor retry of Algorithm 1). The span's
+  // duration is the virtual cost (one unit) — the *wall-clock* solve time
+  // stays in exploration_time_stats_, outside the deterministic trace
+  // surface.
+  PartitionDecision decision;
   {
     TraceTick::Span span(trace_tick_, "solve");
     const auto start = std::chrono::steady_clock::now();
-    MatchResult match =
-        params_.matcher
-            ? params_.matcher(state_, infos, rng_,
-                              params_.enable_llc_partitioning,
-                              params_.enable_mba_partitioning)
-            : GetNextSystemState(state_, infos, rng_,
-                                 params_.enable_llc_partitioning,
-                                 params_.enable_mba_partitioning);
+    decision = policy_->Allocate(state_, signals, rng_);
     const auto end = std::chrono::steady_clock::now();
     last_exploration_us_ =
         std::chrono::duration<double, std::micro>(end - start).count();
     exploration_time_stats_.Add(last_exploration_us_);
-
-    next = match.next_state;
-    if (next == state_) {
-      if (retry_count_ < params_.theta) {
-        next = state_.RandomNeighbor(rng_, params_.enable_llc_partitioning,
-                                     params_.enable_mba_partitioning);
-        used_neighbor = true;
-        ++retry_count_;
-      } else {
-        exploration_done = true;
-      }
-    }
-    span.set_arg1("retries", retry_count_);
-    span.set_arg2("neighbor", used_neighbor ? 1 : 0);
+    span.set_arg1("retries", decision.retries);
+    span.set_arg2("neighbor", decision.used_neighbor ? 1 : 0);
   }
-  if (exploration_done) {
+  if (decision.converged) {
     EnterIdle();
     return;
   }
 
-  // Derive per-app resource events from the state diff; they feed the FSMs
-  // next period.
-  for (size_t i = 0; i < n; ++i) {
-    const AppAllocation& before = state_.allocation(i);
-    const AppAllocation& after = next.allocation(i);
-    if (after.llc_ways > before.llc_ways) {
-      llc_events_[i] = ResourceEvent::kGainedLlcWay;
-    } else if (after.llc_ways < before.llc_ways) {
-      llc_events_[i] = ResourceEvent::kLostLlcWay;
-    } else {
-      llc_events_[i] = ResourceEvent::kNone;
-    }
-    if (after.mba_level > before.mba_level) {
-      mba_events_[i] = ResourceEvent::kGainedMba;
-    } else if (after.mba_level < before.mba_level) {
-      mba_events_[i] = ResourceEvent::kLostMba;
-    } else if (llc_events_[i] == ResourceEvent::kGainedLlcWay) {
-      // The MBA FSM's Demand state treats "gained an LLC way with little
-      // benefit" specially (§5.3).
-      mba_events_[i] = ResourceEvent::kGainedLlcWay;
-    } else {
-      mba_events_[i] = ResourceEvent::kNone;
-    }
-  }
-
-  state_ = next;
-  audit_trigger_ = used_neighbor ? "exploration_neighbor" : "exploration_match";
-  (void)Actuate(PlanForState(state_));
+  AdoptDecision(decision);
+  audit_trigger_ =
+      decision.used_neighbor ? "exploration_neighbor" : "exploration_match";
+  (void)ActuateDecision(decision);
 
   if (observer_) {
     ManagerTickRecord record;
@@ -1062,12 +1141,16 @@ void ResourceManager::TickExploration() {
     record.phase = phase_;
     record.state = state_;
     record.exploration_us = last_exploration_us_;
-    record.used_neighbor_state = used_neighbor;
+    record.used_neighbor_state = decision.used_neighbor;
     record.consecutive_actuation_failures = consecutive_actuation_failures_;
     for (size_t i = 0; i < n; ++i) {
-      record.slowdown_estimates.push_back(infos[i].slowdown);
-      record.llc_classes.push_back(infos[i].llc_class);
-      record.mba_classes.push_back(infos[i].mba_class);
+      record.slowdown_estimates.push_back(signals[i].slowdown);
+      record.llc_classes.push_back(i < decision.llc_classes.size()
+                                       ? decision.llc_classes[i]
+                                       : policy_->LlcClassOf(i));
+      record.mba_classes.push_back(i < decision.mba_classes.size()
+                                       ? decision.mba_classes[i]
+                                       : policy_->MbaClassOf(i));
       record.quarantined.push_back(apps_[i].quarantined);
     }
     observer_(record);
@@ -1078,7 +1161,8 @@ void ResourceManager::EnterIdle() {
   phase_ = Phase::kIdle;
   audit_trigger_ = "idle_restore_best";
   EmitPhaseAudit("enter_idle");
-  if (has_best_state_ && !(best_state_ == state_)) {
+  if (policy_->restore_best_state() && has_best_state_ &&
+      !(best_state_ == state_)) {
     state_ = best_state_;
     (void)Actuate(PlanForState(state_));
     // The idle IPS baselines are re-read on the first idle tick; prev_ips
@@ -1153,12 +1237,22 @@ void ResourceManager::TickDegraded() {
   }
   // Keep trying to pin the static fair share — the safest partition when
   // neither actuation nor feedback can be trusted.
-  const SystemState fair = InitialState();
+  const PartitionDecision fair = policy_->FairShare(pool_, apps_.size());
   audit_trigger_ = "degraded_fair_share";
+  if (!policy_->per_app_groups()) {
+    Status groups = EnsureSlotGroups(fair.state.NumApps());
+    if (!groups.ok()) {
+      ++actuation_attempts_;
+      ++actuation_failures_;
+      degraded_success_streak_ = 0;
+      backoff_ticks_remaining_ = DelayTicks(backoff_.NextDelay());
+      return;
+    }
+  }
   ++actuation_attempts_;
   Status status;
   {
-    const ActuationPlan plan = PlanForState(fair);
+    const ActuationPlan plan = PlanForDecision(fair);
     TraceTick::Span span(trace_tick_, "apply_schemata");
     span.set_cost(plan.entries.size());
     span.set_arg1("entries", static_cast<int64_t>(plan.entries.size()));
@@ -1166,7 +1260,7 @@ void ResourceManager::TickDegraded() {
     span.set_arg2("ok", status.ok() ? 1 : 0);
   }
   if (status.ok()) {
-    state_ = fair;
+    AdoptDecision(fair);
     ++degraded_success_streak_;
     if (degraded_success_streak_ >=
         params_.actuation.degraded_recovery_successes) {
@@ -1391,11 +1485,16 @@ void ResourceManager::ReapDeadApps() {
   for (size_t i = apps_.size(); i-- > 0;) {
     if (!resctrl_->machine().AppExists(apps_[i].id)) {
       monitor_->Detach(apps_[i].id);
-      Status status = resctrl_->RemoveGroup(apps_[i].group);
-      if (!status.ok()) {
-        zombie_groups_.push_back(apps_[i].group);
+      if (policy_->per_app_groups()) {
+        Status status = resctrl_->RemoveGroup(apps_[i].group);
+        if (!status.ok()) {
+          zombie_groups_.push_back(apps_[i].group);
+        }
       }
+      // Clustered: the shared group stays; the machine already dropped the
+      // dead app from its CLOS on termination.
       apps_.erase(apps_.begin() + static_cast<ptrdiff_t>(i));
+      policy_->OnAppRemoved(i);
       removed = true;
     }
   }
@@ -1407,7 +1506,7 @@ void ResourceManager::ReapDeadApps() {
     } else if (phase_ != Phase::kDegraded) {
       StartAdaptation();
     } else {
-      state_ = InitialState();
+      AdoptDecision(policy_->FairShare(pool_, apps_.size()));
     }
   }
 }

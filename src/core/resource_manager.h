@@ -1,5 +1,13 @@
 // CoPart's resource manager (paper §5.4, Algorithm 1).
 //
+// The manager is the *driver* half of a driver/policy split
+// (core/partition_policy.h): it owns sampling and counter quarantine,
+// probe scheduling, transactional actuation with retry/backoff/degraded
+// mode, SLO slices, the trend governor, and all telemetry — while the
+// installed PartitionPolicy (ResourceManagerParams::partition_policy) owns
+// classification and the allocation decisions. With the default "copart"
+// policy the loop below is exactly the paper's controller.
+//
 // The manager runs as a user-level control loop over the resctrl interface
 // and the PMC monitor, in three phases:
 //
@@ -45,6 +53,7 @@
 #define COPART_CORE_RESOURCE_MANAGER_H_
 
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
@@ -56,6 +65,7 @@
 #include "core/classifiers.h"
 #include "core/copart_params.h"
 #include "core/hr_matching.h"
+#include "core/partition_policy.h"
 #include "core/slo_governor.h"
 #include "core/system_state.h"
 #include "machine/app_id.h"
@@ -149,13 +159,22 @@ class ResourceManager {
 
   const SystemState& current_state() const { return state_; }
 
+  // Slot index each managed app currently runs in (index-parallel with
+  // admission order). Identity for per-app policies; for clustering
+  // policies several apps share a slot. Sized on the first adaptation.
+  const std::vector<uint32_t>& app_slots() const { return app_slot_; }
+
+  // The installed classification/allocation policy.
+  const PartitionPolicy& partition_policy() const { return *policy_; }
+
   // Online slowdown estimate (profiled IPS_full / latest IPS); 1.0 before
   // profiling has finished.
   double SlowdownEstimate(AppId app) const;
 
-  // Latest classifier FSM states for a managed app — what the matcher saw
-  // (or will see) this period. The sensing accuracy harness compares these
-  // across exact/estimated/noisy monitors. CHECK-fails for unmanaged apps.
+  // Latest policy classification for a managed app — what the allocator
+  // saw (or will see) this period. The sensing accuracy harness compares
+  // these across exact/estimated/noisy monitors. CHECK-fails for unmanaged
+  // apps.
   ResourceClass LlcClass(AppId app) const;
   ResourceClass MbaClass(AppId app) const;
 
@@ -215,30 +234,43 @@ class ResourceManager {
     double ips_full = 0.0;   // Profiled full-resource IPS (Eq. 1 numerator).
     double prev_ips = 0.0;   // IPS over the previous period.
     double idle_baseline_ips = 0.0;
-    ResourceClass llc_initial = ResourceClass::kMaintain;
-    ResourceClass mba_initial = ResourceClass::kMaintain;
-    LlcClassifierFsm llc_fsm;
-    MbaClassifierFsm mba_fsm;
     // Counter-health tracking (quarantine policy).
     int bad_sample_streak = 0;
     int good_sample_streak = 0;
     bool quarantined = false;
   };
 
-  // One transactional actuation: the full set of schemata writes that must
-  // land together for the machine to be in a coherent allocation.
+  // One transactional actuation: the full set of schemata writes, group
+  // re-bindings, and prefetch-MSR writes that must land together for the
+  // machine to be in a coherent allocation. Per-app CoPart plans carry
+  // entries only; clustering policies add assignments, and prefetch-aware
+  // policies add prefetch writes.
   struct ActuationPlan {
     struct Entry {
       ResctrlGroupId group;
       uint64_t mask_bits = 0;
       uint32_t mba_percent = 100;
       // Audit identity, filled by the plan builders: index into apps_
-      // (-1 for an LC slice entry, which has no batch index) and the
-      // owning app id (-1 when unknown).
+      // (-1 for an LC or cluster-slot entry, which has no unique batch
+      // index) and the owning app id (-1 when unknown).
       int32_t app_index = -1;
       int32_t app_id = -1;
     };
+    // Bind an app's tasks to a (cluster) group.
+    struct Assignment {
+      ResctrlGroupId group;
+      AppId app;
+      size_t app_index = 0;
+    };
+    // Program an app's prefetch throttle.
+    struct PrefetchEntry {
+      AppId app;
+      size_t app_index = 0;
+      uint32_t percent = 100;
+    };
     std::vector<Entry> entries;
+    std::vector<Assignment> assignments;
+    std::vector<PrefetchEntry> prefetch;
   };
 
   // One SLO-managed latency-critical app (params.slo mode).
@@ -263,7 +295,11 @@ class ResourceManager {
   enum class Probe { kFull = 0, kFewWays = 1, kLowMba = 2 };
 
   void StartAdaptation();
-  SystemState InitialState() const;
+  // Installs a policy decision as the manager's current state/slot map.
+  void AdoptDecision(const PartitionDecision& decision);
+  // Lazily creates the shared cluster groups ("copart_cluster_<k>") a
+  // clustered decision actuates onto. Groups persist once created.
+  Status EnsureSlotGroups(size_t count);
   // Re-plans every LC slice from the current offered load and actuates
   // the changed LC masks. Returns true when the batch pool geometry
   // changed (the caller restarts adaptation). `force` actuates even when
@@ -288,6 +324,10 @@ class ResourceManager {
 
   // Builds the schemata plan realising `state` (one entry per app).
   ActuationPlan PlanForState(const SystemState& state) const;
+  // Builds the plan realising a policy decision: per-app delegates to
+  // PlanForState; clustered decisions get one entry per slot plus the app
+  // re-bindings, and decisions with prefetch state add the MSR writes.
+  ActuationPlan PlanForDecision(const PartitionDecision& decision) const;
   // Builds the profiling plan: the probed app gets the probe allocation,
   // every co-runner is squeezed to minimal resources.
   ActuationPlan PlanForProbe() const;
@@ -302,6 +342,10 @@ class ResourceManager {
   // max_consecutive_failures in a row, enters the degraded phase. Returns
   // true when the plan is on the machine.
   bool Actuate(const ActuationPlan& plan);
+
+  // Actuate for a policy decision: ensures the cluster groups exist first
+  // (for clustered policies), then runs the transactional plan.
+  bool ActuateDecision(const PartitionDecision& decision);
 
   // Retries pending_plan_ once its backoff expires. Returns true when the
   // control loop may run this tick (no pending plan stalls it).
@@ -351,16 +395,19 @@ class ResourceManager {
 
   Phase phase_ = Phase::kIdle;
   std::vector<ManagedApp> apps_;
+  // The classification/allocation policy (params.partition_policy).
+  std::unique_ptr<PartitionPolicy> policy_;
   SystemState state_;
+  // Slot each app runs in (identity for per-app policies); parallel to
+  // apps_, installed by AdoptDecision.
+  std::vector<uint32_t> app_slot_;
+  // Shared cluster groups, indexed by slot (clustered policies only).
+  std::vector<ResctrlGroupId> slot_groups_;
 
   // Profiling progress.
   size_t profile_app_ = 0;
   Probe probe_ = Probe::kFull;
 
-  // Exploration progress.
-  int retry_count_ = 0;
-  std::vector<ResourceEvent> llc_events_;
-  std::vector<ResourceEvent> mba_events_;
   // Best state observed during this exploration (lowest unfairness of the
   // online slowdown estimates). Algorithm 1 ends exploration after theta
   // unproductive neighbor perturbations; the perturbations themselves were

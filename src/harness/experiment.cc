@@ -36,6 +36,9 @@ ExperimentResult RunExperiment(const WorkloadMix& mix,
   if (auto* copart = dynamic_cast<CoPartPolicy*>(policy.get())) {
     copart->manager().SetObservability(config.obs);
   }
+  if (auto* managed = dynamic_cast<ManagedPartitionPolicy*>(policy.get())) {
+    managed->manager().SetObservability(config.obs);
+  }
   policy->Start();
 
   const int periods = static_cast<int>(
@@ -64,6 +67,12 @@ ExperimentResult RunExperiment(const WorkloadMix& mix,
     result.avg_exploration_us =
         copart->manager().exploration_time_stats().mean();
     copart->manager().ExportMetrics(ObsMetrics(config.obs));
+  }
+  if (auto* managed = dynamic_cast<ManagedPartitionPolicy*>(policy.get())) {
+    result.avg_exploration_us =
+        managed->manager().exploration_time_stats().mean();
+    result.unmanaged_apps = managed->unmanaged_apps();
+    managed->manager().ExportMetrics(ObsMetrics(config.obs));
   }
   return result;
 }
@@ -133,6 +142,14 @@ PolicyFactory DcatFactory() {
             const ResourcePool& pool) {
     return std::make_unique<DcatPolicy>(resctrl, monitor, std::move(apps),
                                         pool);
+  };
+}
+
+PolicyFactory PartitionPolicyFactory(ResourceManagerParams params) {
+  return [params](Resctrl* resctrl, PerfMonitor* monitor,
+                  std::vector<AppId> apps, const ResourcePool& pool) {
+    return std::make_unique<ManagedPartitionPolicy>(
+        resctrl, monitor, std::move(apps), pool, params);
   };
 }
 

@@ -60,6 +60,10 @@ struct ExperimentResult {
   double throughput_geomean = 0.0;
   // Mean getNextSystemState wall time (0 for static policies) — Fig. 16.
   double avg_exploration_us = 0.0;
+  // Apps the policy declined to manage (ManagedPartitionPolicy only): they
+  // ran in the default group. Per-app CoPart hits this past its way/CLOS
+  // budget; clustered policies keep it at zero.
+  size_t unmanaged_apps = 0;
 };
 
 // Runs `mix` under the policy produced by `factory`.
@@ -82,6 +86,13 @@ PolicyFactory UcpFactory();
 // dCat: the feedback-driven dynamic LLC-only partitioner
 // (core/dcat_policy.h), distilled from the paper's closest related work.
 PolicyFactory DcatFactory();
+
+// A ResourceManager driven by the named partition policy in
+// params.partition_policy ("copart", "lfoc", "lfoc+", "cbp" — see
+// core/partition_policy.h). Admission failures leave apps unmanaged in the
+// default group (ExperimentResult::unmanaged_apps) instead of aborting, so
+// per-app CoPart can be A/B'd on scenarios past its CLOS budget.
+PolicyFactory PartitionPolicyFactory(ResourceManagerParams params);
 
 // The paper's five policies in Fig. 12 order: EQ, ST, CAT-only, MBA-only,
 // CoPart.

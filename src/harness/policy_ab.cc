@@ -1,0 +1,165 @@
+#include "harness/policy_ab.h"
+
+#include <cstdio>
+#include <sstream>
+
+#include "common/logging.h"
+#include "common/units.h"
+#include "core/partition_policy.h"
+#include "harness/table_printer.h"
+#include "workload/workload.h"
+
+namespace copart {
+
+PolicyAbScenario ManyAppsScenario(size_t app_count) {
+  PolicyAbScenario scenario;
+  scenario.name = "many-" + std::to_string(app_count);
+  scenario.machine.num_cores = 64;
+  scenario.machine.total_memory_bandwidth = GBps(112.0);
+  scenario.cores_per_app = 1;
+  scenario.mix.name = scenario.name;
+  const std::vector<WorkloadDescriptor> roster = AllTable2Benchmarks();
+  for (size_t i = 0; i < app_count; ++i) {
+    scenario.mix.apps.push_back(roster[i % roster.size()]);
+  }
+  return scenario;
+}
+
+std::vector<PolicyAbScenario> PolicyAbScenarios(const PolicyAbConfig& config) {
+  std::vector<PolicyAbScenario> scenarios;
+  if (config.include_paper_mixes) {
+    for (const MixFamily family : AllMixFamilies()) {
+      PolicyAbScenario scenario;
+      scenario.mix = MakeMix(family, config.paper_mix_app_count);
+      scenario.name = scenario.mix.name;
+      scenarios.push_back(std::move(scenario));
+    }
+  }
+  if (config.many_apps > 0) {
+    scenarios.push_back(ManyAppsScenario(config.many_apps));
+  }
+  return scenarios;
+}
+
+PolicyAbResult RunPolicyAb(const PolicyAbConfig& config) {
+  const std::vector<PolicyAbScenario> scenarios = PolicyAbScenarios(config);
+  CHECK(!scenarios.empty());
+  CHECK(!config.policies.empty());
+  const size_t num_cells = scenarios.size() * config.policies.size();
+
+  PolicyAbResult result;
+  result.cells = ParallelMap<PolicyAbCell>(
+      config.parallel, num_cells,
+      [&](size_t index) {
+        const PolicyAbScenario& scenario =
+            scenarios[index / config.policies.size()];
+        const std::string& policy =
+            config.policies[index % config.policies.size()];
+        ResourceManagerParams params;
+        params.partition_policy = policy;
+
+        ExperimentConfig experiment;
+        experiment.machine = scenario.machine;
+        experiment.pool = scenario.pool;
+        experiment.duration_sec = config.duration_sec;
+        experiment.control_period_sec = config.control_period_sec;
+        experiment.cores_per_app = scenario.cores_per_app;
+        const ExperimentResult run = RunExperiment(
+            scenario.mix, PartitionPolicyFactory(params), experiment);
+
+        PolicyAbCell cell;
+        cell.scenario = scenario.name;
+        cell.policy = policy;
+        cell.num_apps = run.slowdowns.size();
+        cell.unmanaged_apps = run.unmanaged_apps;
+        cell.unfairness = run.unfairness;
+        cell.throughput_geomean = run.throughput_geomean;
+        size_t violations = 0;
+        for (const double slowdown : run.slowdowns) {
+          if (slowdown > config.slo_slowdown_threshold) {
+            ++violations;
+          }
+        }
+        cell.slo_violation_rate =
+            cell.num_apps == 0
+                ? 0.0
+                : static_cast<double>(violations) /
+                      static_cast<double>(cell.num_apps);
+        return cell;
+      },
+      &result.stats);
+  return result;
+}
+
+namespace {
+
+std::string FormatDouble(double value) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.17g", value);
+  return buffer;
+}
+
+}  // namespace
+
+std::string PolicyAbToJson(const PolicyAbResult& result) {
+  std::ostringstream out;
+  out << "{\n  \"cells\": [\n";
+  for (size_t i = 0; i < result.cells.size(); ++i) {
+    const PolicyAbCell& cell = result.cells[i];
+    out << "    {\"scenario\": \"" << cell.scenario << "\", \"policy\": \""
+        << cell.policy << "\", \"apps\": " << cell.num_apps
+        << ", \"unmanaged\": " << cell.unmanaged_apps
+        << ", \"unfairness\": " << FormatDouble(cell.unfairness)
+        << ", \"throughput_geomean\": "
+        << FormatDouble(cell.throughput_geomean)
+        << ", \"slo_violation_rate\": "
+        << FormatDouble(cell.slo_violation_rate) << "}"
+        << (i + 1 == result.cells.size() ? "" : ",") << "\n";
+  }
+  out << "  ]\n}\n";
+  return out.str();
+}
+
+void PrintPolicyAbTable(const PolicyAbResult& result, std::FILE* out) {
+  std::vector<std::vector<std::string>> rows;
+  for (const PolicyAbCell& cell : result.cells) {
+    rows.push_back({cell.scenario, cell.policy,
+                    std::to_string(cell.num_apps),
+                    std::to_string(cell.unmanaged_apps),
+                    FormatFixed(cell.unfairness, 4),
+                    FormatSci(cell.throughput_geomean),
+                    FormatFixed(100.0 * cell.slo_violation_rate, 1) + "%"});
+  }
+  PrintTable({"scenario", "policy", "apps", "unmanaged", "unfairness",
+              "geomean IPS", "slo_viol"},
+             rows, out);
+
+  // Verdict for the many-apps scenario: best clustered policy vs the
+  // per-app CoPart fallback (which leaves the overflow unmanaged).
+  const PolicyAbCell* copart = nullptr;
+  const PolicyAbCell* best_clustered = nullptr;
+  for (const PolicyAbCell& cell : result.cells) {
+    if (cell.scenario.rfind("many-", 0) != 0) {
+      continue;
+    }
+    if (cell.policy == "copart") {
+      if (copart == nullptr || cell.unfairness < copart->unfairness) {
+        copart = &cell;
+      }
+    } else if (best_clustered == nullptr ||
+               cell.unfairness < best_clustered->unfairness) {
+      best_clustered = &cell;
+    }
+  }
+  if (copart != nullptr && best_clustered != nullptr) {
+    std::fprintf(
+        out,
+        "many-apps verdict: %s unfairness %.4f (0 unmanaged) vs copart "
+        "%.4f (%zu of %zu apps unmanaged) — clustering %s\n",
+        best_clustered->policy.c_str(), best_clustered->unfairness,
+        copart->unfairness, copart->unmanaged_apps, copart->num_apps,
+        best_clustered->unfairness < copart->unfairness ? "wins" : "loses");
+  }
+}
+
+}  // namespace copart

@@ -44,6 +44,18 @@ struct MachineConfig {
   // perturbation); models run-to-run variation on real hardware that the
   // controller's thresholds (deltaP etc.) must tolerate. 0 disables.
   double ips_noise_sigma = 0.01;
+  // Prefetch-throttle model (the CBP-style third actuator; DESIGN.md §14).
+  // Each app carries a prefetcher-aggressiveness percent p (100 = fully
+  // enabled, the hardware reset state). Prefetching hides miss latency but
+  // fetches speculative lines, so throttling trades the two: at aggressiveness
+  // p the per-miss stall is stretched by
+  //   pf_lat = 1 + prefetch_latency_penalty * (1 - p/100)
+  // and the bandwidth demand is scaled by
+  //   pf_bw  = 1 - prefetch_bw_share * (1 - p/100).
+  // Both factors are exactly 1.0 at p = 100, so runs that never touch the
+  // knob are bit-identical to a machine without the model.
+  double prefetch_bw_share = 0.25;
+  double prefetch_latency_penalty = 0.6;
   // Miss-ratio curve evaluation for the epoch model: kCompiled (default)
   // answers queries from each profile's precompiled monotone table
   // (cache/compiled_mrc.h, ~1e-5 relative error, ~50x cheaper); kExact runs

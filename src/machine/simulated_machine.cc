@@ -58,6 +58,7 @@ Result<AppId> SimulatedMachine::LaunchApp(const WorkloadDescriptor& descriptor,
   apps_.push_back(std::move(app));
   app_clos_.push_back(0);
   required_ips_.push_back(kUncapped);
+  prefetch_percent_.push_back(100);
   counters_.emplace_back();
   last_epoch_.emplace_back();
   return apps_.back().id;
@@ -73,6 +74,8 @@ Status SimulatedMachine::TerminateApp(AppId id) {
   apps_.erase(apps_.begin() + static_cast<ptrdiff_t>(index));
   app_clos_.erase(app_clos_.begin() + static_cast<ptrdiff_t>(index));
   required_ips_.erase(required_ips_.begin() + static_cast<ptrdiff_t>(index));
+  prefetch_percent_.erase(prefetch_percent_.begin() +
+                          static_cast<ptrdiff_t>(index));
   counters_.erase(counters_.begin() + static_cast<ptrdiff_t>(index));
   last_epoch_.erase(last_epoch_.begin() + static_cast<ptrdiff_t>(index));
   app_index_.erase(it);
@@ -186,10 +189,28 @@ void SimulatedMachine::SetAppRequiredIps(AppId id,
   ++input_generation_;
 }
 
+void SimulatedMachine::SetAppPrefetchPercent(AppId id, uint32_t percent) {
+  CHECK_LE(percent, 100u);
+  const size_t index = IndexOf(id);
+  if (prefetch_percent_[index] == percent) {
+    return;
+  }
+  prefetch_percent_[index] = percent;
+  // Bandwidth tier only: the latency/demand factors never feed the capacity
+  // fixed point, so the incremental tick keeps the cached capacities.
+  ++input_generation_;
+}
+
+uint32_t SimulatedMachine::AppPrefetchPercent(AppId id) const {
+  return prefetch_percent_[IndexOf(id)];
+}
+
 double SimulatedMachine::UnconstrainedCpi(const WorkloadDescriptor& d,
                                           double cpi_exec, double mpi,
-                                          MbaLevel level, double contention) {
-  const double stall_per_miss = contention * d.mem_latency_cycles / d.mlp;
+                                          MbaLevel level, double contention,
+                                          double prefetch_lat) {
+  const double stall_per_miss =
+      contention * d.mem_latency_cycles / d.mlp * prefetch_lat;
   const double throttle_stretch =
       1.0 + d.mba_kappa * (100.0 / level.percent() - 1.0);
   return cpi_exec + mpi * stall_per_miss * throttle_stretch;
@@ -267,6 +288,8 @@ void SimulatedMachine::RefreshSoaInputs() {
   soa_kappa_.resize(n);
   soa_mba_term_.resize(n);
   soa_cap_bps_.resize(n);
+  soa_pf_lat_.resize(n);
+  soa_pf_bw_.resize(n);
   solved_ips_.resize(n);
   solved_capability_.resize(n);
   solved_miss_ratio_.resize(n);
@@ -291,6 +314,9 @@ void SimulatedMachine::RefreshSoaInputs() {
     soa_mba_term_[i] = 100.0 / level.percent() - 1.0;
     soa_cap_bps_[i] =
         throttle_model_.CapFraction(level) * config_.total_memory_bandwidth;
+    const double throttled = 1.0 - prefetch_percent_[i] / 100.0;
+    soa_pf_lat_[i] = 1.0 + config_.prefetch_latency_penalty * throttled;
+    soa_pf_bw_[i] = 1.0 - config_.prefetch_bw_share * throttled;
   }
   soa_input_generation_ = input_generation_;
   soa_app_generation_ = app_generation_;
@@ -455,10 +481,11 @@ void SimulatedMachine::SolveEpochScalar() {
         static_cast<uint64_t>(capacities[i]), config_.mrc_mode);
     mpis[i] = params[i].accesses_per_instr * miss_ratios[i];
     const double cpi = UnconstrainedCpi(d, params[i].cpi_exec, mpis[i], level,
-                                        /*contention=*/1.0);
+                                        /*contention=*/1.0, soa_pf_lat_[i]);
     double ips = app.num_cores * config_.core_freq_hz / cpi;
     ips = std::min(ips, required_ips_[i]);
-    requests[i].demand_bytes_per_sec = ips * mpis[i] * config_.llc.line_bytes;
+    requests[i].demand_bytes_per_sec =
+        ips * mpis[i] * config_.llc.line_bytes * soa_pf_bw_[i];
     requests[i].cap_bytes_per_sec =
         throttle_model_.CapFraction(level) * config_.total_memory_bandwidth;
   }
@@ -482,12 +509,13 @@ void SimulatedMachine::SolveEpochScalar() {
     const WorkloadDescriptor& d = app.descriptor;
     const MbaLevel level = clos_[app_clos_[i]].mba_level;
     const double cpi = UnconstrainedCpi(d, params[i].cpi_exec, mpis[i], level,
-                                        contention);
+                                        contention, soa_pf_lat_[i]);
     double ips = app.num_cores * config_.core_freq_hz / cpi;
     solved_capability_[i] = ips;
     ips = std::min(ips, required_ips_[i]);
     if (mpis[i] > kNegligibleMpi) {
-      ips = std::min(ips, grants[i] / (mpis[i] * config_.llc.line_bytes));
+      ips = std::min(ips, grants[i] / (mpis[i] * config_.llc.line_bytes *
+                                       soa_pf_bw_[i]));
     }
     solved_ips_[i] = ips;
     solved_miss_ratio_[i] = miss_ratios[i];
@@ -526,14 +554,15 @@ void SimulatedMachine::SolveEpochVectorized(bool capacity_clean) {
   scratch_capped_.resize(n);
   for (size_t i = 0; i < n; ++i) {
     const double mpi = soa_api_[i] * solved_miss_ratio_[i];
-    const double stall_per_miss = soa_mem_lat_[i] / soa_mlp_[i];
+    const double stall_per_miss =
+        soa_mem_lat_[i] / soa_mlp_[i] * soa_pf_lat_[i];
     const double throttle_stretch = 1.0 + soa_kappa_[i] * soa_mba_term_[i];
     const double cpi =
         soa_cpi_exec_[i] + mpi * stall_per_miss * throttle_stretch;
     double ips = soa_cores_hz_[i] / cpi;
     ips = std::min(ips, required_ips_[i]);
     solved_mpi_[i] = mpi;
-    solved_demand_[i] = ips * mpi * line_bytes;
+    solved_demand_[i] = ips * mpi * line_bytes * soa_pf_bw_[i];
     scratch_capped_[i] = std::min(solved_demand_[i], soa_cap_bps_[i]);
   }
 
@@ -552,14 +581,16 @@ void SimulatedMachine::SolveEpochVectorized(bool capacity_clean) {
   // Pass 2: contention-adjusted IPS, bounded by the bandwidth grant.
   for (size_t i = 0; i < n; ++i) {
     const double mpi = solved_mpi_[i];
-    const double stall_per_miss = contention * soa_mem_lat_[i] / soa_mlp_[i];
+    const double stall_per_miss =
+        contention * soa_mem_lat_[i] / soa_mlp_[i] * soa_pf_lat_[i];
     const double throttle_stretch = 1.0 + soa_kappa_[i] * soa_mba_term_[i];
     const double cpi =
         soa_cpi_exec_[i] + mpi * stall_per_miss * throttle_stretch;
     double ips = soa_cores_hz_[i] / cpi;
     solved_capability_[i] = ips;
     ips = std::min(ips, required_ips_[i]);
-    const double roofline_ips = grants[i] / (mpi * line_bytes);
+    const double roofline_ips =
+        grants[i] / (mpi * line_bytes * soa_pf_bw_[i]);
     ips = mpi > kNegligibleMpi ? std::min(ips, roofline_ips) : ips;
     solved_ips_[i] = ips;
     solved_grant_[i] = grants[i];
@@ -644,6 +675,7 @@ MachineSnapshot SimulatedMachine::Snapshot() const {
   s.clos = clos_;
   s.app_clos = app_clos_;
   s.required_ips = required_ips_;
+  s.prefetch_percent = prefetch_percent_;
   s.counters = counters_;
   s.last_epoch = last_epoch_;
   s.solved_ips = solved_ips_;
@@ -673,6 +705,7 @@ void SimulatedMachine::Restore(const MachineSnapshot& snapshot) {
   clos_ = snapshot.clos;
   app_clos_ = snapshot.app_clos;
   required_ips_ = snapshot.required_ips;
+  prefetch_percent_ = snapshot.prefetch_percent;
   counters_ = snapshot.counters;
   last_epoch_ = snapshot.last_epoch;
   solved_ips_ = snapshot.solved_ips;
@@ -722,7 +755,8 @@ double SimulatedMachine::SoloFullResourceIps(
   // utilization; pass 2 applies the queueing stretch and the grant bound.
   const double cpi_free = UnconstrainedCpi(descriptor, descriptor.cpi_exec,
                                            mpi, MbaLevel(),
-                                           /*contention=*/1.0);
+                                           /*contention=*/1.0,
+                                           /*prefetch_lat=*/1.0);
   const double ips_free = cores * config_.core_freq_hz / cpi_free;
   const double grant =
       std::min(ips_free * mpi * config_.llc.line_bytes,
@@ -731,7 +765,8 @@ double SimulatedMachine::SoloFullResourceIps(
   const double contention =
       1.0 + config_.queueing_delay_factor * rho * rho;
   const double cpi = UnconstrainedCpi(descriptor, descriptor.cpi_exec, mpi,
-                                      MbaLevel(), contention);
+                                      MbaLevel(), contention,
+                                      /*prefetch_lat=*/1.0);
   double ips = cores * config_.core_freq_hz / cpi;
   if (mpi > kNegligibleMpi) {
     ips = std::min(ips, grant / (mpi * config_.llc.line_bytes));

@@ -115,6 +115,7 @@ struct MachineSnapshot {
   std::vector<ClosSetting> clos;
   std::vector<uint32_t> app_clos;
   std::vector<double> required_ips;
+  std::vector<uint32_t> prefetch_percent;
   std::vector<AppCounters> counters;
   std::vector<AppEpochSnapshot> last_epoch;
   std::vector<double> solved_ips;
@@ -168,6 +169,17 @@ class SimulatedMachine {
   // Caps the app's executed IPS at `required_ips` (open-loop offered load);
   // nullopt removes the cap. Used by the case-study harness.
   void SetAppRequiredIps(AppId id, std::optional<double> required_ips);
+
+  // --- Prefetch throttling (CBP-style third actuator) ---
+
+  // Sets the app's prefetcher aggressiveness percent in [0, 100]; 100 (the
+  // launch default) is the hardware reset state and leaves the epoch solve
+  // bit-identical to a machine without the prefetch model. Lower values
+  // stretch the per-miss stall and shrink the bandwidth demand (see
+  // MachineConfig::prefetch_bw_share / prefetch_latency_penalty). Mutated
+  // through the resctrl module in managed runs (Resctrl::SetAppPrefetch).
+  void SetAppPrefetchPercent(AppId id, uint32_t percent);
+  uint32_t AppPrefetchPercent(AppId id) const;
 
   // --- Time ---
 
@@ -287,10 +299,11 @@ class SimulatedMachine {
 
   // CPI at the given miss-per-instruction and MBA level (no grant bound).
   // cpi_exec is passed separately so phase scaling can adjust it;
-  // `contention` is the queueing-delay stretch on the miss stall.
+  // `contention` is the queueing-delay stretch on the miss stall and
+  // `prefetch_lat` the prefetch-throttle stretch (1.0 = prefetch fully on).
   static double UnconstrainedCpi(const WorkloadDescriptor& d, double cpi_exec,
-                                 double mpi, MbaLevel level,
-                                 double contention);
+                                 double mpi, MbaLevel level, double contention,
+                                 double prefetch_lat);
 
   MachineConfig config_;
   MbaThrottleModel throttle_model_;
@@ -311,6 +324,9 @@ class SimulatedMachine {
   // Required-IPS cap; +inf means uncapped (min(x, +inf) == x bit-exactly,
   // so the solve needs no branch).
   std::vector<double> required_ips_;
+  // Prefetcher aggressiveness percent, 100 at launch (factors become exactly
+  // 1.0, so untouched apps cost nothing and change nothing).
+  std::vector<uint32_t> prefetch_percent_;
   std::vector<AppCounters> counters_;
   std::vector<AppEpochSnapshot> last_epoch_;
 
@@ -349,6 +365,8 @@ class SimulatedMachine {
   std::vector<double> soa_kappa_;      // mba_kappa
   std::vector<double> soa_mba_term_;   // 100/level - 1 for the app's CLOS
   std::vector<double> soa_cap_bps_;    // MBA bandwidth cap for the app's CLOS
+  std::vector<double> soa_pf_lat_;     // prefetch latency stretch (1.0 @ 100)
+  std::vector<double> soa_pf_bw_;      // prefetch demand scale (1.0 @ 100)
   std::vector<uint64_t> clos_mask_bits_;
   uint64_t soa_input_generation_ = ~0ull;
   uint64_t soa_app_generation_ = ~0ull;

@@ -155,6 +155,23 @@ Status Resctrl::AssignApp(ResctrlGroupId group, AppId app) {
   return Status::Ok();
 }
 
+Status Resctrl::SetAppPrefetch(AppId app, uint32_t percent) {
+  if (!machine_->AppExists(app)) {
+    return NotFoundError("no such app");
+  }
+  if (percent > 100 || percent % 10 != 0) {
+    return InvalidArgumentError("prefetch percent must be 0..100 step 10");
+  }
+  if (InjectFault(fault_points::kPrefetchWrite)) {
+    return UnavailableError("injected: prefetch MSR write failed");
+  }
+  if (InjectFault(fault_points::kPrefetchWriteSilent)) {
+    return Status::Ok();  // Claims success; the write did not take.
+  }
+  machine_->SetAppPrefetchPercent(app, percent);
+  return Status::Ok();
+}
+
 Status Resctrl::WriteSchemata(ResctrlGroupId group, const std::string& text) {
   if (!GroupActive(group.clos())) {
     return NotFoundError("no such group");

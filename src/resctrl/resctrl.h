@@ -59,6 +59,12 @@ inline constexpr std::string_view kResctrlSetMbSilent =
 // Task binding (writes to `tasks`).
 inline constexpr std::string_view kResctrlAssignApp =
     "resctrl.assign_app.unavailable";
+// Per-app prefetch-throttle MSR writes (the 0x1A4 analogue): transient
+// rejection, and a silent drop only verify-readback can catch.
+inline constexpr std::string_view kPrefetchWrite =
+    "msr.prefetch_write.unavailable";
+inline constexpr std::string_view kPrefetchWriteSilent =
+    "msr.prefetch_write.silent_drop";
 // WriteSchemata applies the L3 line, then fails before the MB line — the
 // partial-apply race the transactional controller must roll back.
 inline constexpr std::string_view kResctrlSchemataPartial =
@@ -104,6 +110,11 @@ class Resctrl {
 
   // Binds an app's tasks to a group (like writing PIDs into `tasks`).
   Status AssignApp(ResctrlGroupId group, AppId app);
+
+  // Writes the app's prefetcher aggressiveness (the MSR 0x1A4 analogue the
+  // CBP-style policy actuates): percent must be 0..100 in steps of 10.
+  // 100 = prefetch fully enabled (hardware reset state).
+  Status SetAppPrefetch(AppId app, uint32_t percent);
 
   // Reads back the group's schemata, e.g. "L3:0=7ff;MB:0=100".
   std::string ReadSchemata(ResctrlGroupId group) const;

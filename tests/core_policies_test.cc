@@ -3,6 +3,7 @@
 
 #include <gtest/gtest.h>
 
+#include "common/fault_injector.h"
 #include "workload/workload.h"
 
 namespace copart {
@@ -81,6 +82,80 @@ TEST_F(PoliciesTest, StaticOraclePolicyAppliesGivenState) {
   EXPECT_EQ(machine_.ClosWayMask(machine_.AppClos(apps_[0])).bits(), 0x01Fu);
   EXPECT_EQ(machine_.ClosWayMask(machine_.AppClos(apps_[3])).bits(), 0x400u);
   EXPECT_EQ(machine_.ClosMbaLevel(machine_.AppClos(apps_[3])).percent(), 10u);
+}
+
+TEST_F(PoliciesTest, StaticPolicyTickRepairsDriftedState) {
+  std::vector<AppAllocation> allocations(4);
+  for (size_t i = 0; i < 4; ++i) {
+    allocations[i] = {.llc_ways = i == 0 ? 5u : 2u,
+                      .mba_level = MbaLevel::FromPercentChecked(100)};
+  }
+  auto policy =
+      MakeStaticOraclePolicy(&resctrl_, apps_, SystemState(FullPool(),
+                                                           allocations));
+  auto* static_policy = static_cast<StaticStatePolicy*>(policy.get());
+  policy->Start();
+  const uint32_t clos = machine_.AppClos(apps_[0]);
+  ASSERT_EQ(machine_.ClosWayMask(clos).bits(), 0x01Fu);
+
+  // A drift-free tick is a no-op.
+  policy->Tick();
+  EXPECT_EQ(static_policy->drifts_detected(), 0u);
+
+  // External drift (a fault rolled back a write, an operator fat-fingered
+  // the schemata): the next tick must detect and repair it.
+  machine_.SetClosWayMask(clos, WayMask::Contiguous(0, 1));
+  machine_.SetClosMbaLevel(clos, MbaLevel::FromPercentChecked(10));
+  policy->Tick();
+  EXPECT_EQ(static_policy->drifts_detected(), 1u);
+  EXPECT_EQ(static_policy->drifts_repaired(), 1u);
+  EXPECT_EQ(machine_.ClosWayMask(clos).bits(), 0x01Fu);
+  EXPECT_EQ(machine_.ClosMbaLevel(clos).percent(), 100u);
+}
+
+TEST(StaticPolicyFaultTest, TickRetriesRepairUntilTheSubstrateRecovers) {
+  FaultInjector injector(0xE44ULL);
+  MachineConfig config;
+  config.ips_noise_sigma = 0.0;
+  config.fault_injector = &injector;
+  SimulatedMachine machine(config);
+  Resctrl resctrl(&machine);
+  std::vector<AppId> apps;
+  for (const WorkloadDescriptor& descriptor : {WaterNsquared(), Cg()}) {
+    Result<AppId> app = machine.LaunchApp(descriptor, 4);
+    CHECK(app.ok());
+    apps.push_back(*app);
+  }
+  std::vector<AppAllocation> allocations(2);
+  allocations[0] = {.llc_ways = 8,
+                    .mba_level = MbaLevel::FromPercentChecked(100)};
+  allocations[1] = {.llc_ways = 3,
+                    .mba_level = MbaLevel::FromPercentChecked(100)};
+  const ResourcePool pool{.first_way = 0, .num_ways = 11,
+                          .max_mba_percent = 100};
+  auto policy =
+      MakeStaticOraclePolicy(&resctrl, apps, SystemState(pool, allocations));
+  auto* static_policy = static_cast<StaticStatePolicy*>(policy.get());
+  policy->Start();
+  const uint32_t clos = machine.AppClos(apps[0]);
+
+  // Drift the mask while schemata writes are hard-failing: Tick() must
+  // count the drift but cannot repair it yet — and must not crash.
+  machine.SetClosWayMask(clos, WayMask::Contiguous(0, 1));
+  FaultSpec down;
+  down.probability = 1.0;
+  injector.Arm(fault_points::kResctrlSetL3, down);
+  policy->Tick();
+  EXPECT_EQ(static_policy->drifts_detected(), 1u);
+  EXPECT_EQ(static_policy->drifts_repaired(), 0u);
+  EXPECT_EQ(machine.ClosWayMask(clos).bits(), 0x001u);
+
+  // Substrate recovers: the next tick completes the repair.
+  injector.DisarmAll();
+  policy->Tick();
+  EXPECT_EQ(static_policy->drifts_detected(), 2u);
+  EXPECT_EQ(static_policy->drifts_repaired(), 1u);
+  EXPECT_EQ(machine.ClosWayMask(clos).bits(), 0x0FFu);
 }
 
 TEST_F(PoliciesTest, CoPartModesGateTheirResources) {

@@ -1,0 +1,123 @@
+// Golden regression test for the policy A/B harness: a reduced sweep
+// (every registered partition policy over the paper mixes at 4 apps plus a
+// 24-app consolidation, 10 simulated seconds) is serialized with full
+// double precision (%.17g) and compared byte-for-byte against
+// tests/golden/policy_ab_golden.json. Any change to a partition policy's
+// decisions — CoPart's lending FSM, LFOC's clustering, LFOC+'s split/merge,
+// CBP's prefetch throttle — or to the driver plumbing that shifts a cell by
+// one ULP fails here.
+//
+// To regenerate after an INTENDED behavior change:
+//   COPART_REGENERATE_GOLDEN=1 ./harness_policy_ab_golden_test
+// then review the diff of tests/golden/policy_ab_golden.json like any other
+// code change.
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "common/parallel.h"
+#include "harness/policy_ab.h"
+
+namespace copart {
+namespace {
+
+#ifndef COPART_GOLDEN_DIR
+#error "COPART_GOLDEN_DIR must be defined by the build"
+#endif
+
+std::string GoldenPath() {
+  return std::string(COPART_GOLDEN_DIR) + "/policy_ab_golden.json";
+}
+
+// Reduced relative to the copartctl default (48 apps, 50 s) so the test
+// stays fast; single-threaded so it pins the canonical execution. The
+// conformance suite separately proves other thread counts serialize
+// bit-identically.
+PolicyAbConfig GoldenConfig() {
+  PolicyAbConfig config;
+  config.paper_mix_app_count = 4;
+  config.many_apps = 24;
+  config.duration_sec = 10.0;
+  config.parallel = ParallelConfig{.num_threads = 1};
+  return config;
+}
+
+TEST(PolicyAbGoldenTest, AbTableMatchesGoldenFile) {
+  const PolicyAbResult result = RunPolicyAb(GoldenConfig());
+  const std::string actual = PolicyAbToJson(result);
+  const std::string path = GoldenPath();
+
+  if (std::getenv("COPART_REGENERATE_GOLDEN") != nullptr) {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    ASSERT_TRUE(out.good()) << "cannot write " << path;
+    out << actual;
+    out.close();
+    ASSERT_TRUE(out.good()) << "short write to " << path;
+    GTEST_SKIP() << "regenerated " << path << "; review the diff";
+  }
+
+  std::ifstream in(path, std::ios::binary);
+  ASSERT_TRUE(in.good())
+      << "missing golden file " << path
+      << " — run with COPART_REGENERATE_GOLDEN=1 to create it";
+  std::ostringstream contents;
+  contents << in.rdbuf();
+  const std::string expected = contents.str();
+
+  if (actual != expected) {
+    std::istringstream actual_lines(actual), expected_lines(expected);
+    std::string actual_line, expected_line;
+    size_t line = 0;
+    while (true) {
+      ++line;
+      const bool have_actual =
+          static_cast<bool>(std::getline(actual_lines, actual_line));
+      const bool have_expected =
+          static_cast<bool>(std::getline(expected_lines, expected_line));
+      if (!have_actual && !have_expected) {
+        break;
+      }
+      if (!have_actual || !have_expected || actual_line != expected_line) {
+        FAIL() << "golden mismatch at line " << line << "\n  golden: "
+               << (have_expected ? expected_line : "<eof>")
+               << "\n  actual: " << (have_actual ? actual_line : "<eof>")
+               << "\nIf this change is intended, regenerate with "
+                  "COPART_REGENERATE_GOLDEN=1 and review the diff.";
+      }
+    }
+  }
+  SUCCEED();
+}
+
+// The acceptance property the golden document must keep encoding: on the
+// many-apps consolidation the best clustered policy strictly beats the
+// per-app CoPart fallback on unfairness while leaving nobody unmanaged.
+TEST(PolicyAbGoldenTest, ClusteringWinsTheManyAppsScenario) {
+  const PolicyAbResult result = RunPolicyAb(GoldenConfig());
+  const PolicyAbCell* copart = nullptr;
+  const PolicyAbCell* best_clustered = nullptr;
+  for (const PolicyAbCell& cell : result.cells) {
+    if (cell.scenario.rfind("many-", 0) != 0) {
+      continue;
+    }
+    if (cell.policy == "copart") {
+      copart = &cell;
+    } else if (best_clustered == nullptr ||
+               cell.unfairness < best_clustered->unfairness) {
+      best_clustered = &cell;
+    }
+  }
+  ASSERT_NE(copart, nullptr);
+  ASSERT_NE(best_clustered, nullptr);
+  EXPECT_GT(copart->unmanaged_apps, 0u)
+      << "per-app CoPart should refuse most of the consolidation";
+  EXPECT_EQ(best_clustered->unmanaged_apps, 0u);
+  EXPECT_LT(best_clustered->unfairness, copart->unfairness)
+      << best_clustered->policy << " must strictly beat the CoPart fallback";
+}
+
+}  // namespace
+}  // namespace copart

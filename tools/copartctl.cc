@@ -18,6 +18,11 @@
 //                                    job arrivals over N nodes, background
 //                                    node faults, one crash wave, live
 //                                    migration with verify/rollback
+//   policies [--many N] [--apps N] [--duration s] [--json path]
+//                                    partition-policy A/B table: CoPart vs
+//                                    the clustered LFOC / LFOC+ / CBP
+//                                    rivals over the paper mixes plus the
+//                                    many-apps scenario (DESIGN.md §14)
 //   trace <mix|casestudy|serve|cluster> [count] [s]  run CoPart (or the
 //                                    casestudy / serve / cluster demo
 //                                    scenario) with observability on
@@ -39,6 +44,7 @@
 #include "harness/fleet.h"
 #include "harness/heatmap.h"
 #include "harness/mix.h"
+#include "harness/policy_ab.h"
 #include "harness/sensing.h"
 #include "harness/serve.h"
 #include "harness/static_oracle.h"
@@ -64,6 +70,7 @@ int Usage() {
       "  sensing [mix] [app_count] [duration_sec] [--csv path]\n"
       "  chaos [schedules] [base_seed] | chaos --seed <schedule_seed>\n"
       "  fleet [nodes] [epochs] [--seed S] [--wave epoch] [--out prefix]\n"
+      "  policies [--many N] [--apps N] [--duration s] [--json path]\n"
       "  trace <mix|casestudy|serve|cluster> [app_count] [duration_sec] "
       "[--out prefix]\n"
       "mixes: H-LLC H-BW H-Both M-LLC M-BW M-Both IS\n"
@@ -559,6 +566,34 @@ int CmdFleet(size_t nodes, int epochs, uint64_t seed, int wave_epoch,
   return c.invariant_violations > 0 ? 1 : 0;
 }
 
+// The partition-policy A/B table (DESIGN.md §14): every registered policy
+// over the paper's mixes plus the many-apps consolidation that per-app
+// CoPart cannot cover. --json writes the full-precision serialization the
+// golden test pins.
+int CmdPolicies(size_t many_apps, size_t paper_apps, double duration,
+                const std::string& json_path, const ParallelConfig& parallel) {
+  PolicyAbConfig config;
+  config.many_apps = many_apps;
+  config.paper_mix_app_count = paper_apps;
+  config.duration_sec = duration;
+  config.parallel = parallel;
+  const PolicyAbResult result = RunPolicyAb(config);
+  PrintPolicyAbTable(result);
+  std::printf("sweep: %s\n", result.stats.Summary().c_str());
+  if (!json_path.empty()) {
+    std::FILE* out = std::fopen(json_path.c_str(), "wb");
+    if (out == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
+      return 1;
+    }
+    const std::string json = PolicyAbToJson(result);
+    std::fwrite(json.data(), 1, json.size(), out);
+    std::fclose(out);
+    std::printf("json -> %s\n", json_path.c_str());
+  }
+  return 0;
+}
+
 int Main(int argc, char** argv) {
   const ParallelConfig parallel = ParseThreadsFlag(argc, argv);
   if (argc < 2) {
@@ -668,6 +703,26 @@ int Main(int argc, char** argv) {
       return 2;
     }
     return CmdFleet(nodes, epochs, seed, wave_epoch, obs_prefix, parallel);
+  }
+  if (command == "policies") {
+    size_t many_apps = 48;
+    size_t paper_apps = 6;
+    double duration = 50.0;
+    std::string json_path;
+    for (int i = 2; i < argc; ++i) {
+      if (std::strcmp(argv[i], "--many") == 0 && i + 1 < argc) {
+        many_apps = std::strtoul(argv[++i], nullptr, 10);
+      } else if (std::strcmp(argv[i], "--apps") == 0 && i + 1 < argc) {
+        paper_apps = std::strtoul(argv[++i], nullptr, 10);
+      } else if (std::strcmp(argv[i], "--duration") == 0 && i + 1 < argc) {
+        duration = std::strtod(argv[++i], nullptr);
+      } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+        json_path = argv[++i];
+      } else {
+        return Usage();
+      }
+    }
+    return CmdPolicies(many_apps, paper_apps, duration, json_path, parallel);
   }
   if (command == "trace" && argc >= 3) {
     std::string prefix = "copart_trace";

@@ -34,6 +34,13 @@ TESTS=(
   # counts.
   core_classifier_accuracy_test
   core_sensing_chaos_test
+  # Partition policies: the conformance suite pins thread-count invariance
+  # of the policy A/B harness, the policy chaos suite fans 100 fault
+  # schedules per rival policy out on the pool, and the A/B golden suite is
+  # the serialized cross-thread contract.
+  core_policy_conformance_test
+  core_policy_chaos_test
+  harness_policy_ab_golden_test
   harness_determinism_test
   harness_golden_test
   harness_heatmap_test
