@@ -1,0 +1,140 @@
+// Throughput of the pluggable SLO governors (src/slo, DESIGN.md §15):
+// epochs/sec of the full SLO-mode serve loop — machine epoch, LC queue
+// service, governor re-plan, outcome feedback, CoPart tick — once per
+// registered governor under the same steady Poisson scenario. Emits a
+// machine-readable BENCH_governor.json (committed at the repo root as the
+// baseline); tools/run_perf_smoke.sh fails CI when any per-governor point
+// regresses >20% against it, and separately gates the learned governors'
+// managed-loop overhead versus the threshold loop at <10% — the learned
+// bookkeeping (MPC correction cells, bandit arm tables) must stay a
+// rounding error next to the epoch solve itself.
+//
+// Flags:
+//   --json=PATH         where to write the JSON report
+//                       (default BENCH_governor.json in the CWD — run from
+//                       the repo root to refresh the baseline)
+//   --min-seconds=S     measurement time per data point (default 0.25)
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/logging.h"
+#include "harness/serve.h"
+#include "slo/slo_governor.h"
+#include "workload/workload.h"
+
+namespace copart {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double Elapsed(const Clock::time_point& start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+// Epochs/sec of the SLO-mode serve loop with the named governor planning
+// the LC slice. Same machine and load as bench_serve's slo_loop point so
+// the threshold number here stays comparable to that baseline.
+double MeasureGovernorEpochsPerSec(const std::string& governor,
+                                   double min_seconds) {
+  ServeScenarioConfig config = Section63ServeScenario();
+  config.lc_apps[0].arrival.kind = ArrivalKind::kPoisson;
+  config.lc_apps[0].arrival.base_rate_rps = 120000.0;
+  config.lc_apps[0].arrival.burst_phases.clear();
+  config.duration_sec = 60.0;
+  config.mode = ServeMode::kCopartSlo;
+  config.copart_params.slo.governor = governor;
+  const double epochs_per_run =
+      config.duration_sec / config.control_period_sec;
+  long epochs = 0;
+  double elapsed = 0.0;
+  const Clock::time_point start = Clock::now();
+  do {
+    const ServeScenarioResult result = RunServeScenario(config);
+    CHECK_EQ(result.samples.size(), static_cast<size_t>(epochs_per_run));
+    epochs += static_cast<long>(epochs_per_run);
+    elapsed = Elapsed(start);
+  } while (elapsed < min_seconds);
+  return static_cast<double>(epochs) / elapsed;
+}
+
+int Run(const std::string& json_path, double min_seconds) {
+  const std::vector<std::string> governors = RegisteredSloGovernorNames();
+  CHECK(!governors.empty());
+
+  std::vector<double> epochs_per_sec;
+  double threshold_eps = 0.0;
+  for (const std::string& governor : governors) {
+    const double eps = MeasureGovernorEpochsPerSec(governor, min_seconds);
+    std::printf("governor: %s_epochs_per_sec=%.0f\n", governor.c_str(), eps);
+    epochs_per_sec.push_back(eps);
+    if (governor == "threshold") {
+      threshold_eps = eps;
+    }
+  }
+  CHECK_GT(threshold_eps, 0.0);
+
+  // The headline overhead: the SLOWEST learned governor's managed loop
+  // priced against the threshold loop. Positive = learned is slower.
+  double worst_overhead_pct = 0.0;
+  for (size_t i = 0; i < governors.size(); ++i) {
+    if (governors[i] == "threshold") {
+      continue;
+    }
+    const double pct = 100.0 * (threshold_eps / epochs_per_sec[i] - 1.0);
+    if (pct > worst_overhead_pct) {
+      worst_overhead_pct = pct;
+    }
+  }
+  std::printf("governor: learned_overhead_pct=%.2f\n", worst_overhead_pct);
+
+  // One result object per line so the smoke script can grep/awk it without
+  // a JSON parser (same convention as bench_serve).
+  std::FILE* out = std::fopen(json_path.c_str(), "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
+    return 1;
+  }
+  std::fprintf(out, "{\n  \"bench\": \"governor\",\n");
+  std::fprintf(out, "  \"learned_overhead_pct\": %.2f,\n",
+               worst_overhead_pct);
+  std::fprintf(out, "  \"results\": [\n");
+  for (size_t i = 0; i < governors.size(); ++i) {
+    std::fprintf(out,
+                 "    {\"point\": \"%s_epochs_per_sec\", \"value\": %.1f}%s\n",
+                 governors[i].c_str(), epochs_per_sec[i],
+                 i + 1 == governors.size() ? "" : ",");
+  }
+  std::fprintf(out, "  ]\n}\n");
+  std::fclose(out);
+  std::printf("governor: wrote %s\n", json_path.c_str());
+  return 0;
+}
+
+}  // namespace
+}  // namespace copart
+
+int main(int argc, char** argv) {
+  std::string json_path = "BENCH_governor.json";
+  double min_seconds = 0.25;
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strncmp(arg, "--json=", 7) == 0) {
+      json_path = arg + 7;
+    } else if (std::strncmp(arg, "--min-seconds=", 14) == 0) {
+      min_seconds = std::atof(arg + 14);
+      if (min_seconds <= 0.0) {
+        std::fprintf(stderr, "invalid --min-seconds\n");
+        return 2;
+      }
+    } else {
+      std::fprintf(stderr, "usage: %s [--json=PATH] [--min-seconds=S]\n",
+                   argv[0]);
+      return 2;
+    }
+  }
+  return copart::Run(json_path, min_seconds);
+}

@@ -29,7 +29,7 @@
 #include "common/parallel.h"
 #include "common/status.h"
 #include "core/resource_manager.h"
-#include "core/slo_governor.h"
+#include "slo/slo_governor.h"
 #include "machine/simulated_machine.h"
 #include "pmc/perf_monitor.h"
 #include "resctrl/resctrl.h"

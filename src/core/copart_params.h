@@ -10,6 +10,8 @@
 #include <string>
 #include <vector>
 
+#include "slo/slo_params.h"
+
 namespace copart {
 
 class SystemState;
@@ -70,44 +72,9 @@ struct ActuationParams {
   double saturation_instructions = 1e12;
 };
 
-// SLO-aware serving mode (paper §6.3, DESIGN.md §9). When enabled, the
-// manager carves a latency-critical slice off its resource pool *before*
-// running the CoPart fairness allocation: each registered LC app
-// (ResourceManager::SetLatencyCriticalApp) gets the smallest CLOS for
-// which its predicted p95 — an M/M/1 sojourn tail at the app's modelled
-// IPS capability (serve/queue_model.h) — meets the SLO with headroom,
-// and the batch apps are matched over the remaining ways.
-struct SloParams {
-  bool enabled = false;
-
-  // Minimum ways an LC CLOS may ever hold. The governor never plans below
-  // it, and the chaos property suite pins that no fault schedule can leave
-  // the actuated LC mask narrower.
-  uint32_t lc_way_floor = 1;
-
-  // The LC slice is sized so predicted p95 <= slo_p95_ms / headroom.
-  double headroom = 1.25;
-
-  // Capacity guard: the slice must also keep offered/service utilization
-  // at or below this. Near saturation the M/M/1 tail is hyper-sensitive
-  // to capability-model error (a few percent of optimism turns a "meets
-  // the SLO" plan into an overloaded queue), so the p95 test alone is not
-  // a safe provisioning criterion.
-  double max_utilization = 0.9;
-
-  // Shrink hysteresis: a narrower slice is adopted only if it still meets
-  // the target with the offered load inflated by this factor, so way
-  // quantization noise cannot flap the slice every period.
-  double shrink_load_margin = 1.2;
-
-  // Offered load (requests/s) at or above which the batch slice's MBA
-  // ceiling is capped to batch_mba_protect_percent, shielding the LC
-  // app's memory traffic during load peaks (Fig. 15's burst response);
-  // <= 0 disables. The cap also engages whenever the SLO is predicted
-  // unattainable at every permitted slice width.
-  double protect_rps_threshold = 0.0;
-  uint32_t batch_mba_protect_percent = 50;
-};
+// SloParams (the SLO-aware serving mode, paper §6.3, DESIGN.md §9/§15)
+// lives in slo/slo_params.h next to the pluggable governors; it is
+// re-exported here as ResourceManagerParams::slo.
 
 // Unfairness-trend backoff (an FCP-style OFF/ON/BACKOFF governor over the
 // exploration loop; DESIGN.md §10.3). Partitioning does not help every

@@ -227,6 +227,38 @@ void ResourceManager::SetLcOfferedLoad(AppId app, double rps) {
   lc_apps_[LcIndex(app)].offered_rps = std::max(rps, 0.0);
 }
 
+void ResourceManager::ReportLcOutcome(AppId app, double measured_p95_ms,
+                                      bool stalled, size_t phase_index) {
+  LcManaged& lc = lc_apps_[LcIndex(app)];
+  SloOutcome outcome;
+  // lc.offered_rps still holds the load the served period was planned
+  // for: the harness reports before feeding the next period's load.
+  outcome.offered_rps = lc.offered_rps;
+  outcome.lc_ways = lc.ways;
+  outcome.batch_mba_percent = pool_.max_mba_percent;
+  outcome.measured_p95_ms = measured_p95_ms;
+  outcome.stalled = stalled;
+  outcome.phase_index = phase_index;
+  lc.governor->ObserveOutcome(outcome);
+  if (AuditLog* audit = ObsAudit(obs_)) {
+    AuditRecord record;
+    record.kind = AuditKind::kGovernorOutcome;
+    record.epoch = ticks_;
+    record.time_sec = resctrl_->machine().now();
+    record.phase = PhaseName(phase_);
+    record.trigger = "slo_outcome";
+    record.app_id = static_cast<int32_t>(app.value());
+    record.clos = static_cast<int32_t>(lc.group.clos());
+    record.new_mask = lc.ways;
+    record.new_mba = static_cast<int32_t>(pool_.max_mba_percent);
+    record.detail = stalled ? "stalled"
+                    : measured_p95_ms <= lc.governor->model().slo_p95_ms
+                        ? "meets"
+                        : "violation";
+    audit->Append(record);
+  }
+}
+
 Status ResourceManager::SetLatencyCriticalApp(AppId app,
                                               const LcAppModel& model) {
   if (!params_.slo.enabled) {
@@ -267,8 +299,8 @@ Status ResourceManager::SetLatencyCriticalApp(AppId app,
     }
     return assigned;
   }
-  lc_apps_.push_back(
-      LcManaged{app, *group, SloGovernor(params_.slo, model)});
+  lc_apps_.push_back(LcManaged{
+      app, *group, MakeSloGovernor(params_.slo.governor, params_.slo, model)});
   lc_apps_.back().offered_rps = std::max(model.initial_offered_rps, 0.0);
   audit_trigger_ = "slo_admit";
   const bool pool_changed = EvaluateSlo(/*force=*/true);
@@ -305,7 +337,7 @@ bool ResourceManager::EvaluateSlo(bool force) {
       reserved += params_.slo.lc_way_floor;
     }
     const uint32_t max_ways = remaining > reserved ? remaining - reserved : 1;
-    decisions[i] = lc_apps_[i].governor.Plan(
+    decisions[i] = lc_apps_[i].governor->Plan(
         lc_apps_[i].offered_rps, max_ways, lc_apps_[i].ways,
         base_pool_.max_mba_percent);
     firsts[i] = next_first;

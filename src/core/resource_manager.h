@@ -66,12 +66,12 @@
 #include "core/copart_params.h"
 #include "core/hr_matching.h"
 #include "core/partition_policy.h"
-#include "core/slo_governor.h"
 #include "core/system_state.h"
 #include "machine/app_id.h"
 #include "obs/obs.h"
 #include "pmc/perf_monitor.h"
 #include "resctrl/resctrl.h"
+#include "slo/slo_governor.h"
 
 namespace copart {
 
@@ -134,12 +134,23 @@ class ResourceManager {
   // it gets a dedicated CLOS whose width the SLO governor re-plans every
   // control period from the offered load, growing ways (then capping the
   // batch MBA ceiling) until the predicted p95 meets model.slo_p95_ms
-  // with headroom. Batch apps added via AddApp() are matched over the
-  // ways left. Fails unless params.slo.enabled.
+  // with headroom. The governor implementation is selected by
+  // params.slo.governor (slo/slo_governor.h registry). Batch apps added
+  // via AddApp() are matched over the ways left. Fails unless
+  // params.slo.enabled.
   Status SetLatencyCriticalApp(AppId app, const LcAppModel& model);
   // Offered load (requests/s) the governor plans the app's NEXT period
   // for. The app must be registered via SetLatencyCriticalApp.
   void SetLcOfferedLoad(AppId app, double rps);
+  // Reports the measured outcome of the control period that just ran for
+  // a registered LC app: the harness calls it after advancing the served
+  // period and before SetLcOfferedLoad/Tick for the next one. The manager
+  // pairs the measurement with the decision that served the period and
+  // forwards it to the governor's ObserveOutcome (the learning signal of
+  // the adaptive governors; the threshold governor ignores it) and, when
+  // observability is attached, appends an "slo_outcome" audit record.
+  void ReportLcOutcome(AppId app, double measured_p95_ms, bool stalled,
+                       size_t phase_index);
   size_t NumLcApps() const { return lc_apps_.size(); }
   // Currently actuated slice width / latest prediction for a registered
   // LC app.
@@ -277,7 +288,7 @@ class ResourceManager {
   struct LcManaged {
     AppId id;
     ResctrlGroupId group;
-    SloGovernor governor;
+    std::unique_ptr<SloGovernor> governor;
     uint32_t ways = 0;       // Actuated slice width (0 until first actuation).
     uint32_t first_way = 0;  // Actuated slice origin.
     double offered_rps = 0.0;

@@ -1,0 +1,93 @@
+// SLO-governor A/B harness (DESIGN.md §15).
+//
+// Runs every registered SLO governor (slo/slo_governor.h: the extracted
+// threshold walk plus the learned MPC and contextual-bandit governors)
+// over the same serving scenarios and reports the headline serving
+// metrics side by side: run-level p95, the SLO-violation rate, the epoch
+// at which violations cease ("convergence"), the mean LC slice width (the
+// cost the governor pays for its latency), and batch unfairness.
+//
+// Scenarios are the four arrival/workload shapes the paper's §6.3 case
+// study generalizes to:
+//   burst        — the §6.3 load step (Fig. 15 compressed).
+//   diurnal      — sinusoidal load swing over two periods.
+//   flash-crowd  — a one-shot step to ~2.2x for 8 s (serve/arrival.h's
+//                  kFlashCrowd shape): the queue-drain transient the
+//                  steady-state M/M/1 model cannot see.
+//   phase-shift  — the correlated MemcachedPhased + batch pair
+//                  (workload/workload.h): the LC hot set rotates every
+//                  12 s, so the phase-blind analytic capability model
+//                  over-promises exactly when the batch side surges too.
+//
+// The learned governors exist to win the last two: threshold replans from
+// the same analytic surface every period and re-violates every rotation /
+// drain, while MPC's corrections and the bandit's per-phase arms persist.
+// Cells fan out across ParallelConfig threads under the usual determinism
+// contract (each cell depends only on its index; reduction is serial), so
+// the serialized result is bit-identical for every --threads value —
+// pinned by tests/harness_governor_ab_golden_test.cc.
+#ifndef COPART_HARNESS_GOVERNOR_AB_H_
+#define COPART_HARNESS_GOVERNOR_AB_H_
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/parallel.h"
+#include "common/status.h"
+#include "harness/serve.h"
+
+namespace copart {
+
+struct GovernorAbScenario {
+  std::string name;
+  // mode/slo.governor are overwritten per cell; everything else is the
+  // scenario identity (workloads, arrival trace, seed, duration).
+  ServeScenarioConfig config;
+};
+
+struct GovernorAbConfig {
+  // Registry names to compare; empty = every registered governor.
+  std::vector<std::string> governors;
+  ParallelConfig parallel;
+};
+
+struct GovernorAbCell {
+  std::string scenario;
+  std::string governor;
+  double p95_ms = 0.0;               // Run-level LC p95.
+  double slo_violation_rate = 0.0;   // Fraction of violating epochs.
+  // Control periods until SLO violations cease: index of the last
+  // violating period + 1 (0 = the governor never violated). Lower is
+  // faster convergence to a sustainably sized slice.
+  uint64_t convergence_epochs = 0;
+  double mean_lc_ways = 0.0;         // Average slice width (the cost side).
+  double batch_unfairness = 0.0;     // Whole-run Eq. 1/Eq. 2 unfairness.
+  uint64_t slo_resizes = 0;
+};
+
+struct GovernorAbResult {
+  std::vector<GovernorAbCell> cells;  // Scenario-major, governor-minor.
+  SweepStats stats;
+};
+
+// The four standard scenarios described above.
+std::vector<GovernorAbScenario> GovernorAbScenarios();
+
+// Runs |scenarios| x |governors| serve cells across config.parallel.
+GovernorAbResult RunGovernorAb(const GovernorAbConfig& config);
+
+// Full-precision (%.17g) serialization, the golden/determinism surface.
+std::string GovernorAbToJson(const GovernorAbResult& result);
+
+// One row per cell, for plotting.
+Status WriteGovernorAbCsv(const GovernorAbResult& result,
+                          const std::string& path);
+
+// Aligned table plus verdict lines for the two learned-governor scenarios.
+void PrintGovernorAbTable(const GovernorAbResult& result,
+                          std::FILE* out = stdout);
+
+}  // namespace copart
+
+#endif  // COPART_HARNESS_GOVERNOR_AB_H_

@@ -5,7 +5,9 @@
 #include <cmath>
 #include <cstdio>
 #include <memory>
+#include <sstream>
 #include <utility>
+#include <vector>
 
 #include "common/logging.h"
 #include "common/rng.h"
@@ -13,6 +15,7 @@
 #include "core/resource_manager.h"
 #include "core/system_state.h"
 #include "harness/csv_writer.h"
+#include "harness/whatif.h"
 #include "machine/simulated_machine.h"
 #include "metrics/fairness.h"
 #include "pmc/perf_monitor.h"
@@ -26,6 +29,94 @@ std::string FormatG6(double value) {
   char buf[64];
   std::snprintf(buf, sizeof(buf), "%.6g", value);
   return std::string(buf);
+}
+
+std::string Format17G(double value) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", value);
+  return std::string(buf);
+}
+
+// Measured capability table for the what-if path: LC IPS at each way width
+// from a snapshot/rollback epoch solve against the colocated batch set.
+// Index 0 is unused (the governor never asks for 0 ways).
+std::vector<double> WhatIfCapabilityTable(const ServeScenarioConfig& config,
+                                          size_t lc_index) {
+  const ServeLcSpec& spec = config.lc_apps[lc_index];
+  std::vector<WorkloadDescriptor> workloads;
+  WorkloadDescriptor lc = spec.workload;
+  lc.num_threads = spec.cores;
+  workloads.push_back(std::move(lc));
+  for (const ServeBatchSpec& batch : config.batch_apps) {
+    WorkloadDescriptor b = batch.workload;
+    b.num_threads = batch.cores;
+    workloads.push_back(std::move(b));
+  }
+  WhatIfEvaluator evaluator(workloads, config.machine);
+
+  const uint32_t total_ways = config.machine.llc.num_ways;
+  const size_t num_batch = config.batch_apps.size();
+  // Every app needs >= 1 way in a valid state, so widths beyond
+  // total - num_batch reuse the widest evaluable row.
+  const uint32_t max_lc_ways =
+      total_ways > num_batch ? total_ways - static_cast<uint32_t>(num_batch)
+                             : 1;
+  const ResourcePool pool{.first_way = 0,
+                          .num_ways = total_ways,
+                          .max_mba_percent = MbaLevel::kMax};
+  std::vector<double> table(total_ways + 1, 0.0);
+  for (uint32_t ways = 1; ways <= total_ways; ++ways) {
+    const uint32_t lc_ways = std::min(ways, max_lc_ways);
+    std::vector<AppAllocation> allocations;
+    allocations.push_back(
+        AppAllocation{.llc_ways = lc_ways, .mba_level = MbaLevel()});
+    const uint32_t rest = total_ways - lc_ways;
+    for (size_t b = 0; b < num_batch; ++b) {
+      const uint32_t share = static_cast<uint32_t>(
+          rest / num_batch + (b < rest % num_batch ? 1 : 0));
+      allocations.push_back(AppAllocation{.llc_ways = std::max(share, 1u),
+                                          .mba_level = MbaLevel()});
+    }
+    const WhatIfOutcome outcome =
+        evaluator.Evaluate(SystemState(pool, std::move(allocations)));
+    table[ways] = outcome.predicted_ips[0];
+  }
+  return table;
+}
+
+void AppendComparisonCell(std::ostringstream& out,
+                          const ServeScenarioResult& result) {
+  out << "  \"" << ServeModeName(result.mode) << "\": {\n";
+  const ServeLcResult& lc = result.lc.front();
+  out << "    \"lc_name\": \"" << lc.name << "\",\n";
+  out << "    \"arrivals\": " << lc.arrivals << ",\n";
+  out << "    \"completions\": " << lc.completions << ",\n";
+  out << "    \"drops\": " << lc.drops << ",\n";
+  out << "    \"queue_depth_end\": " << lc.queue_depth_end << ",\n";
+  out << "    \"p50_ms\": " << Format17G(lc.p50_ms) << ",\n";
+  out << "    \"p95_ms\": " << Format17G(lc.p95_ms) << ",\n";
+  out << "    \"p99_ms\": " << Format17G(lc.p99_ms) << ",\n";
+  out << "    \"slo_violation_fraction\": "
+      << Format17G(lc.slo_violation_fraction) << ",\n";
+  out << "    \"mean_batch_unfairness\": "
+      << Format17G(result.mean_batch_unfairness) << ",\n";
+  out << "    \"run_batch_unfairness\": "
+      << Format17G(result.run_batch_unfairness) << ",\n";
+  out << "    \"copart_adaptations\": " << result.copart_adaptations << ",\n";
+  out << "    \"slo_resizes\": " << result.slo_resizes << ",\n";
+  // Every 10th control period: enough to pin the burst trajectory (ways
+  // widening, MBA protection, queue drain) without a bulky golden.
+  out << "    \"samples\": [\n";
+  for (size_t i = 0; i < result.samples.size(); i += 10) {
+    const ServeSample& s = result.samples[i];
+    out << "      [" << Format17G(s.time) << ", "
+        << Format17G(s.offered_rps) << ", " << Format17G(s.p95_ms)
+        << ", " << s.queue_depth << ", " << s.lc_ways << ", "
+        << s.batch_max_mba << ", \"" << s.phase << "\"]"
+        << (i + 10 < result.samples.size() ? "," : "") << "\n";
+  }
+  out << "    ]\n";
+  out << "  }";
 }
 
 }  // namespace
@@ -140,10 +231,20 @@ ServeScenarioResult RunServeScenario(const ServeScenarioConfig& config) {
       LcAppModel model;
       model.slo_p95_ms = lcs[i].slo_ms;
       model.instructions_per_request = lcs[i].ipr;
-      model.capability_ips = [desc = spec.workload, cores = spec.cores,
-                              mc = config.machine](uint32_t ways) {
-        return PredictLcCapabilityIps(desc, cores, ways, mc);
-      };
+      if (spec.whatif_capability) {
+        auto table = std::make_shared<const std::vector<double>>(
+            WhatIfCapabilityTable(config, i));
+        model.capability_ips = [table](uint32_t ways) {
+          const size_t index =
+              std::min<size_t>(ways, table->size() - 1);
+          return index == 0 ? 0.0 : (*table)[index];
+        };
+      } else {
+        model.capability_ips = [desc = spec.workload, cores = spec.cores,
+                                mc = config.machine](uint32_t ways) {
+          return PredictLcCapabilityIps(desc, cores, ways, mc);
+        };
+      }
       model.initial_offered_rps = ArrivalRateAt(spec.arrival, 0.0);
       Status status = manager->SetLatencyCriticalApp(lcs[i].id, model);
       CHECK(status.ok()) << status.ToString();
@@ -213,6 +314,14 @@ ServeScenarioResult RunServeScenario(const ServeScenarioConfig& config) {
       const bool stalled = stats.completions == 0 && stats.queue_depth_end > 0;
       if (stats.p95_ms > lcs[i].slo_ms || stalled) {
         ++lcs[i].violations;
+      }
+      if (manager != nullptr) {
+        // Close the governor's learning loop: the decision that shaped this
+        // epoch is still the manager's current plan, so learned governors
+        // can attribute the measured p95 to it. Threshold ignores this.
+        manager->ReportLcOutcome(
+            lcs[i].id, stats.p95_ms, stalled,
+            config.lc_apps[i].workload.PhaseIndexAt(machine.now()));
       }
       if (i == 0) {
         primary = stats;
@@ -334,6 +443,18 @@ ServeComparisonResult RunServeComparison(const ServeScenarioConfig& config,
       });
   return ServeComparisonResult{std::move(cells[0]), std::move(cells[1]),
                                std::move(cells[2])};
+}
+
+std::string SerializeServeComparison(const ServeComparisonResult& comparison) {
+  std::ostringstream out;
+  out << "{\n";
+  AppendComparisonCell(out, comparison.copart);
+  out << ",\n";
+  AppendComparisonCell(out, comparison.equal_share);
+  out << ",\n";
+  AppendComparisonCell(out, comparison.no_part);
+  out << "\n}\n";
+  return out.str();
 }
 
 Status WriteServeCsv(const ServeScenarioResult& result,

@@ -52,6 +52,12 @@ struct ServeLcSpec {
   double instructions_per_request = 0.0; // 0 = workload default.
   bool exponential_service = true;
   size_t queue_capacity = 1 << 16;
+  // When true, the SLO governor's capability model is measured rather than
+  // analytic: each candidate way width is scored by a what-if epoch solve
+  // (harness/whatif.h's snapshot/rollback evaluator) with the LC slice at
+  // that width against the colocated batch set. Slower to set up, but the
+  // model then sees the same contention physics the machine will apply.
+  bool whatif_capability = false;
 };
 
 struct ServeBatchSpec {
@@ -136,6 +142,12 @@ struct ServeComparisonResult {
 };
 ServeComparisonResult RunServeComparison(const ServeScenarioConfig& config,
                                          const ParallelConfig& parallel = {});
+
+// Canonical full-precision (%.17g) serialization of a comparison — the
+// byte-exact surface pinned by tests/golden/serve_golden.json and checked
+// by `copartctl governors` before trusting the extracted threshold
+// governor. Every 10th sample of each mode's trajectory is included.
+std::string SerializeServeComparison(const ServeComparisonResult& comparison);
 
 // Per-period CSV (header + one row per sample) for plotting.
 Status WriteServeCsv(const ServeScenarioResult& result,

@@ -74,6 +74,8 @@ const char* AuditKindName(AuditKind kind) {
       return "migration";
     case AuditKind::kNodeFault:
       return "node_fault";
+    case AuditKind::kGovernorOutcome:
+      return "governor_outcome";
   }
   return "unknown";
 }

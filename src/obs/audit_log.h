@@ -39,6 +39,10 @@ enum class AuditKind {
                       // node, app_id = fleet job id (DESIGN.md §13).
   kNodeFault,         // Fleet node fault-domain event (crash/slow/blackout/
                       // reboot); app_index = node index.
+  kGovernorOutcome,   // Measured outcome of one SLO-governed period fed
+                      // back to the governor (trigger "slo_outcome");
+                      // new_mask = slice ways, new_mba = batch MBA cap,
+                      // detail = "meets"/"violation"/"stalled".
 };
 
 const char* AuditKindName(AuditKind kind);

@@ -15,6 +15,11 @@ ArrivalGenerator::ArrivalGenerator(const ArrivalConfig& config, Rng rng)
     CHECK_GE(config_.diurnal_amplitude, 0.0);
     CHECK_LE(config_.diurnal_amplitude, 1.0);
   }
+  if (config_.kind == ArrivalKind::kFlashCrowd) {
+    CHECK_GE(config_.flash_start_sec, 0.0);
+    CHECK_GT(config_.flash_duration_sec, 0.0);
+    CHECK_GE(config_.flash_multiplier, 0.0);
+  }
   for (const BurstPhase& phase : config_.burst_phases) {
     CHECK_GT(phase.duration_sec, 0.0);
     CHECK_GE(phase.rate_multiplier, 0.0);
@@ -52,6 +57,13 @@ double ArrivalRateAt(const ArrivalConfig& config, double t) {
       }
       return config.base_rate_rps * config.burst_phases.back().rate_multiplier;
     }
+    case ArrivalKind::kFlashCrowd: {
+      const bool in_flash =
+          t >= config.flash_start_sec &&
+          t < config.flash_start_sec + config.flash_duration_sec;
+      return in_flash ? config.base_rate_rps * config.flash_multiplier
+                      : config.base_rate_rps;
+    }
   }
   return config.base_rate_rps;
 }
@@ -73,6 +85,8 @@ double ArrivalGenerator::PeakRate() const {
       }
       return config_.base_rate_rps * peak;
     }
+    case ArrivalKind::kFlashCrowd:
+      return config_.base_rate_rps * std::max(1.0, config_.flash_multiplier);
   }
   return config_.base_rate_rps;
 }

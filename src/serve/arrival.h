@@ -3,10 +3,13 @@
 // Three shapes, all driven from explicitly forked Rng streams so a
 // multi-server scenario replays bit-for-bit (DESIGN.md §9):
 //
-//   - kPoisson: homogeneous Poisson process at base_rate_rps.
-//   - kDiurnal: sinusoidal rate ramp, base * (1 + amplitude*sin(2*pi*t/T)).
-//   - kBurst:   piecewise-constant rate phases cycling through
-//               burst_phases (the §6.3 load-step trace is one of these).
+//   - kPoisson:    homogeneous Poisson process at base_rate_rps.
+//   - kDiurnal:    sinusoidal rate ramp, base * (1 + amplitude*sin(2*pi*t/T)).
+//   - kBurst:      piecewise-constant rate phases cycling through
+//                  burst_phases (the §6.3 load-step trace is one of these).
+//   - kFlashCrowd: base rate everywhere except one [start, start+duration)
+//                  window at base * flash_multiplier — the one-shot
+//                  flash-crowd step (it does NOT cycle like kBurst).
 //
 // The time-varying shapes use Lewis–Shedler thinning against the peak
 // rate: candidate arrivals are drawn from a homogeneous process at
@@ -23,7 +26,7 @@
 
 namespace copart {
 
-enum class ArrivalKind { kPoisson, kDiurnal, kBurst };
+enum class ArrivalKind { kPoisson, kDiurnal, kBurst, kFlashCrowd };
 
 // One piecewise-constant phase of a kBurst trace; phases cycle.
 struct BurstPhase {
@@ -42,6 +45,13 @@ struct ArrivalConfig {
   // kBurst phases, cycled for the lifetime of the generator. Empty falls
   // back to the constant base rate.
   std::vector<BurstPhase> burst_phases;
+
+  // kFlashCrowd: rate = base * flash_multiplier while
+  // t in [flash_start_sec, flash_start_sec + flash_duration_sec),
+  // base elsewhere. One-shot, not cyclic.
+  double flash_start_sec = 10.0;
+  double flash_duration_sec = 5.0;
+  double flash_multiplier = 4.0;
 };
 
 // Instantaneous offered rate (requests/s) of `config` at time t. The

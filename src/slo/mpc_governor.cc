@@ -1,0 +1,147 @@
+#include "slo/mpc_governor.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <utility>
+
+#include "common/logging.h"
+#include "serve/queue_model.h"
+
+namespace copart {
+
+MpcSloGovernor::MpcSloGovernor(const SloParams& params, LcAppModel model)
+    : SloGovernor(params, std::move(model)) {
+  CHECK_GT(params_.mpc.learning_rate, 0.0);
+  CHECK_LE(params_.mpc.learning_rate, 1.0);
+  CHECK_GT(params_.mpc.min_correction, 0.0);
+  CHECK_GE(params_.mpc.max_correction, params_.mpc.min_correction);
+  CHECK_GE(params_.mpc.min_cell_samples, 1);
+  CHECK_GT(params_.mpc.load_bucket_step, 1.0);
+}
+
+int MpcSloGovernor::LoadBucket(double offered_rps) const {
+  if (!(offered_rps > 1.0)) return 0;
+  return static_cast<int>(
+      std::floor(std::log(offered_rps) /
+                 std::log(params_.mpc.load_bucket_step)));
+}
+
+double MpcSloGovernor::CorrectionFor(uint32_t ways,
+                                     double offered_rps) const {
+  const int bucket = LoadBucket(offered_rps);
+  const auto cell = cells_.find({ways, bucket});
+  if (cell != cells_.end() &&
+      cell->second.samples >= params_.mpc.min_cell_samples) {
+    return cell->second.correction;
+  }
+  const auto marginal = load_marginal_.find(bucket);
+  if (marginal != load_marginal_.end() &&
+      marginal->second.samples >= params_.mpc.min_cell_samples) {
+    return marginal->second.correction;
+  }
+  return 1.0;  // Optimistic prior: trust the analytic model until taught.
+}
+
+double MpcSloGovernor::CorrectedP95Ms(double offered_rps, uint32_t ways) {
+  const double analytic = PredictedP95Ms(offered_rps, ServiceRps(ways));
+  if (!std::isfinite(analytic)) return analytic;
+  return analytic * CorrectionFor(ways, offered_rps);
+}
+
+SloDecision MpcSloGovernor::SmallestMeeting(double offered_rps,
+                                            uint32_t max_ways) {
+  const double target_ms = model_.slo_p95_ms / params_.headroom;
+  const uint32_t floor = std::min(params_.lc_way_floor, max_ways);
+  SloDecision decision;
+  decision.attainable = false;
+  for (uint32_t ways = floor; ways <= max_ways; ++ways) {
+    const double p95_ms = CorrectedP95Ms(offered_rps, ways);
+    decision.lc_ways = ways;
+    decision.predicted_p95_ms = p95_ms;
+    if (p95_ms <= target_ms &&
+        offered_rps <= params_.max_utilization * ServiceRps(ways)) {
+      decision.attainable = true;
+      break;
+    }
+  }
+  return decision;
+}
+
+SloDecision MpcSloGovernor::Plan(double offered_rps, uint32_t max_ways,
+                                 uint32_t current_ways,
+                                 uint32_t pool_max_mba) {
+  CHECK_GE(max_ways, 1u);
+  SloDecision decision = SmallestMeeting(offered_rps, max_ways);
+
+  // Same shrink hysteresis as the threshold loop, evaluated on the
+  // corrected surface.
+  if (current_ways > 0 && decision.lc_ways < current_ways) {
+    const SloDecision guarded = SmallestMeeting(
+        offered_rps * params_.shrink_load_margin, max_ways);
+    if (guarded.lc_ways > decision.lc_ways) {
+      decision.lc_ways = std::min(current_ways, guarded.lc_ways);
+      decision.predicted_p95_ms =
+          CorrectedP95Ms(offered_rps, decision.lc_ways);
+    }
+  }
+
+  decision.batch_mba_percent = pool_max_mba;
+  bool protect = !decision.attainable ||
+                 (params_.protect_rps_threshold > 0.0 &&
+                  offered_rps >= params_.protect_rps_threshold);
+  // Predictive protection: the learned marginal says the analytic model
+  // under-predicts tail latency at this load level — shield the LC app's
+  // memory traffic before the queue proves it again.
+  if (!protect && params_.mpc.protect_correction > 0.0) {
+    const auto marginal = load_marginal_.find(LoadBucket(offered_rps));
+    if (marginal != load_marginal_.end() &&
+        marginal->second.samples >= params_.mpc.min_cell_samples &&
+        marginal->second.correction >= params_.mpc.protect_correction) {
+      protect = true;
+    }
+  }
+  if (protect) {
+    decision.batch_mba_percent =
+        std::min(pool_max_mba, params_.batch_mba_protect_percent);
+  }
+  return decision;
+}
+
+void MpcSloGovernor::Absorb(Cell& cell, double ratio, double learning_rate) {
+  if (cell.samples == 0) {
+    cell.correction = ratio;
+  } else {
+    cell.correction =
+        (1.0 - learning_rate) * cell.correction + learning_rate * ratio;
+  }
+  ++cell.samples;
+}
+
+void MpcSloGovernor::ObserveOutcome(const SloOutcome& outcome) {
+  if (outcome.lc_ways == 0) return;
+  const double analytic =
+      PredictedP95Ms(outcome.offered_rps, ServiceRps(outcome.lc_ways));
+  double ratio;
+  if (outcome.stalled) {
+    // Queued requests, zero completions: the strongest evidence the
+    // analytic model over-estimated capability at this operating point.
+    ratio = params_.mpc.max_correction;
+  } else if (std::isfinite(analytic) && analytic > 0.0 &&
+             outcome.measured_p95_ms > 0.0) {
+    ratio = std::clamp(outcome.measured_p95_ms / analytic,
+                       params_.mpc.min_correction,
+                       params_.mpc.max_correction);
+  } else {
+    // The analytic model already predicted saturation (+inf) or the
+    // period completed nothing without queueing: no ratio to learn from.
+    return;
+  }
+  const int bucket = LoadBucket(outcome.offered_rps);
+  Absorb(cells_[{outcome.lc_ways, bucket}], ratio,
+         params_.mpc.learning_rate);
+  Absorb(load_marginal_[bucket], ratio, params_.mpc.learning_rate);
+  ++outcomes_observed_;
+}
+
+}  // namespace copart

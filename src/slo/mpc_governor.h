@@ -1,0 +1,73 @@
+// Model-predictive SLO governor: learns the p95-vs-(ways, offered-load)
+// surface online from decision/outcome pairs (DESIGN.md §15).
+//
+// The analytic M/M/1 prediction the threshold governor trusts is built on
+// PredictLcCapabilityIps, which reads the *baseline* workload descriptor —
+// it is phase-blind and calibration-blind. This governor keeps the same
+// grow-ways-first walk but multiplies every analytic p95 by a learned
+// correction factor: an EWMA of measured/predicted ratios bucketed by
+// (slice width × log-scale offered-load bucket), optimistically
+// initialized at 1.0 (trust the model until evidence says otherwise) and
+// falling back to the load-bucket marginal while a cell is cold. A
+// stalled period (queued requests, zero completions) records the maximum
+// correction — the strongest possible "the model was wrong" signal.
+// When the load marginal says the analytic model is optimistic by more
+// than mpc.protect_correction, the batch MBA cap engages predictively,
+// before the static protect_rps_threshold would.
+//
+// Deterministic by construction: no randomness anywhere — decisions are a
+// pure function of the constructor arguments and the ObserveOutcome
+// history, so A/B tables replay bit-identically at any --threads value.
+#ifndef COPART_SLO_MPC_GOVERNOR_H_
+#define COPART_SLO_MPC_GOVERNOR_H_
+
+#include <cstdint>
+#include <map>
+#include <utility>
+
+#include "slo/slo_governor.h"
+
+namespace copart {
+
+class MpcSloGovernor : public SloGovernor {
+ public:
+  MpcSloGovernor(const SloParams& params, LcAppModel model);
+
+  const char* name() const override { return "mpc"; }
+
+  SloDecision Plan(double offered_rps, uint32_t max_ways,
+                   uint32_t current_ways, uint32_t pool_max_mba) override;
+
+  void ObserveOutcome(const SloOutcome& outcome) override;
+
+  // Correction factor applied to the analytic p95 at (ways, offered_rps):
+  // the (ways × load-bucket) cell when warm, else the load-bucket
+  // marginal when warm, else the optimistic prior 1.0. Exposed for tests.
+  double CorrectionFor(uint32_t ways, double offered_rps) const;
+
+  // Number of outcomes absorbed so far. Exposed for tests.
+  int outcomes_observed() const { return outcomes_observed_; }
+
+ private:
+  struct Cell {
+    double correction = 1.0;
+    int samples = 0;
+  };
+
+  int LoadBucket(double offered_rps) const;
+  double CorrectedP95Ms(double offered_rps, uint32_t ways);
+  SloDecision SmallestMeeting(double offered_rps, uint32_t max_ways);
+  static void Absorb(Cell& cell, double ratio, double learning_rate);
+
+  // (ways, load bucket) -> learned correction. std::map keeps iteration
+  // (and therefore any future serialization) deterministic.
+  std::map<std::pair<uint32_t, int>, Cell> cells_;
+  // load bucket -> marginal correction across all widths (the cold-cell
+  // fallback and the predictive-protection signal).
+  std::map<int, Cell> load_marginal_;
+  int outcomes_observed_ = 0;
+};
+
+}  // namespace copart
+
+#endif  // COPART_SLO_MPC_GOVERNOR_H_

@@ -1,0 +1,56 @@
+#include "slo/slo_governor.h"
+
+#include <utility>
+
+#include "common/logging.h"
+#include "slo/bandit_governor.h"
+#include "slo/mpc_governor.h"
+#include "slo/threshold_governor.h"
+
+namespace copart {
+
+SloGovernor::SloGovernor(const SloParams& params, LcAppModel model)
+    : params_(params), model_(std::move(model)) {
+  CHECK_GE(params_.lc_way_floor, 1u);
+  CHECK_GT(params_.headroom, 0.0);
+  CHECK_GT(params_.max_utilization, 0.0);
+  CHECK_LE(params_.max_utilization, 1.0);
+  CHECK_GE(params_.shrink_load_margin, 1.0);
+  CHECK_GT(model_.slo_p95_ms, 0.0);
+  CHECK_GT(model_.instructions_per_request, 0.0);
+  CHECK(model_.capability_ips != nullptr);
+}
+
+double SloGovernor::ServiceRps(uint32_t ways) {
+  if (ways >= service_rps_cache_.size()) {
+    service_rps_cache_.resize(ways + 1, -1.0);
+  }
+  double& slot = service_rps_cache_[ways];
+  if (slot < 0.0) {
+    slot = model_.capability_ips(ways) / model_.instructions_per_request;
+  }
+  return slot;
+}
+
+std::unique_ptr<SloGovernor> MakeSloGovernor(const std::string& name,
+                                             const SloParams& params,
+                                             LcAppModel model) {
+  if (name == "threshold") {
+    return std::make_unique<ThresholdSloGovernor>(params, std::move(model));
+  }
+  if (name == "mpc") {
+    return std::make_unique<MpcSloGovernor>(params, std::move(model));
+  }
+  if (name == "bandit") {
+    return std::make_unique<BanditSloGovernor>(params, std::move(model));
+  }
+  LOG_FATAL << "unknown SLO governor: " << name;
+  __builtin_unreachable();
+}
+
+const std::vector<std::string>& RegisteredSloGovernorNames() {
+  static const std::vector<std::string> kNames{"threshold", "mpc", "bandit"};
+  return kNames;
+}
+
+}  // namespace copart

@@ -1,4 +1,4 @@
-#include "core/slo_governor.h"
+#include "slo/threshold_governor.h"
 
 #include <algorithm>
 #include <utility>
@@ -8,31 +8,12 @@
 
 namespace copart {
 
-SloGovernor::SloGovernor(const SloParams& params, LcAppModel model)
-    : params_(params), model_(std::move(model)) {
-  CHECK_GE(params_.lc_way_floor, 1u);
-  CHECK_GT(params_.headroom, 0.0);
-  CHECK_GT(params_.max_utilization, 0.0);
-  CHECK_LE(params_.max_utilization, 1.0);
-  CHECK_GE(params_.shrink_load_margin, 1.0);
-  CHECK_GT(model_.slo_p95_ms, 0.0);
-  CHECK_GT(model_.instructions_per_request, 0.0);
-  CHECK(model_.capability_ips != nullptr);
-}
+ThresholdSloGovernor::ThresholdSloGovernor(const SloParams& params,
+                                           LcAppModel model)
+    : SloGovernor(params, std::move(model)) {}
 
-double SloGovernor::ServiceRps(uint32_t ways) const {
-  if (ways >= service_rps_cache_.size()) {
-    service_rps_cache_.resize(ways + 1, -1.0);
-  }
-  double& slot = service_rps_cache_[ways];
-  if (slot < 0.0) {
-    slot = model_.capability_ips(ways) / model_.instructions_per_request;
-  }
-  return slot;
-}
-
-SloDecision SloGovernor::SmallestMeeting(double offered_rps,
-                                         uint32_t max_ways) const {
+SloDecision ThresholdSloGovernor::SmallestMeeting(double offered_rps,
+                                                  uint32_t max_ways) {
   const double target_ms = model_.slo_p95_ms / params_.headroom;
   const uint32_t floor = std::min(params_.lc_way_floor, max_ways);
   SloDecision decision;
@@ -51,9 +32,9 @@ SloDecision SloGovernor::SmallestMeeting(double offered_rps,
   return decision;
 }
 
-SloDecision SloGovernor::Plan(double offered_rps, uint32_t max_ways,
-                              uint32_t current_ways,
-                              uint32_t pool_max_mba) const {
+SloDecision ThresholdSloGovernor::Plan(double offered_rps, uint32_t max_ways,
+                                       uint32_t current_ways,
+                                       uint32_t pool_max_mba) {
   CHECK_GE(max_ways, 1u);
   SloDecision decision = SmallestMeeting(offered_rps, max_ways);
 

@@ -1,0 +1,41 @@
+// Threshold SLO governor: the hand-tuned M/M/1 loop shipped in PR 5,
+// extracted bit-identically from the original core/slo_governor.{h,cc}
+// (golden-enforced: serve_golden.json must not move by a byte).
+//
+// Given the offered load, the governor walks slice widths from the floor
+// upward and picks the smallest for which the predicted p95 (M/M/1
+// sojourn tail, serve/queue_model.h) meets the SLO with headroom — "grow
+// ways first". If no permitted width attains the SLO it takes everything
+// it may and additionally asks for the batch MBA ceiling to be capped
+// ("then MBA") — the same protection that engages above
+// protect_rps_threshold (DESIGN.md §9).
+#ifndef COPART_SLO_THRESHOLD_GOVERNOR_H_
+#define COPART_SLO_THRESHOLD_GOVERNOR_H_
+
+#include <cstdint>
+
+#include "slo/slo_governor.h"
+
+namespace copart {
+
+class ThresholdSloGovernor : public SloGovernor {
+ public:
+  ThresholdSloGovernor(const SloParams& params, LcAppModel model);
+
+  const char* name() const override { return "threshold"; }
+
+  SloDecision Plan(double offered_rps, uint32_t max_ways,
+                   uint32_t current_ways, uint32_t pool_max_mba) override;
+
+  // ObserveOutcome deliberately ignored: the threshold loop is stateless
+  // across periods (beyond the hysteresis input the driver passes in).
+
+ private:
+  // The smallest width in [floor, max_ways] meeting the SLO for
+  // `offered_rps`; attainable=false (and width max_ways) when none does.
+  SloDecision SmallestMeeting(double offered_rps, uint32_t max_ways);
+};
+
+}  // namespace copart
+
+#endif  // COPART_SLO_THRESHOLD_GOVERNOR_H_

@@ -337,6 +337,46 @@ WorkloadDescriptor PhasedScanCompute(double period_sec) {
   return d;
 }
 
+WorkloadDescriptor MemcachedPhased(double period_sec) {
+  WorkloadDescriptor d = Memcached();
+  d.name = "memcached_phased";
+  d.short_name = "MCP";
+  // Phase A: steady key churn (baseline). Phase B: hot-set rotation —
+  // cold objects fault through the LLC, doubling the access intensity and
+  // multiplying the streaming component while the request path itself
+  // stays the same (instructions_per_request is phase-invariant).
+  d.phases = {
+      WorkloadPhase{.duration_sec = period_sec},
+      WorkloadPhase{.duration_sec = period_sec,
+                    .access_intensity_scale = 2.0,
+                    .streaming_scale = 8.0,
+                    .cpi_exec_scale = 1.1},
+  };
+  return d;
+}
+
+CorrelatedPair CorrelatedLcBatchPair(double period_sec) {
+  CorrelatedPair pair;
+  pair.lc = MemcachedPhased(period_sec);
+  // The batch half: WordCount whose scan phase fires in lockstep with the
+  // LC hot-set rotation — the pipeline stage that drains the serving
+  // tier's freshly rotated data. Its quiet phase is compute-leaning.
+  pair.batch = WordCount();
+  pair.batch.name = "word_count_correlated";
+  pair.batch.short_name = "WCC";
+  pair.batch.phases = {
+      WorkloadPhase{.duration_sec = period_sec,
+                    .access_intensity_scale = 0.6,
+                    .streaming_scale = 0.4,
+                    .cpi_exec_scale = 1.1},
+      WorkloadPhase{.duration_sec = period_sec,
+                    .access_intensity_scale = 1.5,
+                    .streaming_scale = 1.6,
+                    .cpi_exec_scale = 0.9},
+  };
+  return pair;
+}
+
 std::vector<WorkloadDescriptor> AllTable2Benchmarks() {
   return {WaterNsquared(), WaterSpatial(), Raytrace(), OceanCp(),
           Cg(),            Ft(),           Sp(),       OceanNcp(),

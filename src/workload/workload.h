@@ -110,6 +110,27 @@ struct WorkloadDescriptor {
 // seconds; used to exercise CoPart's drift-triggered re-adaptation.
 WorkloadDescriptor PhasedScanCompute(double period_sec = 20.0);
 
+// Phase-changing memcached (DESIGN.md §15): the §6.3 LC surrogate with a
+// periodic working-set shift — a steady key-churn phase at the baseline
+// parameters followed by a hot-set-rotation phase where the access
+// intensity doubles and streaming traffic surges (cold objects faulting
+// through the LLC). The analytic capability model reads only the baseline
+// descriptor, so during the rotation phase it over-estimates capability —
+// exactly the modelling error the learned governors exist to absorb.
+WorkloadDescriptor MemcachedPhased(double period_sec = 15.0);
+
+// A correlated LC + batch surrogate pair sharing one phase clock: when
+// the LC app rotates its hot set (heavy phase), the batch job
+// simultaneously enters its scan phase (e.g. a pipeline stage handing
+// data from the serving tier to the analytics tier). The correlated
+// pressure makes LC capability dip exactly when batch contention peaks,
+// so classification and the learned p95 model must re-converge together.
+struct CorrelatedPair {
+  WorkloadDescriptor lc;
+  WorkloadDescriptor batch;
+};
+CorrelatedPair CorrelatedLcBatchPair(double period_sec = 15.0);
+
 // --- Table 2 surrogates (paper §3.3) ---
 WorkloadDescriptor WaterNsquared();  // WN, LLC-sensitive
 WorkloadDescriptor WaterSpatial();   // WS, LLC-sensitive

@@ -18,6 +18,7 @@
 #include "common/parallel.h"
 #include "harness/chaos.h"
 #include "harness/experiment.h"
+#include "harness/governor_ab.h"
 #include "harness/heatmap.h"
 #include "harness/mix.h"
 #include "harness/replication.h"
@@ -352,6 +353,37 @@ TEST(HarnessDeterminismTest,
     EXPECT_EQ(parallel.trace, reference.trace) << "threads=" << threads;
     EXPECT_EQ(parallel.audit, reference.audit) << "threads=" << threads;
     EXPECT_EQ(parallel.metrics, reference.metrics) << "threads=" << threads;
+  }
+}
+
+TEST(HarnessDeterminismTest,
+     GovernorAbArtifactsAreByteIdenticalAcrossThreadCounts) {
+  // The governor A/B sweep (every registered SloGovernor x four serving
+  // scenarios, fanned out over ParallelMap) and both of its exports must
+  // be pure functions of the scenario seeds: the learned governors carry
+  // per-run state (MPC correction cells, bandit arm counts) but no RNG of
+  // their own, so the JSON and CSV render byte-identically regardless of
+  // --threads.
+  auto run_once = [](uint32_t threads) {
+    GovernorAbConfig config;
+    config.parallel.num_threads = threads;
+    const GovernorAbResult result = RunGovernorAb(config);
+    char path[] = "/tmp/copart_governor_ab_det_XXXXXX";
+    const int fd = mkstemp(path);
+    CHECK_GE(fd, 0);
+    close(fd);
+    CHECK(WriteGovernorAbCsv(result, path).ok());
+    std::ifstream in(path, std::ios::binary);
+    std::ostringstream contents;
+    contents << in.rdbuf();
+    std::remove(path);
+    return GovernorAbToJson(result) + contents.str();
+  };
+
+  const std::string reference = run_once(1);
+  EXPECT_GT(reference.size(), 0u);
+  for (uint32_t threads : kThreadCounts) {
+    EXPECT_EQ(run_once(threads), reference) << "threads=" << threads;
   }
 }
 

@@ -1,0 +1,146 @@
+// Golden regression test for the SLO-governor A/B harness: every
+// registered governor over the burst / diurnal / flash-crowd / phase-shift
+// serving scenarios, serialized with full double precision (%.17g) and
+// compared byte-for-byte against tests/golden/governor_ab_golden.json.
+// Any change to a governor's decisions — the threshold walk, the MPC
+// correction surface, the bandit's arm bookkeeping — or to the serve
+// harness plumbing that shifts a cell by one ULP fails here.
+//
+// To regenerate after an INTENDED behavior change:
+//   COPART_REGENERATE_GOLDEN=1 ./harness_governor_ab_golden_test
+// then review the diff of tests/golden/governor_ab_golden.json like any
+// other code change.
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "common/parallel.h"
+#include "harness/governor_ab.h"
+
+namespace copart {
+namespace {
+
+#ifndef COPART_GOLDEN_DIR
+#error "COPART_GOLDEN_DIR must be defined by the build"
+#endif
+
+std::string GoldenPath() {
+  return std::string(COPART_GOLDEN_DIR) + "/governor_ab_golden.json";
+}
+
+// Single-threaded pins the canonical execution; the determinism suite
+// separately proves other thread counts serialize bit-identically. The
+// sweep is the most expensive computation here, so share one run.
+const GovernorAbResult& Result() {
+  static const GovernorAbResult result = [] {
+    GovernorAbConfig config;
+    config.parallel = ParallelConfig{.num_threads = 1};
+    return RunGovernorAb(config);
+  }();
+  return result;
+}
+
+TEST(GovernorAbGoldenTest, AbTableMatchesGoldenFile) {
+  const std::string actual = GovernorAbToJson(Result());
+  const std::string path = GoldenPath();
+
+  if (std::getenv("COPART_REGENERATE_GOLDEN") != nullptr) {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    ASSERT_TRUE(out.good()) << "cannot write " << path;
+    out << actual;
+    out.close();
+    ASSERT_TRUE(out.good()) << "short write to " << path;
+    GTEST_SKIP() << "regenerated " << path << "; review the diff";
+  }
+
+  std::ifstream in(path, std::ios::binary);
+  ASSERT_TRUE(in.good())
+      << "missing golden file " << path
+      << " — run with COPART_REGENERATE_GOLDEN=1 to create it";
+  std::ostringstream contents;
+  contents << in.rdbuf();
+  const std::string expected = contents.str();
+
+  if (actual != expected) {
+    std::istringstream actual_lines(actual), expected_lines(expected);
+    std::string actual_line, expected_line;
+    size_t line = 0;
+    while (true) {
+      ++line;
+      const bool have_actual =
+          static_cast<bool>(std::getline(actual_lines, actual_line));
+      const bool have_expected =
+          static_cast<bool>(std::getline(expected_lines, expected_line));
+      if (!have_actual && !have_expected) {
+        break;
+      }
+      if (!have_actual || !have_expected || actual_line != expected_line) {
+        FAIL() << "golden mismatch at line " << line << "\n  golden: "
+               << (have_expected ? expected_line : "<eof>")
+               << "\n  actual: " << (have_actual ? actual_line : "<eof>")
+               << "\nIf this change is intended, regenerate with "
+                  "COPART_REGENERATE_GOLDEN=1 and review the diff.";
+      }
+    }
+  }
+  SUCCEED();
+}
+
+// The acceptance property the golden document must keep encoding: on the
+// two scenarios the phase-blind analytic model cannot track — the
+// flash-crowd queue-drain transient and the correlated phase rotation —
+// some learned governor strictly beats threshold on violation rate or
+// run-level p95.
+TEST(GovernorAbGoldenTest, LearnedGovernorBeatsThresholdOffTheModelSurface) {
+  for (const char* scenario : {"flash-crowd", "phase-shift"}) {
+    const GovernorAbCell* threshold = nullptr;
+    bool learned_wins = false;
+    for (const GovernorAbCell& cell : Result().cells) {
+      if (cell.scenario == scenario && cell.governor == "threshold") {
+        threshold = &cell;
+      }
+    }
+    ASSERT_NE(threshold, nullptr) << scenario;
+    for (const GovernorAbCell& cell : Result().cells) {
+      if (cell.scenario != scenario || cell.governor == "threshold") {
+        continue;
+      }
+      if (cell.slo_violation_rate < threshold->slo_violation_rate ||
+          cell.p95_ms < threshold->p95_ms) {
+        learned_wins = true;
+      }
+    }
+    EXPECT_TRUE(learned_wins)
+        << scenario << ": no learned governor strictly beats threshold "
+        << "(threshold viol " << threshold->slo_violation_rate << ", p95 "
+        << threshold->p95_ms << " ms)";
+  }
+}
+
+// On phase-shift specifically the MPC governor's win must be decisive:
+// the threshold governor replans from the same phase-blind surface every
+// rotation and re-violates, while the learned correction persists.
+TEST(GovernorAbGoldenTest, MpcWinsPhaseShiftDecisively) {
+  const GovernorAbCell* threshold = nullptr;
+  const GovernorAbCell* mpc = nullptr;
+  for (const GovernorAbCell& cell : Result().cells) {
+    if (cell.scenario != "phase-shift") {
+      continue;
+    }
+    if (cell.governor == "threshold") {
+      threshold = &cell;
+    } else if (cell.governor == "mpc") {
+      mpc = &cell;
+    }
+  }
+  ASSERT_NE(threshold, nullptr);
+  ASSERT_NE(mpc, nullptr);
+  EXPECT_LT(mpc->slo_violation_rate, 0.5 * threshold->slo_violation_rate);
+  EXPECT_LT(mpc->p95_ms, threshold->p95_ms);
+}
+
+}  // namespace
+}  // namespace copart

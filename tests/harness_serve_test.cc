@@ -36,56 +36,10 @@ std::string GoldenPath() {
   return std::string(COPART_GOLDEN_DIR) + "/serve_golden.json";
 }
 
-std::string FormatDouble(double value) {
-  char buffer[64];
-  std::snprintf(buffer, sizeof(buffer), "%.17g", value);
-  return buffer;
-}
-
-void AppendCell(std::ostringstream& out, const ServeScenarioResult& result) {
-  out << "  \"" << ServeModeName(result.mode) << "\": {\n";
-  const ServeLcResult& lc = result.lc.front();
-  out << "    \"lc_name\": \"" << lc.name << "\",\n";
-  out << "    \"arrivals\": " << lc.arrivals << ",\n";
-  out << "    \"completions\": " << lc.completions << ",\n";
-  out << "    \"drops\": " << lc.drops << ",\n";
-  out << "    \"queue_depth_end\": " << lc.queue_depth_end << ",\n";
-  out << "    \"p50_ms\": " << FormatDouble(lc.p50_ms) << ",\n";
-  out << "    \"p95_ms\": " << FormatDouble(lc.p95_ms) << ",\n";
-  out << "    \"p99_ms\": " << FormatDouble(lc.p99_ms) << ",\n";
-  out << "    \"slo_violation_fraction\": "
-      << FormatDouble(lc.slo_violation_fraction) << ",\n";
-  out << "    \"mean_batch_unfairness\": "
-      << FormatDouble(result.mean_batch_unfairness) << ",\n";
-  out << "    \"run_batch_unfairness\": "
-      << FormatDouble(result.run_batch_unfairness) << ",\n";
-  out << "    \"copart_adaptations\": " << result.copart_adaptations << ",\n";
-  out << "    \"slo_resizes\": " << result.slo_resizes << ",\n";
-  // Every 10th control period: enough to pin the burst trajectory (ways
-  // widening, MBA protection, queue drain) without a bulky golden.
-  out << "    \"samples\": [\n";
-  for (size_t i = 0; i < result.samples.size(); i += 10) {
-    const ServeSample& s = result.samples[i];
-    out << "      [" << FormatDouble(s.time) << ", "
-        << FormatDouble(s.offered_rps) << ", " << FormatDouble(s.p95_ms)
-        << ", " << s.queue_depth << ", " << s.lc_ways << ", "
-        << s.batch_max_mba << ", \"" << s.phase << "\"]"
-        << (i + 10 < result.samples.size() ? "," : "") << "\n";
-  }
-  out << "    ]\n";
-  out << "  }";
-}
-
+// The serializer itself lives in harness/serve.h (SerializeServeComparison)
+// so `copartctl governors` can run the same byte-exact self-check.
 std::string SerializeComparison(const ServeComparisonResult& comparison) {
-  std::ostringstream out;
-  out << "{\n";
-  AppendCell(out, comparison.copart);
-  out << ",\n";
-  AppendCell(out, comparison.equal_share);
-  out << ",\n";
-  AppendCell(out, comparison.no_part);
-  out << "\n}\n";
-  return out.str();
+  return SerializeServeComparison(comparison);
 }
 
 // The §6.3 comparison is the most expensive computation in this suite;

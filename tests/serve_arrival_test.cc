@@ -46,6 +46,23 @@ TEST(ArrivalGeneratorTest, BurstKnownAnswerSequence) {
   }
 }
 
+TEST(ArrivalGeneratorTest, FlashCrowdKnownAnswerSequence) {
+  ArrivalConfig config;
+  config.kind = ArrivalKind::kFlashCrowd;
+  config.base_rate_rps = 1000.0;
+  config.flash_start_sec = 0.002;
+  config.flash_duration_sec = 0.004;
+  config.flash_multiplier = 4.0;
+  ArrivalGenerator generator(config, Rng(17));
+  const double expected[] = {
+      0.0020190084751718481, 0.0022934571225699707, 0.0028943165008006142,
+      0.0029109712008757644, 0.0029337590346401759, 0.0031334837687397011,
+  };
+  for (double value : expected) {
+    EXPECT_EQ(generator.Next(), value);
+  }
+}
+
 TEST(ArrivalGeneratorTest, SameSeedReplaysIdentically) {
   ArrivalConfig config;
   config.kind = ArrivalKind::kDiurnal;
@@ -75,13 +92,17 @@ TEST(ArrivalGeneratorTest, ForkedStreamsAreIndependent) {
 }
 
 TEST(ArrivalGeneratorTest, ArrivalsStrictlyIncreaseForEveryShape) {
-  std::vector<ArrivalConfig> configs(3);
+  std::vector<ArrivalConfig> configs(4);
   configs[0].kind = ArrivalKind::kPoisson;
   configs[1].kind = ArrivalKind::kDiurnal;
   configs[1].diurnal_period_sec = 5.0;
   configs[1].diurnal_amplitude = 1.0;
   configs[2].kind = ArrivalKind::kBurst;
   configs[2].burst_phases = {{0.5, 2.0}, {0.5, 0.25}};
+  configs[3].kind = ArrivalKind::kFlashCrowd;
+  configs[3].flash_start_sec = 0.1;
+  configs[3].flash_duration_sec = 0.3;
+  configs[3].flash_multiplier = 6.0;
   for (ArrivalConfig& config : configs) {
     config.base_rate_rps = 5000.0;
     ArrivalGenerator generator(config, Rng(7));
@@ -128,6 +149,47 @@ TEST(ArrivalGeneratorTest, ThinningRealizesBurstPhaseRates) {
   // 50 cycles: ~50k low-phase and ~200k high-phase arrivals.
   EXPECT_NEAR(static_cast<double>(low), 50000.0, 2500.0);
   EXPECT_NEAR(static_cast<double>(high), 200000.0, 5000.0);
+}
+
+TEST(ArrivalGeneratorTest, ThinningRealizesFlashCrowdStep) {
+  // 100 simulated seconds, flash window [40, 60) at 4x: ~80k arrivals in
+  // the window (20 s * 4 krps) and ~80k outside (80 s * 1 krps).
+  ArrivalConfig config;
+  config.kind = ArrivalKind::kFlashCrowd;
+  config.base_rate_rps = 1000.0;
+  config.flash_start_sec = 40.0;
+  config.flash_duration_sec = 20.0;
+  config.flash_multiplier = 4.0;
+  ArrivalGenerator generator(config, Rng(5));
+  uint64_t inside = 0, outside = 0;
+  for (;;) {
+    const double t = generator.Next();
+    if (t >= 100.0) {
+      break;
+    }
+    (t >= 40.0 && t < 60.0 ? inside : outside) += 1;
+  }
+  EXPECT_EQ(inside, 80204u);    // Seed-pinned; ~Poisson(80000).
+  EXPECT_EQ(outside, 79941u);
+  EXPECT_NEAR(static_cast<double>(inside), 80000.0, 2000.0);
+  EXPECT_NEAR(static_cast<double>(outside), 80000.0, 2000.0);
+}
+
+TEST(ArrivalRateAtTest, FlashCrowdStepsExactlyAtWindowBoundaries) {
+  ArrivalConfig config;
+  config.kind = ArrivalKind::kFlashCrowd;
+  config.base_rate_rps = 200.0;
+  config.flash_start_sec = 5.0;
+  config.flash_duration_sec = 2.0;
+  config.flash_multiplier = 3.0;
+  EXPECT_EQ(ArrivalRateAt(config, 0.0), 200.0);
+  EXPECT_EQ(ArrivalRateAt(config, 4.999), 200.0);
+  EXPECT_EQ(ArrivalRateAt(config, 5.0), 600.0);  // Window start inclusive.
+  EXPECT_EQ(ArrivalRateAt(config, 6.999), 600.0);
+  EXPECT_EQ(ArrivalRateAt(config, 7.0), 200.0);  // Window end exclusive.
+  EXPECT_EQ(ArrivalRateAt(config, 100.0), 200.0);  // One-shot: no cycling.
+  ArrivalGenerator generator(config, Rng(1));
+  EXPECT_DOUBLE_EQ(generator.PeakRate(), 600.0);
 }
 
 TEST(ArrivalRateAtTest, BurstPhasesCycleWithExactBoundaries) {

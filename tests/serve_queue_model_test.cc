@@ -1,0 +1,85 @@
+// M/M/1 predictor edge cases (src/serve/queue_model.h). The prediction is
+// the input to every SLO governor, so its saturation behavior — +infinity
+// at utilization >= 1 and at degenerate service rates — is part of the
+// governor contract: an unstable width must never look attainable.
+#include "serve/queue_model.h"
+
+#include <cmath>
+#include <limits>
+
+#include <gtest/gtest.h>
+
+namespace copart {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+TEST(QueueModelTest, StableQueueMatchesClosedForm) {
+  // mu - lambda = 500/s: p95 sojourn = -ln(0.05)/500 s.
+  const double expected_sec = -std::log(1.0 - 0.95) / 500.0;
+  EXPECT_DOUBLE_EQ(PredictedSojournSec(1500.0, 2000.0, 0.95), expected_sec);
+  EXPECT_DOUBLE_EQ(PredictedP95Ms(1500.0, 2000.0), 1e3 * expected_sec);
+}
+
+TEST(QueueModelTest, UtilizationAtOneIsUnstable) {
+  EXPECT_EQ(PredictedSojournSec(1000.0, 1000.0, 0.95), kInf);
+  EXPECT_EQ(PredictedP95Ms(1000.0, 1000.0), kInf);
+}
+
+TEST(QueueModelTest, UtilizationAboveOneIsUnstable) {
+  EXPECT_EQ(PredictedSojournSec(2000.0, 1000.0, 0.95), kInf);
+  EXPECT_EQ(PredictedSojournSec(1000.0 + 1e-9, 1000.0, 0.5), kInf);
+}
+
+TEST(QueueModelTest, ZeroServiceRateIsUnstable) {
+  EXPECT_EQ(PredictedSojournSec(0.0, 0.0, 0.95), kInf);
+  EXPECT_EQ(PredictedP95Ms(100.0, 0.0), kInf);
+}
+
+TEST(QueueModelTest, NegativeServiceRateIsUnstable) {
+  EXPECT_EQ(PredictedSojournSec(100.0, -5.0, 0.95), kInf);
+}
+
+TEST(QueueModelTest, NearZeroServiceRateIsFiniteButEnormous) {
+  // A barely-positive service rate with zero offered load is a stable
+  // (empty) queue, but the sojourn is 1/mu scaled — enormous, not inf.
+  const double tiny = 1e-12;
+  const double p95_sec = PredictedSojournSec(0.0, tiny, 0.95);
+  EXPECT_TRUE(std::isfinite(p95_sec));
+  EXPECT_GT(p95_sec, 1e12);  // -ln(0.05)/1e-12 ~ 3e12 s.
+  // Any offered load at all saturates it.
+  EXPECT_EQ(PredictedSojournSec(tiny, tiny, 0.95), kInf);
+}
+
+TEST(QueueModelTest, NegativeOfferedLoadClampsToEmptyQueue) {
+  EXPECT_DOUBLE_EQ(PredictedSojournSec(-100.0, 1000.0, 0.95),
+                   PredictedSojournSec(0.0, 1000.0, 0.95));
+}
+
+TEST(QueueModelTest, SojournIncreasesMonotonicallyTowardSaturation) {
+  const double service = 1000.0;
+  double last = 0.0;
+  for (double offered = 0.0; offered < service; offered += 50.0) {
+    const double p95 = PredictedSojournSec(offered, service, 0.95);
+    ASSERT_TRUE(std::isfinite(p95)) << "offered=" << offered;
+    ASSERT_GT(p95, last) << "offered=" << offered;
+    last = p95;
+  }
+  // The limit of the ramp is the unstable point.
+  EXPECT_EQ(PredictedSojournSec(service, service, 0.95), kInf);
+}
+
+TEST(QueueModelTest, RequiredServiceRpsInvertsThePredictor) {
+  const double offered = 1200.0;
+  const double target_sec = 0.004;
+  const double required = RequiredServiceRps(offered, target_sec, 0.95);
+  EXPECT_GT(required, offered);
+  EXPECT_NEAR(PredictedSojournSec(offered, required, 0.95), target_sec,
+              1e-12);
+  // Zero offered load still needs a positive service rate to hit a
+  // finite target.
+  EXPECT_GT(RequiredServiceRps(0.0, target_sec, 0.95), 0.0);
+}
+
+}  // namespace
+}  // namespace copart

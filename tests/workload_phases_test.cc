@@ -87,6 +87,68 @@ TEST(WorkloadPhaseTest, StreamingScaleIsCappedByResidualWeight) {
   EXPECT_LE(machine.LastEpoch(*app).miss_ratio, 1.0);
 }
 
+TEST(WorkloadPhaseTest, MemcachedPhasedRotationDegradesCapability) {
+  const WorkloadDescriptor d = MemcachedPhased(15.0);
+  ASSERT_EQ(d.phases.size(), 2u);
+  // LC identity (service-demand parameters) survives the phase program.
+  EXPECT_EQ(d.category, WorkloadCategory::kLatencyCritical);
+  EXPECT_GT(d.instructions_per_request, 0.0);
+  EXPECT_GT(d.slo_p95_ms, 0.0);
+
+  MachineConfig config;
+  config.ips_noise_sigma = 0.0;
+  SimulatedMachine machine(config);
+  Result<AppId> app = machine.LaunchApp(d, 8);
+  ASSERT_TRUE(app.ok());
+  machine.AdvanceTime(7.0);  // Mid steady phase.
+  const AppEpochSnapshot steady = machine.LastEpoch(*app);
+  machine.AdvanceTime(15.0);  // t = 22: mid hot-set rotation.
+  const AppEpochSnapshot rotation = machine.LastEpoch(*app);
+  // The rotation phase misses more and retires fewer instructions — the
+  // capability dip the phase-blind analytic model cannot see.
+  EXPECT_GT(rotation.miss_ratio, steady.miss_ratio * 2.0);
+  EXPECT_LT(rotation.ips, steady.ips * 0.9);
+}
+
+TEST(WorkloadPhaseTest, CorrelatedPairSharesOnePhaseClock) {
+  const CorrelatedPair pair = CorrelatedLcBatchPair(10.0);
+  ASSERT_EQ(pair.lc.phases.size(), 2u);
+  ASSERT_EQ(pair.batch.phases.size(), 2u);
+  EXPECT_EQ(pair.lc.category, WorkloadCategory::kLatencyCritical);
+  EXPECT_EQ(pair.batch.category, WorkloadCategory::kBatch);
+  // Aligned programs: both halves flip phase at the same boundaries, and
+  // the batch scan fires exactly when the LC rotation fires.
+  for (double t : {0.0, 5.0, 10.0, 15.0, 20.0, 25.0}) {
+    EXPECT_EQ(pair.lc.PhaseIndexAt(t), pair.batch.PhaseIndexAt(t)) << t;
+  }
+  // Heavy phases coincide: both put more pressure on the memory system.
+  EXPECT_GT(pair.lc.PhaseAt(15.0).streaming_scale,
+            pair.lc.PhaseAt(5.0).streaming_scale);
+  EXPECT_GT(pair.batch.PhaseAt(15.0).streaming_scale,
+            pair.batch.PhaseAt(5.0).streaming_scale);
+}
+
+TEST(WorkloadPhaseTest, CorrelatedPairPressureCoincidesOnMachine) {
+  const CorrelatedPair pair = CorrelatedLcBatchPair(10.0);
+  MachineConfig config;
+  config.ips_noise_sigma = 0.0;
+  SimulatedMachine machine(config);
+  Result<AppId> lc = machine.LaunchApp(pair.lc, 8);
+  Result<AppId> batch = machine.LaunchApp(pair.batch, 4);
+  ASSERT_TRUE(lc.ok());
+  ASSERT_TRUE(batch.ok());
+  machine.AdvanceTime(5.0);  // Quiet phase for both.
+  const double lc_quiet_bw =
+      machine.LastEpoch(*lc).bandwidth_demand_bytes_per_sec;
+  const double batch_quiet_bw =
+      machine.LastEpoch(*batch).bandwidth_demand_bytes_per_sec;
+  machine.AdvanceTime(10.0);  // t = 15: heavy phase for both.
+  EXPECT_GT(machine.LastEpoch(*lc).bandwidth_demand_bytes_per_sec,
+            lc_quiet_bw * 1.5);
+  EXPECT_GT(machine.LastEpoch(*batch).bandwidth_demand_bytes_per_sec,
+            batch_quiet_bw * 1.5);
+}
+
 TEST(WorkloadPhaseTest, ManagerReAdaptsOnPhaseChange) {
   // A phased app shares the machine with a steady app. After CoPart settles
   // in idle during the compute phase, the switch to the scan phase drifts

@@ -23,6 +23,14 @@
 //                                    the clustered LFOC / LFOC+ / CBP
 //                                    rivals over the paper mixes plus the
 //                                    many-apps scenario (DESIGN.md §14)
+//   governors [--json p] [--csv p] [--out p]
+//                                    SLO-governor A/B table: threshold vs
+//                                    the learned MPC / bandit governors
+//                                    over burst, diurnal, flash-crowd and
+//                                    phase-shift arrivals (DESIGN.md §15).
+//                                    Self-checks the extracted threshold
+//                                    governor against the serve golden
+//                                    first; exits non-zero on divergence.
 //   trace <mix|casestudy|serve|cluster> [count] [s]  run CoPart (or the
 //                                    casestudy / serve / cluster demo
 //                                    scenario) with observability on
@@ -34,6 +42,8 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
+#include <sstream>
 #include <string>
 
 #include "cluster/cluster.h"
@@ -42,6 +52,7 @@
 #include "harness/chaos.h"
 #include "harness/experiment.h"
 #include "harness/fleet.h"
+#include "harness/governor_ab.h"
 #include "harness/heatmap.h"
 #include "harness/mix.h"
 #include "harness/policy_ab.h"
@@ -71,6 +82,7 @@ int Usage() {
       "  chaos [schedules] [base_seed] | chaos --seed <schedule_seed>\n"
       "  fleet [nodes] [epochs] [--seed S] [--wave epoch] [--out prefix]\n"
       "  policies [--many N] [--apps N] [--duration s] [--json path]\n"
+      "  governors [--json path] [--csv path] [--out prefix]\n"
       "  trace <mix|casestudy|serve|cluster> [app_count] [duration_sec] "
       "[--out prefix]\n"
       "mixes: H-LLC H-BW H-Both M-LLC M-BW M-Both IS\n"
@@ -594,6 +606,85 @@ int CmdPolicies(size_t many_apps, size_t paper_apps, double duration,
   return 0;
 }
 
+// SLO-governor A/B comparison (DESIGN.md §15). Before trusting the table,
+// verifies the extracted threshold governor still reproduces the §6.3
+// serve golden byte-for-byte — if the registry's "threshold" has drifted
+// from the behavior the golden pins, every baseline column is suspect.
+int CmdGovernors(const std::string& json_path, const std::string& csv_path,
+                 const std::string& obs_prefix,
+                 const ParallelConfig& parallel) {
+  const std::string golden_path =
+      std::string(COPART_GOLDEN_DIR) + "/serve_golden.json";
+  std::ifstream golden_in(golden_path, std::ios::binary);
+  if (golden_in.good()) {
+    std::ostringstream golden;
+    golden << golden_in.rdbuf();
+    const ServeComparisonResult canonical = RunServeComparison(
+        Section63ServeScenario(), ParallelConfig{.num_threads = 1});
+    if (SerializeServeComparison(canonical) != golden.str()) {
+      std::fprintf(stderr,
+                   "governors: threshold governor diverges from %s — the "
+                   "extracted walk no longer matches the golden baseline\n",
+                   golden_path.c_str());
+      return 1;
+    }
+    std::printf("threshold governor matches %s\n", golden_path.c_str());
+  } else {
+    std::fprintf(stderr, "governors: warning: golden %s unreadable, "
+                 "skipping threshold self-check\n", golden_path.c_str());
+  }
+
+  GovernorAbConfig config;
+  config.parallel = parallel;
+  const GovernorAbResult result = RunGovernorAb(config);
+  PrintGovernorAbTable(result);
+  std::printf("sweep: %s\n", result.stats.Summary().c_str());
+
+  if (!json_path.empty()) {
+    std::FILE* out = std::fopen(json_path.c_str(), "wb");
+    if (out == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
+      return 1;
+    }
+    const std::string json = GovernorAbToJson(result);
+    std::fwrite(json.data(), 1, json.size(), out);
+    std::fclose(out);
+    std::printf("json -> %s\n", json_path.c_str());
+  }
+  if (!csv_path.empty()) {
+    const Status status = WriteGovernorAbCsv(result, csv_path);
+    if (!status.ok()) {
+      std::fprintf(stderr, "%s\n", status.ToString().c_str());
+      return 1;
+    }
+    std::printf("csv -> %s\n", csv_path.c_str());
+  }
+  if (!obs_prefix.empty()) {
+    // Export the observability artifacts of the most instructive cell:
+    // the MPC governor riding the phase-shift scenario, whose audit log
+    // carries the new governor_outcome records alongside the resizes.
+    Observability obs;
+    for (GovernorAbScenario& scenario : GovernorAbScenarios()) {
+      if (scenario.name != "phase-shift") {
+        continue;
+      }
+      scenario.config.mode = ServeMode::kCopartSlo;
+      scenario.config.copart_params.slo.governor = "mpc";
+      scenario.config.obs = &obs;
+      RunServeScenario(scenario.config);
+    }
+    const Status status = obs.ExportAll(obs_prefix);
+    if (!status.ok()) {
+      std::fprintf(stderr, "%s\n", status.ToString().c_str());
+      return 1;
+    }
+    std::printf("observability (phase-shift/mpc) -> "
+                "%s.{trace,audit,metrics}.json\n",
+                obs_prefix.c_str());
+  }
+  return 0;
+}
+
 int Main(int argc, char** argv) {
   const ParallelConfig parallel = ParseThreadsFlag(argc, argv);
   if (argc < 2) {
@@ -723,6 +814,23 @@ int Main(int argc, char** argv) {
       }
     }
     return CmdPolicies(many_apps, paper_apps, duration, json_path, parallel);
+  }
+  if (command == "governors") {
+    std::string json_path;
+    std::string csv_path;
+    std::string obs_prefix;
+    for (int i = 2; i < argc; ++i) {
+      if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+        json_path = argv[++i];
+      } else if (std::strcmp(argv[i], "--csv") == 0 && i + 1 < argc) {
+        csv_path = argv[++i];
+      } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+        obs_prefix = argv[++i];
+      } else {
+        return Usage();
+      }
+    }
+    return CmdGovernors(json_path, csv_path, obs_prefix, parallel);
   }
   if (command == "trace" && argc >= 3) {
     std::string prefix = "copart_trace";

@@ -1,11 +1,11 @@
 #!/usr/bin/env bash
 # Line-coverage gate for the cache-model, cluster/fleet, controller,
-# observability, sensing, and serving layers.
+# observability, sensing, serving, and SLO-governor layers.
 #
 # Builds with gcc's --coverage instrumentation, runs the full ctest suite,
 # extracts line coverage for src/cache, src/cluster, src/core, src/obs,
-# src/pmc, and src/serve with `gcov --json-format` (parsed by the embedded
-# python3 — no
+# src/pmc, src/serve, and src/slo with `gcov --json-format` (parsed by the
+# embedded python3 — no
 # gcovr/lcov dependency), and fails if any directory's coverage drops below the
 # committed baseline (tools/coverage_baseline.txt) by more than SLACK_PCT.
 #
@@ -38,6 +38,7 @@ GCOV_OUT="$(mktemp -d /tmp/copart_gcov.XXXXXX)"
 trap 'rm -rf "$GCOV_OUT"' EXIT
 find "$BUILD_DIR/src/cache" "$BUILD_DIR/src/cluster" "$BUILD_DIR/src/core" \
   "$BUILD_DIR/src/obs" "$BUILD_DIR/src/pmc" "$BUILD_DIR/src/serve" \
+  "$BUILD_DIR/src/slo" \
   -name '*.gcda' |
   while IFS= read -r gcda; do
     (cd "$GCOV_OUT" && gcov --json-format "$OLDPWD/$gcda" >/dev/null)
@@ -52,7 +53,7 @@ import glob, gzip, json, os, sys
 gcov_dir = sys.argv[1]
 # dir -> file -> line -> covered
 gated = {"src/cache": {}, "src/cluster": {}, "src/core": {}, "src/obs": {},
-         "src/pmc": {}, "src/serve": {}}
+         "src/pmc": {}, "src/serve": {}, "src/slo": {}}
 
 for path in glob.glob(os.path.join(gcov_dir, "*.gcov.json.gz")):
     with gzip.open(path, "rt") as handle:
@@ -123,4 +124,4 @@ if [[ "$fail" != 0 ]]; then
   exit 1
 fi
 echo "run_coverage: src/cache, src/cluster, src/core, src/obs, src/pmc," \
-  "and src/serve hold the baseline"
+  "src/serve, and src/slo hold the baseline"

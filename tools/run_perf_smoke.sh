@@ -35,6 +35,12 @@
 # same way against BENCH_serve.json: simulated requests/sec of the raw
 # discrete-event engine and epochs/sec of the SLO-mode control loop.
 #
+# bench_governor (the pluggable SLO governors, DESIGN.md §15) is gated
+# against BENCH_governor.json: epochs/sec of the SLO-mode serve loop per
+# registered governor gets the usual 20% band, and the fresh run's
+# learned_overhead_pct — the slowest learned governor's managed loop priced
+# against the threshold loop — must stay under GOVERNOR_OVERHEAD_PCT (10%).
+#
 # bench_fleet (the fault-tolerant fleet layer, DESIGN.md §13) is gated
 # against BENCH_fleet.json: node-ticks/sec of the parallel fleet control
 # loop gets the usual 20% band, but the canonical robustness scenario's
@@ -51,6 +57,7 @@
 # baselines by running the benches from the repo root on a quiet machine:
 #   ./<build-dir>/bench/bench_sim_throughput --min-seconds=1
 #   ./<build-dir>/bench/bench_serve --min-seconds=1
+#   ./<build-dir>/bench/bench_governor --min-seconds=1
 #   ./<build-dir>/bench/bench_fleet --min-seconds=1
 # If the machine shows run-to-run swings approaching the gate (the exact-MRC
 # points are the most boost-state-sensitive), run the bench a few times and
@@ -63,14 +70,17 @@ cd "$(dirname "$0")/.."
 BUILD_DIR="${1:-build-perf}"
 BASELINE="BENCH_sim_throughput.json"
 SERVE_BASELINE="BENCH_serve.json"
+GOVERNOR_BASELINE="BENCH_governor.json"
 FLEET_BASELINE="BENCH_fleet.json"
 REGRESSION_PCT=20
 OBS_OVERHEAD_PCT=2
 SENSING_OVERHEAD_PCT=10
+GOVERNOR_OVERHEAD_PCT=10
 MANAGED_FLOOR=3200000
 WHATIF_SPEEDUP_MIN=10
 
-for baseline in "$BASELINE" "$SERVE_BASELINE" "$FLEET_BASELINE"; do
+for baseline in "$BASELINE" "$SERVE_BASELINE" "$GOVERNOR_BASELINE" \
+    "$FLEET_BASELINE"; do
   if [[ ! -f "$baseline" ]]; then
     echo "run_perf_smoke: no committed baseline at $baseline" >&2
     exit 1
@@ -79,13 +89,15 @@ done
 
 cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=Release
 cmake --build "$BUILD_DIR" --target bench_sim_throughput bench_serve \
-  bench_fleet -j "$(nproc)"
+  bench_governor bench_fleet -j "$(nproc)"
 
 FRESH="$(mktemp /tmp/bench_sim_throughput.XXXXXX.json)"
 FRESH_INJ="$(mktemp /tmp/bench_sim_throughput_inj.XXXXXX.json)"
 FRESH_SERVE="$(mktemp /tmp/bench_serve.XXXXXX.json)"
+FRESH_GOVERNOR="$(mktemp /tmp/bench_governor.XXXXXX.json)"
 FRESH_FLEET="$(mktemp /tmp/bench_fleet.XXXXXX.json)"
-trap 'rm -f "$FRESH" "$FRESH_INJ" "$FRESH_SERVE" "$FRESH_FLEET"' EXIT
+trap 'rm -f "$FRESH" "$FRESH_INJ" "$FRESH_SERVE" "$FRESH_GOVERNOR" \
+  "$FRESH_FLEET"' EXIT
 # Correctness first: the kernels must agree bitwise before their speed
 # means anything (set -e aborts on divergence).
 "$BUILD_DIR/bench/bench_sim_throughput" --scalar-check
@@ -93,6 +105,7 @@ trap 'rm -f "$FRESH" "$FRESH_INJ" "$FRESH_SERVE" "$FRESH_FLEET"' EXIT
 "$BUILD_DIR/bench/bench_sim_throughput" --json="$FRESH_INJ" \
   --min-seconds=0.5 --fault-injector
 "$BUILD_DIR/bench/bench_serve" --json="$FRESH_SERVE" --min-seconds=0.5
+"$BUILD_DIR/bench/bench_governor" --json="$FRESH_GOVERNOR" --min-seconds=0.5
 # Exits non-zero if the canonical fleet scenario violates job conservation
 # (set -e aborts): an invariant break makes the perf numbers moot.
 "$BUILD_DIR/bench/bench_fleet" --json="$FRESH_FLEET" --min-seconds=0.5
@@ -174,6 +187,62 @@ check_serve_run() {  # check_serve_run FILE LABEL
 }
 
 check_serve_run "$FRESH_SERVE" "serve"
+
+# bench_governor points share bench_serve's one-object-per-line shape:
+#   {"point": "mpc_epochs_per_sec", "value": 123.4}
+check_governor_run() {  # check_governor_run FILE LABEL
+  local file="$1" label="$2"
+  while IFS= read -r line; do
+    point="$(printf '%s\n' "$line" |
+      sed -n 's/.*"point": "\([a-z_]*\)".*/\1/p')"
+    base="$(printf '%s\n' "$line" |
+      sed -n 's/.*"value": \([0-9.]*\).*/\1/p')"
+    [[ -n "$point" && -n "$base" ]] || continue
+    now="$(serve_point_value "$file" "$point")"
+    if [[ -z "$now" ]]; then
+      echo "run_perf_smoke: FAIL [$label] point=$point missing from fresh run"
+      fail=1
+      continue
+    fi
+    floor="$(awk -v b="$base" -v p="$REGRESSION_PCT" \
+      'BEGIN { printf "%.1f", b * (1 - p / 100) }')"
+    verdict="$(awk -v n="$now" -v f="$floor" 'BEGIN { print (n < f) }')"
+    if [[ "$verdict" == 1 ]]; then
+      echo "run_perf_smoke: FAIL [$label] point=$point" \
+        "value=$now < floor=$floor (baseline=$base)"
+      fail=1
+    else
+      echo "run_perf_smoke: ok   [$label] point=$point" \
+        "value=$now (baseline=$base, floor=$floor)"
+    fi
+  done < <(grep '"point"' "$GOVERNOR_BASELINE")
+}
+
+check_governor_run "$FRESH_GOVERNOR" "governor"
+
+check_governor_overhead() {  # check_governor_overhead FILE LABEL
+  local file="$1" label="$2" pct verdict
+  pct="$(sed -n 's/.*"learned_overhead_pct": \(-\{0,1\}[0-9.]*\).*/\1/p' \
+    "$file")"
+  if [[ -z "$pct" ]]; then
+    echo "run_perf_smoke: FAIL [$label] learned_overhead_pct" \
+      "missing from fresh run"
+    fail=1
+    return
+  fi
+  verdict="$(awk -v p="$pct" -v max="$GOVERNOR_OVERHEAD_PCT" \
+    'BEGIN { print (p >= max) }')"
+  if [[ "$verdict" == 1 ]]; then
+    echo "run_perf_smoke: FAIL [$label] learned-governor managed-loop" \
+      "overhead ${pct}% >= ${GOVERNOR_OVERHEAD_PCT}% vs threshold"
+    fail=1
+  else
+    echo "run_perf_smoke: ok   [$label] learned-governor managed-loop" \
+      "overhead ${pct}% < ${GOVERNOR_OVERHEAD_PCT}% vs threshold"
+  fi
+}
+
+check_governor_overhead "$FRESH_GOVERNOR" "governor"
 
 # bench_fleet points: same one-object-per-line shape as bench_serve, but
 # point names carry digits (fleet_p99_slowdown), and the outcome points are
